@@ -1,0 +1,107 @@
+"""A2 — ablation: the structural-complexity cost model in MD integration.
+
+"MD Schema Integrator [...] produces the optimal solution by applying
+cost models that capture different quality factors (e.g., structural
+design complexity)" (§2.3).  The ablation compares the default
+cost-driven integrator against a *naive duplicator* (every partial
+element added as new, never merged).  Expected shapes:
+
+* cost-driven complexity < naive complexity, with the gap widening as
+  requirements accumulate,
+* the cost-driven schema has fewer dimensions/levels while satisfying
+  the same requirement set (checked structurally via provenance).
+"""
+
+import pytest
+
+from repro.core.integrator import MDIntegrator
+from repro.core.interpreter import Interpreter
+from repro.mdmodel import MDSchema
+from repro.mdmodel.complexity import analyze, score
+from repro.mdmodel.constraints import is_sound
+from repro.sources import tpch
+
+from benchmarks._workloads import requirement_corpus
+
+
+@pytest.fixture(scope="module")
+def partial_schemas():
+    interpreter = Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+    return [
+        interpreter.interpret(requirement).md_schema
+        for requirement in requirement_corpus(10)
+    ]
+
+
+def integrate_cost_driven(partials):
+    integrator = MDIntegrator()
+    unified = MDSchema(name="unified")
+    for partial in partials:
+        unified = integrator.integrate(unified, partial).schema
+    return unified
+
+
+def integrate_naive(partials):
+    """Naive union: copy every partial element in, renaming on clash."""
+    from repro.core.integrator.md_integrator import (
+        _copy_dimension,
+        _fresh_name,
+        _remap_fact,
+        replace_fact_name,
+    )
+
+    unified = MDSchema(name="naive")
+    for partial in partials:
+        mapping = {}
+        for dimension in partial.dimensions.values():
+            new_name = _fresh_name(dimension.name, unified.dimensions)
+            unified.add_dimension(_copy_dimension(dimension, new_name))
+            mapping[dimension.name] = new_name
+        for fact in partial.facts.values():
+            remapped = _remap_fact(fact, mapping)
+            unified.add_fact(
+                replace_fact_name(
+                    remapped, _fresh_name(remapped.name, unified.facts)
+                )
+            )
+    return unified
+
+
+@pytest.mark.parametrize("count", [2, 6, 10])
+def test_shape_cost_driven_is_simpler(partial_schemas, count):
+    cost_driven = integrate_cost_driven(partial_schemas[:count])
+    naive = integrate_naive(partial_schemas[:count])
+    assert is_sound(cost_driven)
+    assert is_sound(naive)
+    assert score(cost_driven) < score(naive)
+
+
+def test_shape_gap_widens_with_n(partial_schemas):
+    gaps = []
+    for count in (2, 6, 10):
+        cost_driven = integrate_cost_driven(partial_schemas[:count])
+        naive = integrate_naive(partial_schemas[:count])
+        gaps.append(score(naive) - score(cost_driven))
+    assert gaps[0] < gaps[1] < gaps[2]
+
+
+def test_shape_fewer_dimension_tables_same_requirements(partial_schemas):
+    cost_driven = integrate_cost_driven(partial_schemas)
+    naive = integrate_naive(partial_schemas)
+    assert len(cost_driven.dimensions) < len(naive.dimensions)
+    assert cost_driven.all_requirements() == naive.all_requirements()
+    driven_report = analyze(cost_driven)
+    naive_report = analyze(naive)
+    assert driven_report.levels < naive_report.levels
+    assert driven_report.attributes <= naive_report.attributes
+
+
+@pytest.mark.parametrize("mode", ["cost_driven", "naive"])
+def test_integration_speed(benchmark, partial_schemas, mode):
+    benchmark.group = "A2 md integration"
+    benchmark.name = mode
+    action = (
+        integrate_cost_driven if mode == "cost_driven" else integrate_naive
+    )
+    unified = benchmark(lambda: action(partial_schemas))
+    assert unified.facts

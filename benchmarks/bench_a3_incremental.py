@@ -1,0 +1,121 @@
+"""A3 — scalability of incremental accommodation (§1's motivation).
+
+"BI systems require automated means for efficiently adapting a physical
+DW design to frequent changes of business needs."  Two measurements:
+
+* the time to accommodate the N-th requirement into an existing design
+  of N-1 requirements (incremental step) stays far below re-designing
+  everything from scratch,
+* the incremental step time grows slowly with design size.
+"""
+
+import time
+
+import pytest
+
+from repro import Quarry
+from repro.sources import tpch
+
+from benchmarks._workloads import ROW_COUNTS, requirement_corpus
+
+
+def fresh_quarry():
+    return Quarry(
+        tpch.ontology(), tpch.schema(), tpch.mappings(), row_counts=ROW_COUNTS
+    )
+
+
+def build_design(count):
+    quarry = fresh_quarry()
+    for requirement in requirement_corpus(count):
+        quarry.add_requirement(requirement)
+    return quarry
+
+
+@pytest.mark.parametrize("existing", [4, 9, 14])
+def test_incremental_step(benchmark, existing):
+    """Time to accommodate one more requirement into a design of size N."""
+    corpus = requirement_corpus(existing + 1)
+    benchmark.group = "A3 accommodate one requirement"
+    benchmark.name = f"into N={existing}"
+
+    def setup():
+        quarry = build_design(existing)
+        return (quarry, corpus[existing]), {}
+
+    def step(quarry, requirement):
+        return quarry.add_requirement(requirement)
+
+    report = benchmark.pedantic(step, setup=setup, rounds=5)
+    assert report.action == "added"
+
+
+@pytest.mark.parametrize("count", [5, 10, 15])
+def test_full_redesign(benchmark, count):
+    """Baseline: time to redesign the whole warehouse from scratch."""
+    benchmark.group = "A3 full redesign"
+    benchmark.name = f"N={count}"
+    quarry = benchmark(lambda: build_design(count))
+    assert len(quarry.requirements()) == count
+
+
+def test_shape_incremental_beats_redesign():
+    """Adding requirement 15 is much cheaper than redoing all 15."""
+
+    def timed(action, rounds=3):
+        samples = []
+        for __ in range(rounds):
+            started = time.perf_counter()
+            action()
+            samples.append(time.perf_counter() - started)
+        return sorted(samples)[rounds // 2]
+
+    corpus = requirement_corpus(15)
+    redesign = timed(lambda: build_design(15))
+
+    def incremental():
+        quarry = build_design(14)
+
+        def step():
+            quarry.add_requirement(corpus[14])
+            quarry.remove_requirement(corpus[14].id)
+
+        # measure only the add; the remove resets state between rounds
+        started = time.perf_counter()
+        quarry.add_requirement(corpus[14])
+        return time.perf_counter() - started
+
+    step_time = min(incremental() for __ in range(3))
+    assert step_time < redesign / 3
+
+
+def test_shape_design_size_grows_sublinearly():
+    """Thanks to reuse, unified ETL ops grow sublinearly with N."""
+    sizes = []
+    for count in (5, 10, 15):
+        quarry = build_design(count)
+        sizes.append(quarry.status().etl_operations)
+    # Non-decreasing (requirements 11-15 revisit earlier structures and
+    # are served entirely by reuse) ...
+    assert sizes[0] <= sizes[1] <= sizes[2]
+    # ... with a shrinking per-requirement increment.
+    first_increment = sizes[1] - sizes[0]
+    second_increment = sizes[2] - sizes[1]
+    assert second_increment < first_increment
+    # And always far below the no-reuse upper bound.
+    per_requirement_upper = sizes[0] / 5 * 15
+    assert sizes[2] < per_requirement_upper
+
+
+def test_remove_requirement_rebuild_time():
+    """Removal triggers a rebuild — bounded by a fresh redesign."""
+
+    quarry = build_design(10)
+    started = time.perf_counter()
+    quarry.remove_requirement("IR5")
+    removal = time.perf_counter() - started
+    started = time.perf_counter()
+    build_design(10)
+    redesign = time.perf_counter() - started
+    assert removal < redesign * 1.5
+    assert len(quarry.requirements()) == 9

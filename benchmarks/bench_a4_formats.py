@@ -1,0 +1,78 @@
+"""A4 — the communication & metadata layer's format round-trips.
+
+The layer's correctness contract: every artefact survives
+xRQ/xMD/xLM serialisation and the XML↔JSON↔XML repository boundary
+byte-identically.  Throughput is measured per format on the Figure-3/4
+documents.
+"""
+
+import pytest
+
+from repro.core.interpreter import Interpreter
+from repro.sources import tpch
+from repro.xformats import xlm, xmd, xrq
+from repro.xformats.xmljson import json_to_xml, xml_to_json
+
+from benchmarks._workloads import revenue_requirement
+
+
+@pytest.fixture(scope="module")
+def design():
+    interpreter = Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+    return interpreter.interpret(revenue_requirement())
+
+
+class TestRoundTripFidelity:
+    def test_xrq_stable(self, design):
+        text = xrq.dumps(design.requirement)
+        assert xrq.dumps(xrq.loads(text)) == text
+
+    def test_xmd_stable(self, design):
+        text = xmd.dumps(design.md_schema)
+        assert xmd.dumps(xmd.loads(text)) == text
+
+    def test_xlm_stable(self, design):
+        text = xlm.dumps(design.etl_flow)
+        assert xlm.dumps(xlm.loads(text)) == text
+
+    @pytest.mark.parametrize("format_name", ["xrq", "xmd", "xlm"])
+    def test_repository_boundary_preserves_documents(self, design, format_name):
+        text = {
+            "xrq": lambda: xrq.dumps(design.requirement),
+            "xmd": lambda: xmd.dumps(design.md_schema),
+            "xlm": lambda: xlm.dumps(design.etl_flow),
+        }[format_name]()
+        assert json_to_xml(xml_to_json(text)) == text
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("format_name", ["xrq", "xmd", "xlm"])
+    def test_serialise(self, benchmark, design, format_name):
+        action = {
+            "xrq": lambda: xrq.dumps(design.requirement),
+            "xmd": lambda: xmd.dumps(design.md_schema),
+            "xlm": lambda: xlm.dumps(design.etl_flow),
+        }[format_name]
+        benchmark.group = "A4 serialise"
+        benchmark.name = format_name
+        assert benchmark(action)
+
+    @pytest.mark.parametrize("format_name", ["xrq", "xmd", "xlm"])
+    def test_parse(self, benchmark, design, format_name):
+        text = {
+            "xrq": lambda: xrq.dumps(design.requirement),
+            "xmd": lambda: xmd.dumps(design.md_schema),
+            "xlm": lambda: xlm.dumps(design.etl_flow),
+        }[format_name]()
+        parser = {"xrq": xrq.loads, "xmd": xmd.loads, "xlm": xlm.loads}[
+            format_name
+        ]
+        benchmark.group = "A4 parse"
+        benchmark.name = format_name
+        assert benchmark(lambda: parser(text))
+
+    def test_xml_json_boundary(self, benchmark, design):
+        text = xlm.dumps(design.etl_flow)
+        benchmark.group = "A4 repository boundary"
+        benchmark.name = "xml->json->xml"
+        assert benchmark(lambda: json_to_xml(xml_to_json(text)))

@@ -1,0 +1,94 @@
+"""F2 — the Requirements Elicitor (Figure 2).
+
+Regenerates Figure 2's behaviour: for the TPC-H ontology and the
+Lineitem focus, the system suggests Supplier, Nation and Part among the
+analytical perspectives; the D3 graph document marks exactly the
+suggested concepts.  Also measures the suggestion latency as the
+ontology grows (synthetic ontologies scale the graph size).
+"""
+
+import pytest
+
+from repro.core.requirements import Elicitor
+from repro.expressions import ScalarType
+from repro.ontology import OntologyBuilder
+from repro.sources import tpch
+
+
+@pytest.fixture(scope="module")
+def elicitor():
+    return Elicitor(tpch.ontology())
+
+
+def synthetic_ontology(branches: int, depth: int):
+    """A star of to-one chains around one central event concept."""
+    builder = OntologyBuilder(f"synthetic_{branches}x{depth}")
+    builder.concept("Event")
+    builder.attribute("Event_value", "Event", ScalarType.DECIMAL)
+    for branch in range(branches):
+        previous = "Event"
+        for level in range(depth):
+            concept = f"C{branch}_{level}"
+            builder.concept(concept)
+            builder.attribute(
+                f"{concept}_name", concept, ScalarType.STRING
+            )
+            builder.relationship(
+                f"{previous}_to_{concept}", previous, concept, "N-1"
+            )
+            previous = concept
+    return builder.build()
+
+
+class TestFigure2Shape:
+    def test_paper_suggestions_present(self, elicitor):
+        suggested = {
+            s.element_id for s in elicitor.suggest_dimensions("Lineitem")
+        }
+        assert {"Supplier", "Nation", "Part"} <= suggested
+
+    def test_lineitem_is_the_top_fact(self, elicitor):
+        assert elicitor.suggest_facts()[0].element_id == "Lineitem"
+
+    def test_graph_document_matches_suggestions(self, elicitor):
+        document = elicitor.graph_document(highlight="Lineitem")
+        marked = {n["id"] for n in document["nodes"] if n["suggested"]}
+        suggested = {
+            s.element_id for s in elicitor.suggest_dimensions("Lineitem")
+        }
+        assert marked == suggested
+
+    def test_measures_rank_focus_attributes_first(self, elicitor):
+        # Lineitem has four numeric attributes; they outrank any measure
+        # candidate reached over a to-one hop.
+        top = [s.element_id for s in elicitor.suggest_measures("Lineitem")[:4]]
+        assert all(name.startswith("Lineitem_") for name in top)
+
+
+class TestLatency:
+    def test_tpch_perspective_latency(self, benchmark, elicitor):
+        benchmark.group = "F2 elicitor"
+        benchmark.name = "tpch perspective"
+        perspective = benchmark(
+            lambda: elicitor.suggest_perspective("Lineitem")
+        )
+        assert perspective["dimensions"]
+
+    @pytest.mark.parametrize("branches,depth", [(5, 3), (20, 4), (50, 5)])
+    def test_scaling_with_ontology_size(self, benchmark, branches, depth):
+        ontology = synthetic_ontology(branches, depth)
+        elicitor = Elicitor(ontology)
+        benchmark.group = "F2 elicitor scaling"
+        benchmark.name = f"{branches * depth + 1} concepts"
+        suggestions = benchmark(
+            lambda: elicitor.suggest_dimensions("Event", limit=1000)
+        )
+        assert len(suggestions) == branches * depth
+
+    def test_d3_export_latency(self, benchmark, elicitor):
+        benchmark.group = "F2 elicitor"
+        benchmark.name = "d3 export"
+        document = benchmark(
+            lambda: elicitor.graph_document(highlight="Lineitem")
+        )
+        assert len(document["nodes"]) == 8

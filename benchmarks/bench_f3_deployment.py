@@ -1,0 +1,101 @@
+"""F3/S3 — design deployment (Figure 3 right-hand side, demo scenario 3).
+
+Regenerates the deployment artefacts of Figure 3 (PostgreSQL DDL and a
+Pentaho PDI ``.ktr``) for the unified revenue+netprofit design, checks
+their shape, and measures generation and native-execution times per
+platform.
+"""
+
+import pytest
+
+from repro import Quarry
+from repro.sources import tpch
+
+from benchmarks._workloads import (
+    ROW_COUNTS,
+    netprofit_requirement,
+    revenue_requirement,
+)
+from benchmarks.conftest import make_database
+
+
+@pytest.fixture(scope="module")
+def quarry():
+    instance = Quarry(
+        tpch.ontology(), tpch.schema(), tpch.mappings(), row_counts=ROW_COUNTS
+    )
+    instance.add_requirement(revenue_requirement())
+    instance.add_requirement(netprofit_requirement())
+    return instance
+
+
+class TestFigure3Artefacts:
+    def test_postgres_ddl_matches_figure3(self, quarry):
+        ddl = quarry.deploy("postgres").artifacts["ddl"]
+        assert "CREATE DATABASE demo;" in ddl
+        assert "CREATE TABLE fact_table_revenue (" in ddl
+        assert "CREATE TABLE fact_table_netprofit (" in ddl
+        assert "revenue double precision" in ddl
+        assert "PRIMARY KEY(" in ddl
+
+    def test_pdi_ktr_matches_figure3(self, quarry):
+        import xml.etree.ElementTree as ET
+
+        ktr = quarry.deploy("pdi").artifacts["ktr"]
+        root = ET.fromstring(ktr)
+        assert root.tag == "transformation"
+        assert root.find("connection/database").text == "demo"
+        hops = root.findall("order/hop")
+        steps = root.findall("step")
+        assert len(hops) > 20 and len(steps) > 20
+        step_types = {step.find("type").text for step in steps}
+        assert {"TableInput", "TableOutput", "FilterRows", "MergeJoin",
+                "GroupBy"} <= step_types
+
+    def test_sql_script_loads_both_facts(self, quarry):
+        script = quarry.deploy("sql").artifacts["script"]
+        assert "INSERT INTO fact_table_revenue" in script
+        assert "INSERT INTO fact_table_netprofit" in script
+
+
+class TestGenerationSpeed:
+    @pytest.mark.parametrize("platform", ["postgres", "sqlite", "pdi", "sql"])
+    def test_artifact_generation(self, benchmark, quarry, platform):
+        benchmark.group = "F3 artefact generation"
+        benchmark.name = platform
+        result = benchmark(lambda: quarry.deploy(platform))
+        assert result.artifacts
+
+
+class TestNativeExecution:
+    @pytest.mark.parametrize("scale_factor", [0.2, 0.5, 1.0])
+    def test_native_deployment(self, benchmark, quarry, scale_factor):
+        benchmark.group = "F3 native deployment"
+        benchmark.name = f"SF {scale_factor}"
+
+        def setup():
+            return (make_database(scale_factor),), {}
+
+        def deploy(database):
+            return quarry.deploy("native", source_database=database)
+
+        result = benchmark.pedantic(deploy, setup=setup, rounds=3)
+        assert result.stats.loaded["fact_table_revenue"] >= 0
+        assert result.stats.loaded["fact_table_netprofit"] > 0
+
+    def test_shape_execution_scales_roughly_linearly(self, quarry):
+        import time
+
+        seconds = {}
+        for scale_factor in (0.25, 1.0):
+            database = make_database(scale_factor)
+            samples = []
+            for __ in range(3):
+                started = time.perf_counter()
+                quarry.deploy("native", source_database=database)
+                samples.append(time.perf_counter() - started)
+            seconds[scale_factor] = sorted(samples)[1]
+        ratio = seconds[1.0] / seconds[0.25]
+        # 4x the data should cost between ~1.5x and ~12x (roughly linear,
+        # generous bounds for timing noise on small inputs).
+        assert 1.5 < ratio < 12

@@ -1,0 +1,80 @@
+"""S1 — the Requirements Interpreter (demo scenario 1 / Figure 4).
+
+Measures the cost of translating an information requirement into its
+validated partial designs, across the requirement corpus and across
+domains, and pins the Figure-4 output shape.
+"""
+
+import pytest
+
+from repro.core.interpreter import Interpreter
+from repro.sources import retail, tpch
+
+from benchmarks._workloads import requirement_corpus, revenue_requirement
+
+
+@pytest.fixture(scope="module")
+def interpreter():
+    return Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+
+
+class TestFigure4Shape:
+    def test_partial_design_matches_paper(self, interpreter):
+        design = interpreter.interpret(revenue_requirement())
+        assert design.md_schema.has_fact("fact_table_revenue")
+        assert set(design.md_schema.dimensions) == {"Part", "Supplier"}
+        assert design.mapping.fact_concept == "Lineitem"
+        loaded = {
+            node.table
+            for node in design.etl_flow.nodes()
+            if node.kind == "Loader"
+        }
+        assert loaded == {"fact_table_revenue", "dim_Part", "dim_Supplier"}
+
+
+class TestLatency:
+    def test_single_requirement(self, benchmark, interpreter):
+        benchmark.group = "S1 interpret"
+        benchmark.name = "figure-4 requirement"
+        design = benchmark(
+            lambda: interpreter.interpret(revenue_requirement())
+        )
+        assert design.etl_flow.validate() == []
+
+    def test_corpus_batch(self, benchmark, interpreter):
+        corpus = requirement_corpus(10)
+        benchmark.group = "S1 interpret"
+        benchmark.name = "corpus of 10"
+        designs = benchmark(
+            lambda: [interpreter.interpret(r) for r in corpus]
+        )
+        assert len(designs) == 10
+
+    def test_retail_domain(self, benchmark):
+        from repro import RequirementBuilder
+
+        interpreter = Interpreter(
+            retail.ontology(), retail.schema(), retail.mappings()
+        )
+        requirement = (
+            RequirementBuilder("R1", "sales per category/country")
+            .measure("sales", "TicketLine_amount", "SUM")
+            .per("Product_category", "Store_country")
+            .build()
+        )
+        benchmark.group = "S1 interpret"
+        benchmark.name = "retail requirement"
+        design = benchmark(lambda: interpreter.interpret(requirement))
+        assert design.mapping.fact_concept == "TicketLine"
+
+
+class TestConstruction:
+    def test_interpreter_setup_cost(self, benchmark):
+        """Interpreter construction validates the mappings once."""
+        ontology, schema, mappings = (
+            tpch.ontology(), tpch.schema(), tpch.mappings(),
+        )
+        benchmark.group = "S1 interpret"
+        benchmark.name = "interpreter setup"
+        instance = benchmark(lambda: Interpreter(ontology, schema, mappings))
+        assert instance is not None

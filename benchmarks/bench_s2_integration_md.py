@@ -1,0 +1,75 @@
+"""S2 (MD side) — structural design complexity of integrated schemas.
+
+The demo uses structural design complexity as the MD quality factor.
+Expected shapes:
+
+* the integrated schema is strictly simpler than the naive union of the
+  partial stars (conformed dimensions are counted once),
+* the saving grows with the number of requirements,
+* integration keeps the schema sound and all requirements satisfiable.
+"""
+
+import pytest
+
+from repro.core.integrator import MDIntegrator
+from repro.core.interpreter import Interpreter
+from repro.mdmodel import MDSchema
+from repro.mdmodel.complexity import score
+from repro.mdmodel.constraints import is_sound
+from repro.sources import tpch
+
+from benchmarks._workloads import requirement_corpus
+
+
+@pytest.fixture(scope="module")
+def partial_schemas():
+    interpreter = Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+    return [
+        interpreter.interpret(requirement).md_schema
+        for requirement in requirement_corpus(12)
+    ]
+
+
+def integrate(partials):
+    integrator = MDIntegrator()
+    unified = MDSchema(name="unified")
+    for partial in partials:
+        unified = integrator.integrate(unified, partial).schema
+    return unified
+
+
+@pytest.mark.parametrize("count", [2, 6, 12])
+def test_md_integration_speed(benchmark, partial_schemas, count):
+    benchmark.group = f"S2 md N={count}"
+    unified = benchmark(lambda: integrate(partial_schemas[:count]))
+    assert is_sound(unified)
+
+
+@pytest.mark.parametrize("count", [2, 6, 12])
+def test_shape_integrated_simpler_than_union(partial_schemas, count):
+    unified = integrate(partial_schemas[:count])
+    naive = sum(score(partial) for partial in partial_schemas[:count])
+    assert score(unified) < naive
+
+
+def test_shape_saving_grows_with_n(partial_schemas):
+    savings = []
+    for count in (2, 6, 12):
+        unified = integrate(partial_schemas[:count])
+        naive = sum(score(partial) for partial in partial_schemas[:count])
+        savings.append(naive - score(unified))
+    assert savings[0] < savings[1] < savings[2]
+
+
+def test_shape_conformed_dimensions_shared(partial_schemas):
+    unified = integrate(partial_schemas[:12])
+    # Part appears in many requirements but exists once.
+    part_dims = [name for name in unified.dimensions if name.startswith("Part")]
+    assert len(part_dims) == 1
+    # ... and several facts link it.
+    linked = sum(
+        1
+        for fact in unified.facts.values()
+        if any(link.dimension == "Part" for link in fact.links)
+    )
+    assert linked >= 3

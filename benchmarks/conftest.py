@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite."""
+
+import pytest
+
+from repro.engine import Database
+from repro.sources import tpch
+
+
+@pytest.fixture(scope="session")
+def tpch_domain():
+    return tpch.ontology(), tpch.schema(), tpch.mappings()
+
+
+def make_database(scale_factor: float, seed: int = 20150323) -> Database:
+    database = Database()
+    database.load_source(tpch.schema(), tpch.generate(scale_factor, seed=seed))
+    return database
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """A mid-size TPC-H database shared by execution benchmarks."""
+    return make_database(scale_factor=0.5)

@@ -1,0 +1,152 @@
+TRUNCATE TABLE "dim_Part";
+WITH "DATASTORE_part" AS (
+  SELECT p_brand, p_name, p_partkey FROM part
+),
+"EXTRACTION_part" AS (
+  SELECT p_brand, p_name, p_partkey FROM "DATASTORE_part"
+),
+"PROJECT_dim_Part" AS (
+  SELECT p_brand, p_name FROM "EXTRACTION_part"
+),
+"DISTINCT_dim_Part" AS (
+  SELECT DISTINCT * FROM "PROJECT_dim_Part"
+)
+INSERT INTO "dim_Part" SELECT * FROM "DISTINCT_dim_Part";
+
+TRUNCATE TABLE "dim_Supplier";
+WITH "DATASTORE_supplier" AS (
+  SELECT s_name, s_nationkey, s_suppkey FROM supplier
+),
+"DATASTORE_nation" AS (
+  SELECT n_name, n_nationkey, n_regionkey FROM nation
+),
+"DATASTORE_region" AS (
+  SELECT r_name, r_regionkey FROM region
+),
+"EXTRACTION_supplier" AS (
+  SELECT s_name, s_nationkey, s_suppkey FROM "DATASTORE_supplier"
+),
+"EXTRACTION_nation" AS (
+  SELECT n_name, n_nationkey, n_regionkey FROM "DATASTORE_nation"
+),
+"EXTRACTION_region" AS (
+  SELECT r_name, r_regionkey FROM "DATASTORE_region"
+),
+"JOIN_dim_Supplier_nation" AS (
+  SELECT * FROM "EXTRACTION_supplier" JOIN "EXTRACTION_nation" ON "EXTRACTION_supplier".s_nationkey = "EXTRACTION_nation".n_nationkey
+),
+"JOIN_dim_Supplier_region" AS (
+  SELECT * FROM "JOIN_dim_Supplier_nation" JOIN "EXTRACTION_region" ON "JOIN_dim_Supplier_nation".n_regionkey = "EXTRACTION_region".r_regionkey
+),
+"PROJECT_dim_Supplier" AS (
+  SELECT s_name, n_name, r_name FROM "JOIN_dim_Supplier_region"
+),
+"DISTINCT_dim_Supplier" AS (
+  SELECT DISTINCT * FROM "PROJECT_dim_Supplier"
+)
+INSERT INTO "dim_Supplier" SELECT * FROM "DISTINCT_dim_Supplier";
+
+TRUNCATE TABLE fact_table_revenue;
+WITH "DATASTORE_lineitem" AS (
+  SELECT l_discount, l_extendedprice, l_orderkey, l_partkey, l_quantity, l_suppkey FROM lineitem
+),
+"DATASTORE_part" AS (
+  SELECT p_brand, p_name, p_partkey FROM part
+),
+"DATASTORE_supplier" AS (
+  SELECT s_name, s_nationkey, s_suppkey FROM supplier
+),
+"DATASTORE_nation" AS (
+  SELECT n_name, n_nationkey, n_regionkey FROM nation
+),
+"DATASTORE_partsupp" AS (
+  SELECT ps_partkey, ps_suppkey, ps_supplycost FROM partsupp
+),
+"DATASTORE_orders" AS (
+  SELECT o_custkey, o_orderkey FROM orders
+),
+"DATASTORE_customer" AS (
+  SELECT c_custkey, c_nationkey FROM customer
+),
+"EXTRACTION_lineitem" AS (
+  SELECT l_discount, l_extendedprice, l_orderkey, l_partkey, l_quantity, l_suppkey FROM "DATASTORE_lineitem"
+),
+"EXTRACTION_part" AS (
+  SELECT p_brand, p_name, p_partkey FROM "DATASTORE_part"
+),
+"EXTRACTION_supplier" AS (
+  SELECT s_name, s_nationkey, s_suppkey FROM "DATASTORE_supplier"
+),
+"EXTRACTION_nation" AS (
+  SELECT n_name, n_nationkey, n_regionkey FROM "DATASTORE_nation"
+),
+"EXTRACTION_partsupp" AS (
+  SELECT ps_partkey, ps_suppkey, ps_supplycost FROM "DATASTORE_partsupp"
+),
+"EXTRACTION_orders" AS (
+  SELECT o_custkey, o_orderkey FROM "DATASTORE_orders"
+),
+"EXTRACTION_customer" AS (
+  SELECT c_custkey, c_nationkey FROM "DATASTORE_customer"
+),
+"SELECTION_IR1_1" AS (
+  SELECT * FROM "EXTRACTION_nation" WHERE (n_name = 'SPAIN')
+),
+"JOIN_partsupp" AS (
+  SELECT * FROM "EXTRACTION_lineitem" JOIN "EXTRACTION_partsupp" ON "EXTRACTION_lineitem".l_partkey = "EXTRACTION_partsupp".ps_partkey AND "EXTRACTION_lineitem".l_suppkey = "EXTRACTION_partsupp".ps_suppkey
+),
+"JOIN_part" AS (
+  SELECT * FROM "JOIN_partsupp" JOIN "EXTRACTION_part" ON "JOIN_partsupp".ps_partkey = "EXTRACTION_part".p_partkey
+),
+"JOIN_supplier" AS (
+  SELECT * FROM "JOIN_part" JOIN "EXTRACTION_supplier" ON "JOIN_part".ps_suppkey = "EXTRACTION_supplier".s_suppkey
+),
+"JOIN_orders" AS (
+  SELECT * FROM "JOIN_supplier" JOIN "EXTRACTION_orders" ON "JOIN_supplier".l_orderkey = "EXTRACTION_orders".o_orderkey
+),
+"JOIN_customer" AS (
+  SELECT * FROM "JOIN_orders" JOIN "EXTRACTION_customer" ON "JOIN_orders".o_custkey = "EXTRACTION_customer".c_custkey
+),
+"JOIN_nation" AS (
+  SELECT * FROM "JOIN_customer" JOIN "SELECTION_IR1_1" ON "JOIN_customer".c_nationkey = "SELECTION_IR1_1".n_nationkey
+),
+"DERIVE_revenue" AS (
+  SELECT *, (l_extendedprice * (1 - l_discount)) AS revenue FROM "JOIN_nation"
+),
+"AGG_fact_table_revenue" AS (
+  SELECT p_name, s_name, AVG(revenue) AS revenue FROM "DERIVE_revenue" GROUP BY p_name, s_name
+)
+INSERT INTO fact_table_revenue SELECT * FROM "AGG_fact_table_revenue";
+
+TRUNCATE TABLE fact_table_netprofit;
+WITH "DATASTORE_lineitem" AS (
+  SELECT l_discount, l_extendedprice, l_orderkey, l_partkey, l_quantity, l_suppkey FROM lineitem
+),
+"DATASTORE_part" AS (
+  SELECT p_brand, p_name, p_partkey FROM part
+),
+"DATASTORE_partsupp" AS (
+  SELECT ps_partkey, ps_suppkey, ps_supplycost FROM partsupp
+),
+"EXTRACTION_lineitem" AS (
+  SELECT l_discount, l_extendedprice, l_orderkey, l_partkey, l_quantity, l_suppkey FROM "DATASTORE_lineitem"
+),
+"EXTRACTION_part" AS (
+  SELECT p_brand, p_name, p_partkey FROM "DATASTORE_part"
+),
+"EXTRACTION_partsupp" AS (
+  SELECT ps_partkey, ps_suppkey, ps_supplycost FROM "DATASTORE_partsupp"
+),
+"JOIN_partsupp" AS (
+  SELECT * FROM "EXTRACTION_lineitem" JOIN "EXTRACTION_partsupp" ON "EXTRACTION_lineitem".l_partkey = "EXTRACTION_partsupp".ps_partkey AND "EXTRACTION_lineitem".l_suppkey = "EXTRACTION_partsupp".ps_suppkey
+),
+"JOIN_part" AS (
+  SELECT * FROM "JOIN_partsupp" JOIN "EXTRACTION_part" ON "JOIN_partsupp".ps_partkey = "EXTRACTION_part".p_partkey
+),
+"DERIVE_netprofit" AS (
+  SELECT *, ((l_extendedprice * (1 - l_discount)) - (ps_supplycost * l_quantity)) AS netprofit FROM "JOIN_part"
+),
+"AGG_fact_table_netprofit" AS (
+  SELECT p_brand, SUM(netprofit) AS netprofit FROM "DERIVE_netprofit" GROUP BY p_brand
+)
+INSERT INTO fact_table_netprofit SELECT * FROM "AGG_fact_table_netprofit";

@@ -1,0 +1,25 @@
+CREATE DATABASE demo;
+
+CREATE TABLE "dim_Part" (
+  p_name VARCHAR(255),
+  p_brand VARCHAR(255)
+);
+
+CREATE TABLE "dim_Supplier" (
+  s_name VARCHAR(255),
+  n_name VARCHAR(255),
+  r_name VARCHAR(255)
+);
+
+CREATE TABLE fact_table_revenue (
+  p_name VARCHAR(255),
+  s_name VARCHAR(255),
+  revenue double precision,
+  PRIMARY KEY( p_name, s_name )
+);
+
+CREATE TABLE fact_table_netprofit (
+  p_brand VARCHAR(255),
+  netprofit double precision,
+  PRIMARY KEY( p_brand )
+);

@@ -1,0 +1,23 @@
+CREATE TABLE "dim_Part" (
+  p_name TEXT,
+  p_brand TEXT
+);
+
+CREATE TABLE "dim_Supplier" (
+  s_name TEXT,
+  n_name TEXT,
+  r_name TEXT
+);
+
+CREATE TABLE fact_table_revenue (
+  p_name TEXT,
+  s_name TEXT,
+  revenue REAL,
+  PRIMARY KEY( p_name, s_name )
+);
+
+CREATE TABLE fact_table_netprofit (
+  p_brand TEXT,
+  netprofit REAL,
+  PRIMARY KEY( p_brand )
+);

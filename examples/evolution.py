@@ -1,0 +1,132 @@
+"""Accommodating a DW design to changes (demo scenario 2, Figure 3).
+
+Starts from the revenue requirement, then the business evolves:
+
+* a second requirement (net profit per part brand) arrives — Quarry
+  conforms the Part dimension and reuses the shared ETL spine,
+* a third requirement (shipped quantity per ship mode and nation) adds
+  a degenerate dimension,
+* the first requirement changes granularity,
+* the second is retired — Quarry rebuilds the design from what remains.
+
+At every step the script prints the design status: satisfied
+requirements, structural complexity of the MD schema, and the
+estimated cost of the integrated ETL versus running the partial flows
+separately (the demo's claimed benefit).
+
+Run with::
+
+    python examples/evolution.py
+"""
+
+from repro import Quarry, RequirementBuilder
+from repro.sources import tpch
+
+ROW_COUNTS = {
+    "lineitem": 60000, "orders": 15000, "customer": 1500,
+    "nation": 25, "region": 5, "part": 2000, "partsupp": 4000,
+    "supplier": 100,
+}
+
+
+def revenue_requirement():
+    return (
+        RequirementBuilder("IR1", "average revenue per part/supplier, Spain")
+        .measure(
+            "revenue",
+            "Lineitem_l_extendedprice * (1 - Lineitem_l_discount)",
+            "AVERAGE",
+        )
+        .per("Part_p_name", "Supplier_s_name")
+        .where("Nation_n_name = 'SPAIN'")
+        .build()
+    )
+
+
+def netprofit_requirement():
+    return (
+        RequirementBuilder("IR2", "total net profit per part brand")
+        .measure(
+            "netprofit",
+            "Lineitem_l_extendedprice * (1 - Lineitem_l_discount) "
+            "- Partsupp_ps_supplycost * Lineitem_l_quantity",
+            "SUM",
+        )
+        .per("Part_p_brand")
+        .build()
+    )
+
+
+def quantity_requirement():
+    return (
+        RequirementBuilder("IR3", "shipped quantity per ship mode and nation")
+        .measure("quantity", "Lineitem_l_quantity", "SUM")
+        .per("Lineitem_l_shipmode", "Nation_n_name")
+        .build()
+    )
+
+
+def show(quarry, step):
+    status = quarry.status()
+    print(f"\n--- {step} ---")
+    print(f"  requirements : {status.requirements}")
+    print(f"  facts        : {status.facts}")
+    print(f"  dimensions   : {status.dimensions}")
+    print(f"  MD complexity: {status.complexity:.1f}")
+    print(f"  ETL ops      : {status.etl_operations}  "
+          f"(estimated cost {status.estimated_etl_cost:,.0f})")
+
+
+def main() -> None:
+    print("=== Accommodating a DW design to changes ===")
+    quarry = Quarry(
+        tpch.ontology(), tpch.schema(), tpch.mappings(),
+        row_counts=ROW_COUNTS,
+    )
+
+    quarry.add_requirement(revenue_requirement())
+    show(quarry, "IR1 added (initial design)")
+
+    report = quarry.add_requirement(netprofit_requirement())
+    show(quarry, "IR2 added (integrated)")
+    consolidation = report.etl_consolidation
+    print(f"  ETL reuse    : {len(consolidation.reused)} ops reused, "
+          f"{len(consolidation.added)} added "
+          f"(reuse ratio {consolidation.reuse_ratio:.0%})")
+    print(f"  ETL cost     : unified {consolidation.cost_unified:,.0f} vs "
+          f"separate {consolidation.cost_separate:,.0f} "
+          f"(saving {consolidation.cost_saving:,.0f})")
+    integration = report.md_integration
+    print(f"  MD decisions :")
+    for decision in integration.decisions:
+        print(f"    {decision.kind:<9} {decision.partial_element:<22} "
+              f"{decision.action} -> {decision.unified_element}")
+    print(f"  MD complexity: {integration.complexity_after:.1f} integrated vs "
+          f"{integration.complexity_naive:.1f} naive "
+          f"(saving {integration.saving:.1f})")
+
+    quarry.add_requirement(quantity_requirement())
+    show(quarry, "IR3 added (degenerate ship-mode dimension)")
+
+    changed = (
+        RequirementBuilder("IR1", "revenue now per part brand only")
+        .measure(
+            "revenue",
+            "Lineitem_l_extendedprice * (1 - Lineitem_l_discount)",
+            "SUM",
+        )
+        .per("Part_p_brand")
+        .build()
+    )
+    quarry.change_requirement(changed)
+    show(quarry, "IR1 changed (coarser granularity)")
+
+    quarry.remove_requirement("IR2")
+    show(quarry, "IR2 removed (design rebuilt)")
+
+    print("\nSatisfiability problems:",
+          quarry.satisfiability_problems() or "none")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Assisted data exploration with the Requirements Elicitor (Figure 2).
+
+Plays the role of a non-expert business user on a *second* domain (the
+retail point-of-sale sources): browse the ontology graph, pick a focus,
+accept suggested perspectives, resolve business-vocabulary terms, and
+let Quarry build and deploy the design — without ever naming a source
+table or column.
+
+Run with::
+
+    python examples/exploration.py
+"""
+
+import json
+
+from repro import Quarry, RequirementBuilder
+from repro.engine import Database, OlapQuery, query_star
+from repro.sources import retail
+
+
+def main() -> None:
+    print("=== Assisted exploration of the retail domain ===\n")
+    quarry = Quarry(retail.ontology(), retail.schema(), retail.mappings())
+    elicitor = quarry.elicitor()
+
+    # The D3 document the web UI would render (Figure 2's graph).
+    document = elicitor.graph_document(highlight="TicketLine")
+    print(f"Ontology graph: {len(document['nodes'])} nodes, "
+          f"{len(document['links'])} links")
+    suggested = [node["id"] for node in document["nodes"] if node["suggested"]]
+    print("Highlighted as suggested dimensions:", suggested)
+
+    print("\nWho should be the subject of analysis?")
+    for suggestion in elicitor.suggest_facts(limit=3):
+        print(f"  {suggestion.element_id:<12} {suggestion.reason}")
+    focus = elicitor.suggest_facts(limit=1)[0].element_id
+    print(f"-> focusing on {focus}")
+
+    perspective = elicitor.suggest_perspective(focus)
+    print("\nSuggested measures:")
+    for suggestion in perspective["measures"][:3]:
+        print(f"  {suggestion.element_id:<22} {suggestion.reason}")
+    print("Suggested slicers:")
+    for suggestion in perspective["slicers"][:3]:
+        print(f"  {suggestion.element_id:<22} {suggestion.reason}")
+
+    # The user talks business vocabulary, not column names.
+    vocabulary = quarry.vocabulary()
+    amount = vocabulary.resolve("sale amount").element_id
+    category = vocabulary.resolve("category").element_id
+    country = vocabulary.resolve("country").element_id
+    print(f"\nResolved terms: 'sale amount' -> {amount}, "
+          f"'category' -> {category}, 'country' -> {country}")
+
+    requirement = (
+        RequirementBuilder("R1", "sales per product category and country")
+        .measure("sales", amount, "SUM")
+        .per(category, country)
+        .build()
+    )
+    quarry.add_requirement(requirement)
+    status = quarry.status()
+    print(f"\nDesign built: facts={status.facts} "
+          f"dimensions={status.dimensions}")
+
+    database = Database()
+    database.load_source(retail.schema(), retail.generate(scale_factor=1.0))
+    quarry.deploy("native", source_database=database)
+    answer = query_star(
+        database,
+        OlapQuery(
+            fact_table="fact_table_sales",
+            group_by=["category", "country"],
+            aggregates=[("SUM", "sales", "total")],
+        ),
+    )
+    print("\nSales per category and country (first 8 rows):")
+    for row in answer.rows[:8]:
+        print(f"  {row['category']:<12} {row['country']:<10} "
+              f"{row['total']:>12.2f}")
+
+
+if __name__ == "__main__":
+    main()

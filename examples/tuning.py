@@ -1,0 +1,71 @@
+"""Inspecting and self-tuning a unified design.
+
+The demo leaves "further user-preferred tunings" (§2.4) to an expert
+user and names "design self-tuning" as a future plug-in (§2.6).  This
+example shows both ends:
+
+* EXPLAIN — the unified ETL flow rendered as per-loader operator trees
+  with the cost model's row/cost estimates (what an expert would read
+  before tuning by hand),
+* the TuningAdvisor — ranked index / materialised-roll-up / dimension-
+  slimming suggestions derived from the design and its requirements.
+
+Run with::
+
+    python examples/tuning.py
+"""
+
+from repro import Quarry, RequirementBuilder
+from repro.core.tuning import TuningAdvisor
+from repro.etlmodel.cost import CostModel
+from repro.etlmodel.explain import explain
+from repro.sources import tpch
+
+ROW_COUNTS = {
+    "lineitem": 60000, "orders": 15000, "customer": 1500,
+    "nation": 25, "region": 5, "part": 2000, "partsupp": 4000,
+    "supplier": 100,
+}
+
+
+def main() -> None:
+    quarry = Quarry(
+        tpch.ontology(), tpch.schema(), tpch.mappings(), row_counts=ROW_COUNTS
+    )
+    quarry.add_requirement(
+        RequirementBuilder("IR1", "quantity per brand and ship mode")
+        .measure("quantity", "Lineitem_l_quantity", "SUM")
+        .per("Part_p_brand", "Lineitem_l_shipmode")
+        .build()
+    )
+    quarry.add_requirement(
+        RequirementBuilder("IR2", "revenue per supplier")
+        .measure(
+            "revenue",
+            "Lineitem_l_extendedprice * (1 - Lineitem_l_discount)",
+            "SUM",
+        )
+        .per("Supplier_s_name")
+        .build()
+    )
+
+    md, etl = quarry.unified_design()
+
+    print("=== EXPLAIN: unified ETL flow with cost estimates ===\n")
+    print(explain(etl, cost_model=CostModel(), row_counts=ROW_COUNTS))
+
+    print("=== Self-tuning advice ===\n")
+    advisor = TuningAdvisor(
+        row_counts={fact: 50_000 for fact in md.facts}
+    )
+    report = advisor.advise(md, quarry.requirements())
+    for suggestion in report.top(8):
+        print(f"  {suggestion}")
+    print(f"\n({len(report.suggestions)} suggestions total: "
+          f"{len(report.of_kind('index'))} index, "
+          f"{len(report.of_kind('rollup'))} rollup, "
+          f"{len(report.of_kind('slim'))} slimming)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (legacy develop install path)."""
+
+from setuptools import setup
+
+setup()

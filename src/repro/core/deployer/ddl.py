@@ -1,0 +1,107 @@
+"""SQL DDL generation for MD schemas.
+
+Produces the ``CREATE DATABASE`` / ``CREATE TABLE`` script visible in
+Figure 3: one table per dimension (``dim_<name>``, all level attributes)
+and one table per fact (grain columns + measures, PRIMARY KEY over the
+grain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.sqlgen import check_dialect, sql_identifier, sql_type
+from repro.errors import DeploymentError
+from repro.expressions.types import ScalarType
+from repro.mdmodel.model import Dimension, Fact, MDSchema
+
+
+def dimension_table_name(dimension: Dimension) -> str:
+    return f"dim_{dimension.name}"
+
+
+def dimension_columns(dimension: Dimension) -> Dict[str, ScalarType]:
+    """All level attributes of a dimension, base level first."""
+    columns: Dict[str, ScalarType] = {}
+    for level in dimension.levels.values():
+        for attribute in level.attributes:
+            if attribute.name not in columns:
+                columns[attribute.name] = attribute.type
+    return columns
+
+
+def fact_columns(schema: MDSchema, fact: Fact) -> Dict[str, ScalarType]:
+    """Grain columns (typed via the linked dimensions) plus measures."""
+    columns: Dict[str, ScalarType] = {}
+    available: Dict[str, ScalarType] = {}
+    for link in fact.links:
+        dimension = schema.dimension(link.dimension)
+        for name, scalar_type in dimension_columns(dimension).items():
+            available.setdefault(name, scalar_type)
+    for column in fact.grain:
+        if column in columns:
+            continue
+        if column not in available:
+            raise DeploymentError(
+                f"fact {fact.name!r}: grain column {column!r} is not an "
+                f"attribute of any linked dimension"
+            )
+        columns[column] = available[column]
+    for measure in fact.measures.values():
+        if measure.name in columns:
+            raise DeploymentError(
+                f"fact {fact.name!r}: measure {measure.name!r} collides "
+                f"with a grain column"
+            )
+        columns[measure.name] = measure.type
+    return columns
+
+
+def create_table_statement(
+    table: str,
+    columns: Dict[str, ScalarType],
+    primary_key: Optional[List[str]] = None,
+    dialect: str = "postgres",
+) -> str:
+    check_dialect(dialect)
+    lines = [f"CREATE TABLE {sql_identifier(table)} ("]
+    parts = [
+        f"  {sql_identifier(name)} {sql_type(scalar_type, dialect)}"
+        for name, scalar_type in columns.items()
+    ]
+    if primary_key:
+        rendered = ", ".join(sql_identifier(column) for column in primary_key)
+        parts.append(f"  PRIMARY KEY( {rendered} )")
+    lines.append(",\n".join(parts))
+    lines.append(");")
+    return "\n".join(lines)
+
+
+def generate(
+    schema: MDSchema,
+    dialect: str = "postgres",
+    database_name: Optional[str] = None,
+) -> str:
+    """The full DDL script for an MD schema."""
+    check_dialect(dialect)
+    statements: List[str] = []
+    if database_name is not None and dialect == "postgres":
+        statements.append(f"CREATE DATABASE {sql_identifier(database_name)};")
+    for dimension in schema.dimensions.values():
+        statements.append(
+            create_table_statement(
+                dimension_table_name(dimension),
+                dimension_columns(dimension),
+                dialect=dialect,
+            )
+        )
+    for fact in schema.facts.values():
+        statements.append(
+            create_table_statement(
+                fact.name,
+                fact_columns(schema, fact),
+                primary_key=list(dict.fromkeys(fact.grain)) or None,
+                dialect=dialect,
+            )
+        )
+    return "\n\n".join(statements) + "\n"

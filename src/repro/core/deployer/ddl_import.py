@@ -1,0 +1,168 @@
+"""SQL-DDL import parser: CREATE TABLE script -> MD schema.
+
+The metadata layer "offers plug-in capabilities for adding import and
+export parsers, for supporting various external notations (e.g., SQL,
+...)" (§2.5).  This is the SQL *import* direction: it reads a star/
+constellation DDL script (the dialect our own generator emits, which is
+plain enough to cover hand-written scripts of the same shape) and
+reconstructs an :class:`repro.mdmodel.model.MDSchema`:
+
+* every ``dim_<name>`` table becomes a dimension with one level holding
+  all its columns,
+* every other table becomes a fact: columns covered by some dimension's
+  attributes form the grain (and the fact-dimension links), the rest
+  become SUM measures.
+
+Round-trip guarantee: ``import(export(schema))`` preserves table names,
+columns, grains and measure names (hierarchy structure beyond one level
+and ontology provenance are not expressible in DDL and are lost — which
+is exactly why xMD, not SQL, is the system's canonical format).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.errors import FormatError
+from repro.expressions.types import ScalarType
+from repro.mdmodel.model import (
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+
+_CREATE_RE = re.compile(
+    r"CREATE\s+TABLE\s+(?P<name>\"[^\"]+\"|\w+)\s*\((?P<body>.*?)\)\s*;",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_PK_RE = re.compile(r"PRIMARY\s+KEY\s*\(\s*(?P<columns>[^)]*)\)", re.IGNORECASE)
+
+_TYPE_MAP = {
+    "bigint": ScalarType.INTEGER,
+    "integer": ScalarType.INTEGER,
+    "int": ScalarType.INTEGER,
+    "double precision": ScalarType.DECIMAL,
+    "real": ScalarType.DECIMAL,
+    "numeric": ScalarType.DECIMAL,
+    "boolean": ScalarType.BOOLEAN,
+    "date": ScalarType.DATE,
+    "text": ScalarType.STRING,
+}
+
+
+def loads(script: str, name: str = "imported") -> MDSchema:
+    """Parse a DDL script into an MD schema."""
+    tables = _parse_tables(script)
+    if not tables:
+        raise FormatError("no CREATE TABLE statements found")
+    schema = MDSchema(name=name)
+    dimension_tables = {
+        table_name: columns
+        for table_name, (columns, __) in tables.items()
+        if table_name.startswith("dim_")
+    }
+    attribute_owner: Dict[str, List[str]] = {}
+    for table_name, columns in dimension_tables.items():
+        dimension_name = table_name[len("dim_"):]
+        dimension = Dimension(name=dimension_name)
+        level = Level(
+            name=dimension_name,
+            attributes=[
+                LevelAttribute(column, scalar_type)
+                for column, scalar_type in columns.items()
+            ],
+        )
+        dimension.add_level(level)
+        dimension.add_hierarchy(
+            Hierarchy(name=dimension_name, levels=[dimension_name])
+        )
+        schema.add_dimension(dimension)
+        for column in columns:
+            attribute_owner.setdefault(column, []).append(dimension_name)
+    for table_name, (columns, primary_key) in tables.items():
+        if table_name.startswith("dim_"):
+            continue
+        fact = Fact(name=table_name)
+        for column, scalar_type in columns.items():
+            owners = attribute_owner.get(column)
+            if owners:
+                fact.grain.append(column)
+                for owner in owners:
+                    if fact.link_for(owner) is None:
+                        fact.link_dimension(owner, owner)
+            else:
+                fact.add_measure(
+                    Measure(name=column, expression=column, type=scalar_type)
+                )
+        if primary_key:
+            # Trust the declared key over the inference when present.
+            fact.grain = [c for c in primary_key if c in columns]
+        schema.add_fact(fact)
+    return schema
+
+
+def _parse_tables(script: str) -> Dict[str, Tuple[Dict[str, ScalarType], List[str]]]:
+    tables: Dict[str, Tuple[Dict[str, ScalarType], List[str]]] = {}
+    for match in _CREATE_RE.finditer(script):
+        table_name = match.group("name").strip('"')
+        body = match.group("body")
+        columns: Dict[str, ScalarType] = {}
+        primary_key: List[str] = []
+        for part in _split_columns(body):
+            part = part.strip()
+            if not part:
+                continue
+            pk_match = _PK_RE.match(part)
+            if pk_match:
+                primary_key = [
+                    column.strip().strip('"')
+                    for column in pk_match.group("columns").split(",")
+                    if column.strip()
+                ]
+                continue
+            column_name, scalar_type = _parse_column(part, table_name)
+            columns[column_name] = scalar_type
+        tables[table_name] = (columns, primary_key)
+    return tables
+
+
+def _split_columns(body: str) -> List[str]:
+    """Split on top-level commas (VARCHAR(255) has nested parens)."""
+    parts: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in body:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_column(text: str, table: str) -> Tuple[str, ScalarType]:
+    pieces = text.split(None, 1)
+    if len(pieces) != 2:
+        raise FormatError(f"table {table!r}: cannot parse column {text!r}")
+    column_name = pieces[0].strip('"')
+    type_text = pieces[1].strip().lower()
+    if type_text.startswith("varchar") or type_text.startswith("char"):
+        return column_name, ScalarType.STRING
+    for sql_name, scalar_type in _TYPE_MAP.items():
+        if type_text.startswith(sql_name):
+            return column_name, scalar_type
+    raise FormatError(
+        f"table {table!r}: unknown SQL type {pieces[1]!r} for column "
+        f"{column_name!r}"
+    )

@@ -1,0 +1,210 @@
+"""Apache Pig Latin export of ETL flows.
+
+§2.5 names Apache PigLatin as one of the external notations the
+metadata layer's plug-in parsers support.  This exporter renders an xLM
+flow as a Pig Latin script: one relation definition per operation, in
+topological order, with a ``STORE`` per loader.
+
+The translation targets classic Pig idioms:
+
+* ``Datastore``  -> ``LOAD '<table>' USING PigStorage() AS (...)``
+* ``Selection``  -> ``FILTER ... BY <predicate>``
+* ``Projection``/``Extraction`` -> ``FOREACH ... GENERATE col, ...``
+* ``Join``       -> ``JOIN left BY (...), right BY (...)``
+* ``Aggregation``-> ``GROUP`` + ``FOREACH ... GENERATE`` with aggregates
+* ``Distinct``   -> ``DISTINCT``
+* ``Union``      -> ``UNION``
+* ``Sort``       -> ``ORDER ... BY``
+* ``Loader``     -> ``STORE ... INTO '<table>'``
+
+Pig aliases must be identifiers; node names qualify already.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import DeploymentError
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Aggregation,
+    Datastore,
+    DerivedAttribute,
+    Distinct,
+    Extraction,
+    Join,
+    Loader,
+    Operation,
+    Projection,
+    Rename,
+    Selection,
+    Sort,
+    SurrogateKey,
+    UnionOp,
+)
+from repro.expressions import ast, parse
+
+_PIG_AGGREGATES = {
+    "SUM": "SUM",
+    "AVERAGE": "AVG",
+    "MIN": "MIN",
+    "MAX": "MAX",
+    "COUNT": "COUNT",
+}
+
+
+def generate(flow: EtlFlow) -> str:
+    """Render a flow as a Pig Latin script."""
+    lines: List[str] = [f"-- Pig Latin export of flow '{flow.name}'"]
+    if flow.requirements:
+        lines.append(
+            f"-- satisfies requirements: {', '.join(sorted(flow.requirements))}"
+        )
+    lines.append("")
+    for name in flow.topological_order():
+        lines.extend(_statement(flow, flow.node(name)))
+    return "\n".join(lines) + "\n"
+
+
+def _statement(flow: EtlFlow, operation: Operation) -> List[str]:
+    inputs = flow.inputs(operation.name)
+    alias = operation.name
+    if isinstance(operation, Datastore):
+        schema = (
+            ", ".join(f"{column}" for column in operation.columns)
+            if operation.columns
+            else ""
+        )
+        as_clause = f" AS ({schema})" if schema else ""
+        return [
+            f"{alias} = LOAD '{operation.table}' USING PigStorage()"
+            f"{as_clause};"
+        ]
+    if isinstance(operation, (Extraction, Projection)):
+        columns = ", ".join(operation.columns)
+        return [f"{alias} = FOREACH {inputs[0]} GENERATE {columns};"]
+    if isinstance(operation, Selection):
+        predicate = _pig_expression(parse(operation.predicate))
+        return [f"{alias} = FILTER {inputs[0]} BY {predicate};"]
+    if isinstance(operation, Join):
+        left_keys = ", ".join(operation.left_keys)
+        right_keys = ", ".join(operation.right_keys)
+        kind = " LEFT OUTER" if operation.join_type == "left" else ""
+        return [
+            f"{alias} = JOIN {inputs[0]} BY ({left_keys}){kind}, "
+            f"{inputs[1]} BY ({right_keys});"
+        ]
+    if isinstance(operation, Aggregation):
+        group_alias = f"{alias}_grouped"
+        if operation.group_by:
+            keys = ", ".join(operation.group_by)
+            group_line = f"{group_alias} = GROUP {inputs[0]} BY ({keys});"
+            key_refs = [f"group.{column}" for column in operation.group_by]
+        else:
+            group_line = f"{group_alias} = GROUP {inputs[0]} ALL;"
+            key_refs = []
+        outputs = list(key_refs)
+        for spec in operation.aggregates:
+            function = _PIG_AGGREGATES.get(spec.function)
+            if function is None:
+                raise DeploymentError(
+                    f"no Pig aggregate for {spec.function!r}"
+                )
+            outputs.append(
+                f"{function}({inputs[0]}.{spec.input}) AS {spec.output}"
+            )
+        generate_line = (
+            f"{alias} = FOREACH {group_alias} GENERATE "
+            f"{', '.join(outputs)};"
+        )
+        return [group_line, generate_line]
+    if isinstance(operation, DerivedAttribute):
+        expression = _pig_expression(parse(operation.expression))
+        return [
+            f"{alias} = FOREACH {inputs[0]} GENERATE *, "
+            f"{expression} AS {operation.output};"
+        ]
+    if isinstance(operation, Rename):
+        # Pig renames via FOREACH..GENERATE; columns not listed are
+        # dropped, so only the renamed columns survive here — the
+        # generated flows never rely on passthrough across a Rename.
+        renames = ", ".join(f"{old} AS {new}" for old, new in operation.renaming)
+        return [
+            f"-- rename: {renames}",
+            f"{alias} = FOREACH {inputs[0]} GENERATE {renames};",
+        ]
+    if isinstance(operation, Distinct):
+        return [f"{alias} = DISTINCT {inputs[0]};"]
+    if isinstance(operation, UnionOp):
+        return [f"{alias} = UNION {inputs[0]}, {inputs[1]};"]
+    if isinstance(operation, Sort):
+        keys = ", ".join(f"{key} ASC" for key in operation.keys)
+        return [f"{alias} = ORDER {inputs[0]} BY {keys};"]
+    if isinstance(operation, SurrogateKey):
+        return [
+            f"{alias} = RANK {inputs[0]} BY "
+            f"{', '.join(operation.business_keys)} DENSE;",
+        ]
+    if isinstance(operation, Loader):
+        return [
+            f"STORE {inputs[0]} INTO '{operation.table}' USING PigStorage();"
+        ]
+    raise DeploymentError(
+        f"operation kind {operation.kind!r} has no Pig rendering"
+    )
+
+
+_PIG_OPERATORS = {
+    "=": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "and": "AND",
+    "or": "OR",
+}
+
+
+def _pig_expression(node: ast.Expression) -> str:
+    """Render an expression AST in Pig Latin syntax."""
+    if isinstance(node, ast.Literal):
+        value = node.value
+        if value is None:
+            return "null"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            escaped = value.replace("'", "\\'")
+            return f"'{escaped}'"
+        import datetime
+
+        if isinstance(value, datetime.date):
+            return f"ToDate('{value.isoformat()}')"
+        return repr(value)
+    if isinstance(node, ast.Attribute):
+        return node.name
+    if isinstance(node, ast.UnaryOp):
+        inner = _pig_expression(node.operand)
+        if node.operator == "not":
+            return f"NOT ({inner})"
+        return f"-({inner})"
+    if isinstance(node, ast.BinaryOp):
+        left = _pig_expression(node.left)
+        right = _pig_expression(node.right)
+        if node.operator == "in":
+            return f"{left} IN {right}"
+        return f"({left} {_PIG_OPERATORS[node.operator]} {right})"
+    if isinstance(node, ast.ValueList):
+        return f"({', '.join(_pig_expression(item) for item in node.items)})"
+    if isinstance(node, ast.FunctionCall):
+        arguments = ", ".join(
+            _pig_expression(argument) for argument in node.arguments
+        )
+        return f"{node.name.upper()}({arguments})"
+    raise DeploymentError(f"cannot render {node!r} in Pig Latin")

@@ -1,0 +1,152 @@
+"""Pure-SQL rendering of an ETL flow (INSERT INTO ... SELECT).
+
+For platforms without an ETL engine, the registry's ``sql`` exporter
+renders each loader's upstream as a chain of common table expressions:
+
+.. code-block:: sql
+
+    TRUNCATE TABLE fact_table_revenue;
+    WITH "DATASTORE_lineitem" AS (SELECT ... FROM lineitem),
+         ...
+    INSERT INTO fact_table_revenue SELECT * FROM "AGG_fact_table_revenue";
+
+One statement group per loader, covering exactly its upstream closure.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.sqlgen import check_dialect, sql_expression, sql_identifier
+from repro.errors import DeploymentError
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Aggregation,
+    Datastore,
+    DerivedAttribute,
+    Distinct,
+    Extraction,
+    Join,
+    Loader,
+    Operation,
+    Projection,
+    Rename,
+    Selection,
+    Sort,
+    SurrogateKey,
+    UnionOp,
+)
+from repro.expressions import parse
+
+
+def generate(flow: EtlFlow, dialect: str = "postgres") -> str:
+    """Render the whole flow as a SQL script (one block per loader)."""
+    check_dialect(dialect)
+    blocks: List[str] = []
+    for sink in flow.sinks():
+        operation = flow.node(sink)
+        if not isinstance(operation, Loader):
+            raise DeploymentError(
+                f"flow sink {sink!r} is not a loader; cannot render as SQL"
+            )
+        blocks.append(_loader_block(flow, operation, dialect))
+    return "\n\n".join(blocks) + "\n"
+
+
+def _loader_block(flow: EtlFlow, loader: Loader, dialect: str) -> str:
+    upstream = flow.upstream(loader.name)
+    order = [name for name in flow.topological_order() if name in upstream]
+    ctes = []
+    for name in order:
+        select = _render_node(flow, flow.node(name), dialect)
+        ctes.append(f"{sql_identifier(name)} AS (\n  {select}\n)")
+    final_input = flow.inputs(loader.name)[0]
+    lines = []
+    if loader.mode == "replace":
+        lines.append(f"TRUNCATE TABLE {sql_identifier(loader.table)};")
+    lines.append("WITH " + ",\n".join(ctes))
+    lines.append(
+        f"INSERT INTO {sql_identifier(loader.table)} "
+        f"SELECT * FROM {sql_identifier(final_input)};"
+    )
+    return "\n".join(lines)
+
+
+def _render_node(flow: EtlFlow, operation: Operation, dialect: str) -> str:
+    inputs = [sql_identifier(name) for name in flow.inputs(operation.name)]
+    if isinstance(operation, Datastore):
+        columns = (
+            ", ".join(sql_identifier(c) for c in operation.columns)
+            if operation.columns
+            else "*"
+        )
+        return f"SELECT {columns} FROM {sql_identifier(operation.table)}"
+    if isinstance(operation, (Extraction, Projection)):
+        columns = ", ".join(sql_identifier(c) for c in operation.columns)
+        return f"SELECT {columns} FROM {inputs[0]}"
+    if isinstance(operation, Selection):
+        predicate = sql_expression(parse(operation.predicate), dialect)
+        return f"SELECT * FROM {inputs[0]} WHERE {predicate}"
+    if isinstance(operation, Join):
+        return _render_join(flow, operation, inputs, dialect)
+    if isinstance(operation, Aggregation):
+        parts = [sql_identifier(c) for c in operation.group_by]
+        for spec in operation.aggregates:
+            function = "AVG" if spec.function == "AVERAGE" else spec.function
+            parts.append(
+                f"{function}({sql_identifier(spec.input)}) AS "
+                f"{sql_identifier(spec.output)}"
+            )
+        select = f"SELECT {', '.join(parts)} FROM {inputs[0]}"
+        if operation.group_by:
+            group = ", ".join(sql_identifier(c) for c in operation.group_by)
+            select += f" GROUP BY {group}"
+        return select
+    if isinstance(operation, DerivedAttribute):
+        expression = sql_expression(parse(operation.expression), dialect)
+        return (
+            f"SELECT *, {expression} AS "
+            f"{sql_identifier(operation.output)} FROM {inputs[0]}"
+        )
+    if isinstance(operation, Rename):
+        raise DeploymentError(
+            "Rename cannot be rendered without schema information; "
+            "resolve renames before SQL export"
+        )
+    if isinstance(operation, Distinct):
+        return f"SELECT DISTINCT * FROM {inputs[0]}"
+    if isinstance(operation, SurrogateKey):
+        keys = ", ".join(sql_identifier(c) for c in operation.business_keys)
+        return (
+            f"SELECT DENSE_RANK() OVER (ORDER BY {keys}) AS "
+            f"{sql_identifier(operation.output)}, * FROM {inputs[0]}"
+        )
+    if isinstance(operation, Sort):
+        keys = ", ".join(sql_identifier(c) for c in operation.keys)
+        return f"SELECT * FROM {inputs[0]} ORDER BY {keys}"
+    if isinstance(operation, UnionOp):
+        return f"SELECT * FROM {inputs[0]} UNION ALL SELECT * FROM {inputs[1]}"
+    raise DeploymentError(
+        f"operation kind {operation.kind!r} has no SQL rendering"
+    )
+
+
+def _render_join(
+    flow: EtlFlow, operation: Join, inputs: List[str], dialect: str
+) -> str:
+    join_word = "LEFT JOIN" if operation.join_type == "left" else "JOIN"
+    same_named = all(
+        left == right
+        for left, right in zip(operation.left_keys, operation.right_keys)
+    )
+    if same_named:
+        using = ", ".join(sql_identifier(c) for c in operation.left_keys)
+        return (
+            f"SELECT * FROM {inputs[0]} {join_word} {inputs[1]} "
+            f"USING ({using})"
+        )
+    conditions = " AND ".join(
+        f"{inputs[0]}.{sql_identifier(left)} = {inputs[1]}.{sql_identifier(right)}"
+        for left, right in zip(operation.left_keys, operation.right_keys)
+    )
+    return f"SELECT * FROM {inputs[0]} {join_word} {inputs[1]} ON {conditions}"

@@ -1,0 +1,20 @@
+"""The Design Integrator (§2.3): MD and ETL consolidation modules.
+
+* :mod:`repro.core.integrator.md_integrator` — the MD Schema Integrator
+  with its four stages (matching facts, matching dimensions,
+  complementing, integration) driven by the structural-complexity cost
+  model [6],
+* :mod:`repro.core.integrator.etl_integrator` — the ETL Process
+  Integrator: largest-overlap consolidation boosted by equivalence-rule
+  alignment and checked against the configurable cost model [5].
+"""
+
+from repro.core.integrator.etl_integrator import EtlConsolidation, EtlIntegrator
+from repro.core.integrator.md_integrator import MDIntegration, MDIntegrator
+
+__all__ = [
+    "EtlConsolidation",
+    "EtlIntegrator",
+    "MDIntegration",
+    "MDIntegrator",
+]

@@ -1,0 +1,355 @@
+"""The MD Schema Integrator.
+
+"This module semi-automatically integrates partial MD schemas.  MD
+Schema Integrator comprises four stages, namely matching facts, matching
+dimensions, complementing the MD schema design, and integration.  [...]
+MD Schema Integrator automatically guarantees MD-compliant results and
+produces the optimal solution by applying cost models that capture
+different quality factors (e.g., structural design complexity)." (§2.3)
+
+Stage semantics here:
+
+1. **matching facts** — a partial fact matches a unified fact when both
+   originate from the same ontology concept *and* reference the same
+   set of dimension base concepts (equal granularity); only then can
+   their measures live in one fact table,
+2. **matching dimensions** — ontology-provenance-driven conformance
+   (see :mod:`repro.mdmodel.conformance`),
+3. **complementing** — a matched dimension absorbs the partner's extra
+   levels, attributes and hierarchies (the union merge),
+4. **integration** — for every match the integrator compares the
+   structural complexity of *merging* against *keeping separate* and
+   applies the cheaper sound alternative; unmatched elements are added
+   (renamed on collision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.errors import IntegrationError
+from repro.mdmodel import complexity, conformance, constraints
+from repro.mdmodel.complexity import ComplexityWeights, DEFAULT_WEIGHTS
+from repro.mdmodel.model import Dimension, Fact, MDSchema
+
+
+@dataclass(frozen=True)
+class IntegrationDecision:
+    """One integration step, for the report shown to the user."""
+
+    kind: str  # fact | dimension
+    partial_element: str
+    action: str  # merged | added | renamed
+    unified_element: str
+    detail: str = ""
+
+
+@dataclass
+class MDIntegration:
+    """Result of integrating one partial schema."""
+
+    schema: MDSchema
+    decisions: List[IntegrationDecision] = field(default_factory=list)
+    complexity_before: float = 0.0
+    complexity_after: float = 0.0
+    complexity_naive: float = 0.0
+
+    @property
+    def saving(self) -> float:
+        """Complexity saved versus naive duplication."""
+        return self.complexity_naive - self.complexity_after
+
+
+class MDIntegrator:
+    """Integrates partial MD schemas into a unified schema."""
+
+    def __init__(self, weights: ComplexityWeights = DEFAULT_WEIGHTS) -> None:
+        self._weights = weights
+
+    def integrate(self, unified: MDSchema, partial: MDSchema) -> MDIntegration:
+        """Produce a new unified schema absorbing the partial one.
+
+        The input schemas are not mutated.  The result is validated
+        against the MD integrity constraints before being returned.
+        """
+        before = complexity.score(unified, self._weights)
+        result_schema = unified.copy()
+        decisions: List[IntegrationDecision] = []
+
+        # Stage 2 first: dimension matches inform fact granularity
+        # comparison in stage 1.
+        dimension_mapping = self._integrate_dimensions(
+            result_schema, partial, decisions
+        )
+        self._integrate_facts(result_schema, partial, dimension_mapping, decisions)
+
+        constraints.check(result_schema)
+        after = complexity.score(result_schema, self._weights)
+        naive = before + complexity.score(partial, self._weights)
+        return MDIntegration(
+            schema=result_schema,
+            decisions=decisions,
+            complexity_before=before,
+            complexity_after=after,
+            complexity_naive=naive,
+        )
+
+    # -- dimensions ----------------------------------------------------------
+
+    def _integrate_dimensions(
+        self,
+        unified: MDSchema,
+        partial: MDSchema,
+        decisions: List[IntegrationDecision],
+    ) -> Dict[str, str]:
+        """Returns partial dimension name -> unified dimension name."""
+        mapping: Dict[str, str] = {}
+        for dimension in partial.dimensions.values():
+            match = self._find_dimension_match(unified, dimension)
+            if match is not None and self._merge_is_cheaper(
+                unified, match, dimension
+            ):
+                merged = conformance.merge_dimensions(
+                    unified.dimension(match), dimension
+                )
+                unified.dimensions[match] = merged
+                mapping[dimension.name] = match
+                decisions.append(
+                    IntegrationDecision(
+                        kind="dimension",
+                        partial_element=dimension.name,
+                        action="merged",
+                        unified_element=match,
+                        detail=(
+                            f"conformed; levels now "
+                            f"{sorted(merged.levels)}"
+                        ),
+                    )
+                )
+                continue
+            new_name = _fresh_name(dimension.name, unified.dimensions)
+            clone = _copy_dimension(dimension, new_name)
+            unified.add_dimension(clone)
+            mapping[dimension.name] = new_name
+            decisions.append(
+                IntegrationDecision(
+                    kind="dimension",
+                    partial_element=dimension.name,
+                    action="added" if new_name == dimension.name else "renamed",
+                    unified_element=new_name,
+                )
+            )
+        return mapping
+
+    def _find_dimension_match(
+        self, unified: MDSchema, dimension: Dimension
+    ) -> Optional[str]:
+        """A unified dimension the partial one can conform with.
+
+        Beyond level conformance, the *base* concepts must coincide: a
+        Nation-rooted dimension shares its Nation/Region levels with a
+        Supplier-rooted one, but merging them would re-root one fact's
+        granularity inside another dimension's hierarchy (and lose the
+        nations that have no supplier in the dimension table).
+        """
+        wanted_bases = _base_concepts(dimension)
+        for candidate in unified.dimensions.values():
+            if _base_concepts(candidate) != wanted_bases:
+                continue
+            if conformance.dimensions_conformable(candidate, dimension):
+                return candidate.name
+        return None
+
+    def _merge_is_cheaper(
+        self, unified: MDSchema, match: str, dimension: Dimension
+    ) -> bool:
+        """Stage-4 cost check: merged versus kept-separate complexity.
+
+        With the default weights merging always wins (shared structure
+        is counted once); custom weight profiles can flip the decision,
+        which the A2 ablation exploits.
+        """
+        merged_trial = unified.copy()
+        merged_trial.dimensions[match] = conformance.merge_dimensions(
+            merged_trial.dimension(match), dimension
+        )
+        separate_trial = unified.copy()
+        separate_trial.add_dimension(
+            _copy_dimension(
+                dimension, _fresh_name(dimension.name, separate_trial.dimensions)
+            )
+        )
+        merged_score = complexity.score(merged_trial, self._weights)
+        separate_score = complexity.score(separate_trial, self._weights)
+        return merged_score <= separate_score
+
+    # -- facts ------------------------------------------------------------------
+
+    def _integrate_facts(
+        self,
+        unified: MDSchema,
+        partial: MDSchema,
+        dimension_mapping: Dict[str, str],
+        decisions: List[IntegrationDecision],
+    ) -> None:
+        for fact in partial.facts.values():
+            remapped = _remap_fact(fact, dimension_mapping)
+            self._fix_link_levels(unified, partial, fact, remapped)
+            match = self._find_fact_match(unified, remapped)
+            if match is not None:
+                self._merge_fact(unified.fact(match), remapped)
+                decisions.append(
+                    IntegrationDecision(
+                        kind="fact",
+                        partial_element=fact.name,
+                        action="merged",
+                        unified_element=match,
+                        detail="same concept and granularity; measures unioned",
+                    )
+                )
+                continue
+            new_name = _fresh_name(remapped.name, unified.facts)
+            remapped = replace_fact_name(remapped, new_name)
+            unified.add_fact(remapped)
+            decisions.append(
+                IntegrationDecision(
+                    kind="fact",
+                    partial_element=fact.name,
+                    action="added" if new_name == fact.name else "renamed",
+                    unified_element=new_name,
+                )
+            )
+
+    def _fix_link_levels(
+        self,
+        unified: MDSchema,
+        partial: MDSchema,
+        original: Fact,
+        remapped: Fact,
+    ) -> None:
+        """Re-point link levels renamed by a dimension merge.
+
+        When a partial level merged into a differently-named unified
+        level (matched by ontology concept), the fact link must follow.
+        """
+        from repro.mdmodel.model import FactDimensionLink
+
+        for index, link in enumerate(list(remapped.links)):
+            dimension = unified.dimension(link.dimension)
+            if dimension.has_level(link.level):
+                continue
+            original_link = original.links[index]
+            partial_level = partial.dimension(original_link.dimension).level(
+                original_link.level
+            )
+            counterpart = conformance.find_matching_level(
+                partial_level, dimension
+            )
+            if counterpart is None:
+                raise IntegrationError(
+                    f"fact {remapped.name!r}: level {link.level!r} has no "
+                    f"counterpart in merged dimension {link.dimension!r}"
+                )
+            remapped.links[index] = FactDimensionLink(
+                link.dimension, counterpart.name
+            )
+
+    def _find_fact_match(self, unified: MDSchema, fact: Fact) -> Optional[str]:
+        """Same concept + same granularity (linked dimension/level sets)."""
+        wanted = {(link.dimension, link.level) for link in fact.links}
+        for candidate in unified.facts.values():
+            if candidate.concept is None or candidate.concept != fact.concept:
+                continue
+            have = {(link.dimension, link.level) for link in candidate.links}
+            same_grain = sorted(candidate.grain) == sorted(fact.grain)
+            same_content = sorted(candidate.slicers) == sorted(fact.slicers)
+            if have == wanted and same_grain and same_content:
+                return candidate.name
+        return None
+
+    def _merge_fact(self, target: Fact, incoming: Fact) -> None:
+        target.requirements |= incoming.requirements
+        for measure in incoming.measures.values():
+            if measure.name in target.measures:
+                existing = target.measures[measure.name]
+                if existing.expression == measure.expression:
+                    existing.requirements |= measure.requirements
+                    continue
+                raise IntegrationError(
+                    f"measure name clash on {measure.name!r} with different "
+                    f"expressions in fact {target.name!r}"
+                )
+            target.add_measure(
+                replace(measure, requirements=set(measure.requirements))
+            )
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _base_concepts(dimension: Dimension) -> frozenset:
+    """Ontology concepts of a dimension's base (finest) levels."""
+    return frozenset(
+        dimension.level(base).concept for base in dimension.base_levels()
+    )
+
+
+def _fresh_name(name: str, existing: dict) -> str:
+    if name not in existing:
+        return name
+    suffix = 2
+    while f"{name}_{suffix}" in existing:
+        suffix += 1
+    return f"{name}_{suffix}"
+
+
+def _copy_dimension(dimension: Dimension, name: str) -> Dimension:
+    from repro.mdmodel.model import Hierarchy, Level
+
+    clone = Dimension(name=name, requirements=set(dimension.requirements))
+    for level in dimension.levels.values():
+        clone.add_level(
+            Level(
+                name=level.name,
+                attributes=list(level.attributes),
+                key=level.key,
+                concept=level.concept,
+            )
+        )
+    for hierarchy in dimension.hierarchies:
+        clone.add_hierarchy(Hierarchy(hierarchy.name, list(hierarchy.levels)))
+    return clone
+
+
+def _remap_fact(fact: Fact, dimension_mapping: Dict[str, str]) -> Fact:
+    remapped = Fact(
+        name=fact.name,
+        measures={
+            name: replace(measure, requirements=set(measure.requirements))
+            for name, measure in fact.measures.items()
+        },
+        links=[],
+        concept=fact.concept,
+        requirements=set(fact.requirements),
+        grain=list(fact.grain),
+        slicers=list(fact.slicers),
+    )
+    for link in fact.links:
+        remapped.link_dimension(
+            dimension_mapping.get(link.dimension, link.dimension), link.level
+        )
+    return remapped
+
+
+def replace_fact_name(fact: Fact, name: str) -> Fact:
+    """A copy of a fact under another name."""
+    return Fact(
+        name=name,
+        measures=fact.measures,
+        links=fact.links,
+        concept=fact.concept,
+        requirements=fact.requirements,
+        grain=fact.grain,
+        slicers=fact.slicers,
+    )

@@ -1,0 +1,26 @@
+"""The Requirements Interpreter.
+
+"Each information requirement defined by a user is then translated by
+the Requirements Interpreter to a partial DW design.  In particular,
+Requirements Interpreter maps an input information requirement to
+underlying data sources (i.e., by means of a domain ontology [...] and
+corresponding source schema mappings), and semi-automatically generates
+MD schema and ETL process designs that satisfy such requirement" (§2.2).
+
+The implementation follows the GEM approach [11]:
+
+* :mod:`repro.core.interpreter.mapper` — requirement -> ontology roles
+  (fact concept identification, dimension/slicer path discovery),
+* :mod:`repro.core.interpreter.md_generation` — partial MD schema,
+* :mod:`repro.core.interpreter.etl_generation` — partial ETL flow,
+* :mod:`repro.core.interpreter.interpreter` — the facade tying the
+  stages together and validating the outputs.
+"""
+
+from repro.core.interpreter.interpreter import (
+    Interpreter,
+    PartialDesign,
+)
+from repro.core.interpreter.mapper import RequirementMapping
+
+__all__ = ["Interpreter", "PartialDesign", "RequirementMapping"]

@@ -1,0 +1,383 @@
+"""Partial ETL flow generation from a mapped requirement.
+
+Produces one xLM flow that populates the partial star:
+
+* a **fact branch**: extractions of the needed source tables, the join
+  tree along the requirement's to-one paths, slicer selections, derived
+  measures, the aggregation at the requested granularity, and a loader
+  into the fact table,
+* one **dimension branch** per (non-degenerate) dimension: the join
+  chain over the complement levels, a projection to the level
+  attributes, a duplicate-removing Distinct and a loader into
+  ``dim_<name>``.
+
+Branches share extraction nodes per source table (columns are the union
+of all needs), so the generated flow already reuses source reads — the
+seed the ETL Process Integrator later builds on across requirements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.interpreter.mapper import RequirementMapping
+from repro.errors import InterpretationError
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    Distinct,
+    Extraction,
+    Join,
+    Loader,
+    Projection,
+    Selection,
+)
+from repro.expressions import parse
+from repro.expressions.ast import substitute
+from repro.mdmodel.model import MDSchema
+from repro.ontology.graph import OntologyGraph, PathStep
+from repro.ontology.model import Ontology
+from repro.sources.mappings import SourceMappings
+from repro.sources.schema import SourceSchema
+
+
+class EtlGenerator:
+    """Generates partial ETL flows."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        schema: SourceSchema,
+        mappings: SourceMappings,
+    ) -> None:
+        self._ontology = ontology
+        self._graph = OntologyGraph(ontology)
+        self._schema = schema
+        self._mappings = mappings
+
+    def generate(self, mapping: RequirementMapping, md_schema: MDSchema) -> EtlFlow:
+        """Build the partial flow for one requirement + its partial star."""
+        builder = _FlowBuilder(self, mapping, md_schema)
+        return builder.build()
+
+    # -- shared lookups -----------------------------------------------------
+
+    def table_of(self, concept: str) -> str:
+        return self._mappings.table_of(concept)
+
+    def column_of(self, property_id: str) -> str:
+        return self._mappings.property_column(property_id)
+
+    def property_renaming(self, property_ids) -> Dict[str, str]:
+        """property id -> source column, for expression substitution."""
+        return {
+            property_id: self.column_of(property_id)
+            for property_id in property_ids
+        }
+
+    def join_columns(self, step: PathStep) -> Tuple[str, List[Tuple[str, str]], str]:
+        return self._mappings.join_columns(
+            self._ontology, self._schema, step.property_id, step.forward
+        )
+
+    def to_one_step(self, source: str, target: str) -> PathStep:
+        """The to-one hop between two adjacent concepts."""
+        for step in self._graph.to_one_neighbours(source):
+            if step.target == target:
+                return step
+        raise InterpretationError(
+            f"no to-one relationship from {source!r} to {target!r}"
+        )
+
+
+#: Sentinel marking a synthesised calendar dimension in the chains map.
+TIME_DIMENSION = "::time::"
+
+
+class _FlowBuilder:
+    """One flow construction (mutable state lives here)."""
+
+    def __init__(self, generator, mapping, md_schema) -> None:
+        self._gen = generator
+        self._mapping = mapping
+        self._md = md_schema
+        requirement = mapping.requirement
+        self._requirement = requirement
+        self._flow = EtlFlow(
+            name=f"etl_{requirement.id}", requirements={requirement.id}
+        )
+        #: table -> set of needed columns (for shared extraction nodes)
+        self._table_columns: Dict[str, Set[str]] = {}
+        self._join_counter: Dict[str, int] = {}
+        self._renaming = self._gen.property_renaming(
+            requirement.referenced_properties()
+        )
+
+    # -- public ---------------------------------------------------------------
+
+    def build(self) -> EtlFlow:
+        fact_steps = self._fact_steps()
+        dimension_chains = self._dimension_chains()
+        self._collect_columns(fact_steps, dimension_chains)
+        self._create_extractions()
+        fact_tree = self._build_join_tree(
+            start_table=self._gen.table_of(self._mapping.fact_concept),
+            steps=fact_steps,
+            prefix="",
+        )
+        self._build_fact_branch(fact_tree)
+        for dimension_name, chains in dimension_chains.items():
+            self._build_dimension_branch(dimension_name, chains)
+        return self._flow
+
+    # -- planning -----------------------------------------------------------------
+
+    def _fact_steps(self) -> List[PathStep]:
+        """Deduplicated join steps of all fact-branch paths, BFS order."""
+        steps: List[PathStep] = []
+        seen = set()
+        concepts = (
+            self._mapping.measure_concepts()
+            + self._mapping.dimension_concepts()
+            + self._mapping.slicer_concepts()
+        )
+        for concept in concepts:
+            if concept == self._mapping.fact_concept:
+                continue
+            for step in self._mapping.path_to(concept).steps:
+                key = (step.property_id, step.forward)
+                if key in seen:
+                    continue
+                seen.add(key)
+                steps.append(step)
+        return steps
+
+    def _dimension_chains(self) -> Dict[str, List[List[str]]]:
+        """dimension name -> concept chains (from the MD schema levels)."""
+        from repro.core.interpreter.md_generation import is_time_dimension
+
+        chains: Dict[str, List[List[str]]] = {}
+        for dimension in self._md.dimensions.values():
+            if is_time_dimension(dimension):
+                chains[dimension.name] = TIME_DIMENSION
+                continue
+            base_concepts = {
+                dimension.level(base).concept
+                for base in dimension.base_levels()
+            }
+            if base_concepts == {self._mapping.fact_concept}:
+                chains[dimension.name] = []  # degenerate dimension
+                continue
+            concept_chains = []
+            for hierarchy in dimension.hierarchies:
+                chain = [
+                    dimension.level(level_name).concept
+                    for level_name in hierarchy.levels
+                ]
+                concept_chains.append(chain)
+            chains[dimension.name] = concept_chains
+        return chains
+
+    def _collect_columns(self, fact_steps, dimension_chains) -> None:
+        fact_table = self._gen.table_of(self._mapping.fact_concept)
+        self._table_columns.setdefault(fact_table, set())
+        # Requirement property columns land on their concept's table.
+        for property_id in self._requirement.referenced_properties():
+            table = self._mappings_table_of_property(property_id)
+            self._table_columns.setdefault(table, set()).add(
+                self._gen.column_of(property_id)
+            )
+        # Join key columns for the fact branch.
+        for step in fact_steps:
+            left_table, pairs, right_table = self._gen.join_columns(step)
+            for left_column, right_column in pairs:
+                self._table_columns.setdefault(left_table, set()).add(left_column)
+                self._table_columns.setdefault(right_table, set()).add(right_column)
+        # Dimension branches: level attributes + chain join keys.
+        for dimension_name, chains in dimension_chains.items():
+            if chains == TIME_DIMENSION:
+                continue  # the date column is a requirement property
+            dimension = self._md.dimension(dimension_name)
+            for level in dimension.levels.values():
+                table = self._gen.table_of(level.concept)
+                for attribute in level.attributes:
+                    self._table_columns.setdefault(table, set()).add(
+                        attribute.name
+                    )
+            for chain in chains:
+                for source, target in zip(chain, chain[1:]):
+                    step = self._gen.to_one_step(source, target)
+                    left_table, pairs, right_table = self._gen.join_columns(step)
+                    for left_column, right_column in pairs:
+                        self._table_columns.setdefault(left_table, set()).add(
+                            left_column
+                        )
+                        self._table_columns.setdefault(right_table, set()).add(
+                            right_column
+                        )
+
+    def _mappings_table_of_property(self, property_id: str) -> str:
+        return self._gen._mappings.property_table(
+            self._gen._ontology, property_id
+        )
+
+    # -- node construction -------------------------------------------------------------
+
+    def _create_extractions(self) -> None:
+        for table, columns in self._table_columns.items():
+            self._flow.add(
+                Datastore(
+                    f"DATASTORE_{table}",
+                    table=table,
+                    columns=tuple(sorted(columns)),
+                )
+            )
+            self._flow.add(
+                Extraction(
+                    f"EXTRACTION_{table}", columns=tuple(sorted(columns))
+                )
+            )
+            self._flow.connect(f"DATASTORE_{table}", f"EXTRACTION_{table}")
+
+    def _build_join_tree(
+        self, start_table: str, steps: List[PathStep], prefix: str
+    ) -> str:
+        """Join the step targets into a tree; returns the root node name."""
+        tree_node = f"EXTRACTION_{start_table}"
+        for step in steps:
+            left_table, pairs, right_table = self._gen.join_columns(step)
+            join_name = self._fresh_join_name(prefix, right_table)
+            self._flow.add(
+                Join(
+                    join_name,
+                    left_keys=tuple(left for left, __ in pairs),
+                    right_keys=tuple(right for __, right in pairs),
+                )
+            )
+            self._flow.connect(tree_node, join_name)
+            self._flow.connect(f"EXTRACTION_{right_table}", join_name)
+            tree_node = join_name
+        return tree_node
+
+    def _fresh_join_name(self, prefix: str, right_table: str) -> str:
+        base = f"JOIN{prefix}_{right_table}"
+        count = self._join_counter.get(base, 0) + 1
+        self._join_counter[base] = count
+        return base if count == 1 else f"{base}_{count}"
+
+    def _build_fact_branch(self, tree_node: str) -> None:
+        requirement = self._requirement
+        current = tree_node
+        for index, slicer in enumerate(requirement.slicers, start=1):
+            predicate = substitute(parse(slicer.predicate), self._renaming)
+            selection = Selection(
+                f"SELECTION_{requirement.id}_{index}", predicate=str(predicate)
+            )
+            self._flow.add(selection)
+            self._flow.connect(current, selection.name)
+            current = selection.name
+        for measure in requirement.measures:
+            expression = substitute(parse(measure.expression), self._renaming)
+            derive = DerivedAttribute(
+                f"DERIVE_{measure.name}",
+                output=measure.name,
+                expression=str(expression),
+            )
+            self._flow.add(derive)
+            self._flow.connect(current, derive.name)
+            current = derive.name
+        fact = next(iter(self._md.facts.values()))
+        group_columns = tuple(fact.grain)
+        aggregation = Aggregation(
+            f"AGG_{fact.name}",
+            group_by=group_columns,
+            aggregates=tuple(
+                AggregationSpec(
+                    output=measure.name,
+                    function=requirement.aggregation_for(measure.name).value,
+                    input=measure.name,
+                )
+                for measure in requirement.measures
+            ),
+        )
+        self._flow.add(aggregation)
+        self._flow.connect(current, aggregation.name)
+        loader = Loader(f"LOAD_{fact.name}", table=fact.name, mode="replace")
+        self._flow.add(loader)
+        self._flow.connect(aggregation.name, loader.name)
+
+    def _build_dimension_branch(
+        self, dimension_name: str, chains: List[List[str]]
+    ) -> None:
+        if chains == TIME_DIMENSION:
+            self._build_time_dimension_branch(dimension_name)
+            return
+        dimension = self._md.dimension(dimension_name)
+        columns = []
+        for level in dimension.levels.values():
+            for attribute in level.attributes:
+                if attribute.name not in columns:
+                    columns.append(attribute.name)
+        if not chains:
+            # Degenerate dimension: project its column off the fact table.
+            source = f"EXTRACTION_{self._gen.table_of(self._mapping.fact_concept)}"
+        else:
+            steps: List[PathStep] = []
+            seen = set()
+            for chain in chains:
+                for source_concept, target_concept in zip(chain, chain[1:]):
+                    step = self._gen.to_one_step(source_concept, target_concept)
+                    key = (step.property_id, step.forward)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    steps.append(step)
+            base_concept = chains[0][0]
+            source = self._build_join_tree(
+                start_table=self._gen.table_of(base_concept),
+                steps=steps,
+                prefix=f"_dim_{dimension_name}",
+            )
+        table = f"dim_{dimension_name}"
+        projection = Projection(
+            f"PROJECT_{table}", columns=tuple(columns)
+        )
+        self._flow.add(projection)
+        self._flow.connect(source, projection.name)
+        distinct = Distinct(f"DISTINCT_{table}")
+        self._flow.add(distinct)
+        self._flow.connect(projection.name, distinct.name)
+        loader = Loader(f"LOAD_{table}", table=table, mode="replace")
+        self._flow.add(loader)
+        self._flow.connect(distinct.name, loader.name)
+
+    def _build_time_dimension_branch(self, dimension_name: str) -> None:
+        """date column -> derived month/quarter/year keys -> dim table."""
+        from repro.core.interpreter.md_generation import time_level_expressions
+
+        dimension = self._md.dimension(dimension_name)
+        base = dimension.level(dimension.base_levels()[0])
+        column = base.attributes[0].name
+        property_id = base.attributes[0].property
+        owner_concept = self._mapping.concept_of(property_id)
+        source = f"EXTRACTION_{self._gen.table_of(owner_concept)}"
+        table = f"dim_{dimension_name}"
+        current = Projection(f"PROJECT_{table}", columns=(column,))
+        self._flow.add(current)
+        self._flow.connect(source, current.name)
+        for output, expression in time_level_expressions(column):
+            derive = DerivedAttribute(
+                f"DERIVE_{output}", output=output, expression=expression
+            )
+            self._flow.add(derive)
+            self._flow.connect(current.name, derive.name)
+            current = derive
+        distinct = Distinct(f"DISTINCT_{table}")
+        self._flow.add(distinct)
+        self._flow.connect(current.name, distinct.name)
+        loader = Loader(f"LOAD_{table}", table=table, mode="replace")
+        self._flow.add(loader)
+        self._flow.connect(distinct.name, loader.name)

@@ -1,0 +1,168 @@
+"""Mapping a requirement onto the domain ontology.
+
+Decides the MD *roles* of the ontology elements a requirement touches:
+
+* the **fact concept** — the subject of analysis; the concept owning the
+  measure properties from which every dimension and slicer concept is
+  reachable over a to-one path (so each fact instance determines exactly
+  one coordinate per dimension: the MD base-granularity rule),
+* per analysis dimension and slicer, the **to-one path** from the fact
+  concept to the owning concept.
+
+Ambiguities are resolved deterministically: candidate fact concepts are
+ranked by (number of measure properties owned, to-one fan-out), and
+paths are shortest-first in ontology declaration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.requirements.model import InformationRequirement
+from repro.errors import InterpretationError
+from repro.expressions import parse
+from repro.ontology.graph import ConceptPath, OntologyGraph
+from repro.ontology.model import Ontology
+
+
+@dataclass
+class RequirementMapping:
+    """The resolved roles for one requirement."""
+
+    requirement: InformationRequirement
+    fact_concept: str
+    #: datatype property id -> owning concept
+    property_concepts: Dict[str, str] = field(default_factory=dict)
+    #: concept -> to-one path from the fact concept ('' path for itself)
+    concept_paths: Dict[str, ConceptPath] = field(default_factory=dict)
+
+    def path_to(self, concept: str) -> ConceptPath:
+        try:
+            return self.concept_paths[concept]
+        except KeyError:
+            raise InterpretationError(
+                f"no path from fact concept {self.fact_concept!r} to "
+                f"{concept!r}"
+            ) from None
+
+    def concept_of(self, property_id: str) -> str:
+        return self.property_concepts[property_id]
+
+    def dimension_concepts(self) -> List[str]:
+        """Owning concepts of the requirement's dimension properties."""
+        concepts = []
+        for dimension in self.requirement.dimensions:
+            concept = self.property_concepts[dimension.property]
+            if concept not in concepts:
+                concepts.append(concept)
+        return concepts
+
+    def slicer_concepts(self) -> List[str]:
+        concepts = []
+        for slicer in self.requirement.slicers:
+            for property_id in sorted(parse(slicer.predicate).attributes()):
+                concept = self.property_concepts[property_id]
+                if concept not in concepts:
+                    concepts.append(concept)
+        return concepts
+
+    def measure_concepts(self) -> List[str]:
+        """Owning concepts of every property a measure expression uses."""
+        concepts = []
+        for measure in self.requirement.measures:
+            for property_id in sorted(parse(measure.expression).attributes()):
+                concept = self.property_concepts[property_id]
+                if concept not in concepts:
+                    concepts.append(concept)
+        return concepts
+
+
+class RequirementMapper:
+    """Resolves requirements against one ontology."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self._ontology = ontology
+        self._graph = OntologyGraph(ontology)
+
+    def map(self, requirement: InformationRequirement) -> RequirementMapping:
+        """Resolve all roles; raises :class:`InterpretationError` when no
+        sound fact concept exists."""
+        requirement.check(self._ontology)
+        property_concepts = {
+            property_id: self._ontology.datatype_property(property_id).concept
+            for property_id in requirement.referenced_properties()
+        }
+        measure_concepts = self._measure_concepts(requirement, property_concepts)
+        target_concepts = [
+            concept
+            for concept in dict.fromkeys(property_concepts.values())
+        ]
+        fact_concept = self._choose_fact_concept(
+            measure_concepts, target_concepts, requirement
+        )
+        closure = self._graph.to_one_closure(fact_concept)
+        concept_paths = {fact_concept: ConceptPath(())}
+        for concept in target_concepts:
+            if concept == fact_concept:
+                continue
+            concept_paths[concept] = closure[concept]
+        return RequirementMapping(
+            requirement=requirement,
+            fact_concept=fact_concept,
+            property_concepts=property_concepts,
+            concept_paths=concept_paths,
+        )
+
+    def _measure_concepts(self, requirement, property_concepts) -> List[str]:
+        concepts: List[str] = []
+        for measure in requirement.measures:
+            for property_id in sorted(parse(measure.expression).attributes()):
+                concept = property_concepts[property_id]
+                if concept not in concepts:
+                    concepts.append(concept)
+        return concepts
+
+    def _choose_fact_concept(
+        self,
+        measure_concepts: List[str],
+        target_concepts: List[str],
+        requirement: InformationRequirement,
+    ) -> str:
+        """The measure concept whose to-one closure covers all targets.
+
+        The candidates are exactly the measure-property owners: measures
+        define the fact's granularity, so the fact concept must own at
+        least one of them (aggregating, say, a customer balance at part
+        granularity would double-count and is rejected as unsound).
+        """
+        viable = []
+        for candidate in measure_concepts:
+            closure = set(self._graph.to_one_closure(candidate))
+            closure.add(candidate)
+            if all(target in closure for target in target_concepts):
+                viable.append(candidate)
+        if not viable:
+            raise InterpretationError(
+                f"requirement {requirement.id!r}: no measure concept among "
+                f"{sorted(measure_concepts)} reaches all of "
+                f"{sorted(target_concepts)} over to-one paths; the "
+                f"requirement mixes granularities"
+            )
+        pool = list(viable)
+        pool.sort(
+            key=lambda concept: (
+                -self._count_measure_properties(concept, requirement),
+                -self._graph.fan_out(concept),
+                concept,
+            )
+        )
+        return pool[0]
+
+    def _count_measure_properties(self, concept: str, requirement) -> int:
+        count = 0
+        for measure in requirement.measures:
+            for property_id in parse(measure.expression).attributes():
+                if self._ontology.datatype_property(property_id).concept == concept:
+                    count += 1
+        return count

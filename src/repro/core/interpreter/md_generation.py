@@ -1,0 +1,312 @@
+"""Partial MD schema generation from a mapped requirement.
+
+One fact (named after the measures, Figure 3/4 style:
+``fact_table_revenue``) plus one dimension per analysis atom:
+
+* a property owned by a non-fact concept yields a dimension named after
+  that concept, complemented (optionally) with the coarser levels on its
+  outgoing to-one chains (Supplier -> Nation -> Region),
+* a property owned by the fact concept itself yields a *degenerate*
+  dimension holding just that attribute (e.g. ``l_shipmode``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.interpreter.mapper import RequirementMapping
+from repro.core.requirements.model import InformationRequirement
+from repro.errors import TypeCheckError
+from repro.expressions import infer_type, parse
+from repro.expressions.types import ScalarType
+from repro.mdmodel.model import (
+    Additivity,
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+from repro.ontology.graph import OntologyGraph
+from repro.ontology.model import Ontology
+from repro.sources.mappings import SourceMappings
+
+
+class MDGenerator:
+    """Generates partial MD schemas."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        mappings: SourceMappings,
+        complement: bool = True,
+        max_complement_depth: int = 3,
+    ) -> None:
+        self._ontology = ontology
+        self._graph = OntologyGraph(ontology)
+        self._mappings = mappings
+        self._complement = complement
+        self._max_depth = max_complement_depth
+
+    def generate(self, mapping: RequirementMapping) -> MDSchema:
+        """Build the partial star for one mapped requirement."""
+        requirement = mapping.requirement
+        schema = MDSchema(name=f"schema_{requirement.id}")
+        fact = self._build_fact(mapping)
+        for dimension_property in requirement.dimension_properties():
+            concept = mapping.concept_of(dimension_property)
+            prop = self._ontology.datatype_property(dimension_property)
+            if prop.range is ScalarType.DATE:
+                dimension = self._time_dimension(dimension_property, requirement)
+            elif concept == mapping.fact_concept:
+                dimension = self._degenerate_dimension(
+                    dimension_property, requirement
+                )
+            else:
+                dimension = self._concept_dimension(concept, mapping)
+            if not schema.has_dimension(dimension.name):
+                schema.add_dimension(dimension)
+            base = schema.dimension(dimension.name).base_levels()[0]
+            fact.link_dimension(dimension.name, base)
+        schema.add_fact(fact)
+        return schema
+
+    # -- fact -------------------------------------------------------------------
+
+    def _build_fact(self, mapping: RequirementMapping) -> Fact:
+        requirement = mapping.requirement
+        measure_names = "_".join(m.name for m in requirement.measures)
+        fact = Fact(
+            name=f"fact_table_{measure_names}",
+            concept=mapping.fact_concept,
+            requirements={requirement.id},
+            grain=[
+                self._mappings.property_column(dimension.property)
+                for dimension in requirement.dimensions
+            ],
+            slicers=sorted(
+                str(parse(slicer.predicate))
+                for slicer in requirement.slicers
+            ),
+        )
+        property_types = {
+            prop.id: prop.range for prop in self._ontology.datatype_properties()
+        }
+        from repro.mdmodel.model import AggregationFunction
+
+        for requirement_measure in requirement.measures:
+            measure_type = ScalarType.DECIMAL
+            try:
+                inferred = infer_type(
+                    parse(requirement_measure.expression), property_types
+                )
+                if inferred is not None:
+                    measure_type = inferred
+            except TypeCheckError:
+                pass  # requirement.check already reported; keep default
+            # The stored type is the *aggregated* type: averaging an
+            # integer yields a decimal, counting anything an integer.
+            aggregation = requirement.aggregation_for(requirement_measure.name)
+            if aggregation is AggregationFunction.AVG:
+                measure_type = ScalarType.DECIMAL
+            elif aggregation is AggregationFunction.COUNT:
+                measure_type = ScalarType.INTEGER
+            fact.add_measure(
+                Measure(
+                    name=requirement_measure.name,
+                    expression=requirement_measure.expression,
+                    type=measure_type,
+                    aggregation=requirement.aggregation_for(
+                        requirement_measure.name
+                    ),
+                    additivity=Additivity.ADDITIVE,
+                    requirements={requirement.id},
+                )
+            )
+        return fact
+
+    # -- dimensions ---------------------------------------------------------------
+
+    def _degenerate_dimension(
+        self, property_id: str, requirement: InformationRequirement
+    ) -> Dimension:
+        prop = self._ontology.datatype_property(property_id)
+        column = self._mappings.property_column(property_id)
+        dimension = Dimension(
+            name=column, requirements={requirement.id}
+        )
+        dimension.add_level(
+            Level(
+                name=column,
+                attributes=[
+                    LevelAttribute(column, prop.range, property=property_id)
+                ],
+                concept=prop.concept,
+            )
+        )
+        dimension.add_hierarchy(Hierarchy(name=column, levels=[column]))
+        return dimension
+
+    def _time_dimension(
+        self, property_id: str, requirement: InformationRequirement
+    ) -> Dimension:
+        """A synthesised calendar dimension for a DATE analysis atom.
+
+        Levels: the raw date (base, keeps ontology provenance), then
+        derived month / quarter / year roll-ups (keys encode the year so
+        they roll up strictly: month 199503, quarter 19951, year 1995).
+        The populating ETL derives the level keys with the expression
+        language's date functions (see ``time_level_expressions``).
+        """
+        column = self._mappings.property_column(property_id)
+        prop = self._ontology.datatype_property(property_id)
+        dimension = Dimension(name=column, requirements={requirement.id})
+        dimension.add_level(
+            Level(
+                name=column,
+                attributes=[
+                    LevelAttribute(column, ScalarType.DATE, property=property_id)
+                ],
+                concept=None,
+            )
+        )
+        for suffix in ("month", "quarter", "year"):
+            level_name = f"{column}_{suffix}"
+            dimension.add_level(
+                Level(
+                    name=level_name,
+                    attributes=[
+                        LevelAttribute(level_name, ScalarType.INTEGER)
+                    ],
+                )
+            )
+        dimension.add_hierarchy(
+            Hierarchy(
+                name="calendar",
+                levels=[
+                    column,
+                    f"{column}_month",
+                    f"{column}_quarter",
+                    f"{column}_year",
+                ],
+            )
+        )
+        return dimension
+
+    def _concept_dimension(
+        self, concept: str, mapping: RequirementMapping
+    ) -> Dimension:
+        requirement = mapping.requirement
+        dimension = Dimension(name=concept, requirements={requirement.id})
+        dimension.add_level(self._level_for(concept, mapping))
+        chains = (
+            self._complement_chains(concept) if self._complement else [[concept]]
+        )
+        for index, chain in enumerate(chains):
+            for level_concept in chain[1:]:
+                if not dimension.has_level(level_concept):
+                    dimension.add_level(self._level_for(level_concept, mapping))
+            name = concept if index == 0 else f"{concept}_{index + 1}"
+            dimension.add_hierarchy(Hierarchy(name=name, levels=list(chain)))
+        return dimension
+
+    def _complement_chains(self, concept: str) -> List[List[str]]:
+        """Root-to-leaf to-one chains starting at ``concept``.
+
+        Only concepts with a usable descriptor (a mapped datatype
+        property) become levels; chains stop there.
+        """
+        chains: List[List[str]] = []
+
+        def walk(current: str, path: List[str], depth: int) -> None:
+            extended = False
+            if depth < self._max_depth:
+                for step in self._graph.to_one_neighbours(current):
+                    if step.target in path:
+                        continue
+                    if self._descriptor_for(step.target) is None:
+                        continue
+                    extended = True
+                    walk(step.target, path + [step.target], depth + 1)
+            if not extended:
+                chains.append(path)
+
+        walk(concept, [concept], 0)
+        return chains
+
+    def _level_for(self, concept: str, mapping: RequirementMapping) -> Level:
+        """A level for a concept: requirement attributes + a descriptor."""
+        requirement = mapping.requirement
+        attributes: List[LevelAttribute] = []
+        used_properties = set()
+        for property_id in requirement.referenced_properties():
+            if mapping.property_concepts.get(property_id) != concept:
+                continue
+            if not requirement_mentions_as_dimension_or_slicer(
+                requirement, property_id
+            ):
+                continue
+            column = self._mappings.property_column(property_id)
+            prop = self._ontology.datatype_property(property_id)
+            attributes.append(
+                LevelAttribute(column, prop.range, property=property_id)
+            )
+            used_properties.add(property_id)
+        if not attributes:
+            descriptor = self._descriptor_for(concept)
+            if descriptor is not None:
+                column = self._mappings.property_column(descriptor.id)
+                attributes.append(
+                    LevelAttribute(column, descriptor.range, property=descriptor.id)
+                )
+        return Level(name=concept, attributes=attributes, concept=concept)
+
+    def _descriptor_for(self, concept: str):
+        """The concept's first mapped string property (else any mapped)."""
+        fallback = None
+        for prop in self._ontology.datatype_properties(concept):
+            if not self._mappings.has_property_mapping(prop.id):
+                continue
+            if prop.range is ScalarType.STRING:
+                return prop
+            if fallback is None:
+                fallback = prop
+        return fallback
+
+
+def is_time_dimension(dimension: Dimension) -> bool:
+    """Whether a dimension is a synthesised calendar dimension."""
+    base_levels = dimension.base_levels()
+    if len(base_levels) != 1:
+        return False
+    base = dimension.level(base_levels[0])
+    if len(base.attributes) != 1 or base.attributes[0].type is not ScalarType.DATE:
+        return False
+    column = base.attributes[0].name
+    return all(
+        dimension.has_level(f"{column}_{suffix}")
+        for suffix in ("month", "quarter", "year")
+    )
+
+
+def time_level_expressions(column: str) -> List[tuple]:
+    """(output, expression) pairs deriving the calendar level keys."""
+    return [
+        (f"{column}_month", f"year({column}) * 100 + month({column})"),
+        (f"{column}_quarter", f"year({column}) * 10 + quarter({column})"),
+        (f"{column}_year", f"year({column})"),
+    ]
+
+
+def requirement_mentions_as_dimension_or_slicer(
+    requirement: InformationRequirement, property_id: str
+) -> bool:
+    """Whether a property appears as a grouping atom or in a slicer."""
+    if property_id in requirement.dimension_properties():
+        return True
+    for slicer in requirement.slicers:
+        if property_id in parse(slicer.predicate).attributes():
+            return True
+    return False

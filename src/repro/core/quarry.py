@@ -1,0 +1,459 @@
+"""The Quarry facade: the end-to-end DW design lifecycle (Figure 1).
+
+Wires the four components through the communication & metadata layer:
+
+.. code-block:: text
+
+    Requirements Elicitor -> Requirements Interpreter
+        -> Design Integrator (MD + ETL) -> Design Deployer
+    with every artefact stored in the MetadataRepository (xRQ/xMD/xLM).
+
+Typical use::
+
+    quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+    report = quarry.add_requirement(requirement)     # incremental design
+    md, etl = quarry.unified_design()
+    result = quarry.deploy("native", source_database=db)
+
+``add_requirement`` / ``change_requirement`` / ``remove_requirement``
+implement the demo's "accommodating a DW design to changes" scenario;
+after every step the unified design is validated for soundness (MD
+integrity constraints) and satisfiability of all requirements met so
+far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.deployer import Deployer, DeploymentResult
+from repro.core.integrator import (
+    EtlConsolidation,
+    EtlIntegrator,
+    MDIntegration,
+    MDIntegrator,
+)
+from repro.core.interpreter import Interpreter, PartialDesign
+from repro.core.requirements import Elicitor
+from repro.core.requirements.model import InformationRequirement
+from repro.core.requirements.vocabulary import Vocabulary
+from repro.errors import IntegrationError, QuarryError
+from repro.engine.database import Database
+from repro.etlmodel.cost import CostModel
+from repro.etlmodel.flow import EtlFlow
+from repro.mdmodel.complexity import ComplexityWeights, DEFAULT_WEIGHTS, analyze
+from repro.mdmodel.model import MDSchema
+from repro.ontology.model import Ontology
+from repro.repository.metadata import MetadataRepository
+from repro.sources.mappings import SourceMappings
+from repro.sources.schema import SourceSchema
+
+
+def _retarget_loaders(flow: EtlFlow, md_result: MDIntegration) -> EtlFlow:
+    """Follow the MD integrator's renames/merges on the ETL side.
+
+    When a partial fact merged into (or was renamed to) a differently
+    named unified fact, or a partial dimension merged into another, the
+    partial flow's loaders must target the *unified* table names before
+    consolidation.  Returns a rewritten copy (or the input flow when no
+    rename applies).
+    """
+    from repro.etlmodel.ops import Loader
+
+    renames = {}
+    for decision in md_result.decisions:
+        if decision.partial_element == decision.unified_element:
+            continue
+        if decision.kind == "fact":
+            renames[decision.partial_element] = decision.unified_element
+        else:
+            renames[f"dim_{decision.partial_element}"] = (
+                f"dim_{decision.unified_element}"
+            )
+    if not renames:
+        return flow
+    rewritten = flow.copy()
+    for name in rewritten.node_names():
+        operation = rewritten.node(name)
+        if isinstance(operation, Loader) and operation.table in renames:
+            rewritten.replace_node(
+                name,
+                Loader(
+                    name,
+                    table=renames[operation.table],
+                    mode=operation.mode,
+                ),
+            )
+    return rewritten
+
+
+@dataclass
+class ChangeReport:
+    """What one lifecycle change did."""
+
+    requirement_id: str
+    action: str  # added | changed | removed
+    partial: Optional[PartialDesign] = None
+    md_integration: Optional[MDIntegration] = None
+    etl_consolidation: Optional[EtlConsolidation] = None
+
+
+@dataclass
+class DesignStatus:
+    """Snapshot of the current unified design."""
+
+    requirements: List[str]
+    facts: List[str]
+    dimensions: List[str]
+    complexity: float
+    etl_operations: int
+    estimated_etl_cost: float
+
+
+class Quarry:
+    """End-to-end system for managing the DW design lifecycle."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        schema: SourceSchema,
+        mappings: SourceMappings,
+        repository: Optional[MetadataRepository] = None,
+        md_weights: ComplexityWeights = DEFAULT_WEIGHTS,
+        cost_model: Optional[CostModel] = None,
+        align_etl: bool = True,
+        complement: bool = True,
+        row_counts: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._ontology = ontology
+        self._schema = schema
+        self._mappings = mappings
+        self._repository = (
+            repository if repository is not None else MetadataRepository()
+        )
+        self._repository.save_ontology(ontology)
+        self._interpreter = Interpreter(
+            ontology, schema, mappings, complement=complement
+        )
+        self._md_weights = md_weights
+        self._md_integrator = MDIntegrator(weights=md_weights)
+        self._cost_model = cost_model if cost_model is not None else CostModel()
+        self._etl_integrator = EtlIntegrator(
+            cost_model=self._cost_model, align=align_etl
+        )
+        self._deployer = Deployer(source_schema=schema)
+        self._row_counts = row_counts
+        self._partials: Dict[str, PartialDesign] = {}
+        self._order: List[str] = []
+        self._unified_md = MDSchema(name="unified")
+        self._unified_etl = EtlFlow(name="unified")
+
+    # -- component access ---------------------------------------------------
+
+    @property
+    def repository(self) -> MetadataRepository:
+        return self._repository
+
+    @property
+    def deployer(self) -> Deployer:
+        return self._deployer
+
+    def elicitor(self) -> Elicitor:
+        """The Requirements Elicitor backend over this domain."""
+        return Elicitor(self._ontology)
+
+    def vocabulary(self) -> Vocabulary:
+        """Business-vocabulary resolution over this domain."""
+        return Vocabulary(self._ontology)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def add_requirement(self, requirement: InformationRequirement) -> ChangeReport:
+        """Interpret, integrate and validate one new requirement."""
+        if requirement.id in self._partials:
+            raise QuarryError(
+                f"requirement {requirement.id!r} already exists; use "
+                f"change_requirement"
+            )
+        partial = self._interpreter.interpret(requirement)
+        md_result = self._md_integrator.integrate(
+            self._unified_md, partial.md_schema
+        )
+        etl_flow = _retarget_loaders(partial.etl_flow, md_result)
+        etl_result = self._etl_integrator.consolidate(
+            self._unified_etl, etl_flow, row_counts=self._row_counts
+        )
+        self._commit(requirement, partial, md_result, etl_result)
+        return ChangeReport(
+            requirement_id=requirement.id,
+            action="added",
+            partial=partial,
+            md_integration=md_result,
+            etl_consolidation=etl_result,
+        )
+
+    def add_requirement_xrq(self, xrq_text: str) -> ChangeReport:
+        """Add a requirement delivered as an xRQ document.
+
+        This is the wire format the Requirements Elicitor posts to the
+        Requirements Interpreter in the original service architecture.
+        """
+        from repro.xformats import xrq
+
+        return self.add_requirement(xrq.loads(xrq_text))
+
+    def add_partial_design(
+        self,
+        requirement: InformationRequirement,
+        md_schema: MDSchema,
+        etl_flow: EtlFlow,
+    ) -> ChangeReport:
+        """Integrate a partial design produced by an *external* tool.
+
+        "Quarry allows plugging in other external design tools, with the
+        assumption that the provided partial designs are sound [...] and
+        that they satisfy an end-user requirement" (§2.2) — assumptions
+        this method re-validates before integrating: the requirement
+        must be well-formed against the ontology, the MD schema must
+        meet the integrity constraints, the flow must validate, type
+        and claim the requirement, and the star must carry the
+        requirement's measures.
+        """
+        from repro.etlmodel.propagation import propagate
+        from repro.mdmodel import constraints
+
+        if requirement.id in self._partials:
+            raise QuarryError(
+                f"requirement {requirement.id!r} already exists; use "
+                f"change_requirement"
+            )
+        requirement.check(self._ontology)
+        constraints.check(md_schema)
+        etl_flow.check()
+        propagate(etl_flow, self._schema)
+        if requirement.id not in etl_flow.requirements:
+            raise QuarryError(
+                f"external flow does not claim requirement {requirement.id!r}"
+            )
+        for measure in requirement.measures:
+            carried = any(
+                measure.name in fact.measures
+                for fact in md_schema.facts.values()
+            )
+            if not carried:
+                raise QuarryError(
+                    f"external MD schema has no measure {measure.name!r}; "
+                    f"it does not satisfy requirement {requirement.id!r}"
+                )
+        partial = PartialDesign(
+            requirement=requirement,
+            mapping=None,
+            md_schema=md_schema,
+            etl_flow=etl_flow,
+        )
+        md_result = self._md_integrator.integrate(self._unified_md, md_schema)
+        rewritten = _retarget_loaders(etl_flow, md_result)
+        etl_result = self._etl_integrator.consolidate(
+            self._unified_etl, rewritten, row_counts=self._row_counts
+        )
+        self._commit(requirement, partial, md_result, etl_result)
+        return ChangeReport(
+            requirement_id=requirement.id,
+            action="added",
+            partial=partial,
+            md_integration=md_result,
+            etl_consolidation=etl_result,
+        )
+
+    def change_requirement(self, requirement: InformationRequirement) -> ChangeReport:
+        """Replace an existing requirement and rebuild the design."""
+        if requirement.id not in self._partials:
+            raise QuarryError(f"unknown requirement {requirement.id!r}")
+        self.remove_requirement(requirement.id)
+        report = self.add_requirement(requirement)
+        return ChangeReport(
+            requirement_id=requirement.id,
+            action="changed",
+            partial=report.partial,
+            md_integration=report.md_integration,
+            etl_consolidation=report.etl_consolidation,
+        )
+
+    def remove_requirement(self, requirement_id: str) -> ChangeReport:
+        """Drop a requirement and re-integrate the remaining ones."""
+        if requirement_id not in self._partials:
+            raise QuarryError(f"unknown requirement {requirement_id!r}")
+        del self._partials[requirement_id]
+        self._order.remove(requirement_id)
+        self._repository.delete_requirement(requirement_id)
+        self._rebuild()
+        return ChangeReport(requirement_id=requirement_id, action="removed")
+
+    def _commit(self, requirement, partial, md_result, etl_result) -> None:
+        self._unified_md = md_result.schema
+        self._unified_etl = etl_result.flow
+        self._partials[requirement.id] = partial
+        self._order.append(requirement.id)
+        self._verify_satisfiability()
+        self._repository.save_requirement(requirement)
+        self._repository.save_partial_design(
+            requirement.id, partial.md_schema, partial.etl_flow
+        )
+        self._repository.save_unified_design(
+            "current", self._unified_md, self._unified_etl, list(self._order)
+        )
+
+    def _rebuild(self) -> None:
+        """Re-integrate all remaining partial designs from scratch."""
+        self._unified_md = MDSchema(name="unified")
+        self._unified_etl = EtlFlow(name="unified")
+        for requirement_id in self._order:
+            partial = self._partials[requirement_id]
+            md_result = self._md_integrator.integrate(
+                self._unified_md, partial.md_schema
+            )
+            self._unified_md = md_result.schema
+            etl_flow = _retarget_loaders(partial.etl_flow, md_result)
+            self._unified_etl = self._etl_integrator.consolidate(
+                self._unified_etl, etl_flow, row_counts=self._row_counts
+            ).flow
+        self._verify_satisfiability()
+        self._repository.save_unified_design(
+            "current", self._unified_md, self._unified_etl, list(self._order)
+        )
+
+    # -- validation ------------------------------------------------------------
+
+    def _verify_satisfiability(self) -> None:
+        """Every requirement processed so far must still be answerable."""
+        problems = self.satisfiability_problems()
+        if problems:
+            raise IntegrationError(
+                "unified design no longer satisfies all requirements: "
+                + "; ".join(problems)
+            )
+
+    def satisfiability_problems(self) -> List[str]:
+        """Structural satisfiability check of the unified design."""
+        problems: List[str] = []
+        level_properties = {
+            attribute.property
+            for __, level in self._unified_md.iter_levels()
+            for attribute in level.attributes
+            if attribute.property is not None
+        }
+        for requirement_id in self._order:
+            requirement = self._partials[requirement_id].requirement
+            fact = self._find_serving_fact(requirement)
+            if fact is None:
+                problems.append(
+                    f"{requirement_id}: no fact carries its measures"
+                )
+                continue
+            for dimension in requirement.dimensions:
+                if dimension.property not in level_properties:
+                    problems.append(
+                        f"{requirement_id}: dimension atom "
+                        f"{dimension.property!r} not in any level"
+                    )
+            if requirement_id not in self._unified_etl.requirements:
+                problems.append(
+                    f"{requirement_id}: unified ETL does not cover it"
+                )
+        return problems
+
+    def _find_serving_fact(self, requirement):
+        for fact in self._unified_md.facts.values():
+            if all(
+                measure.name in fact.measures
+                and fact.measures[measure.name].expression == measure.expression
+                for measure in requirement.measures
+            ):
+                return fact
+        return None
+
+    # -- views -------------------------------------------------------------------
+
+    def unified_design(self) -> Tuple[MDSchema, EtlFlow]:
+        """The current unified MD schema and ETL flow."""
+        return self._unified_md, self._unified_etl
+
+    def requirements(self) -> List[InformationRequirement]:
+        return [
+            self._partials[requirement_id].requirement
+            for requirement_id in self._order
+        ]
+
+    def partial_design(self, requirement_id: str) -> PartialDesign:
+        try:
+            return self._partials[requirement_id]
+        except KeyError:
+            raise QuarryError(f"unknown requirement {requirement_id!r}") from None
+
+    def status(self) -> DesignStatus:
+        """Summary metrics of the current unified design."""
+        report = analyze(self._unified_md, self._md_weights)
+        return DesignStatus(
+            requirements=list(self._order),
+            facts=list(self._unified_md.facts),
+            dimensions=list(self._unified_md.dimensions),
+            complexity=report.score,
+            etl_operations=len(self._unified_etl),
+            estimated_etl_cost=self._cost_model.total(
+                self._unified_etl, self._row_counts
+            ),
+        )
+
+    # -- deployment ------------------------------------------------------------------
+
+    def deploy(
+        self,
+        platform: str,
+        source_database: Optional[Database] = None,
+    ) -> DeploymentResult:
+        """Deploy the unified design; records the artefacts in the repo."""
+        result = self._deployer.deploy(
+            self._unified_md,
+            self._unified_etl,
+            platform,
+            source_database=source_database,
+        )
+        self._repository.record_deployment(
+            "current", platform, dict(result.artifacts)
+        )
+        return result
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save_to(self, path) -> None:
+        """Persist the metadata repository (requirements + designs)."""
+        self._repository.save_to(path)
+
+    @classmethod
+    def load_from(
+        cls,
+        path,
+        schema: SourceSchema,
+        mappings: SourceMappings,
+        **kwargs,
+    ) -> "Quarry":
+        """Resume a design session from a persisted repository.
+
+        The ontology is read back from the repository; requirements are
+        re-added in their stored order (re-running interpretation keeps
+        the code path single and the state consistent).
+        """
+        repository = MetadataRepository.load_from(path)
+        ontology_names = repository.ontology_names()
+        if not ontology_names:
+            raise QuarryError("repository holds no ontology")
+        ontology = repository.load_ontology(ontology_names[0])
+        quarry = cls(ontology, schema, mappings, **kwargs)
+        if "current" in repository.unified_design_names():
+            __, __, stored_order = repository.load_unified_design("current")
+        else:
+            stored_order = []
+        for requirement_id in stored_order:
+            quarry.add_requirement(repository.load_requirement(requirement_id))
+        return quarry

@@ -1,0 +1,36 @@
+"""Information requirements and the Requirements Elicitor.
+
+An *information requirement* is an analytical query over the domain
+vocabulary: a subject of analysis with measures, analysis dimensions and
+slicers ("Analyze the revenue from the last year's sales, per products
+that are ordered from Spain", §1).  This package holds:
+
+* :mod:`repro.core.requirements.model` — the requirement classes
+  (the semantics behind the xRQ format),
+* :mod:`repro.core.requirements.builder` — a fluent builder,
+* :mod:`repro.core.requirements.vocabulary` — business-vocabulary
+  resolution (labels -> ontology ids),
+* :mod:`repro.core.requirements.elicitor` — the suggestion engine
+  behind the graphical Requirements Elicitor (Figure 2).
+"""
+
+from repro.core.requirements.builder import RequirementBuilder
+from repro.core.requirements.elicitor import Elicitor, Suggestion
+from repro.core.requirements.model import (
+    InformationRequirement,
+    RequirementAggregation,
+    RequirementDimension,
+    RequirementMeasure,
+    RequirementSlicer,
+)
+
+__all__ = [
+    "Elicitor",
+    "InformationRequirement",
+    "RequirementAggregation",
+    "RequirementBuilder",
+    "RequirementDimension",
+    "RequirementMeasure",
+    "RequirementSlicer",
+    "Suggestion",
+]

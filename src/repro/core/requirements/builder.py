@@ -1,0 +1,100 @@
+"""Fluent builder for information requirements.
+
+>>> requirement = (
+...     RequirementBuilder("IR1", "revenue per part from Spain")
+...     .measure("revenue",
+...              "Lineitem_l_extendedprice * (1 - Lineitem_l_discount)",
+...              "SUM")
+...     .per("Part_p_name")
+...     .where("Nation_n_name = 'SPAIN'")
+...     .build()
+... )
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.requirements.model import (
+    InformationRequirement,
+    RequirementAggregation,
+    RequirementDimension,
+    RequirementMeasure,
+    RequirementSlicer,
+)
+from repro.mdmodel.model import AggregationFunction
+
+
+class RequirementBuilder:
+    """Accumulates requirement parts; aggregations are derived from the
+    per-measure function unless added explicitly."""
+
+    def __init__(self, requirement_id: str, description: str = "") -> None:
+        self._requirement = InformationRequirement(
+            id=requirement_id, description=description
+        )
+        self._measure_functions = {}
+
+    def measure(
+        self,
+        name: str,
+        expression: str,
+        aggregation: Union[str, AggregationFunction] = AggregationFunction.SUM,
+    ) -> "RequirementBuilder":
+        """Add a measure with its default aggregation function."""
+        self._requirement.measures.append(
+            RequirementMeasure(name=name, expression=expression)
+        )
+        if isinstance(aggregation, str):
+            aggregation = AggregationFunction.parse(aggregation)
+        self._measure_functions[name] = aggregation
+        return self
+
+    def per(self, *properties: str) -> "RequirementBuilder":
+        """Add analysis dimensions (datatype-property ids)."""
+        for property_id in properties:
+            self._requirement.dimensions.append(
+                RequirementDimension(property=property_id)
+            )
+        return self
+
+    def where(self, predicate: str) -> "RequirementBuilder":
+        """Add a slicer predicate."""
+        self._requirement.slicers.append(RequirementSlicer(predicate=predicate))
+        return self
+
+    def aggregate(
+        self,
+        dimension: str,
+        measure: str,
+        function: Union[str, AggregationFunction],
+        order: int = 1,
+    ) -> "RequirementBuilder":
+        """Add an explicit xRQ-style aggregation entry."""
+        if isinstance(function, str):
+            function = AggregationFunction.parse(function)
+        self._requirement.aggregations.append(
+            RequirementAggregation(
+                order=order, dimension=dimension, measure=measure,
+                function=function,
+            )
+        )
+        return self
+
+    def build(self) -> InformationRequirement:
+        """Finish the requirement, materialising default aggregations."""
+        if not self._requirement.aggregations:
+            for measure in self._requirement.measures:
+                function = self._measure_functions.get(
+                    measure.name, AggregationFunction.SUM
+                )
+                for dimension in self._requirement.dimensions:
+                    self._requirement.aggregations.append(
+                        RequirementAggregation(
+                            order=1,
+                            dimension=dimension.property,
+                            measure=measure.name,
+                            function=function,
+                        )
+                    )
+        return self._requirement

@@ -1,0 +1,245 @@
+"""The Requirements Elicitor's suggestion engine (Figure 2).
+
+"Requirements Elicitor also offers assistance to end-users' data
+exploration tasks by analyzing the relationships in the domain ontology,
+and automatically suggesting potentially interesting analytical
+perspectives.  For example, a user may choose the focus of an analysis
+(e.g., Lineitem), while the system then automatically suggests useful
+dimensions (e.g., Supplier, Nation, Part)." (§2.1)
+
+The engine works purely on ontology structure:
+
+* **fact candidates** — concepts ranked by to-one fan-out (an event
+  referencing many others) and by carrying numeric attributes,
+* **dimension suggestions** — the to-one closure of the chosen focus;
+  shorter paths and higher fan-in (shared levels) rank higher,
+* **measure suggestions** — numeric datatype properties of the focus,
+* **slicer suggestions** — descriptive (string/date) attributes of the
+  suggested dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ontology.graph import ConceptPath, OntologyGraph
+from repro.ontology.model import Ontology
+from repro.expressions.types import ScalarType
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One suggested element with its ranking score and rationale."""
+
+    element_id: str
+    kind: str  # fact | dimension | measure | slicer
+    score: float
+    reason: str
+    path: Optional[ConceptPath] = None
+
+    @property
+    def label(self) -> str:
+        return self.element_id
+
+
+class Elicitor:
+    """Suggestion engine over one domain ontology."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self._ontology = ontology
+        self._graph = OntologyGraph(ontology)
+
+    @property
+    def ontology(self) -> Ontology:
+        return self._ontology
+
+    # -- fact candidates ------------------------------------------------------
+
+    def suggest_facts(self, limit: int = 5) -> List[Suggestion]:
+        """Concepts most likely to be analysis subjects."""
+        suggestions = []
+        for concept in self._ontology.concepts():
+            fan_out = self._graph.fan_out(concept.id)
+            numeric = sum(
+                1
+                for prop in self._ontology.datatype_properties(concept.id)
+                if prop.range.is_numeric
+            )
+            if fan_out == 0 and numeric == 0:
+                continue
+            score = 2.0 * fan_out + numeric
+            suggestions.append(
+                Suggestion(
+                    element_id=concept.id,
+                    kind="fact",
+                    score=score,
+                    reason=(
+                        f"references {fan_out} concept(s), carries "
+                        f"{numeric} numeric attribute(s)"
+                    ),
+                )
+            )
+        suggestions.sort(key=lambda s: (-s.score, s.element_id))
+        return suggestions[:limit]
+
+    # -- perspectives around a focus ----------------------------------------------
+
+    def suggest_dimensions(self, focus: str, limit: int = 10) -> List[Suggestion]:
+        """Dimension concepts for a chosen focus (Figure 2's behaviour)."""
+        closure = self._graph.to_one_closure(focus)
+        suggestions = []
+        for concept_id, path in closure.items():
+            fan_in = self._graph.fan_in(concept_id)
+            descriptive = sum(
+                1
+                for prop in self._ontology.datatype_properties(concept_id)
+                if not prop.range.is_numeric
+            )
+            score = 10.0 / len(path) + 2.0 * fan_in + descriptive
+            suggestions.append(
+                Suggestion(
+                    element_id=concept_id,
+                    kind="dimension",
+                    score=score,
+                    reason=(
+                        f"reachable over a {len(path)}-hop to-one path; "
+                        f"{fan_in} concept(s) roll up to it"
+                    ),
+                    path=path,
+                )
+            )
+        suggestions.sort(key=lambda s: (-s.score, s.element_id))
+        return suggestions[:limit]
+
+    def suggest_measures(self, focus: str, limit: int = 10) -> List[Suggestion]:
+        """Numeric attributes of the focus (and of to-one neighbours)."""
+        suggestions = []
+        candidates = [(focus, 0)]
+        candidates.extend(
+            (concept_id, len(path))
+            for concept_id, path in self._graph.to_one_closure(focus).items()
+        )
+        for concept_id, distance in candidates:
+            for prop in self._ontology.datatype_properties(concept_id):
+                if not prop.range.is_numeric:
+                    continue
+                score = 5.0 / (1 + distance)
+                suggestions.append(
+                    Suggestion(
+                        element_id=prop.id,
+                        kind="measure",
+                        score=score,
+                        reason=(
+                            f"numeric attribute of {concept_id} "
+                            f"({distance} hop(s) from focus)"
+                        ),
+                    )
+                )
+        suggestions.sort(key=lambda s: (-s.score, s.element_id))
+        return suggestions[:limit]
+
+    def suggest_slicers(self, focus: str, limit: int = 10) -> List[Suggestion]:
+        """Descriptive attributes usable as slicer left-hand sides."""
+        suggestions = []
+        candidates = [(focus, 0)]
+        candidates.extend(
+            (concept_id, len(path))
+            for concept_id, path in self._graph.to_one_closure(focus).items()
+        )
+        for concept_id, distance in candidates:
+            for prop in self._ontology.datatype_properties(concept_id):
+                if prop.range not in (ScalarType.STRING, ScalarType.DATE):
+                    continue
+                score = 3.0 / (1 + distance)
+                suggestions.append(
+                    Suggestion(
+                        element_id=prop.id,
+                        kind="slicer",
+                        score=score,
+                        reason=(
+                            f"{prop.range.value} attribute of {concept_id}"
+                        ),
+                    )
+                )
+        suggestions.sort(key=lambda s: (-s.score, s.element_id))
+        return suggestions[:limit]
+
+    def suggest_perspective(self, focus: str) -> dict:
+        """The full Figure 2 payload for one focus pick."""
+        return {
+            "focus": focus,
+            "dimensions": self.suggest_dimensions(focus),
+            "measures": self.suggest_measures(focus),
+            "slicers": self.suggest_slicers(focus),
+        }
+
+    # -- requirement assembly -----------------------------------------------------
+
+    def draft_requirement(
+        self,
+        requirement_id: str,
+        focus: str,
+        accept_measures: Optional[List[str]] = None,
+        accept_dimensions: Optional[List[str]] = None,
+        description: str = "",
+    ):
+        """Assemble a requirement from accepted suggestions.
+
+        "The user can further accept or discard the suggestions and
+        supply her information requirement" (§2.1).  ``accept_measures``
+        and ``accept_dimensions`` name the accepted suggestion ids; when
+        omitted, the top suggestion of each kind is taken.  Dimension
+        suggestions are concepts — each contributes its top descriptive
+        attribute as the analysis atom.  Returns a
+        :class:`repro.core.requirements.builder.RequirementBuilder` so
+        the user can still add slicers or tweak aggregation before
+        ``build()``.
+        """
+        from repro.core.requirements.builder import RequirementBuilder
+
+        builder = RequirementBuilder(requirement_id, description)
+        measures = accept_measures
+        if measures is None:
+            top = self.suggest_measures(focus, limit=1)
+            measures = [top[0].element_id] if top else []
+        for index, property_id in enumerate(measures):
+            self._ontology.datatype_property(property_id)  # validate
+            builder.measure(f"m_{property_id}", property_id, "SUM")
+        dimensions = accept_dimensions
+        if dimensions is None:
+            top = self.suggest_dimensions(focus, limit=1)
+            dimensions = [top[0].element_id] if top else []
+        for concept_id in dimensions:
+            atom = self._dimension_atom(concept_id)
+            builder.per(atom)
+        return builder
+
+    def _dimension_atom(self, concept_id: str) -> str:
+        """The analysis atom a suggested dimension concept contributes."""
+        if self._ontology.has_datatype_property(concept_id):
+            return concept_id  # the user accepted an attribute directly
+        descriptive = [
+            prop.id
+            for prop in self._ontology.datatype_properties(concept_id)
+            if not prop.range.is_numeric
+        ]
+        if descriptive:
+            return descriptive[0]
+        any_property = list(self._ontology.datatype_properties(concept_id))
+        if any_property:
+            return any_property[0].id
+        from repro.errors import RequirementError
+
+        raise RequirementError(
+            f"suggested dimension {concept_id!r} has no attributes to "
+            f"group by"
+        )
+
+    # -- UI integration ------------------------------------------------------------
+
+    def graph_document(self, highlight: Optional[str] = None) -> dict:
+        """The D3 graph document the web front-end renders."""
+        from repro.ontology.d3 import to_d3
+
+        return to_d3(self._ontology, highlight=highlight)

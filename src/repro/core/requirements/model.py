@@ -1,0 +1,224 @@
+"""Information-requirement classes — the semantics of the xRQ format.
+
+The xRQ snippet of Figure 4 shows the structure: a ``<cube>`` with
+``<dimensions>`` (ontology datatype-property references), ``<measures>``
+(named derivation functions over datatype properties), ``<slicers>``
+(comparisons), and ``<aggregations>`` pairing each dimension with a
+measure and an aggregation function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import RequirementError
+from repro.expressions import parse
+from repro.expressions.types import ScalarType
+from repro.mdmodel.model import AggregationFunction
+from repro.ontology.model import Ontology
+
+
+@dataclass(frozen=True)
+class RequirementDimension:
+    """An analysis dimension: a datatype property used as grouping atom.
+
+    ``Part_p_name`` means "per part name".
+    """
+
+    property: str
+
+
+@dataclass(frozen=True)
+class RequirementMeasure:
+    """A named measure with its derivation function.
+
+    ``expression`` is written over ontology datatype-property ids, e.g.
+    ``Lineitem_l_extendedprice * (1 - Lineitem_l_discount)``.
+    """
+
+    name: str
+    expression: str
+
+
+@dataclass(frozen=True)
+class RequirementSlicer:
+    """A selection predicate over datatype-property ids.
+
+    The xRQ ``<comparison>`` triple (concept, operator, value) is the
+    common case; arbitrary boolean predicates are allowed.
+    """
+
+    predicate: str
+
+    def as_comparison(self) -> Optional[tuple]:
+        """(property, operator, value) when the predicate is a simple
+        comparison against a literal, else None (serialised generically).
+        """
+        from repro.expressions import ast
+
+        tree = parse(self.predicate)
+        is_simple = (
+            isinstance(tree, ast.BinaryOp)
+            and isinstance(tree.left, ast.Attribute)
+            and isinstance(tree.right, ast.Literal)
+            and tree.operator in ("=", "!=", "<", "<=", ">", ">=")
+        )
+        if is_simple:
+            return tree.left.name, tree.operator, tree.right.value
+        return None
+
+
+@dataclass(frozen=True)
+class RequirementAggregation:
+    """One xRQ ``<aggregation>``: aggregate ``measure`` by ``dimension``."""
+
+    order: int
+    dimension: str  # RequirementDimension.property reference
+    measure: str  # RequirementMeasure.name reference
+    function: AggregationFunction
+
+
+@dataclass
+class InformationRequirement:
+    """A complete information requirement (one xRQ document)."""
+
+    id: str
+    description: str = ""
+    dimensions: List[RequirementDimension] = field(default_factory=list)
+    measures: List[RequirementMeasure] = field(default_factory=list)
+    slicers: List[RequirementSlicer] = field(default_factory=list)
+    aggregations: List[RequirementAggregation] = field(default_factory=list)
+
+    # -- reference helpers ----------------------------------------------------
+
+    def dimension_properties(self) -> List[str]:
+        return [dimension.property for dimension in self.dimensions]
+
+    def measure(self, name: str) -> RequirementMeasure:
+        for measure in self.measures:
+            if measure.name == name:
+                return measure
+        raise RequirementError(
+            f"requirement {self.id!r} has no measure {name!r}"
+        )
+
+    def effective_aggregations(self) -> List[RequirementAggregation]:
+        """Explicit aggregations, or the SUM cross-product default.
+
+        When a user does not spell aggregations out, every measure is
+        aggregated by every dimension with SUM (the usual OLAP default).
+        """
+        if self.aggregations:
+            return list(self.aggregations)
+        derived = []
+        for measure in self.measures:
+            for dimension in self.dimensions:
+                derived.append(
+                    RequirementAggregation(
+                        order=1,
+                        dimension=dimension.property,
+                        measure=measure.name,
+                        function=AggregationFunction.SUM,
+                    )
+                )
+        return derived
+
+    def aggregation_for(self, measure_name: str) -> AggregationFunction:
+        """The (first) aggregation function requested for a measure."""
+        for aggregation in self.effective_aggregations():
+            if aggregation.measure == measure_name:
+                return aggregation.function
+        return AggregationFunction.SUM
+
+    def referenced_properties(self) -> List[str]:
+        """Every datatype-property id the requirement mentions."""
+        names: List[str] = []
+        for dimension in self.dimensions:
+            if dimension.property not in names:
+                names.append(dimension.property)
+        for measure in self.measures:
+            for name in sorted(parse(measure.expression).attributes()):
+                if name not in names:
+                    names.append(name)
+        for slicer in self.slicers:
+            for name in sorted(parse(slicer.predicate).attributes()):
+                if name not in names:
+                    names.append(name)
+        return names
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self, ontology: Ontology) -> List[str]:
+        """Check the requirement against a domain ontology.
+
+        Returns human-readable problems: unknown property references,
+        non-numeric measure expressions, dangling aggregation refs,
+        requirements with nothing to analyse.
+        """
+        problems: List[str] = []
+        if not self.measures:
+            problems.append("requirement has no measures")
+        if not self.dimensions:
+            problems.append("requirement has no dimensions")
+        seen_measures = set()
+        for measure in self.measures:
+            if measure.name in seen_measures:
+                problems.append(f"duplicate measure name {measure.name!r}")
+            seen_measures.add(measure.name)
+        for name in self.referenced_properties():
+            if not ontology.has_datatype_property(name):
+                problems.append(f"unknown datatype property {name!r}")
+        if problems:
+            return problems  # typing checks below need valid references
+        schema = {
+            prop.id: prop.range for prop in ontology.datatype_properties()
+        }
+        for measure in self.measures:
+            from repro.errors import TypeCheckError
+            from repro.expressions import infer_type
+
+            try:
+                result = infer_type(parse(measure.expression), schema)
+            except TypeCheckError as exc:
+                problems.append(f"measure {measure.name!r}: {exc}")
+                continue
+            if result is not None and not result.is_numeric:
+                problems.append(
+                    f"measure {measure.name!r} is not numeric (type {result})"
+                )
+        for slicer in self.slicers:
+            from repro.errors import TypeCheckError
+            from repro.expressions import infer_type
+
+            try:
+                result = infer_type(parse(slicer.predicate), schema)
+            except TypeCheckError as exc:
+                problems.append(f"slicer {slicer.predicate!r}: {exc}")
+                continue
+            if result is not ScalarType.BOOLEAN:
+                problems.append(
+                    f"slicer {slicer.predicate!r} is not boolean"
+                )
+        dimension_ids = set(self.dimension_properties())
+        measure_names = {measure.name for measure in self.measures}
+        for aggregation in self.aggregations:
+            if aggregation.dimension not in dimension_ids:
+                problems.append(
+                    f"aggregation references unknown dimension "
+                    f"{aggregation.dimension!r}"
+                )
+            if aggregation.measure not in measure_names:
+                problems.append(
+                    f"aggregation references unknown measure "
+                    f"{aggregation.measure!r}"
+                )
+        return problems
+
+    def check(self, ontology: Ontology) -> None:
+        """Raise :class:`RequirementError` if invalid against ontology."""
+        problems = self.validate(ontology)
+        if problems:
+            raise RequirementError(
+                f"requirement {self.id!r} invalid: " + "; ".join(problems)
+            )

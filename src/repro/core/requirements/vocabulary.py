@@ -1,0 +1,79 @@
+"""Business-vocabulary resolution.
+
+"A domain ontology can be additionally enriched with the business level
+vocabulary, to enable non-expert users to express their analytical
+needs" (§2.1).  Labels on ontology elements *are* that vocabulary; this
+module resolves free-text terms to ontology ids, reporting ambiguities
+instead of guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import RequirementError
+from repro.ontology.model import Ontology
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving one vocabulary term."""
+
+    term: str
+    element_id: str
+    kind: str  # concept | attribute | relationship
+
+
+class Vocabulary:
+    """Resolves business terms against one ontology."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self._ontology = ontology
+
+    def resolve(self, term: str) -> Resolution:
+        """Resolve a term to exactly one ontology element.
+
+        Raises :class:`RequirementError` when the term is unknown or
+        ambiguous (listing the candidates so a UI can ask the user).
+        """
+        matches = self._ontology.find_by_label(term)
+        if not matches:
+            suggestions = self.suggest(term)
+            hint = f"; did you mean one of {suggestions}?" if suggestions else ""
+            raise RequirementError(f"unknown term {term!r}{hint}")
+        if len(matches) > 1:
+            raise RequirementError(
+                f"ambiguous term {term!r}: candidates {sorted(matches)}"
+            )
+        return Resolution(
+            term=term, element_id=matches[0], kind=self._kind(matches[0])
+        )
+
+    def resolve_all(self, terms: List[str]) -> List[Resolution]:
+        return [self.resolve(term) for term in terms]
+
+    def try_resolve(self, term: str) -> Optional[Resolution]:
+        """Like :meth:`resolve` but returns None instead of raising."""
+        try:
+            return self.resolve(term)
+        except RequirementError:
+            return None
+
+    def suggest(self, term: str, limit: int = 3) -> List[str]:
+        """Close-match suggestions for a misspelled term."""
+        import difflib
+
+        labels = []
+        for concept in self._ontology.concepts():
+            labels.append(concept.display_name)
+        for prop in self._ontology.datatype_properties():
+            labels.append(prop.display_name)
+        return difflib.get_close_matches(term, labels, n=limit, cutoff=0.6)
+
+    def _kind(self, element_id: str) -> str:
+        if self._ontology.has_concept(element_id):
+            return "concept"
+        if self._ontology.has_datatype_property(element_id):
+            return "attribute"
+        return "relationship"

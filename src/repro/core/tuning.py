@@ -1,0 +1,222 @@
+"""Design self-tuning advisor — the extension slot §2.6 reserves.
+
+"Such architecture provides the extensibility to Quarry for easily
+plugging and offering new components in the future (e.g., design
+self-tuning)."  This module is that component: it inspects the current
+unified design (and, when available, the deployed data volumes) and
+proposes physical tunings the paper leaves to "further user-preferred
+tunings" (§2.4):
+
+* **index advice** — fact grain columns (the join/group keys of every
+  OLAP query) and dimension level keys,
+* **materialised roll-up advice** — when a fact's grain is strictly
+  finer than what several requirements group by, a pre-aggregated
+  roll-up table cuts repeated aggregation work; only distributive
+  measures (SUM/MIN/MAX/COUNT) are eligible (AVG does not re-aggregate,
+  cf. the summarizability rules),
+* **dimension slimming advice** — level attributes no requirement ever
+  references (complement descriptors) that could be dropped on storage-
+  constrained deployments.
+
+Every suggestion carries an estimated benefit in the ETL cost model's
+units so suggestions can be ranked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.requirements.model import InformationRequirement
+from repro.etlmodel.cost import CostModel
+from repro.mdmodel.model import AggregationFunction, MDSchema
+
+#: Aggregation functions that re-aggregate correctly from partial results.
+_DISTRIBUTIVE = {
+    AggregationFunction.SUM,
+    AggregationFunction.MIN,
+    AggregationFunction.MAX,
+    AggregationFunction.COUNT,
+}
+
+
+@dataclass(frozen=True)
+class TuningSuggestion:
+    """One proposed physical tuning."""
+
+    kind: str  # index | rollup | slim
+    target: str  # table the tuning applies to
+    detail: str
+    columns: tuple = ()
+    estimated_benefit: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] {self.target}({', '.join(self.columns)}): "
+            f"{self.detail} (benefit ~{self.estimated_benefit:.0f})"
+        )
+
+
+@dataclass
+class TuningReport:
+    """All suggestions for one design, ranked by estimated benefit."""
+
+    suggestions: List[TuningSuggestion] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[TuningSuggestion]:
+        return [s for s in self.suggestions if s.kind == kind]
+
+    def top(self, count: int = 5) -> List[TuningSuggestion]:
+        return self.suggestions[:count]
+
+
+class TuningAdvisor:
+    """Proposes physical tunings for a unified design."""
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        row_counts: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._cost_model = cost_model if cost_model is not None else CostModel()
+        self._row_counts = row_counts or {}
+
+    def advise(
+        self,
+        schema: MDSchema,
+        requirements: Optional[List[InformationRequirement]] = None,
+    ) -> TuningReport:
+        """Produce a ranked tuning report for a design."""
+        suggestions: List[TuningSuggestion] = []
+        suggestions.extend(self._index_advice(schema))
+        suggestions.extend(self._rollup_advice(schema, requirements or []))
+        suggestions.extend(self._slimming_advice(schema, requirements or []))
+        suggestions.sort(key=lambda s: (-s.estimated_benefit, s.target))
+        return TuningReport(suggestions=suggestions)
+
+    # -- indexes ----------------------------------------------------------
+
+    def _index_advice(self, schema: MDSchema) -> List[TuningSuggestion]:
+        suggestions = []
+        for fact in schema.facts.values():
+            rows = float(self._row_counts.get(fact.name, 1000))
+            for column in dict.fromkeys(fact.grain):
+                suggestions.append(
+                    TuningSuggestion(
+                        kind="index",
+                        target=fact.name,
+                        columns=(column,),
+                        detail=(
+                            "grain column: every roll-up groups or joins "
+                            "through it"
+                        ),
+                        estimated_benefit=rows * 0.5,
+                    )
+                )
+        for dimension in schema.dimensions.values():
+            for base in dimension.base_levels():
+                key = dimension.level(base).key
+                if key is None:
+                    continue
+                suggestions.append(
+                    TuningSuggestion(
+                        kind="index",
+                        target=f"dim_{dimension.name}",
+                        columns=(key,),
+                        detail="base-level key: fact-to-dimension join column",
+                        estimated_benefit=float(
+                            self._row_counts.get(f"dim_{dimension.name}", 100)
+                        ),
+                    )
+                )
+        return suggestions
+
+    # -- materialised roll-ups ------------------------------------------------
+
+    def _rollup_advice(
+        self, schema: MDSchema, requirements: List[InformationRequirement]
+    ) -> List[TuningSuggestion]:
+        """Coarser granularities several requirements re-aggregate to."""
+        suggestions = []
+        for fact in schema.facts.values():
+            grain = set(fact.grain)
+            if not grain:
+                continue
+            coarser_groupings: Dict[tuple, int] = {}
+            for requirement in requirements:
+                if requirement.id not in fact.requirements:
+                    continue
+                # Which of this fact's requirements would be answerable
+                # from a coarser pre-aggregate?  Any whose grouping is a
+                # proper subset of the stored grain.
+                atoms = tuple(sorted(self._grouping_columns(requirement, schema)))
+                if atoms and set(atoms) < grain:
+                    coarser_groupings[atoms] = coarser_groupings.get(atoms, 0) + 1
+            eligible = all(
+                measure.aggregation in _DISTRIBUTIVE
+                for measure in fact.measures.values()
+            )
+            for atoms, uses in coarser_groupings.items():
+                if not eligible:
+                    continue
+                rows = float(self._row_counts.get(fact.name, 1000))
+                suggestions.append(
+                    TuningSuggestion(
+                        kind="rollup",
+                        target=fact.name,
+                        columns=atoms,
+                        detail=(
+                            f"{uses} requirement(s) aggregate to this "
+                            f"coarser granularity; materialise the roll-up"
+                        ),
+                        estimated_benefit=rows * uses * 1.2,
+                    )
+                )
+        return suggestions
+
+    def _grouping_columns(self, requirement, schema: MDSchema) -> List[str]:
+        """Map a requirement's dimension atoms to level attribute columns."""
+        columns = []
+        property_to_column = {}
+        for __, level in schema.iter_levels():
+            for attribute in level.attributes:
+                if attribute.property is not None:
+                    property_to_column[attribute.property] = attribute.name
+        for dimension in requirement.dimensions:
+            column = property_to_column.get(dimension.property)
+            if column is not None:
+                columns.append(column)
+        return columns
+
+    # -- dimension slimming --------------------------------------------------------
+
+    def _slimming_advice(
+        self, schema: MDSchema, requirements: List[InformationRequirement]
+    ) -> List[TuningSuggestion]:
+        """Complement attributes no requirement references."""
+        referenced = set()
+        for requirement in requirements:
+            referenced.update(requirement.referenced_properties())
+        suggestions = []
+        for dimension in schema.dimensions.values():
+            unused = []
+            for level in dimension.levels.values():
+                for attribute in level.attributes:
+                    if attribute.property is None:
+                        continue
+                    if attribute.property not in referenced:
+                        unused.append(attribute.name)
+            if unused and requirements:
+                suggestions.append(
+                    TuningSuggestion(
+                        kind="slim",
+                        target=f"dim_{dimension.name}",
+                        columns=tuple(unused),
+                        detail=(
+                            "complement descriptors unreferenced by any "
+                            "requirement; drop on storage-constrained targets"
+                        ),
+                        estimated_benefit=float(len(unused)),
+                    )
+                )
+        return suggestions

@@ -1,0 +1,99 @@
+"""In-memory relations: a typed schema plus a list of row dicts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.errors import EngineError
+from repro.expressions.types import ScalarType, type_of_value
+
+
+@dataclass
+class Relation:
+    """A bag of rows under an ordered attribute schema."""
+
+    schema: Dict[str, ScalarType]
+    rows: List[dict] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.rows)
+
+    def attribute_names(self) -> List[str]:
+        return list(self.schema)
+
+    def append(self, row: dict) -> None:
+        """Append a row after checking attributes and value types."""
+        self.check_row(row)
+        self.rows.append(row)
+
+    def extend(self, rows) -> None:
+        for row in rows:
+            self.append(row)
+
+    def check_row(self, row: dict) -> None:
+        """Validate a row against the schema.
+
+        Every schema attribute must be present; extra attributes and
+        type mismatches (except NULL) are errors.
+        """
+        extra = set(row) - set(self.schema)
+        if extra:
+            raise EngineError(f"row has unknown attributes {sorted(extra)}")
+        for name, expected in self.schema.items():
+            if name not in row:
+                raise EngineError(f"row is missing attribute {name!r}")
+            value = row[name]
+            if value is None:
+                continue
+            actual = type_of_value(value)
+            if actual is expected:
+                continue
+            if expected is ScalarType.DECIMAL and actual is ScalarType.INTEGER:
+                continue  # integers are acceptable decimals
+            raise EngineError(
+                f"attribute {name!r}: expected {expected}, got {actual} "
+                f"({value!r})"
+            )
+
+    def project(self, columns: List[str]) -> "Relation":
+        """A new relation with only the given columns (in given order)."""
+        missing = [column for column in columns if column not in self.schema]
+        if missing:
+            raise EngineError(f"cannot project unknown columns {missing}")
+        schema = {column: self.schema[column] for column in columns}
+        rows = [{column: row[column] for column in columns} for row in self.rows]
+        return Relation(schema=schema, rows=rows)
+
+    def distinct(self) -> "Relation":
+        """A new relation with duplicate rows removed (order-preserving)."""
+        seen = set()
+        unique: List[dict] = []
+        columns = self.attribute_names()
+        for row in self.rows:
+            key = tuple(row[column] for column in columns)
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(row)
+        return Relation(schema=dict(self.schema), rows=unique)
+
+    def sorted_by(self, keys: List[str], descending: bool = False) -> "Relation":
+        """A new relation sorted by the given keys (NULLs first)."""
+        missing = [key for key in keys if key not in self.schema]
+        if missing:
+            raise EngineError(f"cannot sort by unknown columns {missing}")
+
+        def sort_key(row):
+            return tuple(
+                (row[key] is not None, row[key]) for key in keys
+            )
+
+        ordered = sorted(self.rows, key=sort_key, reverse=descending)
+        return Relation(schema=dict(self.schema), rows=ordered)
+
+    def head(self, count: int) -> "Relation":
+        return Relation(schema=dict(self.schema), rows=self.rows[:count])

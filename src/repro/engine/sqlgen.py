@@ -1,0 +1,181 @@
+"""SQL rendering helpers shared by the deployer and the OLAP interface.
+
+Renders scalar types, literals and expression ASTs in two dialects
+(``postgres`` — the demo's deployment target — and ``sqlite``), plus
+SELECT statements for OLAP queries.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Optional
+
+from repro.errors import DeploymentError
+from repro.expressions import ast
+from repro.expressions.types import ScalarType
+
+DIALECTS = ("postgres", "sqlite")
+
+_TYPE_NAMES = {
+    "postgres": {
+        ScalarType.INTEGER: "BIGINT",
+        ScalarType.DECIMAL: "double precision",
+        ScalarType.STRING: "VARCHAR(255)",
+        ScalarType.BOOLEAN: "BOOLEAN",
+        ScalarType.DATE: "DATE",
+    },
+    "sqlite": {
+        ScalarType.INTEGER: "INTEGER",
+        ScalarType.DECIMAL: "REAL",
+        ScalarType.STRING: "TEXT",
+        ScalarType.BOOLEAN: "INTEGER",
+        ScalarType.DATE: "TEXT",
+    },
+}
+
+
+def check_dialect(dialect: str) -> None:
+    if dialect not in DIALECTS:
+        raise DeploymentError(
+            f"unknown SQL dialect {dialect!r}; supported: {DIALECTS}"
+        )
+
+
+def sql_type(scalar_type: ScalarType, dialect: str = "postgres") -> str:
+    """The SQL column type for a scalar type in the given dialect."""
+    check_dialect(dialect)
+    return _TYPE_NAMES[dialect][scalar_type]
+
+
+def sql_literal(value) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, datetime.date):
+        return f"DATE '{value.isoformat()}'"
+    return repr(value)
+
+
+def sql_identifier(name: str) -> str:
+    """Quote an identifier when it is not a plain lowercase word."""
+    if name.isidentifier() and name == name.lower():
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+_SQL_OPERATORS = {
+    "=": "=",
+    "!=": "<>",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "and": "AND",
+    "or": "OR",
+}
+
+_SQL_FUNCTIONS = {
+    "abs": "ABS",
+    "round": "ROUND",
+    "floor": "FLOOR",
+    "ceil": "CEIL",
+    "sqrt": "SQRT",
+    "length": "LENGTH",
+    "upper": "UPPER",
+    "lower": "LOWER",
+    "trim": "TRIM",
+    "substring": "SUBSTRING",
+    "concat": "CONCAT",
+    "coalesce": "COALESCE",
+}
+
+_DATE_PARTS = {"year", "month", "day", "quarter"}
+
+
+def sql_expression(node: ast.Expression, dialect: str = "postgres") -> str:
+    """Render an expression AST as SQL text."""
+    check_dialect(dialect)
+    if isinstance(node, ast.Literal):
+        return sql_literal(node.value)
+    if isinstance(node, ast.Attribute):
+        return sql_identifier(node.name)
+    if isinstance(node, ast.UnaryOp):
+        inner = sql_expression(node.operand, dialect)
+        if node.operator == "not":
+            return f"NOT ({inner})"
+        return f"-({inner})"
+    if isinstance(node, ast.BinaryOp):
+        left = sql_expression(node.left, dialect)
+        right = sql_expression(node.right, dialect)
+        if node.operator == "in":
+            return f"{left} IN {right}"
+        operator = _SQL_OPERATORS[node.operator]
+        return f"({left} {operator} {right})"
+    if isinstance(node, ast.ValueList):
+        items = ", ".join(sql_expression(item, dialect) for item in node.items)
+        return f"({items})"
+    if isinstance(node, ast.FunctionCall):
+        return _sql_call(node, dialect)
+    raise DeploymentError(f"cannot render node {node!r} as SQL")
+
+
+def _sql_call(node: ast.FunctionCall, dialect: str) -> str:
+    name = node.name.lower()
+    arguments = [sql_expression(argument, dialect) for argument in node.arguments]
+    if name in _DATE_PARTS:
+        if dialect == "postgres":
+            return f"EXTRACT({name.upper()} FROM {arguments[0]})"
+        formats = {"year": "%Y", "month": "%m", "day": "%d"}
+        if name == "quarter":
+            return f"((CAST(strftime('%m', {arguments[0]}) AS INTEGER) - 1) / 3 + 1)"
+        return f"CAST(strftime('{formats[name]}', {arguments[0]}) AS INTEGER)"
+    if name not in _SQL_FUNCTIONS:
+        raise DeploymentError(f"no SQL rendering for function {node.name!r}")
+    return f"{_SQL_FUNCTIONS[name]}({', '.join(arguments)})"
+
+
+def select_statement(
+    table: str,
+    columns: List[str],
+    aggregates: Optional[List[tuple]] = None,
+    where: Optional[ast.Expression] = None,
+    group_by: Optional[List[str]] = None,
+    order_by: Optional[List[str]] = None,
+    dialect: str = "postgres",
+) -> str:
+    """Render a SELECT.
+
+    ``aggregates`` is a list of ``(function, input, alias)`` triples;
+    AVERAGE is spelled AVG in SQL.
+    """
+    check_dialect(dialect)
+    parts = [sql_identifier(column) for column in columns]
+    for function, input_column, alias in aggregates or []:
+        sql_function = "AVG" if function == "AVERAGE" else function
+        parts.append(
+            f"{sql_function}({sql_identifier(input_column)}) AS "
+            f"{sql_identifier(alias)}"
+        )
+    if not parts:
+        raise DeploymentError("SELECT needs at least one output column")
+    lines = [f"SELECT {', '.join(parts)}", f"FROM {sql_identifier(table)}"]
+    if where is not None:
+        lines.append(f"WHERE {sql_expression(where, dialect)}")
+    if group_by:
+        rendered = ", ".join(sql_identifier(column) for column in group_by)
+        lines.append(f"GROUP BY {rendered}")
+    if order_by:
+        rendered = ", ".join(sql_identifier(column) for column in order_by)
+        lines.append(f"ORDER BY {rendered}")
+    return "\n".join(lines) + ";"

@@ -1,0 +1,58 @@
+"""Logical ETL process model (the xLM flow model of the paper).
+
+An ETL process design is a DAG of logical operations — the paper's xLM
+encoding [12] renders it as ``<nodes>``/``<edges>`` (Figure 3).  This
+package implements the model and the algorithms the ETL Process
+Integrator relies on:
+
+* :mod:`repro.etlmodel.ops` — the operation taxonomy (datastore,
+  extraction, selection, projection, join, aggregation, ...),
+* :mod:`repro.etlmodel.flow` — the DAG container with structural
+  validation and composition utilities,
+* :mod:`repro.etlmodel.propagation` — schema propagation: derive each
+  operation's output attributes from its inputs,
+* :mod:`repro.etlmodel.equivalence` — generic equivalence rules used to
+  "align the order of ETL operations" before matching (§2.3),
+* :mod:`repro.etlmodel.cost` — the configurable cost model ("overall
+  execution time" quality factor).
+"""
+
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    Distinct,
+    Extraction,
+    Join,
+    JoinType,
+    Loader,
+    Operation,
+    Projection,
+    Rename,
+    Selection,
+    Sort,
+    SurrogateKey,
+    UnionOp,
+)
+
+__all__ = [
+    "Aggregation",
+    "AggregationSpec",
+    "Datastore",
+    "DerivedAttribute",
+    "Distinct",
+    "EtlFlow",
+    "Extraction",
+    "Join",
+    "JoinType",
+    "Loader",
+    "Operation",
+    "Projection",
+    "Rename",
+    "Selection",
+    "Sort",
+    "SurrogateKey",
+    "UnionOp",
+]

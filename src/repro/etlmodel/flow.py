@@ -1,0 +1,365 @@
+"""The ETL flow DAG.
+
+A flow is a set of named operations plus directed edges.  Edge order
+into a binary operation is significant: the first incoming edge is the
+left input of a join/union.  The class offers the structural queries and
+surgery the generator and integrator need (topological order, subflow
+paths, node insertion/removal, grafting one flow into another).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.errors import (
+    EtlError,
+    FlowValidationError,
+    UnknownOperationError,
+)
+from repro.etlmodel.ops import Operation
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed hop between two operations (xLM ``<edge>``)."""
+
+    source: str
+    target: str
+    enabled: bool = True
+
+
+@dataclass
+class EtlFlow:
+    """A DAG of ETL operations."""
+
+    name: str
+    _nodes: Dict[str, Operation] = field(default_factory=dict)
+    _edges: List[Edge] = field(default_factory=list)
+    requirements: Set[str] = field(default_factory=set)
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, operation: Operation) -> Operation:
+        """Add an operation node; names must be unique."""
+        if operation.name in self._nodes:
+            raise EtlError(
+                f"operation {operation.name!r} already in flow {self.name!r}"
+            )
+        self._nodes[operation.name] = operation
+        return operation
+
+    def connect(self, source: str, target: str) -> Edge:
+        """Add an edge; both endpoints must exist and the edge be new."""
+        for endpoint in (source, target):
+            if endpoint not in self._nodes:
+                raise UnknownOperationError(endpoint)
+        edge = Edge(source, target)
+        if any(e.source == source and e.target == target for e in self._edges):
+            raise EtlError(f"duplicate edge {source!r} -> {target!r}")
+        self._edges.append(edge)
+        return edge
+
+    def disconnect(self, source: str, target: str) -> None:
+        """Remove the edge source -> target; raises if absent."""
+        for index, edge in enumerate(self._edges):
+            if edge.source == source and edge.target == target:
+                del self._edges[index]
+                return
+        raise EtlError(f"no edge {source!r} -> {target!r}")
+
+    def chain(self, *operations: Operation) -> Operation:
+        """Add operations and connect them linearly; returns the last."""
+        previous: Optional[Operation] = None
+        for operation in operations:
+            if operation.name not in self._nodes:
+                self.add(operation)
+            if previous is not None:
+                self.connect(previous.name, operation.name)
+            previous = operation
+        if previous is None:
+            raise EtlError("chain requires at least one operation")
+        return previous
+
+    # -- lookup -----------------------------------------------------------------
+
+    def node(self, name: str) -> Operation:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise UnknownOperationError(name) from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def nodes(self) -> Iterator[Operation]:
+        return iter(self._nodes.values())
+
+    def node_names(self) -> List[str]:
+        return list(self._nodes)
+
+    def edges(self) -> List[Edge]:
+        return list(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def inputs(self, name: str) -> List[str]:
+        """Source names of incoming edges, in edge insertion order."""
+        self.node(name)
+        return [edge.source for edge in self._edges if edge.target == name]
+
+    def outputs(self, name: str) -> List[str]:
+        self.node(name)
+        return [edge.target for edge in self._edges if edge.source == name]
+
+    def sources(self) -> List[str]:
+        """Nodes with no incoming edges (the datastores)."""
+        targets = {edge.target for edge in self._edges}
+        return [name for name in self._nodes if name not in targets]
+
+    def sinks(self) -> List[str]:
+        """Nodes with no outgoing edges (the loaders)."""
+        origins = {edge.source for edge in self._edges}
+        return [name for name in self._nodes if name not in origins]
+
+    # -- traversal --------------------------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Node names in topological order; raises on cycles."""
+        in_degree = {name: 0 for name in self._nodes}
+        for edge in self._edges:
+            in_degree[edge.target] += 1
+        queue = deque(
+            name for name in self._nodes if in_degree[name] == 0
+        )
+        order: List[str] = []
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for edge in self._edges:
+                if edge.source != current:
+                    continue
+                in_degree[edge.target] -= 1
+                if in_degree[edge.target] == 0:
+                    queue.append(edge.target)
+        if len(order) != len(self._nodes):
+            raise FlowValidationError(["flow contains a cycle"])
+        return order
+
+    def upstream(self, name: str) -> Set[str]:
+        """All transitive predecessors of a node."""
+        result: Set[str] = set()
+        frontier = deque(self.inputs(name))
+        while frontier:
+            current = frontier.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self.inputs(current))
+        return result
+
+    def downstream(self, name: str) -> Set[str]:
+        """All transitive successors of a node."""
+        result: Set[str] = set()
+        frontier = deque(self.outputs(name))
+        while frontier:
+            current = frontier.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            frontier.extend(self.outputs(current))
+        return result
+
+    def path_from_source(self, sink: str) -> List[str]:
+        """The unique linear path ending at ``sink`` while in-degree is 1.
+
+        Walks backwards from ``sink`` until a node with 0 or >1 inputs is
+        met (inclusive); returns names source-first.  Used to align the
+        unary segments of two flows during integration.
+        """
+        path = [sink]
+        current = sink
+        while True:
+            inputs = self.inputs(current)
+            if len(inputs) != 1:
+                break
+            current = inputs[0]
+            path.append(current)
+        path.reverse()
+        return path
+
+    # -- surgery -----------------------------------------------------------------
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node, splicing unary through-paths.
+
+        If the node has exactly one input and any outputs, the input is
+        reconnected to each output.  Other in/out shapes simply drop the
+        incident edges.
+        """
+        self.node(name)
+        incoming = self.inputs(name)
+        if len(incoming) == 1:
+            # Splice in place: each (name -> target) edge is replaced by
+            # (input -> target) at the same position, so the input-slot
+            # order of binary targets (join left/right) is preserved.
+            source = incoming[0]
+            spliced: List[Edge] = []
+            for edge in self._edges:
+                if edge.target == name:
+                    continue
+                if edge.source == name:
+                    duplicate = any(
+                        e.source == source and e.target == edge.target
+                        for e in self._edges
+                        if e.source != name and e.target != name
+                    ) or any(
+                        e.source == source and e.target == edge.target
+                        for e in spliced
+                    )
+                    if not duplicate:
+                        spliced.append(Edge(source, edge.target))
+                    continue
+                spliced.append(edge)
+            self._edges = spliced
+        else:
+            self._edges = [
+                edge
+                for edge in self._edges
+                if edge.source != name and edge.target != name
+            ]
+        del self._nodes[name]
+
+    def replace_node(self, name: str, operation: Operation) -> None:
+        """Swap the operation stored under ``name`` (same name required)."""
+        self.node(name)
+        if operation.name != name:
+            raise EtlError(
+                f"replacement operation must keep the name {name!r}"
+            )
+        self._nodes[name] = operation
+
+    def insert_between(
+        self, source: str, target: str, operation: Operation
+    ) -> None:
+        """Insert a unary operation on the edge source -> target."""
+        matching = [
+            edge
+            for edge in self._edges
+            if edge.source == source and edge.target == target
+        ]
+        if not matching:
+            raise EtlError(f"no edge {source!r} -> {target!r}")
+        self.add(operation)
+        index = self._edges.index(matching[0])
+        # Preserve the edge position so the input order of binary targets
+        # is unchanged.
+        self._edges[index] = Edge(operation.name, target)
+        self._edges.append(Edge(source, operation.name))
+
+    def swap_with_predecessor(self, name: str) -> None:
+        """Swap a unary node with its unary predecessor (a -> b becomes
+        b -> a).  Both must have exactly one input and the predecessor
+        exactly one output."""
+        node_inputs = self.inputs(name)
+        if len(node_inputs) != 1:
+            raise EtlError(f"{name!r} is not unary")
+        predecessor = node_inputs[0]
+        if len(self.inputs(predecessor)) != 1 or len(self.outputs(predecessor)) != 1:
+            raise EtlError(f"{predecessor!r} cannot be swapped")
+        grandparent = self.inputs(predecessor)[0]
+        successors = self.outputs(name)
+        removed = {(grandparent, predecessor), (predecessor, name)}
+        removed.update((name, successor) for successor in successors)
+        replacement = []
+        for edge in self._edges:
+            if (edge.source, edge.target) in removed:
+                if (edge.source, edge.target) == (grandparent, predecessor):
+                    # Keep edge position: a binary grandparent target is
+                    # impossible here (predecessor is unary), but binary
+                    # *successors* must keep their input slot order.
+                    replacement.append(Edge(grandparent, name))
+                elif edge.source == name:
+                    replacement.append(Edge(predecessor, edge.target))
+                continue
+            replacement.append(edge)
+        replacement.append(Edge(name, predecessor))
+        self._edges = replacement
+
+    def copy(self, name: Optional[str] = None) -> "EtlFlow":
+        """A structural copy (operations are immutable and shared)."""
+        clone = EtlFlow(
+            name=name if name is not None else self.name,
+            requirements=set(self.requirements),
+        )
+        clone._nodes = dict(self._nodes)
+        clone._edges = list(self._edges)
+        return clone
+
+    def graft(self, other: "EtlFlow", at: Dict[str, str]) -> Dict[str, str]:
+        """Graft ``other`` into this flow, unifying some nodes.
+
+        ``at`` maps node names of ``other`` to existing node names here;
+        those nodes are *not* copied — edges from them re-target the
+        mapped nodes.  Remaining nodes are copied, renamed on collision.
+        Returns the full name mapping (other name -> name here).
+        """
+        mapping: Dict[str, str] = dict(at)
+        for operation in other.nodes():
+            if operation.name in mapping:
+                continue
+            new_name = operation.name
+            suffix = 2
+            while new_name in self._nodes:
+                new_name = f"{operation.name}_{suffix}"
+                suffix += 1
+            mapping[operation.name] = new_name
+            self.add(operation.rename(new_name))
+        for edge in other.edges():
+            source = mapping[edge.source]
+            target = mapping[edge.target]
+            if edge.target in at:
+                # The target already exists here with its own inputs.
+                continue
+            if not any(
+                e.source == source and e.target == target for e in self._edges
+            ):
+                self._edges.append(Edge(source, target))
+        self.requirements |= other.requirements
+        return mapping
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Structural validation; returns problems (empty when valid)."""
+        problems: List[str] = []
+        for name, operation in self._nodes.items():
+            actual = len(self.inputs(name))
+            if actual != operation.arity:
+                problems.append(
+                    f"{operation.kind} {name!r} expects {operation.arity} "
+                    f"input(s), has {actual}"
+                )
+            if operation.kind == "Datastore" and self.inputs(name):
+                problems.append(f"datastore {name!r} has inputs")
+            if operation.kind == "Loader" and self.outputs(name):
+                problems.append(f"loader {name!r} has outputs")
+            if operation.kind not in ("Loader",) and not self.outputs(name):
+                if operation.kind != "Loader":
+                    problems.append(
+                        f"{operation.kind} {name!r} is a dead end "
+                        f"(only loaders may be sinks)"
+                    )
+        try:
+            self.topological_order()
+        except FlowValidationError as exc:
+            problems.extend(str(v) for v in exc.violations)
+        return problems
+
+    def check(self) -> None:
+        """Raise :class:`FlowValidationError` when structurally invalid."""
+        problems = self.validate()
+        if problems:
+            raise FlowValidationError(problems)

@@ -1,0 +1,301 @@
+"""The logical ETL operation taxonomy.
+
+Operation classes mirror the node types visible in the paper's xLM
+snippets (``Datastore``/``TableInput``, ``Extraction``, …) extended with
+the relational operators the generated flows need.  Every operation has:
+
+* ``name`` — unique within a flow (e.g. ``EXTRACTION_Partsupp``),
+* ``kind`` — the xLM ``<type>`` string,
+* ``optype`` — the engine-level operator name xLM carries alongside
+  (``TableInput``, ``FilterRows``, …, matching Pentaho PDI step types),
+* ``arity`` — number of inputs (0 for datastores, 2 for joins/unions),
+* ``signature()`` — a semantic fingerprint that ignores the node name;
+  the ETL Process Integrator matches operations across partial flows by
+  signature, so two independently generated "filter Spain" nodes unify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import EtlError
+from repro.expressions import parse
+from repro.expressions.ast import conjuncts
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class of all flow operations."""
+
+    name: str
+
+    kind: str = field(default="operation", init=False, repr=False)
+    optype: str = field(default="Generic", init=False, repr=False)
+    arity: int = field(default=1, init=False, repr=False)
+
+    def signature(self) -> Tuple:
+        """Semantic fingerprint, independent of the node name."""
+        raise NotImplementedError
+
+    def rename(self, new_name: str) -> "Operation":
+        """A copy of this operation under another node name."""
+        from dataclasses import replace
+
+        return replace(self, name=new_name)
+
+
+@dataclass(frozen=True)
+class Datastore(Operation):
+    """A source datastore (xLM ``Datastore``, PDI ``TableInput``)."""
+
+    table: str = ""
+    columns: Tuple[str, ...] = ()
+
+    kind = "Datastore"
+    optype = "TableInput"
+    arity = 0
+
+    def signature(self) -> Tuple:
+        return ("datastore", self.table)
+
+
+@dataclass(frozen=True)
+class Extraction(Operation):
+    """Extraction of a column subset from its input (xLM ``Extraction``)."""
+
+    columns: Tuple[str, ...] = ()
+
+    kind = "Extraction"
+    optype = "SelectValues"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        return ("extraction", tuple(sorted(self.columns)))
+
+
+@dataclass(frozen=True)
+class Selection(Operation):
+    """A filter (xLM ``Selection``, PDI ``FilterRows``)."""
+
+    predicate: str = "true"
+
+    kind = "Selection"
+    optype = "FilterRows"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        # Canonical form: the sorted set of conjunct renderings, so that
+        # ``a and b`` equals ``b and a``.
+        tree = parse(self.predicate)
+        parts = sorted(str(conjunct) for conjunct in conjuncts(tree))
+        return ("selection", tuple(parts))
+
+    def conjunct_set(self) -> frozenset:
+        tree = parse(self.predicate)
+        return frozenset(str(conjunct) for conjunct in conjuncts(tree))
+
+
+@dataclass(frozen=True)
+class Projection(Operation):
+    """Keep only the listed attributes (PDI ``SelectValues``)."""
+
+    columns: Tuple[str, ...] = ()
+
+    kind = "Projection"
+    optype = "SelectValues"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        return ("projection", tuple(sorted(self.columns)))
+
+
+class JoinType:
+    """Join type constants (plain strings keep xLM serialisation simple)."""
+
+    INNER = "inner"
+    LEFT = "left"
+
+
+@dataclass(frozen=True)
+class Join(Operation):
+    """An equi-join of two inputs (PDI ``MergeJoin``).
+
+    ``left_keys[i]`` joins with ``right_keys[i]``.  Input order is given
+    by the flow's edge order.
+    """
+
+    left_keys: Tuple[str, ...] = ()
+    right_keys: Tuple[str, ...] = ()
+    join_type: str = JoinType.INNER
+
+    kind = "Join"
+    optype = "MergeJoin"
+    arity = 2
+
+    def __post_init__(self) -> None:
+        if len(self.left_keys) != len(self.right_keys):
+            raise EtlError(
+                f"join {self.name!r}: key arity mismatch "
+                f"{self.left_keys} vs {self.right_keys}"
+            )
+
+    def signature(self) -> Tuple:
+        pairs = tuple(sorted(zip(self.left_keys, self.right_keys)))
+        return ("join", pairs, self.join_type)
+
+
+@dataclass(frozen=True)
+class AggregationSpec:
+    """One aggregate output: ``output = function(input)``."""
+
+    output: str
+    function: str  # SUM | AVERAGE | MIN | MAX | COUNT
+    input: str
+
+
+@dataclass(frozen=True)
+class Aggregation(Operation):
+    """Group-by aggregation (xLM ``Aggregation``, PDI ``GroupBy``)."""
+
+    group_by: Tuple[str, ...] = ()
+    aggregates: Tuple[AggregationSpec, ...] = ()
+
+    kind = "Aggregation"
+    optype = "GroupBy"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        specs = tuple(
+            sorted(
+                (spec.output, spec.function, spec.input)
+                for spec in self.aggregates
+            )
+        )
+        return ("aggregation", tuple(sorted(self.group_by)), specs)
+
+
+@dataclass(frozen=True)
+class DerivedAttribute(Operation):
+    """Compute ``output`` from an expression (PDI ``Calculator``)."""
+
+    output: str = ""
+    expression: str = ""
+
+    kind = "DerivedAttribute"
+    optype = "Calculator"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        return ("derive", self.output, str(parse(self.expression)))
+
+
+@dataclass(frozen=True)
+class Rename(Operation):
+    """Rename attributes (PDI ``SelectValues`` with rename metadata)."""
+
+    renaming: Tuple[Tuple[str, str], ...] = ()  # (old, new) pairs
+
+    kind = "Rename"
+    optype = "SelectValues"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        return ("rename", tuple(sorted(self.renaming)))
+
+    def mapping(self) -> Dict[str, str]:
+        return dict(self.renaming)
+
+
+@dataclass(frozen=True)
+class UnionOp(Operation):
+    """Union of two union-compatible inputs (PDI ``Append``)."""
+
+    kind = "Union"
+    optype = "Append"
+    arity = 2
+
+    def signature(self) -> Tuple:
+        return ("union",)
+
+
+@dataclass(frozen=True)
+class Distinct(Operation):
+    """Remove duplicate rows (PDI ``Unique rows``).
+
+    Dimension-population flows end in a Distinct so each dimension
+    member loads exactly once.
+    """
+
+    kind = "Distinct"
+    optype = "Unique"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        return ("distinct",)
+
+
+@dataclass(frozen=True)
+class SurrogateKey(Operation):
+    """Assign a dense surrogate key over the business key attributes
+    (PDI ``AddSequence`` + lookup in real deployments)."""
+
+    output: str = ""
+    business_keys: Tuple[str, ...] = ()
+
+    kind = "SurrogateKey"
+    optype = "AddSequence"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        return ("surrogate", self.output, tuple(sorted(self.business_keys)))
+
+
+@dataclass(frozen=True)
+class Sort(Operation):
+    """Sort rows by the listed attributes (PDI ``SortRows``)."""
+
+    keys: Tuple[str, ...] = ()
+
+    kind = "Sort"
+    optype = "SortRows"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        return ("sort", self.keys)
+
+
+@dataclass(frozen=True)
+class Loader(Operation):
+    """Load rows into a target table (xLM ``Loader``, PDI ``TableOutput``)."""
+
+    table: str = ""
+    mode: str = "insert"  # insert | replace
+
+    kind = "Loader"
+    optype = "TableOutput"
+    arity = 1
+
+    def signature(self) -> Tuple:
+        return ("loader", self.table, self.mode)
+
+
+#: kind string -> class, used by the xLM parser.
+OPERATION_KINDS = {
+    cls.kind: cls
+    for cls in (
+        Datastore,
+        Extraction,
+        Selection,
+        Projection,
+        Join,
+        Aggregation,
+        DerivedAttribute,
+        Rename,
+        UnionOp,
+        Distinct,
+        SurrogateKey,
+        Sort,
+        Loader,
+    )
+}

@@ -1,0 +1,274 @@
+"""Schema propagation through an ETL flow.
+
+Derives, for every node, the attribute schema (ordered name -> type) of
+the rows it emits, starting from the source schema of the datastores.
+This is the semantic half of flow validation: structural validation
+(:meth:`EtlFlow.validate`) checks shape, propagation checks that every
+referenced attribute exists and every predicate/expression type-checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import SchemaPropagationError, TypeCheckError
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Aggregation,
+    Datastore,
+    DerivedAttribute,
+    Distinct,
+    Extraction,
+    Join,
+    Loader,
+    Operation,
+    Projection,
+    Rename,
+    Selection,
+    Sort,
+    SurrogateKey,
+    UnionOp,
+)
+from repro.expressions import infer_type, parse
+from repro.expressions.types import ScalarType
+from repro.sources.schema import SourceSchema
+
+Schema = Dict[str, ScalarType]
+
+
+def propagate(
+    flow: EtlFlow, source_schema: Optional[SourceSchema] = None
+) -> Dict[str, Schema]:
+    """Compute the output schema of every node.
+
+    ``source_schema`` resolves :class:`Datastore` tables; a datastore
+    whose table is unknown (or when no source schema is given) must
+    carry explicit ``columns`` — then all columns default to STRING
+    unless the source schema can type them.
+
+    Raises :class:`SchemaPropagationError` on any inconsistency.
+    """
+    schemas: Dict[str, Schema] = {}
+    for name in flow.topological_order():
+        operation = flow.node(name)
+        input_schemas = [schemas[source] for source in flow.inputs(name)]
+        schemas[name] = _output_schema(operation, input_schemas, source_schema)
+    return schemas
+
+
+def attribute_names(flow: EtlFlow) -> Dict[str, Optional[set]]:
+    """Structurally derive the attribute-name set each node emits.
+
+    Unlike :func:`propagate` this needs no source schema and never
+    raises: where names cannot be determined (a datastore without
+    explicit columns) the entry — and everything depending on it that
+    cannot restore certainty — is ``None``.  Extraction/Projection and
+    Aggregation nodes restore certainty because they fix their output
+    columns themselves.
+    """
+    result: Dict[str, Optional[set]] = {}
+    for name in flow.topological_order():
+        operation = flow.node(name)
+        inputs = [result[source] for source in flow.inputs(name)]
+        result[name] = _names_of(operation, inputs)
+    return result
+
+
+def _names_of(operation: Operation, inputs: list) -> Optional[set]:
+    if isinstance(operation, Datastore):
+        return set(operation.columns) if operation.columns else None
+    if isinstance(operation, (Extraction, Projection)):
+        return set(operation.columns)
+    if isinstance(operation, Aggregation):
+        return set(operation.group_by) | {
+            spec.output for spec in operation.aggregates
+        }
+    if not inputs or inputs[0] is None:
+        return None
+    if isinstance(operation, Join):
+        if inputs[1] is None:
+            return None
+        return inputs[0] | inputs[1]
+    if isinstance(operation, DerivedAttribute):
+        return inputs[0] | {operation.output}
+    if isinstance(operation, SurrogateKey):
+        return inputs[0] | {operation.output}
+    if isinstance(operation, Rename):
+        mapping = operation.mapping()
+        return {mapping.get(name, name) for name in inputs[0]}
+    return set(inputs[0])
+
+
+def _fail(operation: Operation, message: str) -> SchemaPropagationError:
+    return SchemaPropagationError(
+        f"{operation.kind} {operation.name!r}: {message}"
+    )
+
+
+def _output_schema(
+    operation: Operation,
+    inputs: list,
+    source_schema: Optional[SourceSchema],
+) -> Schema:
+    if isinstance(operation, Datastore):
+        return _datastore_schema(operation, source_schema)
+    if isinstance(operation, (Extraction, Projection)):
+        return _projection_schema(operation, inputs[0])
+    if isinstance(operation, Selection):
+        return _selection_schema(operation, inputs[0])
+    if isinstance(operation, Join):
+        return _join_schema(operation, inputs[0], inputs[1])
+    if isinstance(operation, Aggregation):
+        return _aggregation_schema(operation, inputs[0])
+    if isinstance(operation, DerivedAttribute):
+        return _derive_schema(operation, inputs[0])
+    if isinstance(operation, Rename):
+        return _rename_schema(operation, inputs[0])
+    if isinstance(operation, UnionOp):
+        return _union_schema(operation, inputs[0], inputs[1])
+    if isinstance(operation, SurrogateKey):
+        return _surrogate_schema(operation, inputs[0])
+    if isinstance(operation, (Sort, Loader, Distinct)):
+        return _passthrough_schema(operation, inputs[0])
+    raise _fail(operation, f"unknown operation kind {operation.kind!r}")
+
+
+def _datastore_schema(
+    operation: Datastore, source_schema: Optional[SourceSchema]
+) -> Schema:
+    if source_schema is not None and source_schema.has_table(operation.table):
+        table = source_schema.table(operation.table)
+        types = table.column_types()
+        if operation.columns:
+            missing = [c for c in operation.columns if c not in types]
+            if missing:
+                raise _fail(operation, f"unknown columns {missing}")
+            return {column: types[column] for column in operation.columns}
+        return {column: types[column] for column in table.column_names()}
+    if not operation.columns:
+        raise _fail(
+            operation,
+            f"table {operation.table!r} unknown and no explicit columns",
+        )
+    return {column: ScalarType.STRING for column in operation.columns}
+
+
+def _projection_schema(operation, input_schema: Schema) -> Schema:
+    missing = [c for c in operation.columns if c not in input_schema]
+    if missing:
+        raise _fail(operation, f"unknown attributes {missing}")
+    return {column: input_schema[column] for column in operation.columns}
+
+
+def _selection_schema(operation: Selection, input_schema: Schema) -> Schema:
+    try:
+        result = infer_type(parse(operation.predicate), input_schema)
+    except TypeCheckError as exc:
+        raise _fail(operation, f"predicate does not type-check: {exc}") from exc
+    if result is not None and result is not ScalarType.BOOLEAN:
+        raise _fail(operation, f"predicate has type {result}, expected boolean")
+    return dict(input_schema)
+
+
+def _join_schema(operation: Join, left: Schema, right: Schema) -> Schema:
+    for key in operation.left_keys:
+        if key not in left:
+            raise _fail(operation, f"left key {key!r} not in left input")
+    for key in operation.right_keys:
+        if key not in right:
+            raise _fail(operation, f"right key {key!r} not in right input")
+    joined_pairs = set(zip(operation.left_keys, operation.right_keys))
+    result = dict(left)
+    for name, scalar_type in right.items():
+        if name in result:
+            if (name, name) in joined_pairs:
+                continue  # equi-joined same-named key collapses to one
+            raise _fail(operation, f"attribute {name!r} exists on both sides")
+        result[name] = scalar_type
+    return result
+
+
+_AGG_RESULT = {
+    "SUM": None,  # input type
+    "MIN": None,
+    "MAX": None,
+    "AVERAGE": ScalarType.DECIMAL,
+    "COUNT": ScalarType.INTEGER,
+}
+
+
+def _aggregation_schema(operation: Aggregation, input_schema: Schema) -> Schema:
+    result: Schema = {}
+    for attribute in operation.group_by:
+        if attribute not in input_schema:
+            raise _fail(operation, f"group-by attribute {attribute!r} missing")
+        result[attribute] = input_schema[attribute]
+    if not operation.aggregates:
+        raise _fail(operation, "no aggregate outputs")
+    for spec in operation.aggregates:
+        if spec.input not in input_schema:
+            raise _fail(operation, f"aggregate input {spec.input!r} missing")
+        if spec.function not in _AGG_RESULT:
+            raise _fail(operation, f"unknown aggregate function {spec.function!r}")
+        if spec.output in result:
+            raise _fail(operation, f"duplicate output {spec.output!r}")
+        input_type = input_schema[spec.input]
+        if spec.function in ("SUM", "AVERAGE") and not input_type.is_numeric:
+            raise _fail(
+                operation,
+                f"{spec.function} over non-numeric attribute {spec.input!r}",
+            )
+        fixed = _AGG_RESULT[spec.function]
+        result[spec.output] = fixed if fixed is not None else input_type
+    return result
+
+
+def _derive_schema(operation: DerivedAttribute, input_schema: Schema) -> Schema:
+    try:
+        result_type = infer_type(parse(operation.expression), input_schema)
+    except TypeCheckError as exc:
+        raise _fail(operation, f"expression does not type-check: {exc}") from exc
+    if result_type is None:
+        result_type = ScalarType.STRING
+    result = dict(input_schema)
+    result[operation.output] = result_type
+    return result
+
+
+def _rename_schema(operation: Rename, input_schema: Schema) -> Schema:
+    mapping = operation.mapping()
+    missing = [old for old in mapping if old not in input_schema]
+    if missing:
+        raise _fail(operation, f"renaming unknown attributes {missing}")
+    result: Schema = {}
+    for name, scalar_type in input_schema.items():
+        new_name = mapping.get(name, name)
+        if new_name in result:
+            raise _fail(operation, f"rename collides on {new_name!r}")
+        result[new_name] = scalar_type
+    return result
+
+
+def _union_schema(operation: UnionOp, left: Schema, right: Schema) -> Schema:
+    if list(left.items()) != list(right.items()):
+        raise _fail(operation, "inputs are not union-compatible")
+    return dict(left)
+
+
+def _surrogate_schema(operation: SurrogateKey, input_schema: Schema) -> Schema:
+    for key in operation.business_keys:
+        if key not in input_schema:
+            raise _fail(operation, f"business key {key!r} missing")
+    if operation.output in input_schema:
+        raise _fail(operation, f"output {operation.output!r} already exists")
+    result = {operation.output: ScalarType.INTEGER}
+    result.update(input_schema)
+    return result
+
+
+def _passthrough_schema(operation, input_schema: Schema) -> Schema:
+    if isinstance(operation, Sort):
+        missing = [key for key in operation.keys if key not in input_schema]
+        if missing:
+            raise _fail(operation, f"sort keys {missing} missing")
+    return dict(input_schema)

@@ -1,0 +1,50 @@
+"""A small typed expression language.
+
+Expressions appear throughout Quarry: requirement slicers
+(``Nation_n_name = 'Spain'``), derived measures
+(``l_extendedprice * (1 - l_discount)``), ETL filter predicates and
+derived-attribute computations, and the SQL generator.  This package
+implements the language end to end:
+
+* :mod:`repro.expressions.lexer` — tokeniser,
+* :mod:`repro.expressions.parser` — Pratt parser producing a typed AST,
+* :mod:`repro.expressions.ast` — AST node classes,
+* :mod:`repro.expressions.types` — the scalar type lattice and inference,
+* :mod:`repro.expressions.evaluator` — evaluation against attribute rows.
+
+The usual entry points:
+
+>>> from repro.expressions import parse, evaluate
+>>> tree = parse("price * (1 - discount)")
+>>> evaluate(tree, {"price": 10.0, "discount": 0.1})
+9.0
+"""
+
+from repro.expressions.ast import (
+    Attribute,
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    Literal,
+    UnaryOp,
+)
+from repro.expressions.evaluator import evaluate
+from repro.expressions.lexer import Token, TokenKind, tokenize
+from repro.expressions.parser import parse
+from repro.expressions.types import ScalarType, infer_type
+
+__all__ = [
+    "Attribute",
+    "BinaryOp",
+    "Expression",
+    "FunctionCall",
+    "Literal",
+    "ScalarType",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "evaluate",
+    "infer_type",
+    "parse",
+    "tokenize",
+]

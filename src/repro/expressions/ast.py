@@ -1,0 +1,220 @@
+"""AST node classes for the expression language.
+
+Nodes are immutable dataclasses.  Each node renders back to concrete
+syntax via :func:`to_text` / ``str()``, which the parsers and serialisers
+rely on for round-tripping expressions through xRQ/xLM documents.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Tuple, Union
+
+#: Operator precedence used when rendering (must mirror the parser).
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "in": 4,
+    "=": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+@dataclass(frozen=True)
+class Expression:
+    """Base class for all expression nodes."""
+
+    def attributes(self) -> frozenset:
+        """The set of attribute names referenced by this expression."""
+        raise NotImplementedError
+
+    def precedence(self) -> int:
+        """Binding strength used when rendering back to text."""
+        return 10
+
+    def __str__(self) -> str:
+        return to_text(self)
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, boolean, date or NULL."""
+
+    value: Union[int, float, str, bool, datetime.date, None]
+
+    def attributes(self) -> frozenset:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Attribute(Expression):
+    """A reference to a named attribute of the current row."""
+
+    name: str
+
+    def attributes(self) -> frozenset:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """A unary operation: ``-x`` or ``not x``."""
+
+    operator: str
+    operand: Expression
+
+    def attributes(self) -> frozenset:
+        return self.operand.attributes()
+
+    def precedence(self) -> int:
+        # Prefix minus binds tighter than multiplication (the parser reads
+        # its operand with binding power 6); NOT sits just below comparison.
+        return 6 if self.operator == "-" else 3
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """A binary operation: arithmetic, comparison, logical, or ``in``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def attributes(self) -> frozenset:
+        return self.left.attributes() | self.right.attributes()
+
+    def precedence(self) -> int:
+        return _PRECEDENCE[self.operator]
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A call to a built-in scalar function, e.g. ``year(o_orderdate)``."""
+
+    name: str
+    arguments: Tuple[Expression, ...] = field(default_factory=tuple)
+
+    def attributes(self) -> frozenset:
+        names: frozenset = frozenset()
+        for argument in self.arguments:
+            names |= argument.attributes()
+        return names
+
+
+@dataclass(frozen=True)
+class ValueList(Expression):
+    """A parenthesised list of literals, the right operand of ``in``."""
+
+    items: Tuple[Expression, ...]
+
+    def attributes(self) -> frozenset:
+        names: frozenset = frozenset()
+        for item in self.items:
+            names |= item.attributes()
+        return names
+
+
+def _render_literal(value) -> str:
+    """Render a literal value back to concrete syntax."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, datetime.date):
+        return f"date '{value.isoformat()}'"
+    return repr(value)
+
+
+def to_text(node: Expression) -> str:
+    """Render an AST back to parseable concrete syntax."""
+    if isinstance(node, Literal):
+        return _render_literal(node.value)
+    if isinstance(node, Attribute):
+        return node.name
+    if isinstance(node, UnaryOp):
+        inner = to_text(node.operand)
+        # <= so that -(a * b) and not (not x) keep their structure.
+        if node.operand.precedence() <= node.precedence():
+            inner = f"({inner})"
+        if node.operator == "not":
+            return f"not {inner}"
+        return f"{node.operator}{inner}"
+    if isinstance(node, BinaryOp):
+        left = to_text(node.left)
+        right = to_text(node.right)
+        if node.left.precedence() < node.precedence():
+            left = f"({left})"
+        # Right side needs parentheses at equal precedence too, because
+        # rendering is left-associative.
+        if node.right.precedence() <= node.precedence() and not isinstance(
+            node.right, ValueList
+        ):
+            right = f"({right})"
+        return f"{left} {node.operator} {right}"
+    if isinstance(node, FunctionCall):
+        arguments = ", ".join(to_text(argument) for argument in node.arguments)
+        return f"{node.name}({arguments})"
+    if isinstance(node, ValueList):
+        items = ", ".join(to_text(item) for item in node.items)
+        return f"({items})"
+    raise TypeError(f"cannot render node {node!r}")
+
+
+def substitute(node: Expression, renaming: dict) -> Expression:
+    """Return a copy of the expression with attributes renamed.
+
+    ``renaming`` maps old attribute names to new ones; attributes not in
+    the map are kept.  Used when ETL operations are re-rooted during
+    integration and when requirement concepts are bound to source columns.
+    """
+    if isinstance(node, Literal):
+        return node
+    if isinstance(node, Attribute):
+        return Attribute(renaming.get(node.name, node.name))
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.operator, substitute(node.operand, renaming))
+    if isinstance(node, BinaryOp):
+        return BinaryOp(
+            node.operator,
+            substitute(node.left, renaming),
+            substitute(node.right, renaming),
+        )
+    if isinstance(node, FunctionCall):
+        return FunctionCall(
+            node.name,
+            tuple(substitute(argument, renaming) for argument in node.arguments),
+        )
+    if isinstance(node, ValueList):
+        return ValueList(tuple(substitute(item, renaming) for item in node.items))
+    raise TypeError(f"cannot substitute in node {node!r}")
+
+
+def conjuncts(node: Expression) -> list:
+    """Split a predicate into its top-level AND-ed conjuncts."""
+    if isinstance(node, BinaryOp) and node.operator == "and":
+        return conjuncts(node.left) + conjuncts(node.right)
+    return [node]
+
+
+def conjoin(predicates: list) -> Expression:
+    """Combine predicates with AND; a single predicate is returned as-is."""
+    if not predicates:
+        raise ValueError("conjoin requires at least one predicate")
+    result = predicates[0]
+    for predicate in predicates[1:]:
+        result = BinaryOp("and", result, predicate)
+    return result

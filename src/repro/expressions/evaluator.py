@@ -1,0 +1,243 @@
+"""Evaluation of expression ASTs against attribute rows.
+
+Semantics follow SQL three-valued logic where it matters for the
+reproduction: any arithmetic or comparison involving NULL yields NULL,
+``AND``/``OR`` use Kleene logic, and a NULL predicate filters a row out
+(the engine treats it as false at the filter boundary).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EvaluationError
+from repro.expressions import ast
+
+
+def evaluate(node: ast.Expression, row: dict):
+    """Evaluate an expression against a row (attribute name -> value).
+
+    Raises :class:`repro.errors.EvaluationError` for missing attributes,
+    division by zero, or operand type mismatches discovered at runtime.
+    """
+    if isinstance(node, ast.Literal):
+        return node.value
+    if isinstance(node, ast.Attribute):
+        if node.name not in row:
+            raise EvaluationError(f"row has no attribute {node.name!r}")
+        return row[node.name]
+    if isinstance(node, ast.UnaryOp):
+        return _evaluate_unary(node, row)
+    if isinstance(node, ast.BinaryOp):
+        return _evaluate_binary(node, row)
+    if isinstance(node, ast.FunctionCall):
+        return _evaluate_call(node, row)
+    if isinstance(node, ast.ValueList):
+        return [evaluate(item, row) for item in node.items]
+    raise EvaluationError(f"cannot evaluate node {node!r}")
+
+
+def _evaluate_unary(node: ast.UnaryOp, row: dict):
+    value = evaluate(node.operand, row)
+    if node.operator == "-":
+        if value is None:
+            return None
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise EvaluationError(f"unary minus on non-number {value!r}")
+        return -value
+    if node.operator == "not":
+        if value is None:
+            return None
+        return not _as_bool(value)
+    raise EvaluationError(f"unknown unary operator {node.operator!r}")
+
+
+def _evaluate_binary(node: ast.BinaryOp, row: dict):
+    operator = node.operator
+    if operator == "and":
+        return _kleene_and(node, row)
+    if operator == "or":
+        return _kleene_or(node, row)
+    left = evaluate(node.left, row)
+    if operator == "in":
+        return _evaluate_in(left, node.right, row)
+    right = evaluate(node.right, row)
+    if left is None or right is None:
+        return None
+    if operator in ("+", "-", "*", "/", "%"):
+        return _arithmetic(operator, left, right)
+    if operator in ("=", "!=", "<", "<=", ">", ">="):
+        return _compare(operator, left, right)
+    raise EvaluationError(f"unknown binary operator {operator!r}")
+
+
+def _kleene_and(node: ast.BinaryOp, row: dict):
+    left = evaluate(node.left, row)
+    if left is not None and not _as_bool(left):
+        return False
+    right = evaluate(node.right, row)
+    if right is not None and not _as_bool(right):
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _kleene_or(node: ast.BinaryOp, row: dict):
+    left = evaluate(node.left, row)
+    if left is not None and _as_bool(left):
+        return True
+    right = evaluate(node.right, row)
+    if right is not None and _as_bool(right):
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def _evaluate_in(left, right_node: ast.Expression, row: dict):
+    values = evaluate(right_node, row)
+    if not isinstance(values, list):
+        values = [values]
+    if left is None:
+        return None
+    saw_null = False
+    for value in values:
+        if value is None:
+            saw_null = True
+            continue
+        if _compare("=", left, value):
+            return True
+    return None if saw_null else False
+
+
+def _arithmetic(operator: str, left, right):
+    for operand in (left, right):
+        if isinstance(operand, bool) or not isinstance(operand, (int, float, str)):
+            raise EvaluationError(
+                f"arithmetic {operator!r} on incompatible operand {operand!r}"
+            )
+    if operator == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if isinstance(left, str) or isinstance(right, str):
+        raise EvaluationError(
+            f"arithmetic {operator!r} between {type(left).__name__} "
+            f"and {type(right).__name__}"
+        )
+    if operator == "+":
+        return left + right
+    if operator == "-":
+        return left - right
+    if operator == "*":
+        return left * right
+    if operator == "/":
+        if right == 0:
+            raise EvaluationError("division by zero")
+        result = left / right
+        return result
+    if operator == "%":
+        if right == 0:
+            raise EvaluationError("modulo by zero")
+        return left % right
+    raise EvaluationError(f"unknown arithmetic operator {operator!r}")
+
+
+def _compare(operator: str, left, right):
+    if type(left) is not type(right):
+        both_numeric = isinstance(left, (int, float)) and isinstance(
+            right, (int, float)
+        )
+        if not both_numeric or isinstance(left, bool) or isinstance(right, bool):
+            raise EvaluationError(
+                f"cannot compare {type(left).__name__} with {type(right).__name__}"
+            )
+    if operator == "=":
+        return left == right
+    if operator == "!=":
+        return left != right
+    if operator == "<":
+        return left < right
+    if operator == "<=":
+        return left <= right
+    if operator == ">":
+        return left > right
+    if operator == ">=":
+        return left >= right
+    raise EvaluationError(f"unknown comparison operator {operator!r}")
+
+
+def _as_bool(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise EvaluationError(f"expected a boolean, got {value!r}")
+
+
+def _string_arg(name: str, value) -> str:
+    if not isinstance(value, str):
+        raise EvaluationError(f"{name} expects a string, got {value!r}")
+    return value
+
+
+def _number_arg(name: str, value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"{name} expects a number, got {value!r}")
+    return value
+
+
+def _date_arg(name: str, value):
+    import datetime
+
+    if not isinstance(value, datetime.date):
+        raise EvaluationError(f"{name} expects a date, got {value!r}")
+    return value
+
+
+def _evaluate_call(node: ast.FunctionCall, row: dict):
+    name = node.name.lower()
+    values = [evaluate(argument, row) for argument in node.arguments]
+    if name == "coalesce":
+        for value in values:
+            if value is not None:
+                return value
+        return None
+    if any(value is None for value in values):
+        return None
+    if name == "abs":
+        return abs(_number_arg(name, values[0]))
+    if name == "round":
+        return round(_number_arg(name, values[0]))
+    if name == "floor":
+        return math.floor(_number_arg(name, values[0]))
+    if name == "ceil":
+        return math.ceil(_number_arg(name, values[0]))
+    if name == "sqrt":
+        value = _number_arg(name, values[0])
+        if value < 0:
+            raise EvaluationError("sqrt of a negative number")
+        return math.sqrt(value)
+    if name == "length":
+        return len(_string_arg(name, values[0]))
+    if name == "upper":
+        return _string_arg(name, values[0]).upper()
+    if name == "lower":
+        return _string_arg(name, values[0]).lower()
+    if name == "trim":
+        return _string_arg(name, values[0]).strip()
+    if name == "substring":
+        text = _string_arg(name, values[0])
+        start = int(_number_arg(name, values[1]))
+        count = int(_number_arg(name, values[2]))
+        if start < 1:
+            raise EvaluationError("substring start index is 1-based")
+        return text[start - 1 : start - 1 + count]
+    if name == "concat":
+        return _string_arg(name, values[0]) + _string_arg(name, values[1])
+    if name == "year":
+        return _date_arg(name, values[0]).year
+    if name == "month":
+        return _date_arg(name, values[0]).month
+    if name == "day":
+        return _date_arg(name, values[0]).day
+    if name == "quarter":
+        return (_date_arg(name, values[0]).month - 1) // 3 + 1
+    raise EvaluationError(f"unknown function {node.name!r}")

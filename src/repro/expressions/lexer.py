@@ -1,0 +1,158 @@
+"""Tokeniser for the expression language.
+
+The grammar's lexical level: identifiers, numeric and string literals,
+``date '...'`` literals, operators and punctuation.  Keywords (``and``,
+``or``, ``not``, ``in``, ``true``, ``false``, ``null``, ``date``) are
+case-insensitive; identifiers keep their case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :func:`tokenize`."""
+
+    NUMBER = "number"
+    STRING = "string"
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its source position (for error messages)."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+
+_KEYWORDS = {"and", "or", "not", "in", "true", "false", "null", "date"}
+
+#: Multi-character operators must be listed before their prefixes.
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "%")
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789.")
+
+
+def tokenize(text: str) -> list:
+    """Tokenise an expression string into a list of :class:`Token`.
+
+    The returned list always ends with an END token.  Raises
+    :class:`LexError` on characters outside the grammar.
+    """
+    tokens = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char in " \t\r\n":
+            index += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", index))
+            index += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", index))
+            index += 1
+            continue
+        if char == ",":
+            tokens.append(Token(TokenKind.COMMA, ",", index))
+            index += 1
+            continue
+        if char == "'":
+            token, index = _read_string(text, index)
+            tokens.append(token)
+            continue
+        if char.isdigit():
+            token, index = _read_number(text, index)
+            tokens.append(token)
+            continue
+        if char in _IDENT_START:
+            token, index = _read_word(text, index)
+            tokens.append(token)
+            continue
+        operator = _match_operator(text, index)
+        if operator is not None:
+            # Normalise the SQL-style <> spelling to !=.
+            canonical = "!=" if operator == "<>" else operator
+            tokens.append(Token(TokenKind.OPERATOR, canonical, index))
+            index += len(operator)
+            continue
+        raise LexError(f"unexpected character {char!r}", index)
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens
+
+
+def _match_operator(text: str, index: int):
+    """Return the operator spelled at ``index``, or None."""
+    for operator in _OPERATORS:
+        if text.startswith(operator, index):
+            return operator
+    return None
+
+
+def _read_string(text: str, start: int):
+    """Read a single-quoted string literal; ``''`` escapes a quote."""
+    index = start + 1
+    pieces = []
+    while index < len(text):
+        char = text[index]
+        if char == "'":
+            if index + 1 < len(text) and text[index + 1] == "'":
+                pieces.append("'")
+                index += 2
+                continue
+            token = Token(TokenKind.STRING, "".join(pieces), start)
+            return token, index + 1
+        pieces.append(char)
+        index += 1
+    raise LexError("unterminated string literal", start)
+
+
+def _read_number(text: str, start: int):
+    """Read an integer or decimal literal."""
+    index = start
+    seen_dot = False
+    while index < len(text):
+        char = text[index]
+        if char.isdigit():
+            index += 1
+            continue
+        if char == "." and not seen_dot and index + 1 < len(text) and text[index + 1].isdigit():
+            seen_dot = True
+            index += 1
+            continue
+        break
+    return Token(TokenKind.NUMBER, text[start:index], start), index
+
+
+def _read_word(text: str, start: int):
+    """Read an identifier or keyword.
+
+    Identifiers may contain dots (qualified names like ``Part.p_name``)
+    but may not start or end with one.
+    """
+    index = start + 1
+    while index < len(text) and text[index] in _IDENT_CONT:
+        index += 1
+    # Do not swallow a trailing dot (e.g. end of sentence in free text).
+    while index > start and text[index - 1] == ".":
+        index -= 1
+    word = text[start:index]
+    lowered = word.lower()
+    if lowered in _KEYWORDS:
+        return Token(TokenKind.KEYWORD, lowered, start), index
+    return Token(TokenKind.IDENTIFIER, word, start), index

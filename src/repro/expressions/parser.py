@@ -1,0 +1,180 @@
+"""Pratt parser for the expression language.
+
+Grammar (binding powers in :data:`_INFIX_POWER`):
+
+.. code-block:: text
+
+    expr      := or_expr
+    or_expr   := and_expr ( OR and_expr )*
+    and_expr  := cmp_expr ( AND cmp_expr )*
+    cmp_expr  := add_expr ( ( = | != | < | <= | > | >= ) add_expr
+                           | [NOT] IN '(' literal (',' literal)* ')' )?
+    add_expr  := mul_expr ( ( + | - ) mul_expr )*
+    mul_expr  := unary ( ( * | / | % ) unary )*
+    unary     := ( - | NOT ) unary | primary
+    primary   := literal | identifier | identifier '(' args ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.errors import ParseError
+from repro.expressions import ast
+from repro.expressions.lexer import Token, TokenKind, tokenize
+
+#: Left binding power of infix operators.
+_INFIX_POWER = {
+    "or": 1,
+    "and": 2,
+    "in": 4,
+    "=": 4,
+    "!=": 4,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def parse(text: str) -> ast.Expression:
+    """Parse an expression string into an AST.
+
+    Raises :class:`repro.errors.ParseError` (or ``LexError``) on
+    malformed input.
+    """
+    parser = _Parser(tokenize(text), text)
+    expression = parser.parse_expression(0)
+    parser.expect_end()
+    return expression
+
+
+class _Parser:
+    """Recursive Pratt parser over a token list."""
+
+    def __init__(self, tokens: list, source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _error(self, message: str, token: Token) -> ParseError:
+        return ParseError(
+            f"{message} at position {token.position} in {self._source!r}"
+        )
+
+    def expect_end(self) -> None:
+        token = self._peek()
+        if token.kind is not TokenKind.END:
+            raise self._error(f"unexpected trailing token {token.text!r}", token)
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_expression(self, min_power: int) -> ast.Expression:
+        left = self._parse_prefix()
+        while True:
+            token = self._peek()
+            operator = self._infix_operator(token)
+            if operator is None:
+                return left
+            power = _INFIX_POWER[operator]
+            if power <= min_power:
+                return left
+            self._advance()
+            if operator == "in":
+                left = ast.BinaryOp("in", left, self._parse_value_list())
+            else:
+                right = self.parse_expression(power)
+                left = ast.BinaryOp(operator, left, right)
+
+    def _infix_operator(self, token: Token):
+        """Classify the next token as an infix operator, or None."""
+        if token.kind is TokenKind.OPERATOR:
+            return token.text
+        if token.kind is TokenKind.KEYWORD and token.text in ("and", "or", "in"):
+            return token.text
+        return None
+
+    def _parse_prefix(self) -> ast.Expression:
+        token = self._advance()
+        if token.kind is TokenKind.NUMBER:
+            if "." in token.text:
+                return ast.Literal(float(token.text))
+            return ast.Literal(int(token.text))
+        if token.kind is TokenKind.STRING:
+            return ast.Literal(token.text)
+        if token.kind is TokenKind.KEYWORD:
+            return self._parse_keyword_prefix(token)
+        if token.kind is TokenKind.IDENTIFIER:
+            if self._peek().kind is TokenKind.LPAREN:
+                return self._parse_call(token.text)
+            return ast.Attribute(token.text)
+        if token.kind is TokenKind.OPERATOR and token.text == "-":
+            operand = self.parse_expression(6)
+            return ast.UnaryOp("-", operand)
+        if token.kind is TokenKind.LPAREN:
+            inner = self.parse_expression(0)
+            self._expect(TokenKind.RPAREN)
+            return inner
+        raise self._error(f"unexpected token {token.text!r}", token)
+
+    def _parse_keyword_prefix(self, token: Token) -> ast.Expression:
+        if token.text == "true":
+            return ast.Literal(True)
+        if token.text == "false":
+            return ast.Literal(False)
+        if token.text == "null":
+            return ast.Literal(None)
+        if token.text == "not":
+            operand = self.parse_expression(3)
+            return ast.UnaryOp("not", operand)
+        if token.text == "date":
+            value_token = self._expect(TokenKind.STRING)
+            try:
+                value = datetime.date.fromisoformat(value_token.text)
+            except ValueError as exc:
+                raise self._error(f"invalid date literal: {exc}", value_token)
+            return ast.Literal(value)
+        raise self._error(f"unexpected keyword {token.text!r}", token)
+
+    def _parse_call(self, name: str) -> ast.FunctionCall:
+        self._expect(TokenKind.LPAREN)
+        arguments = []
+        if self._peek().kind is not TokenKind.RPAREN:
+            arguments.append(self.parse_expression(0))
+            while self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                arguments.append(self.parse_expression(0))
+        self._expect(TokenKind.RPAREN)
+        return ast.FunctionCall(name, tuple(arguments))
+
+    def _parse_value_list(self) -> ast.ValueList:
+        self._expect(TokenKind.LPAREN)
+        items = [self.parse_expression(0)]
+        while self._peek().kind is TokenKind.COMMA:
+            self._advance()
+            items.append(self.parse_expression(0))
+        self._expect(TokenKind.RPAREN)
+        return ast.ValueList(tuple(items))
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._advance()
+        if token.kind is not kind:
+            raise self._error(
+                f"expected {kind.value}, found {token.text!r}", token
+            )
+        return token

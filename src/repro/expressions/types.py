@@ -1,0 +1,231 @@
+"""Scalar types and type inference for the expression language.
+
+The type system is deliberately small — it matches what the MD model and
+the relational engine need: integers, decimals (floats), strings, booleans
+and dates.  ``NULL`` is represented by Python ``None`` and is a member of
+every type.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from typing import Optional
+
+from repro.errors import TypeCheckError
+
+
+class ScalarType(enum.Enum):
+    """The scalar types known to the expression language and the engine."""
+
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type can take part in arithmetic."""
+        return self in (ScalarType.INTEGER, ScalarType.DECIMAL)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Result type of arithmetic between two numeric types: INTEGER only when
+#: both operands are INTEGER, DECIMAL otherwise.
+def numeric_join(left: ScalarType, right: ScalarType) -> ScalarType:
+    """Return the wider of two numeric types.
+
+    Raises :class:`TypeCheckError` when either side is not numeric.
+    """
+    if not left.is_numeric or not right.is_numeric:
+        raise TypeCheckError(
+            f"arithmetic requires numeric operands, got {left} and {right}"
+        )
+    if left is ScalarType.DECIMAL or right is ScalarType.DECIMAL:
+        return ScalarType.DECIMAL
+    return ScalarType.INTEGER
+
+
+def comparable(left: ScalarType, right: ScalarType) -> bool:
+    """Whether values of the two types can be compared with <, =, etc."""
+    if left is right:
+        return True
+    return left.is_numeric and right.is_numeric
+
+
+def type_of_value(value: object) -> Optional[ScalarType]:
+    """Infer the :class:`ScalarType` of a Python value.
+
+    Returns ``None`` for ``None`` (NULL belongs to every type).
+    Raises :class:`TypeCheckError` for values outside the type system.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return ScalarType.BOOLEAN
+    if isinstance(value, int):
+        return ScalarType.INTEGER
+    if isinstance(value, float):
+        return ScalarType.DECIMAL
+    if isinstance(value, str):
+        return ScalarType.STRING
+    if isinstance(value, datetime.date):
+        return ScalarType.DATE
+    raise TypeCheckError(f"value {value!r} is outside the scalar type system")
+
+
+#: Signatures of the built-in scalar functions: name -> (arg types, result).
+#: ``None`` in an argument slot means "any type"; a numeric marker means
+#: the argument must be numeric and the result follows numeric_join rules.
+_NUMERIC = "numeric"
+
+FUNCTION_SIGNATURES = {
+    "abs": ((_NUMERIC,), _NUMERIC),
+    "round": ((_NUMERIC,), ScalarType.INTEGER),
+    "floor": ((_NUMERIC,), ScalarType.INTEGER),
+    "ceil": ((_NUMERIC,), ScalarType.INTEGER),
+    "sqrt": ((_NUMERIC,), ScalarType.DECIMAL),
+    "length": ((ScalarType.STRING,), ScalarType.INTEGER),
+    "upper": ((ScalarType.STRING,), ScalarType.STRING),
+    "lower": ((ScalarType.STRING,), ScalarType.STRING),
+    "trim": ((ScalarType.STRING,), ScalarType.STRING),
+    "substring": (
+        (ScalarType.STRING, ScalarType.INTEGER, ScalarType.INTEGER),
+        ScalarType.STRING,
+    ),
+    "concat": ((ScalarType.STRING, ScalarType.STRING), ScalarType.STRING),
+    "year": ((ScalarType.DATE,), ScalarType.INTEGER),
+    "month": ((ScalarType.DATE,), ScalarType.INTEGER),
+    "day": ((ScalarType.DATE,), ScalarType.INTEGER),
+    "quarter": ((ScalarType.DATE,), ScalarType.INTEGER),
+    "coalesce": ((None, None), None),
+}
+
+
+def function_result_type(name: str, arg_types: list) -> ScalarType:
+    """Type-check a function call and return its result type.
+
+    ``arg_types`` entries may be ``None`` when the argument's type is
+    unknown (e.g. a NULL literal); unknown arguments satisfy any slot.
+    """
+    key = name.lower()
+    if key not in FUNCTION_SIGNATURES:
+        raise TypeCheckError(f"unknown function: {name!r}")
+    expected, result = FUNCTION_SIGNATURES[key]
+    if len(arg_types) != len(expected):
+        raise TypeCheckError(
+            f"function {name!r} expects {len(expected)} arguments, "
+            f"got {len(arg_types)}"
+        )
+    for position, (got, want) in enumerate(zip(arg_types, expected)):
+        if got is None or want is None:
+            continue
+        if want == _NUMERIC:
+            if not got.is_numeric:
+                raise TypeCheckError(
+                    f"argument {position + 1} of {name!r} must be numeric, "
+                    f"got {got}"
+                )
+        elif got is not want:
+            raise TypeCheckError(
+                f"argument {position + 1} of {name!r} must be {want}, got {got}"
+            )
+    if result == _NUMERIC:
+        first = arg_types[0]
+        return first if first is not None else ScalarType.DECIMAL
+    if result is None:
+        for got in arg_types:
+            if got is not None:
+                return got
+        return ScalarType.STRING
+    return result
+
+
+def infer_type(expression, schema: dict) -> Optional[ScalarType]:
+    """Infer the result type of an expression under an attribute schema.
+
+    ``schema`` maps attribute names to :class:`ScalarType`.  Returns
+    ``None`` only for a bare NULL literal.  Raises
+    :class:`TypeCheckError` on type errors or unknown attributes.
+    """
+    # Imported here to avoid a circular import with the AST module.
+    from repro.expressions import ast
+
+    if isinstance(expression, ast.Literal):
+        return type_of_value(expression.value)
+    if isinstance(expression, ast.Attribute):
+        if expression.name not in schema:
+            raise TypeCheckError(f"unknown attribute: {expression.name!r}")
+        return schema[expression.name]
+    if isinstance(expression, ast.UnaryOp):
+        operand = infer_type(expression.operand, schema)
+        if expression.operator == "-":
+            if operand is not None and not operand.is_numeric:
+                raise TypeCheckError(f"unary minus requires a number, got {operand}")
+            return operand if operand is not None else ScalarType.DECIMAL
+        if expression.operator == "not":
+            if operand is not None and operand is not ScalarType.BOOLEAN:
+                raise TypeCheckError(f"NOT requires a boolean, got {operand}")
+            return ScalarType.BOOLEAN
+        raise TypeCheckError(f"unknown unary operator: {expression.operator!r}")
+    if isinstance(expression, ast.BinaryOp):
+        return _infer_binary(expression, schema)
+    if isinstance(expression, ast.FunctionCall):
+        arg_types = [infer_type(arg, schema) for arg in expression.arguments]
+        return function_result_type(expression.name, arg_types)
+    raise TypeCheckError(f"cannot type-check node {expression!r}")
+
+
+_ARITHMETIC = {"+", "-", "*", "/", "%"}
+_COMPARISON = {"=", "!=", "<", "<=", ">", ">="}
+_LOGICAL = {"and", "or"}
+
+
+def _infer_binary(node, schema: dict) -> ScalarType:
+    """Infer the result type of a binary operation node."""
+    from repro.expressions import ast
+
+    operator = node.operator
+    if operator == "in":
+        left = infer_type(node.left, schema)
+        if isinstance(node.right, ast.ValueList):
+            for item in node.right.items:
+                item_type = infer_type(item, schema)
+                if (
+                    left is not None
+                    and item_type is not None
+                    and not comparable(left, item_type)
+                ):
+                    raise TypeCheckError(
+                        f"IN list member of type {item_type} is not "
+                        f"comparable with {left}"
+                    )
+        return ScalarType.BOOLEAN
+    left = infer_type(node.left, schema)
+    right = infer_type(node.right, schema)
+    if operator in _ARITHMETIC:
+        if operator == "+" and ScalarType.STRING in (left, right):
+            if left in (ScalarType.STRING, None) and right in (ScalarType.STRING, None):
+                return ScalarType.STRING
+            raise TypeCheckError(f"cannot add {left} and {right}")
+        if left is None or right is None:
+            return ScalarType.DECIMAL
+        return numeric_join(left, right)
+    if operator in _COMPARISON:
+        if left is not None and right is not None and not comparable(left, right):
+            raise TypeCheckError(f"cannot compare {left} with {right}")
+        return ScalarType.BOOLEAN
+    if operator in _LOGICAL:
+        for side, side_type in (("left", left), ("right", right)):
+            if side_type is not None and side_type is not ScalarType.BOOLEAN:
+                raise TypeCheckError(
+                    f"{operator.upper()} requires boolean operands, "
+                    f"{side} operand is {side_type}"
+                )
+        return ScalarType.BOOLEAN
+    if operator == "in":
+        return ScalarType.BOOLEAN
+    raise TypeCheckError(f"unknown binary operator: {operator!r}")

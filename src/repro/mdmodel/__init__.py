@@ -1,0 +1,41 @@
+"""The multidimensional (MD) model.
+
+Quarry's target design artefact on the schema side: facts with measures,
+dimensions with levels organised into aggregation hierarchies, and
+constellation schemas where several facts share conformed dimensions.
+
+* :mod:`repro.mdmodel.model` — the schema classes,
+* :mod:`repro.mdmodel.constraints` — MD integrity constraints and
+  summarizability validation (the checks behind "Quarry automatically
+  guarantees MD-compliant results", §2.3),
+* :mod:`repro.mdmodel.complexity` — the structural design complexity
+  cost model (the paper's example MD quality factor, §3),
+* :mod:`repro.mdmodel.conformance` — dimension conformance tests and
+  merge utilities used by the MD Schema Integrator.
+"""
+
+from repro.mdmodel.model import (
+    AggregationFunction,
+    Additivity,
+    Dimension,
+    Fact,
+    FactDimensionLink,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+
+__all__ = [
+    "Additivity",
+    "AggregationFunction",
+    "Dimension",
+    "Fact",
+    "FactDimensionLink",
+    "Hierarchy",
+    "Level",
+    "LevelAttribute",
+    "MDSchema",
+    "Measure",
+]

@@ -1,0 +1,106 @@
+"""Structural design complexity — the MD quality factor of the demo.
+
+"We will consider structural design complexity as an example quality
+factor for output MD schemata" (§3).  Following the cost model of the
+underlying journal work [6], complexity is a weighted count of schema
+elements; the MD Schema Integrator scores candidate integration
+alternatives with it and keeps the cheapest sound one.
+
+The default weights make *shared* structure cheap: a conformed dimension
+reused by two facts is counted once, so integrating a new requirement
+into an existing dimension always scores no worse than duplicating it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mdmodel.model import MDSchema
+
+
+@dataclass(frozen=True)
+class ComplexityWeights:
+    """Weights of each structural element kind."""
+
+    fact: float = 10.0
+    measure: float = 2.0
+    dimension: float = 5.0
+    level: float = 3.0
+    attribute: float = 1.0
+    hierarchy: float = 1.0
+    link: float = 1.0
+
+
+DEFAULT_WEIGHTS = ComplexityWeights()
+
+
+@dataclass(frozen=True)
+class ComplexityReport:
+    """Element counts plus the weighted total."""
+
+    facts: int
+    measures: int
+    dimensions: int
+    levels: int
+    attributes: int
+    hierarchies: int
+    links: int
+    score: float
+
+    def __str__(self) -> str:
+        return (
+            f"facts={self.facts} measures={self.measures} "
+            f"dimensions={self.dimensions} levels={self.levels} "
+            f"attributes={self.attributes} hierarchies={self.hierarchies} "
+            f"links={self.links} score={self.score:.1f}"
+        )
+
+
+def analyze(schema: MDSchema, weights: ComplexityWeights = DEFAULT_WEIGHTS) -> ComplexityReport:
+    """Count schema elements and compute the weighted complexity score."""
+    fact_count = len(schema.facts)
+    measure_count = sum(len(fact.measures) for fact in schema.facts.values())
+    link_count = sum(len(fact.links) for fact in schema.facts.values())
+    dimension_count = len(schema.dimensions)
+    level_count = sum(
+        len(dimension.levels) for dimension in schema.dimensions.values()
+    )
+    attribute_count = sum(
+        dimension.attribute_count() for dimension in schema.dimensions.values()
+    )
+    hierarchy_count = sum(
+        len(dimension.hierarchies) for dimension in schema.dimensions.values()
+    )
+    score = (
+        weights.fact * fact_count
+        + weights.measure * measure_count
+        + weights.dimension * dimension_count
+        + weights.level * level_count
+        + weights.attribute * attribute_count
+        + weights.hierarchy * hierarchy_count
+        + weights.link * link_count
+    )
+    return ComplexityReport(
+        facts=fact_count,
+        measures=measure_count,
+        dimensions=dimension_count,
+        levels=level_count,
+        attributes=attribute_count,
+        hierarchies=hierarchy_count,
+        links=link_count,
+        score=score,
+    )
+
+
+def score(schema: MDSchema, weights: ComplexityWeights = DEFAULT_WEIGHTS) -> float:
+    """The weighted complexity score alone."""
+    return analyze(schema, weights).score
+
+
+def compare(
+    first: MDSchema,
+    second: MDSchema,
+    weights: ComplexityWeights = DEFAULT_WEIGHTS,
+) -> float:
+    """Score difference (first - second); negative means first is simpler."""
+    return score(first, weights) - score(second, weights)

@@ -1,0 +1,180 @@
+"""Dimension conformance tests and merge utilities.
+
+The MD Schema Integrator must decide when two dimensions coming from
+different partial designs denote the *same* analysis axis and can be
+conformed (shared by several facts).  This module gives it:
+
+* :func:`levels_match` — whether two levels describe the same class
+  (by ontology concept provenance, or by name + attribute overlap),
+* :func:`dimensions_conformable` — whether two dimensions share matching
+  levels and their hierarchies are order-compatible,
+* :func:`merge_levels` / :func:`merge_dimensions` — the union merge that
+  the integrator applies when the user (or the cost model) accepts a
+  match.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import MDError
+from repro.mdmodel.model import Dimension, Hierarchy, Level
+
+
+def levels_match(first: Level, second: Level) -> bool:
+    """Whether two levels denote the same real-world class.
+
+    Ontology provenance wins: two levels generated from the same concept
+    always match, ones from different concepts never do.  Without
+    provenance, match on equal name or on sharing at least half of the
+    smaller attribute set.
+    """
+    if first.concept is not None and second.concept is not None:
+        return first.concept == second.concept
+    if first.name == second.name:
+        return True
+    first_names = set(first.attribute_names())
+    second_names = set(second.attribute_names())
+    if not first_names or not second_names:
+        return False
+    overlap = len(first_names & second_names)
+    return overlap * 2 >= min(len(first_names), len(second_names))
+
+
+def find_matching_level(level: Level, dimension: Dimension) -> Optional[Level]:
+    """The level of ``dimension`` that matches ``level``, if any."""
+    for candidate in dimension.levels.values():
+        if levels_match(level, candidate):
+            return candidate
+    return None
+
+
+def level_matches(
+    first: Dimension, second: Dimension
+) -> List[Tuple[str, str]]:
+    """All (first level, second level) name pairs that match."""
+    pairs = []
+    for level in first.levels.values():
+        counterpart = find_matching_level(level, second)
+        if counterpart is not None:
+            pairs.append((level.name, counterpart.name))
+    return pairs
+
+
+def hierarchies_order_compatible(
+    first: Dimension, second: Dimension, pairs: List[Tuple[str, str]]
+) -> bool:
+    """Whether matched levels roll up in the same order on both sides.
+
+    If first says City -> Country and second says Country -> City, the
+    dimensions cannot be conformed.
+    """
+    mapping = dict(pairs)
+    for finer, coarser in _rollup_pairs(first):
+        if finer in mapping and coarser in mapping:
+            other_finer, other_coarser = mapping[finer], mapping[coarser]
+            if second.rolls_up(other_coarser, other_finer) and not second.rolls_up(
+                other_finer, other_coarser
+            ):
+                return False
+    return True
+
+
+def _rollup_pairs(dimension: Dimension):
+    for hierarchy in dimension.hierarchies:
+        for index, finer in enumerate(hierarchy.levels):
+            for coarser in hierarchy.levels[index + 1 :]:
+                yield finer, coarser
+
+
+def dimensions_conformable(first: Dimension, second: Dimension) -> bool:
+    """Whether the two dimensions can be merged into one conformed axis."""
+    pairs = level_matches(first, second)
+    if not pairs:
+        return False
+    return hierarchies_order_compatible(first, second, pairs)
+
+
+def merge_levels(target: Level, incoming: Level) -> Level:
+    """Union-merge ``incoming`` into a copy of ``target``.
+
+    Keeps target's name and key; adds attributes the target lacks.
+    Raises :class:`MDError` if the levels do not match.
+    """
+    if not levels_match(target, incoming):
+        raise MDError(
+            f"levels {target.name!r} and {incoming.name!r} do not match"
+        )
+    merged = Level(
+        name=target.name,
+        attributes=list(target.attributes),
+        key=target.key,
+        concept=target.concept if target.concept is not None else incoming.concept,
+    )
+    existing = set(merged.attribute_names())
+    for attribute in incoming.attributes:
+        if attribute.name not in existing:
+            merged.attributes.append(attribute)
+            existing.add(attribute.name)
+    return merged
+
+
+def merge_dimensions(target: Dimension, incoming: Dimension) -> Dimension:
+    """Union-merge two conformable dimensions into a new dimension.
+
+    Matched levels are merged attribute-wise; unmatched incoming levels
+    and hierarchies are added.  Hierarchies equal to an existing one are
+    dropped, others are added under a disambiguated name.  Raises
+    :class:`MDError` when the dimensions are not conformable.
+    """
+    if not dimensions_conformable(target, incoming):
+        raise MDError(
+            f"dimensions {target.name!r} and {incoming.name!r} are not "
+            f"conformable"
+        )
+    merged = Dimension(
+        name=target.name,
+        requirements=set(target.requirements) | set(incoming.requirements),
+    )
+    incoming_to_target = {}
+    for level in target.levels.values():
+        merged.add_level(
+            Level(
+                name=level.name,
+                attributes=list(level.attributes),
+                key=level.key,
+                concept=level.concept,
+            )
+        )
+    for level in incoming.levels.values():
+        counterpart = find_matching_level(level, target)
+        if counterpart is not None:
+            incoming_to_target[level.name] = counterpart.name
+            merged.levels[counterpart.name] = merge_levels(
+                merged.levels[counterpart.name], level
+            )
+        else:
+            incoming_to_target[level.name] = level.name
+            merged.add_level(
+                Level(
+                    name=level.name,
+                    attributes=list(level.attributes),
+                    key=level.key,
+                    concept=level.concept,
+                )
+            )
+    for hierarchy in target.hierarchies:
+        merged.add_hierarchy(Hierarchy(hierarchy.name, list(hierarchy.levels)))
+    for hierarchy in incoming.hierarchies:
+        renamed = [incoming_to_target[name] for name in hierarchy.levels]
+        if any(renamed == existing.levels for existing in merged.hierarchies):
+            continue
+        name = hierarchy.name
+        if any(existing.name == name for existing in merged.hierarchies):
+            name = f"{incoming.name}_{hierarchy.name}"
+        suffix = 2
+        while any(existing.name == name for existing in merged.hierarchies):
+            name = f"{incoming.name}_{hierarchy.name}_{suffix}"
+            suffix += 1
+        merged.add_hierarchy(Hierarchy(name, renamed))
+    return merged

@@ -1,0 +1,244 @@
+"""MD integrity constraints and summarizability validation.
+
+"For each new, changed, or removed requirement, an updated DW design must
+go through a series of validation processes to guarantee [...] the
+soundness of the updated design solutions (i.e., meeting MD integrity
+constraints [9])" (§1).  This module implements those validation
+processes over :class:`repro.mdmodel.model.MDSchema`:
+
+* structural constraints — facts have measures and dimension links,
+  links reference existing dimensions/levels, hierarchies reference
+  existing levels and start at a base level a fact can link,
+* summarizability constraints (after Mazón et al.'s survey, [9]) —
+  aggregation functions must be compatible with measure additivity
+  (e.g. a non-additive measure such as a ratio cannot be SUMmed;
+  semi-additive measures such as stock levels may not be summed along
+  their restricted dimension).
+
+``validate`` returns all problems at once; ``check`` raises
+:class:`repro.errors.MDConstraintViolation` if any ERROR-severity
+problem exists.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import MDConstraintViolation
+from repro.mdmodel.model import (
+    Additivity,
+    AggregationFunction,
+    MDSchema,
+)
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One validation finding."""
+
+    severity: Severity
+    element: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.element}: {self.message}"
+
+
+#: Aggregation functions that are distributive and thus always safe to
+#: compute along any hierarchy roll-up.
+_DISTRIBUTIVE = {
+    AggregationFunction.SUM,
+    AggregationFunction.MIN,
+    AggregationFunction.MAX,
+    AggregationFunction.COUNT,
+}
+
+
+def validate(schema: MDSchema) -> List[Violation]:
+    """Run all MD integrity checks; returns every finding."""
+    violations: List[Violation] = []
+    violations.extend(_validate_dimensions(schema))
+    violations.extend(_validate_facts(schema))
+    return violations
+
+
+def check(schema: MDSchema) -> None:
+    """Raise :class:`MDConstraintViolation` when the schema is unsound."""
+    errors = [v for v in validate(schema) if v.severity is Severity.ERROR]
+    if errors:
+        raise MDConstraintViolation(errors)
+
+
+def is_sound(schema: MDSchema) -> bool:
+    """Whether the schema has no ERROR-severity violations."""
+    return not any(v.severity is Severity.ERROR for v in validate(schema))
+
+
+def _validate_dimensions(schema: MDSchema) -> List[Violation]:
+    violations: List[Violation] = []
+    for dimension in schema.dimensions.values():
+        element = f"dimension {dimension.name!r}"
+        if not dimension.levels:
+            violations.append(
+                Violation(Severity.ERROR, element, "has no levels")
+            )
+            continue
+        if not dimension.hierarchies:
+            violations.append(
+                Violation(Severity.ERROR, element, "has no hierarchies")
+            )
+        covered = set()
+        for hierarchy in dimension.hierarchies:
+            for level_name in hierarchy.levels:
+                if level_name not in dimension.levels:
+                    violations.append(
+                        Violation(
+                            Severity.ERROR,
+                            element,
+                            f"hierarchy {hierarchy.name!r} references "
+                            f"unknown level {level_name!r}",
+                        )
+                    )
+                covered.add(level_name)
+        orphans = set(dimension.levels) - covered
+        for level_name in sorted(orphans):
+            violations.append(
+                Violation(
+                    Severity.WARNING,
+                    element,
+                    f"level {level_name!r} is in no hierarchy "
+                    f"(unreachable for roll-up)",
+                )
+            )
+        for level in dimension.levels.values():
+            if not level.attributes:
+                violations.append(
+                    Violation(
+                        Severity.ERROR,
+                        element,
+                        f"level {level.name!r} has no attributes",
+                    )
+                )
+    return violations
+
+
+def _validate_facts(schema: MDSchema) -> List[Violation]:
+    violations: List[Violation] = []
+    for fact in schema.facts.values():
+        element = f"fact {fact.name!r}"
+        if not fact.measures:
+            violations.append(Violation(Severity.ERROR, element, "has no measures"))
+        if not fact.links:
+            violations.append(
+                Violation(Severity.ERROR, element, "links no dimensions")
+            )
+        seen_dimensions = set()
+        for link in fact.links:
+            if link.dimension in seen_dimensions:
+                violations.append(
+                    Violation(
+                        Severity.ERROR,
+                        element,
+                        f"links dimension {link.dimension!r} twice",
+                    )
+                )
+            seen_dimensions.add(link.dimension)
+            if not schema.has_dimension(link.dimension):
+                violations.append(
+                    Violation(
+                        Severity.ERROR,
+                        element,
+                        f"links unknown dimension {link.dimension!r}",
+                    )
+                )
+                continue
+            dimension = schema.dimension(link.dimension)
+            if not dimension.has_level(link.level):
+                violations.append(
+                    Violation(
+                        Severity.ERROR,
+                        element,
+                        f"links dimension {link.dimension!r} at unknown "
+                        f"level {link.level!r}",
+                    )
+                )
+                continue
+            # The link level must be a base of some hierarchy, otherwise
+            # facts would sit at a coarser granularity than the dimension
+            # can roll up from (violating the MD base-granularity rule).
+            if dimension.hierarchies and link.level not in dimension.base_levels():
+                finer_exists = any(
+                    dimension.rolls_up(other, link.level)
+                    for other in dimension.levels
+                    if other != link.level
+                )
+                if finer_exists:
+                    violations.append(
+                        Violation(
+                            Severity.WARNING,
+                            element,
+                            f"links {link.dimension!r} at non-base level "
+                            f"{link.level!r}; finer levels cannot be queried",
+                        )
+                    )
+        violations.extend(_validate_measures(fact, element))
+    return violations
+
+
+def _validate_measures(fact, element: str) -> List[Violation]:
+    violations: List[Violation] = []
+    for measure in fact.measures.values():
+        if measure.additivity is Additivity.NON_ADDITIVE:
+            if measure.aggregation is AggregationFunction.SUM:
+                violations.append(
+                    Violation(
+                        Severity.ERROR,
+                        element,
+                        f"non-additive measure {measure.name!r} cannot be "
+                        f"SUMmed (summarizability, cf. [9])",
+                    )
+                )
+            elif measure.aggregation in (
+                AggregationFunction.MIN,
+                AggregationFunction.MAX,
+                AggregationFunction.COUNT,
+            ):
+                # Order statistics and counts remain meaningful.
+                pass
+            else:
+                violations.append(
+                    Violation(
+                        Severity.WARNING,
+                        element,
+                        f"non-additive measure {measure.name!r} aggregated "
+                        f"with {measure.aggregation.value}; verify semantics",
+                    )
+                )
+        if measure.additivity is Additivity.SEMI_ADDITIVE:
+            if measure.aggregation is AggregationFunction.SUM:
+                violations.append(
+                    Violation(
+                        Severity.WARNING,
+                        element,
+                        f"semi-additive measure {measure.name!r} SUMmed; "
+                        f"sums along the restricted dimension are invalid",
+                    )
+                )
+        if measure.aggregation not in _DISTRIBUTIVE:
+            violations.append(
+                Violation(
+                    Severity.WARNING,
+                    element,
+                    f"measure {measure.name!r} uses non-distributive "
+                    f"{measure.aggregation.value}; pre-aggregated roll-ups "
+                    f"must keep auxiliary counts",
+                )
+            )
+    return violations

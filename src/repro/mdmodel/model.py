@@ -1,0 +1,353 @@
+"""Multidimensional schema classes.
+
+The structure follows the xMD format of the paper (Figures 3-4): an MD
+schema holds *facts* (with measures) and *dimensions* (with levels and
+hierarchies); fact-dimension links record the granularity at which a
+fact references a dimension.  Several facts may share a dimension — a
+constellation with conformed dimensions, which is exactly what the MD
+Schema Integrator produces when consolidating requirements.
+
+Provenance fields (``concept``/``property``/``requirements``) tie every
+element back to the domain ontology and the requirements it serves;
+integration and satisfiability checking are driven by them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import MDError
+from repro.expressions.types import ScalarType
+
+
+class AggregationFunction(enum.Enum):
+    """Aggregation functions usable in requirements and measures."""
+
+    SUM = "SUM"
+    AVG = "AVERAGE"
+    MIN = "MIN"
+    MAX = "MAX"
+    COUNT = "COUNT"
+
+    @classmethod
+    def parse(cls, text: str) -> "AggregationFunction":
+        """Parse lenient spellings (``avg``, ``AVERAGE``, ``Sum``)."""
+        upper = text.strip().upper()
+        aliases = {"AVG": "AVERAGE", "MEAN": "AVERAGE"}
+        upper = aliases.get(upper, upper)
+        for function in cls:
+            if function.value == upper:
+                return function
+        raise MDError(f"unknown aggregation function {text!r}")
+
+
+class Additivity(enum.Enum):
+    """How a measure may be summed along dimensions (cf. [9] in paper)."""
+
+    ADDITIVE = "additive"
+    SEMI_ADDITIVE = "semi-additive"
+    NON_ADDITIVE = "non-additive"
+
+
+@dataclass(frozen=True)
+class LevelAttribute:
+    """A descriptor attribute of a level (e.g. ``p_name`` of Part)."""
+
+    name: str
+    type: ScalarType
+    property: Optional[str] = None  # ontology datatype-property provenance
+
+
+@dataclass
+class Level:
+    """An aggregation level of a dimension."""
+
+    name: str
+    attributes: List[LevelAttribute] = field(default_factory=list)
+    key: Optional[str] = None  # identifying attribute; defaults to first
+    concept: Optional[str] = None  # ontology concept provenance
+
+    def __post_init__(self) -> None:
+        names = [attribute.name for attribute in self.attributes]
+        if len(names) != len(set(names)):
+            raise MDError(f"duplicate attribute names in level {self.name!r}")
+        if self.key is None and self.attributes:
+            self.key = self.attributes[0].name
+        if self.key is not None and self.key not in names:
+            raise MDError(
+                f"key {self.key!r} is not an attribute of level {self.name!r}"
+            )
+
+    def attribute(self, name: str) -> LevelAttribute:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise MDError(f"level {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(attribute.name == name for attribute in self.attributes)
+
+    def attribute_names(self) -> List[str]:
+        return [attribute.name for attribute in self.attributes]
+
+
+@dataclass
+class Hierarchy:
+    """An ordered roll-up path: ``levels[0]`` is the finest level."""
+
+    name: str
+    levels: List[str]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise MDError(f"hierarchy {self.name!r} has no levels")
+        if len(self.levels) != len(set(self.levels)):
+            raise MDError(f"hierarchy {self.name!r} repeats a level")
+
+    @property
+    def base(self) -> str:
+        return self.levels[0]
+
+    def rolls_up(self, finer: str, coarser: str) -> bool:
+        """Whether ``coarser`` is above ``finer`` on this path."""
+        if finer not in self.levels or coarser not in self.levels:
+            return False
+        return self.levels.index(finer) < self.levels.index(coarser)
+
+
+@dataclass
+class Dimension:
+    """An analysis dimension: levels plus one or more hierarchies."""
+
+    name: str
+    levels: Dict[str, Level] = field(default_factory=dict)
+    hierarchies: List[Hierarchy] = field(default_factory=list)
+    requirements: Set[str] = field(default_factory=set)
+
+    def add_level(self, level: Level) -> Level:
+        if level.name in self.levels:
+            raise MDError(
+                f"level {level.name!r} already in dimension {self.name!r}"
+            )
+        self.levels[level.name] = level
+        return level
+
+    def level(self, name: str) -> Level:
+        try:
+            return self.levels[name]
+        except KeyError:
+            raise MDError(
+                f"dimension {self.name!r} has no level {name!r}"
+            ) from None
+
+    def has_level(self, name: str) -> bool:
+        return name in self.levels
+
+    def add_hierarchy(self, hierarchy: Hierarchy) -> Hierarchy:
+        if any(existing.name == hierarchy.name for existing in self.hierarchies):
+            raise MDError(
+                f"hierarchy {hierarchy.name!r} already in dimension {self.name!r}"
+            )
+        self.hierarchies.append(hierarchy)
+        return hierarchy
+
+    def hierarchy(self, name: str) -> Hierarchy:
+        for hierarchy in self.hierarchies:
+            if hierarchy.name == name:
+                return hierarchy
+        raise MDError(f"dimension {self.name!r} has no hierarchy {name!r}")
+
+    def base_levels(self) -> List[str]:
+        """Base (finest) levels of all hierarchies, deduplicated."""
+        bases = []
+        for hierarchy in self.hierarchies:
+            if hierarchy.base not in bases:
+                bases.append(hierarchy.base)
+        return bases
+
+    def rolls_up(self, finer: str, coarser: str) -> bool:
+        """Whether any hierarchy rolls ``finer`` up to ``coarser``."""
+        if finer == coarser:
+            return True
+        return any(h.rolls_up(finer, coarser) for h in self.hierarchies)
+
+    def attribute_count(self) -> int:
+        return sum(len(level.attributes) for level in self.levels.values())
+
+
+@dataclass
+class Measure:
+    """A fact measure with its derivation expression and additivity."""
+
+    name: str
+    expression: str  # over ontology datatype-property ids
+    type: ScalarType = ScalarType.DECIMAL
+    aggregation: AggregationFunction = AggregationFunction.SUM
+    additivity: Additivity = Additivity.ADDITIVE
+    requirements: Set[str] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class FactDimensionLink:
+    """A fact's reference to a dimension at a given level granularity."""
+
+    dimension: str
+    level: str
+
+
+@dataclass
+class Fact:
+    """A fact: measures plus links to dimensions.
+
+    ``grain`` lists the attribute columns that define the fact's
+    granularity — the grouping atoms of the requirement(s) it serves.
+    The fact table carries exactly these columns (plus the measures),
+    its primary key spans them, and the populating ETL aggregates by
+    them.
+
+    ``slicers`` records the selection predicates (over ontology
+    datatype-property ids) baked into the fact's content by its ETL.
+    Two facts with different slicers hold different data and must not
+    be merged even when concept, links and grain coincide.
+    """
+
+    name: str
+    measures: Dict[str, Measure] = field(default_factory=dict)
+    links: List[FactDimensionLink] = field(default_factory=list)
+    concept: Optional[str] = None  # ontology concept the fact is centred on
+    requirements: Set[str] = field(default_factory=set)
+    grain: List[str] = field(default_factory=list)
+    slicers: List[str] = field(default_factory=list)
+
+    def add_measure(self, measure: Measure) -> Measure:
+        if measure.name in self.measures:
+            raise MDError(
+                f"measure {measure.name!r} already in fact {self.name!r}"
+            )
+        self.measures[measure.name] = measure
+        return measure
+
+    def measure(self, name: str) -> Measure:
+        try:
+            return self.measures[name]
+        except KeyError:
+            raise MDError(f"fact {self.name!r} has no measure {name!r}") from None
+
+    def link_dimension(self, dimension: str, level: str) -> FactDimensionLink:
+        link = FactDimensionLink(dimension, level)
+        if link in self.links:
+            return link
+        if any(existing.dimension == dimension for existing in self.links):
+            raise MDError(
+                f"fact {self.name!r} already links dimension {dimension!r} "
+                f"at a different level"
+            )
+        self.links.append(link)
+        return link
+
+    def linked_dimensions(self) -> List[str]:
+        return [link.dimension for link in self.links]
+
+    def link_for(self, dimension: str) -> Optional[FactDimensionLink]:
+        for link in self.links:
+            if link.dimension == dimension:
+                return link
+        return None
+
+
+@dataclass
+class MDSchema:
+    """A constellation schema: facts sharing conformed dimensions."""
+
+    name: str
+    facts: Dict[str, Fact] = field(default_factory=dict)
+    dimensions: Dict[str, Dimension] = field(default_factory=dict)
+
+    def add_fact(self, fact: Fact) -> Fact:
+        if fact.name in self.facts:
+            raise MDError(f"fact {fact.name!r} already in schema {self.name!r}")
+        self.facts[fact.name] = fact
+        return fact
+
+    def add_dimension(self, dimension: Dimension) -> Dimension:
+        if dimension.name in self.dimensions:
+            raise MDError(
+                f"dimension {dimension.name!r} already in schema {self.name!r}"
+            )
+        self.dimensions[dimension.name] = dimension
+        return dimension
+
+    def fact(self, name: str) -> Fact:
+        try:
+            return self.facts[name]
+        except KeyError:
+            raise MDError(f"schema {self.name!r} has no fact {name!r}") from None
+
+    def dimension(self, name: str) -> Dimension:
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise MDError(
+                f"schema {self.name!r} has no dimension {name!r}"
+            ) from None
+
+    def has_fact(self, name: str) -> bool:
+        return name in self.facts
+
+    def has_dimension(self, name: str) -> bool:
+        return name in self.dimensions
+
+    def all_requirements(self) -> Set[str]:
+        """Ids of all requirements any element of the schema serves."""
+        requirement_ids: Set[str] = set()
+        for fact in self.facts.values():
+            requirement_ids |= fact.requirements
+            for measure in fact.measures.values():
+                requirement_ids |= measure.requirements
+        for dimension in self.dimensions.values():
+            requirement_ids |= dimension.requirements
+        return requirement_ids
+
+    def copy(self) -> "MDSchema":
+        """Deep-enough copy for integration trials (shared immutables)."""
+        clone = MDSchema(name=self.name)
+        for fact in self.facts.values():
+            clone.facts[fact.name] = Fact(
+                name=fact.name,
+                measures={
+                    name: replace(measure, requirements=set(measure.requirements))
+                    for name, measure in fact.measures.items()
+                },
+                links=list(fact.links),
+                concept=fact.concept,
+                requirements=set(fact.requirements),
+                grain=list(fact.grain),
+                slicers=list(fact.slicers),
+            )
+        for dimension in self.dimensions.values():
+            clone.dimensions[dimension.name] = Dimension(
+                name=dimension.name,
+                levels={
+                    name: Level(
+                        name=level.name,
+                        attributes=list(level.attributes),
+                        key=level.key,
+                        concept=level.concept,
+                    )
+                    for name, level in dimension.levels.items()
+                },
+                hierarchies=[
+                    Hierarchy(name=h.name, levels=list(h.levels))
+                    for h in dimension.hierarchies
+                ],
+                requirements=set(dimension.requirements),
+            )
+        return clone
+
+    def iter_levels(self) -> Iterator[Tuple[str, Level]]:
+        """(dimension name, level) pairs across the schema."""
+        for dimension in self.dimensions.values():
+            for level in dimension.levels.values():
+                yield dimension.name, level

@@ -1,0 +1,42 @@
+"""Domain ontologies capturing the semantics of underlying data sources.
+
+Quarry uses a domain ontology (OWL + Jena in the original system) as the
+shared vocabulary between end-users and data sources: requirements are
+phrased over ontology concepts, and source schema mappings bind those
+concepts to concrete tables and columns.  This package provides:
+
+* :mod:`repro.ontology.model` — concepts, datatype properties, object
+  properties with multiplicities, and the :class:`Ontology` container,
+* :mod:`repro.ontology.graph` — graph algorithms over object properties
+  (to-one paths, reachability, shortest join paths),
+* :mod:`repro.ontology.reasoner` — subsumption closure and inference of
+  inherited properties,
+* :mod:`repro.ontology.io` — a compact functional-style text
+  serialisation (parse + render),
+* :mod:`repro.ontology.d3` — D3-compatible JSON graph export for the
+  Requirements Elicitor front-end,
+* :mod:`repro.ontology.builder` — a fluent builder for defining
+  ontologies in code.
+"""
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.graph import OntologyGraph
+from repro.ontology.model import (
+    Concept,
+    DatatypeProperty,
+    Multiplicity,
+    ObjectProperty,
+    Ontology,
+)
+from repro.ontology.reasoner import Reasoner
+
+__all__ = [
+    "Concept",
+    "DatatypeProperty",
+    "Multiplicity",
+    "ObjectProperty",
+    "Ontology",
+    "OntologyBuilder",
+    "OntologyGraph",
+    "Reasoner",
+]

@@ -1,0 +1,106 @@
+"""Fluent builder for defining ontologies in code.
+
+Example:
+
+>>> from repro.ontology import OntologyBuilder
+>>> from repro.expressions import ScalarType
+>>> ontology = (
+...     OntologyBuilder("shop")
+...     .concept("Product", label="Product")
+...     .attribute("Product_name", "Product", ScalarType.STRING)
+...     .concept("Sale")
+...     .relationship("Sale_product", "Sale", "Product", "N-1")
+...     .build()
+... )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.expressions.types import ScalarType
+from repro.ontology.model import (
+    Concept,
+    DatatypeProperty,
+    Multiplicity,
+    ObjectProperty,
+    Ontology,
+)
+
+
+def _coerce_multiplicity(value: Union[str, Multiplicity]) -> Multiplicity:
+    if isinstance(value, Multiplicity):
+        return value
+    return Multiplicity(value)
+
+
+def _coerce_type(value: Union[str, ScalarType]) -> ScalarType:
+    if isinstance(value, ScalarType):
+        return value
+    return ScalarType(value)
+
+
+class OntologyBuilder:
+    """Accumulates ontology elements and produces an :class:`Ontology`."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self._ontology = Ontology(name=name, description=description)
+
+    def concept(
+        self,
+        concept_id: str,
+        label: Optional[str] = None,
+        parent: Optional[str] = None,
+        description: str = "",
+    ) -> "OntologyBuilder":
+        """Declare a concept; ``parent`` must have been declared before."""
+        self._ontology.add_concept(
+            Concept(id=concept_id, label=label, parent=parent, description=description)
+        )
+        return self
+
+    def attribute(
+        self,
+        property_id: str,
+        concept_id: str,
+        scalar_type: Union[str, ScalarType],
+        label: Optional[str] = None,
+        description: str = "",
+    ) -> "OntologyBuilder":
+        """Declare a datatype property on an existing concept."""
+        self._ontology.add_datatype_property(
+            DatatypeProperty(
+                id=property_id,
+                concept=concept_id,
+                range=_coerce_type(scalar_type),
+                label=label,
+                description=description,
+            )
+        )
+        return self
+
+    def relationship(
+        self,
+        property_id: str,
+        domain: str,
+        range_: str,
+        multiplicity: Union[str, Multiplicity] = Multiplicity.MANY_TO_ONE,
+        label: Optional[str] = None,
+        description: str = "",
+    ) -> "OntologyBuilder":
+        """Declare an object property between two existing concepts."""
+        self._ontology.add_object_property(
+            ObjectProperty(
+                id=property_id,
+                domain=domain,
+                range=range_,
+                multiplicity=_coerce_multiplicity(multiplicity),
+                label=label,
+                description=description,
+            )
+        )
+        return self
+
+    def build(self) -> Ontology:
+        """Return the accumulated ontology."""
+        return self._ontology

@@ -1,0 +1,80 @@
+"""D3-compatible JSON export of a domain ontology.
+
+The original Requirements Elicitor is a JavaScript component that renders
+the domain ontology as a force-directed graph with the D3 library
+(Figure 2).  This module produces the node/link document such a front-end
+consumes: concepts become nodes (with their datatype properties inlined
+for tooltips), object properties and subsumption arcs become links.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.ontology.graph import OntologyGraph
+from repro.ontology.model import Ontology
+
+
+def to_d3(ontology: Ontology, highlight: Optional[str] = None) -> dict:
+    """Build a D3 force-layout document for an ontology.
+
+    ``highlight`` optionally names a focus concept: the node is flagged
+    and every concept in its to-one closure (i.e. every suggested
+    analysis dimension) is flagged as ``suggested`` — this is exactly the
+    visual state of Figure 2 after the user picks a focus.
+    """
+    graph = OntologyGraph(ontology)
+    suggested = set()
+    if highlight is not None:
+        suggested = set(graph.to_one_closure(highlight))
+
+    nodes = []
+    for concept in ontology.concepts():
+        attributes = [
+            {
+                "id": prop.id,
+                "label": prop.display_name,
+                "type": prop.range.value,
+            }
+            for prop in ontology.datatype_properties(concept.id)
+        ]
+        node = {
+            "id": concept.id,
+            "label": concept.display_name,
+            "attributes": attributes,
+            "focus": concept.id == highlight,
+            "suggested": concept.id in suggested,
+        }
+        nodes.append(node)
+
+    links = []
+    for prop in ontology.object_properties():
+        links.append(
+            {
+                "id": prop.id,
+                "source": prop.domain,
+                "target": prop.range,
+                "label": prop.display_name,
+                "multiplicity": prop.multiplicity.value,
+                "kind": "relationship",
+            }
+        )
+    for concept in ontology.concepts():
+        if concept.parent is not None:
+            links.append(
+                {
+                    "id": f"{concept.id}__isa",
+                    "source": concept.id,
+                    "target": concept.parent,
+                    "label": "is-a",
+                    "multiplicity": "N-1",
+                    "kind": "subsumption",
+                }
+            )
+    return {"name": ontology.name, "nodes": nodes, "links": links}
+
+
+def to_d3_json(ontology: Ontology, highlight: Optional[str] = None) -> str:
+    """Like :func:`to_d3` but rendered as a JSON string."""
+    return json.dumps(to_d3(ontology, highlight=highlight), indent=2)

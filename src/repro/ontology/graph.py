@@ -1,0 +1,206 @@
+"""Graph algorithms over the object-property structure of an ontology.
+
+The Requirements Elicitor and the Requirements Interpreter both treat the
+ontology as a graph whose nodes are concepts and whose edges are object
+properties.  Two traversals matter for MD design:
+
+* **to-one paths** — chains of relationships where every hop is
+  functional (``N-1`` or ``1-1``).  A concept reachable from a fact
+  concept over a to-one path is a valid aggregation level: each fact
+  instance rolls up to exactly one instance of it.  These paths are the
+  backbone of dimension-hierarchy discovery (Figure 2's suggestions).
+* **join paths** — undirected shortest paths used by the ETL generator
+  to connect the source tables that a requirement touches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ontology.model import Multiplicity, ObjectProperty, Ontology
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop in a concept path.
+
+    ``forward`` is True when the hop follows the property from domain to
+    range, False when it traverses the property in reverse.
+    """
+
+    property_id: str
+    source: str
+    target: str
+    forward: bool
+
+    def multiplicity(self, ontology: Ontology) -> Multiplicity:
+        """Effective multiplicity of the hop in traversal direction."""
+        prop = ontology.object_property(self.property_id)
+        return prop.multiplicity if self.forward else prop.multiplicity.inverse
+
+
+@dataclass(frozen=True)
+class ConceptPath:
+    """A path between two concepts as a sequence of :class:`PathStep`."""
+
+    steps: Tuple[PathStep, ...]
+
+    @property
+    def source(self) -> str:
+        return self.steps[0].source
+
+    @property
+    def target(self) -> str:
+        return self.steps[-1].target
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def concepts(self) -> List[str]:
+        """All concepts along the path, source first."""
+        nodes = [self.steps[0].source]
+        for step in self.steps:
+            nodes.append(step.target)
+        return nodes
+
+    def is_to_one(self, ontology: Ontology) -> bool:
+        """Whether every hop is functional in traversal direction."""
+        return all(step.multiplicity(ontology).to_one for step in self.steps)
+
+
+class OntologyGraph:
+    """Adjacency-indexed view of an ontology for path queries."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self._ontology = ontology
+        self._forward: Dict[str, List[ObjectProperty]] = {}
+        self._backward: Dict[str, List[ObjectProperty]] = {}
+        for concept in ontology.concepts():
+            self._forward[concept.id] = []
+            self._backward[concept.id] = []
+        for prop in ontology.object_properties():
+            self._forward[prop.domain].append(prop)
+            self._backward[prop.range].append(prop)
+
+    @property
+    def ontology(self) -> Ontology:
+        return self._ontology
+
+    # -- neighbourhood -------------------------------------------------------
+
+    def neighbours(self, concept_id: str) -> Iterator[PathStep]:
+        """All single hops leaving ``concept_id``, in both directions."""
+        self._ontology.concept(concept_id)
+        for prop in self._forward.get(concept_id, ()):
+            yield PathStep(prop.id, concept_id, prop.range, forward=True)
+        for prop in self._backward.get(concept_id, ()):
+            yield PathStep(prop.id, concept_id, prop.domain, forward=False)
+
+    def to_one_neighbours(self, concept_id: str) -> Iterator[PathStep]:
+        """Single hops from ``concept_id`` that are functional."""
+        for step in self.neighbours(concept_id):
+            if step.multiplicity(self._ontology).to_one:
+                yield step
+
+    # -- functional closure ----------------------------------------------------
+
+    def to_one_closure(self, concept_id: str) -> Dict[str, ConceptPath]:
+        """All concepts reachable from ``concept_id`` over to-one paths.
+
+        Returns a map target concept -> shortest to-one path.  The source
+        itself is not included.  This is the dimension-candidate set for
+        a fact centred on ``concept_id``.
+        """
+        paths: Dict[str, ConceptPath] = {}
+        queue = deque([(concept_id, ())])
+        visited = {concept_id}
+        while queue:
+            current, steps = queue.popleft()
+            for step in self.to_one_neighbours(current):
+                if step.target in visited:
+                    continue
+                visited.add(step.target)
+                path = ConceptPath(steps + (step,))
+                paths[step.target] = path
+                queue.append((step.target, path.steps))
+        return paths
+
+    def to_one_path(self, source: str, target: str) -> Optional[ConceptPath]:
+        """Shortest to-one path from source to target, or None."""
+        if source == target:
+            return ConceptPath(())
+        return self.to_one_closure(source).get(target)
+
+    # -- undirected shortest paths ----------------------------------------------
+
+    def shortest_path(self, source: str, target: str) -> Optional[ConceptPath]:
+        """Shortest undirected path between two concepts, or None.
+
+        Used by the ETL generator to find the join route between the
+        source tables a requirement touches, regardless of FK direction.
+        """
+        self._ontology.concept(source)
+        self._ontology.concept(target)
+        if source == target:
+            return ConceptPath(())
+        queue = deque([(source, ())])
+        visited = {source}
+        while queue:
+            current, steps = queue.popleft()
+            for step in self.neighbours(current):
+                if step.target in visited:
+                    continue
+                visited.add(step.target)
+                path_steps = steps + (step,)
+                if step.target == target:
+                    return ConceptPath(path_steps)
+                queue.append((step.target, path_steps))
+        return None
+
+    def steiner_tree_paths(self, anchor: str, targets: List[str]) -> Dict[str, ConceptPath]:
+        """Shortest paths from an anchor concept to each target concept.
+
+        A greedy approximation of the join tree connecting all concepts a
+        requirement mentions: each target is connected to the anchor via
+        its shortest path.  Targets that are unreachable are omitted.
+        """
+        paths = {}
+        for target in targets:
+            if target == anchor:
+                continue
+            path = self.shortest_path(anchor, target)
+            if path is not None:
+                paths[target] = path
+        return paths
+
+    def connected(self, source: str, target: str) -> bool:
+        """Whether two concepts are connected ignoring edge direction."""
+        return self.shortest_path(source, target) is not None
+
+    # -- degree statistics --------------------------------------------------------
+
+    def fan_in(self, concept_id: str) -> int:
+        """Number of to-one arcs arriving at ``concept_id``.
+
+        A concept many others roll up to (high fan-in) is a strong
+        dimension-level candidate; the elicitor uses this signal when
+        ranking suggestions.
+        """
+        count = 0
+        for prop in self._backward.get(concept_id, ()):
+            if prop.multiplicity.to_one:
+                count += 1
+        for prop in self._forward.get(concept_id, ()):
+            if prop.multiplicity.inverse.to_one:
+                count += 1
+        return count
+
+    def fan_out(self, concept_id: str) -> int:
+        """Number of to-one arcs leaving ``concept_id``.
+
+        A concept with high to-one fan-out references many others — the
+        signature of an event/transaction concept, i.e. a fact candidate.
+        """
+        return sum(1 for _ in self.to_one_neighbours(concept_id))

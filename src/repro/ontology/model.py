@@ -1,0 +1,252 @@
+"""Core ontology model: concepts, properties, multiplicities.
+
+The model is a pragmatic subset of OWL sufficient for Quarry's needs:
+
+* **concepts** (OWL classes) with an optional parent (subsumption),
+* **datatype properties** attaching typed attributes to a concept,
+* **object properties** relating two concepts with a multiplicity
+  (the multiplicities drive MD reasoning: a dimension hierarchy is a
+  chain of to-one relationships, and fact-to-dimension arcs must be
+  many-to-one to preserve summarizability),
+* free-form **labels** (the "business vocabulary" enrichment of §2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import (
+    DuplicateDefinitionError,
+    UnknownConceptError,
+    UnknownPropertyError,
+)
+from repro.expressions.types import ScalarType
+
+
+class Multiplicity(enum.Enum):
+    """Multiplicity of an object property, read domain -> range."""
+
+    ONE_TO_ONE = "1-1"
+    MANY_TO_ONE = "N-1"
+    ONE_TO_MANY = "1-N"
+    MANY_TO_MANY = "N-N"
+
+    @property
+    def to_one(self) -> bool:
+        """Whether each domain instance maps to at most one range instance."""
+        return self in (Multiplicity.ONE_TO_ONE, Multiplicity.MANY_TO_ONE)
+
+    @property
+    def inverse(self) -> "Multiplicity":
+        """The multiplicity of the property read range -> domain."""
+        if self is Multiplicity.MANY_TO_ONE:
+            return Multiplicity.ONE_TO_MANY
+        if self is Multiplicity.ONE_TO_MANY:
+            return Multiplicity.MANY_TO_ONE
+        return self
+
+
+@dataclass(frozen=True)
+class Concept:
+    """An ontology concept (OWL class).
+
+    ``parent`` names the concept this one specialises, or ``None`` for a
+    root concept.  ``label`` carries the business-vocabulary name shown
+    to non-expert users by the Requirements Elicitor.
+    """
+
+    id: str
+    label: Optional[str] = None
+    parent: Optional[str] = None
+    description: str = ""
+
+    @property
+    def display_name(self) -> str:
+        return self.label if self.label else self.id
+
+
+@dataclass(frozen=True)
+class DatatypeProperty:
+    """A typed attribute of a concept (OWL datatype property)."""
+
+    id: str
+    concept: str
+    range: ScalarType
+    label: Optional[str] = None
+    description: str = ""
+
+    @property
+    def display_name(self) -> str:
+        return self.label if self.label else self.id
+
+
+@dataclass(frozen=True)
+class ObjectProperty:
+    """A binary relationship between two concepts (OWL object property)."""
+
+    id: str
+    domain: str
+    range: str
+    multiplicity: Multiplicity = Multiplicity.MANY_TO_ONE
+    label: Optional[str] = None
+    description: str = ""
+
+    @property
+    def display_name(self) -> str:
+        return self.label if self.label else self.id
+
+
+@dataclass
+class Ontology:
+    """A domain ontology: a named collection of concepts and properties.
+
+    All lookups are by id.  The ontology enforces referential integrity
+    on insertion (property domains/ranges and concept parents must
+    exist) and uniqueness of ids across all element kinds.
+    """
+
+    name: str
+    description: str = ""
+    _concepts: Dict[str, Concept] = field(default_factory=dict)
+    _datatype_properties: Dict[str, DatatypeProperty] = field(default_factory=dict)
+    _object_properties: Dict[str, ObjectProperty] = field(default_factory=dict)
+
+    # -- insertion ---------------------------------------------------------
+
+    def add_concept(self, concept: Concept) -> Concept:
+        """Add a concept; its parent (if any) must already exist."""
+        self._check_fresh_id(concept.id)
+        if concept.parent is not None and concept.parent not in self._concepts:
+            raise UnknownConceptError(concept.parent)
+        self._concepts[concept.id] = concept
+        return concept
+
+    def add_datatype_property(self, prop: DatatypeProperty) -> DatatypeProperty:
+        """Add a datatype property; its concept must already exist."""
+        self._check_fresh_id(prop.id)
+        if prop.concept not in self._concepts:
+            raise UnknownConceptError(prop.concept)
+        self._datatype_properties[prop.id] = prop
+        return prop
+
+    def add_object_property(self, prop: ObjectProperty) -> ObjectProperty:
+        """Add an object property; domain and range must already exist."""
+        self._check_fresh_id(prop.id)
+        for concept_id in (prop.domain, prop.range):
+            if concept_id not in self._concepts:
+                raise UnknownConceptError(concept_id)
+        self._object_properties[prop.id] = prop
+        return prop
+
+    def _check_fresh_id(self, element_id: str) -> None:
+        if (
+            element_id in self._concepts
+            or element_id in self._datatype_properties
+            or element_id in self._object_properties
+        ):
+            raise DuplicateDefinitionError(
+                f"id {element_id!r} is already defined in ontology {self.name!r}"
+            )
+
+    # -- lookup --------------------------------------------------------------
+
+    def concept(self, concept_id: str) -> Concept:
+        """Look up a concept by id; raises :class:`UnknownConceptError`."""
+        try:
+            return self._concepts[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def has_concept(self, concept_id: str) -> bool:
+        return concept_id in self._concepts
+
+    def datatype_property(self, property_id: str) -> DatatypeProperty:
+        try:
+            return self._datatype_properties[property_id]
+        except KeyError:
+            raise UnknownPropertyError(property_id) from None
+
+    def has_datatype_property(self, property_id: str) -> bool:
+        return property_id in self._datatype_properties
+
+    def object_property(self, property_id: str) -> ObjectProperty:
+        try:
+            return self._object_properties[property_id]
+        except KeyError:
+            raise UnknownPropertyError(property_id) from None
+
+    def has_object_property(self, property_id: str) -> bool:
+        return property_id in self._object_properties
+
+    def find_by_label(self, label: str) -> List[str]:
+        """Ids of all elements whose label or id equals ``label``.
+
+        Matching is case-insensitive; used to resolve business-vocabulary
+        terms typed by end-users.
+        """
+        wanted = label.lower()
+        matches = []
+        all_elements = [
+            *self._concepts.values(),
+            *self._datatype_properties.values(),
+            *self._object_properties.values(),
+        ]
+        for element in all_elements:
+            if element.id.lower() == wanted:
+                matches.append(element.id)
+            elif element.label is not None and element.label.lower() == wanted:
+                matches.append(element.id)
+        return matches
+
+    # -- iteration -----------------------------------------------------------
+
+    def concepts(self) -> Iterator[Concept]:
+        return iter(self._concepts.values())
+
+    def datatype_properties(
+        self, concept_id: Optional[str] = None
+    ) -> Iterator[DatatypeProperty]:
+        """All datatype properties, optionally only those of one concept."""
+        if concept_id is not None and concept_id not in self._concepts:
+            raise UnknownConceptError(concept_id)
+        for prop in self._datatype_properties.values():
+            if concept_id is None or prop.concept == concept_id:
+                yield prop
+
+    def object_properties(self) -> Iterator[ObjectProperty]:
+        return iter(self._object_properties.values())
+
+    def properties_from(self, concept_id: str) -> Iterator[ObjectProperty]:
+        """Object properties whose domain is ``concept_id``."""
+        if concept_id not in self._concepts:
+            raise UnknownConceptError(concept_id)
+        for prop in self._object_properties.values():
+            if prop.domain == concept_id:
+                yield prop
+
+    def properties_to(self, concept_id: str) -> Iterator[ObjectProperty]:
+        """Object properties whose range is ``concept_id``."""
+        if concept_id not in self._concepts:
+            raise UnknownConceptError(concept_id)
+        for prop in self._object_properties.values():
+            if prop.range == concept_id:
+                yield prop
+
+    # -- statistics ------------------------------------------------------------
+
+    def size(self) -> Tuple[int, int, int]:
+        """(#concepts, #datatype properties, #object properties)."""
+        return (
+            len(self._concepts),
+            len(self._datatype_properties),
+            len(self._object_properties),
+        )
+
+    def __contains__(self, element_id: str) -> bool:
+        return (
+            element_id in self._concepts
+            or element_id in self._datatype_properties
+            or element_id in self._object_properties
+        )

@@ -1,0 +1,106 @@
+"""Subsumption reasoning over an ontology.
+
+A small forward reasoner covering what Quarry needs from Jena:
+
+* transitive closure of the ``parent`` (subClassOf) relation,
+* inheritance of datatype and object properties by subconcepts,
+* least common subsumer of two concepts (used by MD matching to decide
+  whether two levels from different partial schemas talk about the same
+  real-world class).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.errors import OntologyError
+from repro.ontology.model import DatatypeProperty, ObjectProperty, Ontology
+
+
+class Reasoner:
+    """Materialises the subsumption closure of an ontology."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self._ontology = ontology
+        self._ancestors: Dict[str, List[str]] = {}
+        for concept in ontology.concepts():
+            self._ancestors[concept.id] = self._compute_ancestors(concept.id)
+
+    def _compute_ancestors(self, concept_id: str) -> List[str]:
+        """Chain of ancestors, nearest first; detects parent cycles."""
+        chain: List[str] = []
+        seen: Set[str] = {concept_id}
+        current = self._ontology.concept(concept_id).parent
+        while current is not None:
+            if current in seen:
+                raise OntologyError(
+                    f"subsumption cycle involving concept {current!r}"
+                )
+            seen.add(current)
+            chain.append(current)
+            current = self._ontology.concept(current).parent
+        return chain
+
+    # -- subsumption ---------------------------------------------------------
+
+    def ancestors(self, concept_id: str) -> List[str]:
+        """Proper ancestors of a concept, nearest first."""
+        self._ontology.concept(concept_id)
+        return list(self._ancestors[concept_id])
+
+    def descendants(self, concept_id: str) -> List[str]:
+        """Proper descendants of a concept, in insertion order."""
+        self._ontology.concept(concept_id)
+        return [
+            other
+            for other, ancestors in self._ancestors.items()
+            if concept_id in ancestors
+        ]
+
+    def is_subconcept(self, candidate: str, ancestor: str) -> bool:
+        """Reflexive subsumption check: candidate ⊑ ancestor."""
+        if candidate == ancestor:
+            self._ontology.concept(candidate)
+            return True
+        return ancestor in self._ancestors.get(candidate, ())
+
+    def least_common_subsumer(self, first: str, second: str) -> Optional[str]:
+        """The most specific concept subsuming both, or None."""
+        first_chain = [first] + self._ancestors.get(first, [])
+        second_chain = {second, *self._ancestors.get(second, [])}
+        for concept_id in first_chain:
+            if concept_id in second_chain:
+                return concept_id
+        return None
+
+    def related(self, first: str, second: str) -> bool:
+        """Whether two concepts share any subsumer (same taxonomy branch)."""
+        return self.least_common_subsumer(first, second) is not None
+
+    # -- property inheritance ----------------------------------------------------
+
+    def datatype_properties(self, concept_id: str) -> Iterator[DatatypeProperty]:
+        """Own + inherited datatype properties, own first.
+
+        Inherited properties that are shadowed by an own property with
+        the same id never occur (ids are globally unique), so no
+        deduplication is needed.
+        """
+        lineage = [concept_id] + self._ancestors.get(concept_id, [])
+        for ancestor in lineage:
+            yield from self._ontology.datatype_properties(ancestor)
+
+    def object_properties_from(self, concept_id: str) -> Iterator[ObjectProperty]:
+        """Own + inherited outgoing object properties."""
+        lineage = [concept_id] + self._ancestors.get(concept_id, [])
+        for ancestor in lineage:
+            yield from self._ontology.properties_from(ancestor)
+
+    def property_owner(self, concept_id: str, property_id: str) -> Optional[str]:
+        """The concept in the lineage that declares ``property_id``."""
+        lineage = [concept_id] + self._ancestors.get(concept_id, [])
+        for ancestor in lineage:
+            for prop in self._ontology.datatype_properties(ancestor):
+                if prop.id == property_id:
+                    return ancestor
+        return None

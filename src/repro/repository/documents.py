@@ -1,0 +1,210 @@
+"""An embedded document store with Mongo-style queries.
+
+Documents are plain JSON-compatible dicts with a required ``_id``.
+Filters support equality on (dotted) paths plus the operators
+``$eq $ne $gt $gte $lt $lte $in $nin $exists $regex`` and the
+conjunctions ``$and $or $not``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    DocumentNotFoundError,
+    DuplicateDocumentError,
+    RepositoryError,
+)
+
+_OPERATORS = {
+    "$eq", "$ne", "$gt", "$gte", "$lt", "$lte",
+    "$in", "$nin", "$exists", "$regex",
+}
+
+
+def _resolve_path(document: dict, path: str):
+    """Value at a dotted path; (value, found) pair."""
+    current = document
+    for part in path.split("."):
+        if isinstance(current, dict) and part in current:
+            current = current[part]
+        else:
+            return None, False
+    return current, True
+
+
+def _compare(op: str, value, expected) -> bool:
+    if op == "$eq":
+        return value == expected
+    if op == "$ne":
+        return value != expected
+    if op in ("$gt", "$gte", "$lt", "$lte"):
+        if value is None:
+            return False
+        try:
+            if op == "$gt":
+                return value > expected
+            if op == "$gte":
+                return value >= expected
+            if op == "$lt":
+                return value < expected
+            return value <= expected
+        except TypeError:
+            return False
+    if op == "$in":
+        return value in expected
+    if op == "$nin":
+        return value not in expected
+    if op == "$regex":
+        return isinstance(value, str) and re.search(expected, value) is not None
+    raise RepositoryError(f"unknown operator {op!r}")
+
+
+def matches(document: dict, query: dict) -> bool:
+    """Whether a document satisfies a filter query."""
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(matches(document, sub) for sub in condition):
+                return False
+            continue
+        if key == "$or":
+            if not any(matches(document, sub) for sub in condition):
+                return False
+            continue
+        if key == "$not":
+            if matches(document, condition):
+                return False
+            continue
+        value, found = _resolve_path(document, key)
+        if isinstance(condition, dict) and any(
+            op.startswith("$") for op in condition
+        ):
+            for op, expected in condition.items():
+                if op == "$exists":
+                    if bool(found) != bool(expected):
+                        return False
+                    continue
+                if op not in _OPERATORS:
+                    raise RepositoryError(f"unknown operator {op!r}")
+                if not found and op not in ("$ne", "$nin"):
+                    return False
+                if not _compare(op, value, expected):
+                    return False
+        else:
+            if not found or value != condition:
+                return False
+    return True
+
+
+class Collection:
+    """One named collection of documents."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._documents: Dict[str, dict] = {}
+
+    # -- writes -----------------------------------------------------------
+
+    def insert(self, document: dict) -> str:
+        """Insert a document; ``_id`` is required and must be fresh."""
+        if "_id" not in document:
+            raise RepositoryError("document needs an '_id'")
+        doc_id = document["_id"]
+        if doc_id in self._documents:
+            raise DuplicateDocumentError(
+                f"document {doc_id!r} already in collection {self.name!r}"
+            )
+        self._documents[doc_id] = dict(document)
+        return doc_id
+
+    def replace(self, document: dict) -> str:
+        """Insert or overwrite by ``_id`` (upsert)."""
+        if "_id" not in document:
+            raise RepositoryError("document needs an '_id'")
+        self._documents[document["_id"]] = dict(document)
+        return document["_id"]
+
+    def update(self, doc_id: str, changes: dict) -> dict:
+        """Shallow-merge changes into an existing document."""
+        document = self.get(doc_id)
+        document.update({k: v for k, v in changes.items() if k != "_id"})
+        self._documents[doc_id] = document
+        return dict(document)
+
+    def delete(self, doc_id: str) -> None:
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(self.name, doc_id)
+        del self._documents[doc_id]
+
+    def delete_many(self, query: dict) -> int:
+        doomed = [doc["_id"] for doc in self.find(query)]
+        for doc_id in doomed:
+            del self._documents[doc_id]
+        return len(doomed)
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, doc_id: str) -> dict:
+        if doc_id not in self._documents:
+            raise DocumentNotFoundError(self.name, doc_id)
+        return dict(self._documents[doc_id])
+
+    def has(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def find(
+        self,
+        query: Optional[dict] = None,
+        sort_key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[dict]:
+        """All documents matching the filter (copies)."""
+        results = [
+            dict(document)
+            for document in self._documents.values()
+            if query is None or matches(document, query)
+        ]
+        if sort_key is not None:
+            results.sort(key=lambda doc: _resolve_path(doc, sort_key)[0] or "")
+        if limit is not None:
+            results = results[:limit]
+        return results
+
+    def find_one(self, query: Optional[dict] = None) -> Optional[dict]:
+        found = self.find(query, limit=1)
+        return found[0] if found else None
+
+    def count(self, query: Optional[dict] = None) -> int:
+        if query is None:
+            return len(self._documents)
+        return sum(1 for doc in self._documents.values() if matches(doc, query))
+
+    def ids(self) -> List[str]:
+        return list(self._documents)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+
+class DocumentStore:
+    """A set of named collections (one MongoDB database)."""
+
+    def __init__(self, name: str = "quarry") -> None:
+        self.name = name
+        self._collections: Dict[str, Collection] = {}
+
+    def collection(self, name: str) -> Collection:
+        """Get (creating on first use) a collection."""
+        if name not in self._collections:
+            self._collections[name] = Collection(name)
+        return self._collections[name]
+
+    def collection_names(self) -> List[str]:
+        return list(self._collections)
+
+    def drop_collection(self, name: str) -> None:
+        self._collections.pop(name, None)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections

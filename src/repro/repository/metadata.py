@@ -1,0 +1,188 @@
+"""The typed metadata catalog over the document store.
+
+"the Communication & Metadata layer also serves as a repository for the
+metadata that are produced and used during the DW design lifecycle"
+(§2.5): information requirements, partial designs (per requirement),
+unified designs, domain ontologies and source schema mappings.
+
+Artefacts cross the boundary in their XML formats (xRQ/xMD/xLM) and are
+stored as JSON documents via the generic converter — mirroring the
+MongoDB + XML-JSON-XML parser of §2.6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.requirements.model import InformationRequirement
+from repro.errors import RepositoryError
+from repro.etlmodel.flow import EtlFlow
+from repro.mdmodel.model import MDSchema
+from repro.ontology import io as ontology_io
+from repro.ontology.model import Ontology
+from repro.repository.documents import DocumentStore
+from repro.repository import store as file_store
+from repro.xformats import xlm, xmd, xrq
+from repro.xformats.xmljson import json_to_xml, xml_to_json
+
+REQUIREMENTS = "requirements"
+PARTIAL_DESIGNS = "partial_designs"
+UNIFIED_DESIGNS = "unified_designs"
+ONTOLOGIES = "ontologies"
+DEPLOYMENTS = "deployments"
+
+
+class MetadataRepository:
+    """Typed facade over the document store."""
+
+    def __init__(self, store: Optional[DocumentStore] = None) -> None:
+        self._store = store if store is not None else DocumentStore()
+
+    @property
+    def store(self) -> DocumentStore:
+        return self._store
+
+    # -- requirements -----------------------------------------------------------
+
+    def save_requirement(self, requirement: InformationRequirement) -> str:
+        """Store a requirement (xRQ -> JSON document)."""
+        document = {
+            "_id": requirement.id,
+            "kind": "requirement",
+            "description": requirement.description,
+            "xrq": xml_to_json(xrq.dumps(requirement)),
+        }
+        self._store.collection(REQUIREMENTS).replace(document)
+        return requirement.id
+
+    def load_requirement(self, requirement_id: str) -> InformationRequirement:
+        document = self._store.collection(REQUIREMENTS).get(requirement_id)
+        return xrq.loads(json_to_xml(document["xrq"]))
+
+    def delete_requirement(self, requirement_id: str) -> None:
+        self._store.collection(REQUIREMENTS).delete(requirement_id)
+        self._store.collection(PARTIAL_DESIGNS).delete_many(
+            {"requirement": requirement_id}
+        )
+
+    def requirement_ids(self) -> List[str]:
+        return self._store.collection(REQUIREMENTS).ids()
+
+    # -- partial designs ---------------------------------------------------------
+
+    def save_partial_design(
+        self,
+        requirement_id: str,
+        md_schema: MDSchema,
+        etl_flow: EtlFlow,
+    ) -> str:
+        """Store the partial designs generated for one requirement."""
+        doc_id = f"partial::{requirement_id}"
+        document = {
+            "_id": doc_id,
+            "kind": "partial_design",
+            "requirement": requirement_id,
+            "xmd": xml_to_json(xmd.dumps(md_schema)),
+            "xlm": xml_to_json(xlm.dumps(etl_flow)),
+        }
+        self._store.collection(PARTIAL_DESIGNS).replace(document)
+        return doc_id
+
+    def load_partial_design(
+        self, requirement_id: str
+    ) -> Tuple[MDSchema, EtlFlow]:
+        document = self._store.collection(PARTIAL_DESIGNS).get(
+            f"partial::{requirement_id}"
+        )
+        return (
+            xmd.loads(json_to_xml(document["xmd"])),
+            xlm.loads(json_to_xml(document["xlm"])),
+        )
+
+    def partial_design_ids(self) -> List[str]:
+        return [
+            document["requirement"]
+            for document in self._store.collection(PARTIAL_DESIGNS).find()
+        ]
+
+    # -- unified designs --------------------------------------------------------------
+
+    def save_unified_design(
+        self,
+        name: str,
+        md_schema: MDSchema,
+        etl_flow: EtlFlow,
+        satisfied_requirements: List[str],
+    ) -> str:
+        """Store a unified design solution version."""
+        document = {
+            "_id": name,
+            "kind": "unified_design",
+            "requirements": sorted(satisfied_requirements),
+            "xmd": xml_to_json(xmd.dumps(md_schema)),
+            "xlm": xml_to_json(xlm.dumps(etl_flow)),
+        }
+        self._store.collection(UNIFIED_DESIGNS).replace(document)
+        return name
+
+    def load_unified_design(self, name: str) -> Tuple[MDSchema, EtlFlow, List[str]]:
+        document = self._store.collection(UNIFIED_DESIGNS).get(name)
+        return (
+            xmd.loads(json_to_xml(document["xmd"])),
+            xlm.loads(json_to_xml(document["xlm"])),
+            list(document["requirements"]),
+        )
+
+    def unified_design_names(self) -> List[str]:
+        return self._store.collection(UNIFIED_DESIGNS).ids()
+
+    # -- ontologies and mappings --------------------------------------------------------
+
+    def save_ontology(self, ontology: Ontology) -> str:
+        document = {
+            "_id": ontology.name,
+            "kind": "ontology",
+            "text": ontology_io.dumps(ontology),
+        }
+        self._store.collection(ONTOLOGIES).replace(document)
+        return ontology.name
+
+    def load_ontology(self, name: str) -> Ontology:
+        document = self._store.collection(ONTOLOGIES).get(name)
+        return ontology_io.loads(document["text"])
+
+    def ontology_names(self) -> List[str]:
+        return self._store.collection(ONTOLOGIES).ids()
+
+    # -- deployment records -------------------------------------------------------------
+
+    def record_deployment(
+        self, design_name: str, platform: str, artifacts: dict
+    ) -> str:
+        """Record what was generated/deployed for a design on a platform."""
+        doc_id = f"{design_name}::{platform}"
+        self._store.collection(DEPLOYMENTS).replace(
+            {
+                "_id": doc_id,
+                "kind": "deployment",
+                "design": design_name,
+                "platform": platform,
+                "artifacts": artifacts,
+            }
+        )
+        return doc_id
+
+    def deployments_of(self, design_name: str) -> List[dict]:
+        return self._store.collection(DEPLOYMENTS).find(
+            {"design": design_name}
+        )
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save_to(self, path) -> None:
+        """Persist the whole repository to a JSON file."""
+        file_store.save(self._store, path)
+
+    @classmethod
+    def load_from(cls, path) -> "MetadataRepository":
+        return cls(store=file_store.load(path))

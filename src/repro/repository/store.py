@@ -1,0 +1,54 @@
+"""JSON-file persistence for a :class:`DocumentStore`.
+
+One JSON file per store: ``{"name": ..., "collections": {name: [docs]}}``.
+Loading recreates collections and documents verbatim; documents must be
+JSON-serialisable (the metadata layer guarantees this by converting XML
+artefacts through :mod:`repro.xformats.xmljson` first).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.errors import RepositoryError
+from repro.repository.documents import DocumentStore
+
+
+def save(store: DocumentStore, path) -> None:
+    """Write the store atomically (write-then-rename)."""
+    payload = {
+        "name": store.name,
+        "collections": {
+            name: store.collection(name).find()
+            for name in store.collection_names()
+        },
+    }
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as file:
+            json.dump(payload, file, indent=1, sort_keys=True)
+        os.replace(temp_path, path)
+    except Exception:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+def load(path) -> DocumentStore:
+    """Read a store back from disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as file:
+            payload = json.load(file)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RepositoryError(f"cannot load document store: {exc}") from exc
+    if not isinstance(payload, dict) or "collections" not in payload:
+        raise RepositoryError("malformed document store file")
+    store = DocumentStore(name=payload.get("name", "quarry"))
+    for collection_name, documents in payload["collections"].items():
+        collection = store.collection(collection_name)
+        for document in documents:
+            collection.insert(document)
+    return store

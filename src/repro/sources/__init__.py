@@ -1,0 +1,26 @@
+"""Source data stores and their semantic mappings.
+
+Quarry maps information requirements onto *underlying data sources* via a
+domain ontology and *source schema mappings* (§2.5).  This package
+provides the relational source model, the mapping model, and two sample
+domains used across examples, tests and benchmarks:
+
+* :mod:`repro.sources.tpch` — the TPC-H schema of the paper's running
+  example, with its domain ontology, mappings and a deterministic
+  scale-factor data generator (a laptop-scale stand-in for dbgen),
+* :mod:`repro.sources.retail` — a second, independent retail domain used
+  to exercise multi-source integration.
+"""
+
+from repro.sources.mappings import ConceptMapping, PropertyMapping, SourceMappings
+from repro.sources.schema import Column, ForeignKey, SourceSchema, Table
+
+__all__ = [
+    "Column",
+    "ConceptMapping",
+    "ForeignKey",
+    "PropertyMapping",
+    "SourceMappings",
+    "SourceSchema",
+    "Table",
+]

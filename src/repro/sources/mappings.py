@@ -1,0 +1,216 @@
+"""Source schema mappings: grounding ontology elements in source tables.
+
+The Communication & Metadata layer stores, next to each domain ontology,
+the *source schema mappings* "that define the mappings of the ontological
+concepts in terms of underlying data sources" (§2.5).  The model here:
+
+* a :class:`ConceptMapping` binds a concept to a table (plus the
+  identifier columns that realise the concept's instances),
+* a :class:`PropertyMapping` binds a datatype property to a column of the
+  concept's table,
+* an object property is realised by the foreign key between the mapped
+  tables of its domain and range concepts; :meth:`SourceMappings.join_columns`
+  resolves the join condition the ETL generator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import MappingError
+from repro.ontology.model import Ontology
+from repro.sources.schema import SourceSchema
+
+
+@dataclass(frozen=True)
+class ConceptMapping:
+    """Binding of a concept to a source table."""
+
+    concept: str
+    table: str
+    key_columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class PropertyMapping:
+    """Binding of a datatype property to a column."""
+
+    property: str
+    table: str
+    column: str
+
+
+@dataclass
+class SourceMappings:
+    """All mappings from one ontology onto one source schema."""
+
+    ontology_name: str
+    source_name: str
+    _concepts: Dict[str, ConceptMapping] = field(default_factory=dict)
+    _properties: Dict[str, PropertyMapping] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    def map_concept(
+        self, concept: str, table: str, key_columns: Tuple[str, ...]
+    ) -> "SourceMappings":
+        if concept in self._concepts:
+            raise MappingError(f"concept {concept!r} is already mapped")
+        self._concepts[concept] = ConceptMapping(concept, table, tuple(key_columns))
+        return self
+
+    def map_property(self, property_id: str, column: str) -> "SourceMappings":
+        """Map a datatype property to a column of its concept's table.
+
+        The owning concept must already be mapped; the column lives in
+        that concept's table.
+        """
+        if property_id in self._properties:
+            raise MappingError(f"property {property_id!r} is already mapped")
+        self._properties[property_id] = PropertyMapping(
+            property_id, table="", column=column
+        )
+        return self
+
+    # -- lookup ---------------------------------------------------------------
+
+    def concept_mapping(self, concept: str) -> ConceptMapping:
+        try:
+            return self._concepts[concept]
+        except KeyError:
+            raise MappingError(f"concept {concept!r} has no source mapping") from None
+
+    def has_concept_mapping(self, concept: str) -> bool:
+        return concept in self._concepts
+
+    def property_column(self, property_id: str) -> str:
+        try:
+            return self._properties[property_id].column
+        except KeyError:
+            raise MappingError(
+                f"property {property_id!r} has no source mapping"
+            ) from None
+
+    def has_property_mapping(self, property_id: str) -> bool:
+        return property_id in self._properties
+
+    def mapped_concepts(self) -> List[str]:
+        return list(self._concepts)
+
+    def mapped_properties(self) -> List[str]:
+        return list(self._properties)
+
+    # -- join resolution ---------------------------------------------------------
+
+    def join_columns(
+        self,
+        ontology: Ontology,
+        schema: SourceSchema,
+        property_id: str,
+        forward: bool,
+    ) -> Tuple[str, List[Tuple[str, str]], str]:
+        """Resolve the join realising an object property.
+
+        Returns ``(left_table, [(left_col, right_col), ...], right_table)``
+        where *left* is the traversal source (the property's domain when
+        ``forward``) and *right* the traversal target.  The join columns
+        come from the FK between the mapped tables; the FK may sit on
+        either side.
+        """
+        prop = ontology.object_property(property_id)
+        domain_map = self.concept_mapping(prop.domain)
+        range_map = self.concept_mapping(prop.range)
+        domain_table = schema.table(domain_map.table)
+        range_table = schema.table(range_map.table)
+
+        fk = domain_table.foreign_key_to(range_table.name)
+        if fk is not None:
+            pairs = list(zip(fk.columns, fk.target_columns))
+            if forward:
+                return domain_table.name, pairs, range_table.name
+            flipped = [(right, left) for left, right in pairs]
+            return range_table.name, flipped, domain_table.name
+
+        fk = range_table.foreign_key_to(domain_table.name)
+        if fk is not None:
+            pairs = list(zip(fk.target_columns, fk.columns))
+            if forward:
+                return domain_table.name, pairs, range_table.name
+            flipped = [(right, left) for left, right in pairs]
+            return range_table.name, flipped, domain_table.name
+
+        raise MappingError(
+            f"no foreign key realises property {property_id!r} between "
+            f"{domain_table.name!r} and {range_table.name!r}"
+        )
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self, ontology: Ontology, schema: SourceSchema) -> List[str]:
+        """Cross-check mappings against ontology and schema.
+
+        Returns a list of human-readable problems (empty when valid):
+        unknown elements, missing tables/columns, properties mapped
+        without their concept, and object properties with no realising
+        foreign key.
+        """
+        problems: List[str] = []
+        for concept_id, mapping in self._concepts.items():
+            if not ontology.has_concept(concept_id):
+                problems.append(f"mapped concept {concept_id!r} not in ontology")
+                continue
+            if not schema.has_table(mapping.table):
+                problems.append(
+                    f"concept {concept_id!r} mapped to unknown table "
+                    f"{mapping.table!r}"
+                )
+                continue
+            table = schema.table(mapping.table)
+            for column in mapping.key_columns:
+                if not table.has_column(column):
+                    problems.append(
+                        f"concept {concept_id!r}: key column {column!r} "
+                        f"not in table {mapping.table!r}"
+                    )
+        for property_id in self._properties:
+            if not ontology.has_datatype_property(property_id):
+                problems.append(f"mapped property {property_id!r} not in ontology")
+                continue
+            prop = ontology.datatype_property(property_id)
+            if prop.concept not in self._concepts:
+                problems.append(
+                    f"property {property_id!r} mapped but its concept "
+                    f"{prop.concept!r} is not"
+                )
+                continue
+            table = self._concepts[prop.concept].table
+            if schema.has_table(table):
+                if not schema.table(table).has_column(
+                    self._properties[property_id].column
+                ):
+                    problems.append(
+                        f"property {property_id!r}: column "
+                        f"{self._properties[property_id].column!r} not in "
+                        f"table {table!r}"
+                    )
+        for prop in ontology.object_properties():
+            both_mapped = (
+                prop.domain in self._concepts and prop.range in self._concepts
+            )
+            if not both_mapped:
+                continue
+            try:
+                self.join_columns(ontology, schema, prop.id, forward=True)
+            except MappingError as exc:
+                problems.append(str(exc))
+        return problems
+
+    def table_of(self, concept: str) -> str:
+        """Shorthand: the table a concept is mapped to."""
+        return self.concept_mapping(concept).table
+
+    def property_table(self, ontology: Ontology, property_id: str) -> str:
+        """The table holding a datatype property's column."""
+        prop = ontology.datatype_property(property_id)
+        return self.concept_mapping(prop.concept).table

@@ -1,0 +1,186 @@
+"""A second, independent retail sample domain.
+
+The demo uses "different examples of synthetic and real-world domains,
+covering a variety of underlying data sources" (§3).  This module is the
+second domain: a point-of-sale retail source whose shape differs from
+TPC-H (a date dimension table, a store geography chain, a product
+category hierarchy held in the product table itself).  Tests use it to
+show the pipeline is not TPC-H-specific, and the MD integrator uses it
+for cross-domain consolidation cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.expressions.types import ScalarType
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import Ontology
+from repro.sources.datagen import DataGenerator
+from repro.sources.mappings import SourceMappings
+from repro.sources.schema import ForeignKey, SourceSchema, make_table
+
+INT = ScalarType.INTEGER
+DEC = ScalarType.DECIMAL
+STR = ScalarType.STRING
+DATE = ScalarType.DATE
+
+_CATEGORIES = [
+    ("Beverages", "Food"), ("Snacks", "Food"), ("Dairy", "Food"),
+    ("Laptops", "Electronics"), ("Phones", "Electronics"),
+    ("Cleaning", "Household"), ("Kitchen", "Household"),
+]
+_CITIES = [
+    ("Barcelona", "Spain"), ("Madrid", "Spain"), ("Paris", "France"),
+    ("Lyon", "France"), ("Berlin", "Germany"), ("Munich", "Germany"),
+]
+
+
+def schema() -> SourceSchema:
+    """The retail point-of-sale relational schema."""
+    source = SourceSchema(name="retail", description="POS retail sources")
+    source.add_table(make_table(
+        "store",
+        [("store_id", INT), ("store_name", STR), ("city", STR),
+         ("country", STR)],
+        primary_key=["store_id"],
+    ))
+    source.add_table(make_table(
+        "product",
+        [("product_id", INT), ("product_name", STR), ("category", STR),
+         ("family", STR), ("unit_price", DEC)],
+        primary_key=["product_id"],
+    ))
+    source.add_table(make_table(
+        "calendar",
+        [("date_id", INT), ("day", DATE), ("month", INT), ("year", INT)],
+        primary_key=["date_id"],
+    ))
+    source.add_table(make_table(
+        "ticket_line",
+        [("ticket_id", INT), ("line_no", INT), ("store_id", INT),
+         ("product_id", INT), ("date_id", INT), ("units", INT),
+         ("amount", DEC)],
+        primary_key=["ticket_id", "line_no"],
+        foreign_keys=[
+            ForeignKey(("store_id",), "store", ("store_id",)),
+            ForeignKey(("product_id",), "product", ("product_id",)),
+            ForeignKey(("date_id",), "calendar", ("date_id",)),
+        ],
+    ))
+    source.validate()
+    return source
+
+
+def ontology() -> Ontology:
+    """The retail domain ontology."""
+    builder = (
+        OntologyBuilder("retail", description="retail POS domain ontology")
+        .concept("Store", label="Store")
+        .concept("Product", label="Product")
+        .concept("Day", label="Day")
+        .concept("TicketLine", label="Ticket line")
+    )
+    attributes = [
+        ("Store_store_name", "Store", STR, "store"),
+        ("Store_city", "Store", STR, "city"),
+        ("Store_country", "Store", STR, "country"),
+        ("Product_product_name", "Product", STR, "product"),
+        ("Product_category", "Product", STR, "category"),
+        ("Product_family", "Product", STR, "family"),
+        ("Product_unit_price", "Product", DEC, "unit price"),
+        ("Day_day", "Day", DATE, "date"),
+        ("Day_month", "Day", INT, "month"),
+        ("Day_year", "Day", INT, "year"),
+        ("TicketLine_units", "TicketLine", INT, "units sold"),
+        ("TicketLine_amount", "TicketLine", DEC, "sale amount"),
+    ]
+    for prop_id, concept, scalar_type, label in attributes:
+        builder.attribute(prop_id, concept, scalar_type, label=label)
+    for prop_id, domain, range_, label in [
+        ("TicketLine_store", "TicketLine", "Store", "sold at"),
+        ("TicketLine_product", "TicketLine", "Product", "sold product"),
+        ("TicketLine_day", "TicketLine", "Day", "sold on"),
+    ]:
+        builder.relationship(prop_id, domain, range_, "N-1", label=label)
+    return builder.build()
+
+
+def mappings() -> SourceMappings:
+    """Source schema mappings for the retail domain."""
+    result = SourceMappings(ontology_name="retail", source_name="retail")
+    for concept, table, keys in [
+        ("Store", "store", ("store_id",)),
+        ("Product", "product", ("product_id",)),
+        ("Day", "calendar", ("date_id",)),
+        ("TicketLine", "ticket_line", ("ticket_id", "line_no")),
+    ]:
+        result.map_concept(concept, table, keys)
+    domain_ontology = ontology()
+    for prop in domain_ontology.datatype_properties():
+        column = prop.id[len(prop.concept) + 1 :]
+        result.map_property(prop.id, column)
+    return result
+
+
+def generate(scale_factor: float = 1.0, seed: int = 7) -> Dict[str, List[dict]]:
+    """Generate deterministic retail data at a micro scale factor."""
+    gen = DataGenerator(seed)
+    store_count = max(2, int(6 * scale_factor))
+    product_count = max(5, int(60 * scale_factor))
+    day_count = max(10, int(120 * scale_factor))
+    ticket_count = max(10, int(400 * scale_factor))
+
+    data: Dict[str, List[dict]] = {}
+    data["store"] = []
+    for store_id in range(1, store_count + 1):
+        city, country = _CITIES[(store_id - 1) % len(_CITIES)]
+        data["store"].append(
+            {
+                "store_id": store_id,
+                "store_name": f"Store {store_id:03d}",
+                "city": city,
+                "country": country,
+            }
+        )
+    data["product"] = []
+    for product_id in range(1, product_count + 1):
+        category, family = gen.choice(_CATEGORIES)
+        data["product"].append(
+            {
+                "product_id": product_id,
+                "product_name": gen.phrase(2),
+                "category": category,
+                "family": family,
+                "unit_price": gen.decimal(0.5, 1500.0),
+            }
+        )
+    data["calendar"] = []
+    for date_id in range(1, day_count + 1):
+        day = gen.date()
+        data["calendar"].append(
+            {"date_id": date_id, "day": day, "month": day.month, "year": day.year}
+        )
+
+    store_ids = [row["store_id"] for row in data["store"]]
+    product_ids = [row["product_id"] for row in data["product"]]
+    date_ids = [row["date_id"] for row in data["calendar"]]
+    lines = []
+    for ticket_id in range(1, ticket_count + 1):
+        store_id = gen.choice(store_ids)
+        date_id = gen.choice(date_ids)
+        for line_no in range(1, gen.integer(1, 4) + 1):
+            units = gen.integer(1, 10)
+            lines.append(
+                {
+                    "ticket_id": ticket_id,
+                    "line_no": line_no,
+                    "store_id": store_id,
+                    "product_id": gen.zipf_choice(product_ids),
+                    "date_id": date_id,
+                    "units": units,
+                    "amount": round(units * gen.decimal(0.5, 200.0), 2),
+                }
+            )
+    data["ticket_line"] = lines
+    return data

@@ -1,0 +1,166 @@
+"""Relational source schema model.
+
+A :class:`SourceSchema` describes one operational data source: tables
+with typed columns, primary keys, and foreign keys.  The Requirements
+Interpreter consults it (through the source mappings) to ground
+ontological concepts, and the ETL generator reads FK metadata to build
+join operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SourceError, UnknownColumnError, UnknownTableError
+from repro.expressions.types import ScalarType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A typed column of a source table."""
+
+    name: str
+    type: ScalarType
+    nullable: bool = False
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key from ``columns`` to ``target_table.target_columns``."""
+
+    columns: Tuple[str, ...]
+    target_table: str
+    target_columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.target_columns):
+            raise SourceError(
+                f"foreign key column count mismatch: {self.columns} "
+                f"-> {self.target_columns}"
+            )
+
+
+@dataclass
+class Table:
+    """A source table: ordered columns, a primary key, foreign keys."""
+
+    name: str
+    columns: List[Column] = field(default_factory=list)
+    primary_key: Tuple[str, ...] = ()
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SourceError(f"duplicate column names in table {self.name!r}")
+        for key_column in self.primary_key:
+            if key_column not in names:
+                raise UnknownColumnError(self.name, key_column)
+        for foreign_key in self.foreign_keys:
+            for key_column in foreign_key.columns:
+                if key_column not in names:
+                    raise UnknownColumnError(self.name, key_column)
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise UnknownColumnError(self.name, name)
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def column_types(self) -> Dict[str, ScalarType]:
+        """Schema dictionary used by expression type checking."""
+        return {column.name: column.type for column in self.columns}
+
+    def foreign_key_to(self, target_table: str) -> Optional[ForeignKey]:
+        """The (first) foreign key pointing at ``target_table``, if any."""
+        for foreign_key in self.foreign_keys:
+            if foreign_key.target_table == target_table:
+                return foreign_key
+        return None
+
+
+@dataclass
+class SourceSchema:
+    """A named collection of tables forming one data source."""
+
+    name: str
+    description: str = ""
+    _tables: Dict[str, Table] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> Table:
+        """Add a table; FK targets are validated against existing tables
+        at :meth:`validate` time (to allow any declaration order)."""
+        if table.name in self._tables:
+            raise SourceError(
+                f"table {table.name!r} already defined in schema {self.name!r}"
+            )
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def validate(self) -> None:
+        """Check referential integrity of all FK declarations.
+
+        Raises :class:`SourceError` listing the first problem found.
+        """
+        for table in self._tables.values():
+            for foreign_key in table.foreign_keys:
+                if foreign_key.target_table not in self._tables:
+                    raise SourceError(
+                        f"table {table.name!r} references unknown table "
+                        f"{foreign_key.target_table!r}"
+                    )
+                target = self._tables[foreign_key.target_table]
+                for column_name in foreign_key.target_columns:
+                    if not target.has_column(column_name):
+                        raise UnknownColumnError(target.name, column_name)
+                if tuple(foreign_key.target_columns) != tuple(target.primary_key):
+                    raise SourceError(
+                        f"foreign key {table.name}{foreign_key.columns} must "
+                        f"reference the primary key of {target.name!r}"
+                    )
+
+
+def make_table(
+    name: str,
+    columns: Sequence[Tuple[str, ScalarType]],
+    primary_key: Sequence[str] = (),
+    foreign_keys: Sequence[ForeignKey] = (),
+    nullable: Sequence[str] = (),
+    description: str = "",
+) -> Table:
+    """Convenience constructor used by the sample schema modules."""
+    nullable_set = set(nullable)
+    return Table(
+        name=name,
+        columns=[
+            Column(column_name, column_type, nullable=column_name in nullable_set)
+            for column_name, column_type in columns
+        ],
+        primary_key=tuple(primary_key),
+        foreign_keys=list(foreign_keys),
+        description=description,
+    )

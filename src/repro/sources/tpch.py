@@ -1,0 +1,338 @@
+"""The TPC-H sample domain — the paper's running example.
+
+Provides the four artefacts Quarry needs for a domain:
+
+* :func:`schema` — the eight-table TPC-H relational schema,
+* :func:`ontology` — a domain ontology capturing the sources (the graph
+  shown in the top-left of Figure 2),
+* :func:`mappings` — source schema mappings binding each concept and
+  datatype property to its table/column,
+* :func:`generate` — a deterministic, scale-factor-parameterised data
+  generator (a laptop-scale stand-in for dbgen).
+
+Ontology ids follow the paper's convention visible in Figure 4
+(``Part_p_name``, ``Lineitem_l_extendedprice``, …): datatype property ids
+are ``<Concept>_<column>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.expressions.types import ScalarType
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import Ontology
+from repro.sources.datagen import DataGenerator
+from repro.sources.mappings import SourceMappings
+from repro.sources.schema import ForeignKey, SourceSchema, make_table
+
+INT = ScalarType.INTEGER
+DEC = ScalarType.DECIMAL
+STR = ScalarType.STRING
+DATE = ScalarType.DATE
+
+_REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+_NATION_NAMES = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("SPAIN", 3),
+]
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_ORDER_STATUS = ["O", "F", "P"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_PART_TYPES = [
+    "ECONOMY ANODIZED STEEL", "STANDARD POLISHED BRASS", "SMALL PLATED COPPER",
+    "PROMO BURNISHED NICKEL", "MEDIUM BRUSHED TIN", "LARGE POLISHED STEEL",
+]
+_PART_BRANDS = [f"Brand#{digit1}{digit2}" for digit1 in range(1, 6) for digit2 in range(1, 6)]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG"]
+
+
+def schema() -> SourceSchema:
+    """The TPC-H relational schema (column subset relevant to the demo)."""
+    source = SourceSchema(name="tpch", description="TPC-H operational sources")
+    source.add_table(make_table(
+        "region",
+        [("r_regionkey", INT), ("r_name", STR), ("r_comment", STR)],
+        primary_key=["r_regionkey"],
+    ))
+    source.add_table(make_table(
+        "nation",
+        [("n_nationkey", INT), ("n_name", STR), ("n_regionkey", INT),
+         ("n_comment", STR)],
+        primary_key=["n_nationkey"],
+        foreign_keys=[ForeignKey(("n_regionkey",), "region", ("r_regionkey",))],
+    ))
+    source.add_table(make_table(
+        "supplier",
+        [("s_suppkey", INT), ("s_name", STR), ("s_address", STR),
+         ("s_nationkey", INT), ("s_phone", STR), ("s_acctbal", DEC)],
+        primary_key=["s_suppkey"],
+        foreign_keys=[ForeignKey(("s_nationkey",), "nation", ("n_nationkey",))],
+    ))
+    source.add_table(make_table(
+        "customer",
+        [("c_custkey", INT), ("c_name", STR), ("c_address", STR),
+         ("c_nationkey", INT), ("c_phone", STR), ("c_acctbal", DEC),
+         ("c_mktsegment", STR)],
+        primary_key=["c_custkey"],
+        foreign_keys=[ForeignKey(("c_nationkey",), "nation", ("n_nationkey",))],
+    ))
+    source.add_table(make_table(
+        "part",
+        [("p_partkey", INT), ("p_name", STR), ("p_mfgr", STR),
+         ("p_brand", STR), ("p_type", STR), ("p_size", INT),
+         ("p_container", STR), ("p_retailprice", DEC)],
+        primary_key=["p_partkey"],
+    ))
+    source.add_table(make_table(
+        "partsupp",
+        [("ps_partkey", INT), ("ps_suppkey", INT), ("ps_availqty", INT),
+         ("ps_supplycost", DEC)],
+        primary_key=["ps_partkey", "ps_suppkey"],
+        foreign_keys=[
+            ForeignKey(("ps_partkey",), "part", ("p_partkey",)),
+            ForeignKey(("ps_suppkey",), "supplier", ("s_suppkey",)),
+        ],
+    ))
+    source.add_table(make_table(
+        "orders",
+        [("o_orderkey", INT), ("o_custkey", INT), ("o_orderstatus", STR),
+         ("o_totalprice", DEC), ("o_orderdate", DATE), ("o_orderpriority", STR),
+         ("o_clerk", STR), ("o_shippriority", INT)],
+        primary_key=["o_orderkey"],
+        foreign_keys=[ForeignKey(("o_custkey",), "customer", ("c_custkey",))],
+    ))
+    source.add_table(make_table(
+        "lineitem",
+        [("l_orderkey", INT), ("l_linenumber", INT), ("l_partkey", INT),
+         ("l_suppkey", INT), ("l_quantity", INT), ("l_extendedprice", DEC),
+         ("l_discount", DEC), ("l_tax", DEC), ("l_returnflag", STR),
+         ("l_linestatus", STR), ("l_shipdate", DATE), ("l_shipmode", STR)],
+        primary_key=["l_orderkey", "l_linenumber"],
+        foreign_keys=[
+            ForeignKey(("l_orderkey",), "orders", ("o_orderkey",)),
+            ForeignKey(("l_partkey", "l_suppkey"), "partsupp",
+                       ("ps_partkey", "ps_suppkey")),
+        ],
+    ))
+    source.validate()
+    return source
+
+
+def ontology() -> Ontology:
+    """The TPC-H domain ontology of Figure 2 (concepts + vocabulary)."""
+    builder = (
+        OntologyBuilder("tpch", description="TPC-H domain ontology")
+        .concept("Region", label="Region")
+        .concept("Nation", label="Nation")
+        .concept("Customer", label="Customer")
+        .concept("Orders", label="Order")
+        .concept("Supplier", label="Supplier")
+        .concept("Part", label="Part")
+        .concept("Partsupp", label="Part supply")
+        .concept("Lineitem", label="Line item")
+    )
+    attributes = [
+        ("Region_r_name", "Region", STR, "region name"),
+        ("Nation_n_name", "Nation", STR, "nation name"),
+        ("Customer_c_name", "Customer", STR, "customer name"),
+        ("Customer_c_mktsegment", "Customer", STR, "market segment"),
+        ("Customer_c_acctbal", "Customer", DEC, "account balance"),
+        ("Orders_o_orderdate", "Orders", DATE, "order date"),
+        ("Orders_o_orderpriority", "Orders", STR, "order priority"),
+        ("Orders_o_orderstatus", "Orders", STR, "order status"),
+        ("Orders_o_totalprice", "Orders", DEC, "order total price"),
+        ("Supplier_s_name", "Supplier", STR, "supplier name"),
+        ("Supplier_s_acctbal", "Supplier", DEC, "supplier balance"),
+        ("Part_p_name", "Part", STR, "part name"),
+        ("Part_p_brand", "Part", STR, "part brand"),
+        ("Part_p_type", "Part", STR, "part type"),
+        ("Part_p_size", "Part", INT, "part size"),
+        ("Part_p_retailprice", "Part", DEC, "retail price"),
+        ("Partsupp_ps_availqty", "Partsupp", INT, "available quantity"),
+        ("Partsupp_ps_supplycost", "Partsupp", DEC, "supply cost"),
+        ("Lineitem_l_quantity", "Lineitem", INT, "quantity"),
+        ("Lineitem_l_extendedprice", "Lineitem", DEC, "extended price"),
+        ("Lineitem_l_discount", "Lineitem", DEC, "discount"),
+        ("Lineitem_l_tax", "Lineitem", DEC, "tax"),
+        ("Lineitem_l_shipdate", "Lineitem", DATE, "ship date"),
+        ("Lineitem_l_shipmode", "Lineitem", STR, "ship mode"),
+        ("Lineitem_l_returnflag", "Lineitem", STR, "return flag"),
+    ]
+    for prop_id, concept, scalar_type, label in attributes:
+        builder.attribute(prop_id, concept, scalar_type, label=label)
+    relationships = [
+        ("Nation_region", "Nation", "Region", "in region"),
+        ("Customer_nation", "Customer", "Nation", "customer nation"),
+        ("Orders_customer", "Orders", "Customer", "placed by"),
+        ("Supplier_nation", "Supplier", "Nation", "supplier nation"),
+        ("Partsupp_part", "Partsupp", "Part", "supplied part"),
+        ("Partsupp_supplier", "Partsupp", "Supplier", "supplied by"),
+        ("Lineitem_orders", "Lineitem", "Orders", "of order"),
+        ("Lineitem_partsupp", "Lineitem", "Partsupp", "of part supply"),
+    ]
+    for prop_id, domain, range_, label in relationships:
+        builder.relationship(prop_id, domain, range_, "N-1", label=label)
+    return builder.build()
+
+
+def mappings() -> SourceMappings:
+    """Source schema mappings binding the ontology onto the schema."""
+    result = SourceMappings(ontology_name="tpch", source_name="tpch")
+    concept_tables = [
+        ("Region", "region", ("r_regionkey",)),
+        ("Nation", "nation", ("n_nationkey",)),
+        ("Customer", "customer", ("c_custkey",)),
+        ("Orders", "orders", ("o_orderkey",)),
+        ("Supplier", "supplier", ("s_suppkey",)),
+        ("Part", "part", ("p_partkey",)),
+        ("Partsupp", "partsupp", ("ps_partkey", "ps_suppkey")),
+        ("Lineitem", "lineitem", ("l_orderkey", "l_linenumber")),
+    ]
+    for concept, table, keys in concept_tables:
+        result.map_concept(concept, table, keys)
+    domain_ontology = ontology()
+    for prop in domain_ontology.datatype_properties():
+        # Ids are <Concept>_<column>, so the column is the suffix.
+        column = prop.id[len(prop.concept) + 1 :]
+        result.map_property(prop.id, column)
+    return result
+
+
+def generate(scale_factor: float = 1.0, seed: int = 20150323) -> Dict[str, List[dict]]:
+    """Generate deterministic TPC-H data at a micro scale factor.
+
+    ``scale_factor`` 1.0 yields roughly 4.5k lineitem rows — enough to
+    make integrated-versus-separate ETL timings meaningful on a laptop
+    while keeping the suite fast.  Same seed, same data.
+    """
+    gen = DataGenerator(seed)
+    counts = _row_counts(scale_factor)
+    data: Dict[str, List[dict]] = {}
+
+    data["region"] = [
+        {"r_regionkey": key, "r_name": name, "r_comment": gen.phrase()}
+        for key, name in enumerate(_REGION_NAMES)
+    ]
+    data["nation"] = [
+        {
+            "n_nationkey": key,
+            "n_name": name,
+            "n_regionkey": region_key,
+            "n_comment": gen.phrase(),
+        }
+        for key, (name, region_key) in enumerate(_NATION_NAMES)
+    ]
+    nation_keys = [row["n_nationkey"] for row in data["nation"]]
+
+    data["supplier"] = [
+        {
+            "s_suppkey": key,
+            "s_name": gen.code("Supplier", key),
+            "s_address": gen.phrase(2),
+            "s_nationkey": gen.choice(nation_keys),
+            "s_phone": gen.phone(),
+            "s_acctbal": gen.decimal(-999.99, 9999.99),
+        }
+        for key in range(1, counts["supplier"] + 1)
+    ]
+    data["customer"] = [
+        {
+            "c_custkey": key,
+            "c_name": gen.code("Customer", key),
+            "c_address": gen.phrase(2),
+            "c_nationkey": gen.choice(nation_keys),
+            "c_phone": gen.phone(),
+            "c_acctbal": gen.decimal(-999.99, 9999.99),
+            "c_mktsegment": gen.choice(_SEGMENTS),
+        }
+        for key in range(1, counts["customer"] + 1)
+    ]
+    data["part"] = [
+        {
+            "p_partkey": key,
+            "p_name": gen.phrase(2),
+            "p_mfgr": f"Manufacturer#{gen.integer(1, 5)}",
+            "p_brand": gen.choice(_PART_BRANDS),
+            "p_type": gen.choice(_PART_TYPES),
+            "p_size": gen.integer(1, 50),
+            "p_container": gen.choice(_CONTAINERS),
+            "p_retailprice": gen.decimal(900.0, 2000.0),
+        }
+        for key in range(1, counts["part"] + 1)
+    ]
+
+    supplier_keys = [row["s_suppkey"] for row in data["supplier"]]
+    partsupp_rows = []
+    for part_row in data["part"]:
+        for supp_key in gen.sample(
+            supplier_keys, min(2, len(supplier_keys))
+        ):
+            partsupp_rows.append(
+                {
+                    "ps_partkey": part_row["p_partkey"],
+                    "ps_suppkey": supp_key,
+                    "ps_availqty": gen.integer(1, 9999),
+                    "ps_supplycost": gen.decimal(1.0, 1000.0),
+                }
+            )
+    data["partsupp"] = partsupp_rows
+
+    customer_keys = [row["c_custkey"] for row in data["customer"]]
+    data["orders"] = [
+        {
+            "o_orderkey": key,
+            "o_custkey": gen.zipf_choice(customer_keys),
+            "o_orderstatus": gen.choice(_ORDER_STATUS),
+            "o_totalprice": gen.decimal(1000.0, 400000.0),
+            "o_orderdate": gen.date(),
+            "o_orderpriority": gen.choice(_PRIORITIES),
+            "o_clerk": gen.code("Clerk", gen.integer(1, 100), width=6),
+            "o_shippriority": 0,
+        }
+        for key in range(1, counts["orders"] + 1)
+    ]
+
+    lineitem_rows = []
+    for order_row in data["orders"]:
+        for line_number in range(1, gen.integer(1, counts["max_lines"]) + 1):
+            partsupp_row = gen.choice(partsupp_rows)
+            quantity = gen.integer(1, 50)
+            price = round(quantity * gen.decimal(900.0, 1100.0), 2)
+            lineitem_rows.append(
+                {
+                    "l_orderkey": order_row["o_orderkey"],
+                    "l_linenumber": line_number,
+                    "l_partkey": partsupp_row["ps_partkey"],
+                    "l_suppkey": partsupp_row["ps_suppkey"],
+                    "l_quantity": quantity,
+                    "l_extendedprice": price,
+                    "l_discount": gen.decimal(0.0, 0.10),
+                    "l_tax": gen.decimal(0.0, 0.08),
+                    "l_returnflag": gen.choice(["R", "A", "N"]),
+                    "l_linestatus": gen.choice(["O", "F"]),
+                    "l_shipdate": gen.date(),
+                    "l_shipmode": gen.choice(_SHIP_MODES),
+                }
+            )
+    data["lineitem"] = lineitem_rows
+    return data
+
+
+def _row_counts(scale_factor: float) -> Dict[str, int]:
+    """Table cardinalities at a micro scale factor (dbgen ratios, scaled)."""
+    return {
+        "supplier": max(2, int(10 * scale_factor)),
+        "customer": max(5, int(150 * scale_factor)),
+        "part": max(5, int(200 * scale_factor)),
+        "orders": max(10, int(500 * scale_factor)),
+        "max_lines": 5,
+    }

@@ -1,0 +1,126 @@
+"""Plug-in registry for import/export parsers.
+
+"the Communication & Metadata layer offers plug-in capabilities for
+adding import and export parsers, for supporting various external
+notations (e.g., SQL, Apache PigLatin, ETL Metadata)" (§2.5).
+
+A parser is registered under ``(artifact, notation, direction)``:
+``artifact`` is what it handles (``requirement``, ``md_schema``,
+``etl_flow``), ``notation`` names the external format, and direction is
+``export`` (object -> text) or ``import`` (text -> object).  The
+built-in xRQ/xMD/xLM codecs are pre-registered; the Design Deployer
+registers its SQL-DDL and Pentaho-PDI exporters on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import FormatError
+
+ARTIFACTS = ("requirement", "md_schema", "etl_flow")
+DIRECTIONS = ("export", "import")
+
+
+@dataclass(frozen=True)
+class ParserEntry:
+    """One registered parser."""
+
+    artifact: str
+    notation: str
+    direction: str
+    handler: Callable
+    description: str = ""
+
+
+class FormatRegistry:
+    """Registry of import/export parsers, with built-ins installed."""
+
+    def __init__(self, with_builtins: bool = True) -> None:
+        self._entries: Dict[Tuple[str, str, str], ParserEntry] = {}
+        if with_builtins:
+            self._register_builtins()
+
+    def register(
+        self,
+        artifact: str,
+        notation: str,
+        direction: str,
+        handler: Callable,
+        description: str = "",
+        replace: bool = False,
+    ) -> ParserEntry:
+        """Register a parser; duplicate keys need ``replace=True``."""
+        if artifact not in ARTIFACTS:
+            raise FormatError(
+                f"unknown artifact {artifact!r}; expected one of {ARTIFACTS}"
+            )
+        if direction not in DIRECTIONS:
+            raise FormatError(
+                f"unknown direction {direction!r}; expected one of {DIRECTIONS}"
+            )
+        key = (artifact, notation, direction)
+        if key in self._entries and not replace:
+            raise FormatError(
+                f"parser for {key} already registered; pass replace=True"
+            )
+        entry = ParserEntry(artifact, notation, direction, handler, description)
+        self._entries[key] = entry
+        return entry
+
+    def lookup(self, artifact: str, notation: str, direction: str) -> ParserEntry:
+        try:
+            return self._entries[(artifact, notation, direction)]
+        except KeyError:
+            raise FormatError(
+                f"no {direction} parser for {artifact!r} in notation "
+                f"{notation!r}"
+            ) from None
+
+    def export(self, artifact: str, notation: str, value):
+        """Export an object through the registered handler."""
+        return self.lookup(artifact, notation, "export").handler(value)
+
+    def import_(self, artifact: str, notation: str, text: str):
+        """Import text through the registered handler."""
+        return self.lookup(artifact, notation, "import").handler(text)
+
+    def notations(self, artifact: str, direction: str) -> List[str]:
+        """Notations available for an artifact/direction pair."""
+        return sorted(
+            notation
+            for (entry_artifact, notation, entry_direction) in self._entries
+            if entry_artifact == artifact and entry_direction == direction
+        )
+
+    def entries(self) -> List[ParserEntry]:
+        return list(self._entries.values())
+
+    def _register_builtins(self) -> None:
+        from repro.xformats import xlm, xmd, xrq
+
+        self.register(
+            "requirement", "xrq", "export", xrq.dumps,
+            description="xRQ XML (Figure 4)",
+        )
+        self.register(
+            "requirement", "xrq", "import", xrq.loads,
+            description="xRQ XML (Figure 4)",
+        )
+        self.register(
+            "md_schema", "xmd", "export", xmd.dumps,
+            description="xMD XML (Figures 3-4)",
+        )
+        self.register(
+            "md_schema", "xmd", "import", xmd.loads,
+            description="xMD XML (Figures 3-4)",
+        )
+        self.register(
+            "etl_flow", "xlm", "export", xlm.dumps,
+            description="xLM XML [12]",
+        )
+        self.register(
+            "etl_flow", "xlm", "import", xlm.loads,
+            description="xLM XML [12]",
+        )

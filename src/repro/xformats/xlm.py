@@ -1,0 +1,232 @@
+"""xLM — the XML encoding for analytic (ETL) flows [12].
+
+Figure 3's snippet fixes the shape: a ``<design>`` with ``<metadata>``,
+``<edges>`` (``<from>``/``<to>``/``<enabled>``) and ``<nodes>``
+(``<name>``/``<type>``/``<optype>``).  Operation-specific parameters go
+into a ``<properties>`` block per node, keyed by property name, so the
+document parses back into exactly the same operation objects.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict
+
+from repro.errors import XlmFormatError
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    Distinct,
+    Extraction,
+    Join,
+    Loader,
+    Operation,
+    Projection,
+    Rename,
+    Selection,
+    Sort,
+    SurrogateKey,
+    UnionOp,
+)
+from repro.xformats import xmlutil
+
+_LIST_SEPARATOR = ","
+
+
+def dumps(flow: EtlFlow) -> str:
+    """Serialise an ETL flow to xLM."""
+    root = ET.Element("design")
+    metadata = xmlutil.sub(root, "metadata")
+    xmlutil.sub(metadata, "name", flow.name)
+    if flow.requirements:
+        wrapper = xmlutil.sub(metadata, "requirements")
+        for requirement_id in sorted(flow.requirements):
+            xmlutil.sub(wrapper, "requirement", requirement_id)
+    edges = xmlutil.sub(root, "edges")
+    for edge in flow.edges():
+        element = xmlutil.sub(edges, "edge")
+        xmlutil.sub(element, "from", edge.source)
+        xmlutil.sub(element, "to", edge.target)
+        xmlutil.sub(element, "enabled", "Y" if edge.enabled else "N")
+    nodes = xmlutil.sub(root, "nodes")
+    for operation in flow.nodes():
+        element = xmlutil.sub(nodes, "node")
+        xmlutil.sub(element, "name", operation.name)
+        xmlutil.sub(element, "type", operation.kind)
+        xmlutil.sub(element, "optype", operation.optype)
+        properties = _operation_properties(operation)
+        if properties:
+            wrapper = xmlutil.sub(element, "properties")
+            for key, value in properties.items():
+                xmlutil.sub(wrapper, "property", value, name=key)
+    return xmlutil.render(root)
+
+
+def _operation_properties(operation: Operation) -> Dict[str, str]:
+    """Flatten an operation's parameters into string properties."""
+    if isinstance(operation, Datastore):
+        properties = {"table": operation.table}
+        if operation.columns:
+            properties["columns"] = _LIST_SEPARATOR.join(operation.columns)
+        return properties
+    if isinstance(operation, (Extraction, Projection)):
+        return {"columns": _LIST_SEPARATOR.join(operation.columns)}
+    if isinstance(operation, Selection):
+        return {"predicate": operation.predicate}
+    if isinstance(operation, Join):
+        return {
+            "leftKeys": _LIST_SEPARATOR.join(operation.left_keys),
+            "rightKeys": _LIST_SEPARATOR.join(operation.right_keys),
+            "joinType": operation.join_type,
+        }
+    if isinstance(operation, Aggregation):
+        properties = {"groupBy": _LIST_SEPARATOR.join(operation.group_by)}
+        rendered = [
+            f"{spec.output}={spec.function}({spec.input})"
+            for spec in operation.aggregates
+        ]
+        properties["aggregates"] = ";".join(rendered)
+        return properties
+    if isinstance(operation, DerivedAttribute):
+        return {"output": operation.output, "expression": operation.expression}
+    if isinstance(operation, Rename):
+        rendered = [f"{old}->{new}" for old, new in operation.renaming]
+        return {"renaming": ";".join(rendered)}
+    if isinstance(operation, SurrogateKey):
+        return {
+            "output": operation.output,
+            "businessKeys": _LIST_SEPARATOR.join(operation.business_keys),
+        }
+    if isinstance(operation, Sort):
+        return {"keys": _LIST_SEPARATOR.join(operation.keys)}
+    if isinstance(operation, Loader):
+        return {"table": operation.table, "mode": operation.mode}
+    if isinstance(operation, (UnionOp, Distinct)):
+        return {}
+    raise XlmFormatError(f"cannot serialise operation kind {operation.kind!r}")
+
+
+def loads(text: str) -> EtlFlow:
+    """Parse an xLM document back into an ETL flow."""
+    root = xmlutil.parse_document(text, "design", XlmFormatError)
+    metadata = xmlutil.child(root, "metadata", XlmFormatError)
+    flow = EtlFlow(name=xmlutil.child_text(metadata, "name", XlmFormatError))
+    requirements = metadata.find("requirements")
+    if requirements is not None:
+        flow.requirements = {
+            node.text or "" for node in requirements.findall("requirement")
+        }
+    nodes = root.find("nodes")
+    if nodes is not None:
+        for element in nodes.findall("node"):
+            flow.add(_read_operation(element))
+    edges = root.find("edges")
+    if edges is not None:
+        for element in edges.findall("edge"):
+            flow.connect(
+                xmlutil.child_text(element, "from", XlmFormatError),
+                xmlutil.child_text(element, "to", XlmFormatError),
+            )
+    return flow
+
+
+def _read_operation(element: ET.Element) -> Operation:
+    name = xmlutil.child_text(element, "name", XlmFormatError)
+    kind = xmlutil.child_text(element, "type", XlmFormatError)
+    properties: Dict[str, str] = {}
+    wrapper = element.find("properties")
+    if wrapper is not None:
+        for node in wrapper.findall("property"):
+            properties[xmlutil.attribute(node, "name", XlmFormatError)] = (
+                node.text or ""
+            )
+    return _build_operation(name, kind, properties)
+
+
+def _split(text: str) -> tuple:
+    if not text:
+        return ()
+    return tuple(part for part in text.split(_LIST_SEPARATOR) if part)
+
+
+def _build_operation(name: str, kind: str, properties: Dict[str, str]) -> Operation:
+    if kind == "Datastore":
+        return Datastore(
+            name,
+            table=properties.get("table", ""),
+            columns=_split(properties.get("columns", "")),
+        )
+    if kind == "Extraction":
+        return Extraction(name, columns=_split(properties.get("columns", "")))
+    if kind == "Projection":
+        return Projection(name, columns=_split(properties.get("columns", "")))
+    if kind == "Selection":
+        return Selection(name, predicate=properties.get("predicate", "true"))
+    if kind == "Join":
+        return Join(
+            name,
+            left_keys=_split(properties.get("leftKeys", "")),
+            right_keys=_split(properties.get("rightKeys", "")),
+            join_type=properties.get("joinType", "inner"),
+        )
+    if kind == "Aggregation":
+        return Aggregation(
+            name,
+            group_by=_split(properties.get("groupBy", "")),
+            aggregates=_parse_aggregates(properties.get("aggregates", "")),
+        )
+    if kind == "DerivedAttribute":
+        return DerivedAttribute(
+            name,
+            output=properties.get("output", ""),
+            expression=properties.get("expression", ""),
+        )
+    if kind == "Rename":
+        return Rename(name, renaming=_parse_renaming(properties.get("renaming", "")))
+    if kind == "Union":
+        return UnionOp(name)
+    if kind == "Distinct":
+        return Distinct(name)
+    if kind == "SurrogateKey":
+        return SurrogateKey(
+            name,
+            output=properties.get("output", ""),
+            business_keys=_split(properties.get("businessKeys", "")),
+        )
+    if kind == "Sort":
+        return Sort(name, keys=_split(properties.get("keys", "")))
+    if kind == "Loader":
+        return Loader(
+            name,
+            table=properties.get("table", ""),
+            mode=properties.get("mode", "insert"),
+        )
+    raise XlmFormatError(f"unknown node type {kind!r}")
+
+
+def _parse_aggregates(text: str) -> tuple:
+    if not text:
+        return ()
+    specs = []
+    for part in text.split(";"):
+        if "=" not in part or "(" not in part or not part.endswith(")"):
+            raise XlmFormatError(f"malformed aggregate spec {part!r}")
+        output, rest = part.split("=", 1)
+        function, input_column = rest[:-1].split("(", 1)
+        specs.append(AggregationSpec(output, function, input_column))
+    return tuple(specs)
+
+
+def _parse_renaming(text: str) -> tuple:
+    if not text:
+        return ()
+    pairs = []
+    for part in text.split(";"):
+        if "->" not in part:
+            raise XlmFormatError(f"malformed renaming {part!r}")
+        old, new = part.split("->", 1)
+        pairs.append((old, new))
+    return tuple(pairs)

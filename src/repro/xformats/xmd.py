@@ -1,0 +1,244 @@
+"""xMD — the XML format for multidimensional schemas.
+
+Follows the shape of the Figure 3/4 snippets (``<MDschema>`` holding
+``<facts>`` and ``<dimensions>``), fleshed out with the detail the MD
+integrator needs to round-trip: measures with expressions/aggregation/
+additivity, levels with typed attributes and ontology provenance,
+hierarchies, fact-dimension links, and requirement traceability.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import XmdFormatError
+from repro.expressions.types import ScalarType
+from repro.mdmodel.model import (
+    Additivity,
+    AggregationFunction,
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+from repro.xformats import xmlutil
+
+
+def dumps(schema: MDSchema) -> str:
+    """Serialise an MD schema to xMD."""
+    root = ET.Element("MDschema", {"name": schema.name})
+    facts = xmlutil.sub(root, "facts")
+    for fact in schema.facts.values():
+        facts.append(_write_fact(fact))
+    dimensions = xmlutil.sub(root, "dimensions")
+    for dimension in schema.dimensions.values():
+        dimensions.append(_write_dimension(dimension))
+    return xmlutil.render(root)
+
+
+def _write_requirements(parent: ET.Element, requirement_ids) -> None:
+    if not requirement_ids:
+        return
+    wrapper = xmlutil.sub(parent, "requirements")
+    for requirement_id in sorted(requirement_ids):
+        xmlutil.sub(wrapper, "requirement", requirement_id)
+
+
+def _write_fact(fact: Fact) -> ET.Element:
+    element = ET.Element("fact")
+    xmlutil.sub(element, "name", fact.name)
+    if fact.concept is not None:
+        xmlutil.sub(element, "concept", fact.concept)
+    if fact.grain:
+        grain = xmlutil.sub(element, "grain")
+        for column in fact.grain:
+            xmlutil.sub(grain, "column", column)
+    if fact.slicers:
+        slicers = xmlutil.sub(element, "slicers")
+        for predicate in fact.slicers:
+            xmlutil.sub(slicers, "predicate", predicate)
+    _write_requirements(element, fact.requirements)
+    measures = xmlutil.sub(element, "measures")
+    for measure in fact.measures.values():
+        measure_element = xmlutil.sub(measures, "measure")
+        xmlutil.sub(measure_element, "name", measure.name)
+        xmlutil.sub(measure_element, "expression", measure.expression)
+        xmlutil.sub(measure_element, "type", measure.type.value)
+        xmlutil.sub(measure_element, "aggregation", measure.aggregation.value)
+        xmlutil.sub(measure_element, "additivity", measure.additivity.value)
+        _write_requirements(measure_element, measure.requirements)
+    links = xmlutil.sub(element, "links")
+    for link in fact.links:
+        link_element = xmlutil.sub(links, "link")
+        xmlutil.sub(link_element, "dimension", link.dimension)
+        xmlutil.sub(link_element, "level", link.level)
+    return element
+
+
+def _write_dimension(dimension: Dimension) -> ET.Element:
+    element = ET.Element("dimension")
+    xmlutil.sub(element, "name", dimension.name)
+    _write_requirements(element, dimension.requirements)
+    levels = xmlutil.sub(element, "levels")
+    for level in dimension.levels.values():
+        level_element = xmlutil.sub(levels, "level")
+        xmlutil.sub(level_element, "name", level.name)
+        if level.concept is not None:
+            xmlutil.sub(level_element, "concept", level.concept)
+        if level.key is not None:
+            xmlutil.sub(level_element, "key", level.key)
+        attributes = xmlutil.sub(level_element, "attributes")
+        for attribute in level.attributes:
+            attribute_element = xmlutil.sub(attributes, "attribute")
+            xmlutil.sub(attribute_element, "name", attribute.name)
+            xmlutil.sub(attribute_element, "type", attribute.type.value)
+            if attribute.property is not None:
+                xmlutil.sub(attribute_element, "property", attribute.property)
+    hierarchies = xmlutil.sub(element, "hierarchies")
+    for hierarchy in dimension.hierarchies:
+        hierarchy_element = xmlutil.sub(
+            hierarchies, "hierarchy", name=hierarchy.name
+        )
+        for level_name in hierarchy.levels:
+            xmlutil.sub(hierarchy_element, "level", level_name)
+    return element
+
+
+def loads(text: str) -> MDSchema:
+    """Parse an xMD document back into an MD schema."""
+    root = xmlutil.parse_document(text, "MDschema", XmdFormatError)
+    schema = MDSchema(name=xmlutil.attribute(root, "name", XmdFormatError))
+    dimensions = root.find("dimensions")
+    if dimensions is not None:
+        for element in dimensions.findall("dimension"):
+            schema.add_dimension(_read_dimension(element))
+    facts = root.find("facts")
+    if facts is not None:
+        for element in facts.findall("fact"):
+            schema.add_fact(_read_fact(element))
+    return schema
+
+
+def _read_requirements(element: ET.Element) -> set:
+    wrapper = element.find("requirements")
+    if wrapper is None:
+        return set()
+    return {node.text or "" for node in wrapper.findall("requirement")}
+
+
+def _scalar(text: str) -> ScalarType:
+    try:
+        return ScalarType(text)
+    except ValueError:
+        raise XmdFormatError(f"unknown scalar type {text!r}") from None
+
+
+def _read_fact(element: ET.Element) -> Fact:
+    fact = Fact(
+        name=xmlutil.child_text(element, "name", XmdFormatError),
+        concept=xmlutil.optional_text(element, "concept"),
+        requirements=_read_requirements(element),
+    )
+    grain_element = element.find("grain")
+    if grain_element is not None:
+        fact.grain = [
+            node.text or "" for node in grain_element.findall("column")
+        ]
+    slicers_element = element.find("slicers")
+    if slicers_element is not None:
+        fact.slicers = [
+            node.text or "" for node in slicers_element.findall("predicate")
+        ]
+    measures = element.find("measures")
+    if measures is not None:
+        for measure_element in measures.findall("measure"):
+            try:
+                aggregation = AggregationFunction.parse(
+                    xmlutil.child_text(measure_element, "aggregation", XmdFormatError)
+                )
+            except Exception as exc:
+                raise XmdFormatError(str(exc)) from exc
+            additivity_text = xmlutil.child_text(
+                measure_element, "additivity", XmdFormatError
+            )
+            try:
+                additivity = Additivity(additivity_text)
+            except ValueError:
+                raise XmdFormatError(
+                    f"unknown additivity {additivity_text!r}"
+                ) from None
+            fact.add_measure(
+                Measure(
+                    name=xmlutil.child_text(measure_element, "name", XmdFormatError),
+                    expression=xmlutil.child_text(
+                        measure_element, "expression", XmdFormatError
+                    ),
+                    type=_scalar(
+                        xmlutil.child_text(measure_element, "type", XmdFormatError)
+                    ),
+                    aggregation=aggregation,
+                    additivity=additivity,
+                    requirements=_read_requirements(measure_element),
+                )
+            )
+    links = element.find("links")
+    if links is not None:
+        for link_element in links.findall("link"):
+            fact.link_dimension(
+                xmlutil.child_text(link_element, "dimension", XmdFormatError),
+                xmlutil.child_text(link_element, "level", XmdFormatError),
+            )
+    return fact
+
+
+def _read_dimension(element: ET.Element) -> Dimension:
+    dimension = Dimension(
+        name=xmlutil.child_text(element, "name", XmdFormatError),
+        requirements=_read_requirements(element),
+    )
+    levels = element.find("levels")
+    if levels is not None:
+        for level_element in levels.findall("level"):
+            attributes = []
+            attributes_element = level_element.find("attributes")
+            if attributes_element is not None:
+                for attribute_element in attributes_element.findall("attribute"):
+                    attributes.append(
+                        LevelAttribute(
+                            name=xmlutil.child_text(
+                                attribute_element, "name", XmdFormatError
+                            ),
+                            type=_scalar(
+                                xmlutil.child_text(
+                                    attribute_element, "type", XmdFormatError
+                                )
+                            ),
+                            property=xmlutil.optional_text(
+                                attribute_element, "property"
+                            ),
+                        )
+                    )
+            dimension.add_level(
+                Level(
+                    name=xmlutil.child_text(level_element, "name", XmdFormatError),
+                    attributes=attributes,
+                    key=xmlutil.optional_text(level_element, "key"),
+                    concept=xmlutil.optional_text(level_element, "concept"),
+                )
+            )
+    hierarchies = element.find("hierarchies")
+    if hierarchies is not None:
+        for hierarchy_element in hierarchies.findall("hierarchy"):
+            dimension.add_hierarchy(
+                Hierarchy(
+                    name=xmlutil.attribute(hierarchy_element, "name", XmdFormatError),
+                    levels=[
+                        node.text or ""
+                        for node in hierarchy_element.findall("level")
+                    ],
+                )
+            )
+    return dimension

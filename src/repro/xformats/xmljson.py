@@ -1,0 +1,83 @@
+"""The generic XML↔JSON converter of the metadata layer.
+
+"the Communication & Metadata layer [...] uses a MongoDB instance as a
+storage repository, and a generic XML-JSON-XML parser for reading from
+and writing to the repository" (§2.6).  Documents arrive as XML (xRQ,
+xMD, xLM), are stored as JSON documents, and come back out as XML.
+
+The JSON encoding is lossless and order-preserving:
+
+.. code-block:: json
+
+    {"tag": "cube",
+     "attributes": {"id": "IR1"},
+     "text": null,
+     "children": [ ... ]}
+
+Leaf elements carry their text; mixed content keeps the element text
+alongside its children (tails are folded into ``text`` of the parent —
+sufficient for the data-oriented XML Quarry exchanges).
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.errors import FormatError
+
+
+def element_to_dict(element: ET.Element) -> dict:
+    """Convert one element (recursively) into the JSON structure."""
+    text: Optional[str] = element.text
+    if text is not None and not text.strip():
+        text = None  # pretty-printing whitespace is not content
+    return {
+        "tag": element.tag,
+        "attributes": dict(element.attrib),
+        "text": text,
+        "children": [element_to_dict(child) for child in element],
+    }
+
+
+def dict_to_element(document: dict) -> ET.Element:
+    """Convert the JSON structure back into an element tree."""
+    for key in ("tag", "attributes", "text", "children"):
+        if key not in document:
+            raise FormatError(f"XML-JSON document is missing key {key!r}")
+    element = ET.Element(document["tag"], dict(document["attributes"]))
+    element.text = document["text"]
+    for child in document["children"]:
+        element.append(dict_to_element(child))
+    return element
+
+
+def xml_to_json(xml_text: str) -> dict:
+    """Parse XML text into the JSON structure."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise FormatError(f"malformed XML: {exc}") from exc
+    return element_to_dict(root)
+
+
+def json_to_xml(document: dict) -> str:
+    """Render the JSON structure back as (pretty-printed) XML."""
+    from repro.xformats.xmlutil import render
+
+    return render(dict_to_element(document))
+
+
+def xml_to_json_text(xml_text: str) -> str:
+    """XML text -> JSON text (what actually crosses the repo boundary)."""
+    return json.dumps(xml_to_json(xml_text))
+
+
+def json_text_to_xml(json_text: str) -> str:
+    """JSON text -> XML text."""
+    try:
+        document = json.loads(json_text)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"malformed JSON: {exc}") from exc
+    return json_to_xml(document)

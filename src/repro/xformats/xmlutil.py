@@ -1,0 +1,83 @@
+"""Small helpers over :mod:`xml.etree.ElementTree`.
+
+Centralises pretty-printing and the "required child" access pattern so
+the format modules raise uniform, information-rich errors.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional, Type
+
+from repro.errors import FormatError
+
+
+def child(element: ET.Element, tag: str, error: Type[FormatError]) -> ET.Element:
+    """The unique required child; raises ``error`` when missing."""
+    found = element.find(tag)
+    if found is None:
+        raise error(f"<{element.tag}> is missing required child <{tag}>")
+    return found
+
+
+def child_text(
+    element: ET.Element, tag: str, error: Type[FormatError]
+) -> str:
+    """Text content of a required child (empty string when self-closed)."""
+    found = child(element, tag, error)
+    return found.text or ""
+
+
+def optional_text(element: ET.Element, tag: str) -> Optional[str]:
+    found = element.find(tag)
+    if found is None:
+        return None
+    return found.text or ""
+
+
+def attribute(
+    element: ET.Element, name: str, error: Type[FormatError]
+) -> str:
+    """A required attribute value."""
+    value = element.get(name)
+    if value is None:
+        raise error(f"<{element.tag}> is missing required attribute {name!r}")
+    return value
+
+
+def sub(parent: ET.Element, tag: str, text: Optional[str] = None, **attributes) -> ET.Element:
+    """Create a child element, optionally with text and attributes."""
+    element = ET.SubElement(parent, tag, {k: str(v) for k, v in attributes.items()})
+    if text is not None:
+        element.text = text
+    return element
+
+
+def parse_document(text: str, root_tag: str, error: Type[FormatError]) -> ET.Element:
+    """Parse XML text and check the root tag."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise error(f"malformed XML: {exc}") from exc
+    if root.tag != root_tag:
+        raise error(f"expected root <{root_tag}>, found <{root.tag}>")
+    return root
+
+
+def render(root: ET.Element) -> str:
+    """Pretty-print an element tree with 2-space indentation."""
+    _indent(root, 0)
+    return ET.tostring(root, encoding="unicode") + "\n"
+
+
+def _indent(element: ET.Element, depth: int) -> None:
+    pad = "\n" + "  " * depth
+    children = list(element)
+    if children:
+        if element.text is None or not element.text.strip():
+            element.text = pad + "  "
+        for index, node in enumerate(children):
+            _indent(node, depth + 1)
+            tail_pad = pad + "  " if index + 1 < len(children) else pad
+            if node.tail is None or not node.tail.strip():
+                node.tail = tail_pad

@@ -1,0 +1,107 @@
+"""Direct tests for small public API surfaces covered only indirectly."""
+
+import pytest
+
+from repro import Quarry, QuarryError
+from repro.sources import tpch
+
+from .conftest import build_revenue_requirement
+
+
+class TestQuarrySurface:
+    def test_partial_design_lookup(self):
+        quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+        quarry.add_requirement(build_revenue_requirement())
+        partial = quarry.partial_design("IR1")
+        assert partial.requirement.id == "IR1"
+        assert partial.md_schema.has_fact("fact_table_revenue")
+        with pytest.raises(QuarryError):
+            quarry.partial_design("ghost")
+
+    def test_deployer_platform_listing(self):
+        quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+        assert set(quarry.deployer.platforms()) == {
+            "postgres", "sqlite", "pdi", "sql", "native",
+        }
+
+
+class TestMappingSurface:
+    def test_mapped_enumerations(self):
+        mappings = tpch.mappings()
+        assert "Lineitem" in mappings.mapped_concepts()
+        assert "Part_p_name" in mappings.mapped_properties()
+        assert mappings.table_of("Part") == "part"
+
+    def test_schema_has_column(self):
+        schema = tpch.schema()
+        assert schema.table("part").has_column("p_name")
+        assert not schema.table("part").has_column("ghost")
+
+
+class TestDatagenSurface:
+    def test_sample_and_shuffle_deterministic(self):
+        from repro.sources.datagen import DataGenerator
+
+        first = DataGenerator(5)
+        second = DataGenerator(5)
+        options = list(range(20))
+        assert first.sample(options, 5) == second.sample(options, 5)
+        assert first.shuffle(options) == second.shuffle(options)
+        # shuffle returns a copy
+        assert options == list(range(20))
+
+    def test_phone_and_phrase_shape(self):
+        from repro.sources.datagen import DataGenerator
+
+        gen = DataGenerator(1)
+        assert gen.phone().count("-") == 3
+        assert len(gen.phrase(3).split()) == 3
+
+    def test_boolean_probability_bounds(self):
+        from repro.sources.datagen import DataGenerator
+
+        gen = DataGenerator(1)
+        assert not any(gen.boolean(0.0) for __ in range(50))
+        assert all(gen.boolean(1.0) for __ in range(50))
+
+
+class TestFlowDisconnect:
+    def test_disconnect_removes_edge(self):
+        from repro.errors import EtlError
+        from repro.etlmodel import Datastore, EtlFlow, Loader
+
+        flow = EtlFlow("t")
+        flow.add(Datastore("a", table="t", columns=("x",)))
+        flow.add(Loader("b", table="o"))
+        flow.connect("a", "b")
+        flow.disconnect("a", "b")
+        assert flow.inputs("b") == []
+        with pytest.raises(EtlError):
+            flow.disconnect("a", "b")
+
+
+class TestDdlHelpers:
+    def test_dimension_table_name_and_columns(self):
+        from repro.core.deployer.ddl import (
+            create_table_statement,
+            dimension_columns,
+            dimension_table_name,
+        )
+        from repro.expressions import ScalarType
+        from repro.mdmodel import Dimension, Hierarchy, Level, LevelAttribute
+
+        dimension = Dimension("Part")
+        dimension.add_level(Level(
+            "Part",
+            attributes=[
+                LevelAttribute("p_name", ScalarType.STRING),
+                LevelAttribute("p_size", ScalarType.INTEGER),
+            ],
+        ))
+        dimension.add_hierarchy(Hierarchy("h", ["Part"]))
+        assert dimension_table_name(dimension) == "dim_Part"
+        columns = dimension_columns(dimension)
+        assert list(columns) == ["p_name", "p_size"]
+        statement = create_table_statement("t", columns, primary_key=["p_name"])
+        assert statement.startswith("CREATE TABLE t (")
+        assert "PRIMARY KEY( p_name )" in statement

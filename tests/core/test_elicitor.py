@@ -1,0 +1,131 @@
+"""Unit tests for the Requirements Elicitor backend (Figure 2)."""
+
+import pytest
+
+from repro.core.requirements import Elicitor
+from repro.core.requirements.vocabulary import Vocabulary
+from repro.errors import RequirementError
+from repro.sources import tpch
+
+
+@pytest.fixture(scope="module")
+def elicitor():
+    return Elicitor(tpch.ontology())
+
+
+class TestFactSuggestions:
+    def test_lineitem_is_top_fact_candidate(self, elicitor):
+        facts = elicitor.suggest_facts()
+        assert facts[0].element_id == "Lineitem"
+
+    def test_partsupp_is_also_a_candidate(self, elicitor):
+        ids = [suggestion.element_id for suggestion in elicitor.suggest_facts()]
+        assert "Partsupp" in ids
+
+    def test_reasons_are_informative(self, elicitor):
+        top = elicitor.suggest_facts()[0]
+        assert "references" in top.reason
+
+    def test_limit_respected(self, elicitor):
+        assert len(elicitor.suggest_facts(limit=2)) == 2
+
+
+class TestDimensionSuggestions:
+    def test_paper_example(self, elicitor):
+        # "a user may choose the focus of an analysis (e.g., Lineitem),
+        # while the system then automatically suggests useful dimensions
+        # (e.g., Supplier, Nation, Part)"
+        ids = [s.element_id for s in elicitor.suggest_dimensions("Lineitem")]
+        for expected in ("Supplier", "Nation", "Part"):
+            assert expected in ids
+
+    def test_nation_ranks_high_due_to_fan_in(self, elicitor):
+        suggestions = elicitor.suggest_dimensions("Lineitem")
+        by_id = {s.element_id: s for s in suggestions}
+        # Nation is shared by Customer and Supplier (fan-in 2).
+        assert by_id["Nation"].score > by_id["Region"].score
+
+    def test_paths_attached(self, elicitor):
+        suggestions = elicitor.suggest_dimensions("Lineitem")
+        by_id = {s.element_id: s for s in suggestions}
+        assert by_id["Part"].path.concepts() == ["Lineitem", "Partsupp", "Part"]
+
+    def test_leaf_focus_has_few_dimensions(self, elicitor):
+        assert [s.element_id for s in elicitor.suggest_dimensions("Region")] == []
+
+
+class TestMeasureAndSlicerSuggestions:
+    def test_measures_of_focus_rank_first(self, elicitor):
+        measures = elicitor.suggest_measures("Lineitem")
+        top_ids = [s.element_id for s in measures[:4]]
+        assert "Lineitem_l_extendedprice" in top_ids
+        assert "Lineitem_l_quantity" in top_ids
+
+    def test_distant_numeric_attributes_included(self, elicitor):
+        ids = [s.element_id for s in elicitor.suggest_measures("Lineitem", limit=20)]
+        assert "Partsupp_ps_supplycost" in ids
+
+    def test_slicers_are_descriptive_attributes(self, elicitor):
+        ids = [s.element_id for s in elicitor.suggest_slicers("Lineitem", limit=30)]
+        assert "Nation_n_name" in ids
+        assert "Lineitem_l_shipdate" in ids
+        assert "Lineitem_l_quantity" not in ids
+
+    def test_perspective_bundle(self, elicitor):
+        perspective = elicitor.suggest_perspective("Lineitem")
+        assert perspective["focus"] == "Lineitem"
+        assert perspective["dimensions"] and perspective["measures"]
+
+
+class TestGraphDocument:
+    def test_highlight_matches_suggestions(self, elicitor):
+        document = elicitor.graph_document(highlight="Lineitem")
+        suggested = {
+            node["id"] for node in document["nodes"] if node["suggested"]
+        }
+        ids = {s.element_id for s in elicitor.suggest_dimensions("Lineitem")}
+        assert suggested == ids
+
+
+class TestVocabulary:
+    @pytest.fixture(scope="class")
+    def vocabulary(self):
+        return Vocabulary(tpch.ontology())
+
+    def test_resolves_label(self, vocabulary):
+        resolution = vocabulary.resolve("Line item")
+        assert resolution.element_id == "Lineitem"
+        assert resolution.kind == "concept"
+
+    def test_resolves_attribute_label(self, vocabulary):
+        resolution = vocabulary.resolve("nation name")
+        assert resolution.element_id == "Nation_n_name"
+        assert resolution.kind == "attribute"
+
+    def test_resolves_id_directly(self, vocabulary):
+        assert vocabulary.resolve("Part_p_brand").element_id == "Part_p_brand"
+
+    def test_unknown_term_raises_with_suggestions(self, vocabulary):
+        with pytest.raises(RequirementError) as excinfo:
+            vocabulary.resolve("Lineitm")
+        assert "did you mean" in str(excinfo.value)
+
+    def test_try_resolve_returns_none(self, vocabulary):
+        assert vocabulary.try_resolve("nonsense-term") is None
+
+    def test_resolve_all(self, vocabulary):
+        resolutions = vocabulary.resolve_all(["Part", "Supplier"])
+        assert [r.element_id for r in resolutions] == ["Part", "Supplier"]
+
+    def test_ambiguous_term_raises(self):
+        from repro.ontology import OntologyBuilder
+
+        ontology = (
+            OntologyBuilder("amb")
+            .concept("A", label="thing")
+            .concept("B", label="Thing")
+            .build()
+        )
+        with pytest.raises(RequirementError) as excinfo:
+            Vocabulary(ontology).resolve("thing")
+        assert "ambiguous" in str(excinfo.value)

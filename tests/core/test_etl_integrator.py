@@ -1,0 +1,200 @@
+"""Tests for the ETL Process Integrator (Figure 3, ETL side)."""
+
+import pytest
+
+from repro.core.integrator import EtlIntegrator
+from repro.core.interpreter import Interpreter
+from repro.errors import IntegrationError
+from repro.etlmodel import EtlFlow
+from repro.etlmodel.propagation import propagate
+from repro.sources import tpch
+
+from .conftest import (
+    build_netprofit_requirement,
+    build_quantity_requirement,
+    build_revenue_requirement,
+)
+
+ROWS = {
+    "lineitem": 6000, "orders": 1500, "customer": 150,
+    "nation": 25, "region": 5, "part": 200, "partsupp": 400,
+    "supplier": 10,
+}
+
+
+@pytest.fixture(scope="module")
+def interpreter():
+    return Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+
+
+@pytest.fixture(scope="module")
+def partials(interpreter):
+    return {
+        "IR1": interpreter.interpret(build_revenue_requirement()),
+        "IR2": interpreter.interpret(build_netprofit_requirement()),
+        "IR3": interpreter.interpret(build_quantity_requirement()),
+    }
+
+
+def consolidate_all(partials, keys, integrator=None, row_counts=None):
+    integrator = integrator or EtlIntegrator()
+    unified = EtlFlow(name="unified")
+    result = None
+    for key in keys:
+        result = integrator.consolidate(
+            unified, partials[key].etl_flow, row_counts=row_counts
+        )
+        unified = result.flow
+    return unified, result
+
+
+class TestReuse:
+    def test_first_requirement_adds_everything(self, partials):
+        __, result = consolidate_all(partials, ["IR1"])
+        assert result.reused == []
+        assert len(result.added) == len(partials["IR1"].etl_flow)
+
+    def test_second_requirement_reuses_shared_prefix(self, partials):
+        __, result = consolidate_all(partials, ["IR1", "IR2"])
+        # IR2 shares the lineitem/partsupp/part extractions and the
+        # lineitem-partsupp-part join spine with IR1.
+        assert result.reuse_ratio > 0.2
+        assert any("DATASTORE_lineitem" in name for name in result.reused)
+
+    def test_identical_requirement_fully_reused(self, partials, interpreter):
+        unified, __ = consolidate_all(partials, ["IR1"])
+        duplicate = interpreter.interpret(build_revenue_requirement("IR1"))
+        result = EtlIntegrator().consolidate(unified, duplicate.etl_flow)
+        assert result.added == []
+        assert result.reuse_ratio == 1.0
+        assert len(result.flow) == len(unified)
+
+    def test_unified_flow_is_valid_and_typed(self, partials):
+        unified, __ = consolidate_all(partials, ["IR1", "IR2", "IR3"])
+        assert unified.validate() == []
+        propagate(unified, tpch.schema())
+
+    def test_requirements_accumulate(self, partials):
+        unified, __ = consolidate_all(partials, ["IR1", "IR2", "IR3"])
+        assert unified.requirements == {"IR1", "IR2", "IR3"}
+
+    def test_inputs_not_mutated(self, partials):
+        before = len(partials["IR1"].etl_flow)
+        consolidate_all(partials, ["IR1", "IR2"])
+        assert len(partials["IR1"].etl_flow) == before
+
+
+class TestWidening:
+    def test_shared_dimension_branch_widened(self, partials):
+        unified, result = consolidate_all(partials, ["IR1", "IR2"])
+        # IR1 projects p_name into dim_Part, IR2 projects p_brand: after
+        # consolidation a single branch projects both.
+        loaders = [
+            node for node in unified.nodes()
+            if node.kind == "Loader" and node.table == "dim_Part"
+        ]
+        assert len(loaders) == 1
+        project = next(
+            node for node in unified.nodes()
+            if node.kind == "Projection" and "dim_Part" in node.name
+        )
+        assert set(project.columns) >= {"p_name", "p_brand"}
+        assert result.widened  # something was widened
+
+    def test_widened_flow_executes_correctly(self, partials):
+        from repro.engine import Database, Executor
+
+        unified, __ = consolidate_all(partials, ["IR1", "IR2"])
+        database = Database()
+        database.load_source(tpch.schema(), tpch.generate(0.2, seed=9))
+        stats = Executor(database).execute(unified)
+        assert stats.loaded["fact_table_revenue"] > 0
+        assert stats.loaded["fact_table_netprofit"] > 0
+        part_columns = database.scan("dim_Part").attribute_names()
+        assert set(part_columns) >= {"p_name", "p_brand"}
+
+
+class TestCostModel:
+    def test_integrated_flow_cheaper_than_separate(self, partials):
+        __, result = consolidate_all(
+            partials, ["IR1", "IR2"], row_counts=ROWS
+        )
+        assert result.cost_unified < result.cost_separate
+        assert result.cost_saving > 0
+
+
+class TestAlignment:
+    """Equivalence-rule alignment increases found overlap (A1)."""
+
+    def _manual_variants(self):
+        from repro.etlmodel import (
+            Datastore, Extraction, Loader, Selection,
+        )
+
+        def early_filter():
+            flow = EtlFlow("early", requirements={"A"})
+            flow.chain(
+                Datastore("DATASTORE_nation", table="nation",
+                          columns=("n_name", "n_nationkey")),
+                Selection("SEL", predicate="n_name = 'SPAIN'"),
+                Extraction("EXTRACTION_nation",
+                           columns=("n_name", "n_nationkey")),
+                Loader("LOAD_a", table="out_a"),
+            )
+            return flow
+
+        def late_filter():
+            flow = EtlFlow("late", requirements={"B"})
+            flow.chain(
+                Datastore("DATASTORE_nation", table="nation",
+                          columns=("n_name", "n_nationkey")),
+                Extraction("EXTRACTION_nation",
+                           columns=("n_name", "n_nationkey")),
+                Selection("SEL", predicate="n_name = 'SPAIN'"),
+                Loader("LOAD_b", table="out_b"),
+            )
+            return flow
+
+        return early_filter(), late_filter()
+
+    def test_alignment_finds_reordered_overlap(self):
+        early, late = self._manual_variants()
+        aligned = EtlIntegrator(align=True).consolidate(early, late)
+        # Everything except the loader unifies once orders align.
+        assert len(aligned.added) == 1
+        assert aligned.added[0].startswith("LOAD")
+
+    def test_without_alignment_overlap_is_missed(self):
+        early, late = self._manual_variants()
+        unaligned = EtlIntegrator(align=False).consolidate(early, late)
+        assert len(unaligned.added) > 1
+
+    def test_alignment_never_reduces_reuse_on_generated_flows(self, partials):
+        __, aligned = consolidate_all(
+            partials, ["IR1", "IR2"], EtlIntegrator(align=True)
+        )
+        __, unaligned = consolidate_all(
+            partials, ["IR1", "IR2"], EtlIntegrator(align=False)
+        )
+        assert len(aligned.reused) >= 0  # both are valid
+        assert aligned.flow.validate() == []
+        assert unaligned.flow.validate() == []
+
+
+class TestLoaderConflicts:
+    def test_same_table_different_content_rejected(self):
+        from repro.etlmodel import Datastore, Extraction, Loader, Selection
+
+        def flow(name, predicate):
+            result = EtlFlow(name)
+            result.chain(
+                Datastore("D", table="t", columns=("a",)),
+                Selection("S", predicate=predicate),
+                Loader("L", table="same_table"),
+            )
+            return result
+
+        with pytest.raises(IntegrationError):
+            EtlIntegrator().consolidate(
+                flow("one", "a = 'x'"), flow("two", "a = 'y'")
+            )

@@ -1,0 +1,223 @@
+"""Tests for the extension components: Pig Latin export, SQL-DDL import,
+and the design self-tuning advisor (§2.5-2.6 plug-in slots)."""
+
+import pytest
+
+from repro.core.deployer import Deployer, ddl, ddl_import, pig
+from repro.core.interpreter import Interpreter
+from repro.core.tuning import TuningAdvisor
+from repro.errors import DeploymentError, FormatError
+from repro.sources import tpch
+
+from .conftest import build_netprofit_requirement, build_revenue_requirement
+
+
+@pytest.fixture(scope="module")
+def design():
+    interpreter = Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+    return interpreter.interpret(build_revenue_requirement())
+
+
+class TestPigLatinExport:
+    def test_script_shape(self, design):
+        script = pig.generate(design.etl_flow)
+        assert "LOAD 'lineitem' USING PigStorage()" in script
+        assert "FILTER" in script and "(n_name == 'SPAIN')" in script
+        assert "JOIN" in script
+        assert "GROUP" in script
+        assert "AVG(" in script
+        assert "STORE" in script and "INTO 'fact_table_revenue'" in script
+
+    def test_one_alias_per_operation(self, design):
+        script = pig.generate(design.etl_flow)
+        for name in design.etl_flow.node_names():
+            if design.etl_flow.node(name).kind == "Loader":
+                continue
+            assert f"{name} =" in script or f"{name}_grouped =" in script
+
+    def test_distinct_and_projection(self, design):
+        script = pig.generate(design.etl_flow)
+        assert "DISTINCT" in script
+        assert "FOREACH" in script
+
+    def test_expression_rendering(self):
+        from repro.expressions import parse
+        from repro.core.deployer.pig import _pig_expression
+
+        assert _pig_expression(parse("a = 1 and b != 'x'")) == (
+            "((a == 1) AND (b != 'x'))"
+        )
+        assert _pig_expression(parse("price * (1 - discount)")) == (
+            "(price * (1 - discount))"
+        )
+        assert _pig_expression(parse("x in (1, 2)")) == "x IN (1, 2)"
+
+    def test_registered_in_registry(self, design):
+        deployer = Deployer(source_schema=tpch.schema())
+        script = deployer.registry.export(
+            "etl_flow", "piglatin", design.etl_flow
+        )
+        assert "PigStorage" in script
+
+
+class TestDdlImport:
+    def test_roundtrip_from_generated_ddl(self, design):
+        script = ddl.generate(design.md_schema)
+        imported = ddl_import.loads(script, name="back")
+        assert set(imported.dimensions) == set(design.md_schema.dimensions)
+        assert set(imported.facts) == set(design.md_schema.facts)
+        fact = imported.fact("fact_table_revenue")
+        original = design.md_schema.fact("fact_table_revenue")
+        assert fact.grain == original.grain
+        assert set(fact.measures) == set(original.measures)
+        assert {link.dimension for link in fact.links} == {
+            link.dimension for link in original.links
+        }
+
+    def test_imported_schema_is_sound(self, design):
+        from repro.mdmodel.constraints import is_sound
+
+        imported = ddl_import.loads(ddl.generate(design.md_schema))
+        assert is_sound(imported)
+
+    def test_dimension_columns_recovered_with_types(self, design):
+        from repro.expressions import ScalarType
+
+        imported = ddl_import.loads(ddl.generate(design.md_schema))
+        supplier = imported.dimension("Supplier")
+        level = supplier.level("Supplier")
+        assert level.attribute("s_name").type is ScalarType.STRING
+
+    def test_hand_written_script(self):
+        script = """
+        CREATE TABLE dim_product (
+          sku BIGINT,
+          label VARCHAR(100)
+        );
+        CREATE TABLE sales (
+          sku BIGINT,
+          amount double precision,
+          PRIMARY KEY( sku )
+        );
+        """
+        imported = ddl_import.loads(script)
+        assert imported.dimension("product").level("product").has_attribute("sku")
+        fact = imported.fact("sales")
+        assert fact.grain == ["sku"]
+        assert "amount" in fact.measures
+        assert fact.links[0].dimension == "product"
+
+    def test_empty_script_rejected(self):
+        with pytest.raises(FormatError):
+            ddl_import.loads("-- nothing here")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(FormatError):
+            ddl_import.loads("CREATE TABLE t (x BLOB);")
+
+    def test_registered_in_registry(self, design):
+        deployer = Deployer(source_schema=tpch.schema())
+        imported = deployer.registry.import_(
+            "md_schema", "ddl", ddl.generate(design.md_schema)
+        )
+        assert imported.has_fact("fact_table_revenue")
+
+
+class TestTuningAdvisor:
+    @pytest.fixture(scope="class")
+    def advised(self):
+        interpreter = Interpreter(
+            tpch.ontology(), tpch.schema(), tpch.mappings()
+        )
+        revenue = build_revenue_requirement()
+        coarse = build_netprofit_requirement()
+        from repro.core.integrator import MDIntegrator
+        from repro.mdmodel import MDSchema
+
+        unified = MDSchema("u")
+        integrator = MDIntegrator()
+        unified = integrator.integrate(
+            unified, interpreter.interpret(revenue).md_schema
+        ).schema
+        unified = integrator.integrate(
+            unified, interpreter.interpret(coarse).md_schema
+        ).schema
+        advisor = TuningAdvisor(row_counts={"fact_table_revenue": 50_000})
+        return unified, advisor.advise(unified, [revenue, coarse])
+
+    def test_index_advice_covers_grain_and_keys(self, advised):
+        schema, report = advised
+        indexes = report.of_kind("index")
+        targets = {(s.target, s.columns) for s in indexes}
+        assert ("fact_table_revenue", ("p_name",)) in targets
+        assert ("fact_table_revenue", ("s_name",)) in targets
+        assert ("dim_Supplier", ("s_name",)) in targets
+
+    def test_suggestions_ranked_by_benefit(self, advised):
+        __, report = advised
+        benefits = [s.estimated_benefit for s in report.suggestions]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_slimming_flags_unreferenced_complements(self, advised):
+        __, report = advised
+        slims = report.of_kind("slim")
+        # Region's r_name came from complementing, no requirement uses it.
+        assert any(
+            "dim_Supplier" == s.target and "r_name" in s.columns for s in slims
+        )
+
+    def test_rollup_advice_for_coarser_grouping(self):
+        """Two requirements on one fact, one strictly coarser: advise a
+        materialised roll-up at the coarser granularity."""
+        from repro import Quarry, RequirementBuilder
+
+        quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+        fine = (
+            RequirementBuilder("F", "qty per brand and shipmode")
+            .measure("qty", "Lineitem_l_quantity", "SUM")
+            .per("Part_p_brand", "Lineitem_l_shipmode")
+            .build()
+        )
+        coarse = (
+            RequirementBuilder("C", "qty per brand")
+            .measure("qty", "Lineitem_l_quantity", "SUM")
+            .per("Part_p_brand", "Lineitem_l_shipmode")
+            .build()
+        )
+        quarry.add_requirement(fine)
+        md, __ = quarry.unified_design()
+        # Simulate the coarser ask: C groups only by brand.
+        coarse_req = (
+            RequirementBuilder("C2", "qty per brand only")
+            .measure("qty2", "Lineitem_l_quantity", "SUM")
+            .per("Part_p_brand")
+            .build()
+        )
+        fact = next(iter(md.facts.values()))
+        fact.requirements.add("C2")
+        advisor = TuningAdvisor(row_counts={fact.name: 10_000})
+        report = advisor.advise(md, [fine, coarse_req])
+        rollups = report.of_kind("rollup")
+        assert any(s.columns == ("p_brand",) for s in rollups)
+
+    def test_non_distributive_measures_block_rollups(self, advised):
+        from repro.mdmodel import AggregationFunction
+
+        schema, __ = advised
+        fact = schema.fact("fact_table_revenue")
+        # revenue is AVG -> not distributive -> no rollup advice for it.
+        assert fact.measure("revenue").aggregation is AggregationFunction.AVG
+        advisor = TuningAdvisor()
+        requirement = build_revenue_requirement()
+        fake_coarse = build_revenue_requirement("X")
+        fake_coarse.dimensions = fake_coarse.dimensions[:1]
+        fact.requirements.add("X")
+        report = advisor.advise(schema, [requirement, fake_coarse])
+        assert all(
+            s.target != "fact_table_revenue" for s in report.of_kind("rollup")
+        )
+
+    def test_report_helpers(self, advised):
+        __, report = advised
+        assert len(report.top(3)) == 3
+        assert str(report.suggestions[0]).startswith("[")

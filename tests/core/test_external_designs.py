@@ -1,0 +1,208 @@
+"""Tests for plugging in external design tools (§2.2).
+
+An "external tool" here hand-authors xMD and xLM documents (as a real
+third-party tool would ship them through the metadata layer), and Quarry
+validates + integrates them next to its own interpreter output.
+"""
+
+import pytest
+
+from repro import Quarry, QuarryError, RequirementBuilder
+from repro.engine import Database
+from repro.errors import MDConstraintViolation
+from repro.sources import tpch
+from repro.xformats import xlm, xmd
+
+from .conftest import build_revenue_requirement
+
+EXTERNAL_XMD = """
+<MDschema name="external">
+  <facts>
+    <fact>
+      <name>fact_table_shipcount</name>
+      <concept>Lineitem</concept>
+      <grain><column>l_shipmode</column></grain>
+      <requirements><requirement>EXT1</requirement></requirements>
+      <measures>
+        <measure>
+          <name>shipments</name>
+          <expression>Lineitem_l_quantity</expression>
+          <type>integer</type>
+          <aggregation>COUNT</aggregation>
+          <additivity>additive</additivity>
+        </measure>
+      </measures>
+      <links>
+        <link><dimension>shipmode</dimension><level>shipmode</level></link>
+      </links>
+    </fact>
+  </facts>
+  <dimensions>
+    <dimension>
+      <name>shipmode</name>
+      <levels>
+        <level>
+          <name>shipmode</name>
+          <concept>Lineitem</concept>
+          <key>l_shipmode</key>
+          <attributes>
+            <attribute>
+              <name>l_shipmode</name>
+              <type>string</type>
+              <property>Lineitem_l_shipmode</property>
+            </attribute>
+          </attributes>
+        </level>
+      </levels>
+      <hierarchies>
+        <hierarchy name="shipmode"><level>shipmode</level></hierarchy>
+      </hierarchies>
+    </dimension>
+  </dimensions>
+</MDschema>
+"""
+
+EXTERNAL_XLM = """
+<design>
+  <metadata>
+    <name>etl_EXT1</name>
+    <requirements><requirement>EXT1</requirement></requirements>
+  </metadata>
+  <edges>
+    <edge><from>DATASTORE_lineitem</from><to>EXTRACTION_lineitem</to><enabled>Y</enabled></edge>
+    <edge><from>EXTRACTION_lineitem</from><to>AGG_ship</to><enabled>Y</enabled></edge>
+    <edge><from>AGG_ship</from><to>LOAD_fact_table_shipcount</to><enabled>Y</enabled></edge>
+    <edge><from>EXTRACTION_lineitem</from><to>PROJECT_dim_shipmode</to><enabled>Y</enabled></edge>
+    <edge><from>PROJECT_dim_shipmode</from><to>DISTINCT_dim_shipmode</to><enabled>Y</enabled></edge>
+    <edge><from>DISTINCT_dim_shipmode</from><to>LOAD_dim_shipmode</to><enabled>Y</enabled></edge>
+  </edges>
+  <nodes>
+    <node><name>DATASTORE_lineitem</name><type>Datastore</type><optype>TableInput</optype>
+      <properties><property name="table">lineitem</property>
+      <property name="columns">l_quantity,l_shipmode</property></properties></node>
+    <node><name>EXTRACTION_lineitem</name><type>Extraction</type><optype>SelectValues</optype>
+      <properties><property name="columns">l_quantity,l_shipmode</property></properties></node>
+    <node><name>AGG_ship</name><type>Aggregation</type><optype>GroupBy</optype>
+      <properties><property name="groupBy">l_shipmode</property>
+      <property name="aggregates">shipments=COUNT(l_quantity)</property></properties></node>
+    <node><name>LOAD_fact_table_shipcount</name><type>Loader</type><optype>TableOutput</optype>
+      <properties><property name="table">fact_table_shipcount</property>
+      <property name="mode">replace</property></properties></node>
+    <node><name>PROJECT_dim_shipmode</name><type>Projection</type><optype>SelectValues</optype>
+      <properties><property name="columns">l_shipmode</property></properties></node>
+    <node><name>DISTINCT_dim_shipmode</name><type>Distinct</type><optype>Unique</optype></node>
+    <node><name>LOAD_dim_shipmode</name><type>Loader</type><optype>TableOutput</optype>
+      <properties><property name="table">dim_shipmode</property>
+      <property name="mode">replace</property></properties></node>
+  </nodes>
+</design>
+"""
+
+
+def external_requirement():
+    return (
+        RequirementBuilder("EXT1", "shipment count per ship mode")
+        .measure("shipments", "Lineitem_l_quantity", "COUNT")
+        .per("Lineitem_l_shipmode")
+        .build()
+    )
+
+
+@pytest.fixture
+def quarry():
+    return Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+
+
+class TestExternalPartialDesigns:
+    def test_external_design_integrates_and_deploys(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        report = quarry.add_partial_design(
+            external_requirement(),
+            xmd.loads(EXTERNAL_XMD),
+            xlm.loads(EXTERNAL_XLM),
+        )
+        assert report.action == "added"
+        md, etl = quarry.unified_design()
+        assert md.has_fact("fact_table_shipcount")
+        assert quarry.satisfiability_problems() == []
+        database = Database()
+        database.load_source(tpch.schema(), tpch.generate(0.2, seed=31))
+        result = quarry.deploy("native", source_database=database)
+        assert result.stats.loaded["fact_table_shipcount"] > 0
+        # External fact counts match a direct recomputation.
+        expected = {}
+        for row in database.scan("lineitem").rows:
+            mode = row["l_shipmode"]
+            expected[mode] = expected.get(mode, 0) + 1
+        got = {
+            row["l_shipmode"]: row["shipments"]
+            for row in database.scan("fact_table_shipcount").rows
+        }
+        assert got == expected
+
+    def test_external_design_shares_source_reads(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        report = quarry.add_partial_design(
+            external_requirement(),
+            xmd.loads(EXTERNAL_XMD),
+            xlm.loads(EXTERNAL_XLM),
+        )
+        # The lineitem datastore is reused from the interpreter's flow.
+        assert any(
+            "DATASTORE_lineitem" in name
+            for name in report.etl_consolidation.reused
+        )
+
+    def test_unsound_external_schema_rejected(self, quarry):
+        broken = xmd.loads(EXTERNAL_XMD)
+        broken.fact("fact_table_shipcount").measures.clear()
+        with pytest.raises(MDConstraintViolation):
+            quarry.add_partial_design(
+                external_requirement(), broken, xlm.loads(EXTERNAL_XLM)
+            )
+
+    def test_flow_not_claiming_requirement_rejected(self, quarry):
+        flow = xlm.loads(EXTERNAL_XLM)
+        flow.requirements = {"SOMEONE_ELSE"}
+        with pytest.raises(QuarryError):
+            quarry.add_partial_design(
+                external_requirement(), xmd.loads(EXTERNAL_XMD), flow
+            )
+
+    def test_schema_missing_measure_rejected(self, quarry):
+        requirement = (
+            RequirementBuilder("EXT1", "has an extra measure")
+            .measure("shipments", "Lineitem_l_quantity", "COUNT")
+            .measure("ghost", "Lineitem_l_tax", "SUM")
+            .per("Lineitem_l_shipmode")
+            .build()
+        )
+        with pytest.raises(QuarryError):
+            quarry.add_partial_design(
+                requirement, xmd.loads(EXTERNAL_XMD), xlm.loads(EXTERNAL_XLM)
+            )
+
+    def test_duplicate_requirement_rejected(self, quarry):
+        quarry.add_partial_design(
+            external_requirement(),
+            xmd.loads(EXTERNAL_XMD),
+            xlm.loads(EXTERNAL_XLM),
+        )
+        with pytest.raises(QuarryError):
+            quarry.add_partial_design(
+                external_requirement(),
+                xmd.loads(EXTERNAL_XMD),
+                xlm.loads(EXTERNAL_XLM),
+            )
+
+    def test_external_design_survives_rebuild(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        quarry.add_partial_design(
+            external_requirement(),
+            xmd.loads(EXTERNAL_XMD),
+            xlm.loads(EXTERNAL_XLM),
+        )
+        quarry.remove_requirement("IR1")
+        md, __ = quarry.unified_design()
+        assert md.has_fact("fact_table_shipcount")
+        assert quarry.satisfiability_problems() == []

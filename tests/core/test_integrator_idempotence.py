@@ -1,0 +1,41 @@
+"""Idempotence of integration across the whole requirement corpus.
+
+Re-adding any already-integrated requirement (under a fresh id) must be
+served entirely by reuse: no new ETL operations, no MD complexity
+growth.  This is the strongest form of the paper's reuse claim and runs
+over every entry of the benchmark corpus.
+"""
+
+import pytest
+
+from repro import Quarry
+from repro.sources import tpch
+
+from benchmarks._workloads import requirement_corpus
+
+CORPUS_SIZE = 9
+
+
+@pytest.fixture(scope="module")
+def loaded_quarry():
+    quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+    for requirement in requirement_corpus(CORPUS_SIZE):
+        quarry.add_requirement(requirement)
+    return quarry
+
+
+@pytest.mark.parametrize("index", range(CORPUS_SIZE))
+def test_readding_requirement_is_pure_reuse(loaded_quarry, index):
+    quarry = loaded_quarry
+    duplicate = requirement_corpus(CORPUS_SIZE)[index]
+    duplicate.id = f"{duplicate.id}_again"
+    complexity_before = quarry.status().complexity
+    operations_before = quarry.status().etl_operations
+    report = quarry.add_requirement(duplicate)
+    assert report.etl_consolidation.added == []
+    assert report.etl_consolidation.reuse_ratio == 1.0
+    status = quarry.status()
+    assert status.etl_operations == operations_before
+    assert status.complexity == pytest.approx(complexity_before)
+    assert quarry.satisfiability_problems() == []
+    quarry.remove_requirement(duplicate.id)

@@ -1,0 +1,249 @@
+"""Tests for the Requirements Interpreter (Figure 4's design process)."""
+
+import pytest
+
+from repro.core.interpreter import Interpreter
+from repro.core.requirements import RequirementBuilder
+from repro.errors import InterpretationError, RequirementError
+from repro.mdmodel import AggregationFunction
+from repro.mdmodel.constraints import is_sound
+from repro.sources import retail, tpch
+
+from .conftest import (
+    build_netprofit_requirement,
+    build_quantity_requirement,
+    build_revenue_requirement,
+)
+
+
+@pytest.fixture(scope="module")
+def interpreter():
+    return Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+
+
+@pytest.fixture(scope="module")
+def revenue_design(interpreter):
+    return interpreter.interpret(build_revenue_requirement())
+
+
+class TestMapping:
+    def test_fact_concept_is_lineitem(self, revenue_design):
+        assert revenue_design.mapping.fact_concept == "Lineitem"
+
+    def test_dimension_concepts(self, revenue_design):
+        assert revenue_design.mapping.dimension_concepts() == [
+            "Part",
+            "Supplier",
+        ]
+
+    def test_slicer_concepts(self, revenue_design):
+        assert revenue_design.mapping.slicer_concepts() == ["Nation"]
+
+    def test_slicer_path_goes_through_customer(self, revenue_design):
+        # "ordered from Spain": the customer's nation, not the supplier's.
+        path = revenue_design.mapping.path_to("Nation")
+        assert path.concepts() == ["Lineitem", "Orders", "Customer", "Nation"]
+
+    def test_netprofit_fact_is_lineitem(self, interpreter):
+        # Measures span Lineitem and Partsupp; Lineitem reaches Partsupp
+        # over a to-one path, so it is the sound fact choice.
+        design = interpreter.interpret(build_netprofit_requirement())
+        assert design.mapping.fact_concept == "Lineitem"
+
+    def test_mixed_granularity_rejected(self, interpreter):
+        # Customer's balance per supplier name: Customer cannot reach
+        # Supplier over to-one paths and vice versa -> unsound.
+        requirement = (
+            RequirementBuilder("BAD")
+            .measure("bal", "Customer_c_acctbal")
+            .per("Region_r_name")
+            .build()
+        )
+        # Customer reaches Region (to-one), so this one is fine...
+        interpreter.interpret(requirement)
+        requirement = (
+            RequirementBuilder("BAD2")
+            .measure("bal", "Customer_c_acctbal")
+            .per("Part_p_name")
+            .build()
+        )
+        # ...but nothing reaches both Customer (measure) and Part
+        # at customer granularity.
+        with pytest.raises(InterpretationError):
+            interpreter.interpret(requirement)
+
+    def test_invalid_requirement_rejected_early(self, interpreter):
+        requirement = (
+            RequirementBuilder("BAD")
+            .measure("m", "No_such_property")
+            .per("Part_p_name")
+            .build()
+        )
+        with pytest.raises(RequirementError):
+            interpreter.interpret(requirement)
+
+
+class TestMDGeneration:
+    def test_fact_named_after_measures(self, revenue_design):
+        assert revenue_design.md_schema.has_fact("fact_table_revenue")
+
+    def test_measure_carries_aggregation(self, revenue_design):
+        fact = revenue_design.md_schema.fact("fact_table_revenue")
+        assert fact.measure("revenue").aggregation is AggregationFunction.AVG
+
+    def test_dimensions_match_paper(self, revenue_design):
+        schema = revenue_design.md_schema
+        assert set(schema.dimensions) == {"Part", "Supplier"}
+        fact = schema.fact("fact_table_revenue")
+        assert fact.linked_dimensions() == ["Part", "Supplier"]
+
+    def test_supplier_dimension_complemented_with_geography(self, revenue_design):
+        supplier = revenue_design.md_schema.dimension("Supplier")
+        assert set(supplier.levels) == {"Supplier", "Nation", "Region"}
+        assert supplier.hierarchies[0].levels == ["Supplier", "Nation", "Region"]
+
+    def test_levels_carry_provenance_and_columns(self, revenue_design):
+        supplier = revenue_design.md_schema.dimension("Supplier")
+        level = supplier.level("Supplier")
+        assert level.concept == "Supplier"
+        assert level.attributes[0].name == "s_name"
+        assert level.attributes[0].property == "Supplier_s_name"
+
+    def test_schema_is_sound(self, revenue_design):
+        assert is_sound(revenue_design.md_schema)
+
+    def test_requirement_traceability(self, revenue_design):
+        assert revenue_design.md_schema.all_requirements() == {"IR1"}
+
+    def test_degenerate_dimension_for_fact_property(self, interpreter):
+        design = interpreter.interpret(build_quantity_requirement())
+        schema = design.md_schema
+        assert "l_shipmode" in schema.dimensions
+        degenerate = schema.dimension("l_shipmode")
+        assert list(degenerate.levels) == ["l_shipmode"]
+        assert degenerate.level("l_shipmode").concept == "Lineitem"
+
+    def test_no_complement_mode(self):
+        interpreter = Interpreter(
+            tpch.ontology(), tpch.schema(), tpch.mappings(), complement=False
+        )
+        design = interpreter.interpret(build_revenue_requirement())
+        assert set(design.md_schema.dimension("Supplier").levels) == {"Supplier"}
+
+
+class TestEtlGeneration:
+    def test_flow_is_valid_and_propagates(self, revenue_design):
+        assert revenue_design.etl_flow.validate() == []
+
+    def test_extractions_shared_per_table(self, revenue_design):
+        names = revenue_design.etl_flow.node_names()
+        extractions = [n for n in names if n.startswith("EXTRACTION_")]
+        assert len(extractions) == len(set(extractions))
+        # nation is needed by both the slicer path and the Supplier
+        # dimension branch, yet appears once.
+        assert extractions.count("EXTRACTION_nation") == 1
+
+    def test_fact_branch_shape(self, revenue_design):
+        flow = revenue_design.etl_flow
+        agg = flow.node("AGG_fact_table_revenue")
+        assert set(agg.group_by) == {"p_name", "s_name"}
+        assert agg.aggregates[0].function == "AVERAGE"
+        assert flow.node("LOAD_fact_table_revenue").table == "fact_table_revenue"
+
+    def test_slicer_becomes_selection_with_source_columns(self, revenue_design):
+        flow = revenue_design.etl_flow
+        selection = flow.node("SELECTION_IR1_1")
+        assert selection.predicate == "n_name = 'SPAIN'"
+
+    def test_measure_expression_substituted(self, revenue_design):
+        derive = revenue_design.etl_flow.node("DERIVE_revenue")
+        assert derive.expression == "l_extendedprice * (1 - l_discount)"
+
+    def test_dimension_branches_load_dim_tables(self, revenue_design):
+        flow = revenue_design.etl_flow
+        loaders = {
+            node.table for node in flow.nodes() if node.kind == "Loader"
+        }
+        assert loaders == {"fact_table_revenue", "dim_Part", "dim_Supplier"}
+
+    def test_dimension_branch_ends_in_distinct(self, revenue_design):
+        flow = revenue_design.etl_flow
+        assert flow.inputs("LOAD_dim_Part") == ["DISTINCT_dim_Part"]
+
+    def test_supplier_dimension_joins_geography(self, revenue_design):
+        flow = revenue_design.etl_flow
+        project_inputs = flow.inputs("PROJECT_dim_Supplier")
+        assert project_inputs[0].startswith("JOIN_dim_Supplier")
+
+    def test_requirements_recorded_on_flow(self, revenue_design):
+        assert revenue_design.etl_flow.requirements == {"IR1"}
+
+
+class TestEndToEndExecution:
+    def test_generated_flow_runs_and_star_answers_the_requirement(self, revenue_design):
+        from repro.engine import Database, Executor, OlapQuery, query_star
+        from repro.sources import tpch as tpch_module
+
+        database = Database()
+        database.load_source(
+            tpch_module.schema(), tpch_module.generate(0.3, seed=42)
+        )
+        Executor(database).execute(revenue_design.etl_flow)
+        assert database.has_table("fact_table_revenue")
+        assert database.has_table("dim_Supplier")
+        # The fact table is already at the requested granularity.
+        fact_rows = database.scan("fact_table_revenue").rows
+        manual = _manual_revenue(database)
+        got = {
+            (row["p_name"], row["s_name"]): row["revenue"] for row in fact_rows
+        }
+        assert got == pytest.approx(manual)
+
+    def test_retail_domain_interprets_too(self):
+        interpreter = Interpreter(
+            retail.ontology(), retail.schema(), retail.mappings()
+        )
+        requirement = (
+            RequirementBuilder("R1", "sales per category and country")
+            .measure("sales", "TicketLine_amount", "SUM")
+            .per("Product_category", "Store_country")
+            .build()
+        )
+        design = interpreter.interpret(requirement)
+        assert design.mapping.fact_concept == "TicketLine"
+        assert set(design.md_schema.dimensions) == {"Product", "Store"}
+        from repro.engine import Database, Executor
+
+        database = Database()
+        database.load_source(retail.schema(), retail.generate(0.4, seed=1))
+        stats = Executor(database).execute(design.etl_flow)
+        assert stats.loaded["fact_table_sales"] > 0
+
+
+def _manual_revenue(database):
+    """Recompute IR1 (AVG revenue per part/supplier, customer in Spain)."""
+    nations = {
+        row["n_nationkey"]: row["n_name"] for row in database.scan("nation").rows
+    }
+    customers = {
+        row["c_custkey"]: nations[row["c_nationkey"]]
+        for row in database.scan("customer").rows
+    }
+    orders = {
+        row["o_orderkey"]: customers[row["o_custkey"]]
+        for row in database.scan("orders").rows
+    }
+    parts = {row["p_partkey"]: row["p_name"] for row in database.scan("part").rows}
+    suppliers = {
+        row["s_suppkey"]: row["s_name"] for row in database.scan("supplier").rows
+    }
+    sums = {}
+    counts = {}
+    for row in database.scan("lineitem").rows:
+        if orders[row["l_orderkey"]] != "SPAIN":
+            continue
+        key = (parts[row["l_partkey"]], suppliers[row["l_suppkey"]])
+        revenue = row["l_extendedprice"] * (1 - row["l_discount"])
+        sums[key] = sums.get(key, 0.0) + revenue
+        counts[key] = counts.get(key, 0) + 1
+    return {key: sums[key] / counts[key] for key in sums}

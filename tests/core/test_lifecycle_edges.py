@@ -1,0 +1,122 @@
+"""Edge cases of the design lifecycle."""
+
+import pytest
+
+from repro import Quarry
+from repro.sources import tpch
+
+from .conftest import (
+    build_netprofit_requirement,
+    build_revenue_requirement,
+)
+
+
+@pytest.fixture
+def quarry():
+    return Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+
+
+class TestEmptyAndShrinkingDesigns:
+    def test_empty_design_status(self, quarry):
+        status = quarry.status()
+        assert status.requirements == []
+        assert status.complexity == 0.0
+        assert status.etl_operations == 0
+        assert quarry.satisfiability_problems() == []
+
+    def test_removing_last_requirement_empties_design(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        quarry.remove_requirement("IR1")
+        md, etl = quarry.unified_design()
+        assert not md.facts and not md.dimensions
+        assert len(etl) == 0
+        assert quarry.repository.requirement_ids() == []
+
+    def test_design_rebuilds_after_emptying(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        quarry.remove_requirement("IR1")
+        quarry.add_requirement(build_netprofit_requirement())
+        md, __ = quarry.unified_design()
+        assert set(md.facts) == {"fact_table_netprofit"}
+
+    def test_deploying_empty_design_yields_empty_artifacts(self, quarry):
+        result = quarry.deploy("postgres")
+        # Only the CREATE DATABASE preamble, no tables.
+        assert "CREATE TABLE" not in result.artifacts["ddl"]
+
+
+class TestDeterminism:
+    def test_interpretation_is_deterministic(self):
+        from repro.core.interpreter import Interpreter
+        from repro.xformats import xlm, xmd
+
+        first = Interpreter(
+            tpch.ontology(), tpch.schema(), tpch.mappings()
+        ).interpret(build_revenue_requirement())
+        second = Interpreter(
+            tpch.ontology(), tpch.schema(), tpch.mappings()
+        ).interpret(build_revenue_requirement())
+        assert xmd.dumps(first.md_schema) == xmd.dumps(second.md_schema)
+        assert xlm.dumps(first.etl_flow) == xlm.dumps(second.etl_flow)
+
+    def test_integration_order_independence_for_disjoint_designs(self):
+        """Disjoint requirement pairs integrate to the same design size
+        regardless of order (overlapping ones share either way)."""
+        from repro.xformats import xmd
+
+        def build(order):
+            quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+            for requirement in order:
+                quarry.add_requirement(requirement)
+            return quarry
+
+        forward = build(
+            [build_revenue_requirement(), build_netprofit_requirement()]
+        )
+        backward = build(
+            [build_netprofit_requirement(), build_revenue_requirement()]
+        )
+        md_forward, etl_forward = forward.unified_design()
+        md_backward, etl_backward = backward.unified_design()
+        assert set(md_forward.facts) == set(md_backward.facts)
+        assert set(md_forward.dimensions) == set(md_backward.dimensions)
+        assert len(etl_forward) == len(etl_backward)
+
+    def test_elicitor_suggestions_are_deterministic(self):
+        from repro.core.requirements import Elicitor
+
+        first = Elicitor(tpch.ontology()).suggest_perspective("Lineitem")
+        second = Elicitor(tpch.ontology()).suggest_perspective("Lineitem")
+        assert [s.element_id for s in first["dimensions"]] == [
+            s.element_id for s in second["dimensions"]
+        ]
+        assert [s.element_id for s in first["measures"]] == [
+            s.element_id for s in second["measures"]
+        ]
+
+
+class TestSlicersKeepFactsApart:
+    def test_same_shape_different_slicer_yields_two_facts(self, quarry):
+        from repro import RequirementBuilder
+
+        spain = (
+            RequirementBuilder("S", "qty per brand, Spain")
+            .measure("qty", "Lineitem_l_quantity", "SUM")
+            .per("Part_p_brand")
+            .where("Nation_n_name = 'SPAIN'")
+            .build()
+        )
+        france = (
+            RequirementBuilder("F", "qty per brand, France")
+            .measure("qty", "Lineitem_l_quantity", "SUM")
+            .per("Part_p_brand")
+            .where("Nation_n_name = 'FRANCE'")
+            .build()
+        )
+        quarry.add_requirement(spain)
+        quarry.add_requirement(france)
+        md, __ = quarry.unified_design()
+        # Different content -> two facts; same Part dimension conformed.
+        assert len(md.facts) == 2
+        assert len([d for d in md.dimensions if d.startswith("Part")]) == 1
+        assert quarry.satisfiability_problems() == []

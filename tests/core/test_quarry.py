@@ -1,0 +1,194 @@
+"""End-to-end tests of the Quarry facade (Figure 1 / the demo scenarios)."""
+
+import pytest
+
+from repro import Quarry, QuarryError, RequirementBuilder
+from repro.engine import Database, OlapQuery, query_star
+from repro.errors import IntegrationError
+from repro.sources import tpch
+
+from .conftest import (
+    build_netprofit_requirement,
+    build_quantity_requirement,
+    build_revenue_requirement,
+)
+
+
+@pytest.fixture
+def quarry():
+    return Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+
+
+@pytest.fixture
+def loaded_db():
+    database = Database()
+    database.load_source(tpch.schema(), tpch.generate(0.2, seed=3))
+    return database
+
+
+class TestScenarioDWDesign:
+    """Demo scenario 1: from requirement to initial design."""
+
+    def test_add_requirement_produces_unified_design(self, quarry):
+        report = quarry.add_requirement(build_revenue_requirement())
+        assert report.action == "added"
+        md, etl = quarry.unified_design()
+        assert md.has_fact("fact_table_revenue")
+        assert set(md.dimensions) == {"Part", "Supplier"}
+        assert etl.validate() == []
+
+    def test_elicitor_assists_requirement_definition(self, quarry):
+        elicitor = quarry.elicitor()
+        suggestions = elicitor.suggest_dimensions("Lineitem")
+        assert {s.element_id for s in suggestions} >= {"Part", "Supplier"}
+        resolution = quarry.vocabulary().resolve("nation name")
+        assert resolution.element_id == "Nation_n_name"
+
+    def test_artifacts_stored_in_repository(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        repo = quarry.repository
+        assert repo.requirement_ids() == ["IR1"]
+        assert repo.partial_design_ids() == ["IR1"]
+        md, etl, requirements = repo.load_unified_design("current")
+        assert requirements == ["IR1"]
+        assert md.has_fact("fact_table_revenue")
+
+    def test_duplicate_requirement_id_rejected(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        with pytest.raises(QuarryError):
+            quarry.add_requirement(build_revenue_requirement())
+
+    def test_status_snapshot(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        status = quarry.status()
+        assert status.requirements == ["IR1"]
+        assert status.facts == ["fact_table_revenue"]
+        assert status.complexity > 0
+        assert status.etl_operations > 10
+        assert status.estimated_etl_cost > 0
+
+
+class TestScenarioAccommodatingChanges:
+    """Demo scenario 2: add / change / remove requirements."""
+
+    def test_incremental_addition_keeps_all_satisfied(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        quarry.add_requirement(build_netprofit_requirement())
+        quarry.add_requirement(build_quantity_requirement())
+        assert quarry.satisfiability_problems() == []
+        md, __ = quarry.unified_design()
+        assert len(md.facts) == 3
+        # Part is conformed between IR1 and IR2.
+        assert len([d for d in md.dimensions if d.startswith("Part")]) == 1
+
+    def test_change_requirement(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        changed = (
+            RequirementBuilder("IR1", "revenue per brand now")
+            .measure(
+                "revenue",
+                "Lineitem_l_extendedprice * (1 - Lineitem_l_discount)",
+                "SUM",
+            )
+            .per("Part_p_brand")
+            .build()
+        )
+        report = quarry.change_requirement(changed)
+        assert report.action == "changed"
+        md, __ = quarry.unified_design()
+        fact = md.fact("fact_table_revenue")
+        assert fact.grain == ["p_brand"]
+        assert quarry.satisfiability_problems() == []
+
+    def test_remove_requirement_rebuilds(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        quarry.add_requirement(build_netprofit_requirement())
+        report = quarry.remove_requirement("IR1")
+        assert report.action == "removed"
+        md, etl = quarry.unified_design()
+        assert not md.has_fact("fact_table_revenue")
+        assert md.has_fact("fact_table_netprofit")
+        assert etl.requirements == {"IR2"}
+        assert quarry.repository.requirement_ids() == ["IR2"]
+
+    def test_remove_unknown_rejected(self, quarry):
+        with pytest.raises(QuarryError):
+            quarry.remove_requirement("ghost")
+        with pytest.raises(QuarryError):
+            quarry.change_requirement(build_revenue_requirement("ghost"))
+
+    def test_integration_reduces_cost_versus_separate(self, quarry):
+        quarry.add_requirement(build_revenue_requirement())
+        report = quarry.add_requirement(build_netprofit_requirement())
+        assert report.etl_consolidation.cost_unified < (
+            report.etl_consolidation.cost_separate
+        )
+        assert report.md_integration.saving > 0
+
+
+class TestScenarioDeployment:
+    """Demo scenario 3: generate executables and run them."""
+
+    def test_deploy_all_platforms(self, quarry, loaded_db):
+        quarry.add_requirement(build_revenue_requirement())
+        quarry.add_requirement(build_netprofit_requirement())
+        ddl_result = quarry.deploy("postgres")
+        assert "CREATE TABLE fact_table_revenue" in ddl_result.artifacts["ddl"]
+        ktr_result = quarry.deploy("pdi")
+        assert "<transformation>" in ktr_result.artifacts["ktr"]
+        native = quarry.deploy("native", source_database=loaded_db)
+        assert native.stats.loaded["fact_table_revenue"] > 0
+        assert native.stats.loaded["fact_table_netprofit"] > 0
+        deployments = quarry.repository.deployments_of("current")
+        assert {d["platform"] for d in deployments} == {
+            "postgres", "pdi", "native",
+        }
+
+    def test_deployed_star_answers_both_requirements(self, quarry, loaded_db):
+        quarry.add_requirement(build_revenue_requirement())
+        quarry.add_requirement(build_netprofit_requirement())
+        quarry.deploy("native", source_database=loaded_db)
+        revenue = query_star(
+            loaded_db,
+            OlapQuery(
+                fact_table="fact_table_revenue",
+                group_by=["p_name"],
+                aggregates=[("AVERAGE", "revenue", "avg_rev")],
+            ),
+        )
+        netprofit = query_star(
+            loaded_db,
+            OlapQuery(
+                fact_table="fact_table_netprofit",
+                group_by=["p_brand"],
+                aggregates=[("SUM", "netprofit", "total")],
+            ),
+        )
+        assert len(netprofit) > 0
+        assert all(row["total"] is not None for row in netprofit.rows)
+        # dim_Part serves both facts (conformed dimension).
+        part_columns = loaded_db.scan("dim_Part").attribute_names()
+        assert {"p_name", "p_brand"} <= set(part_columns)
+
+
+class TestPersistence:
+    def test_save_and_resume_session(self, quarry, tmp_path):
+        quarry.add_requirement(build_revenue_requirement())
+        quarry.add_requirement(build_netprofit_requirement())
+        path = tmp_path / "quarry.json"
+        quarry.save_to(path)
+        resumed = Quarry.load_from(path, tpch.schema(), tpch.mappings())
+        md, etl = resumed.unified_design()
+        original_md, original_etl = quarry.unified_design()
+        assert set(md.facts) == set(original_md.facts)
+        assert set(md.dimensions) == set(original_md.dimensions)
+        assert set(etl.node_names()) == set(original_etl.node_names())
+        assert [r.id for r in resumed.requirements()] == ["IR1", "IR2"]
+
+    def test_load_from_empty_repository_rejected(self, tmp_path):
+        from repro.repository import MetadataRepository
+
+        path = tmp_path / "empty.json"
+        MetadataRepository().save_to(path)
+        with pytest.raises(QuarryError):
+            Quarry.load_from(path, tpch.schema(), tpch.mappings())

@@ -1,0 +1,199 @@
+"""Unit tests for the information-requirement model and builder."""
+
+import pytest
+
+from repro.core.requirements import (
+    InformationRequirement,
+    RequirementBuilder,
+    RequirementDimension,
+    RequirementMeasure,
+    RequirementSlicer,
+)
+from repro.errors import RequirementError
+from repro.mdmodel import AggregationFunction
+
+
+class TestBuilder:
+    def test_figure4_requirement(self, revenue_requirement):
+        requirement = revenue_requirement
+        assert requirement.id == "IR1"
+        assert requirement.dimension_properties() == [
+            "Part_p_name",
+            "Supplier_s_name",
+        ]
+        assert requirement.measure("revenue").expression == (
+            "Lineitem_l_extendedprice * (1 - Lineitem_l_discount)"
+        )
+        assert len(requirement.slicers) == 1
+
+    def test_builder_derives_aggregations(self, revenue_requirement):
+        aggregations = revenue_requirement.aggregations
+        # 1 measure x 2 dimensions
+        assert len(aggregations) == 2
+        assert all(
+            aggregation.function is AggregationFunction.AVG
+            for aggregation in aggregations
+        )
+
+    def test_explicit_aggregations_respected(self):
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity")
+            .per("Part_p_name")
+            .aggregate("Part_p_name", "m", "MAX", order=2)
+            .build()
+        )
+        assert len(requirement.aggregations) == 1
+        assert requirement.aggregations[0].function is AggregationFunction.MAX
+        assert requirement.aggregations[0].order == 2
+
+    def test_aggregation_for(self, revenue_requirement):
+        assert (
+            revenue_requirement.aggregation_for("revenue")
+            is AggregationFunction.AVG
+        )
+        assert (
+            InformationRequirement(id="x").aggregation_for("ghost")
+            is AggregationFunction.SUM
+        )
+
+    def test_unknown_measure_lookup_raises(self, revenue_requirement):
+        with pytest.raises(RequirementError):
+            revenue_requirement.measure("ghost")
+
+
+class TestReferencedProperties:
+    def test_collects_all_property_ids(self, revenue_requirement):
+        properties = revenue_requirement.referenced_properties()
+        assert set(properties) == {
+            "Part_p_name",
+            "Supplier_s_name",
+            "Lineitem_l_extendedprice",
+            "Lineitem_l_discount",
+            "Nation_n_name",
+        }
+
+    def test_deduplicates(self):
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity + Lineitem_l_quantity")
+            .per("Lineitem_l_quantity")
+            .build()
+        )
+        assert requirement.referenced_properties() == ["Lineitem_l_quantity"]
+
+    def test_effective_aggregations_default(self):
+        requirement = InformationRequirement(id="R")
+        requirement.measures.append(RequirementMeasure("m", "x"))
+        requirement.dimensions.append(RequirementDimension("d"))
+        derived = requirement.effective_aggregations()
+        assert len(derived) == 1
+        assert derived[0].function is AggregationFunction.SUM
+
+
+class TestSlicer:
+    def test_simple_comparison_decomposes(self):
+        slicer = RequirementSlicer("Nation_n_name = 'Spain'")
+        assert slicer.as_comparison() == ("Nation_n_name", "=", "Spain")
+
+    def test_range_comparison_decomposes(self):
+        slicer = RequirementSlicer("Lineitem_l_quantity >= 10")
+        assert slicer.as_comparison() == ("Lineitem_l_quantity", ">=", 10)
+
+    def test_complex_predicate_does_not(self):
+        slicer = RequirementSlicer("a = 1 and b = 2")
+        assert slicer.as_comparison() is None
+
+    def test_in_predicate_does_not(self):
+        slicer = RequirementSlicer("a in (1, 2)")
+        assert slicer.as_comparison() is None
+
+
+class TestValidation:
+    def test_valid_requirement_passes(self, revenue_requirement, tpch_domain):
+        ontology, __, __ = tpch_domain
+        assert revenue_requirement.validate(ontology) == []
+        revenue_requirement.check(ontology)
+
+    def test_unknown_property_flagged(self, tpch_domain):
+        ontology, __, __ = tpch_domain
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Ghost_property")
+            .per("Part_p_name")
+            .build()
+        )
+        problems = requirement.validate(ontology)
+        assert any("Ghost_property" in problem for problem in problems)
+
+    def test_non_numeric_measure_flagged(self, tpch_domain):
+        ontology, __, __ = tpch_domain
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Part_p_name")
+            .per("Part_p_brand")
+            .build()
+        )
+        problems = requirement.validate(ontology)
+        assert any("not numeric" in problem for problem in problems)
+
+    def test_non_boolean_slicer_flagged(self, tpch_domain):
+        ontology, __, __ = tpch_domain
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity")
+            .per("Part_p_name")
+            .where("Lineitem_l_tax + 1")
+            .build()
+        )
+        problems = requirement.validate(ontology)
+        assert any("not boolean" in problem for problem in problems)
+
+    def test_empty_requirement_flagged(self, tpch_domain):
+        ontology, __, __ = tpch_domain
+        problems = InformationRequirement(id="R").validate(ontology)
+        assert any("no measures" in problem for problem in problems)
+        assert any("no dimensions" in problem for problem in problems)
+
+    def test_duplicate_measures_flagged(self, tpch_domain):
+        ontology, __, __ = tpch_domain
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity")
+            .measure("m", "Lineitem_l_tax")
+            .per("Part_p_name")
+            .build()
+        )
+        assert any(
+            "duplicate measure" in problem
+            for problem in requirement.validate(ontology)
+        )
+
+    def test_dangling_aggregation_flagged(self, tpch_domain):
+        ontology, __, __ = tpch_domain
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity")
+            .per("Part_p_name")
+            .aggregate("Ghost_dim", "ghost_measure", "SUM")
+            .build()
+        )
+        problems = requirement.validate(ontology)
+        assert any("unknown dimension" in problem for problem in problems)
+        assert any("unknown measure" in problem for problem in problems)
+
+    def test_check_raises(self, tpch_domain):
+        ontology, __, __ = tpch_domain
+        with pytest.raises(RequirementError):
+            InformationRequirement(id="R").check(ontology)
+
+    def test_type_error_in_measure_flagged(self, tpch_domain):
+        ontology, __, __ = tpch_domain
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Part_p_name * 2")
+            .per("Part_p_brand")
+            .build()
+        )
+        problems = requirement.validate(ontology)
+        assert any("measure 'm'" in problem for problem in problems)

@@ -1,0 +1,155 @@
+"""Tests for synthesised calendar (time) dimensions."""
+
+import pytest
+
+from repro import Quarry, RequirementBuilder
+from repro.core.interpreter import Interpreter
+from repro.core.interpreter.md_generation import (
+    is_time_dimension,
+    time_level_expressions,
+)
+from repro.engine import Database, Executor, OlapQuery, query_star
+from repro.mdmodel.constraints import is_sound
+from repro.sources import tpch
+
+
+def orderdate_requirement(requirement_id="T1"):
+    return (
+        RequirementBuilder(requirement_id, "revenue per order date")
+        .measure(
+            "revenue",
+            "Lineitem_l_extendedprice * (1 - Lineitem_l_discount)",
+            "SUM",
+        )
+        .per("Orders_o_orderdate")
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def design():
+    interpreter = Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+    return interpreter.interpret(orderdate_requirement())
+
+
+class TestMDSide:
+    def test_calendar_dimension_created(self, design):
+        schema = design.md_schema
+        assert "o_orderdate" in schema.dimensions
+        dimension = schema.dimension("o_orderdate")
+        assert is_time_dimension(dimension)
+        assert set(dimension.levels) == {
+            "o_orderdate", "o_orderdate_month",
+            "o_orderdate_quarter", "o_orderdate_year",
+        }
+
+    def test_hierarchy_rolls_up_to_year(self, design):
+        dimension = design.md_schema.dimension("o_orderdate")
+        assert dimension.rolls_up("o_orderdate", "o_orderdate_year")
+        assert dimension.rolls_up("o_orderdate_month", "o_orderdate_quarter")
+
+    def test_fact_links_at_date_granularity(self, design):
+        fact = design.md_schema.fact("fact_table_revenue")
+        link = fact.link_for("o_orderdate")
+        assert link.level == "o_orderdate"
+        assert fact.grain == ["o_orderdate"]
+
+    def test_schema_sound(self, design):
+        assert is_sound(design.md_schema)
+
+    def test_non_time_dimensions_unaffected(self, design):
+        assert not is_time_dimension(
+            Interpreter(tpch.ontology(), tpch.schema(), tpch.mappings())
+            .interpret(
+                RequirementBuilder("X", "per part")
+                .measure("q", "Lineitem_l_quantity", "SUM")
+                .per("Part_p_name")
+                .build()
+            )
+            .md_schema.dimension("Part")
+        )
+
+    def test_level_expressions(self):
+        pairs = dict(time_level_expressions("d"))
+        assert pairs["d_year"] == "year(d)"
+        assert pairs["d_month"] == "year(d) * 100 + month(d)"
+        assert pairs["d_quarter"] == "year(d) * 10 + quarter(d)"
+
+
+class TestEtlSide:
+    def test_branch_derives_calendar_keys(self, design):
+        flow = design.etl_flow
+        assert flow.has_node("DERIVE_o_orderdate_year")
+        assert flow.inputs("LOAD_dim_o_orderdate") == ["DISTINCT_dim_o_orderdate"]
+        assert flow.validate() == []
+
+    def test_executes_with_correct_rollups(self, design):
+        database = Database()
+        database.load_source(tpch.schema(), tpch.generate(0.15, seed=13))
+        Executor(database).execute(design.etl_flow)
+        rows = database.scan("dim_o_orderdate").rows
+        assert rows
+        for row in rows:
+            date = row["o_orderdate"]
+            assert row["o_orderdate_year"] == date.year
+            assert row["o_orderdate_month"] == date.year * 100 + date.month
+            quarter = (date.month - 1) // 3 + 1
+            assert row["o_orderdate_quarter"] == date.year * 10 + quarter
+        # Distinct: one row per distinct date.
+        dates = [row["o_orderdate"] for row in rows]
+        assert len(dates) == len(set(dates))
+
+
+class TestEndToEnd:
+    def test_rollup_by_year_through_quarry(self):
+        quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+        quarry.add_requirement(orderdate_requirement())
+        database = Database()
+        database.load_source(tpch.schema(), tpch.generate(0.15, seed=14))
+        quarry.deploy("native", source_database=database)
+        # Roll the daily fact up to years via the calendar dimension.
+        answer = query_star(
+            database,
+            OlapQuery(
+                fact_table="fact_table_revenue",
+                group_by=["o_orderdate_year"],
+                aggregates=[("SUM", "revenue", "total")],
+                joins=[("dim_o_orderdate", "o_orderdate", "o_orderdate")],
+            ),
+        )
+        got = {row["o_orderdate_year"]: row["total"] for row in answer.rows}
+        # Independent recomputation.
+        orders = {
+            r["o_orderkey"]: r["o_orderdate"].year
+            for r in database.scan("orders").rows
+        }
+        expected = {}
+        for row in database.scan("lineitem").rows:
+            year = orders[row["l_orderkey"]]
+            revenue = row["l_extendedprice"] * (1 - row["l_discount"])
+            expected[year] = expected.get(year, 0.0) + revenue
+        assert set(got) == set(expected)
+        for year in got:
+            assert got[year] == pytest.approx(expected[year])
+
+    def test_two_requirements_conform_on_calendar(self):
+        quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+        quarry.add_requirement(orderdate_requirement("T1"))
+        second = (
+            RequirementBuilder("T2", "quantity per order date")
+            .measure("quantity", "Lineitem_l_quantity", "SUM")
+            .per("Orders_o_orderdate")
+            .build()
+        )
+        quarry.add_requirement(second)
+        md, __ = quarry.unified_design()
+        calendar_dims = [d for d in md.dimensions if "o_orderdate" in d]
+        assert calendar_dims == ["o_orderdate"]
+        assert quarry.satisfiability_problems() == []
+
+    def test_ddl_includes_calendar_levels(self, design):
+        from repro.core.deployer import ddl
+
+        script = ddl.generate(design.md_schema)
+        assert "CREATE TABLE dim_o_orderdate (" in script
+        assert "o_orderdate_year BIGINT" in script

@@ -1,0 +1,13 @@
+"""Engine fixtures: an embedded database loaded with TPC-H micro data."""
+
+import pytest
+
+from repro.engine import Database
+from repro.sources import tpch
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    database = Database("tpch")
+    database.load_source(tpch.schema(), tpch.generate(scale_factor=0.3, seed=77))
+    return database

@@ -1,0 +1,139 @@
+"""Unit tests for the embedded database."""
+
+import pytest
+
+from repro.errors import EngineError, IntegrityError, UnknownTableError
+from repro.engine import Database, TableDef
+from repro.engine.database import ForeignKeyDef
+from repro.expressions import ScalarType
+
+INT = ScalarType.INTEGER
+STR = ScalarType.STRING
+
+
+@pytest.fixture
+def db():
+    database = Database("test")
+    database.create_table(
+        TableDef("dept", {"dept_id": INT, "dept_name": STR}, primary_key=("dept_id",))
+    )
+    database.create_table(
+        TableDef(
+            "emp",
+            {"emp_id": INT, "name": STR, "dept_id": INT},
+            primary_key=("emp_id",),
+            foreign_keys=(ForeignKeyDef(("dept_id",), "dept"),),
+        )
+    )
+    database.insert("dept", {"dept_id": 1, "dept_name": "R&D"})
+    return database
+
+
+class TestDDL:
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(EngineError):
+            db.create_table(TableDef("dept", {"x": INT}))
+
+    def test_if_not_exists_is_silent(self, db):
+        db.create_table(TableDef("dept", {"x": INT}), if_not_exists=True)
+        assert "dept_name" in db.table_def("dept").columns
+
+    def test_fk_target_must_exist(self, db):
+        with pytest.raises(EngineError):
+            db.create_table(
+                TableDef(
+                    "bad",
+                    {"x": INT},
+                    foreign_keys=(ForeignKeyDef(("x",), "ghost"),),
+                )
+            )
+
+    def test_pk_column_must_exist(self):
+        with pytest.raises(EngineError):
+            TableDef("t", {"a": INT}, primary_key=("ghost",))
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(EngineError):
+            TableDef(
+                "t", {"a": INT}, foreign_keys=(ForeignKeyDef(("ghost",), "x"),)
+            )
+
+    def test_drop_table(self, db):
+        db.drop_table("emp")
+        assert not db.has_table("emp")
+
+    def test_drop_referenced_table_rejected(self, db):
+        with pytest.raises(EngineError):
+            db.drop_table("dept")
+
+    def test_drop_unknown_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.drop_table("ghost")
+
+
+class TestIntegrity:
+    def test_insert_and_scan(self, db):
+        db.insert("emp", {"emp_id": 1, "name": "ann", "dept_id": 1})
+        assert db.row_count("emp") == 1
+        assert db.scan("emp").rows[0]["name"] == "ann"
+
+    def test_duplicate_pk_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("dept", {"dept_id": 1, "dept_name": "dup"})
+
+    def test_null_pk_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("dept", {"dept_id": None, "dept_name": "x"})
+
+    def test_dangling_fk_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.insert("emp", {"emp_id": 1, "name": "ann", "dept_id": 99})
+
+    def test_null_fk_allowed(self, db):
+        db.insert("emp", {"emp_id": 1, "name": "ann", "dept_id": None})
+
+    def test_composite_pk(self):
+        database = Database()
+        database.create_table(
+            TableDef("t", {"a": INT, "b": INT}, primary_key=("a", "b"))
+        )
+        database.insert("t", {"a": 1, "b": 1})
+        database.insert("t", {"a": 1, "b": 2})
+        with pytest.raises(IntegrityError):
+            database.insert("t", {"a": 1, "b": 1})
+
+    def test_insert_many_counts(self, db):
+        count = db.insert_many(
+            "emp",
+            [
+                {"emp_id": 1, "name": "a", "dept_id": 1},
+                {"emp_id": 2, "name": "b", "dept_id": 1},
+            ],
+        )
+        assert count == 2
+
+    def test_truncate_resets_pk_index(self, db):
+        db.insert("emp", {"emp_id": 1, "name": "a", "dept_id": 1})
+        db.truncate("emp")
+        assert db.row_count("emp") == 0
+        db.insert("emp", {"emp_id": 1, "name": "a", "dept_id": 1})
+
+
+class TestSourceLoading:
+    def test_load_tpch(self, tpch_db):
+        assert set(tpch_db.table_names()) == {
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        }
+        counts = tpch_db.row_counts()
+        assert counts["region"] == 5
+        assert counts["lineitem"] > counts["orders"] >= 1
+
+    def test_load_respects_fk_order(self):
+        # load_source must insert parents before children even though
+        # the generator returns tables in declaration order.
+        from repro.sources import retail
+
+        database = Database()
+        inserted = database.load_source(retail.schema(), retail.generate(0.2))
+        assert inserted["ticket_line"] > 0

@@ -1,0 +1,139 @@
+"""Unit tests for the OLAP query interface."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.engine import Database, OlapQuery, TableDef, query_star
+from repro.expressions import ScalarType
+
+INT = ScalarType.INTEGER
+STR = ScalarType.STRING
+DEC = ScalarType.DECIMAL
+
+
+@pytest.fixture
+def star_db():
+    database = Database("star")
+    database.create_table(
+        TableDef("dim_part", {"part_id": INT, "p_name": STR}, primary_key=("part_id",))
+    )
+    database.create_table(
+        TableDef(
+            "dim_nation", {"nation_id": INT, "n_name": STR}, primary_key=("nation_id",)
+        )
+    )
+    database.create_table(
+        TableDef(
+            "fact_sales",
+            {"part_id": INT, "nation_id": INT, "revenue": DEC},
+        )
+    )
+    database.insert_many(
+        "dim_part",
+        [{"part_id": 1, "p_name": "bolt"}, {"part_id": 2, "p_name": "nut"}],
+    )
+    database.insert_many(
+        "dim_nation",
+        [{"nation_id": 1, "n_name": "Spain"}, {"nation_id": 2, "n_name": "France"}],
+    )
+    database.insert_many(
+        "fact_sales",
+        [
+            {"part_id": 1, "nation_id": 1, "revenue": 10.0},
+            {"part_id": 1, "nation_id": 1, "revenue": 30.0},
+            {"part_id": 1, "nation_id": 2, "revenue": 7.0},
+            {"part_id": 2, "nation_id": 1, "revenue": 5.0},
+        ],
+    )
+    return database
+
+
+class TestQueryStar:
+    def test_rollup_by_dimension_attribute(self, star_db):
+        query = OlapQuery(
+            fact_table="fact_sales",
+            group_by=["p_name"],
+            aggregates=[("SUM", "revenue", "total")],
+            joins=[("dim_part", "part_id", "part_id")],
+        )
+        result = query_star(star_db, query)
+        totals = {row["p_name"]: row["total"] for row in result.rows}
+        assert totals == {"bolt": 47.0, "nut": 5.0}
+
+    def test_slicer_restricts_rows(self, star_db):
+        query = OlapQuery(
+            fact_table="fact_sales",
+            group_by=["p_name"],
+            aggregates=[("SUM", "revenue", "total")],
+            slicer="n_name = 'Spain'",
+            joins=[
+                ("dim_part", "part_id", "part_id"),
+                ("dim_nation", "nation_id", "nation_id"),
+            ],
+        )
+        result = query_star(star_db, query)
+        totals = {row["p_name"]: row["total"] for row in result.rows}
+        assert totals == {"bolt": 40.0, "nut": 5.0}
+
+    def test_average_aggregate(self, star_db):
+        query = OlapQuery(
+            fact_table="fact_sales",
+            group_by=["n_name"],
+            aggregates=[("AVERAGE", "revenue", "avg_rev")],
+            joins=[("dim_nation", "nation_id", "nation_id")],
+        )
+        result = query_star(star_db, query)
+        averages = {row["n_name"]: row["avg_rev"] for row in result.rows}
+        assert averages["Spain"] == pytest.approx(15.0)
+        assert averages["France"] == pytest.approx(7.0)
+
+    def test_global_aggregate(self, star_db):
+        query = OlapQuery(
+            fact_table="fact_sales",
+            aggregates=[("COUNT", "revenue", "n")],
+        )
+        result = query_star(star_db, query)
+        assert result.rows == [{"n": 4}]
+
+    def test_output_is_sorted_by_group(self, star_db):
+        query = OlapQuery(
+            fact_table="fact_sales",
+            group_by=["p_name"],
+            aggregates=[("COUNT", "revenue", "n")],
+            joins=[("dim_part", "part_id", "part_id")],
+        )
+        result = query_star(star_db, query)
+        assert [row["p_name"] for row in result.rows] == ["bolt", "nut"]
+
+    def test_unknown_group_column_raises(self, star_db):
+        query = OlapQuery(
+            fact_table="fact_sales",
+            group_by=["ghost"],
+            aggregates=[("COUNT", "revenue", "n")],
+        )
+        with pytest.raises(EngineError):
+            query_star(star_db, query)
+
+    def test_unknown_join_column_raises(self, star_db):
+        query = OlapQuery(
+            fact_table="fact_sales",
+            group_by=["p_name"],
+            aggregates=[("COUNT", "revenue", "n")],
+            joins=[("dim_part", "ghost", "part_id")],
+        )
+        with pytest.raises(EngineError):
+            query_star(star_db, query)
+
+
+class TestSqlRendering:
+    def test_query_renders_sql(self, star_db):
+        query = OlapQuery(
+            fact_table="fact_sales",
+            group_by=["p_name"],
+            aggregates=[("AVERAGE", "revenue", "avg_rev")],
+            slicer="n_name = 'Spain'",
+        )
+        sql = query.to_sql()
+        assert "AVG(revenue) AS avg_rev" in sql
+        assert "WHERE (n_name = 'Spain')" in sql
+        assert "GROUP BY p_name" in sql

@@ -1,0 +1,96 @@
+"""Unit tests for the Relation container."""
+
+import pytest
+
+from repro.errors import EngineError
+from repro.engine import Relation
+from repro.expressions import ScalarType
+
+INT = ScalarType.INTEGER
+DEC = ScalarType.DECIMAL
+STR = ScalarType.STRING
+
+
+@pytest.fixture
+def people():
+    relation = Relation(schema={"id": INT, "name": STR, "score": DEC})
+    relation.extend(
+        [
+            {"id": 2, "name": "bob", "score": 1.5},
+            {"id": 1, "name": "ann", "score": 2.0},
+            {"id": 3, "name": "cat", "score": None},
+        ]
+    )
+    return relation
+
+
+class TestRowChecking:
+    def test_append_accepts_valid_row(self, people):
+        people.append({"id": 4, "name": "dan", "score": 0.5})
+        assert len(people) == 4
+
+    def test_missing_attribute_rejected(self, people):
+        with pytest.raises(EngineError):
+            people.append({"id": 4, "name": "dan"})
+
+    def test_extra_attribute_rejected(self, people):
+        with pytest.raises(EngineError):
+            people.append({"id": 4, "name": "dan", "score": 1.0, "x": 1})
+
+    def test_type_mismatch_rejected(self, people):
+        with pytest.raises(EngineError):
+            people.append({"id": "four", "name": "dan", "score": 1.0})
+
+    def test_null_always_allowed(self, people):
+        people.append({"id": 4, "name": None, "score": None})
+
+    def test_integer_accepted_for_decimal(self, people):
+        people.append({"id": 4, "name": "dan", "score": 3})
+
+    def test_decimal_not_accepted_for_integer(self, people):
+        with pytest.raises(EngineError):
+            people.append({"id": 4.5, "name": "dan", "score": 1.0})
+
+    def test_bool_is_not_integer(self):
+        relation = Relation(schema={"n": INT})
+        with pytest.raises(EngineError):
+            relation.append({"n": True})
+
+
+class TestOperations:
+    def test_project_subsets_and_reorders(self, people):
+        projected = people.project(["name", "id"])
+        assert projected.attribute_names() == ["name", "id"]
+        assert projected.rows[0] == {"name": "bob", "id": 2}
+
+    def test_project_unknown_column_rejected(self, people):
+        with pytest.raises(EngineError):
+            people.project(["ghost"])
+
+    def test_distinct_preserves_first_occurrence(self):
+        relation = Relation(schema={"a": INT})
+        relation.extend([{"a": 1}, {"a": 2}, {"a": 1}])
+        assert [row["a"] for row in relation.distinct().rows] == [1, 2]
+
+    def test_sorted_by(self, people):
+        ordered = people.sorted_by(["id"])
+        assert [row["id"] for row in ordered.rows] == [1, 2, 3]
+
+    def test_sorted_by_puts_nulls_first(self, people):
+        ordered = people.sorted_by(["score"])
+        assert ordered.rows[0]["score"] is None
+
+    def test_sorted_descending(self, people):
+        ordered = people.sorted_by(["id"], descending=True)
+        assert [row["id"] for row in ordered.rows] == [3, 2, 1]
+
+    def test_sort_unknown_key_rejected(self, people):
+        with pytest.raises(EngineError):
+            people.sorted_by(["ghost"])
+
+    def test_head(self, people):
+        assert len(people.head(2)) == 2
+        assert len(people.head(10)) == 3
+
+    def test_iteration(self, people):
+        assert sum(1 for __ in people) == 3

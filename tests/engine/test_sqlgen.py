@@ -1,0 +1,105 @@
+"""Unit tests for SQL rendering."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.engine.sqlgen import (
+    select_statement,
+    sql_expression,
+    sql_identifier,
+    sql_literal,
+    sql_type,
+)
+from repro.expressions import ScalarType, parse
+
+
+class TestTypesAndLiterals:
+    def test_postgres_types(self):
+        assert sql_type(ScalarType.INTEGER) == "BIGINT"
+        assert sql_type(ScalarType.DECIMAL) == "double precision"
+        assert sql_type(ScalarType.STRING) == "VARCHAR(255)"
+        assert sql_type(ScalarType.DATE) == "DATE"
+
+    def test_sqlite_types(self):
+        assert sql_type(ScalarType.INTEGER, "sqlite") == "INTEGER"
+        assert sql_type(ScalarType.DECIMAL, "sqlite") == "REAL"
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(DeploymentError):
+            sql_type(ScalarType.INTEGER, "oracle")
+
+    def test_literals(self):
+        import datetime
+
+        assert sql_literal(None) == "NULL"
+        assert sql_literal(True) == "TRUE"
+        assert sql_literal("O'Brien") == "'O''Brien'"
+        assert sql_literal(datetime.date(1995, 1, 1)) == "DATE '1995-01-01'"
+        assert sql_literal(42) == "42"
+
+    def test_identifiers(self):
+        assert sql_identifier("n_name") == "n_name"
+        assert sql_identifier("Part") == '"Part"'
+        assert sql_identifier('we"ird') == '"we""ird"'
+
+
+class TestExpressions:
+    def test_comparison(self):
+        sql = sql_expression(parse("n_name = 'Spain'"))
+        assert sql == "(n_name = 'Spain')"
+
+    def test_not_equal_uses_sql_spelling(self):
+        assert "<>" in sql_expression(parse("a != 1"))
+
+    def test_arithmetic_nesting(self):
+        sql = sql_expression(parse("price * (1 - discount)"))
+        assert sql == "(price * (1 - discount))"
+
+    def test_in_list(self):
+        sql = sql_expression(parse("x in (1, 2)"))
+        assert sql == "x IN (1, 2)"
+
+    def test_logic_and_not(self):
+        sql = sql_expression(parse("not (a = 1 or b = 2)"))
+        assert sql == "NOT (((a = 1) OR (b = 2)))"
+
+    def test_functions(self):
+        assert sql_expression(parse("upper(x)")) == "UPPER(x)"
+        assert sql_expression(parse("coalesce(x, 0)")) == "COALESCE(x, 0)"
+
+    def test_date_parts_postgres(self):
+        assert sql_expression(parse("year(d)")) == "EXTRACT(YEAR FROM d)"
+
+    def test_date_parts_sqlite(self):
+        assert "strftime" in sql_expression(parse("year(d)"), "sqlite")
+        assert "strftime" in sql_expression(parse("quarter(d)"), "sqlite")
+
+    def test_unary_minus(self):
+        assert sql_expression(parse("-x")) == "-(x)"
+
+
+class TestSelect:
+    def test_full_statement(self):
+        sql = select_statement(
+            table="fact_table_revenue",
+            columns=["p_name"],
+            aggregates=[("AVERAGE", "revenue", "avg_revenue")],
+            where=parse("n_name = 'Spain'"),
+            group_by=["p_name"],
+            order_by=["p_name"],
+        )
+        assert sql == (
+            "SELECT p_name, AVG(revenue) AS avg_revenue\n"
+            "FROM fact_table_revenue\n"
+            "WHERE (n_name = 'Spain')\n"
+            "GROUP BY p_name\n"
+            "ORDER BY p_name;"
+        )
+
+    def test_plain_select(self):
+        sql = select_statement(table="t", columns=["a", "b"])
+        assert sql == "SELECT a, b\nFROM t;"
+
+    def test_select_requires_output(self):
+        with pytest.raises(DeploymentError):
+            select_statement(table="t", columns=[])

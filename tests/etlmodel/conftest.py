@@ -1,0 +1,88 @@
+"""Shared ETL fixtures: a mini-TPC-H revenue flow like the paper's Figure 3."""
+
+import pytest
+
+from repro.etlmodel import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    EtlFlow,
+    Extraction,
+    Join,
+    Loader,
+    Selection,
+)
+from repro.sources import tpch
+
+
+@pytest.fixture(scope="session")
+def tpch_schema():
+    return tpch.schema()
+
+
+def build_revenue_flow(name="revenue", slicer="n_name = 'SPAIN'"):
+    """lineitem |><| orders |><| customer |><| nation, filter, derive, agg.
+
+    The joins take the fact side as the left input, matching what the
+    ETL generator emits.
+    """
+    flow = EtlFlow(name=name, requirements={"IR1"})
+    flow.add(Datastore("DATASTORE_lineitem", table="lineitem"))
+    flow.add(Extraction(
+        "EXTRACTION_lineitem",
+        columns=("l_orderkey", "l_extendedprice", "l_discount"),
+    ))
+    flow.connect("DATASTORE_lineitem", "EXTRACTION_lineitem")
+    flow.add(Datastore("DATASTORE_orders", table="orders"))
+    flow.add(Extraction("EXTRACTION_orders", columns=("o_orderkey", "o_custkey")))
+    flow.connect("DATASTORE_orders", "EXTRACTION_orders")
+    flow.add(Join(
+        "JOIN_lineitem_orders",
+        left_keys=("l_orderkey",),
+        right_keys=("o_orderkey",),
+    ))
+    flow.connect("EXTRACTION_lineitem", "JOIN_lineitem_orders")
+    flow.connect("EXTRACTION_orders", "JOIN_lineitem_orders")
+    flow.add(Datastore("DATASTORE_customer", table="customer"))
+    flow.add(Extraction("EXTRACTION_customer", columns=("c_custkey", "c_nationkey")))
+    flow.connect("DATASTORE_customer", "EXTRACTION_customer")
+    flow.add(Join(
+        "JOIN_orders_customer",
+        left_keys=("o_custkey",),
+        right_keys=("c_custkey",),
+    ))
+    flow.connect("JOIN_lineitem_orders", "JOIN_orders_customer")
+    flow.connect("EXTRACTION_customer", "JOIN_orders_customer")
+    flow.add(Datastore("DATASTORE_nation", table="nation"))
+    flow.add(Extraction("EXTRACTION_nation", columns=("n_nationkey", "n_name")))
+    flow.connect("DATASTORE_nation", "EXTRACTION_nation")
+    flow.add(Join(
+        "JOIN_customer_nation",
+        left_keys=("c_nationkey",),
+        right_keys=("n_nationkey",),
+    ))
+    flow.connect("JOIN_orders_customer", "JOIN_customer_nation")
+    flow.connect("EXTRACTION_nation", "JOIN_customer_nation")
+    flow.add(Selection("SELECTION_nation", predicate=slicer))
+    flow.connect("JOIN_customer_nation", "SELECTION_nation")
+    flow.add(DerivedAttribute(
+        "DERIVE_revenue",
+        output="revenue",
+        expression="l_extendedprice * (1 - l_discount)",
+    ))
+    flow.connect("SELECTION_nation", "DERIVE_revenue")
+    flow.add(Aggregation(
+        "AGG_revenue",
+        group_by=("n_name",),
+        aggregates=(AggregationSpec("total_revenue", "SUM", "revenue"),),
+    ))
+    flow.connect("DERIVE_revenue", "AGG_revenue")
+    flow.add(Loader("LOAD_fact_revenue", table="fact_table_revenue"))
+    flow.connect("AGG_revenue", "LOAD_fact_revenue")
+    return flow
+
+
+@pytest.fixture
+def revenue_flow():
+    return build_revenue_flow()

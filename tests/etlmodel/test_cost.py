@@ -1,0 +1,113 @@
+"""Unit tests for the ETL cost model."""
+
+import pytest
+
+from repro.etlmodel import (
+    Datastore,
+    EtlFlow,
+    Loader,
+    Selection,
+    Sort,
+)
+from repro.etlmodel.cost import CostModel, CostParameters
+from repro.etlmodel.equivalence import normalize
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+ROWS = {"lineitem": 6000, "orders": 1500, "customer": 150, "nation": 25}
+
+
+class TestSelectivity:
+    def test_equality_is_most_selective(self, model):
+        assert model.selectivity("a = 1") < model.selectivity("a > 1")
+        assert model.selectivity("a > 1") < model.selectivity("a != 1")
+
+    def test_conjuncts_multiply(self, model):
+        single = model.selectivity("a = 1")
+        double = model.selectivity("a = 1 and b = 2")
+        assert double == pytest.approx(single * single)
+
+
+class TestEstimates:
+    def test_datastore_rows_come_from_counts(self, model, revenue_flow):
+        report = model.estimate(revenue_flow, ROWS)
+        assert report.node("DATASTORE_lineitem").output_rows == 6000
+
+    def test_missing_table_defaults(self, model):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="unknown", columns=("a",)),
+            Loader("load", table="o"),
+        )
+        report = model.estimate(flow, {})
+        assert report.node("src").output_rows == 1000
+
+    def test_selection_reduces_rows(self, model, revenue_flow):
+        report = model.estimate(revenue_flow, ROWS)
+        selection = report.node("SELECTION_nation")
+        assert selection.output_rows < selection.input_rows
+
+    def test_join_output_is_max_input(self, model, revenue_flow):
+        report = model.estimate(revenue_flow, ROWS)
+        join = report.node("JOIN_lineitem_orders")
+        assert join.output_rows == 6000
+
+    def test_aggregation_compresses(self, model, revenue_flow):
+        report = model.estimate(revenue_flow, ROWS)
+        agg = report.node("AGG_revenue")
+        assert agg.output_rows == pytest.approx(agg.input_rows * 0.1)
+
+    def test_total_is_sum_of_nodes(self, model, revenue_flow):
+        report = model.estimate(revenue_flow, ROWS)
+        assert report.total == pytest.approx(
+            sum(node.cost for node in report.nodes)
+        )
+        assert model.total(revenue_flow, ROWS) == pytest.approx(report.total)
+
+    def test_unknown_node_raises_keyerror(self, model, revenue_flow):
+        report = model.estimate(revenue_flow, ROWS)
+        with pytest.raises(KeyError):
+            report.node("ghost")
+
+    def test_sort_pays_logarithmic_factor(self, model):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="big", columns=("a",)),
+            Sort("sort", keys=("a",)),
+            Loader("load", table="o"),
+        )
+        report = model.estimate(flow, {"big": 4096})
+        # unit 1.0 * 4096 rows * log2(4096)=12
+        assert report.node("sort").cost == pytest.approx(4096 * 12)
+
+
+class TestCostDrivesOptimisation:
+    def test_pushed_down_selection_is_cheaper(self, revenue_flow, model):
+        # The paper's motivation for operator reordering: filtering at
+        # the nation extraction is cheaper than filtering after 3 joins.
+        before = model.total(revenue_flow, ROWS)
+        after = model.total(normalize(revenue_flow), ROWS)
+        assert after < before
+
+    def test_custom_parameters_change_costs(self, revenue_flow):
+        cheap_joins = CostParameters(
+            unit_costs={**CostParameters().unit_costs, "Join": 0.01}
+        )
+        default_total = CostModel().total(revenue_flow, ROWS)
+        cheap_total = CostModel(cheap_joins).total(revenue_flow, ROWS)
+        assert cheap_total < default_total
+
+    def test_minimum_rows_floor(self):
+        model = CostModel()
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="tiny", columns=("a",)),
+            Selection("sel", predicate="a = 'x' and a = 'y' and a = 'z'"),
+            Loader("load", table="o"),
+        )
+        report = model.estimate(flow, {"tiny": 2})
+        assert report.node("sel").output_rows >= 1.0

@@ -1,0 +1,226 @@
+"""Unit tests for the equivalence rules / flow normal form."""
+
+import pytest
+
+from repro.etlmodel import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    EtlFlow,
+    Extraction,
+    Join,
+    Loader,
+    Projection,
+    Rename,
+    Selection,
+)
+from repro.etlmodel.equivalence import (
+    canonicalize_predicates,
+    merge_adjacent_selections,
+    normalize,
+    push_selections_down,
+)
+from repro.etlmodel.propagation import propagate
+
+from .conftest import build_revenue_flow
+
+
+def order_index(flow):
+    order = flow.topological_order()
+    return {name: position for position, name in enumerate(order)}
+
+
+class TestSelectionPushdown:
+    def test_selection_moves_below_projection(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("a", "b")),
+            Extraction("extract", columns=("a", "b")),
+            Selection("sel", predicate="a = 'x'"),
+            Loader("load", table="o"),
+        )
+        moves = push_selections_down(flow)
+        assert moves >= 1
+        assert flow.inputs("sel") == ["src"]
+        assert flow.inputs("extract") == ["sel"]
+
+    def test_selection_moves_through_join_to_covering_side(self, revenue_flow):
+        # SELECTION_nation references only n_name, which comes from the
+        # nation side of all three joins — it must travel below the join
+        # and below the extraction, right above the nation datastore.
+        push_selections_down(revenue_flow)
+        assert revenue_flow.inputs("SELECTION_nation") == ["DATASTORE_nation"]
+        assert revenue_flow.validate() == []
+
+    def test_selection_does_not_pass_derive_it_depends_on(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("a",)),
+            DerivedAttribute("derive", output="d", expression="a + 'x'"),
+            Selection("sel", predicate="d = 'yx'"),
+            Loader("load", table="o"),
+        )
+        push_selections_down(flow)
+        assert flow.inputs("sel") == ["derive"]
+
+    def test_selection_passes_independent_derive(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("a", "b")),
+            DerivedAttribute("derive", output="d", expression="b + 'x'"),
+            Selection("sel", predicate="a = 'q'"),
+            Loader("load", table="o"),
+        )
+        push_selections_down(flow)
+        assert flow.inputs("sel") == ["src"]
+
+    def test_selection_through_rename_back_substitutes(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("old",)),
+            Rename("ren", renaming=(("old", "new"),)),
+            Selection("sel", predicate="new = 'x'"),
+            Loader("load", table="o"),
+        )
+        push_selections_down(flow)
+        assert flow.inputs("sel") == ["src"]
+        assert flow.node("sel").predicate == "old = 'x'"
+        propagate(flow, None)  # still type-checks
+
+    def test_selection_on_group_keys_passes_aggregation(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("g", "m")),
+            Aggregation(
+                "agg", group_by=("g",),
+                aggregates=(AggregationSpec("c", "COUNT", "m"),),
+            ),
+            Selection("sel", predicate="g = 'x'"),
+            Loader("load", table="o"),
+        )
+        push_selections_down(flow)
+        assert flow.inputs("sel") == ["src"]
+
+    def test_selection_on_aggregate_output_stays(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("g", "m")),
+            Aggregation(
+                "agg", group_by=("g",),
+                aggregates=(AggregationSpec("c", "COUNT", "m"),),
+            ),
+            Selection("sel", predicate="c > 5"),
+            Loader("load", table="o"),
+        )
+        push_selections_down(flow)
+        assert flow.inputs("sel") == ["agg"]
+
+    def test_selection_does_not_cross_shared_predecessor(self):
+        # The projection feeds two consumers; filtering before it would
+        # change the other consumer's rows.
+        flow = EtlFlow("t")
+        flow.add(Datastore("src", table="t", columns=("a",)))
+        flow.add(Projection("proj", columns=("a",)))
+        flow.add(Selection("sel", predicate="a = 'x'"))
+        flow.add(Loader("load1", table="o1"))
+        flow.add(Loader("load2", table="o2"))
+        flow.connect("src", "proj")
+        flow.connect("proj", "sel")
+        flow.connect("sel", "load1")
+        flow.connect("proj", "load2")
+        push_selections_down(flow)
+        assert flow.inputs("sel") == ["proj"]
+
+
+class TestMergeAndCanonicalize:
+    def test_adjacent_selections_merge(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("a", "b")),
+            Selection("s1", predicate="a = 'x'"),
+            Selection("s2", predicate="b = 'y'"),
+            Loader("load", table="o"),
+        )
+        merges = merge_adjacent_selections(flow)
+        assert merges == 1
+        assert not flow.has_node("s1")
+        merged = flow.node("s2")
+        assert merged.conjunct_set() == frozenset({"a = 'x'", "b = 'y'"})
+
+    def test_three_way_merge(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("a", "b", "c")),
+            Selection("s1", predicate="a = 'x'"),
+            Selection("s2", predicate="b = 'y'"),
+            Selection("s3", predicate="c = 'z'"),
+            Loader("load", table="o"),
+        )
+        assert merge_adjacent_selections(flow) == 2
+        assert flow.node("s3").conjunct_set() == frozenset(
+            {"a = 'x'", "b = 'y'", "c = 'z'"}
+        )
+
+    def test_canonicalize_orders_conjuncts(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t", columns=("a", "b")),
+            Selection("sel", predicate="b = 'y' and a = 'x'"),
+            Loader("load", table="o"),
+        )
+        canonicalize_predicates(flow)
+        assert flow.node("sel").predicate == "a = 'x' and b = 'y'"
+
+
+class TestNormalize:
+    def test_normalize_makes_differently_ordered_flows_equal(self):
+        # Same logic, filters applied in different places/orders.
+        def variant_a():
+            flow = EtlFlow("a")
+            flow.chain(
+                Datastore("src", table="t", columns=("a", "b")),
+                Selection("s1", predicate="a = 'x'"),
+                Extraction("ex", columns=("a", "b")),
+                Selection("s2", predicate="b = 'y'"),
+                Loader("load", table="o"),
+            )
+            return flow
+
+        def variant_b():
+            flow = EtlFlow("b")
+            flow.chain(
+                Datastore("src", table="t", columns=("a", "b")),
+                Selection("s9", predicate="b = 'y' and a = 'x'"),
+                Extraction("ex", columns=("a", "b")),
+                Loader("load", table="o"),
+            )
+            return flow
+
+        normal_a = normalize(variant_a())
+        normal_b = normalize(variant_b())
+        signatures_a = sorted(str(node.signature()) for node in normal_a.nodes())
+        signatures_b = sorted(str(node.signature()) for node in normal_b.nodes())
+        assert signatures_a == signatures_b
+
+    def test_normalize_preserves_validity_and_node_semantics(self, revenue_flow):
+        normal = normalize(revenue_flow)
+        assert normal.validate() == []
+        # The original is untouched.
+        assert revenue_flow.inputs("SELECTION_nation") == ["JOIN_customer_nation"]
+
+    def test_normalize_is_idempotent(self, revenue_flow):
+        once = normalize(revenue_flow)
+        twice = normalize(once)
+        assert sorted(n.signature() for n in once.nodes()) == sorted(
+            n.signature() for n in twice.nodes()
+        )
+        assert {(e.source, e.target) for e in once.edges()} == {
+            (e.source, e.target) for e in twice.edges()
+        }
+
+    def test_normalized_revenue_flow_filters_at_nation_datastore(self):
+        flow = normalize(build_revenue_flow())
+        selections = [n for n in flow.nodes() if n.kind == "Selection"]
+        assert len(selections) == 1
+        assert flow.inputs(selections[0].name) == ["DATASTORE_nation"]

@@ -1,0 +1,232 @@
+"""Unit tests for the ETL flow DAG."""
+
+import pytest
+
+from repro.errors import EtlError, FlowValidationError, UnknownOperationError
+from repro.etlmodel import (
+    Datastore,
+    EtlFlow,
+    Extraction,
+    Join,
+    Loader,
+    Selection,
+)
+
+
+def linear_flow():
+    flow = EtlFlow("linear")
+    flow.chain(
+        Datastore("src", table="t", columns=("a", "b")),
+        Selection("filter", predicate="a > 1"),
+        Extraction("extract", columns=("a",)),
+        Loader("load", table="out"),
+    )
+    return flow
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        flow = EtlFlow("f")
+        flow.add(Selection("s"))
+        with pytest.raises(EtlError):
+            flow.add(Selection("s"))
+
+    def test_edge_endpoints_must_exist(self):
+        flow = EtlFlow("f")
+        flow.add(Selection("s"))
+        with pytest.raises(UnknownOperationError):
+            flow.connect("s", "missing")
+
+    def test_duplicate_edge_rejected(self):
+        flow = EtlFlow("f")
+        flow.add(Selection("a"))
+        flow.add(Selection("b"))
+        flow.connect("a", "b")
+        with pytest.raises(EtlError):
+            flow.connect("a", "b")
+
+    def test_chain_connects_linearly(self):
+        flow = linear_flow()
+        assert flow.inputs("filter") == ["src"]
+        assert flow.inputs("extract") == ["filter"]
+        assert len(flow) == 4
+
+    def test_chain_requires_an_operation(self):
+        with pytest.raises(EtlError):
+            EtlFlow("f").chain()
+
+    def test_node_lookup(self):
+        flow = linear_flow()
+        assert flow.node("filter").predicate == "a > 1"
+        with pytest.raises(UnknownOperationError):
+            flow.node("nope")
+        assert flow.has_node("filter")
+        assert not flow.has_node("nope")
+
+
+class TestTopology:
+    def test_sources_and_sinks(self, revenue_flow):
+        assert set(revenue_flow.sources()) == {
+            "DATASTORE_lineitem", "DATASTORE_orders",
+            "DATASTORE_customer", "DATASTORE_nation",
+        }
+        assert revenue_flow.sinks() == ["LOAD_fact_revenue"]
+
+    def test_topological_order_respects_edges(self, revenue_flow):
+        order = revenue_flow.topological_order()
+        position = {name: index for index, name in enumerate(order)}
+        for edge in revenue_flow.edges():
+            assert position[edge.source] < position[edge.target]
+
+    def test_cycle_detected(self):
+        flow = EtlFlow("cyclic")
+        flow.add(Selection("a"))
+        flow.add(Selection("b"))
+        flow.connect("a", "b")
+        flow.connect("b", "a")
+        with pytest.raises(FlowValidationError):
+            flow.topological_order()
+
+    def test_join_input_order_is_edge_order(self, revenue_flow):
+        assert revenue_flow.inputs("JOIN_lineitem_orders") == [
+            "EXTRACTION_lineitem",
+            "EXTRACTION_orders",
+        ]
+
+    def test_upstream_downstream(self, revenue_flow):
+        upstream = revenue_flow.upstream("SELECTION_nation")
+        assert "DATASTORE_lineitem" in upstream
+        assert "LOAD_fact_revenue" not in upstream
+        downstream = revenue_flow.downstream("EXTRACTION_nation")
+        assert "LOAD_fact_revenue" in downstream
+        assert "DATASTORE_orders" not in downstream
+
+    def test_path_from_source_stops_at_join(self, revenue_flow):
+        path = revenue_flow.path_from_source("LOAD_fact_revenue")
+        assert path == [
+            "JOIN_customer_nation",
+            "SELECTION_nation",
+            "DERIVE_revenue",
+            "AGG_revenue",
+            "LOAD_fact_revenue",
+        ]
+
+
+class TestSurgery:
+    def test_remove_unary_node_splices(self):
+        flow = linear_flow()
+        flow.remove_node("filter")
+        assert flow.inputs("extract") == ["src"]
+        assert not flow.has_node("filter")
+
+    def test_remove_source_drops_edges(self):
+        flow = linear_flow()
+        flow.remove_node("src")
+        assert flow.inputs("filter") == []
+
+    def test_replace_node_keeps_name(self):
+        flow = linear_flow()
+        flow.replace_node("filter", Selection("filter", predicate="b = 2"))
+        assert flow.node("filter").predicate == "b = 2"
+        with pytest.raises(EtlError):
+            flow.replace_node("filter", Selection("renamed"))
+
+    def test_insert_between(self):
+        flow = linear_flow()
+        flow.insert_between("src", "filter", Selection("early", predicate="b = 1"))
+        assert flow.inputs("filter") == ["early"]
+        assert flow.inputs("early") == ["src"]
+
+    def test_insert_between_requires_edge(self):
+        flow = linear_flow()
+        with pytest.raises(EtlError):
+            flow.insert_between("src", "load", Selection("x"))
+
+    def test_insert_between_preserves_join_input_slot(self, revenue_flow):
+        revenue_flow.insert_between(
+            "EXTRACTION_orders",
+            "JOIN_lineitem_orders",
+            Selection("open_only", predicate="o_custkey > 0"),
+        )
+        assert revenue_flow.inputs("JOIN_lineitem_orders") == [
+            "EXTRACTION_lineitem",
+            "open_only",
+        ]
+
+    def test_swap_with_predecessor(self):
+        flow = linear_flow()
+        flow.swap_with_predecessor("extract")
+        order = flow.topological_order()
+        assert order.index("extract") < order.index("filter")
+        assert flow.inputs("extract") == ["src"]
+        assert flow.inputs("filter") == ["extract"]
+        assert flow.inputs("load") == ["filter"]
+
+    def test_swap_requires_unary_shape(self, revenue_flow):
+        with pytest.raises(EtlError):
+            revenue_flow.swap_with_predecessor("JOIN_lineitem_orders")
+
+    def test_copy_is_independent(self, revenue_flow):
+        clone = revenue_flow.copy("clone")
+        clone.remove_node("SELECTION_nation")
+        assert revenue_flow.has_node("SELECTION_nation")
+        assert clone.name == "clone"
+        assert clone.requirements == revenue_flow.requirements
+
+
+class TestGraft:
+    def test_graft_unifies_mapped_nodes(self):
+        target = linear_flow()
+        other = EtlFlow("other", requirements={"IR2"})
+        other.chain(
+            Datastore("src", table="t", columns=("a", "b")),
+            Selection("other_filter", predicate="b = 2"),
+            Loader("other_load", table="out2"),
+        )
+        mapping = target.graft(other, at={"src": "src"})
+        assert mapping["src"] == "src"
+        assert target.has_node("other_filter")
+        assert target.inputs("other_filter") == ["src"]
+        assert "IR2" in target.requirements
+
+    def test_graft_renames_collisions(self):
+        target = linear_flow()
+        other = EtlFlow("other")
+        other.chain(
+            Datastore("src2", table="t2", columns=("x",)),
+            Selection("filter", predicate="x = 1"),  # collides with target
+            Loader("load2", table="o"),
+        )
+        mapping = target.graft(other, at={})
+        assert mapping["filter"] == "filter_2"
+        assert target.node("filter_2").predicate == "x = 1"
+
+
+class TestValidation:
+    def test_valid_flow_passes(self, revenue_flow):
+        assert revenue_flow.validate() == []
+        revenue_flow.check()
+
+    def test_arity_violation_detected(self):
+        flow = EtlFlow("bad")
+        flow.add(Datastore("src", table="t", columns=("a",)))
+        flow.add(Join("join"))
+        flow.add(Loader("load", table="o"))
+        flow.connect("src", "join")
+        flow.connect("join", "load")
+        problems = flow.validate()
+        assert any("expects 2 input" in problem for problem in problems)
+
+    def test_dead_end_detected(self):
+        flow = EtlFlow("bad")
+        flow.add(Datastore("src", table="t", columns=("a",)))
+        flow.add(Selection("s", predicate="a = 1"))
+        flow.connect("src", "s")
+        problems = flow.validate()
+        assert any("dead end" in problem for problem in problems)
+
+    def test_check_raises(self):
+        flow = EtlFlow("bad")
+        flow.add(Selection("s"))
+        with pytest.raises(FlowValidationError):
+            flow.check()

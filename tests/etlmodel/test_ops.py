@@ -1,0 +1,135 @@
+"""Unit tests for the ETL operation taxonomy."""
+
+import pytest
+
+from repro.errors import EtlError
+from repro.etlmodel import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    Extraction,
+    Join,
+    Loader,
+    Projection,
+    Rename,
+    Selection,
+    Sort,
+    SurrogateKey,
+    UnionOp,
+)
+from repro.etlmodel.ops import OPERATION_KINDS
+
+
+class TestMetadata:
+    def test_kinds_and_optypes(self):
+        assert Datastore("d", table="t").kind == "Datastore"
+        assert Datastore("d", table="t").optype == "TableInput"
+        assert Loader("l", table="t").optype == "TableOutput"
+        assert Selection("s").optype == "FilterRows"
+        assert Aggregation("a").optype == "GroupBy"
+
+    def test_arity(self):
+        assert Datastore("d").arity == 0
+        assert Selection("s").arity == 1
+        assert Join("j").arity == 2
+        assert UnionOp("u").arity == 2
+
+    def test_operation_kind_registry_is_complete(self):
+        assert set(OPERATION_KINDS) == {
+            "Datastore", "Extraction", "Selection", "Projection", "Join",
+            "Aggregation", "DerivedAttribute", "Rename", "Union",
+            "Distinct", "SurrogateKey", "Sort", "Loader",
+        }
+
+    def test_rename_produces_copy_with_new_name(self):
+        original = Selection("a", predicate="x = 1")
+        renamed = original.rename("b")
+        assert renamed.name == "b"
+        assert renamed.predicate == "x = 1"
+        assert original.name == "a"
+
+
+class TestSignatures:
+    def test_signature_ignores_node_name(self):
+        first = Selection("first", predicate="x = 1")
+        second = Selection("second", predicate="x = 1")
+        assert first.signature() == second.signature()
+
+    def test_selection_signature_is_conjunct_order_insensitive(self):
+        first = Selection("a", predicate="x = 1 and y = 2")
+        second = Selection("b", predicate="y = 2 and x = 1")
+        assert first.signature() == second.signature()
+
+    def test_selection_signature_distinguishes_predicates(self):
+        assert (
+            Selection("a", predicate="x = 1").signature()
+            != Selection("a", predicate="x = 2").signature()
+        )
+
+    def test_projection_signature_is_column_order_insensitive(self):
+        assert (
+            Projection("a", columns=("x", "y")).signature()
+            == Projection("b", columns=("y", "x")).signature()
+        )
+
+    def test_join_signature(self):
+        first = Join("a", left_keys=("x",), right_keys=("y",))
+        second = Join("b", left_keys=("x",), right_keys=("y",))
+        third = Join("c", left_keys=("x",), right_keys=("z",))
+        assert first.signature() == second.signature()
+        assert first.signature() != third.signature()
+
+    def test_aggregation_signature(self):
+        first = Aggregation(
+            "a",
+            group_by=("g1", "g2"),
+            aggregates=(AggregationSpec("s", "SUM", "m"),),
+        )
+        second = Aggregation(
+            "b",
+            group_by=("g2", "g1"),
+            aggregates=(AggregationSpec("s", "SUM", "m"),),
+        )
+        assert first.signature() == second.signature()
+
+    def test_derive_signature_normalises_expression(self):
+        first = DerivedAttribute("a", output="r", expression="x*(1 - d)")
+        second = DerivedAttribute("b", output="r", expression="x * (1 - d)")
+        assert first.signature() == second.signature()
+
+    def test_datastore_signature_is_table(self):
+        assert (
+            Datastore("a", table="t").signature()
+            == Datastore("b", table="t").signature()
+        )
+
+    def test_sort_signature_is_order_sensitive(self):
+        assert Sort("a", keys=("x", "y")).signature() != Sort(
+            "b", keys=("y", "x")
+        ).signature()
+
+    def test_surrogate_and_rename_signatures(self):
+        assert (
+            SurrogateKey("a", output="sk", business_keys=("x",)).signature()
+            == SurrogateKey("b", output="sk", business_keys=("x",)).signature()
+        )
+        assert (
+            Rename("a", renaming=(("x", "y"),)).signature()
+            == Rename("b", renaming=(("x", "y"),)).signature()
+        )
+
+    def test_extraction_vs_projection_signatures_differ(self):
+        assert Extraction("a", columns=("x",)).signature() != Projection(
+            "b", columns=("x",)
+        ).signature()
+
+
+class TestValidation:
+    def test_join_key_arity_mismatch_rejected(self):
+        with pytest.raises(EtlError):
+            Join("j", left_keys=("a", "b"), right_keys=("c",))
+
+    def test_selection_conjunct_set(self):
+        selection = Selection("s", predicate="x = 1 and y > 2")
+        assert selection.conjunct_set() == frozenset({"x = 1", "y > 2"})

@@ -1,0 +1,289 @@
+"""Unit tests for schema propagation."""
+
+import pytest
+
+from repro.errors import SchemaPropagationError
+from repro.etlmodel import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    EtlFlow,
+    Join,
+    Loader,
+    Projection,
+    Rename,
+    Selection,
+    Sort,
+    SurrogateKey,
+    UnionOp,
+)
+from repro.etlmodel.propagation import propagate
+from repro.expressions import ScalarType
+
+INT = ScalarType.INTEGER
+DEC = ScalarType.DECIMAL
+STR = ScalarType.STRING
+
+
+def single_op_flow(operation, columns=("a", "b")):
+    """src -> operation -> load over an untyped (STRING) datastore."""
+    flow = EtlFlow("t")
+    flow.chain(
+        Datastore("src", table="t", columns=tuple(columns)),
+        operation,
+        Loader("load", table="out"),
+    )
+    return flow
+
+
+class TestDatastore:
+    def test_typed_from_source_schema(self, revenue_flow, tpch_schema):
+        schemas = propagate(revenue_flow, tpch_schema)
+        assert schemas["DATASTORE_lineitem"]["l_extendedprice"] is DEC
+        assert schemas["DATASTORE_orders"]["o_orderkey"] is INT
+
+    def test_explicit_columns_subset_source(self, tpch_schema):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="nation", columns=("n_name",)),
+            Loader("load", table="out"),
+        )
+        schemas = propagate(flow, tpch_schema)
+        assert list(schemas["src"]) == ["n_name"]
+
+    def test_unknown_explicit_column_raises(self, tpch_schema):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="nation", columns=("ghost",)),
+            Loader("load", table="out"),
+        )
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, tpch_schema)
+
+    def test_untyped_fallback_is_string(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="anything", columns=("a",)),
+            Loader("load", table="out"),
+        )
+        schemas = propagate(flow, None)
+        assert schemas["src"]["a"] is STR
+
+    def test_unknown_table_without_columns_raises(self):
+        flow = EtlFlow("t")
+        flow.chain(Datastore("src", table="ghost"), Loader("load", table="o"))
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+
+class TestUnaryOperators:
+    def test_projection_subsets_and_orders(self, tpch_schema):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="nation"),
+            Projection("proj", columns=("n_name", "n_nationkey")),
+            Loader("load", table="out"),
+        )
+        schemas = propagate(flow, tpch_schema)
+        assert list(schemas["proj"]) == ["n_name", "n_nationkey"]
+
+    def test_projection_unknown_attribute_raises(self):
+        flow = single_op_flow(Projection("proj", columns=("ghost",)))
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+    def test_selection_preserves_schema(self):
+        flow = single_op_flow(Selection("sel", predicate="a = 'x'"))
+        schemas = propagate(flow, None)
+        assert schemas["sel"] == schemas["src"]
+
+    def test_selection_type_error_raises(self, tpch_schema):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="nation"),
+            Selection("sel", predicate="n_name + 1 = 2"),
+            Loader("load", table="out"),
+        )
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, tpch_schema)
+
+    def test_selection_non_boolean_predicate_raises(self, tpch_schema):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="nation"),
+            Selection("sel", predicate="n_nationkey + 1"),
+            Loader("load", table="out"),
+        )
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, tpch_schema)
+
+    def test_derive_adds_typed_attribute(self, tpch_schema):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="lineitem"),
+            DerivedAttribute(
+                "derive", output="rev", expression="l_extendedprice * (1 - l_discount)"
+            ),
+            Loader("load", table="out"),
+        )
+        schemas = propagate(flow, tpch_schema)
+        assert schemas["derive"]["rev"] is DEC
+        assert "l_extendedprice" in schemas["derive"]
+
+    def test_rename_maps_attributes(self):
+        flow = single_op_flow(Rename("ren", renaming=(("a", "x"),)))
+        schemas = propagate(flow, None)
+        assert set(schemas["ren"]) == {"x", "b"}
+
+    def test_rename_collision_raises(self):
+        flow = single_op_flow(Rename("ren", renaming=(("a", "b"),)))
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+    def test_surrogate_key_prepends_integer(self):
+        flow = single_op_flow(SurrogateKey("sk", output="id", business_keys=("a",)))
+        schemas = propagate(flow, None)
+        assert list(schemas["sk"])[0] == "id"
+        assert schemas["sk"]["id"] is INT
+
+    def test_surrogate_collision_raises(self):
+        flow = single_op_flow(SurrogateKey("sk", output="a", business_keys=("a",)))
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+    def test_sort_checks_keys(self):
+        flow = single_op_flow(Sort("sort", keys=("ghost",)))
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+
+class TestBinaryOperators:
+    def test_join_unions_attributes(self, revenue_flow, tpch_schema):
+        schemas = propagate(revenue_flow, tpch_schema)
+        joined = schemas["JOIN_lineitem_orders"]
+        assert set(joined) == {
+            "l_orderkey", "l_extendedprice", "l_discount",
+            "o_orderkey", "o_custkey",
+        }
+
+    def test_join_missing_key_raises(self):
+        flow = EtlFlow("t")
+        flow.add(Datastore("left", table="l", columns=("a",)))
+        flow.add(Datastore("right", table="r", columns=("b",)))
+        flow.add(Join("join", left_keys=("ghost",), right_keys=("b",)))
+        flow.add(Loader("load", table="o"))
+        flow.connect("left", "join")
+        flow.connect("right", "join")
+        flow.connect("join", "load")
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+    def test_join_name_collision_raises(self):
+        flow = EtlFlow("t")
+        flow.add(Datastore("left", table="l", columns=("a", "x")))
+        flow.add(Datastore("right", table="r", columns=("b", "x")))
+        flow.add(Join("join", left_keys=("a",), right_keys=("b",)))
+        flow.add(Loader("load", table="o"))
+        flow.connect("left", "join")
+        flow.connect("right", "join")
+        flow.connect("join", "load")
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+    def test_join_on_same_named_key_collapses(self):
+        flow = EtlFlow("t")
+        flow.add(Datastore("left", table="l", columns=("k", "a")))
+        flow.add(Datastore("right", table="r", columns=("k", "b")))
+        flow.add(Join("join", left_keys=("k",), right_keys=("k",)))
+        flow.add(Loader("load", table="o"))
+        flow.connect("left", "join")
+        flow.connect("right", "join")
+        flow.connect("join", "load")
+        schemas = propagate(flow, None)
+        assert set(schemas["join"]) == {"k", "a", "b"}
+
+    def test_union_requires_identical_schemas(self):
+        flow = EtlFlow("t")
+        flow.add(Datastore("left", table="l", columns=("a",)))
+        flow.add(Datastore("right", table="r", columns=("b",)))
+        flow.add(UnionOp("union"))
+        flow.add(Loader("load", table="o"))
+        flow.connect("left", "union")
+        flow.connect("right", "union")
+        flow.connect("union", "load")
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+
+class TestAggregation:
+    def test_aggregation_output_schema(self, revenue_flow, tpch_schema):
+        schemas = propagate(revenue_flow, tpch_schema)
+        assert list(schemas["AGG_revenue"]) == ["n_name", "total_revenue"]
+        assert schemas["AGG_revenue"]["total_revenue"] is DEC
+
+    def test_count_returns_integer_avg_returns_decimal(self, tpch_schema):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="lineitem"),
+            Aggregation(
+                "agg",
+                group_by=("l_returnflag",),
+                aggregates=(
+                    AggregationSpec("n", "COUNT", "l_orderkey"),
+                    AggregationSpec("avg_qty", "AVERAGE", "l_quantity"),
+                ),
+            ),
+            Loader("load", table="o"),
+        )
+        schemas = propagate(flow, tpch_schema)
+        assert schemas["agg"]["n"] is INT
+        assert schemas["agg"]["avg_qty"] is DEC
+
+    def test_sum_over_string_raises(self, tpch_schema):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="nation"),
+            Aggregation(
+                "agg",
+                group_by=(),
+                aggregates=(AggregationSpec("s", "SUM", "n_name"),),
+            ),
+            Loader("load", table="o"),
+        )
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, tpch_schema)
+
+    def test_unknown_function_raises(self):
+        flow = single_op_flow(
+            Aggregation(
+                "agg", group_by=("a",),
+                aggregates=(AggregationSpec("m", "MEDIAN", "b"),),
+            )
+        )
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+    def test_empty_aggregates_raise(self):
+        flow = single_op_flow(Aggregation("agg", group_by=("a",)))
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+    def test_duplicate_output_raises(self):
+        flow = single_op_flow(
+            Aggregation(
+                "agg", group_by=("a",),
+                aggregates=(
+                    AggregationSpec("a", "COUNT", "b"),
+                ),
+            )
+        )
+        with pytest.raises(SchemaPropagationError):
+            propagate(flow, None)
+
+
+class TestEndToEnd:
+    def test_full_revenue_flow_propagates(self, revenue_flow, tpch_schema):
+        schemas = propagate(revenue_flow, tpch_schema)
+        assert set(schemas) == set(revenue_flow.node_names())
+        assert schemas["LOAD_fact_revenue"] == schemas["AGG_revenue"]

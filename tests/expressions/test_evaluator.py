@@ -1,0 +1,173 @@
+"""Unit tests for expression evaluation, including NULL semantics."""
+
+import datetime
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.expressions import evaluate, parse
+
+
+def run(text, **row):
+    return evaluate(parse(text), row)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert run("1 + 2") == 3
+
+    def test_precedence_in_evaluation(self):
+        assert run("2 + 3 * 4") == 14
+
+    def test_revenue_formula(self):
+        result = run(
+            "price * (1 - discount)", price=100.0, discount=0.05
+        )
+        assert result == pytest.approx(95.0)
+
+    def test_division(self):
+        assert run("7 / 2") == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(EvaluationError):
+            run("1 / 0")
+
+    def test_modulo(self):
+        assert run("7 % 3") == 1
+
+    def test_unary_minus(self):
+        assert run("-x", x=4) == -4
+
+    def test_string_concatenation_via_plus(self):
+        assert run("'a' + 'b'") == "ab"
+
+    def test_string_plus_number_raises(self):
+        with pytest.raises(EvaluationError):
+            run("'a' + 1")
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert run("n_name = 'Spain'", n_name="Spain") is True
+        assert run("n_name = 'Spain'", n_name="France") is False
+
+    def test_ordering(self):
+        assert run("a < b", a=1, b=2) is True
+        assert run("a >= b", a=2, b=2) is True
+
+    def test_mixed_numeric_comparison(self):
+        assert run("a = b", a=1, b=1.0) is True
+
+    def test_date_comparison(self):
+        row = {"d": datetime.date(1995, 6, 1)}
+        assert evaluate(parse("d >= date '1995-01-01'"), row) is True
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(EvaluationError):
+            run("a < b", a=1, b="x")
+
+
+class TestLogic:
+    def test_and_or(self):
+        assert run("true and false") is False
+        assert run("true or false") is True
+
+    def test_not(self):
+        assert run("not (1 = 2)") is True
+
+    def test_in_list(self):
+        assert run("x in (1, 2, 3)", x=2) is True
+        assert run("x in (1, 2, 3)", x=9) is False
+
+    def test_non_boolean_in_logic_raises(self):
+        with pytest.raises(EvaluationError):
+            run("1 and true")
+
+
+class TestNullSemantics:
+    def test_null_arithmetic_is_null(self):
+        assert run("x + 1", x=None) is None
+
+    def test_null_comparison_is_null(self):
+        assert run("x = 1", x=None) is None
+
+    def test_kleene_and_with_false_short_circuits(self):
+        assert run("false and x = 1", x=None) is False
+
+    def test_kleene_and_with_true_stays_null(self):
+        assert run("true and x = 1", x=None) is None
+
+    def test_kleene_or_with_true_short_circuits(self):
+        assert run("true or x = 1", x=None) is True
+
+    def test_kleene_or_with_false_stays_null(self):
+        assert run("false or x = 1", x=None) is None
+
+    def test_not_null_is_null(self):
+        assert run("not x", x=None) is None
+
+    def test_in_with_null_member_and_no_match_is_null(self):
+        assert run("x in (1, null)", x=5) is None
+
+    def test_in_with_match_ignores_null_member(self):
+        assert run("x in (1, null)", x=1) is True
+
+    def test_null_left_of_in_is_null(self):
+        assert run("x in (1, 2)", x=None) is None
+
+    def test_coalesce_skips_nulls(self):
+        assert run("coalesce(x, 0)", x=None) == 0
+        assert run("coalesce(x, 0)", x=5) == 5
+
+
+class TestFunctions:
+    def test_abs(self):
+        assert run("abs(-3)") == 3
+
+    def test_round_floor_ceil(self):
+        assert run("round(2.6)") == 3
+        assert run("floor(2.6)") == 2
+        assert run("ceil(2.1)") == 3
+
+    def test_sqrt(self):
+        assert run("sqrt(9)") == 3.0
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(EvaluationError):
+            run("sqrt(-1)")
+
+    def test_string_functions(self):
+        assert run("upper('ab')") == "AB"
+        assert run("lower('AB')") == "ab"
+        assert run("length('abc')") == 3
+        assert run("trim('  x ')") == "x"
+        assert run("concat('a', 'b')") == "ab"
+
+    def test_substring_is_one_based(self):
+        assert run("substring('warehouse', 1, 4)") == "ware"
+        assert run("substring('warehouse', 5, 5)") == "house"
+
+    def test_substring_zero_start_raises(self):
+        with pytest.raises(EvaluationError):
+            run("substring('x', 0, 1)")
+
+    def test_date_parts(self):
+        row = {"d": datetime.date(1995, 8, 17)}
+        assert evaluate(parse("year(d)"), row) == 1995
+        assert evaluate(parse("month(d)"), row) == 8
+        assert evaluate(parse("day(d)"), row) == 17
+        assert evaluate(parse("quarter(d)"), row) == 3
+
+    def test_function_null_propagation(self):
+        assert run("upper(x)", x=None) is None
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(EvaluationError):
+            run("frobnicate(1)")
+
+
+class TestErrors:
+    def test_missing_attribute_raises(self):
+        with pytest.raises(EvaluationError) as excinfo:
+            run("missing + 1")
+        assert "missing" in str(excinfo.value)

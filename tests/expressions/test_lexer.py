@@ -1,0 +1,138 @@
+"""Unit tests for the expression tokeniser."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.expressions.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_end(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.END
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "42"
+
+    def test_decimal_literal(self):
+        tokens = tokenize("3.14")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].text == "3.14"
+
+    def test_number_followed_by_dot_does_not_swallow_dot(self):
+        # "1." is a number then an error: the dot is not part of the number.
+        with pytest.raises(LexError):
+            tokenize("1.")
+
+    def test_string_literal(self):
+        tokens = tokenize("'Spain'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "Spain"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'O''Brien'")
+        assert tokens[0].text == "O'Brien"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_identifier(self):
+        tokens = tokenize("l_extendedprice")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].text == "l_extendedprice"
+
+    def test_qualified_identifier_keeps_dot(self):
+        tokens = tokenize("Part.p_name")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].text == "Part.p_name"
+
+    def test_identifier_case_is_preserved(self):
+        tokens = tokenize("Nation_N_Name")
+        assert tokens[0].text == "Nation_N_Name"
+
+
+class TestKeywordsAndOperators:
+    @pytest.mark.parametrize("word", ["and", "or", "not", "in", "true", "false", "null"])
+    def test_keywords_lowercase(self, word):
+        tokens = tokenize(word)
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == word
+
+    @pytest.mark.parametrize("word", ["AND", "Or", "NOT", "In", "TRUE", "NULL"])
+    def test_keywords_are_case_insensitive(self, word):
+        tokens = tokenize(word)
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == word.lower()
+
+    @pytest.mark.parametrize(
+        "operator", ["=", "!=", "<", "<=", ">", ">=", "+", "-", "*", "/", "%"]
+    )
+    def test_operators(self, operator):
+        tokens = tokenize(operator)
+        assert tokens[0].kind is TokenKind.OPERATOR
+        assert tokens[0].text == operator
+
+    def test_sql_not_equal_normalised(self):
+        tokens = tokenize("a <> b")
+        assert tokens[1].text == "!="
+
+    def test_two_char_operators_not_split(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+
+    def test_punctuation(self):
+        assert kinds("(a, b)")[:5] == [
+            TokenKind.LPAREN,
+            TokenKind.IDENTIFIER,
+            TokenKind.COMMA,
+            TokenKind.IDENTIFIER,
+            TokenKind.RPAREN,
+        ]
+
+
+class TestWhitespaceAndPositions:
+    def test_whitespace_is_skipped(self):
+        assert texts("  a  +\tb\n") == ["a", "+", "b"]
+
+    def test_positions_point_into_source(self):
+        tokens = tokenize("ab + cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+        assert tokens[2].position == 5
+
+    def test_lex_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a ? b")
+        assert excinfo.value.position == 2
+
+
+class TestRealisticExpressions:
+    def test_paper_revenue_measure(self):
+        # The measure from Figure 4 of the paper.
+        words = texts("Lineitem_l_extendedprice * Lineitem_l_discount")
+        assert words == [
+            "Lineitem_l_extendedprice",
+            "*",
+            "Lineitem_l_discount",
+        ]
+
+    def test_paper_slicer(self):
+        words = texts("Nation_n_name = 'Spain'")
+        assert words == ["Nation_n_name", "=", "Spain"]
+
+    def test_date_keyword(self):
+        tokens = tokenize("date '1995-01-01'")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == "date"
+        assert tokens[1].kind is TokenKind.STRING

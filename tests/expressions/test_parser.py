@@ -1,0 +1,153 @@
+"""Unit tests for the expression parser and AST rendering."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ParseError
+from repro.expressions import ast, parse
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert parse("7") == ast.Literal(7)
+
+    def test_decimal(self):
+        assert parse("2.5") == ast.Literal(2.5)
+
+    def test_string(self):
+        assert parse("'Spain'") == ast.Literal("Spain")
+
+    def test_booleans_and_null(self):
+        assert parse("true") == ast.Literal(True)
+        assert parse("false") == ast.Literal(False)
+        assert parse("null") == ast.Literal(None)
+
+    def test_date_literal(self):
+        assert parse("date '1995-03-15'") == ast.Literal(datetime.date(1995, 3, 15))
+
+    def test_bad_date_literal_raises(self):
+        with pytest.raises(ParseError):
+            parse("date 'not-a-date'")
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter_than_addition(self):
+        tree = parse("a + b * c")
+        assert isinstance(tree, ast.BinaryOp)
+        assert tree.operator == "+"
+        assert tree.right == ast.BinaryOp("*", ast.Attribute("b"), ast.Attribute("c"))
+
+    def test_parentheses_override(self):
+        tree = parse("(a + b) * c")
+        assert tree.operator == "*"
+        assert tree.left == ast.BinaryOp("+", ast.Attribute("a"), ast.Attribute("b"))
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        tree = parse("a + 1 > b * 2")
+        assert tree.operator == ">"
+
+    def test_and_binds_tighter_than_or(self):
+        tree = parse("a = 1 or b = 2 and c = 3")
+        assert tree.operator == "or"
+        assert tree.right.operator == "and"
+
+    def test_not_binds_tighter_than_and(self):
+        tree = parse("not a = 1 and b = 2")
+        assert tree.operator == "and"
+        assert isinstance(tree.left, ast.UnaryOp)
+
+    def test_left_associativity_of_subtraction(self):
+        tree = parse("a - b - c")
+        assert tree.operator == "-"
+        assert tree.left == ast.BinaryOp("-", ast.Attribute("a"), ast.Attribute("b"))
+
+    def test_unary_minus(self):
+        tree = parse("-a * b")
+        assert tree.operator == "*"
+        assert tree.left == ast.UnaryOp("-", ast.Attribute("a"))
+
+
+class TestCallsAndLists:
+    def test_function_call(self):
+        tree = parse("year(o_orderdate)")
+        assert tree == ast.FunctionCall("year", (ast.Attribute("o_orderdate"),))
+
+    def test_nested_call(self):
+        tree = parse("round(abs(x))")
+        assert tree.name == "round"
+        assert tree.arguments[0].name == "abs"
+
+    def test_call_with_no_arguments(self):
+        tree = parse("f()")
+        assert tree == ast.FunctionCall("f", ())
+
+    def test_in_list(self):
+        tree = parse("n_name in ('Spain', 'France')")
+        assert tree.operator == "in"
+        assert isinstance(tree.right, ast.ValueList)
+        assert [item.value for item in tree.right.items] == ["Spain", "France"]
+
+    def test_in_requires_parenthesised_list(self):
+        with pytest.raises(ParseError):
+            parse("a in 'Spain'")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "a +", "* a", "(a", "a)", "f(a,", "a = = b", "a b", "1 2"],
+    )
+    def test_malformed_inputs_raise(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_message_mentions_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("a + )")
+        assert "position" in str(excinfo.value)
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a + b * c",
+            "(a + b) * c",
+            "a - b - c",
+            "a - (b - c)",
+            "not (a = 1 and b = 2)",
+            "n_name in ('Spain', 'France')",
+            "price * (1 - discount)",
+            "year(o_orderdate) = 1995",
+            "coalesce(x, 0) >= 10",
+            "'it''s' = s",
+            "date '1995-01-01' <= o_orderdate",
+        ],
+    )
+    def test_roundtrip_parse_render_parse(self, text):
+        tree = parse(text)
+        rendered = str(tree)
+        assert parse(rendered) == tree
+
+    def test_attributes_collects_all_names(self):
+        tree = parse("a + f(b, c * d) > e")
+        assert tree.attributes() == frozenset({"a", "b", "c", "d", "e"})
+
+    def test_substitute_renames_attributes(self):
+        tree = parse("a + b")
+        renamed = ast.substitute(tree, {"a": "x"})
+        assert renamed == parse("x + b")
+
+    def test_conjuncts_splits_top_level_and(self):
+        tree = parse("a = 1 and b = 2 and c = 3")
+        parts = ast.conjuncts(tree)
+        assert [str(part) for part in parts] == ["a = 1", "b = 2", "c = 3"]
+
+    def test_conjoin_rebuilds_predicate(self):
+        parts = [parse("a = 1"), parse("b = 2")]
+        assert str(ast.conjoin(parts)) == "a = 1 and b = 2"
+
+    def test_conjoin_empty_raises(self):
+        with pytest.raises(ValueError):
+            ast.conjoin([])

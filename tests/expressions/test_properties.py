@@ -1,0 +1,141 @@
+"""Property-based tests for the expression language.
+
+Invariants:
+
+* parse(render(ast)) == ast for every generated AST (round-trip),
+* evaluation is deterministic,
+* substitute with an identity map is the identity,
+* conjoin/conjuncts are inverse for predicate lists.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.expressions import ast, evaluate, parse
+
+ATTRIBUTES = ["a", "b", "c", "qty", "price"]
+
+literals = st.one_of(
+    st.integers(min_value=0, max_value=10_000).map(ast.Literal),
+    st.floats(
+        min_value=0.001, max_value=1000, allow_nan=False, allow_infinity=False
+    ).map(ast.Literal),
+    st.text(
+        alphabet="abcxyz' ", min_size=0, max_size=8
+    ).map(ast.Literal),
+    st.booleans().map(ast.Literal),
+    st.just(ast.Literal(None)),
+)
+
+attributes = st.sampled_from(ATTRIBUTES).map(ast.Attribute)
+
+
+def _numeric_exprs(children):
+    binary = st.builds(
+        ast.BinaryOp,
+        st.sampled_from(["+", "-", "*", "/"]),
+        children,
+        children,
+    )
+    unary = st.builds(ast.UnaryOp, st.just("-"), children)
+    call = st.builds(
+        ast.FunctionCall,
+        st.sampled_from(["abs", "round"]),
+        st.tuples(children),
+    )
+    return st.one_of(binary, unary, call)
+
+
+numeric_leaves = st.one_of(
+    st.integers(min_value=0, max_value=100).map(ast.Literal),
+    attributes,
+)
+
+numeric_expressions = st.recursive(numeric_leaves, _numeric_exprs, max_leaves=12)
+
+
+def _boolean_exprs(children):
+    logical = st.builds(
+        ast.BinaryOp, st.sampled_from(["and", "or"]), children, children
+    )
+    negation = st.builds(ast.UnaryOp, st.just("not"), children)
+    return st.one_of(logical, negation)
+
+
+comparisons = st.builds(
+    ast.BinaryOp,
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    numeric_expressions,
+    numeric_expressions,
+)
+
+boolean_expressions = st.recursive(comparisons, _boolean_exprs, max_leaves=10)
+
+any_expressions = st.one_of(literals, numeric_expressions, boolean_expressions)
+
+
+class TestRoundTrip:
+    @given(any_expressions)
+    @settings(max_examples=200)
+    def test_parse_of_render_is_identity(self, tree):
+        assert parse(str(tree)) == tree
+
+    @given(boolean_expressions)
+    @settings(max_examples=100)
+    def test_boolean_roundtrip(self, tree):
+        assert parse(str(tree)) == tree
+
+
+class TestEvaluation:
+    @given(
+        numeric_expressions,
+        st.fixed_dictionaries(
+            {name: st.integers(min_value=1, max_value=50) for name in ATTRIBUTES}
+        ),
+    )
+    @settings(max_examples=150)
+    def test_evaluation_is_deterministic(self, tree, row):
+        from repro.errors import EvaluationError
+
+        try:
+            first = evaluate(tree, row)
+        except EvaluationError:
+            return  # division by zero is acceptable; determinism is the claim
+        second = evaluate(tree, row)
+        assert first == second
+
+    @given(
+        boolean_expressions,
+        st.fixed_dictionaries(
+            {name: st.integers(min_value=1, max_value=50) for name in ATTRIBUTES}
+        ),
+    )
+    @settings(max_examples=100)
+    def test_boolean_expressions_yield_booleans_or_null(self, tree, row):
+        from repro.errors import EvaluationError
+
+        try:
+            value = evaluate(tree, row)
+        except EvaluationError:
+            return
+        assert value is None or isinstance(value, bool)
+
+
+class TestAlgebra:
+    @given(any_expressions)
+    @settings(max_examples=100)
+    def test_identity_substitution(self, tree):
+        assert ast.substitute(tree, {}) == tree
+
+    @given(st.lists(comparisons, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_conjuncts_of_conjoin_is_identity(self, predicates):
+        assert ast.conjuncts(ast.conjoin(predicates)) == predicates
+
+    @given(any_expressions)
+    @settings(max_examples=100)
+    def test_attribute_set_closed_under_rename(self, tree):
+        renaming = {name: name + "_r" for name in ATTRIBUTES}
+        renamed = ast.substitute(tree, renaming)
+        expected = frozenset(renaming.get(name, name) for name in tree.attributes())
+        assert renamed.attributes() == expected

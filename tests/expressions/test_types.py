@@ -1,0 +1,152 @@
+"""Unit tests for the expression type system."""
+
+import datetime
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.expressions import ScalarType, infer_type, parse
+from repro.expressions.types import (
+    comparable,
+    function_result_type,
+    numeric_join,
+    type_of_value,
+)
+
+SCHEMA = {
+    "qty": ScalarType.INTEGER,
+    "price": ScalarType.DECIMAL,
+    "name": ScalarType.STRING,
+    "flag": ScalarType.BOOLEAN,
+    "shipped": ScalarType.DATE,
+}
+
+
+def infer(text):
+    return infer_type(parse(text), SCHEMA)
+
+
+class TestValueTypes:
+    def test_python_value_types(self):
+        assert type_of_value(1) is ScalarType.INTEGER
+        assert type_of_value(1.5) is ScalarType.DECIMAL
+        assert type_of_value("x") is ScalarType.STRING
+        assert type_of_value(True) is ScalarType.BOOLEAN
+        assert type_of_value(datetime.date(2000, 1, 1)) is ScalarType.DATE
+        assert type_of_value(None) is None
+
+    def test_unsupported_value_raises(self):
+        with pytest.raises(TypeCheckError):
+            type_of_value(object())
+
+    def test_numeric_join(self):
+        assert numeric_join(ScalarType.INTEGER, ScalarType.INTEGER) is ScalarType.INTEGER
+        assert numeric_join(ScalarType.INTEGER, ScalarType.DECIMAL) is ScalarType.DECIMAL
+
+    def test_numeric_join_rejects_strings(self):
+        with pytest.raises(TypeCheckError):
+            numeric_join(ScalarType.STRING, ScalarType.INTEGER)
+
+    def test_comparable(self):
+        assert comparable(ScalarType.INTEGER, ScalarType.DECIMAL)
+        assert comparable(ScalarType.STRING, ScalarType.STRING)
+        assert not comparable(ScalarType.STRING, ScalarType.INTEGER)
+
+
+class TestInference:
+    def test_integer_arithmetic_stays_integer(self):
+        assert infer("qty + 1") is ScalarType.INTEGER
+
+    def test_mixed_arithmetic_widens(self):
+        assert infer("qty * price") is ScalarType.DECIMAL
+
+    def test_comparison_is_boolean(self):
+        assert infer("price > 10") is ScalarType.BOOLEAN
+
+    def test_logic_is_boolean(self):
+        assert infer("flag and price > 1") is ScalarType.BOOLEAN
+
+    def test_string_concat_via_plus(self):
+        assert infer("name + 'x'") is ScalarType.STRING
+
+    def test_in_is_boolean(self):
+        assert infer("name in ('a', 'b')") is ScalarType.BOOLEAN
+
+    def test_unary_minus_keeps_type(self):
+        assert infer("-qty") is ScalarType.INTEGER
+
+    def test_date_function(self):
+        assert infer("year(shipped)") is ScalarType.INTEGER
+
+    def test_null_literal_has_no_type(self):
+        assert infer("null") is None
+
+    def test_null_in_arithmetic_defaults_decimal(self):
+        assert infer("null + 1") is ScalarType.DECIMAL
+
+
+class TestInferenceErrors:
+    def test_unknown_attribute(self):
+        with pytest.raises(TypeCheckError):
+            infer("nope + 1")
+
+    def test_arithmetic_on_boolean(self):
+        with pytest.raises(TypeCheckError):
+            infer("flag + 1")
+
+    def test_comparing_string_to_number(self):
+        with pytest.raises(TypeCheckError):
+            infer("name < 3")
+
+    def test_logic_on_numbers(self):
+        with pytest.raises(TypeCheckError):
+            infer("qty and flag")
+
+    def test_not_on_string(self):
+        with pytest.raises(TypeCheckError):
+            infer("not name")
+
+    def test_string_plus_number(self):
+        with pytest.raises(TypeCheckError):
+            infer("name + qty")
+
+
+class TestFunctionSignatures:
+    def test_known_function(self):
+        assert (
+            function_result_type("upper", [ScalarType.STRING]) is ScalarType.STRING
+        )
+
+    def test_case_insensitive_name(self):
+        assert (
+            function_result_type("UPPER", [ScalarType.STRING]) is ScalarType.STRING
+        )
+
+    def test_unknown_function(self):
+        with pytest.raises(TypeCheckError):
+            function_result_type("nope", [])
+
+    def test_wrong_arity(self):
+        with pytest.raises(TypeCheckError):
+            function_result_type("upper", [ScalarType.STRING, ScalarType.STRING])
+
+    def test_wrong_argument_type(self):
+        with pytest.raises(TypeCheckError):
+            function_result_type("year", [ScalarType.STRING])
+
+    def test_numeric_slot_accepts_both_numerics(self):
+        assert function_result_type("abs", [ScalarType.INTEGER]) is ScalarType.INTEGER
+        assert function_result_type("abs", [ScalarType.DECIMAL]) is ScalarType.DECIMAL
+
+    def test_numeric_slot_rejects_string(self):
+        with pytest.raises(TypeCheckError):
+            function_result_type("abs", [ScalarType.STRING])
+
+    def test_null_argument_satisfies_any_slot(self):
+        assert function_result_type("year", [None]) is ScalarType.INTEGER
+
+    def test_coalesce_takes_type_of_first_typed_argument(self):
+        assert (
+            function_result_type("coalesce", [None, ScalarType.INTEGER])
+            is ScalarType.INTEGER
+        )

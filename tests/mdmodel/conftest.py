@@ -1,0 +1,88 @@
+"""Shared fixtures: the paper's revenue star (Figures 3-4) in MD form."""
+
+import pytest
+
+from repro.expressions import ScalarType
+from repro.mdmodel import (
+    AggregationFunction,
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+
+STR = ScalarType.STRING
+DEC = ScalarType.DECIMAL
+
+
+def make_part_dimension():
+    dimension = Dimension(name="Part", requirements={"IR1"})
+    dimension.add_level(
+        Level(
+            name="Part",
+            attributes=[
+                LevelAttribute("p_name", STR, property="Part_p_name"),
+                LevelAttribute("p_brand", STR, property="Part_p_brand"),
+            ],
+            concept="Part",
+        )
+    )
+    dimension.add_hierarchy(Hierarchy(name="part", levels=["Part"]))
+    return dimension
+
+
+def make_supplier_dimension():
+    dimension = Dimension(name="Supplier", requirements={"IR1"})
+    dimension.add_level(
+        Level(
+            name="Supplier",
+            attributes=[LevelAttribute("s_name", STR, property="Supplier_s_name")],
+            concept="Supplier",
+        )
+    )
+    dimension.add_level(
+        Level(
+            name="Nation",
+            attributes=[LevelAttribute("n_name", STR, property="Nation_n_name")],
+            concept="Nation",
+        )
+    )
+    dimension.add_level(
+        Level(
+            name="Region",
+            attributes=[LevelAttribute("r_name", STR, property="Region_r_name")],
+            concept="Region",
+        )
+    )
+    dimension.add_hierarchy(
+        Hierarchy(name="geo", levels=["Supplier", "Nation", "Region"])
+    )
+    return dimension
+
+
+def make_revenue_fact():
+    fact = Fact(name="fact_table_revenue", concept="Lineitem", requirements={"IR1"})
+    fact.add_measure(
+        Measure(
+            name="revenue",
+            expression="Lineitem_l_extendedprice * (1 - Lineitem_l_discount)",
+            type=DEC,
+            aggregation=AggregationFunction.SUM,
+            requirements={"IR1"},
+        )
+    )
+    fact.link_dimension("Part", "Part")
+    fact.link_dimension("Supplier", "Supplier")
+    return fact
+
+
+@pytest.fixture
+def revenue_star():
+    schema = MDSchema(name="demo")
+    schema.add_dimension(make_part_dimension())
+    schema.add_dimension(make_supplier_dimension())
+    schema.add_fact(make_revenue_fact())
+    return schema

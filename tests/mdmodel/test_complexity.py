@@ -1,0 +1,89 @@
+"""Unit tests for the structural complexity cost model."""
+
+from repro.expressions import ScalarType
+from repro.mdmodel import (
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+from repro.mdmodel.complexity import (
+    ComplexityWeights,
+    analyze,
+    compare,
+    score,
+)
+
+STR = ScalarType.STRING
+
+
+class TestCounting:
+    def test_counts_on_revenue_star(self, revenue_star):
+        report = analyze(revenue_star)
+        assert report.facts == 1
+        assert report.measures == 1
+        assert report.dimensions == 2
+        assert report.levels == 4
+        assert report.attributes == 5
+        assert report.hierarchies == 2
+        assert report.links == 2
+
+    def test_score_uses_weights(self, revenue_star):
+        unit = ComplexityWeights(1, 1, 1, 1, 1, 1, 1)
+        report = analyze(revenue_star, unit)
+        assert report.score == 1 + 1 + 2 + 4 + 5 + 2 + 2
+
+    def test_empty_schema_scores_zero(self):
+        assert score(MDSchema("empty")) == 0.0
+
+    def test_report_renders(self, revenue_star):
+        text = str(analyze(revenue_star))
+        assert "facts=1" in text and "score=" in text
+
+
+class TestComparison:
+    def test_shared_dimension_is_cheaper_than_duplicate(self, revenue_star):
+        # Conformed: second fact reuses Part; duplicate: it gets its own copy.
+        conformed = revenue_star.copy()
+        fact = Fact("fact2")
+        fact.add_measure(Measure("m2", expression="x"))
+        fact.link_dimension("Part", "Part")
+        conformed.add_fact(fact)
+
+        duplicated = revenue_star.copy()
+        clone_dim = Dimension("Part2")
+        clone_dim.add_level(
+            Level("Part2", attributes=[LevelAttribute("p_name", STR)])
+        )
+        clone_dim.add_hierarchy(Hierarchy("h", ["Part2"]))
+        duplicated.add_dimension(clone_dim)
+        fact = Fact("fact2")
+        fact.add_measure(Measure("m2", expression="x"))
+        fact.link_dimension("Part2", "Part2")
+        duplicated.add_fact(fact)
+
+        assert score(conformed) < score(duplicated)
+        assert compare(conformed, duplicated) < 0
+
+    def test_compare_is_antisymmetric(self, revenue_star):
+        other = revenue_star.copy()
+        other.add_dimension(_tiny_dimension("Extra"))
+        assert compare(revenue_star, other) == -compare(other, revenue_star)
+
+    def test_adding_any_element_increases_score(self, revenue_star):
+        baseline = score(revenue_star)
+        richer = revenue_star.copy()
+        richer.dimension("Part").level("Part").attributes.append(
+            LevelAttribute("p_type", STR)
+        )
+        assert score(richer) > baseline
+
+
+def _tiny_dimension(name):
+    dimension = Dimension(name)
+    dimension.add_level(Level(name, attributes=[LevelAttribute("k", STR)]))
+    dimension.add_hierarchy(Hierarchy("h", [name]))
+    return dimension

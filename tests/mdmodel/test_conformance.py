@@ -1,0 +1,162 @@
+"""Unit tests for dimension conformance and merging."""
+
+import pytest
+
+from repro.errors import MDError
+from repro.expressions import ScalarType
+from repro.mdmodel import Dimension, Hierarchy, Level, LevelAttribute
+from repro.mdmodel.conformance import (
+    dimensions_conformable,
+    find_matching_level,
+    hierarchies_order_compatible,
+    level_matches,
+    levels_match,
+    merge_dimensions,
+    merge_levels,
+)
+
+STR = ScalarType.STRING
+
+
+def level(name, attrs, concept=None):
+    return Level(
+        name,
+        attributes=[LevelAttribute(attr, STR) for attr in attrs],
+        concept=concept,
+    )
+
+
+class TestLevelMatching:
+    def test_same_concept_matches_despite_names(self):
+        first = level("Country", ["c_name"], concept="Nation")
+        second = level("Nation", ["n_name"], concept="Nation")
+        assert levels_match(first, second)
+
+    def test_different_concepts_never_match(self):
+        first = level("Country", ["name"], concept="Nation")
+        second = level("Country", ["name"], concept="Region")
+        assert not levels_match(first, second)
+
+    def test_without_provenance_name_match(self):
+        assert levels_match(level("City", ["a"]), level("City", ["b"]))
+
+    def test_without_provenance_attribute_overlap(self):
+        first = level("A", ["name", "code"])
+        second = level("B", ["name", "zip"])
+        assert levels_match(first, second)
+
+    def test_disjoint_attributes_do_not_match(self):
+        assert not levels_match(level("A", ["x", "y"]), level("B", ["u", "v"]))
+
+    def test_empty_attribute_sets_do_not_match(self):
+        assert not levels_match(Level("A"), Level("B"))
+
+    def test_find_matching_level(self):
+        dimension = Dimension("D")
+        dimension.add_level(level("Nation", ["n_name"], concept="Nation"))
+        probe = level("Country", ["x"], concept="Nation")
+        assert find_matching_level(probe, dimension).name == "Nation"
+        assert find_matching_level(level("Z", ["z"], concept="Z"), dimension) is None
+
+
+class TestDimensionConformance:
+    def _geo(self, name="Geo"):
+        dimension = Dimension(name)
+        dimension.add_level(level("City", ["city"], concept="City"))
+        dimension.add_level(level("Country", ["country"], concept="Country"))
+        dimension.add_hierarchy(Hierarchy("geo", ["City", "Country"]))
+        return dimension
+
+    def test_identical_dimensions_conform(self):
+        assert dimensions_conformable(self._geo(), self._geo("Geo2"))
+
+    def test_no_shared_levels_do_not_conform(self):
+        other = Dimension("Time")
+        other.add_level(level("Day", ["day"], concept="Day"))
+        other.add_hierarchy(Hierarchy("time", ["Day"]))
+        assert not dimensions_conformable(self._geo(), other)
+
+    def test_reversed_rollup_order_blocks_conformance(self):
+        reversed_geo = Dimension("GeoR")
+        reversed_geo.add_level(level("City", ["city"], concept="City"))
+        reversed_geo.add_level(level("Country", ["country"], concept="Country"))
+        reversed_geo.add_hierarchy(Hierarchy("geo", ["Country", "City"]))
+        pairs = level_matches(self._geo(), reversed_geo)
+        assert not hierarchies_order_compatible(self._geo(), reversed_geo, pairs)
+        assert not dimensions_conformable(self._geo(), reversed_geo)
+
+    def test_partial_overlap_conforms(self):
+        richer = self._geo("Geo3")
+        richer.add_level(level("Region", ["region"], concept="Region"))
+        richer.hierarchies[0] = Hierarchy("geo", ["City", "Country", "Region"])
+        assert dimensions_conformable(self._geo(), richer)
+
+
+class TestMerging:
+    def test_merge_levels_unions_attributes(self):
+        target = level("Part", ["p_name"], concept="Part")
+        incoming = level("Part", ["p_name", "p_brand"], concept="Part")
+        merged = merge_levels(target, incoming)
+        assert merged.attribute_names() == ["p_name", "p_brand"]
+        assert merged.key == "p_name"
+
+    def test_merge_levels_requires_match(self):
+        with pytest.raises(MDError):
+            merge_levels(level("A", ["x"], concept="A"), level("B", ["y"], concept="B"))
+
+    def test_merge_levels_fills_missing_concept(self):
+        target = level("Part", ["p_name"])
+        incoming = level("Part", ["p_type"], concept="Part")
+        assert merge_levels(target, incoming).concept == "Part"
+
+    def test_merge_dimensions_unions_levels_and_hierarchies(self):
+        first = Dimension("Supplier", requirements={"IR1"})
+        first.add_level(level("Supplier", ["s_name"], concept="Supplier"))
+        first.add_level(level("Nation", ["n_name"], concept="Nation"))
+        first.add_hierarchy(Hierarchy("geo", ["Supplier", "Nation"]))
+
+        second = Dimension("Supplier", requirements={"IR2"})
+        second.add_level(level("Supplier", ["s_name", "s_acctbal"], concept="Supplier"))
+        second.add_level(level("Nation", ["n_name"], concept="Nation"))
+        second.add_level(level("Region", ["r_name"], concept="Region"))
+        second.add_hierarchy(Hierarchy("geo", ["Supplier", "Nation", "Region"]))
+
+        merged = merge_dimensions(first, second)
+        assert set(merged.levels) == {"Supplier", "Nation", "Region"}
+        assert merged.level("Supplier").attribute_names() == ["s_name", "s_acctbal"]
+        assert merged.requirements == {"IR1", "IR2"}
+        # Both roll-up paths are kept (the richer one under a fresh name).
+        assert len(merged.hierarchies) == 2
+
+    def test_merge_drops_duplicate_hierarchies(self):
+        first = Dimension("D")
+        first.add_level(level("L", ["a"], concept="L"))
+        first.add_hierarchy(Hierarchy("h", ["L"]))
+        second = Dimension("D")
+        second.add_level(level("L", ["a"], concept="L"))
+        second.add_hierarchy(Hierarchy("other_name_same_path", ["L"]))
+        merged = merge_dimensions(first, second)
+        assert len(merged.hierarchies) == 1
+
+    def test_merge_renames_incoming_levels_in_hierarchies(self):
+        first = Dimension("Geo")
+        first.add_level(level("Nation", ["n_name"], concept="Nation"))
+        first.add_hierarchy(Hierarchy("geo", ["Nation"]))
+        second = Dimension("Geo2")
+        second.add_level(level("Country", ["c_name"], concept="Nation"))
+        second.add_level(level("Region", ["r_name"], concept="Region"))
+        second.add_hierarchy(Hierarchy("geo", ["Country", "Region"]))
+        merged = merge_dimensions(first, second)
+        # Country is Nation (same concept): hierarchies must use "Nation".
+        renamed = [h for h in merged.hierarchies if len(h.levels) == 2][0]
+        assert renamed.levels == ["Nation", "Region"]
+
+    def test_merge_rejects_nonconformable(self):
+        first = Dimension("A")
+        first.add_level(level("X", ["x"], concept="X"))
+        first.add_hierarchy(Hierarchy("h", ["X"]))
+        second = Dimension("B")
+        second.add_level(level("Y", ["y"], concept="Y"))
+        second.add_hierarchy(Hierarchy("h", ["Y"]))
+        with pytest.raises(MDError):
+            merge_dimensions(first, second)

@@ -1,0 +1,166 @@
+"""Unit tests for MD integrity constraints and summarizability."""
+
+import pytest
+
+from repro.errors import MDConstraintViolation
+from repro.expressions import ScalarType
+from repro.mdmodel import (
+    Additivity,
+    AggregationFunction,
+    Dimension,
+    Fact,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+from repro.mdmodel.constraints import Severity, check, is_sound, validate
+
+STR = ScalarType.STRING
+
+
+def errors(schema):
+    return [v for v in validate(schema) if v.severity is Severity.ERROR]
+
+
+def warnings(schema):
+    return [v for v in validate(schema) if v.severity is Severity.WARNING]
+
+
+class TestSoundSchema:
+    def test_revenue_star_is_sound(self, revenue_star):
+        assert errors(revenue_star) == []
+        assert is_sound(revenue_star)
+        check(revenue_star)  # must not raise
+
+
+class TestDimensionConstraints:
+    def test_empty_dimension_is_error(self, revenue_star):
+        revenue_star.add_dimension(Dimension("Empty"))
+        assert any("no levels" in str(v) for v in errors(revenue_star))
+
+    def test_dimension_without_hierarchy_is_error(self, revenue_star):
+        dimension = Dimension("H")
+        dimension.add_level(Level("L", attributes=[LevelAttribute("a", STR)]))
+        revenue_star.add_dimension(dimension)
+        assert any("no hierarchies" in str(v) for v in errors(revenue_star))
+
+    def test_hierarchy_over_unknown_level_is_error(self, revenue_star):
+        dimension = revenue_star.dimension("Part")
+        dimension.hierarchies.append(Hierarchy("bad", ["Ghost"]))
+        assert any("unknown level" in str(v) for v in errors(revenue_star))
+
+    def test_orphan_level_is_warning(self, revenue_star):
+        revenue_star.dimension("Part").add_level(
+            Level("Orphan", attributes=[LevelAttribute("x", STR)])
+        )
+        assert any("in no hierarchy" in str(v) for v in warnings(revenue_star))
+
+    def test_level_without_attributes_is_error(self, revenue_star):
+        revenue_star.dimension("Part").levels["Part"].attributes.clear()
+        assert any("no attributes" in str(v) for v in errors(revenue_star))
+
+
+class TestFactConstraints:
+    def test_fact_without_measures_is_error(self, revenue_star):
+        revenue_star.fact("fact_table_revenue").measures.clear()
+        assert any("no measures" in str(v) for v in errors(revenue_star))
+
+    def test_fact_without_links_is_error(self, revenue_star):
+        revenue_star.fact("fact_table_revenue").links.clear()
+        assert any("links no dimensions" in str(v) for v in errors(revenue_star))
+
+    def test_link_to_unknown_dimension_is_error(self, revenue_star):
+        del revenue_star.dimensions["Part"]
+        assert any("unknown dimension" in str(v) for v in errors(revenue_star))
+
+    def test_link_at_unknown_level_is_error(self, revenue_star):
+        fact = revenue_star.fact("fact_table_revenue")
+        fact.links[0] = type(fact.links[0])("Part", "Ghost")
+        assert any("unknown level" in str(v) for v in errors(revenue_star))
+
+    def test_double_link_is_error(self, revenue_star):
+        fact = revenue_star.fact("fact_table_revenue")
+        fact.links.append(type(fact.links[0])("Part", "Part"))
+        assert any("twice" in str(v) for v in errors(revenue_star))
+
+    def test_link_at_coarse_level_is_warning(self, revenue_star):
+        fact = revenue_star.fact("fact_table_revenue")
+        fact.links[1] = type(fact.links[0])("Supplier", "Nation")
+        assert any("non-base level" in str(v) for v in warnings(revenue_star))
+
+
+class TestSummarizability:
+    def _schema_with_measure(self, measure):
+        schema = MDSchema("s")
+        dimension = Dimension("D")
+        dimension.add_level(Level("L", attributes=[LevelAttribute("a", STR)]))
+        dimension.add_hierarchy(Hierarchy("h", ["L"]))
+        schema.add_dimension(dimension)
+        fact = Fact("F")
+        fact.add_measure(measure)
+        fact.link_dimension("D", "L")
+        schema.add_fact(fact)
+        return schema
+
+    def test_summing_non_additive_measure_is_error(self):
+        schema = self._schema_with_measure(
+            Measure(
+                "ratio",
+                expression="a / b",
+                aggregation=AggregationFunction.SUM,
+                additivity=Additivity.NON_ADDITIVE,
+            )
+        )
+        assert any("cannot be SUMmed" in str(v) for v in errors(schema))
+        with pytest.raises(MDConstraintViolation):
+            check(schema)
+
+    def test_max_of_non_additive_measure_is_fine(self):
+        schema = self._schema_with_measure(
+            Measure(
+                "ratio",
+                expression="a / b",
+                aggregation=AggregationFunction.MAX,
+                additivity=Additivity.NON_ADDITIVE,
+            )
+        )
+        assert errors(schema) == []
+
+    def test_avg_of_non_additive_measure_is_warning(self):
+        schema = self._schema_with_measure(
+            Measure(
+                "ratio",
+                expression="a / b",
+                aggregation=AggregationFunction.AVG,
+                additivity=Additivity.NON_ADDITIVE,
+            )
+        )
+        assert errors(schema) == []
+        assert any("verify semantics" in str(v) for v in warnings(schema))
+
+    def test_summing_semi_additive_measure_is_warning(self):
+        schema = self._schema_with_measure(
+            Measure(
+                "stock",
+                expression="a",
+                aggregation=AggregationFunction.SUM,
+                additivity=Additivity.SEMI_ADDITIVE,
+            )
+        )
+        assert errors(schema) == []
+        assert any("semi-additive" in str(v) for v in warnings(schema))
+
+    def test_avg_is_flagged_non_distributive(self):
+        schema = self._schema_with_measure(
+            Measure("m", expression="a", aggregation=AggregationFunction.AVG)
+        )
+        assert any("non-distributive" in str(v) for v in warnings(schema))
+
+    def test_violation_exception_carries_details(self, revenue_star):
+        revenue_star.fact("fact_table_revenue").measures.clear()
+        with pytest.raises(MDConstraintViolation) as excinfo:
+            check(revenue_star)
+        assert excinfo.value.violations
+        assert "no measures" in str(excinfo.value)

@@ -1,0 +1,189 @@
+"""Unit tests for the MD schema classes."""
+
+import pytest
+
+from repro.errors import MDError
+from repro.expressions import ScalarType
+from repro.mdmodel import (
+    AggregationFunction,
+    Dimension,
+    Fact,
+    FactDimensionLink,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+
+STR = ScalarType.STRING
+
+
+class TestAggregationFunction:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("SUM", AggregationFunction.SUM),
+            ("sum", AggregationFunction.SUM),
+            ("AVERAGE", AggregationFunction.AVG),
+            ("avg", AggregationFunction.AVG),
+            ("Mean", AggregationFunction.AVG),
+            ("COUNT", AggregationFunction.COUNT),
+        ],
+    )
+    def test_parse_lenient(self, text, expected):
+        assert AggregationFunction.parse(text) is expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(MDError):
+            AggregationFunction.parse("MEDIAN")
+
+
+class TestLevel:
+    def test_key_defaults_to_first_attribute(self):
+        level = Level("L", attributes=[LevelAttribute("a", STR), LevelAttribute("b", STR)])
+        assert level.key == "a"
+
+    def test_explicit_key_must_be_attribute(self):
+        with pytest.raises(MDError):
+            Level("L", attributes=[LevelAttribute("a", STR)], key="nope")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(MDError):
+            Level("L", attributes=[LevelAttribute("a", STR), LevelAttribute("a", STR)])
+
+    def test_attribute_lookup(self):
+        level = Level("L", attributes=[LevelAttribute("a", STR)])
+        assert level.attribute("a").type is STR
+        assert level.has_attribute("a")
+        assert not level.has_attribute("b")
+        with pytest.raises(MDError):
+            level.attribute("b")
+
+
+class TestHierarchy:
+    def test_base_is_first(self):
+        hierarchy = Hierarchy("geo", ["City", "Country"])
+        assert hierarchy.base == "City"
+
+    def test_rolls_up_is_ordered(self):
+        hierarchy = Hierarchy("geo", ["City", "Country", "Region"])
+        assert hierarchy.rolls_up("City", "Region")
+        assert not hierarchy.rolls_up("Region", "City")
+        assert not hierarchy.rolls_up("City", "Mars")
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(MDError):
+            Hierarchy("geo", [])
+
+    def test_repeated_level_rejected(self):
+        with pytest.raises(MDError):
+            Hierarchy("geo", ["City", "City"])
+
+
+class TestDimension:
+    def test_add_and_lookup_level(self):
+        dimension = Dimension("D")
+        dimension.add_level(Level("L", attributes=[LevelAttribute("a", STR)]))
+        assert dimension.level("L").name == "L"
+        with pytest.raises(MDError):
+            dimension.level("missing")
+
+    def test_duplicate_level_rejected(self):
+        dimension = Dimension("D")
+        dimension.add_level(Level("L", attributes=[LevelAttribute("a", STR)]))
+        with pytest.raises(MDError):
+            dimension.add_level(Level("L", attributes=[LevelAttribute("b", STR)]))
+
+    def test_duplicate_hierarchy_rejected(self):
+        dimension = Dimension("D")
+        dimension.add_level(Level("L", attributes=[LevelAttribute("a", STR)]))
+        dimension.add_hierarchy(Hierarchy("h", ["L"]))
+        with pytest.raises(MDError):
+            dimension.add_hierarchy(Hierarchy("h", ["L"]))
+
+    def test_rolls_up_reflexive_and_across_hierarchies(self, revenue_star):
+        supplier = revenue_star.dimension("Supplier")
+        assert supplier.rolls_up("Supplier", "Supplier")
+        assert supplier.rolls_up("Supplier", "Region")
+        assert not supplier.rolls_up("Region", "Supplier")
+
+    def test_base_levels(self, revenue_star):
+        assert revenue_star.dimension("Supplier").base_levels() == ["Supplier"]
+
+    def test_attribute_count(self, revenue_star):
+        assert revenue_star.dimension("Supplier").attribute_count() == 3
+
+
+class TestFact:
+    def test_duplicate_measure_rejected(self):
+        fact = Fact("F")
+        fact.add_measure(Measure("m", expression="x"))
+        with pytest.raises(MDError):
+            fact.add_measure(Measure("m", expression="y"))
+
+    def test_measure_lookup(self, revenue_star):
+        fact = revenue_star.fact("fact_table_revenue")
+        assert fact.measure("revenue").aggregation is AggregationFunction.SUM
+        with pytest.raises(MDError):
+            fact.measure("missing")
+
+    def test_linking_same_dimension_same_level_is_idempotent(self):
+        fact = Fact("F")
+        fact.link_dimension("D", "L")
+        fact.link_dimension("D", "L")
+        assert fact.links == [FactDimensionLink("D", "L")]
+
+    def test_linking_same_dimension_other_level_rejected(self):
+        fact = Fact("F")
+        fact.link_dimension("D", "L1")
+        with pytest.raises(MDError):
+            fact.link_dimension("D", "L2")
+
+    def test_link_for(self, revenue_star):
+        fact = revenue_star.fact("fact_table_revenue")
+        assert fact.link_for("Part") == FactDimensionLink("Part", "Part")
+        assert fact.link_for("Nope") is None
+
+    def test_linked_dimensions(self, revenue_star):
+        fact = revenue_star.fact("fact_table_revenue")
+        assert fact.linked_dimensions() == ["Part", "Supplier"]
+
+
+class TestMDSchema:
+    def test_lookups(self, revenue_star):
+        assert revenue_star.fact("fact_table_revenue").name == "fact_table_revenue"
+        assert revenue_star.dimension("Part").name == "Part"
+        assert revenue_star.has_fact("fact_table_revenue")
+        assert not revenue_star.has_fact("nope")
+        with pytest.raises(MDError):
+            revenue_star.fact("nope")
+        with pytest.raises(MDError):
+            revenue_star.dimension("nope")
+
+    def test_duplicates_rejected(self, revenue_star):
+        with pytest.raises(MDError):
+            revenue_star.add_fact(Fact("fact_table_revenue"))
+        with pytest.raises(MDError):
+            revenue_star.add_dimension(Dimension("Part"))
+
+    def test_all_requirements(self, revenue_star):
+        assert revenue_star.all_requirements() == {"IR1"}
+
+    def test_copy_is_deep_for_mutables(self, revenue_star):
+        clone = revenue_star.copy()
+        clone.fact("fact_table_revenue").requirements.add("IR2")
+        clone.dimension("Supplier").add_level(
+            Level("Extra", attributes=[LevelAttribute("x", STR)])
+        )
+        clone.dimension("Part").levels["Part"].attributes.append(
+            LevelAttribute("p_type", STR)
+        )
+        assert revenue_star.fact("fact_table_revenue").requirements == {"IR1"}
+        assert not revenue_star.dimension("Supplier").has_level("Extra")
+        assert not revenue_star.dimension("Part").level("Part").has_attribute("p_type")
+
+    def test_iter_levels(self, revenue_star):
+        pairs = [(dim, level.name) for dim, level in revenue_star.iter_levels()]
+        assert ("Supplier", "Nation") in pairs
+        assert len(pairs) == 4

@@ -1,0 +1,133 @@
+"""Unit tests for ontology graph traversals.
+
+The fixture mirrors the shape of the TPC-H ontology used in the paper's
+running example: Lineitem is the transaction concept, with to-one chains
+Lineitem -> Orders -> Customer -> Nation -> Region and
+Lineitem -> Partsupp -> {Part, Supplier -> Nation}.
+"""
+
+import pytest
+
+from repro.expressions import ScalarType
+from repro.ontology import OntologyBuilder, OntologyGraph
+
+
+@pytest.fixture
+def graph():
+    ontology = (
+        OntologyBuilder("mini-tpch")
+        .concept("Region")
+        .concept("Nation")
+        .concept("Customer")
+        .concept("Orders")
+        .concept("Supplier")
+        .concept("Part")
+        .concept("Partsupp")
+        .concept("Lineitem")
+        .attribute("Lineitem_price", "Lineitem", ScalarType.DECIMAL)
+        .relationship("nation_region", "Nation", "Region", "N-1")
+        .relationship("customer_nation", "Customer", "Nation", "N-1")
+        .relationship("orders_customer", "Orders", "Customer", "N-1")
+        .relationship("supplier_nation", "Supplier", "Nation", "N-1")
+        .relationship("partsupp_part", "Partsupp", "Part", "N-1")
+        .relationship("partsupp_supplier", "Partsupp", "Supplier", "N-1")
+        .relationship("lineitem_orders", "Lineitem", "Orders", "N-1")
+        .relationship("lineitem_partsupp", "Lineitem", "Partsupp", "N-1")
+        .build()
+    )
+    return OntologyGraph(ontology)
+
+
+class TestNeighbours:
+    def test_forward_and_backward_hops(self, graph):
+        steps = list(graph.neighbours("Nation"))
+        targets = {step.target for step in steps}
+        assert targets == {"Region", "Customer", "Supplier"}
+
+    def test_forward_flag(self, graph):
+        steps = {step.target: step for step in graph.neighbours("Nation")}
+        assert steps["Region"].forward is True
+        assert steps["Customer"].forward is False
+
+    def test_to_one_neighbours_exclude_reverse_fk(self, graph):
+        targets = {step.target for step in graph.to_one_neighbours("Nation")}
+        assert targets == {"Region"}
+
+
+class TestToOneClosure:
+    def test_closure_from_lineitem_reaches_all_dimensions(self, graph):
+        closure = graph.to_one_closure("Lineitem")
+        assert set(closure) == {
+            "Orders",
+            "Partsupp",
+            "Customer",
+            "Part",
+            "Supplier",
+            "Nation",
+            "Region",
+        }
+
+    def test_closure_paths_are_shortest(self, graph):
+        closure = graph.to_one_closure("Lineitem")
+        # Nation is reachable both via Customer (3 hops) and Supplier
+        # (3 hops); either way the path must have length 3.
+        assert len(closure["Nation"]) == 3
+        assert len(closure["Region"]) == 4
+
+    def test_closure_from_leaf_is_small(self, graph):
+        assert set(graph.to_one_closure("Region")) == set()
+        assert set(graph.to_one_closure("Nation")) == {"Region"}
+
+    def test_to_one_path_direction_matters(self, graph):
+        assert graph.to_one_path("Lineitem", "Part") is not None
+        assert graph.to_one_path("Part", "Lineitem") is None
+
+    def test_to_one_path_to_self_is_empty(self, graph):
+        path = graph.to_one_path("Part", "Part")
+        assert path is not None
+        assert len(path) == 0
+
+    def test_path_concepts_enumerates_route(self, graph):
+        path = graph.to_one_path("Lineitem", "Part")
+        assert path.concepts() == ["Lineitem", "Partsupp", "Part"]
+
+    def test_paths_are_to_one(self, graph):
+        closure = graph.to_one_closure("Lineitem")
+        for path in closure.values():
+            assert path.is_to_one(graph.ontology)
+
+
+class TestShortestPath:
+    def test_undirected_path_crosses_fk_direction(self, graph):
+        path = graph.shortest_path("Part", "Supplier")
+        assert path is not None
+        assert path.concepts() == ["Part", "Partsupp", "Supplier"]
+        assert not path.is_to_one(graph.ontology)
+
+    def test_unreachable_returns_none(self, graph):
+        lonely = (
+            OntologyBuilder("lonely").concept("A").concept("B").build()
+        )
+        lonely_graph = OntologyGraph(lonely)
+        assert lonely_graph.shortest_path("A", "B") is None
+        assert not lonely_graph.connected("A", "B")
+
+    def test_connected(self, graph):
+        assert graph.connected("Region", "Part")
+
+    def test_steiner_tree_paths(self, graph):
+        paths = graph.steiner_tree_paths("Lineitem", ["Part", "Nation", "Lineitem"])
+        assert set(paths) == {"Part", "Nation"}
+        assert paths["Part"].source == "Lineitem"
+
+
+class TestDegreeSignals:
+    def test_fan_in_marks_shared_levels(self, graph):
+        # Nation is referenced by Customer and Supplier -> fan-in 2.
+        assert graph.fan_in("Nation") == 2
+        assert graph.fan_in("Lineitem") == 0
+
+    def test_fan_out_marks_fact_candidates(self, graph):
+        assert graph.fan_out("Lineitem") == 2
+        assert graph.fan_out("Partsupp") == 2
+        assert graph.fan_out("Region") == 0

@@ -1,0 +1,140 @@
+"""Unit tests for the ontology model."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateDefinitionError,
+    UnknownConceptError,
+    UnknownPropertyError,
+)
+from repro.expressions import ScalarType
+from repro.ontology import (
+    Concept,
+    DatatypeProperty,
+    Multiplicity,
+    ObjectProperty,
+    Ontology,
+    OntologyBuilder,
+)
+
+
+@pytest.fixture
+def shop():
+    return (
+        OntologyBuilder("shop", description="toy retail domain")
+        .concept("Item", label="Catalog item")
+        .concept("Product", parent="Item", label="Product")
+        .concept("Customer")
+        .concept("Sale", label="Sale")
+        .attribute("Product_name", "Product", ScalarType.STRING, label="name")
+        .attribute("Sale_amount", "Sale", ScalarType.DECIMAL)
+        .relationship("Sale_product", "Sale", "Product", "N-1", label="sold product")
+        .relationship("Sale_customer", "Sale", "Customer", Multiplicity.MANY_TO_ONE)
+        .build()
+    )
+
+
+class TestMultiplicity:
+    def test_to_one(self):
+        assert Multiplicity.MANY_TO_ONE.to_one
+        assert Multiplicity.ONE_TO_ONE.to_one
+        assert not Multiplicity.ONE_TO_MANY.to_one
+        assert not Multiplicity.MANY_TO_MANY.to_one
+
+    def test_inverse(self):
+        assert Multiplicity.MANY_TO_ONE.inverse is Multiplicity.ONE_TO_MANY
+        assert Multiplicity.ONE_TO_MANY.inverse is Multiplicity.MANY_TO_ONE
+        assert Multiplicity.ONE_TO_ONE.inverse is Multiplicity.ONE_TO_ONE
+        assert Multiplicity.MANY_TO_MANY.inverse is Multiplicity.MANY_TO_MANY
+
+    def test_inverse_is_involution(self):
+        for multiplicity in Multiplicity:
+            assert multiplicity.inverse.inverse is multiplicity
+
+
+class TestLookup:
+    def test_concept_lookup(self, shop):
+        assert shop.concept("Product").label == "Product"
+
+    def test_unknown_concept_raises(self, shop):
+        with pytest.raises(UnknownConceptError):
+            shop.concept("Nope")
+
+    def test_datatype_property_lookup(self, shop):
+        prop = shop.datatype_property("Sale_amount")
+        assert prop.range is ScalarType.DECIMAL
+
+    def test_unknown_property_raises(self, shop):
+        with pytest.raises(UnknownPropertyError):
+            shop.datatype_property("Nope")
+        with pytest.raises(UnknownPropertyError):
+            shop.object_property("Nope")
+
+    def test_contains(self, shop):
+        assert "Product" in shop
+        assert "Sale_amount" in shop
+        assert "Sale_product" in shop
+        assert "Nope" not in shop
+
+    def test_has_methods(self, shop):
+        assert shop.has_concept("Sale")
+        assert not shop.has_concept("Sale_amount")
+        assert shop.has_datatype_property("Sale_amount")
+        assert shop.has_object_property("Sale_customer")
+
+    def test_size(self, shop):
+        assert shop.size() == (4, 2, 2)
+
+
+class TestReferentialIntegrity:
+    def test_duplicate_concept_id_rejected(self, shop):
+        with pytest.raises(DuplicateDefinitionError):
+            shop.add_concept(Concept(id="Product"))
+
+    def test_id_namespace_is_shared_across_kinds(self, shop):
+        with pytest.raises(DuplicateDefinitionError):
+            shop.add_concept(Concept(id="Sale_amount"))
+
+    def test_unknown_parent_rejected(self):
+        ontology = Ontology(name="x")
+        with pytest.raises(UnknownConceptError):
+            ontology.add_concept(Concept(id="A", parent="Missing"))
+
+    def test_attribute_on_unknown_concept_rejected(self, shop):
+        with pytest.raises(UnknownConceptError):
+            shop.add_datatype_property(
+                DatatypeProperty(id="x", concept="Missing", range=ScalarType.STRING)
+            )
+
+    def test_relationship_to_unknown_concept_rejected(self, shop):
+        with pytest.raises(UnknownConceptError):
+            shop.add_object_property(
+                ObjectProperty(id="x", domain="Sale", range="Missing")
+            )
+
+
+class TestIterationAndLabels:
+    def test_datatype_properties_filtered_by_concept(self, shop):
+        names = [prop.id for prop in shop.datatype_properties("Product")]
+        assert names == ["Product_name"]
+
+    def test_datatype_properties_of_unknown_concept_raises(self, shop):
+        with pytest.raises(UnknownConceptError):
+            list(shop.datatype_properties("Missing"))
+
+    def test_properties_from_and_to(self, shop):
+        from_sale = {prop.id for prop in shop.properties_from("Sale")}
+        assert from_sale == {"Sale_product", "Sale_customer"}
+        to_product = {prop.id for prop in shop.properties_to("Product")}
+        assert to_product == {"Sale_product"}
+
+    def test_find_by_label_matches_label_and_id(self, shop):
+        assert shop.find_by_label("Sale") == ["Sale"]
+        assert shop.find_by_label("sold product") == ["Sale_product"]
+
+    def test_find_by_label_is_case_insensitive(self, shop):
+        assert shop.find_by_label("catalog ITEM") == ["Item"]
+
+    def test_display_name_falls_back_to_id(self, shop):
+        assert shop.concept("Customer").display_name == "Customer"
+        assert shop.concept("Item").display_name == "Catalog item"

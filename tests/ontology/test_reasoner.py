@@ -1,0 +1,109 @@
+"""Unit tests for the subsumption reasoner."""
+
+import pytest
+
+from repro.errors import OntologyError, UnknownConceptError
+from repro.expressions import ScalarType
+from repro.ontology import Concept, Ontology, OntologyBuilder, Reasoner
+
+
+@pytest.fixture
+def taxonomy():
+    return (
+        OntologyBuilder("parties")
+        .concept("Party")
+        .concept("Person", parent="Party")
+        .concept("Organisation", parent="Party")
+        .concept("Employee", parent="Person")
+        .concept("Widget")
+        .attribute("Party_name", "Party", ScalarType.STRING)
+        .attribute("Employee_salary", "Employee", ScalarType.DECIMAL)
+        .relationship("Employee_employer", "Employee", "Organisation", "N-1")
+        .build()
+    )
+
+
+class TestSubsumption:
+    def test_ancestors_nearest_first(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert reasoner.ancestors("Employee") == ["Person", "Party"]
+        assert reasoner.ancestors("Party") == []
+
+    def test_descendants(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert set(reasoner.descendants("Party")) == {
+            "Person",
+            "Organisation",
+            "Employee",
+        }
+        assert reasoner.descendants("Widget") == []
+
+    def test_is_subconcept_is_reflexive(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert reasoner.is_subconcept("Person", "Person")
+
+    def test_is_subconcept_transitive(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert reasoner.is_subconcept("Employee", "Party")
+        assert not reasoner.is_subconcept("Party", "Employee")
+
+    def test_unknown_concept_raises(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        with pytest.raises(UnknownConceptError):
+            reasoner.ancestors("Missing")
+        with pytest.raises(UnknownConceptError):
+            reasoner.is_subconcept("Missing", "Missing")
+
+    def test_cycle_detection(self):
+        ontology = Ontology(name="cyclic")
+        ontology.add_concept(Concept(id="A"))
+        ontology.add_concept(Concept(id="B", parent="A"))
+        # Force a cycle by bypassing the builder's ordering guarantee.
+        ontology._concepts["A"] = Concept(id="A", parent="B")
+        with pytest.raises(OntologyError):
+            Reasoner(ontology)
+
+
+class TestLeastCommonSubsumer:
+    def test_siblings_meet_at_parent(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert reasoner.least_common_subsumer("Person", "Organisation") == "Party"
+
+    def test_ancestor_is_its_own_lcs(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert reasoner.least_common_subsumer("Employee", "Person") == "Person"
+        assert reasoner.least_common_subsumer("Person", "Employee") == "Person"
+
+    def test_unrelated_concepts_have_no_lcs(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert reasoner.least_common_subsumer("Person", "Widget") is None
+        assert not reasoner.related("Person", "Widget")
+
+    def test_related(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert reasoner.related("Employee", "Organisation")
+
+
+class TestPropertyInheritance:
+    def test_inherited_datatype_properties(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        names = [prop.id for prop in reasoner.datatype_properties("Employee")]
+        assert names == ["Employee_salary", "Party_name"]
+
+    def test_root_sees_only_own_properties(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        names = [prop.id for prop in reasoner.datatype_properties("Party")]
+        assert names == ["Party_name"]
+
+    def test_inherited_object_properties(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert [p.id for p in reasoner.object_properties_from("Employee")] == [
+            "Employee_employer"
+        ]
+        assert [p.id for p in reasoner.object_properties_from("Person")] == []
+
+    def test_property_owner(self, taxonomy):
+        reasoner = Reasoner(taxonomy)
+        assert reasoner.property_owner("Employee", "Party_name") == "Party"
+        assert reasoner.property_owner("Employee", "Employee_salary") == "Employee"
+        assert reasoner.property_owner("Employee", "missing") is None

@@ -1,0 +1,167 @@
+"""Unit tests for the document store and its query language."""
+
+import pytest
+
+from repro.errors import (
+    DocumentNotFoundError,
+    DuplicateDocumentError,
+    RepositoryError,
+)
+from repro.repository import Collection, DocumentStore
+from repro.repository.documents import matches
+
+
+@pytest.fixture
+def designs():
+    collection = Collection("designs")
+    collection.insert(
+        {"_id": "d1", "kind": "md", "cost": 10, "meta": {"author": "ann"}}
+    )
+    collection.insert(
+        {"_id": "d2", "kind": "etl", "cost": 25, "meta": {"author": "bob"}}
+    )
+    collection.insert({"_id": "d3", "kind": "md", "cost": 40})
+    return collection
+
+
+class TestCrud:
+    def test_insert_and_get_returns_copy(self, designs):
+        document = designs.get("d1")
+        document["kind"] = "mutated"
+        assert designs.get("d1")["kind"] == "md"
+
+    def test_insert_requires_id(self, designs):
+        with pytest.raises(RepositoryError):
+            designs.insert({"kind": "x"})
+
+    def test_duplicate_insert_rejected(self, designs):
+        with pytest.raises(DuplicateDocumentError):
+            designs.insert({"_id": "d1"})
+
+    def test_replace_upserts(self, designs):
+        designs.replace({"_id": "d1", "kind": "replaced"})
+        assert designs.get("d1") == {"_id": "d1", "kind": "replaced"}
+        designs.replace({"_id": "d9", "kind": "new"})
+        assert designs.has("d9")
+
+    def test_update_merges(self, designs):
+        designs.update("d1", {"cost": 11, "_id": "ignored"})
+        assert designs.get("d1")["cost"] == 11
+        assert designs.get("d1")["_id"] == "d1"
+
+    def test_update_missing_raises(self, designs):
+        with pytest.raises(DocumentNotFoundError):
+            designs.update("ghost", {})
+
+    def test_delete(self, designs):
+        designs.delete("d1")
+        assert not designs.has("d1")
+        with pytest.raises(DocumentNotFoundError):
+            designs.delete("d1")
+
+    def test_delete_many(self, designs):
+        assert designs.delete_many({"kind": "md"}) == 2
+        assert designs.ids() == ["d2"]
+
+    def test_len_and_count(self, designs):
+        assert len(designs) == 3
+        assert designs.count() == 3
+        assert designs.count({"kind": "md"}) == 2
+
+
+class TestQueries:
+    def test_equality(self, designs):
+        assert {d["_id"] for d in designs.find({"kind": "md"})} == {"d1", "d3"}
+
+    def test_dotted_path(self, designs):
+        assert designs.find_one({"meta.author": "ann"})["_id"] == "d1"
+
+    def test_comparison_operators(self, designs):
+        assert {d["_id"] for d in designs.find({"cost": {"$gt": 20}})} == {
+            "d2",
+            "d3",
+        }
+        assert designs.find_one({"cost": {"$lte": 10}})["_id"] == "d1"
+        assert designs.count({"cost": {"$ne": 10}}) == 2
+
+    def test_in_nin(self, designs):
+        assert designs.count({"kind": {"$in": ["md", "etl"]}}) == 3
+        assert designs.count({"kind": {"$nin": ["md"]}}) == 1
+
+    def test_exists(self, designs):
+        assert designs.count({"meta": {"$exists": True}}) == 2
+        assert designs.count({"meta": {"$exists": False}}) == 1
+
+    def test_regex(self, designs):
+        assert designs.count({"kind": {"$regex": "^m"}}) == 2
+
+    def test_and_or_not(self, designs):
+        query = {"$or": [{"kind": "etl"}, {"cost": {"$gte": 40}}]}
+        assert {d["_id"] for d in designs.find(query)} == {"d2", "d3"}
+        query = {"$and": [{"kind": "md"}, {"cost": {"$lt": 20}}]}
+        assert designs.find_one(query)["_id"] == "d1"
+        assert designs.count({"$not": {"kind": "md"}}) == 1
+
+    def test_missing_path_fails_equality(self, designs):
+        assert designs.count({"meta.author": "zed"}) == 1 - 1
+
+    def test_unknown_operator_raises(self, designs):
+        with pytest.raises(RepositoryError):
+            designs.find({"cost": {"$frob": 1}})
+
+    def test_sort_and_limit(self, designs):
+        costly_first = designs.find(sort_key="cost")
+        assert [d["_id"] for d in costly_first] == ["d1", "d2", "d3"]
+        assert len(designs.find(limit=2)) == 2
+
+    def test_find_one_none_when_empty(self, designs):
+        assert designs.find_one({"kind": "nope"}) is None
+
+    def test_type_mismatch_comparison_is_false(self):
+        assert not matches({"x": "str"}, {"x": {"$gt": 4}})
+
+
+class TestStore:
+    def test_collections_created_on_demand(self):
+        store = DocumentStore()
+        assert "c" not in store
+        store.collection("c").insert({"_id": "1"})
+        assert "c" in store
+        assert store.collection_names() == ["c"]
+
+    def test_drop_collection(self):
+        store = DocumentStore()
+        store.collection("c")
+        store.drop_collection("c")
+        assert "c" not in store
+        store.drop_collection("never-existed")  # no error
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, designs):
+        from repro.repository import store as file_store
+
+        store = DocumentStore("db")
+        store._collections["designs"] = designs
+        path = tmp_path / "store.json"
+        file_store.save(store, path)
+        loaded = file_store.load(path)
+        assert loaded.name == "db"
+        assert loaded.collection("designs").count() == 3
+        assert loaded.collection("designs").get("d1")["meta"] == {
+            "author": "ann"
+        }
+
+    def test_load_missing_file_raises(self, tmp_path):
+        from repro.repository import store as file_store
+
+        with pytest.raises(RepositoryError):
+            file_store.load(tmp_path / "missing.json")
+
+    def test_load_malformed_raises(self, tmp_path):
+        from repro.repository import store as file_store
+
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(RepositoryError):
+            file_store.load(path)

@@ -1,0 +1,141 @@
+"""Unit tests for the deterministic data generators."""
+
+import datetime
+
+import pytest
+
+from repro.sources import retail, tpch
+from repro.sources.datagen import DataGenerator
+
+
+class TestDataGenerator:
+    def test_same_seed_same_sequence(self):
+        first = DataGenerator(42)
+        second = DataGenerator(42)
+        assert [first.integer(0, 100) for __ in range(20)] == [
+            second.integer(0, 100) for __ in range(20)
+        ]
+
+    def test_different_seeds_differ(self):
+        first = [DataGenerator(1).integer(0, 10**9) for __ in range(3)]
+        second = [DataGenerator(2).integer(0, 10**9) for __ in range(3)]
+        assert first != second
+
+    def test_decimal_respects_bounds_and_digits(self):
+        gen = DataGenerator(1)
+        for __ in range(100):
+            value = gen.decimal(1.0, 2.0, digits=2)
+            assert 1.0 <= value <= 2.0
+            assert round(value, 2) == value
+
+    def test_date_window(self):
+        gen = DataGenerator(1)
+        start = datetime.date(1995, 1, 1)
+        end = datetime.date(1995, 12, 31)
+        for __ in range(50):
+            assert start <= gen.date(start, end) <= end
+
+    def test_zipf_choice_skews_to_head(self):
+        gen = DataGenerator(1)
+        options = list(range(100))
+        picks = [gen.zipf_choice(options) for __ in range(2000)]
+        head = sum(1 for pick in picks if pick < 10)
+        tail = sum(1 for pick in picks if pick >= 90)
+        assert head > tail * 3
+
+    def test_word_alternates_consonant_vowel(self):
+        gen = DataGenerator(1)
+        word = gen.word(6, 6)
+        assert len(word) == 6
+        vowels = set("aeiou")
+        assert word[1] in vowels and word[3] in vowels
+
+    def test_code_format(self):
+        gen = DataGenerator(1)
+        assert gen.code("Customer", 7) == "Customer#000000007"
+
+
+class TestTpchGenerator:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return tpch.generate(scale_factor=0.2, seed=5)
+
+    def test_determinism(self):
+        assert tpch.generate(0.1, seed=9) == tpch.generate(0.1, seed=9)
+
+    def test_all_tables_present(self, data):
+        assert set(data) == {
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        }
+
+    def test_reference_data_fixed(self, data):
+        assert len(data["region"]) == 5
+        assert len(data["nation"]) == 25
+        names = {row["n_name"] for row in data["nation"]}
+        assert "SPAIN" in names  # the paper's slicer value
+
+    def test_rows_conform_to_schema(self, data):
+        schema = tpch.schema()
+        for table_name, rows in data.items():
+            columns = set(schema.table(table_name).column_names())
+            for row in rows:
+                assert set(row) == columns
+
+    def test_foreign_keys_resolve(self, data):
+        nation_keys = {row["n_nationkey"] for row in data["nation"]}
+        for row in data["customer"]:
+            assert row["c_nationkey"] in nation_keys
+        order_keys = {row["o_orderkey"] for row in data["orders"]}
+        partsupp_keys = {
+            (row["ps_partkey"], row["ps_suppkey"]) for row in data["partsupp"]
+        }
+        for row in data["lineitem"]:
+            assert row["l_orderkey"] in order_keys
+            assert (row["l_partkey"], row["l_suppkey"]) in partsupp_keys
+
+    def test_primary_keys_unique(self, data):
+        schema = tpch.schema()
+        for table_name, rows in data.items():
+            key_columns = schema.table(table_name).primary_key
+            keys = [tuple(row[column] for column in key_columns) for row in rows]
+            assert len(keys) == len(set(keys)), table_name
+
+    def test_scale_factor_scales_volume(self):
+        small = tpch.generate(0.1, seed=3)
+        large = tpch.generate(1.0, seed=3)
+        assert len(large["lineitem"]) > len(small["lineitem"]) * 3
+
+    def test_discounts_in_tpch_range(self, data):
+        for row in data["lineitem"]:
+            assert 0.0 <= row["l_discount"] <= 0.10
+
+
+class TestRetailGenerator:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return retail.generate(scale_factor=0.5, seed=11)
+
+    def test_determinism(self):
+        assert retail.generate(0.2, seed=1) == retail.generate(0.2, seed=1)
+
+    def test_rows_conform_to_schema(self, data):
+        schema = retail.schema()
+        for table_name, rows in data.items():
+            columns = set(schema.table(table_name).column_names())
+            for row in rows:
+                assert set(row) == columns
+
+    def test_foreign_keys_resolve(self, data):
+        product_ids = {row["product_id"] for row in data["product"]}
+        store_ids = {row["store_id"] for row in data["store"]}
+        date_ids = {row["date_id"] for row in data["calendar"]}
+        for row in data["ticket_line"]:
+            assert row["product_id"] in product_ids
+            assert row["store_id"] in store_ids
+            assert row["date_id"] in date_ids
+
+    def test_calendar_consistency(self, data):
+        for row in data["calendar"]:
+            assert row["month"] == row["day"].month
+            assert row["year"] == row["day"].year

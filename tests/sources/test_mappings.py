@@ -1,0 +1,130 @@
+"""Unit tests for source schema mappings."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.sources import tpch
+
+
+@pytest.fixture(scope="module")
+def domain():
+    return tpch.ontology(), tpch.schema(), tpch.mappings()
+
+
+class TestLookup:
+    def test_concept_mapping(self, domain):
+        __, __, maps = domain
+        mapping = maps.concept_mapping("Lineitem")
+        assert mapping.table == "lineitem"
+        assert mapping.key_columns == ("l_orderkey", "l_linenumber")
+
+    def test_unknown_concept_raises(self, domain):
+        __, __, maps = domain
+        with pytest.raises(MappingError):
+            maps.concept_mapping("Nope")
+
+    def test_property_column(self, domain):
+        __, __, maps = domain
+        assert maps.property_column("Part_p_name") == "p_name"
+
+    def test_unknown_property_raises(self, domain):
+        __, __, maps = domain
+        with pytest.raises(MappingError):
+            maps.property_column("Nope")
+
+    def test_has_methods(self, domain):
+        __, __, maps = domain
+        assert maps.has_concept_mapping("Part")
+        assert not maps.has_concept_mapping("Nope")
+        assert maps.has_property_mapping("Part_p_brand")
+        assert not maps.has_property_mapping("Nope")
+
+    def test_property_table(self, domain):
+        ontology, __, maps = domain
+        assert maps.property_table(ontology, "Nation_n_name") == "nation"
+
+    def test_duplicate_mapping_rejected(self, domain):
+        __, __, maps = domain
+        with pytest.raises(MappingError):
+            maps.map_concept("Part", "part", ("p_partkey",))
+        with pytest.raises(MappingError):
+            maps.map_property("Part_p_name", "p_name")
+
+
+class TestJoinResolution:
+    def test_forward_join_follows_fk(self, domain):
+        ontology, schema, maps = domain
+        left, pairs, right = maps.join_columns(
+            ontology, schema, "Lineitem_orders", forward=True
+        )
+        assert left == "lineitem"
+        assert right == "orders"
+        assert pairs == [("l_orderkey", "o_orderkey")]
+
+    def test_backward_join_flips_columns(self, domain):
+        ontology, schema, maps = domain
+        left, pairs, right = maps.join_columns(
+            ontology, schema, "Lineitem_orders", forward=False
+        )
+        assert left == "orders"
+        assert right == "lineitem"
+        assert pairs == [("o_orderkey", "l_orderkey")]
+
+    def test_composite_key_join(self, domain):
+        ontology, schema, maps = domain
+        __, pairs, __ = maps.join_columns(
+            ontology, schema, "Lineitem_partsupp", forward=True
+        )
+        assert pairs == [
+            ("l_partkey", "ps_partkey"),
+            ("l_suppkey", "ps_suppkey"),
+        ]
+
+    def test_missing_fk_raises(self, domain):
+        ontology, schema, maps = domain
+        # Add a relationship with no realising FK: Part -> Region.
+        ontology.add_object_property(
+            type(next(iter(ontology.object_properties())))(
+                id="bogus", domain="Part", range="Region"
+            )
+        )
+        with pytest.raises(MappingError):
+            maps.join_columns(ontology, schema, "bogus", forward=True)
+
+
+class TestValidation:
+    def test_tpch_mappings_are_valid(self):
+        ontology, schema, maps = tpch.ontology(), tpch.schema(), tpch.mappings()
+        assert maps.validate(ontology, schema) == []
+
+    def test_retail_mappings_are_valid(self):
+        from repro.sources import retail
+
+        assert retail.mappings().validate(retail.ontology(), retail.schema()) == []
+
+    def test_validation_flags_unknown_concept(self, ):
+        maps = tpch.mappings()
+        maps.map_concept("Ghost", "nowhere", ("x",))
+        problems = maps.validate(tpch.ontology(), tpch.schema())
+        assert any("Ghost" in problem for problem in problems)
+
+    def test_validation_flags_bad_column(self):
+        maps = tpch.mappings()
+        ontology = tpch.ontology()
+        from repro.ontology import DatatypeProperty
+        from repro.expressions import ScalarType
+
+        ontology.add_datatype_property(
+            DatatypeProperty(id="Part_ghost", concept="Part", range=ScalarType.STRING)
+        )
+        maps.map_property("Part_ghost", "no_such_column")
+        problems = maps.validate(ontology, tpch.schema())
+        assert any("no_such_column" in problem for problem in problems)
+
+    def test_validation_flags_property_without_concept(self):
+        from repro.sources.mappings import SourceMappings
+
+        maps = SourceMappings(ontology_name="tpch", source_name="tpch")
+        maps.map_property("Part_p_name", "p_name")
+        problems = maps.validate(tpch.ontology(), tpch.schema())
+        assert any("its concept" in problem for problem in problems)

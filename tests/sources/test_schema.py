@@ -1,0 +1,130 @@
+"""Unit tests for the relational source schema model."""
+
+import pytest
+
+from repro.errors import SourceError, UnknownColumnError, UnknownTableError
+from repro.expressions import ScalarType
+from repro.sources import Column, ForeignKey, SourceSchema, Table
+from repro.sources.schema import make_table
+
+INT = ScalarType.INTEGER
+STR = ScalarType.STRING
+
+
+@pytest.fixture
+def library():
+    schema = SourceSchema(name="library")
+    schema.add_table(make_table(
+        "author",
+        [("author_id", INT), ("author_name", STR)],
+        primary_key=["author_id"],
+    ))
+    schema.add_table(make_table(
+        "book",
+        [("book_id", INT), ("title", STR), ("author_id", INT)],
+        primary_key=["book_id"],
+        foreign_keys=[ForeignKey(("author_id",), "author", ("author_id",))],
+        nullable=["title"],
+    ))
+    return schema
+
+
+class TestTable:
+    def test_column_lookup(self, library):
+        column = library.table("book").column("title")
+        assert column.type is ScalarType.STRING
+        assert column.nullable is True
+
+    def test_unknown_column_raises(self, library):
+        with pytest.raises(UnknownColumnError):
+            library.table("book").column("nope")
+
+    def test_column_names_preserve_order(self, library):
+        assert library.table("book").column_names() == [
+            "book_id",
+            "title",
+            "author_id",
+        ]
+
+    def test_column_types(self, library):
+        types = library.table("author").column_types()
+        assert types == {"author_id": INT, "author_name": STR}
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SourceError):
+            Table(name="t", columns=[Column("a", INT), Column("a", STR)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            make_table("t", [("a", INT)], primary_key=["missing"])
+
+    def test_fk_columns_must_exist(self):
+        with pytest.raises(UnknownColumnError):
+            make_table(
+                "t",
+                [("a", INT)],
+                foreign_keys=[ForeignKey(("missing",), "x", ("y",))],
+            )
+
+    def test_fk_arity_mismatch_rejected(self):
+        with pytest.raises(SourceError):
+            ForeignKey(("a", "b"), "t", ("c",))
+
+    def test_foreign_key_to(self, library):
+        fk = library.table("book").foreign_key_to("author")
+        assert fk is not None
+        assert fk.columns == ("author_id",)
+        assert library.table("book").foreign_key_to("nope") is None
+
+
+class TestSchema:
+    def test_table_lookup(self, library):
+        assert library.table("author").name == "author"
+
+    def test_unknown_table_raises(self, library):
+        with pytest.raises(UnknownTableError):
+            library.table("nope")
+
+    def test_duplicate_table_rejected(self, library):
+        with pytest.raises(SourceError):
+            library.add_table(make_table("book", [("x", INT)]))
+
+    def test_table_names(self, library):
+        assert library.table_names() == ["author", "book"]
+
+    def test_validate_accepts_good_schema(self, library):
+        library.validate()
+
+    def test_validate_rejects_unknown_fk_target(self):
+        schema = SourceSchema(name="bad")
+        schema.add_table(make_table(
+            "child",
+            [("parent_id", INT)],
+            foreign_keys=[ForeignKey(("parent_id",), "parent", ("id",))],
+        ))
+        with pytest.raises(SourceError):
+            schema.validate()
+
+    def test_validate_rejects_fk_not_on_primary_key(self):
+        schema = SourceSchema(name="bad")
+        schema.add_table(make_table(
+            "parent", [("id", INT), ("other", INT)], primary_key=["id"]
+        ))
+        schema.add_table(make_table(
+            "child",
+            [("ref", INT)],
+            foreign_keys=[ForeignKey(("ref",), "parent", ("other",))],
+        ))
+        with pytest.raises(SourceError):
+            schema.validate()
+
+    def test_validate_rejects_fk_to_unknown_column(self):
+        schema = SourceSchema(name="bad")
+        schema.add_table(make_table("parent", [("id", INT)], primary_key=["id"]))
+        schema.add_table(make_table(
+            "child",
+            [("ref", INT)],
+            foreign_keys=[ForeignKey(("ref",), "parent", ("missing",))],
+        ))
+        with pytest.raises(UnknownColumnError):
+            schema.validate()

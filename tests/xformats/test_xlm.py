@@ -1,0 +1,152 @@
+"""Unit tests for the xLM format."""
+
+import pytest
+
+from repro.errors import XlmFormatError
+from repro.xformats import xlm
+
+from tests.etlmodel.conftest import build_revenue_flow
+
+
+class TestSerialisation:
+    def test_figure3_shape(self):
+        text = xlm.dumps(build_revenue_flow())
+        assert "<design>" in text
+        assert "<metadata>" in text
+        assert "<from>DATASTORE_lineitem</from>" in text
+        assert "<enabled>Y</enabled>" in text
+        assert "<type>Datastore</type>" in text
+        assert "<optype>TableInput</optype>" in text
+
+    def test_roundtrip_preserves_structure(self):
+        flow = build_revenue_flow()
+        parsed = xlm.loads(xlm.dumps(flow))
+        assert parsed.name == flow.name
+        assert parsed.requirements == flow.requirements
+        assert set(parsed.node_names()) == set(flow.node_names())
+        assert [(e.source, e.target) for e in parsed.edges()] == [
+            (e.source, e.target) for e in flow.edges()
+        ]
+
+    def test_roundtrip_preserves_operations_exactly(self):
+        flow = build_revenue_flow()
+        parsed = xlm.loads(xlm.dumps(flow))
+        for name in flow.node_names():
+            assert parsed.node(name) == flow.node(name)
+
+    def test_roundtrip_is_stable(self):
+        text = xlm.dumps(build_revenue_flow())
+        assert xlm.dumps(xlm.loads(text)) == text
+
+    def test_roundtripped_flow_still_executes(self, tmp_path):
+        from repro.engine import Database, Executor
+        from repro.sources import tpch
+
+        database = Database()
+        database.load_source(tpch.schema(), tpch.generate(0.1, seed=3))
+        flow = xlm.loads(xlm.dumps(build_revenue_flow()))
+        stats = Executor(database).execute(flow)
+        assert stats.loaded.get("fact_table_revenue", 0) >= 0
+        assert database.has_table("fact_table_revenue")
+
+    def test_all_operation_kinds_roundtrip(self):
+        from repro.etlmodel import (
+            Datastore, DerivedAttribute, EtlFlow, Extraction, Join, Loader,
+            Projection, Rename, Selection, Sort, SurrogateKey, UnionOp,
+            Aggregation, AggregationSpec,
+        )
+
+        flow = EtlFlow("all_ops", requirements={"IR9"})
+        flow.add(Datastore("d1", table="t1", columns=("a", "b")))
+        flow.add(Datastore("d2", table="t2", columns=("a", "c")))
+        flow.add(Selection("sel", predicate="a > 1 and b = 'x'"))
+        flow.add(Projection("proj", columns=("a", "b")))
+        flow.add(Extraction("ext", columns=("a", "c")))
+        flow.add(Join("join", left_keys=("a",), right_keys=("a",), join_type="left"))
+        flow.add(Rename("ren", renaming=(("b", "bb"), ("c", "cc"))))
+        flow.add(DerivedAttribute("der", output="d", expression="a * 2"))
+        flow.add(Aggregation(
+            "agg", group_by=("bb",),
+            aggregates=(
+                AggregationSpec("s", "SUM", "d"),
+                AggregationSpec("n", "COUNT", "a"),
+            ),
+        ))
+        flow.add(SurrogateKey("sk", output="id", business_keys=("bb",)))
+        flow.add(Sort("sort", keys=("id",)))
+        flow.add(Loader("load", table="out", mode="replace"))
+        flow.add(UnionOp("union"))
+        flow.add(Datastore("d3", table="t1", columns=("a", "b")))
+        flow.connect("d1", "sel")
+        flow.connect("sel", "proj")
+        flow.connect("d2", "ext")
+        flow.connect("proj", "join")
+        flow.connect("ext", "join")
+        flow.connect("join", "ren")
+        flow.connect("ren", "der")
+        flow.connect("der", "agg")
+        flow.connect("agg", "sk")
+        flow.connect("sk", "sort")
+        flow.connect("d3", "union")
+        flow.connect("sort", "union")
+        flow.connect("union", "load")
+        parsed = xlm.loads(xlm.dumps(flow))
+        for name in flow.node_names():
+            assert parsed.node(name) == flow.node(name)
+
+
+class TestParsingErrors:
+    def test_not_xml(self):
+        with pytest.raises(XlmFormatError):
+            xlm.loads("nope")
+
+    def test_wrong_root(self):
+        with pytest.raises(XlmFormatError):
+            xlm.loads("<flow/>")
+
+    def test_missing_metadata(self):
+        with pytest.raises(XlmFormatError):
+            xlm.loads("<design/>")
+
+    def test_unknown_node_type(self):
+        text = (
+            "<design><metadata><name>f</name></metadata>"
+            "<nodes><node><name>x</name><type>Bogus</type>"
+            "<optype>B</optype></node></nodes></design>"
+        )
+        with pytest.raises(XlmFormatError):
+            xlm.loads(text)
+
+    def test_malformed_aggregate_spec(self):
+        text = (
+            "<design><metadata><name>f</name></metadata>"
+            "<nodes><node><name>x</name><type>Aggregation</type>"
+            "<optype>GroupBy</optype><properties>"
+            '<property name="groupBy">g</property>'
+            '<property name="aggregates">bogus</property>'
+            "</properties></node></nodes></design>"
+        )
+        with pytest.raises(XlmFormatError):
+            xlm.loads(text)
+
+    def test_malformed_renaming(self):
+        text = (
+            "<design><metadata><name>f</name></metadata>"
+            "<nodes><node><name>x</name><type>Rename</type>"
+            "<optype>SelectValues</optype><properties>"
+            '<property name="renaming">nonsense</property>'
+            "</properties></node></nodes></design>"
+        )
+        with pytest.raises(XlmFormatError):
+            xlm.loads(text)
+
+    def test_edge_to_unknown_node(self):
+        from repro.errors import UnknownOperationError
+
+        text = (
+            "<design><metadata><name>f</name></metadata>"
+            "<edges><edge><from>a</from><to>b</to>"
+            "<enabled>Y</enabled></edge></edges><nodes/></design>"
+        )
+        with pytest.raises(UnknownOperationError):
+            xlm.loads(text)

@@ -1,0 +1,115 @@
+"""Unit tests for the xMD format."""
+
+import pytest
+
+from repro.errors import XmdFormatError
+from repro.xformats import xmd
+
+from tests.mdmodel.conftest import (
+    make_part_dimension,
+    make_revenue_fact,
+    make_supplier_dimension,
+)
+from repro.mdmodel import MDSchema
+
+
+def revenue_star():
+    schema = MDSchema(name="demo")
+    schema.add_dimension(make_part_dimension())
+    schema.add_dimension(make_supplier_dimension())
+    schema.add_fact(make_revenue_fact())
+    return schema
+
+
+class TestSerialisation:
+    def test_figure3_shape(self):
+        text = xmd.dumps(revenue_star())
+        assert "<MDschema" in text
+        assert "<facts>" in text
+        assert "<name>fact_table_revenue</name>" in text
+        assert "<dimensions>" in text
+        assert "<name>Part</name>" in text
+
+    def test_roundtrip_preserves_everything(self):
+        schema = revenue_star()
+        parsed = xmd.loads(xmd.dumps(schema))
+        assert parsed.name == schema.name
+        assert set(parsed.facts) == set(schema.facts)
+        assert set(parsed.dimensions) == set(schema.dimensions)
+        fact = parsed.fact("fact_table_revenue")
+        original = schema.fact("fact_table_revenue")
+        assert fact.concept == original.concept
+        assert fact.requirements == original.requirements
+        assert fact.links == original.links
+        measure = fact.measure("revenue")
+        assert measure.expression == original.measure("revenue").expression
+        assert measure.aggregation == original.measure("revenue").aggregation
+        assert measure.additivity == original.measure("revenue").additivity
+        supplier = parsed.dimension("Supplier")
+        assert set(supplier.levels) == {"Supplier", "Nation", "Region"}
+        assert supplier.hierarchies[0].levels == ["Supplier", "Nation", "Region"]
+        level = supplier.level("Nation")
+        assert level.concept == "Nation"
+        assert level.attributes[0].property == "Nation_n_name"
+
+    def test_roundtrip_is_stable(self):
+        text = xmd.dumps(revenue_star())
+        assert xmd.dumps(xmd.loads(text)) == text
+
+    def test_validation_survives_roundtrip(self):
+        from repro.mdmodel.constraints import is_sound
+
+        parsed = xmd.loads(xmd.dumps(revenue_star()))
+        assert is_sound(parsed)
+
+
+class TestParsingErrors:
+    def test_not_xml(self):
+        with pytest.raises(XmdFormatError):
+            xmd.loads("nope")
+
+    def test_wrong_root(self):
+        with pytest.raises(XmdFormatError):
+            xmd.loads("<cube/>")
+
+    def test_missing_name_attribute(self):
+        with pytest.raises(XmdFormatError):
+            xmd.loads("<MDschema/>")
+
+    def test_bad_scalar_type(self):
+        text = (
+            '<MDschema name="s"><dimensions><dimension><name>D</name>'
+            "<levels><level><name>L</name><attributes><attribute>"
+            "<name>a</name><type>blob</type></attribute></attributes>"
+            "</level></levels><hierarchies/></dimension></dimensions>"
+            "</MDschema>"
+        )
+        with pytest.raises(XmdFormatError):
+            xmd.loads(text)
+
+    def test_bad_additivity(self):
+        text = (
+            '<MDschema name="s"><facts><fact><name>F</name><measures>'
+            "<measure><name>m</name><expression>x</expression>"
+            "<type>decimal</type><aggregation>SUM</aggregation>"
+            "<additivity>sometimes</additivity></measure></measures>"
+            "<links/></fact></facts></MDschema>"
+        )
+        with pytest.raises(XmdFormatError):
+            xmd.loads(text)
+
+    def test_bad_aggregation(self):
+        text = (
+            '<MDschema name="s"><facts><fact><name>F</name><measures>'
+            "<measure><name>m</name><expression>x</expression>"
+            "<type>decimal</type><aggregation>MEDIAN</aggregation>"
+            "<additivity>additive</additivity></measure></measures>"
+            "<links/></fact></facts></MDschema>"
+        )
+        with pytest.raises(XmdFormatError):
+            xmd.loads(text)
+
+    def test_empty_schema_parses(self):
+        parsed = xmd.loads('<MDschema name="empty"/>')
+        assert parsed.name == "empty"
+        assert not parsed.facts and not parsed.dimensions

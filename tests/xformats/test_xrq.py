@@ -1,0 +1,155 @@
+"""Unit tests for the xRQ format."""
+
+import pytest
+
+from repro.core.requirements import RequirementBuilder
+from repro.errors import XrqFormatError
+from repro.mdmodel import AggregationFunction
+from repro.xformats import xrq
+
+from tests.core.conftest import build_revenue_requirement
+
+
+class TestSerialisation:
+    def test_figure4_shape(self):
+        text = xrq.dumps(build_revenue_requirement())
+        assert '<cube id="IR1">' in text
+        assert '<concept id="Part_p_name" />' in text
+        assert "<function>Lineitem_l_extendedprice" in text
+        assert "<operator>=</operator>" in text
+        assert "<value" in text and "SPAIN" in text
+        assert '<dimension refID="Part_p_name" />' in text
+        assert "<function>AVERAGE</function>" in text
+
+    def test_roundtrip(self):
+        requirement = build_revenue_requirement()
+        parsed = xrq.loads(xrq.dumps(requirement))
+        assert parsed.id == requirement.id
+        assert parsed.description == requirement.description
+        assert parsed.dimensions == requirement.dimensions
+        assert parsed.measures == requirement.measures
+        assert parsed.aggregations == requirement.aggregations
+        assert [s.predicate for s in parsed.slicers] == [
+            "Nation_n_name = 'SPAIN'"
+        ]
+
+    def test_roundtrip_is_stable(self):
+        text = xrq.dumps(build_revenue_requirement())
+        assert xrq.dumps(xrq.loads(text)) == text
+
+    def test_complex_slicer_uses_predicate_element(self):
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity")
+            .per("Part_p_name")
+            .where("Lineitem_l_quantity > 5 and Lineitem_l_tax < 0.05")
+            .build()
+        )
+        text = xrq.dumps(requirement)
+        assert "<predicate>" in text
+        parsed = xrq.loads(text)
+        assert parsed.slicers[0].predicate == (
+            "Lineitem_l_quantity > 5 and Lineitem_l_tax < 0.05"
+        )
+
+    def test_numeric_and_date_slicer_values(self):
+        import datetime
+
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity")
+            .per("Part_p_name")
+            .where("Lineitem_l_quantity >= 10")
+            .where("Lineitem_l_shipdate < date '1995-01-01'")
+            .build()
+        )
+        parsed = xrq.loads(xrq.dumps(requirement))
+        assert parsed.slicers[0].predicate == "Lineitem_l_quantity >= 10"
+        assert parsed.slicers[1].predicate == (
+            "Lineitem_l_shipdate < date '1995-01-01'"
+        )
+
+    def test_string_value_with_quote(self):
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity")
+            .per("Part_p_name")
+            .where("Customer_c_name = 'O''Brien'")
+            .build()
+        )
+        parsed = xrq.loads(xrq.dumps(requirement))
+        assert parsed.slicers[0].predicate == "Customer_c_name = 'O''Brien'"
+
+
+class TestParsingErrors:
+    def test_not_xml(self):
+        with pytest.raises(XrqFormatError):
+            xrq.loads("this is not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(XrqFormatError):
+            xrq.loads("<notacube/>")
+
+    def test_missing_id(self):
+        with pytest.raises(XrqFormatError):
+            xrq.loads("<cube/>")
+
+    def test_measure_without_function(self):
+        text = (
+            '<cube id="R"><measures><concept id="m"/></measures></cube>'
+        )
+        with pytest.raises(XrqFormatError):
+            xrq.loads(text)
+
+    def test_bad_aggregation_order(self):
+        text = (
+            '<cube id="R"><aggregations>'
+            '<aggregation order="first">'
+            '<dimension refID="d"/><measure refID="m"/>'
+            "<function>SUM</function></aggregation>"
+            "</aggregations></cube>"
+        )
+        with pytest.raises(XrqFormatError):
+            xrq.loads(text)
+
+    def test_bad_aggregation_function(self):
+        text = (
+            '<cube id="R"><aggregations>'
+            '<aggregation order="1">'
+            '<dimension refID="d"/><measure refID="m"/>'
+            "<function>MEDIAN</function></aggregation>"
+            "</aggregations></cube>"
+        )
+        with pytest.raises(XrqFormatError):
+            xrq.loads(text)
+
+    def test_unknown_slicer_element(self):
+        text = '<cube id="R"><slicers><bogus/></slicers></cube>'
+        with pytest.raises(XrqFormatError):
+            xrq.loads(text)
+
+    def test_unknown_value_type(self):
+        text = (
+            '<cube id="R"><slicers><comparison>'
+            '<concept id="x"/><operator>=</operator>'
+            '<value type="blob">x</value>'
+            "</comparison></slicers></cube>"
+        )
+        with pytest.raises(XrqFormatError):
+            xrq.loads(text)
+
+    def test_minimal_document_parses(self):
+        requirement = xrq.loads('<cube id="R"/>')
+        assert requirement.id == "R"
+        assert requirement.measures == []
+
+    def test_aggregation_function_spellings(self):
+        text = (
+            '<cube id="R"><aggregations>'
+            '<aggregation order="1">'
+            '<dimension refID="d"/><measure refID="m"/>'
+            "<function>avg</function></aggregation>"
+            "</aggregations></cube>"
+        )
+        parsed = xrq.loads(text)
+        assert parsed.aggregations[0].function is AggregationFunction.AVG
