@@ -3,8 +3,9 @@
 The demo deploys MD schemas on PostgreSQL and runs ETL flows on Pentaho
 PDI.  This package is the in-process stand-in for both: an embedded
 relational store with key enforcement (:mod:`repro.engine.database`), a
-row-at-a-time executor for logical ETL flows
-(:mod:`repro.engine.executor`), SQL rendering helpers
+compiled columnar executor for logical ETL flows with a row-at-a-time
+reference mode (:mod:`repro.engine.executor`,
+:mod:`repro.engine.columnar`), SQL rendering helpers
 (:mod:`repro.engine.sqlgen`), and an OLAP query interface over deployed
 star schemas (:mod:`repro.engine.olap`).
 
@@ -12,15 +13,18 @@ Running the *same logical flow* that the PDI generator serialises means
 the "overall execution time" experiments exercise a real data path.
 """
 
+from repro.engine.columnar import ColumnarRelation
 from repro.engine.database import Database, TableDef
-from repro.engine.executor import ExecutionStats, Executor
+from repro.engine.executor import ExecutionStats, Executor, NodeStats
 from repro.engine.olap import OlapQuery, query_star
 from repro.engine.relation import Relation
 
 __all__ = [
+    "ColumnarRelation",
     "Database",
     "ExecutionStats",
     "Executor",
+    "NodeStats",
     "OlapQuery",
     "Relation",
     "TableDef",

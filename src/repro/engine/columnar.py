@@ -1,0 +1,401 @@
+"""Columnar in-memory relations: the executor's batch representation.
+
+A :class:`ColumnarRelation` stores one Python list per attribute instead
+of one dict per row.  That buys the executor:
+
+* **zero-copy** ``project``/``rename``/``head`` (column lists are shared,
+  never copied — relations are treated as immutable),
+* **batch** ``take``/``distinct``/``sorted_by`` that touch each column
+  once instead of rebuilding row dicts,
+* tuple-key **hash join** and **hash aggregation** that operate directly
+  on column arrays (:func:`hash_join`, :func:`hash_aggregate`),
+* cheap evaluation of compiled expressions with
+  ``map(column_fn, *columns)`` — no per-row dict in the hot path.
+
+The row-dict world is still the interface of ``database.py``,
+``sqlexec.py``, ``olap.py`` and the deployers, so the class carries
+adapters both ways: :meth:`from_relation` / :meth:`from_rows` to enter,
+and a cached ``.rows`` property, ``__iter__`` and :meth:`to_relation`
+to leave.  Any code that handled a :class:`repro.engine.relation.Relation`
+result keeps working against a columnar one.
+
+Semantics mirror the row implementations exactly (NULL-key behaviour in
+joins, first-occurrence order in ``distinct``, NULLs-first sorting,
+insertion-ordered groups) so the compiled-columnar executor is
+bit-identical to the legacy row interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError, ExecutionError
+from repro.expressions.types import ScalarType
+
+
+def _key_iter(columns: Sequence[list], length: int):
+    """Iterate per-row key tuples over the given columns.
+
+    ``zip(*[])`` would yield nothing, but a zero-column key is ``()``
+    for every row — this helper keeps that edge case correct.
+    """
+    if columns:
+        return zip(*columns)
+    return (() for _ in range(length))
+
+
+class ColumnarRelation:
+    """A bag of rows under an ordered attribute schema, stored by column."""
+
+    __slots__ = ("schema", "columns", "length", "_row_cache")
+
+    def __init__(
+        self,
+        schema: Dict[str, ScalarType],
+        columns: Dict[str, list],
+        length: Optional[int] = None,
+    ) -> None:
+        self.schema = schema
+        self.columns = columns
+        if length is None:
+            if not columns:
+                raise EngineError(
+                    "a zero-column relation needs an explicit length"
+                )
+            length = len(next(iter(columns.values())))
+        self.length = length
+        self._row_cache: Optional[List[dict]] = None
+
+    # -- adapters to and from the row-dict world ---------------------------
+
+    @classmethod
+    def from_rows(
+        cls, schema: Dict[str, ScalarType], rows: List[dict]
+    ) -> "ColumnarRelation":
+        columns = {name: [row[name] for row in rows] for name in schema}
+        return cls(schema, columns, length=len(rows))
+
+    @classmethod
+    def from_relation(cls, relation) -> "ColumnarRelation":
+        """Convert a row :class:`~repro.engine.relation.Relation`."""
+        return cls.from_rows(dict(relation.schema), relation.rows)
+
+    @property
+    def rows(self) -> List[dict]:
+        """Rows as dicts (materialised once, then cached)."""
+        if self._row_cache is None:
+            names = list(self.schema)
+            columns = [self.columns[name] for name in names]
+            if columns:
+                self._row_cache = [
+                    dict(zip(names, values)) for values in zip(*columns)
+                ]
+            else:
+                self._row_cache = [{} for _ in range(self.length)]
+        return self._row_cache
+
+    def to_relation(self):
+        from repro.engine.relation import Relation
+
+        return Relation(schema=dict(self.schema), rows=list(self.rows))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.rows)
+
+    def attribute_names(self) -> List[str]:
+        return list(self.schema)
+
+    # -- structural operators (zero-copy) ----------------------------------
+
+    def project(self, columns: List[str]) -> "ColumnarRelation":
+        """Keep only the given columns, sharing their arrays."""
+        missing = [column for column in columns if column not in self.schema]
+        if missing:
+            raise EngineError(f"cannot project unknown columns {missing}")
+        return ColumnarRelation(
+            schema={column: self.schema[column] for column in columns},
+            columns={column: self.columns[column] for column in columns},
+            length=self.length,
+        )
+
+    def rename_columns(self, mapping: Dict[str, str]) -> "ColumnarRelation":
+        """Rename attributes, sharing the column arrays."""
+        schema = {
+            mapping.get(name, name): scalar_type
+            for name, scalar_type in self.schema.items()
+        }
+        columns = {
+            mapping.get(name, name): column
+            for name, column in self.columns.items()
+        }
+        return ColumnarRelation(schema=schema, columns=columns, length=self.length)
+
+    def head(self, count: int) -> "ColumnarRelation":
+        return ColumnarRelation(
+            schema=dict(self.schema),
+            columns={name: column[:count] for name, column in self.columns.items()},
+            length=len(range(self.length)[:count]),
+        )
+
+    # -- batch operators ---------------------------------------------------
+
+    def take(self, indices: List[int]) -> "ColumnarRelation":
+        """Rows at the given positions, in the given order."""
+        return ColumnarRelation(
+            schema=dict(self.schema),
+            columns={
+                name: [column[i] for i in indices]
+                for name, column in self.columns.items()
+            },
+            length=len(indices),
+        )
+
+    def distinct(self) -> "ColumnarRelation":
+        """Duplicate rows removed, first occurrence kept (order-preserving)."""
+        seen = set()
+        keep: List[int] = []
+        key_columns = [self.columns[name] for name in self.schema]
+        for index, key in enumerate(_key_iter(key_columns, self.length)):
+            if key in seen:
+                continue
+            seen.add(key)
+            keep.append(index)
+        if len(keep) == self.length:
+            return self
+        return self.take(keep)
+
+    def sorted_by(
+        self, keys: List[str], descending: bool = False
+    ) -> "ColumnarRelation":
+        """Rows sorted by the given keys (NULLs first, stable)."""
+        missing = [key for key in keys if key not in self.schema]
+        if missing:
+            raise EngineError(f"cannot sort by unknown columns {missing}")
+        key_columns = [self.columns[key] for key in keys]
+
+        def sort_key(index):
+            return tuple(
+                (column[index] is not None, column[index])
+                for column in key_columns
+            )
+
+        order = sorted(range(self.length), key=sort_key, reverse=descending)
+        return self.take(order)
+
+    def concat(self, other: "ColumnarRelation") -> "ColumnarRelation":
+        """Bag union with an identically-shaped relation."""
+        return ColumnarRelation(
+            schema=dict(self.schema),
+            columns={
+                name: self.columns[name] + other.columns[name]
+                for name in self.schema
+            },
+            length=self.length + other.length,
+        )
+
+
+def hash_join(
+    left: ColumnarRelation,
+    right: ColumnarRelation,
+    left_keys: List[str],
+    right_keys: List[str],
+    payload: List[str],
+    schema: Dict[str, ScalarType],
+    left_outer: bool = False,
+) -> ColumnarRelation:
+    """Tuple-key hash join over column arrays.
+
+    ``payload`` names the right-side columns carried into the output
+    (the caller already resolved same-name key columns and collisions).
+    Rows with a NULL key part never match; with ``left_outer`` they are
+    kept with NULL payload.  Output order matches the row-at-a-time
+    join: left order, matches in right insertion order.
+
+    Single-column keys skip tuple packing entirely, and a right side
+    without duplicate keys (the dimension side of every FK join) takes
+    a probe path with no inner match loop.
+    """
+    if len(right_keys) == 1:
+        left_take, right_take = _join_positions_single(
+            left.columns[left_keys[0]],
+            right.columns[right_keys[0]],
+            left_outer,
+        )
+    else:
+        left_take, right_take = _join_positions_multi(
+            [left.columns[key] for key in left_keys],
+            [right.columns[key] for key in right_keys],
+            left.length,
+            right.length,
+            left_outer,
+        )
+
+    columns: Dict[str, list] = {
+        name: [column[i] for i in left_take]
+        for name, column in left.columns.items()
+    }
+    has_outer_slots = left_outer and -1 in right_take
+    for name in payload:
+        column = right.columns[name]
+        if has_outer_slots:
+            columns[name] = [
+                column[j] if j >= 0 else None for j in right_take
+            ]
+        else:
+            columns[name] = [column[j] for j in right_take]
+    return ColumnarRelation(schema=schema, columns=columns, length=len(left_take))
+
+
+def _join_positions_single(
+    left_column: list, right_column: list, left_outer: bool
+) -> Tuple[List[int], List[int]]:
+    """Matched (left, right) position pairs for a one-column key."""
+    unique: Dict[object, int] = {}
+    duplicates: Dict[object, List[int]] = {}
+    for position, key in enumerate(right_column):
+        if key is None:
+            continue
+        if key in unique:
+            duplicates.setdefault(key, [unique[key]]).append(position)
+        else:
+            unique[key] = position
+    left_take: List[int] = []
+    right_take: List[int] = []  # -1 marks an outer-join NULL slot
+    if not duplicates and not left_outer:
+        # The dominant case: FK probe against a unique (PK-like) side.
+        get = unique.get
+        for position, key in enumerate(left_column):
+            if key is None:
+                continue
+            match = get(key)
+            if match is not None:
+                left_take.append(position)
+                right_take.append(match)
+        return left_take, right_take
+    for position, key in enumerate(left_column):
+        matches = None
+        if key is not None:
+            matches = duplicates.get(key)
+            if matches is None and key in unique:
+                left_take.append(position)
+                right_take.append(unique[key])
+                continue
+        if matches:
+            for match in matches:
+                left_take.append(position)
+                right_take.append(match)
+        elif left_outer:
+            left_take.append(position)
+            right_take.append(-1)
+    return left_take, right_take
+
+
+def _join_positions_multi(
+    left_key_columns: List[list],
+    right_key_columns: List[list],
+    left_length: int,
+    right_length: int,
+    left_outer: bool,
+) -> Tuple[List[int], List[int]]:
+    """Matched (left, right) position pairs for a tuple key."""
+    index: Dict[tuple, List[int]] = {}
+    for position, key in enumerate(
+        _key_iter(right_key_columns, right_length)
+    ):
+        if any(part is None for part in key):
+            continue
+        index.setdefault(key, []).append(position)
+    left_take: List[int] = []
+    right_take: List[int] = []
+    for position, key in enumerate(_key_iter(left_key_columns, left_length)):
+        matches = (
+            index.get(key) if not any(part is None for part in key) else None
+        )
+        if matches:
+            for match in matches:
+                left_take.append(position)
+                right_take.append(match)
+        elif left_outer:
+            left_take.append(position)
+            right_take.append(-1)
+    return left_take, right_take
+
+
+def hash_aggregate(
+    relation: ColumnarRelation,
+    group_by: Tuple[str, ...],
+    aggregates,
+    schema: Dict[str, ScalarType],
+) -> ColumnarRelation:
+    """Hash aggregation over column arrays.
+
+    Groups appear in first-seen order (matching dict insertion order of
+    the row implementation); a global aggregate (empty ``group_by``)
+    always yields exactly one row.
+    """
+    if group_by:
+        group_columns = [relation.columns[name] for name in group_by]
+        group_of: Dict[tuple, int] = {}
+        keys_in_order: List[tuple] = []
+        members: List[List[int]] = []
+        for position, key in enumerate(_key_iter(group_columns, relation.length)):
+            slot = group_of.get(key)
+            if slot is None:
+                group_of[key] = slot = len(members)
+                keys_in_order.append(key)
+                members.append([])
+            members[slot].append(position)
+    else:
+        keys_in_order = [()]
+        members = [list(range(relation.length))]
+
+    columns: Dict[str, list] = {}
+    for key_position, name in enumerate(group_by):
+        columns[name] = [key[key_position] for key in keys_in_order]
+    for spec in aggregates:
+        source = relation.columns[spec.input]
+        columns[spec.output] = [
+            aggregate_values(
+                spec.function,
+                [source[i] for i in group if source[i] is not None],
+            )
+            for group in members
+        ]
+    return ColumnarRelation(
+        schema=schema, columns=columns, length=len(keys_in_order)
+    )
+
+
+def surrogate_keys(
+    relation: ColumnarRelation, business_keys: Tuple[str, ...]
+) -> List[int]:
+    """Dense surrogate key per row, stable across repeated business keys."""
+    key_columns = [relation.columns[name] for name in business_keys]
+    assigned: Dict[tuple, int] = {}
+    output: List[int] = []
+    for key in _key_iter(key_columns, relation.length):
+        surrogate = assigned.get(key)
+        if surrogate is None:
+            assigned[key] = surrogate = len(assigned) + 1
+        output.append(surrogate)
+    return output
+
+
+def aggregate_values(function: str, values: list):
+    """Aggregate non-NULL values; empty input yields NULL (COUNT: 0)."""
+    if function == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if function == "SUM":
+        return sum(values)
+    if function == "AVERAGE":
+        return sum(values) / len(values)
+    if function == "MIN":
+        return min(values)
+    if function == "MAX":
+        return max(values)
+    raise ExecutionError(f"unknown aggregate function {function!r}")

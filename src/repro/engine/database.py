@@ -8,12 +8,26 @@ it, and the OLAP helper queries it.
 
 from __future__ import annotations
 
+import datetime
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import EngineError, IntegrityError, UnknownTableError
+from repro.engine.columnar import ColumnarRelation
 from repro.engine.relation import Relation
-from repro.expressions.types import ScalarType
+from repro.expressions.types import ScalarType, type_of_value
+
+#: Exact Python types that satisfy each scalar type without further
+#: checks; values outside these fall back to :func:`type_of_value`
+#: (``bool`` is deliberately not an ``int`` here, ``datetime`` still
+#: satisfies DATE via the fallback).
+_FAST_TYPES: Dict[ScalarType, tuple] = {
+    ScalarType.INTEGER: (int,),
+    ScalarType.DECIMAL: (float, int),
+    ScalarType.STRING: (str,),
+    ScalarType.BOOLEAN: (bool,),
+    ScalarType.DATE: (datetime.date,),
+}
 
 
 @dataclass(frozen=True)
@@ -56,6 +70,8 @@ class _Table:
         self.definition = definition
         self.relation = Relation(schema=dict(definition.columns))
         self._pk_index: set = set()
+        #: Cached columnar view of the relation; dropped on any write.
+        self._columnar: Optional[ColumnarRelation] = None
 
     def primary_key_of(self, row: dict) -> Optional[tuple]:
         if not self.definition.primary_key:
@@ -138,6 +154,7 @@ class Database:
                     f"{foreign_key.target_table!r}"
                 )
         table.relation.rows.append(row)
+        table._columnar = None
         if key is not None:
             table._pk_index.add(key)
 
@@ -149,16 +166,85 @@ class Database:
             count += 1
         return count
 
+    def insert_columns(
+        self, table_name: str, columns: Dict[str, list], length: int
+    ) -> int:
+        """Bulk-insert column arrays, validating each column in one pass.
+
+        The fast path for loaders: tables without keys (the warehouse
+        targets the executor creates) skip per-row dict bookkeeping —
+        types are checked column-wise and rows appended in bulk.  Tables
+        with a primary or foreign key fall back to :meth:`insert_many`
+        so integrity enforcement is unchanged.
+        """
+        table = self._lookup(table_name)
+        schema = table.relation.schema
+        extra = set(columns) - set(schema)
+        if extra:
+            raise EngineError(f"row has unknown attributes {sorted(extra)}")
+        for name in schema:
+            if name not in columns:
+                raise EngineError(f"row is missing attribute {name!r}")
+        names = list(schema)
+        ordered = [columns[name] for name in names]
+        if table.definition.primary_key or table.definition.foreign_keys:
+            # Integrity-enforced tables go row by row, unchanged.
+            rows = (
+                [dict(zip(names, values)) for values in zip(*ordered)]
+                if ordered
+                else [{} for _ in range(length)]
+            )
+            return self.insert_many(table_name, rows)
+        for name, expected in schema.items():
+            fast = _FAST_TYPES[expected]
+            for value in columns[name]:
+                if value is None or type(value) in fast:
+                    continue
+                actual = type_of_value(value)
+                if actual is expected:
+                    continue
+                if (
+                    expected is ScalarType.DECIMAL
+                    and actual is ScalarType.INTEGER
+                ):
+                    continue
+                raise EngineError(
+                    f"attribute {name!r}: expected {expected}, got {actual} "
+                    f"({value!r})"
+                )
+        if ordered:
+            table.relation.rows.extend(
+                dict(zip(names, values)) for values in zip(*ordered)
+            )
+        else:
+            table.relation.rows.extend({} for _ in range(length))
+        table._columnar = None
+        return length
+
     def truncate(self, table_name: str) -> None:
         table = self._lookup(table_name)
         table.relation.rows.clear()
         table._pk_index.clear()
+        table._columnar = None
 
     # -- queries ------------------------------------------------------------------
 
     def scan(self, table_name: str) -> Relation:
         """The table's relation (shared — treat as read-only)."""
         return self._lookup(table_name).relation
+
+    def scan_columns(self, table_name: str) -> ColumnarRelation:
+        """A columnar view of the table (cached; shared — read-only).
+
+        The cache is dropped by every write path (:meth:`insert`,
+        :meth:`insert_columns`, :meth:`truncate`), so repeated flow
+        executions over the same sources pay the row-to-column pivot
+        once.
+        """
+        table = self._lookup(table_name)
+        if table._columnar is None:
+            table._columnar = ColumnarRelation.from_relation(table.relation)
+        return table._columnar
 
     def row_count(self, table_name: str) -> int:
         return len(self._lookup(table_name).relation)

@@ -256,13 +256,14 @@ class Sort(Operation):
     """Sort rows by the listed attributes (PDI ``SortRows``)."""
 
     keys: Tuple[str, ...] = ()
+    descending: bool = False
 
     kind = "Sort"
     optype = "SortRows"
     arity = 1
 
     def signature(self) -> Tuple:
-        return ("sort", self.keys)
+        return ("sort", self.keys, self.descending)
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,9 @@ implements the language end to end:
 * :mod:`repro.expressions.parser` — Pratt parser producing a typed AST,
 * :mod:`repro.expressions.ast` — AST node classes,
 * :mod:`repro.expressions.types` — the scalar type lattice and inference,
-* :mod:`repro.expressions.evaluator` — evaluation against attribute rows.
+* :mod:`repro.expressions.evaluator` — evaluation against attribute rows,
+* :mod:`repro.expressions.compiler` — lowering to compiled Python
+  closures (the executor's hot path).
 
 The usual entry points:
 
@@ -28,6 +30,11 @@ from repro.expressions.ast import (
     Literal,
     UnaryOp,
 )
+from repro.expressions.compiler import (
+    CompiledExpression,
+    compile_expression,
+    compile_tree,
+)
 from repro.expressions.evaluator import evaluate
 from repro.expressions.lexer import Token, TokenKind, tokenize
 from repro.expressions.parser import parse
@@ -36,6 +43,7 @@ from repro.expressions.types import ScalarType, infer_type
 __all__ = [
     "Attribute",
     "BinaryOp",
+    "CompiledExpression",
     "Expression",
     "FunctionCall",
     "Literal",
@@ -43,6 +51,8 @@ __all__ = [
     "Token",
     "TokenKind",
     "UnaryOp",
+    "compile_expression",
+    "compile_tree",
     "evaluate",
     "infer_type",
     "parse",

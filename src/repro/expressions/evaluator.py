@@ -23,9 +23,7 @@ def evaluate(node: ast.Expression, row: dict):
     if isinstance(node, ast.Literal):
         return node.value
     if isinstance(node, ast.Attribute):
-        if node.name not in row:
-            raise EvaluationError(f"row has no attribute {node.name!r}")
-        return row[node.name]
+        return attribute_value(row, node.name)
     if isinstance(node, ast.UnaryOp):
         return _evaluate_unary(node, row)
     if isinstance(node, ast.BinaryOp):
@@ -37,18 +35,35 @@ def evaluate(node: ast.Expression, row: dict):
     raise EvaluationError(f"cannot evaluate node {node!r}")
 
 
+def attribute_value(row: dict, name: str):
+    """Look up an attribute, with the standard missing-attribute error."""
+    if name not in row:
+        raise EvaluationError(f"row has no attribute {name!r}")
+    return row[name]
+
+
+def unary_minus(value):
+    """Value-level unary minus with NULL propagation."""
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise EvaluationError(f"unary minus on non-number {value!r}")
+    return -value
+
+
+def unary_not(value):
+    """Value-level NOT with NULL propagation."""
+    if value is None:
+        return None
+    return not _as_bool(value)
+
+
 def _evaluate_unary(node: ast.UnaryOp, row: dict):
     value = evaluate(node.operand, row)
     if node.operator == "-":
-        if value is None:
-            return None
-        if not isinstance(value, (int, float)) or isinstance(value, bool):
-            raise EvaluationError(f"unary minus on non-number {value!r}")
-        return -value
+        return unary_minus(value)
     if node.operator == "not":
-        if value is None:
-            return None
-        return not _as_bool(value)
+        return unary_not(value)
     raise EvaluationError(f"unknown unary operator {node.operator!r}")
 
 
@@ -96,8 +111,12 @@ def _kleene_or(node: ast.BinaryOp, row: dict):
 
 
 def _evaluate_in(left, right_node: ast.Expression, row: dict):
-    values = evaluate(right_node, row)
-    if not isinstance(values, list):
+    return in_values(left, evaluate(right_node, row))
+
+
+def in_values(left, values):
+    """Value-level ``IN`` over already-evaluated list members."""
+    if not isinstance(values, (list, tuple)):
         values = [values]
     if left is None:
         return None
@@ -193,8 +212,13 @@ def _date_arg(name: str, value):
 
 
 def _evaluate_call(node: ast.FunctionCall, row: dict):
-    name = node.name.lower()
     values = [evaluate(argument, row) for argument in node.arguments]
+    return apply_function(node.name, values)
+
+
+def apply_function(raw_name: str, values):
+    """Apply a built-in scalar function to already-evaluated arguments."""
+    name = raw_name.lower()
     if name == "coalesce":
         for value in values:
             if value is not None:
@@ -240,4 +264,4 @@ def _evaluate_call(node: ast.FunctionCall, row: dict):
         return _date_arg(name, values[0]).day
     if name == "quarter":
         return (_date_arg(name, values[0]).month - 1) // 3 + 1
-    raise EvaluationError(f"unknown function {node.name!r}")
+    raise EvaluationError(f"unknown function {raw_name!r}")

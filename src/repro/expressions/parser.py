@@ -18,6 +18,7 @@ Grammar (binding powers in :data:`_INFIX_POWER`):
 from __future__ import annotations
 
 import datetime
+from functools import lru_cache
 
 from repro.errors import ParseError
 from repro.expressions import ast
@@ -42,11 +43,17 @@ _INFIX_POWER = {
 }
 
 
+@lru_cache(maxsize=4096)
 def parse(text: str) -> ast.Expression:
     """Parse an expression string into an AST.
 
     Raises :class:`repro.errors.ParseError` (or ``LexError``) on
     malformed input.
+
+    Results are memoised on the source text: AST nodes are immutable
+    (frozen dataclasses), so the same predicate or derivation repeated
+    across ETL nodes, flows and runs is parsed exactly once.  Errors are
+    not cached.
     """
     parser = _Parser(tokenize(text), text)
     expression = parser.parse_expression(0)

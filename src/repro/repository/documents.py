@@ -153,6 +153,44 @@ class Collection:
     def has(self, doc_id: str) -> bool:
         return doc_id in self._documents
 
+    def _candidates(self, query: Optional[dict]):
+        """Documents that could match, narrowed by ``_id`` when possible.
+
+        ``_documents`` is keyed by ``_id``, so a query that pins the id
+        (plain equality, ``$eq`` or ``$in``) is answered by direct hash
+        lookups instead of a collection scan.  Candidates are still
+        verified against the *full* query by the caller, so every other
+        condition keeps its usual meaning.  Returns an iterable of
+        documents.
+        """
+        if not query or "_id" not in query:
+            return self._documents.values()
+        condition = query["_id"]
+        try:
+            if isinstance(condition, dict) and any(
+                op.startswith("$") for op in condition
+            ):
+                if set(condition) == {"$eq"}:
+                    wanted = [condition["$eq"]]
+                elif set(condition) == {"$in"}:
+                    seen: set = set()
+                    wanted = []
+                    for doc_id in condition["$in"]:
+                        if doc_id not in seen:
+                            seen.add(doc_id)
+                            wanted.append(doc_id)
+                else:
+                    return self._documents.values()
+            else:
+                wanted = [condition]
+            return [
+                self._documents[doc_id]
+                for doc_id in wanted
+                if doc_id in self._documents
+            ]
+        except TypeError:  # unhashable id in the query: scan as before
+            return self._documents.values()
+
     def find(
         self,
         query: Optional[dict] = None,
@@ -162,7 +200,7 @@ class Collection:
         """All documents matching the filter (copies)."""
         results = [
             dict(document)
-            for document in self._documents.values()
+            for document in self._candidates(query)
             if query is None or matches(document, query)
         ]
         if sort_key is not None:
@@ -178,7 +216,9 @@ class Collection:
     def count(self, query: Optional[dict] = None) -> int:
         if query is None:
             return len(self._documents)
-        return sum(1 for doc in self._documents.values() if matches(doc, query))
+        return sum(
+            1 for doc in self._candidates(query) if matches(doc, query)
+        )
 
     def ids(self) -> List[str]:
         return list(self._documents)

@@ -101,7 +101,10 @@ def _operation_properties(operation: Operation) -> Dict[str, str]:
             "businessKeys": _LIST_SEPARATOR.join(operation.business_keys),
         }
     if isinstance(operation, Sort):
-        return {"keys": _LIST_SEPARATOR.join(operation.keys)}
+        properties = {"keys": _LIST_SEPARATOR.join(operation.keys)}
+        if operation.descending:
+            properties["descending"] = "true"
+        return properties
     if isinstance(operation, Loader):
         return {"table": operation.table, "mode": operation.mode}
     if isinstance(operation, (UnionOp, Distinct)):
@@ -197,7 +200,11 @@ def _build_operation(name: str, kind: str, properties: Dict[str, str]) -> Operat
             business_keys=_split(properties.get("businessKeys", "")),
         )
     if kind == "Sort":
-        return Sort(name, keys=_split(properties.get("keys", "")))
+        return Sort(
+            name,
+            keys=_split(properties.get("keys", "")),
+            descending=properties.get("descending", "false") == "true",
+        )
     if kind == "Loader":
         return Loader(
             name,

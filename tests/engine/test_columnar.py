@@ -1,0 +1,216 @@
+"""Unit tests for the columnar relation and its batch operators."""
+
+import pytest
+
+from repro.errors import EngineError, ExecutionError
+from repro.engine import ColumnarRelation, Relation
+from repro.engine.columnar import (
+    aggregate_values,
+    hash_aggregate,
+    hash_join,
+    surrogate_keys,
+)
+from repro.etlmodel import AggregationSpec
+from repro.expressions import ScalarType
+
+INT = ScalarType.INTEGER
+STR = ScalarType.STRING
+DEC = ScalarType.DECIMAL
+
+
+def items():
+    return ColumnarRelation(
+        schema={"k": INT, "cat": STR, "price": DEC},
+        columns={
+            "k": [1, 2, 3, 4],
+            "cat": ["a", "a", "b", None],
+            "price": [10.0, 20.0, 5.0, None],
+        },
+    )
+
+
+class TestAdapters:
+    def test_from_rows_round_trip(self):
+        rows = [{"k": 1, "cat": "a"}, {"k": 2, "cat": None}]
+        relation = ColumnarRelation.from_rows({"k": INT, "cat": STR}, rows)
+        assert relation.length == 2
+        assert relation.rows == rows
+        assert list(relation) == rows
+
+    def test_from_relation_and_back(self):
+        row_relation = Relation(
+            schema={"k": INT}, rows=[{"k": 1}, {"k": 2}]
+        )
+        columnar = ColumnarRelation.from_relation(row_relation)
+        assert columnar.to_relation().rows == row_relation.rows
+
+    def test_zero_column_relation_needs_length(self):
+        with pytest.raises(EngineError):
+            ColumnarRelation(schema={}, columns={})
+        empty = ColumnarRelation(schema={}, columns={}, length=3)
+        assert len(empty) == 3
+        assert empty.rows == [{}, {}, {}]
+
+
+class TestStructuralOperators:
+    def test_project_shares_columns(self):
+        relation = items()
+        projected = relation.project(["k", "price"])
+        assert projected.columns["k"] is relation.columns["k"]
+        assert projected.attribute_names() == ["k", "price"]
+
+    def test_project_unknown_column_message(self):
+        with pytest.raises(EngineError) as excinfo:
+            items().project(["k", "ghost"])
+        assert "cannot project unknown columns ['ghost']" in str(excinfo.value)
+
+    def test_rename_shares_columns(self):
+        relation = items()
+        renamed = relation.rename_columns({"k": "key"})
+        assert renamed.columns["key"] is relation.columns["k"]
+        assert renamed.attribute_names() == ["key", "cat", "price"]
+
+    def test_head(self):
+        assert items().head(2).columns["k"] == [1, 2]
+        assert items().head(0).length == 0
+        assert items().head(10).length == 4
+
+
+class TestBatchOperators:
+    def test_take_reorders(self):
+        taken = items().take([2, 0])
+        assert taken.columns["k"] == [3, 1]
+
+    def test_distinct_keeps_first_occurrence(self):
+        relation = ColumnarRelation(
+            schema={"x": STR},
+            columns={"x": ["a", "b", "a", "c", "b"]},
+        )
+        assert relation.distinct().columns["x"] == ["a", "b", "c"]
+
+    def test_distinct_without_duplicates_returns_self(self):
+        relation = items()
+        assert relation.distinct() is relation
+
+    def test_sorted_by_nulls_first_and_descending(self):
+        relation = items()
+        ascending = relation.sorted_by(["price"])
+        assert ascending.columns["price"] == [None, 5.0, 10.0, 20.0]
+        descending = relation.sorted_by(["price"], descending=True)
+        assert descending.columns["price"] == [20.0, 10.0, 5.0, None]
+
+    def test_sorted_by_unknown_column_message(self):
+        with pytest.raises(EngineError) as excinfo:
+            items().sorted_by(["ghost"])
+        assert "cannot sort by unknown columns ['ghost']" in str(excinfo.value)
+
+    def test_concat(self):
+        relation = items()
+        doubled = relation.concat(relation)
+        assert doubled.length == 8
+        assert doubled.columns["k"] == [1, 2, 3, 4, 1, 2, 3, 4]
+
+
+class TestHashJoin:
+    def cats(self):
+        return ColumnarRelation(
+            schema={"cat": STR, "label": STR},
+            columns={"cat": ["a", "b"], "label": ["Alpha", "Beta"]},
+        )
+
+    def test_inner_join_single_key(self):
+        joined = hash_join(
+            items(),
+            self.cats(),
+            ["cat"],
+            ["cat"],
+            ["label"],
+            {"k": INT, "cat": STR, "price": DEC, "label": STR},
+        )
+        assert joined.columns["k"] == [1, 2, 3]
+        assert joined.columns["label"] == ["Alpha", "Alpha", "Beta"]
+
+    def test_left_outer_join_null_payload(self):
+        joined = hash_join(
+            items(),
+            self.cats(),
+            ["cat"],
+            ["cat"],
+            ["label"],
+            {"k": INT, "cat": STR, "price": DEC, "label": STR},
+            left_outer=True,
+        )
+        assert joined.columns["k"] == [1, 2, 3, 4]
+        assert joined.columns["label"][-1] is None
+
+    def test_duplicate_right_keys_fan_out_in_order(self):
+        right = ColumnarRelation(
+            schema={"cat": STR, "label": STR},
+            columns={"cat": ["a", "a"], "label": ["first", "second"]},
+        )
+        joined = hash_join(
+            items(),
+            right,
+            ["cat"],
+            ["cat"],
+            ["label"],
+            {"k": INT, "cat": STR, "price": DEC, "label": STR},
+        )
+        assert joined.columns["k"] == [1, 1, 2, 2]
+        assert joined.columns["label"] == ["first", "second"] * 2
+
+    def test_multi_column_key(self):
+        left = ColumnarRelation(
+            schema={"a": INT, "b": INT},
+            columns={"a": [1, 1, None], "b": [1, 2, 1]},
+        )
+        right = ColumnarRelation(
+            schema={"a": INT, "b": INT, "v": STR},
+            columns={"a": [1, 1], "b": [2, 1], "v": ["x", "y"]},
+        )
+        joined = hash_join(
+            left, right, ["a", "b"], ["a", "b"], ["v"],
+            {"a": INT, "b": INT, "v": STR},
+        )
+        assert joined.columns["v"] == ["y", "x"]
+
+
+class TestHashAggregate:
+    def test_grouped(self):
+        result = hash_aggregate(
+            items(),
+            ("cat",),
+            (AggregationSpec("total", "SUM", "price"),
+             AggregationSpec("n", "COUNT", "price")),
+            {"cat": STR, "total": DEC, "n": INT},
+        )
+        assert result.columns["cat"] == ["a", "b", None]
+        assert result.columns["total"] == [30.0, 5.0, None]
+        assert result.columns["n"] == [2, 1, 0]
+
+    def test_global_on_empty_input(self):
+        empty = ColumnarRelation(
+            schema={"x": INT}, columns={"x": []}, length=0
+        )
+        result = hash_aggregate(
+            empty,
+            (),
+            (AggregationSpec("n", "COUNT", "x"),),
+            {"n": INT},
+        )
+        assert result.rows == [{"n": 0}]
+
+
+class TestSurrogateAndAggregateValues:
+    def test_surrogate_keys_dense(self):
+        keys = surrogate_keys(items(), ("cat",))
+        assert keys == [1, 1, 2, 3]
+
+    def test_aggregate_values(self):
+        assert aggregate_values("COUNT", []) == 0
+        assert aggregate_values("SUM", []) is None
+        assert aggregate_values("AVERAGE", [1, 3]) == 2
+        assert aggregate_values("MIN", [4, 2]) == 2
+        assert aggregate_values("MAX", [4, 2]) == 4
+        with pytest.raises(ExecutionError):
+            aggregate_values("MEDIAN", [1])

@@ -1,0 +1,142 @@
+"""The expression compiler must be observationally identical to the
+tree-walking interpreter — values, NULL semantics and error messages."""
+
+import datetime
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.expressions import compile_expression, evaluate, parse
+from repro.expressions.compiler import compile_tree
+
+
+def both(text, row):
+    """(interpreter result, row_fn result, column_fn result)."""
+    compiled = compile_expression(text)
+    interpreted = evaluate(parse(text), row)
+    via_row = compiled.row_fn(row)
+    via_columns = compiled.column_fn(
+        *[row[name] for name in compiled.attributes]
+    )
+    return interpreted, via_row, via_columns
+
+
+def assert_agree(text, row, expected):
+    interpreted, via_row, via_columns = both(text, row)
+    assert interpreted == expected
+    assert via_row == expected
+    assert via_columns == expected
+    # NULL and False must not be conflated by ==.
+    assert (interpreted is None) == (via_row is None) == (via_columns is None)
+
+
+class TestValueEquivalence:
+    def test_arithmetic(self):
+        assert_agree("price * (1 - discount)", {"price": 10.0, "discount": 0.1}, 9.0)
+
+    def test_null_propagation(self):
+        assert_agree("price * 2", {"price": None}, None)
+
+    def test_comparison(self):
+        assert_agree("a < b", {"a": 1, "b": 2}, True)
+        assert_agree("a < b", {"a": None, "b": 2}, None)
+
+    def test_kleene_and_or(self):
+        assert_agree("a and b", {"a": None, "b": False}, False)
+        assert_agree("a and b", {"a": None, "b": True}, None)
+        assert_agree("a or b", {"a": None, "b": True}, True)
+        assert_agree("a or b", {"a": None, "b": False}, None)
+
+    def test_short_circuit_skips_errors(self):
+        # The right operand would fail; short-circuiting must avoid it
+        # exactly as the interpreter does.
+        row = {"flag": False, "text": "x"}
+        assert_agree("flag and text + 1 > 0", row, False)
+
+    def test_in_list(self):
+        assert_agree("n in ('a', 'b')", {"n": "a"}, True)
+        assert_agree("n in ('a', 'b')", {"n": "c"}, False)
+        assert_agree("n in ('a', null)", {"n": "c"}, None)
+
+    def test_functions(self):
+        assert_agree("upper(n)", {"n": "spain"}, "SPAIN")
+        assert_agree("coalesce(a, 7)", {"a": None}, 7)
+
+    def test_unary(self):
+        assert_agree("-x", {"x": 3}, -3)
+        assert_agree("not x", {"x": False}, True)
+        assert_agree("not x", {"x": None}, None)
+
+    def test_date_literals_via_constant_pool(self):
+        compiled = compile_expression("d >= date '1997-01-01'")
+        row = {"d": datetime.date(1997, 6, 1)}
+        assert compiled.row_fn(row) is True
+        assert "_consts[" in compiled.row_source
+
+    def test_constant_expression_has_no_attributes(self):
+        compiled = compile_expression("1 + 2 * 3")
+        assert compiled.attributes == ()
+        assert compiled.column_fn() == 7
+
+
+class TestErrorEquivalence:
+    @pytest.mark.parametrize(
+        "text,row",
+        [
+            ("a + b", {"a": "x", "b": 1}),
+            ("a / b", {"a": 1, "b": 0}),
+            ("-a", {"a": "x"}),
+            ("ghost + 1", {"a": 1}),
+            ("nosuchfn(a)", {"a": 1}),
+        ],
+    )
+    def test_messages_match_interpreter(self, text, row):
+        with pytest.raises(EvaluationError) as interpreted:
+            evaluate(parse(text), row)
+        compiled = compile_expression(text)
+        with pytest.raises(EvaluationError) as via_row:
+            compiled.row_fn(row)
+        assert str(via_row.value) == str(interpreted.value)
+
+    def test_parse_errors_propagate(self):
+        from repro.errors import ExpressionError
+
+        with pytest.raises(ExpressionError):
+            compile_expression("1 +")
+
+
+class TestCachingAndStructure:
+    def test_compile_cache_returns_same_object(self):
+        assert compile_expression("x + 1") is compile_expression("x + 1")
+
+    def test_parse_cache_returns_same_tree(self):
+        assert parse("x + 1") is parse("x + 1")
+
+    def test_attributes_in_first_evaluation_order(self):
+        compiled = compile_expression("b + a * b - c")
+        assert compiled.attributes == ("b", "a", "c")
+
+    def test_callable_protocol_uses_row_form(self):
+        compiled = compile_expression("x * 2")
+        assert compiled({"x": 21}) == 42
+
+    def test_compile_tree_direct(self):
+        compiled = compile_tree(parse("x > 1"), "x > 1")
+        assert compiled.text == "x > 1"
+        assert compiled.column_fn(5) is True
+
+    def test_generated_sources_are_exposed(self):
+        compiled = compile_expression("x > 1 and y < 2")
+        assert "def _compiled_row(row):" in compiled.row_source
+        assert "def _compiled_columns(" in compiled.column_source
+
+
+class TestColumnBatchEvaluation:
+    def test_map_over_columns(self):
+        compiled = compile_expression("price * (1 - discount)")
+        columns = {
+            "price": [10.0, 20.0, None],
+            "discount": [0.1, 0.5, 0.2],
+        }
+        ordered = [columns[name] for name in compiled.attributes]
+        assert list(map(compiled.column_fn, *ordered)) == [9.0, 10.0, None]

@@ -165,3 +165,56 @@ class TestPersistence:
         path.write_text("[1, 2]")
         with pytest.raises(RepositoryError):
             file_store.load(path)
+
+
+class TestIdFastPath:
+    """Queries pinning ``_id`` are answered by hash lookup, with the
+    full query still verified — never by a collection scan."""
+
+    def test_find_one_by_id(self, designs):
+        assert designs.find_one({"_id": "d2"})["kind"] == "etl"
+        assert designs.find_one({"_id": "ghost"}) is None
+
+    def test_find_one_by_id_eq_operator(self, designs):
+        assert designs.find_one({"_id": {"$eq": "d3"}})["cost"] == 40
+
+    def test_find_by_id_in_operator(self, designs):
+        found = designs.find({"_id": {"$in": ["d3", "d1", "d3", "ghost"]}})
+        assert [doc["_id"] for doc in found] == ["d3", "d1"]
+
+    def test_other_conditions_still_verified(self, designs):
+        # The id matches but the rest of the query must too.
+        assert designs.find_one({"_id": "d1", "kind": "etl"}) is None
+        assert designs.find_one({"_id": "d1", "kind": "md"})["_id"] == "d1"
+
+    def test_count_by_id(self, designs):
+        assert designs.count({"_id": "d1"}) == 1
+        assert designs.count({"_id": {"$in": ["d1", "d2", "ghost"]}}) == 2
+
+    def test_non_equality_id_operators_fall_back_to_scan(self, designs):
+        found = designs.find({"_id": {"$ne": "d1"}})
+        assert {doc["_id"] for doc in found} == {"d2", "d3"}
+        assert designs.count({"_id": {"$regex": "^d"}}) == 3
+
+    def test_unhashable_id_query_falls_back_to_scan(self, designs):
+        assert designs.find({"_id": ["d1"]}) == []
+        assert designs.find({"_id": {"$in": [["d1"], "d2"]}}) != []
+
+    def test_results_are_copies(self, designs):
+        found = designs.find_one({"_id": "d1"})
+        found["kind"] = "mutated"
+        assert designs.get("d1")["kind"] == "md"
+
+    def test_fast_path_avoids_scanning_other_documents(self, designs, monkeypatch):
+        import repro.repository.documents as documents_module
+
+        seen = []
+        real_matches = documents_module.matches
+
+        def spying_matches(document, query):
+            seen.append(document["_id"])
+            return real_matches(document, query)
+
+        monkeypatch.setattr(documents_module, "matches", spying_matches)
+        designs.find_one({"_id": "d2"})
+        assert seen == ["d2"]
