@@ -33,6 +33,29 @@ from repro.errors import EngineError, ExecutionError
 from repro.expressions.types import ScalarType
 
 
+def unhashable_key_error(
+    op_label: str, named_values, cause: Exception
+) -> ExecutionError:
+    """The uniform error for an unhashable key value in a hash-based op.
+
+    ``named_values`` is an iterable of ``(attribute, values)`` pairs in
+    the op's key order; the first unhashable value found names the
+    attribute in the message, so both executor modes — which call this
+    from their own loops — report the identical failure instead of a
+    bare ``TypeError: unhashable type``.
+    """
+    for name, values in named_values:
+        for value in values:
+            try:
+                hash(value)
+            except TypeError:
+                return ExecutionError(
+                    f"{op_label}: unhashable value {value!r} for key "
+                    f"attribute {name!r}"
+                )
+    return ExecutionError(f"{op_label}: {cause}")
+
+
 def _key_iter(columns: Sequence[list], length: int):
     """Iterate per-row key tuples over the given columns.
 
@@ -158,11 +181,16 @@ class ColumnarRelation:
         seen = set()
         keep: List[int] = []
         key_columns = [self.columns[name] for name in self.schema]
-        for index, key in enumerate(_key_iter(key_columns, self.length)):
-            if key in seen:
-                continue
-            seen.add(key)
-            keep.append(index)
+        try:
+            for index, key in enumerate(_key_iter(key_columns, self.length)):
+                if key in seen:
+                    continue
+                seen.add(key)
+                keep.append(index)
+        except TypeError as exc:
+            raise unhashable_key_error(
+                "distinct", zip(self.schema, key_columns), exc
+            ) from exc
         if len(keep) == self.length:
             return self
         return self.take(keep)
@@ -218,20 +246,25 @@ def hash_join(
     without duplicate keys (the dimension side of every FK join) takes
     a probe path with no inner match loop.
     """
-    if len(right_keys) == 1:
-        left_take, right_take = _join_positions_single(
-            left.columns[left_keys[0]],
-            right.columns[right_keys[0]],
-            left_outer,
-        )
-    else:
-        left_take, right_take = _join_positions_multi(
-            [left.columns[key] for key in left_keys],
-            [right.columns[key] for key in right_keys],
-            left.length,
-            right.length,
-            left_outer,
-        )
+    try:
+        if len(right_keys) == 1:
+            left_take, right_take = _join_positions_single(
+                left.columns[left_keys[0]],
+                right.columns[right_keys[0]],
+                left_outer,
+            )
+        else:
+            left_take, right_take = _join_positions_multi(
+                [left.columns[key] for key in left_keys],
+                [right.columns[key] for key in right_keys],
+                left.length,
+                right.length,
+                left_outer,
+            )
+    except TypeError as exc:
+        named = [(key, left.columns[key]) for key in left_keys]
+        named += [(key, right.columns[key]) for key in right_keys]
+        raise unhashable_key_error("join", named, exc) from exc
 
     columns: Dict[str, list] = {
         name: [column[i] for i in left_take]
@@ -341,13 +374,20 @@ def hash_aggregate(
         group_of: Dict[tuple, int] = {}
         keys_in_order: List[tuple] = []
         members: List[List[int]] = []
-        for position, key in enumerate(_key_iter(group_columns, relation.length)):
-            slot = group_of.get(key)
-            if slot is None:
-                group_of[key] = slot = len(members)
-                keys_in_order.append(key)
-                members.append([])
-            members[slot].append(position)
+        try:
+            for position, key in enumerate(
+                _key_iter(group_columns, relation.length)
+            ):
+                slot = group_of.get(key)
+                if slot is None:
+                    group_of[key] = slot = len(members)
+                    keys_in_order.append(key)
+                    members.append([])
+                members[slot].append(position)
+        except TypeError as exc:
+            raise unhashable_key_error(
+                "aggregate", zip(group_by, group_columns), exc
+            ) from exc
     else:
         keys_in_order = [()]
         members = [list(range(relation.length))]
@@ -376,11 +416,16 @@ def surrogate_keys(
     key_columns = [relation.columns[name] for name in business_keys]
     assigned: Dict[tuple, int] = {}
     output: List[int] = []
-    for key in _key_iter(key_columns, relation.length):
-        surrogate = assigned.get(key)
-        if surrogate is None:
-            assigned[key] = surrogate = len(assigned) + 1
-        output.append(surrogate)
+    try:
+        for key in _key_iter(key_columns, relation.length):
+            surrogate = assigned.get(key)
+            if surrogate is None:
+                assigned[key] = surrogate = len(assigned) + 1
+            output.append(surrogate)
+    except TypeError as exc:
+        raise unhashable_key_error(
+            "surrogate-key", zip(business_keys, key_columns), exc
+        ) from exc
     return output
 
 

@@ -36,6 +36,7 @@ from repro.engine.columnar import (
     hash_aggregate,
     hash_join,
     surrogate_keys,
+    unhashable_key_error,
 )
 from repro.engine.database import Database, TableDef
 from repro.engine.relation import Relation
@@ -507,30 +508,38 @@ class Executor:
             operation, left.schema, right.schema
         )
         right_keys = list(operation.right_keys)
-        index: Dict[tuple, List[dict]] = {}
-        for row in right.rows:
-            key = tuple(row[column] for column in right_keys)
-            if any(part is None for part in key):
-                continue
-            index.setdefault(key, []).append(row)
         left_keys = list(operation.left_keys)
         rows: List[dict] = []
-        for row in left.rows:
-            key = tuple(row[column] for column in left_keys)
-            matches = index.get(key, []) if not any(
-                part is None for part in key
-            ) else []
-            if matches:
-                for match in matches:
+        try:
+            index: Dict[tuple, List[dict]] = {}
+            for row in right.rows:
+                key = tuple(row[column] for column in right_keys)
+                if any(part is None for part in key):
+                    continue
+                index.setdefault(key, []).append(row)
+            for row in left.rows:
+                key = tuple(row[column] for column in left_keys)
+                matches = index.get(key, []) if not any(
+                    part is None for part in key
+                ) else []
+                if matches:
+                    for match in matches:
+                        combined = dict(row)
+                        for name in right_payload:
+                            combined[name] = match[name]
+                        rows.append(combined)
+                elif operation.join_type == JoinType.LEFT:
                     combined = dict(row)
                     for name in right_payload:
-                        combined[name] = match[name]
+                        combined[name] = None
                     rows.append(combined)
-            elif operation.join_type == JoinType.LEFT:
-                combined = dict(row)
-                for name in right_payload:
-                    combined[name] = None
-                rows.append(combined)
+        except TypeError as exc:
+            named = [
+                (key, [row[key] for row in left.rows]) for key in left_keys
+            ] + [
+                (key, [row[key] for row in right.rows]) for key in right_keys
+            ]
+            raise unhashable_key_error("join", named, exc) from exc
         return Relation(schema=schema, rows=rows)
 
     def _aggregate_legacy(self, operation: Aggregation, inputs, stats):
@@ -542,9 +551,16 @@ class Executor:
         if not operation.group_by:
             # SQL semantics: a global aggregate always yields one row.
             groups[()] = []
-        for row in relation.rows:
-            key = tuple(row[column] for column in operation.group_by)
-            groups.setdefault(key, []).append(row)
+        try:
+            for row in relation.rows:
+                key = tuple(row[column] for column in operation.group_by)
+                groups.setdefault(key, []).append(row)
+        except TypeError as exc:
+            named = [
+                (column, [row[column] for row in relation.rows])
+                for column in operation.group_by
+            ]
+            raise unhashable_key_error("aggregate", named, exc) from exc
         rows: List[dict] = []
         for key, group_members in groups.items():
             out = dict(zip(operation.group_by, key))
@@ -598,15 +614,22 @@ class Executor:
         schema.update(relation.schema)
         assigned: Dict[tuple, int] = {}
         rows = []
-        for row in relation.rows:
-            business = tuple(
-                row[column] for column in operation.business_keys
-            )
-            if business not in assigned:
-                assigned[business] = len(assigned) + 1
-            out = {operation.output: assigned[business]}
-            out.update(row)
-            rows.append(out)
+        try:
+            for row in relation.rows:
+                business = tuple(
+                    row[column] for column in operation.business_keys
+                )
+                if business not in assigned:
+                    assigned[business] = len(assigned) + 1
+                out = {operation.output: assigned[business]}
+                out.update(row)
+                rows.append(out)
+        except TypeError as exc:
+            named = [
+                (column, [row[column] for row in relation.rows])
+                for column in operation.business_keys
+            ]
+            raise unhashable_key_error("surrogate-key", named, exc) from exc
         return Relation(schema=schema, rows=rows)
 
     def _sort_legacy(self, operation: Sort, inputs, stats):

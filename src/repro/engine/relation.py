@@ -70,15 +70,24 @@ class Relation:
 
     def distinct(self) -> "Relation":
         """A new relation with duplicate rows removed (order-preserving)."""
+        from repro.engine.columnar import unhashable_key_error
+
         seen = set()
         unique: List[dict] = []
         columns = self.attribute_names()
-        for row in self.rows:
-            key = tuple(row[column] for column in columns)
-            if key in seen:
-                continue
-            seen.add(key)
-            unique.append(row)
+        try:
+            for row in self.rows:
+                key = tuple(row[column] for column in columns)
+                if key in seen:
+                    continue
+                seen.add(key)
+                unique.append(row)
+        except TypeError as exc:
+            named = [
+                (column, [row[column] for row in self.rows])
+                for column in columns
+            ]
+            raise unhashable_key_error("distinct", named, exc) from exc
         return Relation(schema=dict(self.schema), rows=unique)
 
     def sorted_by(self, keys: List[str], descending: bool = False) -> "Relation":

@@ -1,0 +1,7 @@
+"""``python -m repro.fuzz`` — run the differential fuzzer."""
+
+import sys
+
+from repro.fuzz.runner import main
+
+sys.exit(main())

@@ -1,0 +1,151 @@
+"""The regression corpus: failing trials, frozen as JSON.
+
+Every shrunk failure the fuzzer finds can be serialised to a small JSON
+document and committed under ``tests/fuzz/corpus/``; the tier-1 smoke
+test replays every entry on each run, so a fixed bug stays fixed.
+
+Two entry kinds:
+
+* ``"flow"`` — source tables (schema + rows) and the flow as xLM text;
+  replay runs the full differential flow check.
+* ``"query"`` — documents, query, sort key and limit; replay runs the
+  document-store check against the naive reference.
+
+Dates are tagged ``{"$date": "YYYY-MM-DD"}`` since JSON has no date
+type; everything else the generators produce is JSON-native.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.expressions.types import ScalarType
+from repro.fuzz.datagen import TableSpec
+from repro.fuzz.flowgen import FlowTrial
+from repro.fuzz.oracle import check_flow_trial, check_query_trial
+from repro.fuzz.querygen import QueryTrial
+from repro.xformats import xlm
+
+
+def encode_value(value):
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    if isinstance(value, dict):
+        return {key: encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    return value
+
+
+def decode_value(value):
+    if isinstance(value, dict):
+        if set(value) == {"$date"}:
+            return datetime.date.fromisoformat(value["$date"])
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+def flow_entry(trial: FlowTrial, description: str = "") -> dict:
+    return {
+        "kind": "flow",
+        "description": description,
+        "seed": trial.seed,
+        "tables": [
+            {
+                "name": table.name,
+                "schema": {
+                    column: scalar_type.name
+                    for column, scalar_type in table.schema.items()
+                },
+                "rows": [
+                    {
+                        column: encode_value(row[column])
+                        for column in table.schema
+                    }
+                    for row in table.rows
+                ],
+            }
+            for table in trial.tables
+        ],
+        "xlm": xlm.dumps(trial.flow),
+    }
+
+
+def query_entry(trial: QueryTrial, description: str = "") -> dict:
+    return {
+        "kind": "query",
+        "description": description,
+        "seed": trial.seed,
+        "documents": [
+            encode_value(document) for document in trial.documents
+        ],
+        "query": encode_value(trial.query),
+        "sort_key": trial.sort_key,
+        "limit": trial.limit,
+    }
+
+
+def encode_trial(trial, description: str = "") -> dict:
+    if isinstance(trial, FlowTrial):
+        return flow_entry(trial, description)
+    return query_entry(trial, description)
+
+
+def decode_entry(entry: dict):
+    """An entry dict back into the trial object it froze."""
+    if entry["kind"] == "flow":
+        tables = [
+            TableSpec(
+                name=table["name"],
+                schema={
+                    column: ScalarType[type_name]
+                    for column, type_name in table["schema"].items()
+                },
+                rows=[decode_value(row) for row in table["rows"]],
+            )
+            for table in entry["tables"]
+        ]
+        return FlowTrial(
+            tables=tables,
+            flow=xlm.loads(entry["xlm"]),
+            seed=entry.get("seed"),
+        )
+    if entry["kind"] == "query":
+        return QueryTrial(
+            documents=[
+                decode_value(document) for document in entry["documents"]
+            ],
+            query=decode_value(entry["query"]),
+            sort_key=entry.get("sort_key"),
+            limit=entry.get("limit"),
+            seed=entry.get("seed"),
+        )
+    raise ValueError(f"unknown corpus entry kind {entry.get('kind')!r}")
+
+
+def replay(entry: dict) -> Optional[str]:
+    """Re-run an entry's differential check; ``None`` means it passes."""
+    trial = decode_entry(entry)
+    if isinstance(trial, FlowTrial):
+        return check_flow_trial(trial)
+    return check_query_trial(trial)
+
+
+def load_corpus(directory) -> List[Tuple[Path, dict]]:
+    """All ``*.json`` entries in a corpus directory, sorted by name."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    entries = []
+    for path in sorted(root.glob("*.json")):
+        entries.append((path, json.loads(path.read_text())))
+    return entries
+
+
+def save_entry(path, entry: dict) -> None:
+    Path(path).write_text(json.dumps(entry, indent=2, sort_keys=False) + "\n")

@@ -34,6 +34,37 @@ def _resolve_path(document: dict, path: str):
     return current, True
 
 
+def _sort_group(value):
+    """Type-bucketed total order over document values.
+
+    Values only ever compare against values of the same bucket, so a
+    heterogeneously-typed sort key can never raise ``TypeError`` and no
+    value is coerced into another type.  Booleans get their own bucket
+    (``True == 1`` in Python, but a bool is not a number here), ints and
+    floats share the number bucket, and anything exotic (lists, dicts)
+    falls back to a repr ordering within its own type name.
+    """
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("number", value)
+    if isinstance(value, str):
+        return ("string", value)
+    return (type(value).__name__, repr(value))
+
+
+def _find_sort_key(document: dict, path: str):
+    """Sort key for :meth:`Collection.find`: missing first, then NULL,
+    then present values grouped by type — falsy values (``0``, ``""``,
+    ``False``) sort as themselves, never collapsed."""
+    value, found = _resolve_path(document, path)
+    if not found:
+        return (0, ("", ""))
+    if value is None:
+        return (1, ("", ""))
+    return (2, _sort_group(value))
+
+
 def _compare(op: str, value, expected) -> bool:
     if op == "$eq":
         return value == expected
@@ -103,6 +134,16 @@ class Collection:
     def __init__(self, name: str) -> None:
         self.name = name
         self._documents: Dict[str, dict] = {}
+        #: Monotonic insertion position per id, so the ``_id`` fast path
+        #: can restore collection order without scanning (replacing an
+        #: existing document keeps its position, like dict assignment).
+        self._positions: Dict[str, int] = {}
+        self._next_position = 0
+
+    def _track(self, doc_id) -> None:
+        if doc_id not in self._positions:
+            self._positions[doc_id] = self._next_position
+            self._next_position += 1
 
     # -- writes -----------------------------------------------------------
 
@@ -116,6 +157,7 @@ class Collection:
                 f"document {doc_id!r} already in collection {self.name!r}"
             )
         self._documents[doc_id] = dict(document)
+        self._track(doc_id)
         return doc_id
 
     def replace(self, document: dict) -> str:
@@ -123,6 +165,7 @@ class Collection:
         if "_id" not in document:
             raise RepositoryError("document needs an '_id'")
         self._documents[document["_id"]] = dict(document)
+        self._track(document["_id"])
         return document["_id"]
 
     def update(self, doc_id: str, changes: dict) -> dict:
@@ -136,6 +179,7 @@ class Collection:
         if doc_id not in self._documents:
             raise DocumentNotFoundError(self.name, doc_id)
         del self._documents[doc_id]
+        del self._positions[doc_id]
 
     def delete_many(self, query: dict) -> int:
         doomed = [doc["_id"] for doc in self.find(query)]
@@ -183,11 +227,14 @@ class Collection:
                     return self._documents.values()
             else:
                 wanted = [condition]
-            return [
-                self._documents[doc_id]
-                for doc_id in wanted
-                if doc_id in self._documents
+            # Restore collection (insertion) order: a scan yields
+            # documents in that order, and narrowing by id must not
+            # reorder results behind the caller's back.
+            hits = [
+                doc_id for doc_id in wanted if doc_id in self._documents
             ]
+            hits.sort(key=self._positions.__getitem__)
+            return [self._documents[doc_id] for doc_id in hits]
         except TypeError:  # unhashable id in the query: scan as before
             return self._documents.values()
 
@@ -204,7 +251,7 @@ class Collection:
             if query is None or matches(document, query)
         ]
         if sort_key is not None:
-            results.sort(key=lambda doc: _resolve_path(doc, sort_key)[0] or "")
+            results.sort(key=lambda doc: _find_sort_key(doc, sort_key))
         if limit is not None:
             results = results[:limit]
         return results

@@ -264,6 +264,59 @@ class TestSortDirections:
         amounts = [row["amount"] for row in database.scan("out").rows]
         assert amounts == [None, 5.0, 10.0, 20.0]
 
+    def tied_db(self):
+        database = Database()
+        database.create_table(TableDef("t", {"k": INT, "pos": INT}))
+        database.insert_many(
+            "t",
+            [
+                {"k": 1, "pos": 0},
+                {"k": None, "pos": 1},
+                {"k": 2, "pos": 2},
+                {"k": 1, "pos": 3},
+                {"k": None, "pos": 4},
+                {"k": 2, "pos": 5},
+            ],
+        )
+        return database
+
+    def test_sort_descending_is_stable(self, mode):
+        """``reverse=True`` sorting is stable, not reversed: rows with
+        equal keys (NULL ties included) keep their insertion order."""
+        database = self.tied_db()
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="t"),
+            Sort("sort", keys=("k",), descending=True),
+            Loader("load", table="out"),
+        )
+        run(flow, database, mode)
+        rows = [(row["k"], row["pos"]) for row in database.scan("out").rows]
+        # Descending: values first (2s, then 1s), NULLs last; within
+        # each tie group the original positions stay ascending.
+        assert rows == [
+            (2, 2), (2, 5), (1, 0), (1, 3), (None, 1), (None, 4)
+        ]
+
+    def test_sort_descending_null_placement_matches_legacy(self, mode):
+        """Cross-mode pin: both modes must produce the byte-identical
+        row order, NULL placement included (not only equal multisets)."""
+        ordered = {}
+        for run_mode in ("legacy", mode):
+            database = self.tied_db()
+            flow = EtlFlow("t")
+            flow.chain(
+                Datastore("src", table="t"),
+                Sort("sort", keys=("k", "pos"), descending=True),
+                Loader("load", table="out"),
+            )
+            run(flow, database, run_mode)
+            ordered[run_mode] = [
+                (row["k"], row["pos"]) for row in database.scan("out").rows
+            ]
+        assert ordered[mode] == ordered["legacy"]
+        assert [pair[0] for pair in ordered[mode][-2:]] == [None, None]
+
 
 @pytest.mark.parametrize("mode", MODES)
 class TestFusedChains:
@@ -365,3 +418,105 @@ class TestModeEquivalence:
     def test_unknown_mode_rejected(self):
         with pytest.raises(ValueError):
             Executor(Database(), mode="vectorised")
+
+
+class TestUnhashableKeyValues:
+    """An unhashable value reaching a hashing operator (join, distinct,
+    aggregate, surrogate key) must raise the same ``ExecutionError`` —
+    naming the operator and the offending attribute — in BOTH modes,
+    never a bare ``TypeError``.
+
+    The strict database rejects such values at insert, so the tests go
+    through the fuzzer's :class:`LooseDatabase`, exactly like the
+    differential harness does.
+    """
+
+    def loose_db(self):
+        from repro.fuzz.datagen import LooseDatabase, TableSpec
+
+        return LooseDatabase.from_specs(
+            [
+                TableSpec(
+                    name="left",
+                    schema={"k": INT, "v": STR},
+                    rows=[{"k": [1, 2], "v": "a"}, {"k": 1, "v": "b"}],
+                ),
+                TableSpec(
+                    name="right",
+                    schema={"j": INT},
+                    rows=[{"j": 1}],
+                ),
+            ]
+        )
+
+    def messages(self, flow):
+        caught = {}
+        for mode in MODES:
+            with pytest.raises(ExecutionError) as excinfo:
+                run(flow, self.loose_db(), mode)
+            caught[mode] = str(excinfo.value)
+        return caught
+
+    def test_join_key(self):
+        flow = EtlFlow("t")
+        flow.add(Datastore("lhs", table="left"))
+        flow.add(Datastore("rhs", table="right"))
+        flow.add(Join("join", left_keys=("k",), right_keys=("j",)))
+        flow.add(Loader("load", table="out"))
+        flow.connect("lhs", "join")
+        flow.connect("rhs", "join")
+        flow.connect("join", "load")
+        caught = self.messages(flow)
+        assert caught["legacy"] == caught["columnar"]
+        assert (
+            caught["legacy"]
+            == "join: unhashable value [1, 2] for key attribute 'k'"
+        )
+
+    def test_distinct(self):
+        from repro.etlmodel import Distinct
+
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="left"),
+            Distinct("uniq"),
+            Loader("load", table="out"),
+        )
+        caught = self.messages(flow)
+        assert caught["legacy"] == caught["columnar"]
+        assert (
+            caught["legacy"]
+            == "distinct: unhashable value [1, 2] for key attribute 'k'"
+        )
+
+    def test_aggregate_group_key(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="left"),
+            Aggregation(
+                "agg",
+                group_by=("k",),
+                aggregates=(AggregationSpec("n", "COUNT", "v"),),
+            ),
+            Loader("load", table="out"),
+        )
+        caught = self.messages(flow)
+        assert caught["legacy"] == caught["columnar"]
+        assert (
+            caught["legacy"]
+            == "aggregate: unhashable value [1, 2] for key attribute 'k'"
+        )
+
+    def test_surrogate_business_key(self):
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="left"),
+            SurrogateKey("sk", output="sid", business_keys=("k",)),
+            Loader("load", table="out"),
+        )
+        caught = self.messages(flow)
+        assert caught["legacy"] == caught["columnar"]
+        assert (
+            caught["legacy"]
+            == "surrogate-key: unhashable value [1, 2] for key attribute 'k'"
+        )

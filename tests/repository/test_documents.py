@@ -114,6 +114,29 @@ class TestQueries:
         assert [d["_id"] for d in costly_first] == ["d1", "d2", "d3"]
         assert len(designs.find(limit=2)) == 2
 
+    def test_sort_keeps_falsy_values(self):
+        """Regression: ``0``/``""``/``False`` sort keys used to collapse
+        to ``""`` via ``value or ""``, scrambling numeric order."""
+        collection = Collection("falsy")
+        collection.insert({"_id": "zero", "rank": 0})
+        collection.insert({"_id": "two", "rank": 2})
+        collection.insert({"_id": "neg", "rank": -1})
+        found = collection.find(sort_key="rank")
+        assert [doc["_id"] for doc in found] == ["neg", "zero", "two"]
+
+    def test_sort_mixed_types_never_raises(self):
+        """Regression: mixed int/str sort keys raised ``TypeError``."""
+        collection = Collection("mixed")
+        collection.insert({"_id": "a", "k": 3})
+        collection.insert({"_id": "b", "k": "x"})
+        collection.insert({"_id": "c"})  # key missing
+        collection.insert({"_id": "d", "k": None})
+        collection.insert({"_id": "e", "k": 1})
+        found = collection.find(sort_key="k")
+        # Missing first, then NULL, then values bucketed by type
+        # (numbers before strings), values themselves uncoerced.
+        assert [doc["_id"] for doc in found] == ["c", "d", "e", "a", "b"]
+
     def test_find_one_none_when_empty(self, designs):
         assert designs.find_one({"kind": "nope"}) is None
 
@@ -180,7 +203,9 @@ class TestIdFastPath:
 
     def test_find_by_id_in_operator(self, designs):
         found = designs.find({"_id": {"$in": ["d3", "d1", "d3", "ghost"]}})
-        assert [doc["_id"] for doc in found] == ["d3", "d1"]
+        # Collection (insertion) order, exactly like a full scan — not
+        # the order the ids appear in the $in list.
+        assert [doc["_id"] for doc in found] == ["d1", "d3"]
 
     def test_other_conditions_still_verified(self, designs):
         # The id matches but the rest of the query must too.
@@ -204,6 +229,35 @@ class TestIdFastPath:
         found = designs.find_one({"_id": "d1"})
         found["kind"] = "mutated"
         assert designs.get("d1")["kind"] == "md"
+
+    def test_id_narrowing_matches_scan_order(self):
+        """Regression: every ``_id`` fast path ($eq, $in, plain
+        equality) must yield the same order as the scan it replaces."""
+        collection = Collection("order")
+        for doc_id in ("a", "b", "c"):
+            collection.insert({"_id": doc_id})
+        scan = [doc["_id"] for doc in collection.find()]
+        assert scan == ["a", "b", "c"]
+        assert [
+            doc["_id"]
+            for doc in collection.find({"_id": {"$in": ["c", "a"]}})
+        ] == ["a", "c"]
+        assert [
+            doc["_id"] for doc in collection.find({"_id": {"$eq": "b"}})
+        ] == ["b"]
+        assert [doc["_id"] for doc in collection.find({"_id": "c"})] == ["c"]
+
+    def test_id_in_order_survives_delete_and_replace(self):
+        collection = Collection("order")
+        for doc_id in ("a", "b", "c"):
+            collection.insert({"_id": doc_id})
+        collection.delete("b")
+        collection.replace({"_id": "a", "v": 2})  # keeps its position
+        collection.insert({"_id": "b"})  # re-inserted: now last
+        assert [
+            doc["_id"]
+            for doc in collection.find({"_id": {"$in": ["b", "c", "a"]}})
+        ] == ["a", "c", "b"]
 
     def test_fast_path_avoids_scanning_other_documents(self, designs, monkeypatch):
         import repro.repository.documents as documents_module

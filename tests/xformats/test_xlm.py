@@ -94,6 +94,24 @@ class TestSerialisation:
         for name in flow.node_names():
             assert parsed.node(name) == flow.node(name)
 
+    def test_sort_descending_roundtrip(self):
+        """``descending`` must survive the round-trip in both states —
+        a dropped flag silently flips every descending sort."""
+        from repro.etlmodel import Datastore, EtlFlow, Loader, Sort
+
+        flow = EtlFlow("sorted")
+        flow.chain(
+            Datastore("src", table="t", columns=("a", "b")),
+            Sort("desc", keys=("a", "b"), descending=True),
+            Sort("asc", keys=("b",)),
+            Loader("load", table="out"),
+        )
+        parsed = xlm.loads(xlm.dumps(flow))
+        assert parsed.node("desc") == flow.node("desc")
+        assert parsed.node("desc").descending is True
+        assert parsed.node("asc").descending is False
+        assert xlm.dumps(parsed) == xlm.dumps(flow)
+
 
 class TestParsingErrors:
     def test_not_xml(self):
