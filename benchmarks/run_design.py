@@ -1,0 +1,329 @@
+"""Design-pipeline benchmark runner: incremental vs from-scratch.
+
+Measures the three layers the sub-linear design pipeline rests on and
+writes ``BENCH_design.json``:
+
+* **integrator** — at several design sizes N, the cost of accommodating
+  a change (add / change / remove of the most recent requirement)
+  against a full ``rebuild()`` over all N partial designs,
+* **ontology** — cached to-one closures on a warm
+  :class:`~repro.ontology.graph.OntologyGraph` against uncached
+  recomputation,
+* **repository** — indexed equality lookups against full collection
+  scans.
+
+The runner is also an equivalence gate: every incremental result is
+compared against a from-scratch reference (same xMD/xLM serialisation,
+same requirement order; identical documents for the repository probes;
+identical closures and paths for the ontology) and the process exits
+non-zero on any disagreement — a speedup is only reported for results
+that are known identical.
+
+Usage::
+
+    python -m benchmarks.run_design [--output BENCH_design.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+try:
+    import repro  # noqa: F401  (needs PYTHONPATH=src or an install)
+except ModuleNotFoundError:  # running from a source checkout
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"),
+    )
+
+from repro import Quarry
+from repro.ontology.graph import OntologyGraph
+from repro.repository import Collection
+from repro.sources import tpch
+from repro.xformats import xlm, xmd
+
+from benchmarks._workloads import ROW_COUNTS, requirement_corpus
+
+SIZES = (8, 32, 64, 128)
+ROUNDS = 3
+HEADLINE_SIZE = 64
+
+
+def fresh_quarry() -> Quarry:
+    return Quarry(
+        tpch.ontology(), tpch.schema(), tpch.mappings(), row_counts=ROW_COUNTS
+    )
+
+
+def build_design(count: int) -> Quarry:
+    quarry = fresh_quarry()
+    for requirement in requirement_corpus(count):
+        quarry.add_requirement(requirement)
+    return quarry
+
+
+def design_fingerprint(quarry: Quarry):
+    md_schema, etl_flow = quarry.unified_design()
+    return (
+        xmd.dumps(md_schema),
+        xlm.dumps(etl_flow),
+        [requirement.id for requirement in quarry.requirements()],
+    )
+
+
+def best_of(rounds, action):
+    best = float("inf")
+    for __ in range(rounds):
+        started = time.perf_counter()
+        action()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# -- integrator layer ---------------------------------------------------------
+
+
+def run_integrator_workloads(sizes, rounds, mismatches):
+    results = {}
+    for count in sizes:
+        corpus = requirement_corpus(count + 1)
+        quarry = build_design(count)
+        last = corpus[count - 1]
+        extra = corpus[count]
+
+        rebuild_seconds = best_of(rounds, quarry.rebuild)
+
+        # Incremental add of one more requirement; the follow-up remove
+        # restores the N-requirement design (and is itself free: the
+        # removed requirement is the most recent checkpoint).
+        add_seconds = float("inf")
+        for __ in range(rounds):
+            started = time.perf_counter()
+            quarry.add_requirement(extra)
+            add_seconds = min(add_seconds, time.perf_counter() - started)
+            quarry.remove_requirement(extra.id)
+
+        counts_before = dict(quarry.integration_counts)
+        change_seconds = best_of(
+            rounds, lambda: quarry.change_requirement(last)
+        )
+        change_integrations = (
+            quarry.integration_counts["md"] - counts_before["md"]
+        ) // rounds
+
+        counts_before = dict(quarry.integration_counts)
+        quarry.remove_requirement(last.id)
+        remove_integrations = (
+            quarry.integration_counts["md"] - counts_before["md"]
+        )
+        started = time.perf_counter()
+        quarry.add_requirement(last)
+        readd_seconds = time.perf_counter() - started
+
+        # Equivalence gate: after all the timed churn the design must be
+        # indistinguishable from a from-scratch build of the same order.
+        reference = build_design(count)
+        if design_fingerprint(quarry) != design_fingerprint(reference):
+            mismatches.append(
+                f"N={count}: incremental design differs from "
+                f"from-scratch reference"
+            )
+        results[str(count)] = {
+            "rebuild_seconds": rebuild_seconds,
+            "incremental_add_seconds": add_seconds,
+            "incremental_change_seconds": change_seconds,
+            "remove_last_then_readd_seconds": readd_seconds,
+            "change_speedup_vs_rebuild": rebuild_seconds / change_seconds,
+            "integrations_per_change": change_integrations,
+            "integrations_for_remove_last": remove_integrations,
+            "results_identical": not any(
+                mismatch.startswith(f"N={count}:") for mismatch in mismatches
+            ),
+        }
+        print(
+            f"  N={count:<4} rebuild {rebuild_seconds * 1000:8.1f}ms  "
+            f"add {add_seconds * 1000:6.1f}ms  "
+            f"change {change_seconds * 1000:6.1f}ms  "
+            f"change speedup {results[str(count)]['change_speedup_vs_rebuild']:.1f}x"
+        )
+    return results
+
+
+# -- ontology layer -----------------------------------------------------------
+
+
+def run_ontology_workload(rounds, mismatches):
+    ontology = tpch.ontology()
+    graph = OntologyGraph(ontology)
+    concept_ids = [concept.id for concept in ontology.concepts()]
+    repeats = 25
+
+    def closures(use_cache):
+        return {
+            concept_id: graph.to_one_closure(concept_id, use_cache=use_cache)
+            for concept_id in concept_ids
+        }
+
+    cached_result = closures(True)  # warm the memo before timing
+    uncached_seconds = best_of(
+        rounds, lambda: [closures(False) for __ in range(repeats)]
+    )
+    cached_seconds = best_of(
+        rounds, lambda: [closures(True) for __ in range(repeats)]
+    )
+    if closures(False) != cached_result:
+        mismatches.append("ontology: cached closures differ from uncached")
+
+    # Path queries: a warm graph answers from the memoised closure, a
+    # cold one runs the early-exit BFS — both must agree.
+    cold = OntologyGraph(ontology)
+    for source in concept_ids:
+        for target in concept_ids:
+            if graph.to_one_path(source, target) != cold.to_one_path(
+                source, target
+            ):
+                mismatches.append(
+                    f"ontology: to_one_path({source!r}, {target!r}) "
+                    f"differs warm vs cold"
+                )
+    speedup = uncached_seconds / cached_seconds
+    print(
+        f"  ontology closures: uncached {uncached_seconds * 1000:6.1f}ms  "
+        f"cached {cached_seconds * 1000:6.1f}ms  speedup {speedup:.1f}x"
+    )
+    return {
+        "concepts": len(concept_ids),
+        "repeats_per_round": repeats,
+        "uncached_seconds": uncached_seconds,
+        "cached_seconds": cached_seconds,
+        "speedup": speedup,
+        "results_identical": not any(
+            mismatch.startswith("ontology:") for mismatch in mismatches
+        ),
+    }
+
+
+# -- repository layer ---------------------------------------------------------
+
+
+def run_repository_workload(rounds, mismatches):
+    documents = [
+        {
+            "_id": index,
+            "requirement": f"IR{index % 97}",
+            "kind": "partial" if index % 3 else "unified",
+            "payload": index,
+        }
+        for index in range(2000)
+    ]
+    indexed = Collection("bench")
+    indexed.create_index("requirement")
+    scanned = Collection("bench")
+    for document in documents:
+        indexed.insert(dict(document))
+        scanned.insert(dict(document))
+    probes = [f"IR{index % 97}" for index in range(200)]
+
+    def lookups(collection):
+        return [
+            collection.find({"requirement": probe}) for probe in probes
+        ]
+
+    indexed_results = lookups(indexed)
+    scanned_results = lookups(scanned)
+    if indexed_results != scanned_results:
+        mismatches.append("repository: indexed results differ from scan")
+    if not indexed.stats["index_lookups"]:
+        mismatches.append("repository: probes never touched the index")
+
+    indexed_seconds = best_of(rounds, lambda: lookups(indexed))
+    scanned_seconds = best_of(rounds, lambda: lookups(scanned))
+    speedup = scanned_seconds / indexed_seconds
+    print(
+        f"  repository lookups: scan {scanned_seconds * 1000:6.1f}ms  "
+        f"indexed {indexed_seconds * 1000:6.1f}ms  speedup {speedup:.1f}x"
+    )
+    return {
+        "documents": len(documents),
+        "probes": len(probes),
+        "scan_seconds": scanned_seconds,
+        "indexed_seconds": indexed_seconds,
+        "speedup": speedup,
+        "results_identical": not any(
+            mismatch.startswith("repository:") for mismatch in mismatches
+        ),
+    }
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def run_suite(sizes=SIZES, rounds=ROUNDS, headline_size=HEADLINE_SIZE):
+    """Run every workload; returns ``(report, mismatches)``."""
+    mismatches: list = []
+    print("design-pipeline benchmark: incremental vs from-scratch")
+    integrator = run_integrator_workloads(sizes, rounds, mismatches)
+    ontology = run_ontology_workload(rounds, mismatches)
+    repository = run_repository_workload(rounds, mismatches)
+
+    headline = str(headline_size)
+    change_speedup = (
+        integrator[headline]["change_speedup_vs_rebuild"]
+        if headline in integrator
+        else None
+    )
+    report = {
+        "benchmark": "design pipeline: incremental updates vs from-scratch",
+        "rounds": rounds,
+        "timing": "best of rounds",
+        "design_sizes": integrator,
+        "ontology": ontology,
+        "repository": repository,
+        "headline": {
+            "design_size": headline_size,
+            "incremental_change_speedup": change_speedup,
+            "indexed_lookup_speedup": repository["speedup"],
+            "gate_incremental_change_5x": (
+                change_speedup is not None and change_speedup >= 5.0
+            ),
+            "gate_indexed_lookup_3x": repository["speedup"] >= 3.0,
+        },
+        "all_results_identical": not mismatches,
+    }
+    return report, mismatches
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="BENCH_design.json",
+        help="where to write the JSON report (default: BENCH_design.json)",
+    )
+    options = parser.parse_args(argv)
+    try:
+        # Fail before the measurements, not after a minute of them.
+        open(options.output, "a").close()
+    except OSError as exc:
+        print(f"cannot write {options.output}: {exc}", file=sys.stderr)
+        return 2
+
+    report, mismatches = run_suite()
+    with open(options.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report written to {options.output}")
+
+    if mismatches:
+        for mismatch in mismatches:
+            print(f"MISMATCH: {mismatch}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,7 @@ class EtlIntegrator:
         result = EtlConsolidation(flow=base)
 
         index = self._build_index(base)
+        loaders_by_table = self._build_loader_map(base)
         for name in incoming.topological_order():
             operation = incoming.node(name)
             mapped_inputs = tuple(
@@ -105,7 +106,8 @@ class EtlIntegrator:
                 continue
             if isinstance(operation, Loader):
                 resolved = self._resolve_loader_conflict(
-                    base, operation, mapped_inputs, result, index
+                    base, operation, mapped_inputs, result, index,
+                    loaders_by_table,
                 )
                 if resolved is not None:
                     result.mapping[name] = resolved
@@ -116,6 +118,8 @@ class EtlIntegrator:
             for source in mapped_inputs:
                 base.connect(source, new_name)
             index[key] = new_name
+            if isinstance(operation, Loader):
+                loaders_by_table.setdefault(operation.table, new_name)
             result.mapping[name] = new_name
             result.added.append(new_name)
         base.requirements |= partial.requirements
@@ -135,6 +139,15 @@ class EtlIntegrator:
             key = (_match_signature(operation), tuple(flow.inputs(name)))
             index.setdefault(key, name)
         return index
+
+    def _build_loader_map(self, flow: EtlFlow) -> Dict[str, str]:
+        """Target table -> first loader name, for conflict lookups."""
+        loaders: Dict[str, str] = {}
+        for name in flow.node_names():
+            operation = flow.node(name)
+            if isinstance(operation, Loader):
+                loaders.setdefault(operation.table, name)
+        return loaders
 
     def _unify(
         self,
@@ -192,6 +205,7 @@ class EtlIntegrator:
         mapped_inputs: Tuple[str, ...],
         result: EtlConsolidation,
         index: Dict[Tuple, str],
+        loaders_by_table: Dict[str, str],
     ) -> Optional[str]:
         """Handle an incoming loader whose table is already loaded.
 
@@ -205,12 +219,7 @@ class EtlIntegrator:
         fused into one (union of aggregate specs) and the existing
         loader serves both.
         """
-        existing_loader = None
-        for name in base.node_names():
-            operation = base.node(name)
-            if isinstance(operation, Loader) and operation.table == incoming.table:
-                existing_loader = name
-                break
+        existing_loader = loaders_by_table.get(incoming.table)
         if existing_loader is None:
             return None
         base_input = base.inputs(existing_loader)[0]

@@ -169,19 +169,42 @@ class MDIntegrator:
         With the default weights merging always wins (shared structure
         is counted once); custom weight profiles can flip the decision,
         which the A2 ablation exploits.
+
+        Both alternatives differ from the current unified schema only in
+        one dimension's contribution, so instead of scoring two full
+        trial copies the check adjusts the element counts and evaluates
+        the same weighted sum — all counts are integers, so the scores
+        are identical to the trial-copy ones, decision included.
         """
-        merged_trial = unified.copy()
-        merged_trial.dimensions[match] = conformance.merge_dimensions(
-            merged_trial.dimension(match), dimension
+        base = complexity.analyze(unified, self._weights)
+        old = complexity.dimension_counts(unified.dimension(match))
+        merged = complexity.dimension_counts(
+            conformance.merge_dimensions(unified.dimension(match), dimension)
         )
-        separate_trial = unified.copy()
-        separate_trial.add_dimension(
-            _copy_dimension(
-                dimension, _fresh_name(dimension.name, separate_trial.dimensions)
-            )
+        incoming = complexity.dimension_counts(dimension)
+        shared = {
+            "facts": base.facts,
+            "measures": base.measures,
+            "links": base.links,
+        }
+        merged_score = complexity.score_counts(
+            self._weights,
+            dimensions=base.dimensions - old["dimensions"] + merged["dimensions"],
+            levels=base.levels - old["levels"] + merged["levels"],
+            attributes=base.attributes - old["attributes"] + merged["attributes"],
+            hierarchies=(
+                base.hierarchies - old["hierarchies"] + merged["hierarchies"]
+            ),
+            **shared,
         )
-        merged_score = complexity.score(merged_trial, self._weights)
-        separate_score = complexity.score(separate_trial, self._weights)
+        separate_score = complexity.score_counts(
+            self._weights,
+            dimensions=base.dimensions + incoming["dimensions"],
+            levels=base.levels + incoming["levels"],
+            attributes=base.attributes + incoming["attributes"],
+            hierarchies=base.hierarchies + incoming["hierarchies"],
+            **shared,
+        )
         return merged_score <= separate_score
 
     # -- facts ------------------------------------------------------------------

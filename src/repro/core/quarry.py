@@ -148,6 +148,14 @@ class Quarry:
         self._order: List[str] = []
         self._unified_md = MDSchema(name="unified")
         self._unified_etl = EtlFlow(name="unified")
+        # Unified design after each commit, aligned with self._order:
+        # _checkpoints[i] is the state after integrating _order[:i + 1].
+        # Stored by reference — integrate()/consolidate() copy their
+        # inputs, so a committed snapshot is never mutated afterwards.
+        self._checkpoints: List[Tuple[MDSchema, EtlFlow]] = []
+        #: How many MD / ETL integration calls this instance has made —
+        #: the observable that incremental changes stay sub-linear.
+        self.integration_counts: Dict[str, int] = {"md": 0, "etl": 0}
 
     # -- component access ---------------------------------------------------
 
@@ -177,13 +185,7 @@ class Quarry:
                 f"change_requirement"
             )
         partial = self._interpreter.interpret(requirement)
-        md_result = self._md_integrator.integrate(
-            self._unified_md, partial.md_schema
-        )
-        etl_flow = _retarget_loaders(partial.etl_flow, md_result)
-        etl_result = self._etl_integrator.consolidate(
-            self._unified_etl, etl_flow, row_counts=self._row_counts
-        )
+        md_result, etl_result = self._integrate_partial(partial)
         self._commit(requirement, partial, md_result, etl_result)
         return ChangeReport(
             requirement_id=requirement.id,
@@ -252,11 +254,7 @@ class Quarry:
             md_schema=md_schema,
             etl_flow=etl_flow,
         )
-        md_result = self._md_integrator.integrate(self._unified_md, md_schema)
-        rewritten = _retarget_loaders(etl_flow, md_result)
-        etl_result = self._etl_integrator.consolidate(
-            self._unified_etl, rewritten, row_counts=self._row_counts
-        )
+        md_result, etl_result = self._integrate_partial(partial)
         self._commit(requirement, partial, md_result, etl_result)
         return ChangeReport(
             requirement_id=requirement.id,
@@ -281,20 +279,44 @@ class Quarry:
         )
 
     def remove_requirement(self, requirement_id: str) -> ChangeReport:
-        """Drop a requirement and re-integrate the remaining ones."""
+        """Drop a requirement and re-integrate the ones after it.
+
+        Integration is a deterministic left fold over the requirement
+        order, so the design up to the removed requirement is untouched:
+        the checkpoint just before it is restored and only the suffix is
+        re-integrated.  Removing the most recent requirement therefore
+        costs no integration calls at all.
+        """
         if requirement_id not in self._partials:
             raise QuarryError(f"unknown requirement {requirement_id!r}")
+        index = self._order.index(requirement_id)
         del self._partials[requirement_id]
-        self._order.remove(requirement_id)
+        self._order.pop(index)
         self._repository.delete_requirement(requirement_id)
-        self._rebuild()
+        self._reintegrate_from(index)
         return ChangeReport(requirement_id=requirement_id, action="removed")
+
+    def _integrate_partial(
+        self, partial: PartialDesign
+    ) -> Tuple[MDIntegration, EtlConsolidation]:
+        """Integrate one partial design into the current unified pair."""
+        md_result = self._md_integrator.integrate(
+            self._unified_md, partial.md_schema
+        )
+        self.integration_counts["md"] += 1
+        etl_flow = _retarget_loaders(partial.etl_flow, md_result)
+        etl_result = self._etl_integrator.consolidate(
+            self._unified_etl, etl_flow, row_counts=self._row_counts
+        )
+        self.integration_counts["etl"] += 1
+        return md_result, etl_result
 
     def _commit(self, requirement, partial, md_result, etl_result) -> None:
         self._unified_md = md_result.schema
         self._unified_etl = etl_result.flow
         self._partials[requirement.id] = partial
         self._order.append(requirement.id)
+        self._checkpoints.append((self._unified_md, self._unified_etl))
         self._verify_satisfiability()
         self._repository.save_requirement(requirement)
         self._repository.save_partial_design(
@@ -304,20 +326,30 @@ class Quarry:
             "current", self._unified_md, self._unified_etl, list(self._order)
         )
 
-    def _rebuild(self) -> None:
-        """Re-integrate all remaining partial designs from scratch."""
-        self._unified_md = MDSchema(name="unified")
-        self._unified_etl = EtlFlow(name="unified")
-        for requirement_id in self._order:
+    def rebuild(self) -> None:
+        """Re-integrate every partial design from scratch.
+
+        The pre-incremental code path, kept as the reference the
+        incremental updates are verified (and benchmarked) against —
+        both produce the same deterministic fold over the requirement
+        order, so their results are identical.
+        """
+        self._reintegrate_from(0)
+
+    def _reintegrate_from(self, start: int) -> None:
+        """Restore the checkpoint before ``start`` and re-fold the rest."""
+        del self._checkpoints[start:]
+        if start == 0:
+            self._unified_md = MDSchema(name="unified")
+            self._unified_etl = EtlFlow(name="unified")
+        else:
+            self._unified_md, self._unified_etl = self._checkpoints[start - 1]
+        for requirement_id in self._order[start:]:
             partial = self._partials[requirement_id]
-            md_result = self._md_integrator.integrate(
-                self._unified_md, partial.md_schema
-            )
+            md_result, etl_result = self._integrate_partial(partial)
             self._unified_md = md_result.schema
-            etl_flow = _retarget_loaders(partial.etl_flow, md_result)
-            self._unified_etl = self._etl_integrator.consolidate(
-                self._unified_etl, etl_flow, row_counts=self._row_counts
-            ).flow
+            self._unified_etl = etl_result.flow
+            self._checkpoints.append((self._unified_md, self._unified_etl))
         self._verify_satisfiability()
         self._repository.save_unified_design(
             "current", self._unified_md, self._unified_etl, list(self._order)

@@ -87,6 +87,7 @@ def query_entry(trial: QueryTrial, description: str = "") -> dict:
         "query": encode_value(trial.query),
         "sort_key": trial.sort_key,
         "limit": trial.limit,
+        "indexes": list(trial.indexes),
     }
 
 
@@ -123,6 +124,7 @@ def decode_entry(entry: dict):
             query=decode_value(entry["query"]),
             sort_key=entry.get("sort_key"),
             limit=entry.get("limit"),
+            indexes=list(entry.get("indexes", [])),
             seed=entry.get("seed"),
         )
     raise ValueError(f"unknown corpus entry kind {entry.get('kind')!r}")

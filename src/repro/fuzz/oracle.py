@@ -128,10 +128,21 @@ def _canonical_documents(documents: List[dict]) -> List[str]:
 
 
 def check_query_trial(trial: QueryTrial) -> Optional[str]:
-    """Differential check of the document store against the reference."""
+    """Differential check of the document store against the reference.
+
+    Index declarations are split around the writes: even positions are
+    created up front (exercising incremental maintenance on every
+    replace), odd positions after (exercising the backfill path).
+    """
     collection = Collection("fuzz")
+    for position, path in enumerate(trial.indexes):
+        if position % 2 == 0:
+            collection.create_index(path)
     for document in trial.documents:
         collection.replace(document)
+    for position, path in enumerate(trial.indexes):
+        if position % 2 == 1:
+            collection.create_index(path)
 
     actual = _query_outcome(
         lambda: _canonical_documents(

@@ -35,12 +35,19 @@ _REGEXES = ["^x", "x$", "a", "[xy]", "^$", " "]
 
 @dataclass
 class QueryTrial:
-    """One differential trial against the document store."""
+    """One differential trial against the document store.
+
+    ``indexes`` lists dotted paths the collection declares secondary
+    indexes on before the trial's documents are written.  The reference
+    knows nothing about indexes, so any trial where index routing
+    changes a result (or an error) diverges.
+    """
 
     documents: List[dict]
     query: Optional[dict]
     sort_key: Optional[str]
     limit: Optional[int]
+    indexes: List[str] = field(default_factory=list)
     seed: object = None
     notes: List[str] = field(default_factory=list)
 
@@ -128,6 +135,21 @@ def _random_query(rng: random.Random, depth: int = 1) -> Optional[dict]:
     return query
 
 
+def _random_indexes(rng: random.Random) -> List[str]:
+    """A random set of index declarations for a trial.
+
+    Half of the trials run unindexed (the scan path must stay correct
+    too); the rest index a few paths, ``_id`` included — an ``_id``
+    secondary index is redundant with the primary fast path but must
+    not change any answer.
+    """
+    if rng.random() < 0.5:
+        return []
+    pool = list(_PATHS) + ["_id"]
+    rng.shuffle(pool)
+    return pool[: rng.randint(1, 3)]
+
+
 def build_query_trial(seed: int) -> QueryTrial:
     """The deterministic query trial for a seed."""
     rng = random.Random(f"query:{seed}")
@@ -137,11 +159,13 @@ def build_query_trial(seed: int) -> QueryTrial:
         rng.choice(_PATHS + ["_id"]) if rng.random() < 0.45 else None
     )
     limit = rng.randint(0, 5) if rng.random() < 0.3 else None
+    indexes = _random_indexes(rng)
     return QueryTrial(
         documents=documents,
         query=query,
         sort_key=sort_key,
         limit=limit,
+        indexes=indexes,
         seed=seed,
     )
 

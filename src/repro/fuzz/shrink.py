@@ -223,6 +223,7 @@ def shrink_query_trial(
             "query": trial.query,
             "sort_key": trial.sort_key,
             "limit": trial.limit,
+            "indexes": list(trial.indexes),
             "seed": trial.seed,
             "notes": trial.notes,
         }
@@ -258,6 +259,15 @@ def shrink_query_trial(
         ):
             trial = variant(sort_key=None)
             improved = True
+            continue
+        for index in range(len(trial.indexes)):
+            indexes = trial.indexes[:index] + trial.indexes[index + 1:]
+            candidate = variant(indexes=indexes)
+            if still_fails(candidate):
+                trial = candidate
+                improved = True
+                break
+        if improved:
             continue
         for simpler in _query_candidates(trial.query):
             candidate = variant(query=simpler)

@@ -14,6 +14,7 @@ into an existing dimension always scores no worse than duplicating it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.mdmodel.model import MDSchema
 
@@ -95,6 +96,44 @@ def analyze(schema: MDSchema, weights: ComplexityWeights = DEFAULT_WEIGHTS) -> C
 def score(schema: MDSchema, weights: ComplexityWeights = DEFAULT_WEIGHTS) -> float:
     """The weighted complexity score alone."""
     return analyze(schema, weights).score
+
+
+def score_counts(
+    weights: ComplexityWeights,
+    facts: int = 0,
+    measures: int = 0,
+    dimensions: int = 0,
+    levels: int = 0,
+    attributes: int = 0,
+    hierarchies: int = 0,
+    links: int = 0,
+) -> float:
+    """The weighted score of explicit element counts.
+
+    Evaluates the exact expression :func:`analyze` uses, so a score
+    assembled from adjusted counts is bit-identical to scoring a schema
+    holding those counts — integrators can cost hypothetical merge/keep
+    alternatives without materialising trial schema copies.
+    """
+    return (
+        weights.fact * facts
+        + weights.measure * measures
+        + weights.dimension * dimensions
+        + weights.level * levels
+        + weights.attribute * attributes
+        + weights.hierarchy * hierarchies
+        + weights.link * links
+    )
+
+
+def dimension_counts(dimension) -> Dict[str, int]:
+    """Element counts one dimension contributes to a schema score."""
+    return {
+        "dimensions": 1,
+        "levels": len(dimension.levels),
+        "attributes": dimension.attribute_count(),
+        "hierarchies": len(dimension.hierarchies),
+    }
 
 
 def compare(

@@ -71,54 +71,121 @@ class ConceptPath:
 
 
 class OntologyGraph:
-    """Adjacency-indexed view of an ontology for path queries."""
+    """Adjacency-indexed view of an ontology for path queries.
+
+    The adjacency (per-concept hop lists, split into all hops and
+    functional hops) is derived once per ontology *generation* and the
+    to-one closures are memoised per source concept.  Any mutation of
+    the underlying ontology bumps its generation counter, which drops
+    every derived structure here — a stale closure is never served.
+
+    ``stats`` counts cache behaviour (``closure_computes``,
+    ``closure_hits``, ``bfs_expansions``, ``rebuilds``) so tests and
+    benchmarks can assert the cheap path was actually taken.
+    """
 
     def __init__(self, ontology: Ontology) -> None:
         self._ontology = ontology
-        self._forward: Dict[str, List[ObjectProperty]] = {}
-        self._backward: Dict[str, List[ObjectProperty]] = {}
-        for concept in ontology.concepts():
-            self._forward[concept.id] = []
-            self._backward[concept.id] = []
-        for prop in ontology.object_properties():
-            self._forward[prop.domain].append(prop)
-            self._backward[prop.range].append(prop)
+        self._generation = -1
+        self._steps: Dict[str, Tuple[PathStep, ...]] = {}
+        self._to_one_steps: Dict[str, Tuple[PathStep, ...]] = {}
+        self._closures: Dict[str, Dict[str, ConceptPath]] = {}
+        self.stats: Dict[str, int] = {
+            "closure_computes": 0,
+            "closure_hits": 0,
+            "bfs_expansions": 0,
+            "rebuilds": 0,
+        }
+        self._refresh()
 
     @property
     def ontology(self) -> Ontology:
         return self._ontology
 
+    # -- cache upkeep --------------------------------------------------------
+
+    def _ensure_current(self) -> None:
+        if self._ontology.generation != self._generation:
+            self._refresh()
+
+    def _refresh(self) -> None:
+        """Re-derive the adjacency for the ontology's current generation."""
+        self._generation = self._ontology.generation
+        forward: Dict[str, List[ObjectProperty]] = {}
+        backward: Dict[str, List[ObjectProperty]] = {}
+        for concept in self._ontology.concepts():
+            forward[concept.id] = []
+            backward[concept.id] = []
+        for prop in self._ontology.object_properties():
+            forward[prop.domain].append(prop)
+            backward[prop.range].append(prop)
+        self._steps = {}
+        self._to_one_steps = {}
+        for concept_id in forward:
+            steps = [
+                PathStep(prop.id, concept_id, prop.range, forward=True)
+                for prop in forward[concept_id]
+            ] + [
+                PathStep(prop.id, concept_id, prop.domain, forward=False)
+                for prop in backward[concept_id]
+            ]
+            self._steps[concept_id] = tuple(steps)
+            self._to_one_steps[concept_id] = tuple(
+                step
+                for step in steps
+                if step.multiplicity(self._ontology).to_one
+            )
+        self._closures.clear()
+        self.stats["rebuilds"] += 1
+
     # -- neighbourhood -------------------------------------------------------
 
     def neighbours(self, concept_id: str) -> Iterator[PathStep]:
         """All single hops leaving ``concept_id``, in both directions."""
+        self._ensure_current()
         self._ontology.concept(concept_id)
-        for prop in self._forward.get(concept_id, ()):
-            yield PathStep(prop.id, concept_id, prop.range, forward=True)
-        for prop in self._backward.get(concept_id, ()):
-            yield PathStep(prop.id, concept_id, prop.domain, forward=False)
+        return iter(self._steps.get(concept_id, ()))
 
     def to_one_neighbours(self, concept_id: str) -> Iterator[PathStep]:
         """Single hops from ``concept_id`` that are functional."""
-        for step in self.neighbours(concept_id):
-            if step.multiplicity(self._ontology).to_one:
-                yield step
+        self._ensure_current()
+        self._ontology.concept(concept_id)
+        return iter(self._to_one_steps.get(concept_id, ()))
 
     # -- functional closure ----------------------------------------------------
 
-    def to_one_closure(self, concept_id: str) -> Dict[str, ConceptPath]:
+    def to_one_closure(
+        self, concept_id: str, use_cache: bool = True
+    ) -> Dict[str, ConceptPath]:
         """All concepts reachable from ``concept_id`` over to-one paths.
 
         Returns a map target concept -> shortest to-one path.  The source
         itself is not included.  This is the dimension-candidate set for
-        a fact centred on ``concept_id``.
+        a fact centred on ``concept_id``.  Pass ``use_cache=False`` to
+        bypass the memo (benchmark baseline); the returned dict is a
+        fresh copy either way, safe for the caller to mutate.
         """
+        self._ensure_current()
+        self._ontology.concept(concept_id)
+        if use_cache:
+            cached = self._closures.get(concept_id)
+            if cached is not None:
+                self.stats["closure_hits"] += 1
+                return dict(cached)
+        paths = self._compute_to_one_closure(concept_id)
+        if use_cache:
+            self._closures[concept_id] = paths
+        return dict(paths)
+
+    def _compute_to_one_closure(self, concept_id: str) -> Dict[str, ConceptPath]:
         paths: Dict[str, ConceptPath] = {}
         queue = deque([(concept_id, ())])
         visited = {concept_id}
+        self.stats["closure_computes"] += 1
         while queue:
             current, steps = queue.popleft()
-            for step in self.to_one_neighbours(current):
+            self.stats["bfs_expansions"] += 1
+            for step in self._to_one_steps.get(current, ()):
                 if step.target in visited:
                     continue
                 visited.add(step.target)
@@ -128,10 +195,34 @@ class OntologyGraph:
         return paths
 
     def to_one_path(self, source: str, target: str) -> Optional[ConceptPath]:
-        """Shortest to-one path from source to target, or None."""
+        """Shortest to-one path from source to target, or None.
+
+        Target-directed: the BFS stops as soon as ``target`` is reached
+        instead of materialising the whole closure.  A closure already
+        cached for ``source`` is used directly.
+        """
+        self._ensure_current()
+        self._ontology.concept(source)
         if source == target:
             return ConceptPath(())
-        return self.to_one_closure(source).get(target)
+        cached = self._closures.get(source)
+        if cached is not None:
+            self.stats["closure_hits"] += 1
+            return cached.get(target)
+        queue = deque([(source, ())])
+        visited = {source}
+        while queue:
+            current, steps = queue.popleft()
+            self.stats["bfs_expansions"] += 1
+            for step in self._to_one_steps.get(current, ()):
+                if step.target in visited:
+                    continue
+                visited.add(step.target)
+                path_steps = steps + (step,)
+                if step.target == target:
+                    return ConceptPath(path_steps)
+                queue.append((step.target, path_steps))
+        return None
 
     # -- undirected shortest paths ----------------------------------------------
 
@@ -140,7 +231,9 @@ class OntologyGraph:
 
         Used by the ETL generator to find the join route between the
         source tables a requirement touches, regardless of FK direction.
+        Early-exits the moment the target is discovered.
         """
+        self._ensure_current()
         self._ontology.concept(source)
         self._ontology.concept(target)
         if source == target:
@@ -149,7 +242,8 @@ class OntologyGraph:
         visited = {source}
         while queue:
             current, steps = queue.popleft()
-            for step in self.neighbours(current):
+            self.stats["bfs_expansions"] += 1
+            for step in self._steps.get(current, ()):
                 if step.target in visited:
                     continue
                 visited.add(step.target)
@@ -188,14 +282,13 @@ class OntologyGraph:
         dimension-level candidate; the elicitor uses this signal when
         ranking suggestions.
         """
-        count = 0
-        for prop in self._backward.get(concept_id, ()):
-            if prop.multiplicity.to_one:
-                count += 1
-        for prop in self._forward.get(concept_id, ()):
-            if prop.multiplicity.inverse.to_one:
-                count += 1
-        return count
+        self._ensure_current()
+        self._ontology.concept(concept_id)
+        return sum(
+            1
+            for step in self._steps.get(concept_id, ())
+            if step.multiplicity(self._ontology).inverse.to_one
+        )
 
     def fan_out(self, concept_id: str) -> int:
         """Number of to-one arcs leaving ``concept_id``.
@@ -203,4 +296,6 @@ class OntologyGraph:
         A concept with high to-one fan-out references many others — the
         signature of an event/transaction concept, i.e. a fact candidate.
         """
-        return sum(1 for _ in self.to_one_neighbours(concept_id))
+        self._ensure_current()
+        self._ontology.concept(concept_id)
+        return len(self._to_one_steps.get(concept_id, ()))

@@ -112,6 +112,14 @@ class Ontology:
     _concepts: Dict[str, Concept] = field(default_factory=dict)
     _datatype_properties: Dict[str, DatatypeProperty] = field(default_factory=dict)
     _object_properties: Dict[str, ObjectProperty] = field(default_factory=dict)
+    #: Bumped on every mutation; derived views (graphs, reasoners) key
+    #: their caches on it so stale closures are never served.
+    _generation: int = 0
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter for cache invalidation."""
+        return self._generation
 
     # -- insertion ---------------------------------------------------------
 
@@ -121,6 +129,7 @@ class Ontology:
         if concept.parent is not None and concept.parent not in self._concepts:
             raise UnknownConceptError(concept.parent)
         self._concepts[concept.id] = concept
+        self._generation += 1
         return concept
 
     def add_datatype_property(self, prop: DatatypeProperty) -> DatatypeProperty:
@@ -129,6 +138,7 @@ class Ontology:
         if prop.concept not in self._concepts:
             raise UnknownConceptError(prop.concept)
         self._datatype_properties[prop.id] = prop
+        self._generation += 1
         return prop
 
     def add_object_property(self, prop: ObjectProperty) -> ObjectProperty:
@@ -138,6 +148,31 @@ class Ontology:
             if concept_id not in self._concepts:
                 raise UnknownConceptError(concept_id)
         self._object_properties[prop.id] = prop
+        self._generation += 1
+        return prop
+
+    # -- mutation ----------------------------------------------------------
+
+    def replace_concept(self, concept: Concept) -> Concept:
+        """Overwrite an existing concept (e.g. to re-parent it)."""
+        if concept.id not in self._concepts:
+            raise UnknownConceptError(concept.id)
+        if concept.parent is not None and concept.parent not in self._concepts:
+            raise UnknownConceptError(concept.parent)
+        self._concepts[concept.id] = concept
+        self._generation += 1
+        return concept
+
+    def replace_object_property(self, prop: ObjectProperty) -> ObjectProperty:
+        """Overwrite an existing object property (e.g. to change its
+        multiplicity); domain and range must exist."""
+        if prop.id not in self._object_properties:
+            raise UnknownPropertyError(prop.id)
+        for concept_id in (prop.domain, prop.range):
+            if concept_id not in self._concepts:
+                raise UnknownConceptError(concept_id)
+        self._object_properties[prop.id] = prop
+        self._generation += 1
         return prop
 
     def _check_fresh_id(self, element_id: str) -> None:

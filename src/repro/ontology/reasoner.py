@@ -11,20 +11,49 @@ A small forward reasoner covering what Quarry needs from Jena:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set
 
 from repro.errors import OntologyError
 from repro.ontology.model import DatatypeProperty, ObjectProperty, Ontology
 
 
 class Reasoner:
-    """Materialises the subsumption closure of an ontology."""
+    """Materialises the subsumption closure of an ontology.
+
+    The closure (ancestor chains, an ancestor set per concept for O(1)
+    subsumption checks, and a reverse descendant index) is computed
+    eagerly at construction — cycle detection stays a constructor-time
+    error — and recomputed automatically whenever the ontology's
+    generation counter shows it has mutated since, so stale subsumption
+    facts are never served.
+    """
 
     def __init__(self, ontology: Ontology) -> None:
         self._ontology = ontology
         self._ancestors: Dict[str, List[str]] = {}
-        for concept in ontology.concepts():
+        self._ancestor_sets: Dict[str, FrozenSet[str]] = {}
+        self._descendants: Dict[str, List[str]] = {}
+        self._generation: Optional[int] = None
+        self._refresh()
+
+    def _ensure_current(self) -> None:
+        if self._ontology.generation != self._generation:
+            self._refresh()
+
+    def _refresh(self) -> None:
+        """Materialise the subsumption closure for the current generation."""
+        self._generation = self._ontology.generation
+        self._ancestors = {}
+        for concept in self._ontology.concepts():
             self._ancestors[concept.id] = self._compute_ancestors(concept.id)
+        self._ancestor_sets = {
+            concept_id: frozenset(chain)
+            for concept_id, chain in self._ancestors.items()
+        }
+        self._descendants = {concept_id: [] for concept_id in self._ancestors}
+        for concept_id, chain in self._ancestors.items():
+            for ancestor in chain:
+                self._descendants[ancestor].append(concept_id)
 
     def _compute_ancestors(self, concept_id: str) -> List[str]:
         """Chain of ancestors, nearest first; detects parent cycles."""
@@ -45,27 +74,27 @@ class Reasoner:
 
     def ancestors(self, concept_id: str) -> List[str]:
         """Proper ancestors of a concept, nearest first."""
+        self._ensure_current()
         self._ontology.concept(concept_id)
         return list(self._ancestors[concept_id])
 
     def descendants(self, concept_id: str) -> List[str]:
         """Proper descendants of a concept, in insertion order."""
+        self._ensure_current()
         self._ontology.concept(concept_id)
-        return [
-            other
-            for other, ancestors in self._ancestors.items()
-            if concept_id in ancestors
-        ]
+        return list(self._descendants[concept_id])
 
     def is_subconcept(self, candidate: str, ancestor: str) -> bool:
         """Reflexive subsumption check: candidate ⊑ ancestor."""
+        self._ensure_current()
         if candidate == ancestor:
             self._ontology.concept(candidate)
             return True
-        return ancestor in self._ancestors.get(candidate, ())
+        return ancestor in self._ancestor_sets.get(candidate, frozenset())
 
     def least_common_subsumer(self, first: str, second: str) -> Optional[str]:
         """The most specific concept subsuming both, or None."""
+        self._ensure_current()
         first_chain = [first] + self._ancestors.get(first, [])
         second_chain = {second, *self._ancestors.get(second, [])}
         for concept_id in first_chain:
@@ -86,18 +115,21 @@ class Reasoner:
         the same id never occur (ids are globally unique), so no
         deduplication is needed.
         """
+        self._ensure_current()
         lineage = [concept_id] + self._ancestors.get(concept_id, [])
         for ancestor in lineage:
             yield from self._ontology.datatype_properties(ancestor)
 
     def object_properties_from(self, concept_id: str) -> Iterator[ObjectProperty]:
         """Own + inherited outgoing object properties."""
+        self._ensure_current()
         lineage = [concept_id] + self._ancestors.get(concept_id, [])
         for ancestor in lineage:
             yield from self._ontology.properties_from(ancestor)
 
     def property_owner(self, concept_id: str, property_id: str) -> Optional[str]:
         """The concept in the lineage that declares ``property_id``."""
+        self._ensure_current()
         lineage = [concept_id] + self._ancestors.get(concept_id, [])
         for ancestor in lineage:
             for prop in self._ontology.datatype_properties(ancestor):

@@ -4,12 +4,19 @@ Documents are plain JSON-compatible dicts with a required ``_id``.
 Filters support equality on (dotted) paths plus the operators
 ``$eq $ne $gt $gte $lt $lte $in $nin $exists $regex`` and the
 conjunctions ``$and $or $not``.
+
+Collections support secondary (field-value) indexes on declared dotted
+paths, maintained on every write.  A small query planner routes
+top-level equality and ``$in`` filters through an index and falls back
+to a full scan for everything else; candidates from any route are still
+verified against the full query, so an index can change only *how fast*
+a query answers, never *what* it answers.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.errors import (
     DocumentNotFoundError,
@@ -128,6 +135,112 @@ def matches(document: dict, query: dict) -> bool:
     return True
 
 
+def _query_is_safe(query: dict) -> bool:
+    """Whether evaluating ``query`` can never raise, on any document.
+
+    Index routing and limit short-circuiting skip documents a full scan
+    would have match-tested; that is only sound when none of those
+    skipped evaluations could have raised (unknown operator, malformed
+    ``$in``/``$regex`` operand).  Unsafe queries take the plain scan
+    path so error behaviour is bit-identical to an unindexed collection.
+    """
+    for key, condition in query.items():
+        if key in ("$and", "$or"):
+            if not isinstance(condition, (list, tuple)) or not all(
+                isinstance(sub, dict) and _query_is_safe(sub)
+                for sub in condition
+            ):
+                return False
+            continue
+        if key == "$not":
+            if not isinstance(condition, dict) or not _query_is_safe(condition):
+                return False
+            continue
+        if isinstance(condition, dict) and any(
+            op.startswith("$") for op in condition
+        ):
+            for op, expected in condition.items():
+                if op == "$exists":
+                    continue
+                if op not in _OPERATORS:
+                    return False
+                if op in ("$in", "$nin") and not isinstance(
+                    expected, (list, tuple)
+                ):
+                    return False
+                if op == "$regex":
+                    if not isinstance(expected, str):
+                        return False
+                    try:
+                        re.compile(expected)
+                    except re.error:
+                        return False
+    return True
+
+
+class _FieldIndex:
+    """Equality index over one dotted path.
+
+    ``buckets`` maps a document's value at the path to the ids holding
+    it.  Values that Python cannot hash (lists, dicts) land in the
+    ``loose`` set, which every index lookup includes wholesale — the
+    full-query verification pass filters them, so unhashable values cost
+    a small residual scan instead of wrong answers.  Documents without
+    the path are absent entirely: equality and ``$in`` can never match
+    a missing field.
+    """
+
+    __slots__ = ("path", "buckets", "loose")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.buckets: Dict[object, Set] = {}
+        self.loose: Set = set()
+
+    def add(self, doc_id, document: dict) -> None:
+        value, found = _resolve_path(document, self.path)
+        if not found:
+            return
+        try:
+            bucket = self.buckets.setdefault(value, set())
+        except TypeError:
+            self.loose.add(doc_id)
+            return
+        bucket.add(doc_id)
+
+    def remove(self, doc_id, document: dict) -> None:
+        value, found = _resolve_path(document, self.path)
+        if not found:
+            return
+        try:
+            bucket = self.buckets.get(value)
+        except TypeError:
+            self.loose.discard(doc_id)
+            return
+        if bucket is not None:
+            bucket.discard(doc_id)
+            if not bucket:
+                del self.buckets[value]
+
+    def lookup(self, values: Iterable) -> Set:
+        """Ids whose indexed value *may* equal one of ``values``.
+
+        A superset of the true matches (it always includes ``loose``);
+        the caller verifies candidates against the full query.
+        """
+        ids = set(self.loose)
+        for value in values:
+            try:
+                bucket = self.buckets.get(value)
+            except TypeError:
+                # An unhashable probe can only equal unhashable stored
+                # values, and those are all in ``loose`` already.
+                continue
+            if bucket:
+                ids.update(bucket)
+        return ids
+
+
 class Collection:
     """One named collection of documents."""
 
@@ -139,11 +252,44 @@ class Collection:
         #: existing document keeps its position, like dict assignment).
         self._positions: Dict[str, int] = {}
         self._next_position = 0
+        self._indexes: Dict[str, _FieldIndex] = {}
+        #: Which route answered each read — tests and benchmarks assert
+        #: the planner took the cheap path.
+        self.stats: Dict[str, int] = {
+            "scans": 0, "index_lookups": 0, "id_lookups": 0,
+        }
 
     def _track(self, doc_id) -> None:
         if doc_id not in self._positions:
             self._positions[doc_id] = self._next_position
             self._next_position += 1
+
+    # -- indexes ----------------------------------------------------------
+
+    def create_index(self, path: str) -> None:
+        """Declare (idempotently) an equality index on a dotted path.
+
+        Existing documents are backfilled immediately; subsequent writes
+        maintain the index incrementally.
+        """
+        if path in self._indexes:
+            return
+        index = _FieldIndex(path)
+        for doc_id, document in self._documents.items():
+            index.add(doc_id, document)
+        self._indexes[path] = index
+
+    def indexes(self) -> List[str]:
+        """Declared index paths, in declaration order."""
+        return list(self._indexes)
+
+    def _index_add(self, doc_id, document: dict) -> None:
+        for index in self._indexes.values():
+            index.add(doc_id, document)
+
+    def _index_remove(self, doc_id, document: dict) -> None:
+        for index in self._indexes.values():
+            index.remove(doc_id, document)
 
     # -- writes -----------------------------------------------------------
 
@@ -156,35 +302,49 @@ class Collection:
             raise DuplicateDocumentError(
                 f"document {doc_id!r} already in collection {self.name!r}"
             )
-        self._documents[doc_id] = dict(document)
+        stored = dict(document)
+        self._documents[doc_id] = stored
         self._track(doc_id)
+        self._index_add(doc_id, stored)
         return doc_id
 
     def replace(self, document: dict) -> str:
         """Insert or overwrite by ``_id`` (upsert)."""
         if "_id" not in document:
             raise RepositoryError("document needs an '_id'")
-        self._documents[document["_id"]] = dict(document)
-        self._track(document["_id"])
-        return document["_id"]
+        doc_id = document["_id"]
+        previous = self._documents.get(doc_id)
+        if previous is not None:
+            self._index_remove(doc_id, previous)
+        stored = dict(document)
+        self._documents[doc_id] = stored
+        self._track(doc_id)
+        self._index_add(doc_id, stored)
+        return doc_id
 
     def update(self, doc_id: str, changes: dict) -> dict:
         """Shallow-merge changes into an existing document."""
         document = self.get(doc_id)
+        self._index_remove(doc_id, self._documents[doc_id])
         document.update({k: v for k, v in changes.items() if k != "_id"})
         self._documents[doc_id] = document
+        self._index_add(doc_id, document)
         return dict(document)
 
     def delete(self, doc_id: str) -> None:
         if doc_id not in self._documents:
             raise DocumentNotFoundError(self.name, doc_id)
+        self._index_remove(doc_id, self._documents[doc_id])
         del self._documents[doc_id]
         del self._positions[doc_id]
 
     def delete_many(self, query: dict) -> int:
-        doomed = [doc["_id"] for doc in self.find(query)]
+        # Materialise the ids first (the generator walks _documents),
+        # then delete with full bookkeeping: positions and index entries
+        # go too, exactly as in single-document delete.
+        doomed = [document["_id"] for document in self._matching(query)]
         for doc_id in doomed:
-            del self._documents[doc_id]
+            self.delete(doc_id)
         return len(doomed)
 
     # -- reads ---------------------------------------------------------------
@@ -197,18 +357,15 @@ class Collection:
     def has(self, doc_id: str) -> bool:
         return doc_id in self._documents
 
-    def _candidates(self, query: Optional[dict]):
-        """Documents that could match, narrowed by ``_id`` when possible.
+    def _id_candidates(self, query: dict):
+        """Documents narrowed by an ``_id`` condition, or None.
 
         ``_documents`` is keyed by ``_id``, so a query that pins the id
         (plain equality, ``$eq`` or ``$in``) is answered by direct hash
-        lookups instead of a collection scan.  Candidates are still
-        verified against the *full* query by the caller, so every other
-        condition keeps its usual meaning.  Returns an iterable of
-        documents.
+        lookups instead of a collection scan.
         """
-        if not query or "_id" not in query:
-            return self._documents.values()
+        if "_id" not in query:
+            return None
         condition = query["_id"]
         try:
             if isinstance(condition, dict) and any(
@@ -224,7 +381,7 @@ class Collection:
                             seen.add(doc_id)
                             wanted.append(doc_id)
                 else:
-                    return self._documents.values()
+                    return None
             else:
                 wanted = [condition]
             # Restore collection (insertion) order: a scan yields
@@ -236,7 +393,81 @@ class Collection:
             hits.sort(key=self._positions.__getitem__)
             return [self._documents[doc_id] for doc_id in hits]
         except TypeError:  # unhashable id in the query: scan as before
-            return self._documents.values()
+            return None
+
+    def _index_candidates(self, query: dict):
+        """Documents narrowed by a secondary index, or None.
+
+        The planner picks the first top-level field condition that is a
+        plain equality, ``$eq`` or a list-valued ``$in`` over an indexed
+        path.  (``$in`` on a non-list is left to the scan path: ``in``
+        over a string means substring containment there, which a
+        per-element index probe cannot reproduce.)
+        """
+        for path, condition in query.items():
+            if path.startswith("$"):
+                continue
+            index = self._indexes.get(path)
+            if index is None:
+                continue
+            if isinstance(condition, dict) and any(
+                op.startswith("$") for op in condition
+            ):
+                if "$eq" in condition:
+                    values = [condition["$eq"]]
+                elif "$in" in condition and isinstance(
+                    condition["$in"], (list, tuple)
+                ):
+                    values = list(condition["$in"])
+                else:
+                    continue
+            else:
+                values = [condition]
+            hits = sorted(
+                index.lookup(values), key=self._positions.__getitem__
+            )
+            return [self._documents[doc_id] for doc_id in hits]
+        return None
+
+    def _plan(self, query: Optional[dict]):
+        """(candidate documents, whether evaluation may skip documents).
+
+        Candidates come from the ``_id`` fast path, a secondary index,
+        or a full scan — always in collection order, always a superset
+        of the true matches.  Routes that skip documents are only taken
+        for *safe* queries (see :func:`_query_is_safe`), so a query that
+        would raise mid-scan still raises identically.
+        """
+        if not query:
+            return self._documents.values(), True
+        if not _query_is_safe(query):
+            self.stats["scans"] += 1
+            return self._documents.values(), False
+        narrowed = self._id_candidates(query)
+        if narrowed is not None:
+            self.stats["id_lookups"] += 1
+            return narrowed, True
+        narrowed = self._index_candidates(query)
+        if narrowed is not None:
+            self.stats["index_lookups"] += 1
+            return narrowed, True
+        self.stats["scans"] += 1
+        return self._documents.values(), True
+
+    def _matching(self, query: Optional[dict]) -> Iterator[dict]:
+        """Stored documents matching the filter, in collection order.
+
+        Yields the *stored* dicts without copying — callers that hand
+        documents out must copy; callers that only count or collect ids
+        must not mutate.
+        """
+        candidates, __ = self._plan(query)
+        if not query:
+            yield from candidates
+            return
+        for document in candidates:
+            if matches(document, query):
+                yield document
 
     def find(
         self,
@@ -245,11 +476,14 @@ class Collection:
         limit: Optional[int] = None,
     ) -> List[dict]:
         """All documents matching the filter (copies)."""
-        results = [
-            dict(document)
-            for document in self._candidates(query)
-            if query is None or matches(document, query)
-        ]
+        candidates, may_skip = self._plan(query)
+        stop_early = may_skip and sort_key is None and limit is not None
+        results: List[dict] = []
+        for document in candidates:
+            if stop_early and len(results) >= limit:
+                break
+            if query is None or not query or matches(document, query):
+                results.append(dict(document))
         if sort_key is not None:
             results.sort(key=lambda doc: _find_sort_key(doc, sort_key))
         if limit is not None:
@@ -261,11 +495,10 @@ class Collection:
         return found[0] if found else None
 
     def count(self, query: Optional[dict] = None) -> int:
+        """Matching-document count, without materialising result copies."""
         if query is None:
             return len(self._documents)
-        return sum(
-            1 for doc in self._candidates(query) if matches(doc, query)
-        )
+        return sum(1 for __ in self._matching(query))
 
     def ids(self) -> List[str]:
         return list(self._documents)

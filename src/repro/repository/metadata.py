@@ -32,11 +32,28 @@ ONTOLOGIES = "ontologies"
 DEPLOYMENTS = "deployments"
 
 
+#: Secondary indexes the catalog declares on its collections.  The
+#: partial-design ``requirement`` index serves the hot lookup of the
+#: lifecycle (cascade-deleting the partial designs of a requirement);
+#: ``kind`` indexes serve catalog-wide audits; ``design`` serves the
+#: deployment history lookup.
+CATALOG_INDEXES = {
+    REQUIREMENTS: ("kind",),
+    PARTIAL_DESIGNS: ("requirement", "kind"),
+    UNIFIED_DESIGNS: ("kind",),
+    DEPLOYMENTS: ("design", "platform"),
+}
+
+
 class MetadataRepository:
     """Typed facade over the document store."""
 
     def __init__(self, store: Optional[DocumentStore] = None) -> None:
         self._store = store if store is not None else DocumentStore()
+        for collection_name, paths in CATALOG_INDEXES.items():
+            collection = self._store.collection(collection_name)
+            for path in paths:
+                collection.create_index(path)
 
     @property
     def store(self) -> DocumentStore:

@@ -1,9 +1,11 @@
 """JSON-file persistence for a :class:`DocumentStore`.
 
-One JSON file per store: ``{"name": ..., "collections": {name: [docs]}}``.
-Loading recreates collections and documents verbatim; documents must be
-JSON-serialisable (the metadata layer guarantees this by converting XML
-artefacts through :mod:`repro.xformats.xmljson` first).
+One JSON file per store: ``{"name": ..., "collections": {name: [docs]},
+"indexes": {name: [paths]}}``.  Loading recreates collections, index
+declarations and documents verbatim (files without an ``"indexes"`` key
+load fine); documents must be JSON-serialisable (the metadata layer
+guarantees this by converting XML artefacts through
+:mod:`repro.xformats.xmljson` first).
 """
 
 from __future__ import annotations
@@ -23,6 +25,11 @@ def save(store: DocumentStore, path) -> None:
         "collections": {
             name: store.collection(name).find()
             for name in store.collection_names()
+        },
+        "indexes": {
+            name: store.collection(name).indexes()
+            for name in store.collection_names()
+            if store.collection(name).indexes()
         },
     }
     directory = os.path.dirname(os.path.abspath(path)) or "."
@@ -47,8 +54,11 @@ def load(path) -> DocumentStore:
     if not isinstance(payload, dict) or "collections" not in payload:
         raise RepositoryError("malformed document store file")
     store = DocumentStore(name=payload.get("name", "quarry"))
+    indexes = payload.get("indexes", {})
     for collection_name, documents in payload["collections"].items():
         collection = store.collection(collection_name)
+        for index_path in indexes.get(collection_name, []):
+            collection.create_index(index_path)
         for document in documents:
             collection.insert(document)
     return store

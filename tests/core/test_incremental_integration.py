@@ -1,0 +1,115 @@
+"""Incremental integration must be indistinguishable from a rebuild.
+
+The checkpoint-based delta updates (``change_requirement`` /
+``remove_requirement`` re-integrating only the affected suffix) rest on
+integration being a deterministic left fold over the requirement order.
+These tests drive random add/change/remove sequences and assert after
+every single operation that the incremental unified design is byte-equal
+(xMD + xLM serialisations, same order) to a Quarry built from scratch in
+the same order — plus counter-based assertions that the incremental
+paths really do sub-linear work.
+"""
+
+import random
+
+import pytest
+
+from repro import Quarry
+from repro.sources import tpch
+from repro.xformats import xlm, xmd
+
+from benchmarks._workloads import ROW_COUNTS, requirement_corpus
+
+CORPUS = requirement_corpus(6)
+BY_ID = {requirement.id: requirement for requirement in CORPUS}
+
+
+def fresh_quarry() -> Quarry:
+    return Quarry(
+        tpch.ontology(), tpch.schema(), tpch.mappings(), row_counts=ROW_COUNTS
+    )
+
+
+def fingerprint(quarry: Quarry):
+    md_schema, etl_flow = quarry.unified_design()
+    return (
+        xmd.dumps(md_schema),
+        xlm.dumps(etl_flow),
+        [requirement.id for requirement in quarry.requirements()],
+    )
+
+
+def reference_for(order):
+    reference = fresh_quarry()
+    for requirement_id in order:
+        reference.add_requirement(BY_ID[requirement_id])
+    return reference
+
+
+class TestRandomSequences:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_incremental_equals_rebuild_after_every_operation(self, seed):
+        rng = random.Random(seed)
+        quarry = fresh_quarry()
+        order = []  # the test's own mirror of the requirement order
+        for __ in range(10):
+            unused = [r.id for r in CORPUS if r.id not in order]
+            moves = ["add"] * bool(unused) + ["change", "remove"] * bool(order)
+            move = rng.choice(moves)
+            if move == "add":
+                requirement_id = rng.choice(unused)
+                quarry.add_requirement(BY_ID[requirement_id])
+                order.append(requirement_id)
+            elif move == "change":
+                requirement_id = rng.choice(order)
+                quarry.change_requirement(BY_ID[requirement_id])
+                order.remove(requirement_id)
+                order.append(requirement_id)  # change re-adds at the end
+            else:
+                requirement_id = rng.choice(order)
+                quarry.remove_requirement(requirement_id)
+                order.remove(requirement_id)
+            assert fingerprint(quarry) == fingerprint(reference_for(order))
+
+    def test_explicit_rebuild_is_a_no_op_on_the_design(self):
+        quarry = fresh_quarry()
+        for requirement in CORPUS[:4]:
+            quarry.add_requirement(requirement)
+        before = fingerprint(quarry)
+        quarry.rebuild()
+        assert fingerprint(quarry) == before
+
+
+class TestIntegrationCounts:
+    def test_add_integrates_exactly_once(self):
+        quarry = fresh_quarry()
+        for requirement in CORPUS[:5]:
+            quarry.add_requirement(requirement)
+        assert quarry.integration_counts == {"md": 5, "etl": 5}
+        quarry.add_requirement(requirement_corpus(6)[5])
+        assert quarry.integration_counts == {"md": 6, "etl": 6}
+
+    def test_change_of_last_is_constant_work(self):
+        quarry = fresh_quarry()
+        for requirement in CORPUS[:5]:
+            quarry.add_requirement(requirement)
+        before = dict(quarry.integration_counts)
+        quarry.change_requirement(CORPUS[4])
+        assert quarry.integration_counts["md"] - before["md"] == 1
+        assert quarry.integration_counts["etl"] - before["etl"] == 1
+
+    def test_remove_of_last_is_free(self):
+        quarry = fresh_quarry()
+        for requirement in CORPUS[:5]:
+            quarry.add_requirement(requirement)
+        before = dict(quarry.integration_counts)
+        quarry.remove_requirement(CORPUS[4].id)
+        assert quarry.integration_counts == before
+
+    def test_remove_of_first_refolds_only_the_suffix(self):
+        quarry = fresh_quarry()
+        for requirement in CORPUS[:5]:
+            quarry.add_requirement(requirement)
+        before = dict(quarry.integration_counts)
+        quarry.remove_requirement(CORPUS[0].id)
+        assert quarry.integration_counts["md"] - before["md"] == 4

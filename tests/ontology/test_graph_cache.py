@@ -1,0 +1,185 @@
+"""Caching and invalidation behaviour of the ontology views.
+
+The graph memoises adjacency and to-one closures per ontology
+generation; the reasoner memoises the subsumption closure.  These tests
+pin the two properties the design pipeline depends on:
+
+* the cheap path is actually taken (hits counted, BFS not re-run),
+* a mutation of the ontology — new concept, new property, changed
+  multiplicity, re-parented concept — is never answered from stale
+  caches.
+"""
+
+import pytest
+
+from repro.expressions import ScalarType
+from repro.ontology import OntologyBuilder, OntologyGraph, Reasoner
+from repro.ontology.model import Concept, Multiplicity, ObjectProperty
+
+
+def chain_ontology():
+    """A -> B -> C to-one chain with a dangling D."""
+    return (
+        OntologyBuilder("chain")
+        .concept("A")
+        .concept("B")
+        .concept("C")
+        .concept("D")
+        .relationship("a_b", "A", "B", "N-1")
+        .relationship("b_c", "B", "C", "N-1")
+        .build()
+    )
+
+
+def wide_ontology(branches: int = 30):
+    """A hub with one short target chain and many irrelevant branches.
+
+    ``Hub -> T1 -> T2`` plus ``branches`` to-one chains of length 2
+    hanging off the hub; a full closure visits every branch, while a
+    target-directed query for ``T1`` must not.
+    """
+    builder = OntologyBuilder("wide").concept("Hub").concept("T1").concept("T2")
+    builder.relationship("hub_t1", "Hub", "T1", "N-1")
+    builder.relationship("t1_t2", "T1", "T2", "N-1")
+    for index in range(branches):
+        builder.concept(f"B{index}a").concept(f"B{index}b")
+        builder.relationship(f"hub_b{index}", "Hub", f"B{index}a", "N-1")
+        builder.relationship(f"b{index}_b{index}", f"B{index}a", f"B{index}b", "N-1")
+    return builder.build()
+
+
+class TestClosureCache:
+    def test_closure_computed_once(self):
+        graph = OntologyGraph(chain_ontology())
+        first = graph.to_one_closure("A")
+        again = graph.to_one_closure("A")
+        assert first == again
+        assert graph.stats["closure_computes"] == 1
+        assert graph.stats["closure_hits"] == 1
+
+    def test_returned_dict_is_a_copy(self):
+        graph = OntologyGraph(chain_ontology())
+        graph.to_one_closure("A").clear()  # caller mutation ...
+        assert set(graph.to_one_closure("A")) == {"B", "C"}  # ... no poison
+        assert graph.stats["closure_computes"] == 1
+
+    def test_use_cache_false_bypasses_memo(self):
+        graph = OntologyGraph(chain_ontology())
+        graph.to_one_closure("A")
+        uncached = graph.to_one_closure("A", use_cache=False)
+        assert uncached == graph.to_one_closure("A")
+        assert graph.stats["closure_computes"] == 2
+
+    def test_unknown_concept_still_raises(self):
+        from repro.errors import UnknownConceptError
+
+        graph = OntologyGraph(chain_ontology())
+        with pytest.raises(UnknownConceptError):
+            graph.to_one_closure("ghost")
+
+
+class TestTargetDirectedPath:
+    def test_path_found_without_full_closure(self):
+        graph = OntologyGraph(wide_ontology())
+        path = graph.to_one_path("Hub", "T1")
+        assert path is not None and len(path) == 1
+        # The hub's neighbours are discovered from one dequeue of the
+        # source itself; a closure BFS would dequeue every branch node.
+        assert graph.stats["bfs_expansions"] == 1
+        assert graph.stats["closure_computes"] == 0
+
+    def test_cached_closure_answers_path_queries(self):
+        graph = OntologyGraph(chain_ontology())
+        graph.to_one_closure("A")
+        assert graph.to_one_path("A", "C").concepts() == ["A", "B", "C"]
+        assert graph.stats["closure_hits"] == 1
+
+    def test_unreachable_and_trivial_paths(self):
+        graph = OntologyGraph(chain_ontology())
+        assert graph.to_one_path("A", "D") is None
+        assert len(graph.to_one_path("A", "A")) == 0
+
+
+class TestGraphInvalidation:
+    def test_new_property_extends_closure(self):
+        ontology = chain_ontology()
+        graph = OntologyGraph(ontology)
+        assert set(graph.to_one_closure("A")) == {"B", "C"}
+        ontology.add_object_property(
+            ObjectProperty("c_d", "C", "D", Multiplicity.MANY_TO_ONE)
+        )
+        assert set(graph.to_one_closure("A")) == {"B", "C", "D"}
+
+    def test_new_concept_is_visible(self):
+        ontology = chain_ontology()
+        graph = OntologyGraph(ontology)
+        graph.to_one_closure("A")
+        ontology.add_concept(Concept("E"))
+        assert graph.to_one_closure("E") == {}
+        assert graph.fan_in("E") == 0
+
+    def test_multiplicity_change_drops_cached_closure(self):
+        ontology = chain_ontology()
+        graph = OntologyGraph(ontology)
+        assert set(graph.to_one_closure("A")) == {"B", "C"}
+        ontology.replace_object_property(
+            ObjectProperty("b_c", "B", "C", Multiplicity.MANY_TO_MANY)
+        )
+        assert set(graph.to_one_closure("A")) == {"B"}
+        assert graph.to_one_path("A", "C") is None
+
+    def test_path_queries_see_mutations(self):
+        ontology = chain_ontology()
+        graph = OntologyGraph(ontology)
+        assert graph.to_one_path("A", "D") is None
+        ontology.add_object_property(
+            ObjectProperty("a_d", "A", "D", Multiplicity.MANY_TO_ONE)
+        )
+        assert len(graph.to_one_path("A", "D")) == 1
+        assert graph.shortest_path("D", "C") is not None
+
+
+class TestReasonerInvalidation:
+    def test_new_concept_joins_taxonomy(self):
+        ontology = (
+            OntologyBuilder("tax")
+            .concept("Thing")
+            .concept("Animal", parent="Thing")
+            .build()
+        )
+        reasoner = Reasoner(ontology)
+        assert reasoner.descendants("Thing") == ["Animal"]
+        ontology.add_concept(Concept("Dog", parent="Animal"))
+        assert reasoner.is_subconcept("Dog", "Thing")
+        assert set(reasoner.descendants("Thing")) == {"Animal", "Dog"}
+
+    def test_reparenting_updates_subsumption(self):
+        ontology = (
+            OntologyBuilder("tax")
+            .concept("Thing")
+            .concept("Plant", parent="Thing")
+            .concept("Animal", parent="Thing")
+            .concept("Dog", parent="Animal")
+            .build()
+        )
+        reasoner = Reasoner(ontology)
+        assert reasoner.is_subconcept("Dog", "Animal")
+        ontology.replace_concept(Concept("Dog", parent="Plant"))
+        assert not reasoner.is_subconcept("Dog", "Animal")
+        assert reasoner.ancestors("Dog") == ["Plant", "Thing"]
+        assert reasoner.descendants("Animal") == []
+
+    def test_inherited_attributes_follow_mutation(self):
+        ontology = (
+            OntologyBuilder("tax")
+            .concept("Thing")
+            .concept("Animal", parent="Thing")
+            .attribute("Thing_name", "Thing", ScalarType.STRING)
+            .build()
+        )
+        reasoner = Reasoner(ontology)
+        assert [p.id for p in reasoner.datatype_properties("Animal")] == [
+            "Thing_name"
+        ]
+        ontology.replace_concept(Concept("Animal", parent=None))
+        assert list(reasoner.datatype_properties("Animal")) == []

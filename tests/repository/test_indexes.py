@@ -1,0 +1,168 @@
+"""Secondary-index behaviour of the document store.
+
+Three layers of guarantees:
+
+* **maintenance** — insert/replace/update/delete/delete_many keep the
+  index in lockstep with the documents, whether the index was declared
+  before the writes (incremental) or after (backfill),
+* **routing** — the planner answers safe equality/``$in`` queries from
+  the index (observable via ``Collection.stats``) and falls back to the
+  scan everywhere else,
+* **parity** — an indexed collection returns exactly what an unindexed
+  one does, errors included.
+"""
+
+import pytest
+
+from repro.errors import RepositoryError
+from repro.repository import Collection, DocumentStore
+from repro.repository import store as store_io
+
+
+def seeded(*, indexed: bool) -> Collection:
+    collection = Collection("c")
+    if indexed:
+        collection.create_index("kind")
+        collection.create_index("nest.x")
+    collection.insert({"_id": "a", "kind": "fact", "nest": {"x": 1}})
+    collection.insert({"_id": "b", "kind": "dim", "nest": {"x": 2}})
+    collection.insert({"_id": "c", "kind": "fact"})
+    collection.insert({"_id": "d"})
+    return collection
+
+
+class TestMaintenance:
+    def test_backfill_equals_incremental(self):
+        incremental = seeded(indexed=True)
+        backfilled = seeded(indexed=False)
+        backfilled.create_index("kind")
+        backfilled.create_index("nest.x")
+        for query in (
+            {"kind": "fact"}, {"nest.x": 2}, {"kind": "ghost"}
+        ):
+            assert incremental.find(query) == backfilled.find(query)
+
+    def test_replace_moves_index_entry(self):
+        collection = seeded(indexed=True)
+        collection.replace({"_id": "a", "kind": "dim"})
+        assert [d["_id"] for d in collection.find({"kind": "dim"})] == ["a", "b"]
+        assert [d["_id"] for d in collection.find({"kind": "fact"})] == ["c"]
+
+    def test_update_moves_index_entry(self):
+        collection = seeded(indexed=True)
+        collection.update("c", {"kind": "dim"})
+        assert [d["_id"] for d in collection.find({"kind": "fact"})] == ["a"]
+        assert [d["_id"] for d in collection.find({"kind": "dim"})] == ["b", "c"]
+
+    def test_delete_drops_index_entry(self):
+        collection = seeded(indexed=True)
+        collection.delete("a")
+        assert [d["_id"] for d in collection.find({"kind": "fact"})] == ["c"]
+
+    def test_delete_many_drops_entries_and_positions(self):
+        collection = seeded(indexed=True)
+        assert collection.delete_many({"kind": "fact"}) == 2
+        assert collection.find({"kind": "fact"}) == []
+        # Re-inserting a deleted id lands at the end of collection
+        # order: its old position really was released.
+        collection.insert({"_id": "a", "kind": "dim"})
+        assert [d["_id"] for d in collection.find()] == ["b", "d", "a"]
+
+    def test_create_index_is_idempotent(self):
+        collection = seeded(indexed=True)
+        collection.create_index("kind")
+        assert collection.indexes() == ["kind", "nest.x"]
+
+
+class TestRouting:
+    def test_equality_uses_index(self):
+        collection = seeded(indexed=True)
+        collection.find({"kind": "fact"})
+        collection.find({"kind": {"$eq": "dim"}})
+        collection.find({"kind": {"$in": ["fact", "ghost"]}})
+        assert collection.stats["index_lookups"] == 3
+        assert collection.stats["scans"] == 0
+
+    def test_collection_order_is_preserved(self):
+        collection = seeded(indexed=True)
+        collection.replace({"_id": "a", "kind": "fact", "touched": True})
+        assert [d["_id"] for d in collection.find({"kind": "fact"})] == ["a", "c"]
+
+    def test_unindexed_path_scans(self):
+        collection = seeded(indexed=True)
+        collection.find({"missing_path": 1})
+        assert collection.stats["scans"] == 1
+
+    def test_in_over_string_is_not_routed(self):
+        # "fact" in "factory" is substring containment, not equality; a
+        # per-element index probe cannot reproduce it, so the planner
+        # must scan — and agree with an unindexed collection.
+        collection = seeded(indexed=True)
+        result = collection.find({"kind": {"$in": "factory"}})
+        assert collection.stats["scans"] == 1
+        assert [d["_id"] for d in result] == ["a", "c"]
+        unindexed = seeded(indexed=False)
+        assert result == unindexed.find({"kind": {"$in": "factory"}})
+
+    def test_unsafe_query_still_raises(self):
+        collection = seeded(indexed=True)
+        with pytest.raises(RepositoryError):
+            collection.find({"kind": {"$bogus": 1}})
+        with pytest.raises(RepositoryError):
+            collection.count({"kind": {"$bogus": 1}})
+
+    def test_limit_zero_and_early_stop(self):
+        collection = seeded(indexed=True)
+        assert collection.find({"kind": "fact"}, limit=0) == []
+        assert len(collection.find({"kind": "fact"}, limit=1)) == 1
+
+
+class TestParity:
+    TRICKY = [0, False, "", None, 0.0, True, 1, [1, 2], "0"]
+
+    def tricky_pair(self):
+        indexed = Collection("t")
+        indexed.create_index("v")
+        plain = Collection("t")
+        for position, value in enumerate(self.TRICKY):
+            indexed.insert({"_id": position, "v": value})
+            plain.insert({"_id": position, "v": value})
+        indexed.insert({"_id": "missing"})
+        plain.insert({"_id": "missing"})
+        return indexed, plain
+
+    def test_hash_equal_values_agree_with_scan(self):
+        # 0 == False == 0.0 share one bucket; the verification pass must
+        # still return exactly what the scan returns for each probe.
+        indexed, plain = self.tricky_pair()
+        for value in self.TRICKY:
+            assert indexed.find({"v": value}) == plain.find({"v": value})
+            assert indexed.count({"v": value}) == plain.count({"v": value})
+        assert indexed.stats["index_lookups"] > 0
+
+    def test_unhashable_values_live_in_loose_bucket(self):
+        indexed, plain = self.tricky_pair()
+        assert indexed.find({"v": [1, 2]}) == plain.find({"v": [1, 2]})
+        assert indexed.find({"v": {"$in": [[1, 2], 7]}}) == plain.find(
+            {"v": {"$in": [[1, 2], 7]}}
+        )
+
+
+class TestPersistence:
+    def test_save_load_round_trip_preserves_indexes(self, tmp_path):
+        store = DocumentStore("s")
+        collection = store.collection("designs")
+        collection.create_index("requirement")
+        collection.insert({"_id": 1, "requirement": "IR1"})
+        collection.insert({"_id": 2, "requirement": "IR2"})
+        store.collection("plain").insert({"_id": 1})
+
+        path = tmp_path / "repo.json"
+        store_io.save(store, path)
+        loaded = store_io.load(path)
+
+        reloaded = loaded.collection("designs")
+        assert reloaded.indexes() == ["requirement"]
+        reloaded.find({"requirement": "IR1"})
+        assert reloaded.stats["index_lookups"] == 1
+        assert loaded.collection("plain").indexes() == []
