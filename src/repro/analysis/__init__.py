@@ -1,0 +1,33 @@
+"""Static analysis over ETL flows and MD schemas (the Quarry linter)."""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Rule,
+    Severity,
+    all_rules,
+    rule_by_code,
+    rules_for,
+)
+from repro.analysis.flow_rules import structural_diagnostics
+from repro.analysis.linter import (
+    FlowLintContext,
+    MDLintContext,
+    lint,
+    schema_from_rows,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "rule_by_code",
+    "rules_for",
+    "structural_diagnostics",
+    "FlowLintContext",
+    "MDLintContext",
+    "lint",
+    "schema_from_rows",
+]

@@ -1,0 +1,224 @@
+"""The diagnostics framework: findings, stable codes, and the rule registry.
+
+Every linter finding is a :class:`Diagnostic` with a stable ``QRYnnn``
+code, a severity, an optional location (flow node / MD element plus
+attribute) and an optional fix hint.  Rules are registered per code in a
+module-level registry, which gives the driver per-rule enable/disable
+for free and keeps the code -> severity mapping in one place.
+
+Code ranges:
+
+* ``QRY0xx`` — structural flow checks (the old ``EtlFlow.validate``),
+* ``QRY1xx`` — lineage: dead columns, unreachable subgraphs,
+* ``QRY2xx`` — types and hashability,
+* ``QRY3xx`` — predicate satisfiability,
+* ``QRY4xx`` — MD conformance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; ERRORs block deployment."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Render order: errors first.
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    node: Optional[str] = None
+    attribute: Optional[str] = None
+    hint: Optional[str] = None
+
+    def location(self) -> str:
+        if self.node is not None and self.attribute is not None:
+            return f"{self.node}.{self.attribute}"
+        if self.node is not None:
+            return self.node
+        if self.attribute is not None:
+            return self.attribute
+        return "<design>"
+
+    def __str__(self) -> str:
+        text = (
+            f"{self.code} [{self.severity.value}] "
+            f"{self.location()}: {self.message}"
+        )
+        if self.hint:
+            text = f"{text} (hint: {self.hint})"
+        return text
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "node": self.node,
+            "attribute": self.attribute,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule: one stable code, one default severity.
+
+    ``run`` receives the lint context (a :class:`~repro.analysis.linter.
+    FlowLintContext` or :class:`~repro.analysis.linter.MDLintContext`,
+    matching ``target``) and yields diagnostics.  Heavy analyses (schema
+    walk, demand, taint) are cached on the context, so rules sharing a
+    pass don't recompute it.
+    """
+
+    code: str
+    title: str
+    target: str  # "flow" | "md"
+    severity: Severity
+    run: Callable[[object], Iterable[Diagnostic]]
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code!r}")
+    _REGISTRY[rule.code] = rule
+    return rule
+
+
+def rule(code: str, title: str, target: str, severity: Severity):
+    """Decorator form of :func:`register`."""
+
+    def decorator(fn):
+        register(Rule(code=code, title=title, target=target, severity=severity, run=fn))
+        return fn
+
+    return decorator
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rules_for(target: str) -> List[Rule]:
+    return [r for r in all_rules() if r.target == target]
+
+
+def rule_by_code(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise ValueError(f"unknown rule code {code!r}") from None
+
+
+def diag(
+    code: str,
+    message: str,
+    *,
+    node: Optional[str] = None,
+    attribute: Optional[str] = None,
+    hint: Optional[str] = None,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    """Build a diagnostic, defaulting severity from the rule registry."""
+    effective = severity if severity is not None else rule_by_code(code).severity
+    return Diagnostic(
+        code=code,
+        severity=effective,
+        message=message,
+        node=node,
+        attribute=attribute,
+        hint=hint,
+    )
+
+
+@dataclass
+class LintReport:
+    """All diagnostics for one lint subject (a flow or an MD schema)."""
+
+    subject: str
+    diagnostics: List[Diagnostic]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        """No ERROR-severity findings (warnings/infos allowed)."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def merged_with(self, other: "LintReport") -> "LintReport":
+        return LintReport(
+            subject=f"{self.subject}+{other.subject}",
+            diagnostics=list(self.diagnostics) + list(other.diagnostics),
+        )
+
+    def render(self) -> str:
+        """Human-readable text report."""
+        lines = []
+        counts = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+        if not self.diagnostics:
+            lines.append(f"{self.subject}: clean")
+        else:
+            lines.append(f"{self.subject}: {counts}")
+            ordered = sorted(
+                self.diagnostics,
+                key=lambda d: (
+                    _SEVERITY_RANK[d.severity],
+                    d.code,
+                    d.location(),
+                ),
+            )
+            for diagnostic in ordered:
+                lines.append(f"  {diagnostic}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos),
+            },
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }

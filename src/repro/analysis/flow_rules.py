@@ -1,0 +1,383 @@
+"""Lint rules over ETL flows.
+
+* ``QRY001``–``QRY005`` — structural shape (the former
+  ``EtlFlow.validate`` checks; the exact legacy message texts are kept
+  so ``validate()``/``check()`` stay byte-compatible wrappers).
+* ``QRY101``/``QRY102`` — lineage: dead attributes, subgraphs that feed
+  no loader.
+* ``QRY201``–``QRY204`` — types and hashability: join key type
+  mismatches, unhashable key values (definite/possible), schema
+  propagation failures (which also cover comparisons over incomparable
+  types inside predicates and expressions).
+* ``QRY301``–``QRY303`` — predicate satisfiability: always-true and
+  always-false selections, contradictory selection chains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity, diag, rule
+from repro.analysis.folding import truth, unsatisfiable
+from repro.analysis.lineage import DEFINITE, introduced_attributes
+from repro.errors import FlowValidationError, QuarryError
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Distinct,
+    Extraction,
+    Join,
+    Loader,
+    Projection,
+    Selection,
+    Sort,
+)
+from repro.expressions import parse
+from repro.expressions.types import comparable
+
+
+# ---------------------------------------------------------------------------
+# QRY0xx — structural shape
+# ---------------------------------------------------------------------------
+
+
+def structural_diagnostics(flow: EtlFlow) -> List[Diagnostic]:
+    """The structural checks, in the legacy ``validate()`` order.
+
+    The message texts are exactly what ``EtlFlow.validate`` has always
+    returned; the wrapper strips the codes back off.
+    """
+    problems: List[Diagnostic] = []
+    for operation in flow.nodes():
+        name = operation.name
+        actual = len(flow.inputs(name))
+        if actual != operation.arity:
+            problems.append(
+                diag(
+                    "QRY001",
+                    f"{operation.kind} {name!r} expects {operation.arity} "
+                    f"input(s), has {actual}",
+                    node=name,
+                    hint="connect the missing inputs or remove the node",
+                )
+            )
+        if operation.kind == "Datastore" and flow.inputs(name):
+            problems.append(
+                diag("QRY002", f"datastore {name!r} has inputs", node=name)
+            )
+        if operation.kind == "Loader" and flow.outputs(name):
+            problems.append(
+                diag("QRY003", f"loader {name!r} has outputs", node=name)
+            )
+        if operation.kind != "Loader" and not flow.outputs(name):
+            problems.append(
+                diag(
+                    "QRY004",
+                    f"{operation.kind} {name!r} is a dead end "
+                    f"(only loaders may be sinks)",
+                    node=name,
+                    hint="route the node into a loader or drop it",
+                )
+            )
+    try:
+        flow.topological_order()
+    except FlowValidationError as exc:
+        for violation in exc.violations:
+            problems.append(diag("QRY005", str(violation)))
+    return problems
+
+
+def _structural_by_code(code: str):
+    def run(context) -> List[Diagnostic]:
+        return [d for d in context.structural if d.code == code]
+
+    return run
+
+
+rule("QRY001", "operation arity mismatch", "flow", Severity.ERROR)(
+    _structural_by_code("QRY001")
+)
+rule("QRY002", "datastore has inputs", "flow", Severity.ERROR)(
+    _structural_by_code("QRY002")
+)
+rule("QRY003", "loader has outputs", "flow", Severity.ERROR)(
+    _structural_by_code("QRY003")
+)
+rule("QRY004", "non-loader sink", "flow", Severity.ERROR)(
+    _structural_by_code("QRY004")
+)
+rule("QRY005", "flow contains a cycle", "flow", Severity.ERROR)(
+    _structural_by_code("QRY005")
+)
+
+
+# ---------------------------------------------------------------------------
+# QRY1xx — lineage
+# ---------------------------------------------------------------------------
+
+_INTRODUCED_VERB = {
+    "DerivedAttribute": "computed",
+    "SurrogateKey": "computed",
+    "Aggregation": "aggregated",
+    "Rename": "renamed",
+    "Projection": "extracted",
+    "Extraction": "extracted",
+}
+
+
+@rule("QRY101", "dead attribute", "flow", Severity.WARNING)
+def _dead_attributes(context) -> Iterable[Diagnostic]:
+    if not context.acyclic:
+        return []
+    out: List[Diagnostic] = []
+    demand = context.demand
+    for operation in context.flow.nodes():
+        name = operation.name
+        needed = demand.get(name)
+        if needed is None:
+            continue  # unknown downstream demand: stay quiet
+        if not context.reaches_loader(name):
+            continue  # QRY004/QRY102 own unrooted subgraphs
+        verb = _INTRODUCED_VERB.get(operation.kind, "produced")
+        for attribute in introduced_attributes(operation):
+            if attribute in needed:
+                continue
+            out.append(
+                diag(
+                    "QRY101",
+                    f"attribute {attribute!r} is {verb} here but never "
+                    f"consumed downstream",
+                    node=name,
+                    attribute=attribute,
+                    hint="drop the attribute or consume it",
+                )
+            )
+    return out
+
+
+@rule("QRY102", "subgraph feeds no loader", "flow", Severity.WARNING)
+def _unreachable(context) -> Iterable[Diagnostic]:
+    flow = context.flow
+    loaders = {op.name for op in flow.nodes() if isinstance(op, Loader)}
+    if not loaders:
+        return []  # an entirely loader-less flow is a structural problem
+    out: List[Diagnostic] = []
+    for operation in flow.nodes():
+        name = operation.name
+        if name in loaders or not flow.outputs(name):
+            continue  # loaders are fine; sinks are QRY004's business
+        if not flow.downstream(name) & loaders:
+            out.append(
+                diag(
+                    "QRY102",
+                    f"{operation.kind} {name!r} feeds no loader; its whole "
+                    f"subgraph is dead",
+                    node=name,
+                    hint="route the subgraph into a loader or remove it",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# QRY2xx — types and hashability
+# ---------------------------------------------------------------------------
+
+
+@rule("QRY201", "join key type mismatch", "flow", Severity.WARNING)
+def _join_key_types(context) -> Iterable[Diagnostic]:
+    if not context.acyclic:
+        return []
+    out: List[Diagnostic] = []
+    schemas = context.node_schemas
+    for operation in context.flow.nodes():
+        if not isinstance(operation, Join):
+            continue
+        inputs = context.flow.inputs(operation.name)
+        if len(inputs) != 2:
+            continue
+        left_schema = schemas.get(inputs[0])
+        right_schema = schemas.get(inputs[1])
+        if left_schema is None or right_schema is None:
+            continue
+        for left_key, right_key in zip(
+            operation.left_keys, operation.right_keys
+        ):
+            left_type = left_schema.get(left_key)
+            right_type = right_schema.get(right_key)
+            if left_type is None or right_type is None:
+                continue  # missing keys are propagation errors (QRY204)
+            if not comparable(left_type, right_type):
+                out.append(
+                    diag(
+                        "QRY201",
+                        f"join key {left_key!r} ({left_type}) never matches "
+                        f"{right_key!r} ({right_type}); the join drops "
+                        f"every row",
+                        node=operation.name,
+                        attribute=left_key,
+                        hint="align the key types or pick other keys",
+                    )
+                )
+    return out
+
+
+_HAZARD_HINT = (
+    "the value is invisible to the type system; cleanse it at the source "
+    "or guard the flow upstream"
+)
+
+
+@rule("QRY202", "unhashable key value (certain failure)", "flow", Severity.ERROR)
+def _unhashable_definite(context) -> Iterable[Diagnostic]:
+    return [
+        diag(
+            "QRY202",
+            f"an unhashable source value reaches {hazard.role} "
+            f"{hazard.attribute!r}; execution will fail here",
+            node=hazard.node,
+            attribute=hazard.attribute,
+            hint=_HAZARD_HINT,
+        )
+        for hazard in context.hazards
+        if hazard.status == DEFINITE
+    ]
+
+
+@rule("QRY203", "unhashable key value (possible failure)", "flow", Severity.WARNING)
+def _unhashable_possible(context) -> Iterable[Diagnostic]:
+    return [
+        diag(
+            "QRY203",
+            f"an unhashable source value can reach {hazard.role} "
+            f"{hazard.attribute!r}; execution may fail here",
+            node=hazard.node,
+            attribute=hazard.attribute,
+            hint=_HAZARD_HINT,
+        )
+        for hazard in context.hazards
+        if hazard.status != DEFINITE
+    ]
+
+
+@rule("QRY204", "schema propagation failure", "flow", Severity.ERROR)
+def _propagation(context) -> Iterable[Diagnostic]:
+    return [
+        diag(
+            "QRY204",
+            message,
+            node=node,
+            hint="fix the schema mismatch; the engine cannot run this node",
+        )
+        for node, message in context.propagation_failures
+    ]
+
+
+# ---------------------------------------------------------------------------
+# QRY3xx — predicate satisfiability
+# ---------------------------------------------------------------------------
+
+
+def _predicate_of(operation: Selection):
+    try:
+        return parse(operation.predicate)
+    except QuarryError:
+        return None  # unparseable predicates surface as QRY204
+
+
+@rule("QRY301", "selection is always true", "flow", Severity.WARNING)
+def _always_true(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for operation in context.flow.nodes():
+        if not isinstance(operation, Selection):
+            continue
+        predicate = _predicate_of(operation)
+        if predicate is not None and truth(predicate) is True:
+            out.append(
+                diag(
+                    "QRY301",
+                    f"predicate {operation.predicate!r} is always true; "
+                    f"the filter does nothing",
+                    node=operation.name,
+                    hint="remove the Selection",
+                )
+            )
+    return out
+
+
+@rule("QRY302", "selection is always false", "flow", Severity.WARNING)
+def _always_false(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for operation in context.flow.nodes():
+        if not isinstance(operation, Selection):
+            continue
+        predicate = _predicate_of(operation)
+        if predicate is None:
+            continue
+        if truth(predicate) is False or unsatisfiable([predicate]):
+            out.append(
+                diag(
+                    "QRY302",
+                    f"predicate {operation.predicate!r} can never pass a "
+                    f"row; everything downstream is empty",
+                    node=operation.name,
+                    hint="fix or remove the Selection",
+                )
+            )
+    return out
+
+
+#: Operations a predicate conjunction can be collected across: they
+#: neither change attribute names nor attribute values of surviving rows.
+_ROW_TRANSPARENT = (Selection, Sort, Distinct, Projection, Extraction)
+
+
+def _upstream_predicates(
+    flow: EtlFlow, name: str
+) -> List[Tuple[str, object]]:
+    """(node, predicate AST) of Selections on the unary chain above."""
+    collected: List[Tuple[str, object]] = []
+    current = name
+    while True:
+        inputs = flow.inputs(current)
+        if len(inputs) != 1:
+            return collected
+        current = inputs[0]
+        operation = flow.node(current)
+        if not isinstance(operation, _ROW_TRANSPARENT):
+            return collected
+        if isinstance(operation, Selection):
+            predicate = _predicate_of(operation)
+            if predicate is None:
+                return collected
+            collected.append((current, predicate))
+
+
+@rule("QRY303", "contradictory selection chain", "flow", Severity.WARNING)
+def _contradictory_chain(context) -> Iterable[Diagnostic]:
+    if not context.acyclic:
+        return []
+    out: List[Diagnostic] = []
+    for operation in context.flow.nodes():
+        if not isinstance(operation, Selection):
+            continue
+        own = _predicate_of(operation)
+        if own is None:
+            continue
+        if truth(own) is False or unsatisfiable([own]):
+            continue  # QRY302 owns single-node contradictions
+        ancestors = _upstream_predicates(context.flow, operation.name)
+        if not ancestors:
+            continue
+        predicates = [predicate for _node, predicate in ancestors] + [own]
+        if unsatisfiable(predicates):
+            chain = ", ".join(repr(node) for node, _ in reversed(ancestors))
+            out.append(
+                diag(
+                    "QRY303",
+                    f"predicate {operation.predicate!r} contradicts the "
+                    f"upstream selection chain ({chain}); no row survives",
+                    node=operation.name,
+                    hint="reconcile the chained filters",
+                )
+            )
+    return out

@@ -1,0 +1,346 @@
+"""Constant folding and definite-unsatisfiability over predicates.
+
+The folder reduces an expression bottom-up, evaluating any subtree whose
+operands are literals with the engine's own evaluator, so folding agrees
+with runtime semantics by construction (SQL three-valued logic
+included).  Logical connectives fold partially — ``false and x`` is
+``false`` whatever ``x`` is — mirroring the evaluator's Kleene
+short-circuits.
+
+:func:`truth` classifies a predicate as always-true / always-false /
+unknown; :func:`unsatisfiable` decides whether a *conjunction* of
+predicates can pass any row at all, using per-attribute interval
+reasoning over the comparison atoms (``attr op literal``).  Both are
+deliberately one-sided: ``None`` / ``False`` answers mean "don't know",
+never "provably fine".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import EvaluationError
+from repro.expressions import ast
+from repro.expressions.evaluator import evaluate
+
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+_ARITHMETIC = {"+", "-", "*", "/", "%"}
+
+#: attr OP literal  ->  literal OP attr, mirrored.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+#: not (attr OP literal)  ->  attr OP' literal.
+_NEGATE = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+def fold(node: ast.Expression) -> ast.Expression:
+    """Reduce an expression by evaluating constant subtrees."""
+    if isinstance(node, (ast.Literal, ast.Attribute)):
+        return node
+    if isinstance(node, ast.UnaryOp):
+        operand = fold(node.operand)
+        folded = ast.UnaryOp(node.operator, operand)
+        if isinstance(operand, ast.Literal):
+            return _evaluated(folded)
+        return folded
+    if isinstance(node, ast.BinaryOp):
+        return _fold_binary(node)
+    if isinstance(node, ast.FunctionCall):
+        arguments = tuple(fold(argument) for argument in node.arguments)
+        folded = ast.FunctionCall(node.name, arguments)
+        if all(isinstance(argument, ast.Literal) for argument in arguments):
+            return _evaluated(folded)
+        return folded
+    if isinstance(node, ast.ValueList):
+        return ast.ValueList(tuple(fold(item) for item in node.items))
+    return node
+
+
+def _evaluated(node: ast.Expression) -> ast.Expression:
+    """Evaluate a constant subtree; keep it unfolded if evaluation fails.
+
+    A failing constant (``1 / 0``) is left in place — the engine will
+    raise at run time, which is not this pass's business to predict.
+    """
+    try:
+        return ast.Literal(evaluate(node, {}))
+    except EvaluationError:
+        return node
+
+
+def _fold_binary(node: ast.BinaryOp) -> ast.Expression:
+    left = fold(node.left)
+    right = fold(node.right)
+    if node.operator in ("and", "or"):
+        return _fold_logical(node.operator, left, right)
+    folded = ast.BinaryOp(node.operator, left, right)
+    if node.operator in _COMPARISONS | _ARITHMETIC:
+        # NULL poisons comparisons and arithmetic regardless of the
+        # other side (the evaluator returns None before dispatching).
+        if _is_null(left) or _is_null(right):
+            return ast.Literal(None)
+    if isinstance(left, ast.Literal):
+        if isinstance(right, ast.Literal):
+            return _evaluated(folded)
+        if node.operator == "in" and _all_literals(right):
+            return _evaluated(folded)
+    return folded
+
+
+def _is_null(node: ast.Expression) -> bool:
+    return isinstance(node, ast.Literal) and node.value is None
+
+
+def _all_literals(node: ast.Expression) -> bool:
+    return isinstance(node, ast.ValueList) and all(
+        isinstance(item, ast.Literal) for item in node.items
+    )
+
+
+def _fold_logical(
+    operator: str, left: ast.Expression, right: ast.Expression
+) -> ast.Expression:
+    """Kleene partial folding of AND/OR."""
+    # AND: False absorbs, True is identity.  OR: the other way round.
+    identity = operator == "and"
+    absorber = not identity
+    lval = left.value if isinstance(left, ast.Literal) else _UNKNOWN
+    rval = right.value if isinstance(right, ast.Literal) else _UNKNOWN
+    if lval is absorber or rval is absorber:
+        return ast.Literal(absorber)
+    if lval is not _UNKNOWN and rval is not _UNKNOWN:
+        # Both literal, neither absorbing: NULL if either is NULL.
+        if lval is None or rval is None:
+            return ast.Literal(None)
+        if isinstance(lval, bool) and isinstance(rval, bool):
+            return ast.Literal(identity)
+        return ast.BinaryOp(operator, left, right)  # ill-typed; keep
+    if lval is identity:
+        return right
+    if rval is identity:
+        return left
+    return ast.BinaryOp(operator, left, right)
+
+
+class _Unknown:
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unknown>"
+
+
+_UNKNOWN = _Unknown()
+
+
+def truth(node: ast.Expression) -> Optional[bool]:
+    """Classify a predicate: ``True`` passes every row, ``False`` passes
+    none (a NULL predicate filters the row out), ``None`` is unknown."""
+    folded = fold(node)
+    if not isinstance(folded, ast.Literal):
+        return None
+    if folded.value is True:
+        return True
+    if folded.value is False or folded.value is None:
+        return False
+    return None  # non-boolean constant: the engine will raise, not filter
+
+
+# ---------------------------------------------------------------------------
+# Conjunction satisfiability via per-attribute intervals
+# ---------------------------------------------------------------------------
+
+
+def _same_family(left, right) -> bool:
+    """Whether two literal values are comparable for this analysis.
+
+    Booleans are their own family (``True == 1`` in Python would
+    otherwise leak int reasoning into booleans, which the engine
+    rejects).
+    """
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return True
+    return type(left) is type(right)
+
+
+Atom = Tuple[str, str, object]  # (attribute, operator, literal value)
+
+
+def _atoms_of(conjunct: ast.Expression) -> Optional[List[Atom]]:
+    """Extract ``attr op literal`` atoms from one folded conjunct.
+
+    Returns ``None`` when the conjunct is not of a shape this analysis
+    understands (it is then simply ignored — conservative).  A returned
+    empty list means "always false" (e.g. ``not (x in (1, null))``).
+    """
+    negated = False
+    node = conjunct
+    while isinstance(node, ast.UnaryOp) and node.operator == "not":
+        negated = not negated
+        node = node.operand
+    if not isinstance(node, ast.BinaryOp):
+        return None
+    if node.operator == "in":
+        return _in_atoms(node, negated)
+    if node.operator not in _FLIP:
+        return None
+    left, right, operator = node.left, node.right, node.operator
+    if isinstance(left, ast.Literal) and isinstance(right, ast.Attribute):
+        left, right = right, left
+        operator = _FLIP[operator]
+    if not (isinstance(left, ast.Attribute) and isinstance(right, ast.Literal)):
+        return None
+    if right.value is None:
+        # Comparison with NULL never passes; fold() normally catches
+        # this, but be safe.
+        return []
+    if negated:
+        operator = _NEGATE[operator]
+    return [(left.name, operator, right.value)]
+
+
+def _in_atoms(node: ast.BinaryOp, negated: bool) -> Optional[List[Atom]]:
+    if not isinstance(node.left, ast.Attribute):
+        return None
+    if not _all_literals(node.right):
+        return None
+    values = [item.value for item in node.right.items]
+    non_null = [value for value in values if value is not None]
+    if negated:
+        if len(non_null) != len(values):
+            # ``not (x in (..., null, ...))`` is never true: a non-member
+            # x yields NULL (filtered), a member yields False.
+            return []
+        return [(node.left.name, "!=", value) for value in non_null]
+    if not non_null:
+        return []  # ``x in (null)`` is never true
+    return [(node.left.name, "in", tuple(non_null))]
+
+
+class _Domain:
+    """Accumulated constraints on one attribute."""
+
+    def __init__(self) -> None:
+        self.eq: object = _UNKNOWN
+        self.neq: List[object] = []
+        self.low: Optional[Tuple[object, bool]] = None  # (value, strict)
+        self.high: Optional[Tuple[object, bool]] = None
+        self.members: Optional[List[object]] = None  # from IN lists
+
+    def add(self, operator: str, value) -> bool:
+        """Apply one atom; returns False when definitely unsatisfiable."""
+        try:
+            if operator == "=":
+                if self.eq is not _UNKNOWN and not self._eq(self.eq, value):
+                    return False
+                self.eq = value
+            elif operator == "!=":
+                self.neq.append(value)
+            elif operator == "in":
+                members = list(value)
+                if self.members is None:
+                    self.members = members
+                else:
+                    self.members = [
+                        m
+                        for m in self.members
+                        if any(self._eq(m, other) for other in members)
+                    ]
+            elif operator in (">", ">="):
+                strict = operator == ">"
+                if self.low is None or self._tighter(value, strict, self.low, True):
+                    self.low = (value, strict)
+            elif operator in ("<", "<="):
+                strict = operator == "<"
+                if self.high is None or self._tighter(value, strict, self.high, False):
+                    self.high = (value, strict)
+            return self.consistent()
+        except TypeError:
+            # Mixed-family constraints: leave this attribute alone.
+            return True
+
+    @staticmethod
+    def _eq(left, right) -> bool:
+        return _same_family(left, right) and left == right
+
+    @staticmethod
+    def _tighter(value, strict: bool, current: Tuple[object, bool], is_low: bool) -> bool:
+        cur_value, cur_strict = current
+        if not _same_family(value, cur_value):
+            raise TypeError
+        if value == cur_value:
+            return strict and not cur_strict
+        return value > cur_value if is_low else value < cur_value
+
+    def _passes(self, value) -> bool:
+        """Whether a candidate value satisfies bounds and exclusions."""
+        if any(self._eq(value, excluded) for excluded in self.neq):
+            return False
+        if self.low is not None:
+            low, strict = self.low
+            if _same_family(value, low):
+                if value < low or (strict and value == low):
+                    return False
+        if self.high is not None:
+            high, strict = self.high
+            if _same_family(value, high):
+                if value > high or (strict and value == high):
+                    return False
+        return True
+
+    def consistent(self) -> bool:
+        try:
+            if self.low is not None and self.high is not None:
+                low, low_strict = self.low
+                high, high_strict = self.high
+                if _same_family(low, high):
+                    if low > high:
+                        return False
+                    if low == high and (low_strict or high_strict):
+                        return False
+            if self.eq is not _UNKNOWN:
+                if not self._passes(self.eq):
+                    return False
+                if self.members is not None and not any(
+                    self._eq(self.eq, m) for m in self.members
+                ):
+                    return False
+            if self.members is not None:
+                if not any(self._passes(m) for m in self.members):
+                    return False
+            # A boolean excluded from both truth values has no home.
+            booleans = {v for v in self.neq if isinstance(v, bool)}
+            if booleans == {True, False} and self.eq is _UNKNOWN:
+                return False
+            return True
+        except TypeError:
+            return True
+
+
+def unsatisfiable(predicates: Iterable[ast.Expression]) -> bool:
+    """Whether the conjunction of ``predicates`` definitely passes no row.
+
+    ``False`` means "could not prove it", not "satisfiable".
+    """
+    atoms: List[Atom] = []
+    for predicate in predicates:
+        folded = fold(predicate)
+        if isinstance(folded, ast.Literal):
+            if folded.value is False or folded.value is None:
+                return True
+            continue
+        for conjunct in ast.conjuncts(folded):
+            if isinstance(conjunct, ast.Literal):
+                if conjunct.value is False or conjunct.value is None:
+                    return True
+                continue
+            extracted = _atoms_of(conjunct)
+            if extracted is None:
+                continue
+            if extracted == []:
+                return True
+            atoms.extend(extracted)
+    domains: dict = {}
+    for attribute, operator, value in atoms:
+        domain = domains.setdefault(attribute, _Domain())
+        if not domain.add(operator, value):
+            return True
+    return False

@@ -1,0 +1,489 @@
+"""Lineage passes over an ETL flow.
+
+Two dataflow analyses share this module:
+
+* **Backward demand** (:func:`output_demand`) — for every node, which of
+  its output attributes are actually consumed downstream.  Loaders
+  demand everything they load; each operation translates the demand on
+  its output into the demand on its inputs (a join adds its keys, a
+  selection its predicate's attributes, ...).  Attributes a node
+  *introduces* (derived/aggregate outputs, surrogate keys, renamed or
+  extracted columns) that nobody demands are dead.
+
+* **Forward hashability taint** (:func:`hashability_hazards`) — when the
+  source rows are available, unhashable values (the kind
+  :class:`repro.fuzz.datagen.LooseDatabase` smuggles past the type
+  system) are tracked forward to the operations that hash them: join
+  keys, group-by attributes, whole rows at a Distinct, surrogate
+  business keys.  A hazard is ``definite`` when a carrying row provably
+  reaches the consumer (only row-preserving operations on the path), or
+  ``possible`` when the path crosses row-filtering operations.  The
+  taint transfer deliberately mirrors engine facts: hash consumers
+  cleanse the attributes they hash (a surviving row demonstrably held a
+  hashable value), a Distinct cleanses the whole row, MIN/MAX can
+  forward an unhashable input to their output, any expression over a
+  tainted attribute may re-emit it (``coalesce``), and — crucially —
+  joins drop rows whose key tuple contains a NULL *before* hashing, so
+  a definite verdict at a join needs a witness row whose other key
+  attributes are all non-null (see :class:`_Taint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.folding import truth
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Aggregation,
+    Datastore,
+    DerivedAttribute,
+    Distinct,
+    Extraction,
+    Join,
+    JoinType,
+    Loader,
+    Operation,
+    Projection,
+    Rename,
+    Selection,
+    Sort,
+    SurrogateKey,
+    UnionOp,
+)
+from repro.expressions import parse
+from repro.expressions import ast as expr_ast
+
+Demand = Optional[Set[str]]  # None = unknown, treat as "all"
+
+DEFINITE = "definite"
+POSSIBLE = "possible"
+
+
+@dataclass(frozen=True)
+class Hazard:
+    """An unhashable value reaching a hashing consumer."""
+
+    node: str
+    attribute: str
+    status: str  # DEFINITE | POSSIBLE
+    role: str  # "join key" | "group-by attribute" | "distinct row" | "business key"
+
+
+# ---------------------------------------------------------------------------
+# Backward demand
+# ---------------------------------------------------------------------------
+
+
+def output_demand(
+    flow: EtlFlow, names: Dict[str, Optional[set]]
+) -> Dict[str, Demand]:
+    """For each node, the subset of its output attributes consumed
+    downstream (``None`` when it cannot be determined)."""
+    order = flow.topological_order()
+    demand: Dict[str, Demand] = {}
+    for name in reversed(order):
+        operation = flow.node(name)
+        if isinstance(operation, Loader):
+            demand[name] = _copy(names.get(name))
+            continue
+        consumers = flow.outputs(name)
+        if not consumers:
+            demand[name] = set()  # non-loader sink; the dead-end rule owns it
+            continue
+        total: Set[str] = set()
+        unknown = False
+        for consumer in consumers:
+            need = _needs(flow, consumer, name, demand[consumer], names)
+            if need is None:
+                unknown = True
+                continue
+            total |= need
+        demand[name] = None if unknown else total
+    return demand
+
+
+def _copy(value: Optional[set]) -> Demand:
+    return None if value is None else set(value)
+
+
+def _needs(
+    flow: EtlFlow,
+    consumer: str,
+    producer: str,
+    consumer_demand: Demand,
+    names: Dict[str, Optional[set]],
+) -> Demand:
+    """What ``consumer`` needs from ``producer``'s output."""
+    operation = flow.node(consumer)
+    if consumer_demand is None:
+        # Unknown downstream demand: conservatively need everything.
+        return _copy(names.get(producer))
+    if isinstance(operation, Loader):
+        return _copy(names.get(producer))
+    if isinstance(operation, Distinct):
+        return _copy(names.get(producer))  # hashes (and keeps) the whole row
+    if isinstance(operation, Selection):
+        return set(consumer_demand) | parse(operation.predicate).attributes()
+    if isinstance(operation, Sort):
+        return set(consumer_demand) | set(operation.keys)
+    if isinstance(operation, (Projection, Extraction)):
+        return set(operation.columns) & consumer_demand
+    if isinstance(operation, Rename):
+        inverse = {new: old for old, new in operation.renaming}
+        return {inverse.get(attr, attr) for attr in consumer_demand}
+    if isinstance(operation, DerivedAttribute):
+        need = set(consumer_demand) - {operation.output}
+        if operation.output in consumer_demand:
+            need |= parse(operation.expression).attributes()
+        return need
+    if isinstance(operation, Aggregation):
+        return set(operation.group_by) | {
+            spec.input
+            for spec in operation.aggregates
+            if spec.output in consumer_demand
+        }
+    if isinstance(operation, SurrogateKey):
+        return (set(consumer_demand) - {operation.output}) | set(
+            operation.business_keys
+        )
+    if isinstance(operation, Join):
+        return _join_needs(flow, operation, consumer, producer, consumer_demand, names)
+    if isinstance(operation, UnionOp):
+        return set(consumer_demand)
+    return _copy(names.get(producer))  # unknown kind: assume everything
+
+
+def _join_needs(
+    flow: EtlFlow,
+    operation: Join,
+    consumer: str,
+    producer: str,
+    consumer_demand: Set[str],
+    names: Dict[str, Optional[set]],
+) -> Demand:
+    inputs = flow.inputs(consumer)
+    if len(inputs) != 2:
+        return _copy(names.get(producer))
+    left, right = inputs
+    left_names = names.get(left)
+    right_names = names.get(right)
+    if left_names is None or right_names is None:
+        return _copy(names.get(producer))
+    if producer == left:
+        return {a for a in consumer_demand if a in left_names} | set(
+            operation.left_keys
+        )
+    # Attributes present on both sides belong to the left output slot
+    # (collapsed equi-keys or collisions), so they put no demand on the
+    # right input beyond the join keys themselves.
+    return {
+        a
+        for a in consumer_demand
+        if a in right_names and a not in left_names
+    } | set(operation.right_keys)
+
+
+def introduced_attributes(operation: Operation) -> List[str]:
+    """Attributes a node computes/renames/extracts (QRY101 candidates)."""
+    if isinstance(operation, DerivedAttribute):
+        return [operation.output]
+    if isinstance(operation, SurrogateKey):
+        return [operation.output]
+    if isinstance(operation, Rename):
+        return [new for _old, new in operation.renaming]
+    if isinstance(operation, (Projection, Extraction)):
+        return list(operation.columns)
+    if isinstance(operation, Aggregation):
+        return [spec.output for spec in operation.aggregates]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Forward hashability taint
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Taint:
+    """Taint on one attribute at one node.
+
+    ``witnesses`` (DEFINITE only) holds, per carrying source row, the
+    set of attributes *known non-null* in that row.  Joins skip rows
+    whose key tuple contains a NULL before hashing anything, so a
+    definite claim at a join additionally needs a witness row whose
+    key attributes are all non-null; aggregation, surrogate keys and
+    distinct hash unconditionally, so there the status alone decides.
+    """
+
+    status: str
+    witnesses: Tuple[frozenset, ...] = ()
+
+
+def _is_unhashable(value) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return True
+    return False
+
+
+def _merge(left: Optional[_Taint], right: Optional[_Taint]) -> Optional[_Taint]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if DEFINITE in (left.status, right.status):
+        witnesses = tuple(dict.fromkeys(left.witnesses + right.witnesses))
+        return _Taint(DEFINITE, witnesses)
+    return _Taint(POSSIBLE)
+
+
+def _weaken(taint: Dict[str, _Taint]) -> Dict[str, _Taint]:
+    return {attribute: _Taint(POSSIBLE) for attribute in taint}
+
+
+def hashability_hazards(
+    flow: EtlFlow,
+    rows_by_table: Dict[str, List[dict]],
+    names: Dict[str, Optional[set]],
+) -> List[Hazard]:
+    """Track unhashable source values to the operations that hash them."""
+    hazards: List[Hazard] = []
+    taints: Dict[str, Dict[str, _Taint]] = {}
+    for name in flow.topological_order():
+        operation = flow.node(name)
+        inputs = [taints[source] for source in flow.inputs(name)]
+        result = _transfer(
+            operation, name, inputs, names, rows_by_table, hazards
+        )
+        taints[name] = _clamp_witnesses(result, names.get(name))
+    return hazards
+
+
+def _clamp_witnesses(
+    taint: Dict[str, _Taint], visible: Optional[set]
+) -> Dict[str, _Taint]:
+    """Restrict witness profiles to the node's actual output attributes.
+
+    A stale profile member whose name is later *re-created* (rename,
+    derive) would otherwise vouch for the nullness of a different
+    attribute.  With unknown output names the witnesses are dropped
+    entirely — a witness-less DEFINITE still fails aggregates but only
+    counts as POSSIBLE at joins, which is the sound direction.
+    """
+    clamped: Dict[str, _Taint] = {}
+    for attribute, entry in taint.items():
+        if entry.status != DEFINITE or not entry.witnesses:
+            clamped[attribute] = entry
+        elif visible is None:
+            clamped[attribute] = _Taint(DEFINITE)
+        else:
+            clamped[attribute] = _Taint(
+                DEFINITE,
+                tuple(
+                    dict.fromkeys(
+                        witness & visible for witness in entry.witnesses
+                    )
+                ),
+            )
+    return clamped
+
+
+def _seed(operation: Datastore, name, names, rows_by_table) -> Dict[str, _Taint]:
+    rows = rows_by_table.get(operation.table, [])
+    visible = names.get(name)
+    taint: Dict[str, _Taint] = {}
+    for row in rows:
+        profile = frozenset(
+            attribute
+            for attribute, value in row.items()
+            if value is not None
+            and (visible is None or attribute in visible)
+        )
+        for attribute, value in row.items():
+            if visible is not None and attribute not in visible:
+                continue
+            if _is_unhashable(value):
+                taint[attribute] = _merge(
+                    taint.get(attribute), _Taint(DEFINITE, (profile,))
+                )
+    return taint
+
+
+def _consume(
+    taint: Dict[str, _Taint],
+    keys,
+    node: str,
+    role: str,
+    hazards: List[Hazard],
+    skip_null_rows: bool = False,
+) -> bool:
+    """Record hazards for hashed attributes; True when failure is certain.
+
+    With ``skip_null_rows`` (joins) a DEFINITE taint only stays definite
+    when some witness row has every key attribute non-null — rows with a
+    NULL anywhere in the key are dropped before hashing.
+    """
+    key_set = set(keys)
+    definite = False
+    for attribute in keys:
+        entry = taint.get(attribute)
+        if entry is None:
+            continue
+        status = entry.status
+        if status == DEFINITE and skip_null_rows:
+            if not any(key_set <= witness for witness in entry.witnesses):
+                status = POSSIBLE
+        hazards.append(Hazard(node, attribute, status, role))
+        definite = definite or status == DEFINITE
+    return definite
+
+
+def _transfer(
+    operation: Operation,
+    name: str,
+    inputs: List[Dict[str, _Taint]],
+    names: Dict[str, Optional[set]],
+    rows_by_table: Dict[str, List[dict]],
+    hazards: List[Hazard],
+) -> Dict[str, _Taint]:
+    if isinstance(operation, Datastore):
+        return _seed(operation, name, names, rows_by_table)
+    if not inputs:
+        return {}
+    taint = dict(inputs[0])
+    if isinstance(operation, Selection):
+        # Unless the predicate provably passes every row, the carrying
+        # row may be filtered out: downgrade to POSSIBLE.
+        if truth(parse(operation.predicate)) is True:
+            return taint
+        return _weaken(taint)
+    if isinstance(operation, (Projection, Extraction)):
+        return {
+            attribute: entry
+            for attribute, entry in taint.items()
+            if attribute in operation.columns
+        }
+    if isinstance(operation, Rename):
+        mapping = operation.mapping()
+        return {
+            mapping.get(attribute, attribute): _Taint(
+                entry.status,
+                tuple(
+                    frozenset(mapping.get(member, member) for member in witness)
+                    for witness in entry.witnesses
+                ),
+            )
+            for attribute, entry in taint.items()
+        }
+    if isinstance(operation, DerivedAttribute):
+        return _derive_transfer(operation, taint)
+    if isinstance(operation, Sort):
+        return taint  # row-preserving; a failing sort still fails the flow
+    if isinstance(operation, Distinct):
+        _consume(taint, list(taint), name, "distinct row", hazards)
+        return {}  # surviving rows hashed every value successfully
+    if isinstance(operation, Aggregation):
+        failed = _consume(
+            taint, operation.group_by, name, "group-by attribute", hazards
+        )
+        if failed:
+            return {}
+        result: Dict[str, _Taint] = {}
+        for spec in operation.aggregates:
+            if spec.function in ("MIN", "MAX") and spec.input in taint:
+                result[spec.output] = _Taint(POSSIBLE)
+        return result
+    if isinstance(operation, SurrogateKey):
+        failed = _consume(
+            taint, operation.business_keys, name, "business key", hazards
+        )
+        if failed:
+            return {}
+        for key in operation.business_keys:
+            taint.pop(key, None)  # hashed: surviving rows are clean here
+        return taint
+    if isinstance(operation, Join):
+        return _join_transfer(operation, name, inputs, hazards)
+    if isinstance(operation, UnionOp):
+        merged = dict(inputs[0])
+        for attribute, entry in inputs[1].items():
+            merged[attribute] = _merge(merged.get(attribute), entry)
+        return merged
+    if isinstance(operation, Loader):
+        return taint  # loading never hashes
+    return _weaken(taint)  # unknown kind: stay conservative
+
+
+def _derive_transfer(
+    operation: DerivedAttribute, taint: Dict[str, _Taint]
+) -> Dict[str, _Taint]:
+    output = operation.output
+    expression = parse(operation.expression)
+    bare = (
+        expression.name
+        if isinstance(expression, expr_ast.Attribute)
+        else None
+    )
+    source = taint.get(bare) if bare is not None else None
+    result: Dict[str, _Taint] = {}
+    for attribute, entry in taint.items():
+        if attribute == output:
+            continue  # overwritten below (or gone)
+        # In each witness row the new output is non-null exactly when a
+        # bare-copied source is; any computed expression might be NULL.
+        witnesses = tuple(
+            (witness | {output}) if bare is not None and bare in witness
+            else (witness - {output})
+            for witness in entry.witnesses
+        )
+        result[attribute] = _Taint(entry.status, witnesses)
+    if source is not None:
+        result[output] = _Taint(
+            source.status,
+            tuple(witness | {output} for witness in source.witnesses),
+        )
+    elif any(attribute in taint for attribute in expression.attributes()):
+        # coalesce (and friends) can return a tainted argument as-is.
+        result[output] = _Taint(POSSIBLE)
+    return result
+
+
+def _join_transfer(
+    operation: Join,
+    name: str,
+    inputs: List[Dict[str, _Taint]],
+    hazards: List[Hazard],
+) -> Dict[str, _Taint]:
+    if len(inputs) != 2:
+        return {}
+    left, right = inputs
+    failed = _consume(
+        left, operation.left_keys, name, "join key", hazards,
+        skip_null_rows=True,
+    )
+    failed = (
+        _consume(
+            right, operation.right_keys, name, "join key", hazards,
+            skip_null_rows=True,
+        )
+        or failed
+    )
+    if failed:
+        return {}
+    result: Dict[str, _Taint] = {}
+    keep_left = operation.join_type == JoinType.LEFT
+    for attribute, entry in left.items():
+        if attribute in operation.left_keys:
+            continue  # hashed on probe: surviving rows are clean here
+        result[attribute] = entry if keep_left else _Taint(POSSIBLE)
+    collapsed = {
+        r for l, r in zip(operation.left_keys, operation.right_keys) if l == r
+    }
+    for attribute, entry in right.items():
+        if attribute in operation.right_keys or attribute in collapsed:
+            continue
+        result[attribute] = _merge(result.get(attribute), _Taint(POSSIBLE))
+    return result

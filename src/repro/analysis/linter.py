@@ -1,0 +1,261 @@
+"""The lint driver: analysis contexts and the :func:`lint` entry point.
+
+The heavy analyses (structural validation, the schema walk, backward
+demand, forward hashability taint) are computed once per subject and
+cached on a context object; every rule reads from the context, so adding
+a rule never adds a pass.
+
+``lint`` accepts either an :class:`~repro.etlmodel.flow.EtlFlow` or an
+:class:`~repro.mdmodel.model.MDSchema` and returns a
+:class:`~repro.analysis.diagnostics.LintReport`.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis import flow_rules, md_rules  # noqa: F401  (register rules)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    rule_by_code,
+    rules_for,
+)
+from repro.analysis.flow_rules import structural_diagnostics
+from repro.analysis.lineage import Hazard, hashability_hazards, output_demand
+from repro.errors import QuarryError
+from repro.etlmodel import propagation
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import Loader
+from repro.expressions.types import ScalarType, type_of_value
+from repro.mdmodel.model import MDSchema
+from repro.sources.schema import SourceSchema, make_table
+
+
+class FlowLintContext:
+    """Cached analyses over one ETL flow.
+
+    ``source_schema`` types the datastores (enables QRY201/QRY204 to see
+    real types); ``rows_by_table`` supplies sample/source rows (enables
+    the QRY202/QRY203 hashability taint).  Both are optional — rules
+    degrade to silence, never to guesses, when inputs are missing.
+    """
+
+    def __init__(
+        self,
+        flow: EtlFlow,
+        *,
+        source_schema: Optional[SourceSchema] = None,
+        rows_by_table: Optional[Dict[str, List[dict]]] = None,
+    ) -> None:
+        self.flow = flow
+        self.source_schema = source_schema
+        self.rows_by_table = rows_by_table or {}
+
+    @cached_property
+    def structural(self) -> List[Diagnostic]:
+        return structural_diagnostics(self.flow)
+
+    @cached_property
+    def acyclic(self) -> bool:
+        return not any(d.code == "QRY005" for d in self.structural)
+
+    @cached_property
+    def names(self) -> Dict[str, Optional[set]]:
+        """Structurally known attribute names per node (None = unknown)."""
+        if not self.acyclic:
+            return {}
+        return propagation.attribute_names(self.flow)
+
+    @cached_property
+    def _schema_walk(
+        self,
+    ) -> Tuple[Dict[str, Optional[dict]], List[Tuple[str, str]]]:
+        """Best-effort typed schema per node, plus propagation failures.
+
+        Unlike :func:`repro.etlmodel.propagation.propagate` this never
+        raises: a node that fails gets a ``None`` schema and one
+        ``(node, message)`` failure entry, and everything downstream of
+        a ``None`` schema is silently ``None`` too (no cascades).  A
+        datastore whose table the source schema cannot type is unknown,
+        not a failure — the engine's STRING fallback for explicit
+        columns is a *guess*, and the typed rules must not report
+        guess-induced mismatches.
+        """
+        schemas: Dict[str, Optional[dict]] = {}
+        failures: List[Tuple[str, str]] = []
+        if not self.acyclic:
+            return schemas, failures
+        for name in self.flow.topological_order():
+            operation = self.flow.node(name)
+            if operation.kind == "Datastore":
+                if self.source_schema is None or not self.source_schema.has_table(
+                    operation.table
+                ):
+                    schemas[name] = None
+                    continue
+            inputs = [schemas.get(source) for source in self.flow.inputs(name)]
+            if len(inputs) != operation.arity or any(
+                schema is None for schema in inputs
+            ):
+                if operation.kind != "Datastore":
+                    schemas[name] = None
+                    continue
+            try:
+                schemas[name] = propagation._output_schema(
+                    operation, inputs, self.source_schema
+                )
+            except QuarryError as exc:
+                schemas[name] = None
+                message = str(exc)
+                prefix = f"{operation.kind} {name!r}: "
+                if message.startswith(prefix):
+                    message = message[len(prefix):]
+                failures.append((name, message))
+        return schemas, failures
+
+    @property
+    def node_schemas(self) -> Dict[str, Optional[dict]]:
+        return self._schema_walk[0]
+
+    @property
+    def propagation_failures(self) -> List[Tuple[str, str]]:
+        return self._schema_walk[1]
+
+    @cached_property
+    def demand(self) -> Dict[str, Optional[set]]:
+        if not self.acyclic:
+            return {}
+        try:
+            return output_demand(self.flow, self.names)
+        except QuarryError:
+            return {}  # malformed predicate somewhere; QRY204 reports it
+
+    @cached_property
+    def hazards(self) -> List[Hazard]:
+        if not self.acyclic or not self.rows_by_table:
+            return []
+        try:
+            return hashability_hazards(
+                self.flow, self.rows_by_table, self.names
+            )
+        except QuarryError:
+            return []
+
+    @cached_property
+    def _loader_reach(self) -> set:
+        reach = set()
+        for operation in self.flow.nodes():
+            if isinstance(operation, Loader):
+                reach.add(operation.name)
+                reach |= self.flow.upstream(operation.name)
+        return reach
+
+    def reaches_loader(self, name: str) -> bool:
+        return name in self._loader_reach
+
+
+class MDLintContext:
+    """Cached analyses over one MD schema."""
+
+    def __init__(self, schema: MDSchema, *, ontology=None) -> None:
+        self.schema = schema
+        self._ontology = ontology
+
+    @cached_property
+    def ontology_graph(self):
+        if self._ontology is None:
+            return None
+        if hasattr(self._ontology, "to_one_path"):
+            return self._ontology  # already an OntologyGraph
+        from repro.ontology.graph import OntologyGraph
+
+        return OntologyGraph(self._ontology)
+
+
+def schema_from_rows(tables: Dict[str, List[dict]]) -> SourceSchema:
+    """Synthesize a typed :class:`SourceSchema` from sample rows.
+
+    Each column takes the type of its first typeable non-null value;
+    columns with no such value (all NULL, or values outside the scalar
+    type system) default to STRING.  This is what the lint CLI and the
+    fuzz oracle use to make untyped row fixtures visible to the typed
+    rules.
+    """
+    schema = SourceSchema("sampled")
+    for table_name, rows in tables.items():
+        columns: Dict[str, ScalarType] = {}
+        for row in rows:
+            for attribute, value in row.items():
+                if attribute in columns and columns[attribute] is not None:
+                    continue
+                try:
+                    columns.setdefault(attribute, None)
+                    inferred = type_of_value(value)
+                except QuarryError:
+                    inferred = None
+                if inferred is not None:
+                    columns[attribute] = inferred
+        schema.add_table(
+            make_table(
+                table_name,
+                [
+                    (attribute, scalar or ScalarType.STRING)
+                    for attribute, scalar in columns.items()
+                ],
+            )
+        )
+    return schema
+
+
+def _select_rules(target: str, disable, only):
+    rules = rules_for(target)
+    if only is not None:
+        wanted = set(only)
+        for code in wanted:
+            rule_by_code(code)  # raise on typos
+        rules = [r for r in rules if r.code in wanted]
+    if disable:
+        dropped = set(disable)
+        for code in dropped:
+            rule_by_code(code)
+        rules = [r for r in rules if r.code not in dropped]
+    return rules
+
+
+def lint(
+    subject,
+    *,
+    source_schema: Optional[SourceSchema] = None,
+    tables: Optional[Dict[str, List[dict]]] = None,
+    ontology=None,
+    disable: Iterable[str] = (),
+    only: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Run all (or the selected) lint rules over a flow or an MD schema.
+
+    ``tables`` maps datastore table names to sample rows; when given
+    without a ``source_schema``, a schema is synthesized from the rows
+    so the typed rules see something.
+    """
+    if isinstance(subject, EtlFlow):
+        if source_schema is None and tables:
+            source_schema = schema_from_rows(tables)
+        context = FlowLintContext(
+            subject, source_schema=source_schema, rows_by_table=tables
+        )
+        rules = _select_rules("flow", disable, only)
+        subject_name = f"flow {subject.name!r}"
+    elif isinstance(subject, MDSchema):
+        context = MDLintContext(subject, ontology=ontology)
+        rules = _select_rules("md", disable, only)
+        subject_name = f"schema {subject.name!r}"
+    else:
+        raise TypeError(
+            f"lint() wants an EtlFlow or MDSchema, got {type(subject).__name__}"
+        )
+    diagnostics: List[Diagnostic] = []
+    for rule in rules:
+        diagnostics.extend(rule.run(context))
+    return LintReport(subject=subject_name, diagnostics=diagnostics)

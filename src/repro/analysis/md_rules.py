@@ -1,0 +1,378 @@
+"""Lint rules over multidimensional schemas (``QRY4xx``).
+
+These mirror the MD integrity constraints of
+:mod:`repro.mdmodel.constraints` — which stays the deployment-time
+enforcement point — but report through the shared diagnostics framework
+with stable codes, and add checks that need context the constraint
+checker does not have (ontology provenance for to-one reachability,
+cross-level attribute duplication).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analysis.diagnostics import Diagnostic, Severity, diag, rule
+from repro.errors import QuarryError
+from repro.mdmodel.model import Additivity, AggregationFunction
+
+#: Distributive aggregation functions: safe to roll up from
+#: pre-aggregated partials without auxiliary columns.
+_DISTRIBUTIVE = {
+    AggregationFunction.SUM,
+    AggregationFunction.MIN,
+    AggregationFunction.MAX,
+    AggregationFunction.COUNT,
+}
+
+#: Aggregations that stay meaningful for non-additive measures.
+_ORDER_SAFE = {
+    AggregationFunction.MIN,
+    AggregationFunction.MAX,
+    AggregationFunction.COUNT,
+}
+
+
+@rule("QRY401", "dimension has no levels", "md", Severity.ERROR)
+def _no_levels(context) -> Iterable[Diagnostic]:
+    return [
+        diag(
+            "QRY401",
+            f"dimension {dimension.name!r} has no levels",
+            node=dimension.name,
+            hint="give the dimension at least one level or drop it",
+        )
+        for dimension in context.schema.dimensions.values()
+        if not dimension.levels
+    ]
+
+
+@rule("QRY402", "dimension has no hierarchies", "md", Severity.ERROR)
+def _no_hierarchies(context) -> Iterable[Diagnostic]:
+    return [
+        diag(
+            "QRY402",
+            f"dimension {dimension.name!r} has no hierarchies",
+            node=dimension.name,
+            hint="declare a hierarchy over the levels",
+        )
+        for dimension in context.schema.dimensions.values()
+        if dimension.levels and not dimension.hierarchies
+    ]
+
+
+@rule("QRY403", "hierarchy references unknown level", "md", Severity.ERROR)
+def _unknown_hierarchy_level(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for dimension in context.schema.dimensions.values():
+        for hierarchy in dimension.hierarchies:
+            for level_name in hierarchy.levels:
+                if level_name not in dimension.levels:
+                    out.append(
+                        diag(
+                            "QRY403",
+                            f"hierarchy {hierarchy.name!r} of dimension "
+                            f"{dimension.name!r} references unknown level "
+                            f"{level_name!r}",
+                            node=dimension.name,
+                            attribute=level_name,
+                        )
+                    )
+    return out
+
+
+@rule("QRY404", "level is in no hierarchy", "md", Severity.WARNING)
+def _orphan_level(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for dimension in context.schema.dimensions.values():
+        covered = {
+            level_name
+            for hierarchy in dimension.hierarchies
+            for level_name in hierarchy.levels
+        }
+        for level_name in sorted(set(dimension.levels) - covered):
+            out.append(
+                diag(
+                    "QRY404",
+                    f"level {level_name!r} of dimension {dimension.name!r} "
+                    f"is in no hierarchy (unreachable for roll-up)",
+                    node=dimension.name,
+                    attribute=level_name,
+                    hint="add the level to a hierarchy or remove it",
+                )
+            )
+    return out
+
+
+@rule("QRY405", "level has no attributes", "md", Severity.ERROR)
+def _empty_level(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for dimension in context.schema.dimensions.values():
+        for level in dimension.levels.values():
+            if not level.attributes:
+                out.append(
+                    diag(
+                        "QRY405",
+                        f"level {level.name!r} of dimension "
+                        f"{dimension.name!r} has no attributes",
+                        node=dimension.name,
+                        attribute=level.name,
+                    )
+                )
+    return out
+
+
+@rule("QRY406", "duplicate attribute across levels", "md", Severity.WARNING)
+def _duplicate_attributes(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for dimension in context.schema.dimensions.values():
+        owners: Dict[str, str] = {}
+        for level in dimension.levels.values():
+            seen_here = set()
+            for attribute in level.attributes:
+                name = attribute.name
+                if name in seen_here:
+                    out.append(
+                        diag(
+                            "QRY406",
+                            f"level {level.name!r} of dimension "
+                            f"{dimension.name!r} declares attribute "
+                            f"{name!r} twice",
+                            node=dimension.name,
+                            attribute=name,
+                        )
+                    )
+                    continue
+                seen_here.add(name)
+                owner = owners.get(name)
+                if owner is not None:
+                    out.append(
+                        diag(
+                            "QRY406",
+                            f"attribute {name!r} appears in both levels "
+                            f"{owner!r} and {level.name!r} of dimension "
+                            f"{dimension.name!r}",
+                            node=dimension.name,
+                            attribute=name,
+                            hint="rename one of the attributes; duplicated "
+                            "names make roll-up results ambiguous",
+                        )
+                    )
+                else:
+                    owners[name] = level.name
+    return out
+
+
+@rule("QRY407", "fact has no measures", "md", Severity.ERROR)
+def _no_measures(context) -> Iterable[Diagnostic]:
+    return [
+        diag(
+            "QRY407",
+            f"fact {fact.name!r} has no measures",
+            node=fact.name,
+            hint="a fact needs at least one measure to be analysable",
+        )
+        for fact in context.schema.facts.values()
+        if not fact.measures
+    ]
+
+
+@rule("QRY408", "fact links no dimensions", "md", Severity.ERROR)
+def _no_links(context) -> Iterable[Diagnostic]:
+    return [
+        diag(
+            "QRY408",
+            f"fact {fact.name!r} links no dimensions",
+            node=fact.name,
+            hint="an unlinked fact cannot be sliced or rolled up",
+        )
+        for fact in context.schema.facts.values()
+        if not fact.links
+    ]
+
+
+@rule("QRY409", "broken dimension link", "md", Severity.ERROR)
+def _broken_links(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for fact in context.schema.facts.values():
+        seen = set()
+        for link in fact.links:
+            if link.dimension in seen:
+                out.append(
+                    diag(
+                        "QRY409",
+                        f"fact {fact.name!r} links dimension "
+                        f"{link.dimension!r} twice",
+                        node=fact.name,
+                        attribute=link.dimension,
+                    )
+                )
+            seen.add(link.dimension)
+            if not context.schema.has_dimension(link.dimension):
+                out.append(
+                    diag(
+                        "QRY409",
+                        f"fact {fact.name!r} links unknown dimension "
+                        f"{link.dimension!r}",
+                        node=fact.name,
+                        attribute=link.dimension,
+                    )
+                )
+                continue
+            dimension = context.schema.dimension(link.dimension)
+            if not dimension.has_level(link.level):
+                out.append(
+                    diag(
+                        "QRY409",
+                        f"fact {fact.name!r} links dimension "
+                        f"{link.dimension!r} at unknown level {link.level!r}",
+                        node=fact.name,
+                        attribute=link.dimension,
+                    )
+                )
+    return out
+
+
+@rule("QRY410", "fact linked at non-base level", "md", Severity.WARNING)
+def _non_base_link(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for fact in context.schema.facts.values():
+        for link in fact.links:
+            if not context.schema.has_dimension(link.dimension):
+                continue
+            dimension = context.schema.dimension(link.dimension)
+            if not dimension.has_level(link.level):
+                continue
+            if not dimension.hierarchies or link.level in dimension.base_levels():
+                continue
+            finer_exists = any(
+                dimension.rolls_up(other, link.level)
+                for other in dimension.levels
+                if other != link.level
+            )
+            if finer_exists:
+                out.append(
+                    diag(
+                        "QRY410",
+                        f"fact {fact.name!r} links {link.dimension!r} at "
+                        f"non-base level {link.level!r}; finer levels "
+                        f"cannot be queried",
+                        node=fact.name,
+                        attribute=link.dimension,
+                        hint="link at the hierarchy's base level",
+                    )
+                )
+    return out
+
+
+@rule("QRY411", "aggregation incompatible with additivity", "md", Severity.ERROR)
+def _additivity(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for fact in context.schema.facts.values():
+        for measure in fact.measures.values():
+            if measure.additivity is Additivity.NON_ADDITIVE:
+                if measure.aggregation is AggregationFunction.SUM:
+                    out.append(
+                        diag(
+                            "QRY411",
+                            f"non-additive measure {measure.name!r} of fact "
+                            f"{fact.name!r} cannot be SUMmed "
+                            f"(summarizability)",
+                            node=fact.name,
+                            attribute=measure.name,
+                            hint="use MIN/MAX/COUNT or model the measure "
+                            "from additive components",
+                        )
+                    )
+                elif measure.aggregation not in _ORDER_SAFE:
+                    out.append(
+                        diag(
+                            "QRY411",
+                            f"non-additive measure {measure.name!r} of fact "
+                            f"{fact.name!r} aggregated with "
+                            f"{measure.aggregation.value}; verify semantics",
+                            node=fact.name,
+                            attribute=measure.name,
+                            severity=Severity.WARNING,
+                        )
+                    )
+            elif measure.additivity is Additivity.SEMI_ADDITIVE:
+                if measure.aggregation is AggregationFunction.SUM:
+                    out.append(
+                        diag(
+                            "QRY411",
+                            f"semi-additive measure {measure.name!r} of fact "
+                            f"{fact.name!r} SUMmed; sums along the "
+                            f"restricted dimension are invalid",
+                            node=fact.name,
+                            attribute=measure.name,
+                            severity=Severity.WARNING,
+                        )
+                    )
+    return out
+
+
+@rule("QRY412", "non-distributive aggregation", "md", Severity.INFO)
+def _non_distributive(context) -> Iterable[Diagnostic]:
+    out: List[Diagnostic] = []
+    for fact in context.schema.facts.values():
+        for measure in fact.measures.values():
+            if measure.aggregation not in _DISTRIBUTIVE:
+                out.append(
+                    diag(
+                        "QRY412",
+                        f"measure {measure.name!r} of fact {fact.name!r} "
+                        f"uses non-distributive "
+                        f"{measure.aggregation.value}; pre-aggregated "
+                        f"roll-ups must keep auxiliary counts",
+                        node=fact.name,
+                        attribute=measure.name,
+                    )
+                )
+    return out
+
+
+@rule("QRY413", "dimension unreachable over to-one paths", "md", Severity.WARNING)
+def _to_one_reachability(context) -> Iterable[Diagnostic]:
+    """A linked dimension whose level concept the fact's concept cannot
+    reach over functional (to-one) ontology properties.
+
+    Runs only when an ontology graph is attached and both ends carry
+    concept provenance; quiet otherwise.
+    """
+    graph = context.ontology_graph
+    if graph is None:
+        return []
+    out: List[Diagnostic] = []
+    for fact in context.schema.facts.values():
+        if fact.concept is None:
+            continue
+        for link in fact.links:
+            if not context.schema.has_dimension(link.dimension):
+                continue
+            dimension = context.schema.dimension(link.dimension)
+            if not dimension.has_level(link.level):
+                continue
+            concept = dimension.levels[link.level].concept
+            if concept is None:
+                continue
+            try:
+                path = graph.to_one_path(fact.concept, concept)
+            except QuarryError:
+                continue  # unknown concept: provenance is stale, stay quiet
+            if path is None:
+                out.append(
+                    diag(
+                        "QRY413",
+                        f"fact {fact.name!r} (concept {fact.concept!r}) has "
+                        f"no to-one path to level {link.level!r} of "
+                        f"dimension {link.dimension!r} (concept "
+                        f"{concept!r}); each fact instance may map to "
+                        f"many dimension members",
+                        node=fact.name,
+                        attribute=link.dimension,
+                        hint="check the ontology's functional properties "
+                        "or the dimension's grain",
+                    )
+                )
+    return out

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.interpreter.etl_generation import EtlGenerator
-from repro.core.interpreter.mapper import RequirementMapper, RequirementMapping
+from repro.core.interpreter.mapper import RequirementMapper
 from repro.core.interpreter.md_generation import MDGenerator
 from repro.core.requirements.model import InformationRequirement
 from repro.errors import InterpretationError

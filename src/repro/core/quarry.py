@@ -38,7 +38,7 @@ from repro.core.interpreter import Interpreter, PartialDesign
 from repro.core.requirements import Elicitor
 from repro.core.requirements.model import InformationRequirement
 from repro.core.requirements.vocabulary import Vocabulary
-from repro.errors import IntegrationError, QuarryError
+from repro.errors import IntegrationError, LintError, QuarryError
 from repro.engine.database import Database
 from repro.etlmodel.cost import CostModel
 from repro.etlmodel.flow import EtlFlow
@@ -437,20 +437,60 @@ class Quarry:
             ),
         )
 
+    # -- static analysis ---------------------------------------------------------------
+
+    def lint(self, *, disable=(), only=None):
+        """Lint the unified design: ETL flow plus MD schema.
+
+        Returns a merged :class:`repro.analysis.LintReport`.  The flow
+        is linted against the source schema (typed datastores) and the
+        MD schema against the domain ontology (to-one reachability).
+        """
+        from repro.analysis import lint as run_lint
+
+        flow_report = run_lint(
+            self._unified_etl,
+            source_schema=self._schema,
+            disable=disable,
+            only=only,
+        )
+        md_report = run_lint(
+            self._unified_md,
+            ontology=self._ontology,
+            disable=disable,
+            only=only,
+        )
+        return flow_report.merged_with(md_report)
+
     # -- deployment ------------------------------------------------------------------
 
     def deploy(
         self,
         platform: str,
         source_database: Optional[Database] = None,
+        lint_gate: bool = True,
     ) -> DeploymentResult:
-        """Deploy the unified design; records the artefacts in the repo."""
+        """Deploy the unified design; records the artefacts in the repo.
+
+        Deployment is gated on the linter: ERROR-severity findings raise
+        :class:`repro.errors.LintError` before anything is deployed,
+        while warnings are reported through the ``lint`` artifact of the
+        result (and the recorded deployment).  Pass ``lint_gate=False``
+        to skip the gate.
+        """
+        lint_report = None
+        if lint_gate:
+            lint_report = self.lint()
+            if not lint_report.ok:
+                raise LintError(lint_report.errors)
         result = self._deployer.deploy(
             self._unified_md,
             self._unified_etl,
             platform,
             source_database=source_database,
         )
+        if lint_report is not None:
+            result.artifacts["lint"] = lint_report.render()
         self._repository.record_deployment(
             "current", platform, dict(result.artifacts)
         )

@@ -196,7 +196,9 @@ class InformationRequirement:
             except TypeCheckError as exc:
                 problems.append(f"slicer {slicer.predicate!r}: {exc}")
                 continue
-            if result is not ScalarType.BOOLEAN:
+            # None means "could not infer" (e.g. a bare NULL literal) —
+            # not a proof of wrongness, so only flag definite types.
+            if result is not None and result is not ScalarType.BOOLEAN:
                 problems.append(
                     f"slicer {slicer.predicate!r} is not boolean"
                 )

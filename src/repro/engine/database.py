@@ -9,8 +9,8 @@ it, and the OLAP helper queries it.
 from __future__ import annotations
 
 import datetime
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import EngineError, IntegrityError, UnknownTableError
 from repro.engine.columnar import ColumnarRelation

@@ -35,7 +35,29 @@ class ParseError(ExpressionError):
 
 
 class TypeCheckError(ExpressionError):
-    """Raised when an expression fails static type checking."""
+    """Raised when an expression fails static type checking.
+
+    ``node`` and ``expression`` optionally carry the flow-node name and
+    the concrete expression text the failure occurred in, so diagnostics
+    can point at the exact location instead of just quoting the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: "str | None" = None,
+        expression: "str | None" = None,
+    ) -> None:
+        self.bare_message = message
+        self.node = node
+        self.expression = expression
+        detail = message
+        if expression is not None:
+            detail = f"{detail} (in expression {expression!r})"
+        if node is not None:
+            detail = f"{detail} (at node {node!r})"
+        super().__init__(detail)
 
 
 class EvaluationError(ExpressionError):
@@ -240,3 +262,18 @@ class IntegrationError(QuarryError):
 
 class DeploymentError(QuarryError):
     """Raised when a unified design cannot be deployed to a platform."""
+
+
+class LintError(QuarryError):
+    """Raised when the static linter blocks an action on ERROR diagnostics.
+
+    Carries the individual :class:`repro.analysis.Diagnostic` objects so
+    callers can render or filter them.
+    """
+
+    def __init__(self, diagnostics: list) -> None:
+        self.diagnostics = list(diagnostics)
+        summary = "; ".join(str(d) for d in self.diagnostics)
+        super().__init__(
+            f"lint found {len(self.diagnostics)} error(s): {summary}"
+        )

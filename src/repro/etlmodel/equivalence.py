@@ -271,11 +271,7 @@ def _shrink_datastores(flow: EtlFlow) -> None:
 def _compute_needs(flow: EtlFlow, produced) -> dict:
     """(producer, consumer) -> attribute set the consumer's subtree
     needs from that edge; ``None`` means "everything" (no pruning)."""
-    from repro.etlmodel.ops import (
-        Loader as LoaderOp,
-        SurrogateKey,
-        UnionOp as UnionOperation,
-    )
+    from repro.etlmodel.ops import SurrogateKey
 
     needed_out: dict = {}  # node -> set needed by all consumers (or None)
     edge_needs: dict = {}

@@ -333,30 +333,15 @@ class EtlFlow:
     # -- validation --------------------------------------------------------------
 
     def validate(self) -> List[str]:
-        """Structural validation; returns problems (empty when valid)."""
-        problems: List[str] = []
-        for name, operation in self._nodes.items():
-            actual = len(self.inputs(name))
-            if actual != operation.arity:
-                problems.append(
-                    f"{operation.kind} {name!r} expects {operation.arity} "
-                    f"input(s), has {actual}"
-                )
-            if operation.kind == "Datastore" and self.inputs(name):
-                problems.append(f"datastore {name!r} has inputs")
-            if operation.kind == "Loader" and self.outputs(name):
-                problems.append(f"loader {name!r} has outputs")
-            if operation.kind not in ("Loader",) and not self.outputs(name):
-                if operation.kind != "Loader":
-                    problems.append(
-                        f"{operation.kind} {name!r} is a dead end "
-                        f"(only loaders may be sinks)"
-                    )
-        try:
-            self.topological_order()
-        except FlowValidationError as exc:
-            problems.extend(str(v) for v in exc.violations)
-        return problems
+        """Structural validation; returns problems (empty when valid).
+
+        Thin compatibility wrapper over the linter's structural pass
+        (codes ``QRY001``–``QRY005``); the messages are unchanged.
+        """
+        # Imported lazily: the analysis package imports this module.
+        from repro.analysis.flow_rules import structural_diagnostics
+
+        return [diagnostic.message for diagnostic in structural_diagnostics(self)]
 
     def check(self) -> None:
         """Raise :class:`FlowValidationError` when structurally invalid."""

@@ -86,7 +86,9 @@ def _names_of(operation: Operation, inputs: list) -> Optional[set]:
     if not inputs or inputs[0] is None:
         return None
     if isinstance(operation, Join):
-        if inputs[1] is None:
+        # A join missing an input is an arity violation (the structural
+        # checks report it); its output names are simply unknown.
+        if len(inputs) != 2 or inputs[1] is None:
             return None
         return inputs[0] | inputs[1]
     if isinstance(operation, DerivedAttribute):
@@ -162,9 +164,15 @@ def _projection_schema(operation, input_schema: Schema) -> Schema:
 
 def _selection_schema(operation: Selection, input_schema: Schema) -> Schema:
     try:
-        result = infer_type(parse(operation.predicate), input_schema)
+        result = infer_type(
+            parse(operation.predicate), input_schema, node=operation.name
+        )
     except TypeCheckError as exc:
-        raise _fail(operation, f"predicate does not type-check: {exc}") from exc
+        # The chained exc carries node + expression for programmatic
+        # consumers; the message quotes only the bare failure.
+        raise _fail(
+            operation, f"predicate does not type-check: {exc.bare_message}"
+        ) from exc
     if result is not None and result is not ScalarType.BOOLEAN:
         raise _fail(operation, f"predicate has type {result}, expected boolean")
     return dict(input_schema)
@@ -225,9 +233,13 @@ def _aggregation_schema(operation: Aggregation, input_schema: Schema) -> Schema:
 
 def _derive_schema(operation: DerivedAttribute, input_schema: Schema) -> Schema:
     try:
-        result_type = infer_type(parse(operation.expression), input_schema)
+        result_type = infer_type(
+            parse(operation.expression), input_schema, node=operation.name
+        )
     except TypeCheckError as exc:
-        raise _fail(operation, f"expression does not type-check: {exc}") from exc
+        raise _fail(
+            operation, f"expression does not type-check: {exc.bare_message}"
+        ) from exc
     if result_type is None:
         result_type = ScalarType.STRING
     result = dict(input_schema)

@@ -144,13 +144,31 @@ def function_result_type(name: str, arg_types: list) -> ScalarType:
     return result
 
 
-def infer_type(expression, schema: dict) -> Optional[ScalarType]:
+def infer_type(
+    expression, schema: dict, *, node: Optional[str] = None
+) -> Optional[ScalarType]:
     """Infer the result type of an expression under an attribute schema.
 
     ``schema`` maps attribute names to :class:`ScalarType`.  Returns
     ``None`` only for a bare NULL literal.  Raises
-    :class:`TypeCheckError` on type errors or unknown attributes.
+    :class:`TypeCheckError` on type errors or unknown attributes; when
+    ``node`` is given the error carries the node name and the full
+    expression text, so unknown identifiers/functions are reported with
+    their location instead of a bare message.
     """
+    if node is None:
+        return _infer_type(expression, schema)
+    try:
+        return _infer_type(expression, schema)
+    except TypeCheckError as exc:
+        if exc.node is not None:
+            raise
+        raise TypeCheckError(
+            exc.bare_message, node=node, expression=str(expression)
+        ) from exc
+
+
+def _infer_type(expression, schema: dict) -> Optional[ScalarType]:
     # Imported here to avoid a circular import with the AST module.
     from repro.expressions import ast
 
@@ -161,7 +179,7 @@ def infer_type(expression, schema: dict) -> Optional[ScalarType]:
             raise TypeCheckError(f"unknown attribute: {expression.name!r}")
         return schema[expression.name]
     if isinstance(expression, ast.UnaryOp):
-        operand = infer_type(expression.operand, schema)
+        operand = _infer_type(expression.operand, schema)
         if expression.operator == "-":
             if operand is not None and not operand.is_numeric:
                 raise TypeCheckError(f"unary minus requires a number, got {operand}")
@@ -174,7 +192,7 @@ def infer_type(expression, schema: dict) -> Optional[ScalarType]:
     if isinstance(expression, ast.BinaryOp):
         return _infer_binary(expression, schema)
     if isinstance(expression, ast.FunctionCall):
-        arg_types = [infer_type(arg, schema) for arg in expression.arguments]
+        arg_types = [_infer_type(arg, schema) for arg in expression.arguments]
         return function_result_type(expression.name, arg_types)
     raise TypeCheckError(f"cannot type-check node {expression!r}")
 
@@ -190,10 +208,10 @@ def _infer_binary(node, schema: dict) -> ScalarType:
 
     operator = node.operator
     if operator == "in":
-        left = infer_type(node.left, schema)
+        left = _infer_type(node.left, schema)
         if isinstance(node.right, ast.ValueList):
             for item in node.right.items:
-                item_type = infer_type(item, schema)
+                item_type = _infer_type(item, schema)
                 if (
                     left is not None
                     and item_type is not None
@@ -204,8 +222,8 @@ def _infer_binary(node, schema: dict) -> ScalarType:
                         f"comparable with {left}"
                     )
         return ScalarType.BOOLEAN
-    left = infer_type(node.left, schema)
-    right = infer_type(node.right, schema)
+    left = _infer_type(node.left, schema)
+    right = _infer_type(node.right, schema)
     if operator in _ARITHMETIC:
         if operator == "+" and ScalarType.STRING in (left, right):
             if left in (ScalarType.STRING, None) and right in (ScalarType.STRING, None):

@@ -4,10 +4,12 @@ Every shrunk failure the fuzzer finds can be serialised to a small JSON
 document and committed under ``tests/fuzz/corpus/``; the tier-1 smoke
 test replays every entry on each run, so a fixed bug stays fixed.
 
-Two entry kinds:
+Three entry kinds:
 
 * ``"flow"`` — source tables (schema + rows) and the flow as xLM text;
   replay runs the full differential flow check.
+* ``"lint"`` — same payload as ``"flow"``; replay runs the
+  static/dynamic agreement check (linter versus engine) instead.
 * ``"query"`` — documents, query, sort key and limit; replay runs the
   document-store check against the naive reference.
 
@@ -25,6 +27,7 @@ from typing import List, Optional, Tuple
 from repro.expressions.types import ScalarType
 from repro.fuzz.datagen import TableSpec
 from repro.fuzz.flowgen import FlowTrial
+from repro.fuzz.lintoracle import LintTrial, check_lint_trial
 from repro.fuzz.oracle import check_flow_trial, check_query_trial
 from repro.fuzz.querygen import QueryTrial
 from repro.xformats import xlm
@@ -91,28 +94,40 @@ def query_entry(trial: QueryTrial, description: str = "") -> dict:
     }
 
 
+def lint_entry(trial, description: str = "") -> dict:
+    entry = flow_entry(trial, description)
+    entry["kind"] = "lint"
+    return entry
+
+
 def encode_trial(trial, description: str = "") -> dict:
+    if isinstance(trial, LintTrial):  # before FlowTrial: it's a subclass
+        return lint_entry(trial, description)
     if isinstance(trial, FlowTrial):
         return flow_entry(trial, description)
     return query_entry(trial, description)
 
 
+def _decode_tables(entry: dict) -> List[TableSpec]:
+    return [
+        TableSpec(
+            name=table["name"],
+            schema={
+                column: ScalarType[type_name]
+                for column, type_name in table["schema"].items()
+            },
+            rows=[decode_value(row) for row in table["rows"]],
+        )
+        for table in entry["tables"]
+    ]
+
+
 def decode_entry(entry: dict):
     """An entry dict back into the trial object it froze."""
-    if entry["kind"] == "flow":
-        tables = [
-            TableSpec(
-                name=table["name"],
-                schema={
-                    column: ScalarType[type_name]
-                    for column, type_name in table["schema"].items()
-                },
-                rows=[decode_value(row) for row in table["rows"]],
-            )
-            for table in entry["tables"]
-        ]
-        return FlowTrial(
-            tables=tables,
+    if entry["kind"] in ("flow", "lint"):
+        trial_class = LintTrial if entry["kind"] == "lint" else FlowTrial
+        return trial_class(
+            tables=_decode_tables(entry),
             flow=xlm.loads(entry["xlm"]),
             seed=entry.get("seed"),
         )
@@ -133,6 +148,8 @@ def decode_entry(entry: dict):
 def replay(entry: dict) -> Optional[str]:
     """Re-run an entry's differential check; ``None`` means it passes."""
     trial = decode_entry(entry)
+    if isinstance(trial, LintTrial):
+        return check_lint_trial(trial)
     if isinstance(trial, FlowTrial):
         return check_flow_trial(trial)
     return check_query_trial(trial)

@@ -21,7 +21,7 @@ which :class:`repro.fuzz.datagen.LooseDatabase` lets through.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.engine.executor import Executor
 from repro.fuzz.datagen import LooseDatabase

@@ -1,8 +1,8 @@
 """The fuzzing loop and the ``python -m repro.fuzz`` command line.
 
-Each integer seed yields one flow trial and one query trial, both fully
-determined by the seed (string-seeded RNG, stable across platforms and
-``PYTHONHASHSEED``).  Failures are shrunk and written as corpus-format
+Each integer seed yields one flow trial, one query trial and one lint
+trial (static/dynamic agreement), all fully determined by the seed
+(string-seeded RNG, stable across platforms and ``PYTHONHASHSEED``).  Failures are shrunk and written as corpus-format
 JSON into ``--failures-dir``; promote a file into
 ``tests/fuzz/corpus/`` to pin the regression forever.
 
@@ -25,6 +25,11 @@ from typing import Callable, List, Optional
 
 from repro.fuzz import corpus
 from repro.fuzz.flowgen import build_flow_trial
+from repro.fuzz.lintoracle import (
+    build_lint_trial,
+    check_lint_trial,
+    shrink_lint_trial,
+)
 from repro.fuzz.oracle import check_flow_trial, check_query_trial
 from repro.fuzz.querygen import build_query_trial
 from repro.fuzz.shrink import shrink_flow_trial, shrink_query_trial
@@ -32,6 +37,7 @@ from repro.fuzz.shrink import shrink_flow_trial, shrink_query_trial
 _KINDS = (
     ("flow", build_flow_trial, check_flow_trial, shrink_flow_trial),
     ("query", build_query_trial, check_query_trial, shrink_query_trial),
+    ("lint", build_lint_trial, check_lint_trial, shrink_lint_trial),
 )
 
 

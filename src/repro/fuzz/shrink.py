@@ -75,7 +75,9 @@ def _without_node(trial: FlowTrial, name: str) -> Optional[FlowTrial]:
         return None
     if flow.validate():
         return None
-    return FlowTrial(
+    # type(trial), not FlowTrial: subclasses (LintTrial) must survive
+    # shrinking so the corpus encodes them under their own kind.
+    return type(trial)(
         tables=trial.tables, flow=flow, seed=trial.seed, notes=trial.notes
     )
 
@@ -89,7 +91,7 @@ def _drop_unused_tables(trial: FlowTrial) -> FlowTrial:
     kept = [table for table in trial.tables if table.name in used]
     if len(kept) == len(trial.tables):
         return trial
-    return FlowTrial(
+    return type(trial)(
         tables=kept, flow=trial.flow, seed=trial.seed, notes=trial.notes
     )
 
@@ -99,7 +101,7 @@ def _with_rows(trial: FlowTrial, table_name: str, rows: List[dict]) -> FlowTrial
     for table in tables:
         if table.name == table_name:
             table.rows = [dict(row) for row in rows]
-    return FlowTrial(
+    return type(trial)(
         tables=tables, flow=trial.flow, seed=trial.seed, notes=trial.notes
     )
 

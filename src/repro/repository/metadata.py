@@ -15,7 +15,6 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.core.requirements.model import InformationRequirement
-from repro.errors import RepositoryError
 from repro.etlmodel.flow import EtlFlow
 from repro.mdmodel.model import MDSchema
 from repro.ontology import io as ontology_io

@@ -1,0 +1,46 @@
+"""Shared fixtures for the linter tests."""
+
+import pytest
+
+from repro.etlmodel import (
+    Datastore,
+    DerivedAttribute,
+    EtlFlow,
+    Join,
+    Loader,
+    Projection,
+    Selection,
+)
+
+
+def build_acceptance_flow():
+    """The issue's acceptance scenario, seeded with exactly three bugs:
+
+    * a dead derived column (``z`` is projected away before the loader),
+    * an unhashable join-key value (``src_b``'s first ``id``),
+    * an always-false Selection (``x < 0 and x > 0``).
+    """
+    flow = EtlFlow("acceptance")
+    flow.add(Datastore("src_a", table="a", columns=("id", "x")))
+    flow.add(Datastore("src_b", table="b", columns=("id", "y")))
+    flow.add(Selection("impossible", predicate="x < 0 and x > 0"))
+    flow.add(Join("match", left_keys=("id",), right_keys=("id",)))
+    flow.add(DerivedAttribute("widen", output="z", expression="x + 1"))
+    flow.add(Projection("shape", columns=("id", "x", "y")))
+    flow.add(Loader("load", table="out"))
+    flow.connect("src_a", "impossible")
+    flow.connect("impossible", "match")
+    flow.connect("src_b", "match")
+    flow.connect("match", "widen")
+    flow.connect("widen", "shape")
+    flow.connect("shape", "load")
+    tables = {
+        "a": [{"id": 1, "x": 2}],
+        "b": [{"id": [3, 4], "y": 2}, {"id": 3, "y": 5}],
+    }
+    return flow, tables
+
+
+@pytest.fixture()
+def acceptance():
+    return build_acceptance_flow()

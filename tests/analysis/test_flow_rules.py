@@ -1,0 +1,226 @@
+"""Flow lint rules, including the issue's three-bug acceptance scenario."""
+
+from repro.analysis import lint
+from repro.etlmodel import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    Distinct,
+    EtlFlow,
+    Join,
+    Loader,
+    Projection,
+    Selection,
+)
+
+
+class TestAcceptanceScenario:
+    def test_exactly_three_diagnostics(self, acceptance):
+        flow, tables = acceptance
+        report = lint(flow, tables=tables)
+        assert report.codes() == ["QRY101", "QRY202", "QRY302"]
+        assert len(report.diagnostics) == 3
+        assert not report.ok
+
+    def test_each_finding_points_at_its_node(self, acceptance):
+        flow, tables = acceptance
+        report = lint(flow, tables=tables)
+        (dead,) = report.by_code("QRY101")
+        assert (dead.node, dead.attribute) == ("widen", "z")
+        (unhashable,) = report.by_code("QRY202")
+        assert (unhashable.node, unhashable.attribute) == ("match", "id")
+        (never,) = report.by_code("QRY302")
+        assert never.node == "impossible"
+
+    def test_fixing_the_bugs_lints_clean(self, acceptance):
+        flow, tables = acceptance
+        flow.replace_node("impossible", Selection("impossible", predicate="x > 0"))
+        flow.replace_node(
+            "widen", DerivedAttribute("widen", output="y2", expression="y * 2")
+        )
+        flow.replace_node(
+            "shape", Projection("shape", columns=("id", "x", "y", "y2"))
+        )
+        tables["b"] = [{"id": 3, "y": 5}]
+        report = lint(flow, tables=tables)
+        assert report.codes() == []
+
+
+class TestStructuralRules:
+    def test_structural_diagnostics_match_validate(self):
+        flow = EtlFlow("bad")
+        flow.add(Datastore("src", table="t", columns=("a",)))
+        flow.add(Join("join"))
+        flow.add(Loader("load", table="o"))
+        flow.connect("src", "join")
+        flow.connect("join", "load")
+        report = lint(flow)
+        assert "QRY001" in report.codes()
+        # validate() is a thin wrapper: same messages, same order.
+        messages = [
+            d.message for d in report.diagnostics if d.code.startswith("QRY00")
+        ]
+        assert flow.validate() == messages
+
+    def test_cycle_reported_once(self):
+        flow = EtlFlow("cyclic")
+        flow.add(Selection("a"))
+        flow.add(Selection("b"))
+        flow.connect("a", "b")
+        flow.connect("b", "a")
+        report = lint(flow)
+        assert "QRY005" in report.codes()
+        assert any("cycle" in d.message for d in report.by_code("QRY005"))
+
+
+class TestLineageRules:
+    def test_side_chain_feeding_no_loader(self):
+        flow = EtlFlow("side")
+        flow.chain(
+            Datastore("src", table="t", columns=("a",)),
+            Loader("load", table="out"),
+        )
+        flow.add(Datastore("src2", table="t2", columns=("b",)))
+        flow.add(Selection("sel2", predicate="b > 0"))
+        flow.connect("src2", "sel2")
+        report = lint(flow)
+        dead_feeds = report.by_code("QRY102")
+        assert [d.node for d in dead_feeds] == ["src2"]
+        # sel2 is a non-loader sink: that is QRY004's finding, not QRY102's.
+        assert [d.node for d in report.by_code("QRY004")] == ["sel2"]
+
+
+class TestTypeRules:
+    def test_join_key_type_mismatch(self):
+        flow = EtlFlow("mismatch")
+        flow.add(Datastore("left", table="l", columns=("k", "v")))
+        flow.add(Datastore("right", table="r", columns=("k2",)))
+        flow.add(Join("join", left_keys=("k",), right_keys=("k2",)))
+        flow.add(Loader("load", table="out"))
+        flow.connect("left", "join")
+        flow.connect("right", "join")
+        flow.connect("join", "load")
+        tables = {"l": [{"k": 1, "v": 2}], "r": [{"k2": "x"}]}
+        report = lint(flow, tables=tables)
+        (finding,) = report.by_code("QRY201")
+        assert finding.node == "join"
+        assert finding.attribute == "k"
+
+    def test_possible_hazard_behind_a_filter(self):
+        flow = EtlFlow("maybe")
+        flow.chain(
+            Datastore("src", table="t", columns=("id", "x")),
+            Selection("sel", predicate="x > 0"),
+            Aggregation(
+                "agg",
+                group_by=("id",),
+                aggregates=(AggregationSpec("total", "SUM", "x"),),
+            ),
+            Loader("load", table="out"),
+        )
+        tables = {"t": [{"id": [1, 2], "x": 3}, {"id": 1, "x": 4}]}
+        report = lint(flow, tables=tables)
+        assert report.by_code("QRY202") == []
+        (finding,) = report.by_code("QRY203")
+        assert (finding.node, finding.attribute) == ("agg", "id")
+
+    def test_distinct_hashes_the_whole_row(self):
+        flow = EtlFlow("dedupe")
+        flow.chain(
+            Datastore("src", table="t", columns=("id",)),
+            Distinct("uniq"),
+            Loader("load", table="out"),
+        )
+        tables = {"t": [{"id": [1]}]}
+        report = lint(flow, tables=tables)
+        (finding,) = report.by_code("QRY202")
+        assert finding.node == "uniq"
+
+    def test_null_key_sibling_demotes_join_hazard(self):
+        """Joins skip rows with a NULL anywhere in the key *before*
+        hashing — an unhashable value riding such a row can never fail
+        (the seed-262 fuzz finding)."""
+        flow = EtlFlow("nullkey")
+        flow.add(Datastore("left", table="l", columns=("a", "b")))
+        flow.add(Datastore("right", table="r", columns=("c", "d")))
+        flow.add(Join("join", left_keys=("a", "b"), right_keys=("c", "d")))
+        flow.add(Loader("load", table="out"))
+        flow.connect("left", "join")
+        flow.connect("right", "join")
+        flow.connect("join", "load")
+        tables = {
+            "l": [{"a": [1, 2], "b": None}, {"a": 1, "b": 2}],
+            "r": [{"c": 1, "d": 2}],
+        }
+        report = lint(flow, tables=tables)
+        assert report.by_code("QRY202") == []
+        (finding,) = report.by_code("QRY203")
+        assert (finding.node, finding.attribute) == ("join", "a")
+
+    def test_propagation_failure_reported_in_place(self):
+        flow = EtlFlow("typo")
+        flow.chain(
+            Datastore("src", table="t", columns=("x",)),
+            DerivedAttribute("derive", output="y", expression="x + missing"),
+            Loader("load", table="out"),
+        )
+        tables = {"t": [{"x": 1}]}
+        report = lint(flow, tables=tables)
+        (finding,) = report.by_code("QRY204")
+        assert finding.node == "derive"
+        assert "missing" in finding.message
+
+
+class TestSatisfiabilityRules:
+    def test_always_true_selection(self):
+        flow = EtlFlow("noop")
+        flow.chain(
+            Datastore("src", table="t", columns=("x",)),
+            Selection("sel", predicate="1 = 1"),
+            Loader("load", table="out"),
+        )
+        (finding,) = lint(flow).by_code("QRY301")
+        assert finding.node == "sel"
+
+    def test_contradictory_chain_reported_downstream(self):
+        flow = EtlFlow("chain")
+        flow.chain(
+            Datastore("src", table="t", columns=("x",)),
+            Selection("wide", predicate="x > 10"),
+            Selection("narrow", predicate="x < 5"),
+            Loader("load", table="out"),
+        )
+        report = lint(flow)
+        assert report.by_code("QRY302") == []
+        (finding,) = report.by_code("QRY303")
+        assert finding.node == "narrow"
+        assert "'wide'" in finding.message
+
+    def test_satisfiable_chain_stays_quiet(self):
+        flow = EtlFlow("fine")
+        flow.chain(
+            Datastore("src", table="t", columns=("x",)),
+            Selection("wide", predicate="x > 1"),
+            Selection("narrow", predicate="x < 5"),
+            Loader("load", table="out"),
+        )
+        report = lint(flow)
+        assert report.by_code("QRY303") == []
+
+    def test_join_breaks_the_chain(self):
+        flow = EtlFlow("joined")
+        flow.add(Datastore("left", table="l", columns=("x",)))
+        flow.add(Datastore("right", table="r", columns=("y",)))
+        flow.add(Selection("pre", predicate="x > 10"))
+        flow.add(Join("join", left_keys=("x",), right_keys=("y",)))
+        flow.add(Selection("post", predicate="x < 5"))
+        flow.add(Loader("load", table="out"))
+        flow.connect("left", "pre")
+        flow.connect("pre", "join")
+        flow.connect("right", "join")
+        flow.connect("join", "post")
+        flow.connect("post", "load")
+        # The chain walk stops at the join (arity 2), so no QRY303 even
+        # though pre+post contradict: the join may rename row provenance.
+        assert lint(flow).by_code("QRY303") == []

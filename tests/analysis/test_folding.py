@@ -1,0 +1,81 @@
+"""Constant folding, three-valued truth, and conjunction satisfiability."""
+
+from repro.analysis.folding import fold, truth, unsatisfiable
+from repro.expressions import ast, parse
+
+
+def p(text):
+    return parse(text)
+
+
+class TestFold:
+    def test_constant_arithmetic_folds(self):
+        folded = fold(p("1 + 2 * 3"))
+        assert isinstance(folded, ast.Literal)
+        assert folded.value == 7
+
+    def test_null_poisons_comparisons(self):
+        folded = fold(p("x > null"))
+        assert isinstance(folded, ast.Literal)
+        assert folded.value is None
+
+    def test_kleene_absorption(self):
+        assert fold(p("1 = 2 and x > 1")).value is False
+        assert fold(p("1 = 1 or x > 1")).value is True
+
+    def test_kleene_identity_keeps_the_open_side(self):
+        folded = fold(p("1 = 1 and x > 1"))
+        assert isinstance(folded, ast.BinaryOp)
+        assert folded.operator == ">"
+
+    def test_division_by_zero_is_left_for_runtime(self):
+        folded = fold(p("1 / 0"))
+        assert not isinstance(folded, ast.Literal)
+
+
+class TestTruth:
+    def test_always_true(self):
+        assert truth(p("1 = 1")) is True
+        assert truth(p("true or x > 1")) is True
+
+    def test_always_false_includes_null(self):
+        assert truth(p("1 = 2")) is False
+        assert truth(p("null = 1")) is False  # NULL filters the row out
+
+    def test_unknown(self):
+        assert truth(p("x > 1")) is None
+
+
+class TestUnsatisfiable:
+    def test_contradictory_interval(self):
+        assert unsatisfiable([p("x < 0"), p("x > 0")])
+        assert unsatisfiable([p("x < 0 and x > 0")])
+
+    def test_open_interval_is_not_proven(self):
+        assert not unsatisfiable([p("x > 0"), p("x > 5")])
+        assert not unsatisfiable([p("x > 1")])
+
+    def test_equality_versus_exclusion(self):
+        assert unsatisfiable([p("x = 1"), p("x != 1")])
+        assert unsatisfiable([p("x = 1"), p("x = 2")])
+        assert not unsatisfiable([p("x = 1"), p("y = 2")])
+
+    def test_boolean_domain_exhaustion(self):
+        assert unsatisfiable([p("x != true"), p("x != false")])
+        # int 1 must not leak into the boolean family
+        assert not unsatisfiable([p("x != true"), p("x != 1")])
+
+    def test_in_list_narrowing(self):
+        assert unsatisfiable([p("x in (1, 2)"), p("x = 3")])
+        assert not unsatisfiable([p("x in (1, 2)"), p("x = 2")])
+        assert unsatisfiable([p("x in (null)")])
+
+    def test_negated_in_with_null_never_passes(self):
+        assert unsatisfiable([p("not (x in (1, null))")])
+
+    def test_mixed_families_stay_unproven(self):
+        assert not unsatisfiable([p("x = 'a'"), p("x > 5")])
+
+    def test_strict_bound_meeting_point(self):
+        assert unsatisfiable([p("x >= 5"), p("x < 5")])
+        assert not unsatisfiable([p("x >= 5"), p("x <= 5")])

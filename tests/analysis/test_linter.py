@@ -1,0 +1,84 @@
+"""The lint driver: contexts, schema synthesis, rule selection."""
+
+import datetime
+
+import pytest
+
+from repro.analysis import lint, schema_from_rows
+from repro.etlmodel import (
+    Datastore,
+    DerivedAttribute,
+    EtlFlow,
+    Loader,
+)
+from repro.expressions.types import ScalarType
+
+
+class TestSchemaFromRows:
+    def test_first_typeable_value_wins(self):
+        schema = schema_from_rows(
+            {
+                "t": [
+                    {"a": None, "b": [1, 2], "c": 1},
+                    {"a": datetime.date(2024, 1, 1), "b": "s", "c": 2.5},
+                ]
+            }
+        )
+        types = schema.table("t").column_types()
+        assert types["a"] is ScalarType.DATE
+        assert types["b"] is ScalarType.STRING
+        assert types["c"] is ScalarType.INTEGER
+
+    def test_untypeable_columns_default_to_string(self):
+        schema = schema_from_rows({"t": [{"a": None}, {"a": [1]}]})
+        assert schema.table("t").column_types()["a"] is ScalarType.STRING
+
+
+class TestRuleSelection:
+    def test_only_restricts(self, acceptance):
+        flow, tables = acceptance
+        report = lint(flow, tables=tables, only=["QRY302"])
+        assert report.codes() == ["QRY302"]
+
+    def test_disable_drops(self, acceptance):
+        flow, tables = acceptance
+        report = lint(flow, tables=tables, disable=["QRY202"])
+        assert report.codes() == ["QRY101", "QRY302"]
+        assert report.ok  # the only ERROR was disabled
+
+    def test_unknown_codes_rejected(self, acceptance):
+        flow, _tables = acceptance
+        with pytest.raises(ValueError, match="QRY999"):
+            lint(flow, only=["QRY999"])
+        with pytest.raises(ValueError, match="QRY888"):
+            lint(flow, disable=["QRY888"])
+
+    def test_subject_must_be_flow_or_schema(self):
+        with pytest.raises(TypeError):
+            lint(42)
+
+
+class TestUntypedDatastores:
+    def test_string_fallback_never_reaches_typed_rules(self):
+        """Without a source schema the engine would *guess* STRING for
+        explicit datastore columns; the linter must treat those types as
+        unknown instead of reporting guess-induced mismatches."""
+        flow = EtlFlow("untyped")
+        flow.chain(
+            Datastore("src", table="t", columns=("x",)),
+            DerivedAttribute("derive", output="y", expression="x + 1"),
+            Loader("load", table="out"),
+        )
+        report = lint(flow)  # no schema, no rows
+        assert report.by_code("QRY204") == []
+
+    def test_typed_rows_do_reach_them(self):
+        flow = EtlFlow("typed")
+        flow.chain(
+            Datastore("src", table="t", columns=("x",)),
+            DerivedAttribute("derive", output="y", expression="x + 1"),
+            Loader("load", table="out"),
+        )
+        report = lint(flow, tables={"t": [{"x": "oops"}]})
+        (finding,) = report.by_code("QRY204")
+        assert finding.node == "derive"

@@ -1,0 +1,219 @@
+"""MD conformance rules (QRY4xx) over hand-built schemas."""
+
+from repro.analysis import lint
+from repro.expressions.types import ScalarType
+from repro.mdmodel.model import (
+    Additivity,
+    AggregationFunction,
+    Dimension,
+    Fact,
+    FactDimensionLink,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    MDSchema,
+    Measure,
+)
+
+
+def attribute(name):
+    return LevelAttribute(name=name, type=ScalarType.STRING)
+
+
+def sound_dimension(name="customer"):
+    dimension = Dimension(name=name)
+    dimension.add_level(Level(name="base", attributes=[attribute("id")]))
+    dimension.add_level(Level(name="nation", attributes=[attribute("n_name")]))
+    dimension.add_hierarchy(Hierarchy(name="geo", levels=["base", "nation"]))
+    return dimension
+
+
+def sound_fact(name="sales", dimension="customer", level="base"):
+    fact = Fact(name=name)
+    fact.add_measure(Measure(name="amount", expression="price"))
+    fact.link_dimension(dimension, level)
+    return fact
+
+
+def sound_schema():
+    schema = MDSchema(name="star")
+    schema.add_dimension(sound_dimension())
+    schema.add_fact(sound_fact())
+    return schema
+
+
+def test_sound_schema_is_clean():
+    assert lint(sound_schema()).codes() == []
+
+
+def test_empty_dimension_and_missing_hierarchy():
+    schema = MDSchema(name="s")
+    schema.add_dimension(Dimension(name="empty"))
+    bare = Dimension(name="bare")
+    bare.add_level(Level(name="only", attributes=[attribute("a")]))
+    schema.add_dimension(bare)
+    report = lint(schema)
+    assert [d.node for d in report.by_code("QRY401")] == ["empty"]
+    assert [d.node for d in report.by_code("QRY402")] == ["bare"]
+
+
+def test_hierarchy_with_unknown_level():
+    schema = MDSchema(name="s")
+    dimension = sound_dimension()
+    dimension.hierarchies.append(Hierarchy(name="ghost", levels=["missing"]))
+    schema.add_dimension(dimension)
+    (finding,) = lint(schema).by_code("QRY403")
+    assert finding.attribute == "missing"
+
+
+def test_orphan_level_warns():
+    schema = MDSchema(name="s")
+    dimension = sound_dimension()
+    dimension.levels["island"] = Level(
+        name="island", attributes=[attribute("x")]
+    )
+    schema.add_dimension(dimension)
+    (finding,) = lint(schema).by_code("QRY404")
+    assert finding.attribute == "island"
+
+
+def test_level_without_attributes():
+    schema = MDSchema(name="s")
+    dimension = sound_dimension()
+    dimension.levels["base"].attributes.clear()
+    schema.add_dimension(dimension)
+    (finding,) = lint(schema).by_code("QRY405")
+    assert finding.attribute == "base"
+
+
+def test_duplicate_attribute_across_levels():
+    schema = MDSchema(name="s")
+    dimension = sound_dimension()
+    dimension.levels["nation"].attributes.append(attribute("id"))
+    schema.add_dimension(dimension)
+    (finding,) = lint(schema).by_code("QRY406")
+    assert finding.attribute == "id"
+    assert "'base'" in finding.message and "'nation'" in finding.message
+
+
+def test_fact_without_measures_or_links():
+    schema = MDSchema(name="s")
+    schema.add_fact(Fact(name="hollow"))
+    report = lint(schema)
+    assert [d.node for d in report.by_code("QRY407")] == ["hollow"]
+    assert [d.node for d in report.by_code("QRY408")] == ["hollow"]
+
+
+def test_broken_links():
+    schema = MDSchema(name="s")
+    schema.add_dimension(sound_dimension())
+    fact = sound_fact()
+    fact.links.append(FactDimensionLink(dimension="nowhere", level="base"))
+    fact.links.append(FactDimensionLink(dimension="customer", level="bogus"))
+    schema.add_fact(fact)
+    report = lint(schema)
+    messages = [d.message for d in report.by_code("QRY409")]
+    assert any("unknown dimension 'nowhere'" in m for m in messages)
+    assert any("unknown level 'bogus'" in m for m in messages)
+    assert any("twice" in m for m in messages)  # customer linked twice
+
+
+def test_non_base_link_warns():
+    schema = MDSchema(name="s")
+    schema.add_dimension(sound_dimension())
+    schema.add_fact(sound_fact(level="nation"))
+    (finding,) = lint(schema).by_code("QRY410")
+    assert finding.node == "sales"
+    assert "'nation'" in finding.message
+
+
+def test_additivity_severities():
+    schema = MDSchema(name="s")
+    schema.add_dimension(sound_dimension())
+    fact = sound_fact()
+    fact.add_measure(
+        Measure(
+            name="temperature",
+            expression="t",
+            aggregation=AggregationFunction.SUM,
+            additivity=Additivity.NON_ADDITIVE,
+        )
+    )
+    fact.add_measure(
+        Measure(
+            name="ratio",
+            expression="r",
+            aggregation=AggregationFunction.AVG,
+            additivity=Additivity.NON_ADDITIVE,
+        )
+    )
+    fact.add_measure(
+        Measure(
+            name="balance",
+            expression="b",
+            aggregation=AggregationFunction.SUM,
+            additivity=Additivity.SEMI_ADDITIVE,
+        )
+    )
+    schema.add_fact(fact)
+    report = lint(schema, only=["QRY411"])
+    by_attribute = {d.attribute: d for d in report.diagnostics}
+    assert by_attribute["temperature"].severity.value == "error"
+    assert by_attribute["ratio"].severity.value == "warning"
+    assert by_attribute["balance"].severity.value == "warning"
+
+
+def test_non_distributive_is_informational():
+    schema = MDSchema(name="s")
+    schema.add_dimension(sound_dimension())
+    fact = sound_fact()
+    fact.measures["amount"].aggregation = AggregationFunction.AVG
+    schema.add_fact(fact)
+    (finding,) = lint(schema).by_code("QRY412")
+    assert finding.severity.value == "info"
+    assert report_ok(lint(schema))
+
+
+def report_ok(report):
+    return report.ok
+
+
+class _StubGraph:
+    """Duck-typed ontology graph: only ``to_one_path`` is required."""
+
+    def __init__(self, reachable):
+        self.reachable = reachable
+
+    def to_one_path(self, source, target):
+        return ["edge"] if (source, target) in self.reachable else None
+
+
+def _concept_schema():
+    schema = MDSchema(name="s")
+    dimension = sound_dimension()
+    dimension.levels["base"].concept = "Customer"
+    schema.add_dimension(dimension)
+    fact = sound_fact()
+    fact.concept = "Lineitem"
+    schema.add_fact(fact)
+    return schema
+
+
+def test_to_one_reachability_flags_fan_out():
+    schema = _concept_schema()
+    report = lint(schema, ontology=_StubGraph(reachable=set()))
+    (finding,) = report.by_code("QRY413")
+    assert finding.node == "sales"
+    assert finding.attribute == "customer"
+
+
+def test_to_one_reachability_quiet_when_path_exists():
+    schema = _concept_schema()
+    report = lint(
+        schema, ontology=_StubGraph(reachable={("Lineitem", "Customer")})
+    )
+    assert report.by_code("QRY413") == []
+
+
+def test_to_one_reachability_quiet_without_ontology():
+    assert lint(_concept_schema()).by_code("QRY413") == []

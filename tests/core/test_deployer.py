@@ -8,7 +8,7 @@ from repro.core.interpreter import Interpreter
 from repro.errors import DeploymentError
 from repro.sources import tpch
 
-from .conftest import build_netprofit_requirement, build_revenue_requirement
+from .conftest import build_revenue_requirement
 
 
 @pytest.fixture(scope="module")

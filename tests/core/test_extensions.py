@@ -6,7 +6,7 @@ import pytest
 from repro.core.deployer import Deployer, ddl, ddl_import, pig
 from repro.core.interpreter import Interpreter
 from repro.core.tuning import TuningAdvisor
-from repro.errors import DeploymentError, FormatError
+from repro.errors import FormatError
 from repro.sources import tpch
 
 from .conftest import build_netprofit_requirement, build_revenue_requirement

@@ -181,7 +181,7 @@ class TestEtlGeneration:
 
 class TestEndToEndExecution:
     def test_generated_flow_runs_and_star_answers_the_requirement(self, revenue_design):
-        from repro.engine import Database, Executor, OlapQuery, query_star
+        from repro.engine import Database, Executor
         from repro.sources import tpch as tpch_module
 
         database = Database()

@@ -4,7 +4,6 @@ import pytest
 
 from repro import Quarry, QuarryError, RequirementBuilder
 from repro.engine import Database, OlapQuery, query_star
-from repro.errors import IntegrationError
 from repro.sources import tpch
 
 from .conftest import (

@@ -149,6 +149,20 @@ class TestValidation:
         problems = requirement.validate(ontology)
         assert any("not boolean" in problem for problem in problems)
 
+    def test_uninferrable_slicer_is_not_guessed_non_boolean(self, tpch_domain):
+        """``infer_type`` returns None for a bare NULL literal — "could
+        not infer" must not be reported as "is not boolean"."""
+        ontology, __, __ = tpch_domain
+        requirement = (
+            RequirementBuilder("R")
+            .measure("m", "Lineitem_l_quantity")
+            .per("Part_p_name")
+            .where("null")
+            .build()
+        )
+        problems = requirement.validate(ontology)
+        assert not any("not boolean" in problem for problem in problems)
+
     def test_empty_requirement_flagged(self, tpch_domain):
         ontology, __, __ = tpch_domain
         problems = InformationRequirement(id="R").validate(ontology)

@@ -12,7 +12,6 @@ from repro.etlmodel import (
     EtlFlow,
     Join,
     Loader,
-    Projection,
     Rename,
     Selection,
     Sort,

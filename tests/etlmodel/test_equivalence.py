@@ -1,7 +1,5 @@
 """Unit tests for the equivalence rules / flow normal form."""
 
-import pytest
-
 from repro.etlmodel import (
     Aggregation,
     AggregationSpec,
@@ -9,7 +7,6 @@ from repro.etlmodel import (
     DerivedAttribute,
     EtlFlow,
     Extraction,
-    Join,
     Loader,
     Projection,
     Rename,

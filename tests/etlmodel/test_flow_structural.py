@@ -1,0 +1,185 @@
+"""Structural edge cases of the flow DAG.
+
+These pin behaviours the linter's passes rely on: deterministic
+topological order, upstream/downstream closure after surgery, and what
+``validate()`` reports for the shapes surgery can leave behind.
+"""
+
+import pytest
+
+from repro.errors import EtlError, FlowValidationError
+from repro.etlmodel import (
+    Datastore,
+    EtlFlow,
+    Join,
+    Loader,
+    Selection,
+)
+
+
+def diamond():
+    """src -> (left | right) -> join -> load."""
+    flow = EtlFlow("diamond")
+    flow.add(Datastore("src", table="t", columns=("a", "b")))
+    flow.add(Selection("left", predicate="a > 0"))
+    flow.add(Selection("right", predicate="b > 0"))
+    flow.add(Join("join", left_keys=("a",), right_keys=("a",)))
+    flow.add(Loader("load", table="out"))
+    flow.connect("src", "left")
+    flow.connect("src", "right")
+    flow.connect("left", "join")
+    flow.connect("right", "join")
+    flow.connect("join", "load")
+    return flow
+
+
+class TestCycles:
+    def test_self_loop_is_a_cycle(self):
+        flow = EtlFlow("f")
+        flow.add(Selection("s"))
+        flow.connect("s", "s")  # connect() is shape-agnostic; validate() is not
+        assert any("cycle" in problem for problem in flow.validate())
+        with pytest.raises(FlowValidationError):
+            flow.topological_order()
+
+    def test_two_node_cycle_reported_by_validate(self):
+        flow = EtlFlow("cyclic")
+        flow.add(Selection("a"))
+        flow.add(Selection("b"))
+        flow.connect("a", "b")
+        flow.connect("b", "a")
+        problems = flow.validate()
+        assert any("cycle" in problem for problem in problems)
+
+    def test_cycle_error_carries_violations(self):
+        flow = EtlFlow("cyclic")
+        flow.add(Selection("a"))
+        flow.add(Selection("b"))
+        flow.connect("a", "b")
+        flow.connect("b", "a")
+        with pytest.raises(FlowValidationError) as excinfo:
+            flow.topological_order()
+        assert excinfo.value.violations
+        assert any("cycle" in v for v in excinfo.value.violations)
+
+    def test_cycle_behind_a_valid_prefix(self):
+        flow = diamond()
+        flow.add(Selection("back", predicate="a > 1"))
+        flow.connect("join", "back")
+        flow.connect("back", "left")  # closes a loop around the join
+        problems = flow.validate()
+        assert any("cycle" in problem for problem in problems)
+        # the acyclic part of the report still surfaces local problems
+        assert any("expects 1 input(s), has 2" in p for p in problems)
+
+
+class TestDanglingEdges:
+    def test_remove_unary_node_splices_around_it(self):
+        flow = diamond()
+        flow.remove_node("left")  # unary: src splices straight into join
+        assert flow.inputs("join") == ["src", "right"]
+        assert flow.validate() == []
+
+    def test_remove_source_leaves_arity_violations(self):
+        flow = diamond()
+        flow.remove_node("src")  # a source cannot splice: edges just drop
+        problems = flow.validate()
+        assert any("expects 1 input(s), has 0" in p for p in problems)
+
+    def test_disconnect_leaves_both_shapes_reported(self):
+        flow = diamond()
+        flow.disconnect("right", "join")
+        problems = flow.validate()
+        assert any("expects 2 input(s), has 1" in p for p in problems)
+        assert any("dead end" in p for p in problems)  # right is now a sink
+
+    def test_disconnect_unknown_edge_raises(self):
+        flow = diamond()
+        with pytest.raises(EtlError):
+            flow.disconnect("src", "join")
+
+    def test_remove_node_purges_adjacency(self):
+        flow = diamond()
+        flow.remove_node("join")
+        assert flow.outputs("left") == []
+        assert flow.outputs("right") == []
+        assert flow.inputs("load") == []
+        assert all("join" not in (e.source, e.target) for e in flow.edges())
+
+
+class TestDuplicateNames:
+    def test_add_duplicate_rejected(self):
+        flow = diamond()
+        with pytest.raises(EtlError):
+            flow.add(Selection("left"))
+
+    def test_replace_cannot_smuggle_a_rename(self):
+        flow = diamond()
+        with pytest.raises(EtlError):
+            flow.replace_node("left", Selection("renamed"))
+
+
+class TestGraftCollisions:
+    def test_collision_renames_consistently(self):
+        target = diamond()
+        other = EtlFlow("other")
+        other.chain(
+            Datastore("src", table="u", columns=("c",)),
+            Selection("left", predicate="c = 1"),  # collides with target
+            Loader("load2", table="out2"),
+        )
+        mapping = target.graft(other, at={})
+        assert mapping["src"] == "src_2"
+        assert mapping["left"] == "left_2"
+        # the grafted edge follows the rename
+        assert target.inputs("left_2") == ["src_2"]
+        assert target.node("left_2").predicate == "c = 1"
+
+    def test_repeated_grafts_keep_renaming(self):
+        target = diamond()
+        for expected in ("left_2", "left_3"):
+            other = EtlFlow("other")
+            other.chain(
+                Datastore("osrc", table="u", columns=("c",)),
+                Selection("left", predicate="c = 1"),
+                Loader("oload", table="out2"),
+            )
+            mapping = target.graft(other, at={})
+            assert mapping["left"] == expected
+
+    def test_graft_at_unifies_without_collision(self):
+        target = diamond()
+        other = EtlFlow("other")
+        other.chain(
+            Datastore("src", table="t", columns=("a", "b")),
+            Selection("extra", predicate="a = 1"),
+            Loader("load2", table="out2"),
+        )
+        mapping = target.graft(other, at={"src": "src"})
+        assert mapping["src"] == "src"
+        assert target.inputs("extra") == ["src"]
+
+
+class TestOrderPins:
+    def test_topological_order_is_deterministic(self):
+        first = diamond().topological_order()
+        second = diamond().topological_order()
+        assert first == second
+        assert first[0] == "src" and first[-1] == "load"
+        assert first.index("left") < first.index("join")
+        assert first.index("right") < first.index("join")
+
+    def test_upstream_downstream_closures(self):
+        flow = diamond()
+        assert flow.upstream("join") == {"src", "left", "right"}
+        assert flow.downstream("src") == {"left", "right", "join", "load"}
+        assert flow.upstream("src") == set()
+        assert flow.downstream("load") == set()
+
+    def test_surgery_updates_closures(self):
+        flow = diamond()
+        flow.remove_node("right")
+        assert flow.upstream("join") == {"src", "left"}
+        flow.insert_between("src", "left", Selection("mid", predicate="b = 1"))
+        assert "mid" in flow.upstream("join")
+        assert flow.downstream("mid") == {"left", "join", "load"}

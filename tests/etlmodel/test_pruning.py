@@ -1,8 +1,6 @@
 """Unit tests for the column-pruning (projection pushdown) pass."""
 
-import pytest
-
-from repro.engine import Database, Executor, TableDef
+from repro.engine import Database, Executor
 from repro.etlmodel import (
     Aggregation,
     AggregationSpec,

@@ -1,0 +1,50 @@
+"""TypeCheckError location context (node name + expression text)."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.expressions import parse
+from repro.expressions.types import ScalarType, infer_type
+
+
+def test_unknown_attribute_carries_node_and_expression():
+    with pytest.raises(TypeCheckError) as excinfo:
+        infer_type(parse("x + missing"), {"x": ScalarType.INTEGER}, node="derive_1")
+    error = excinfo.value
+    assert error.node == "derive_1"
+    assert error.expression is not None and "missing" in error.expression
+    assert error.bare_message == "unknown attribute: 'missing'"
+    assert "(at node 'derive_1')" in str(error)
+
+
+def test_unknown_function_carries_context_too():
+    with pytest.raises(TypeCheckError) as excinfo:
+        infer_type(parse("frobnicate(x)"), {"x": ScalarType.INTEGER}, node="n")
+    assert excinfo.value.node == "n"
+
+
+def test_without_node_the_error_is_bare():
+    with pytest.raises(TypeCheckError) as excinfo:
+        infer_type(parse("missing"), {})
+    error = excinfo.value
+    assert error.node is None
+    assert str(error) == error.bare_message
+
+
+def test_inner_context_is_not_overwritten():
+    inner = TypeCheckError("boom", node="inner", expression="a + b")
+    try:
+        try:
+            raise inner
+        except TypeCheckError as exc:
+            # mimics infer_type's wrapper: pre-located errors pass through
+            if exc.node is not None:
+                raise
+            raise AssertionError("should have re-raised")
+    except TypeCheckError as caught:
+        assert caught is inner
+
+
+def test_success_path_ignores_node():
+    result = infer_type(parse("x + 1"), {"x": ScalarType.INTEGER}, node="n")
+    assert result is ScalarType.INTEGER

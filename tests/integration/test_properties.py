@@ -19,7 +19,6 @@ from repro.etlmodel import (
     EtlFlow,
     Extraction,
     Loader,
-    Projection,
     Selection,
 )
 from repro.etlmodel.equivalence import normalize, prune_columns
@@ -321,7 +320,6 @@ class TestOntologyClosureInvariants:
     @given(edges_strategy)
     @settings(max_examples=80, deadline=None)
     def test_closure_paths_are_functional_and_acyclic(self, edges):
-        from repro.errors import DuplicateDefinitionError
         from repro.ontology import OntologyBuilder, OntologyGraph
 
         builder = OntologyBuilder("random")

@@ -12,7 +12,6 @@ from repro.mdmodel import (
     Hierarchy,
     Level,
     LevelAttribute,
-    MDSchema,
     Measure,
 )
 

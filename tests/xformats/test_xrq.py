@@ -53,7 +53,6 @@ class TestSerialisation:
         )
 
     def test_numeric_and_date_slicer_values(self):
-        import datetime
 
         requirement = (
             RequirementBuilder("R")
