@@ -28,12 +28,14 @@ Quickstart::
 
 from repro.core.quarry import ChangeReport, DesignStatus, Quarry
 from repro.core.requirements import RequirementBuilder
+from repro.core.services import DesignSession
 from repro.errors import QuarryError
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ChangeReport",
+    "DesignSession",
     "DesignStatus",
     "Quarry",
     "QuarryError",

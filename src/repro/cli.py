@@ -9,17 +9,23 @@ without writing code, and a usable tool for exploring a session file:
     $ python -m repro suggest Lineitem      # elicitor perspectives
     $ python -m repro ddl [--dialect sqlite]
     $ python -m repro explain               # unified ETL operator tree
-    $ python -m repro status --session s.json
+    $ python -m repro status --store s.json
+    $ python -m repro sessions --store s.json
 
-All commands operate on the TPC-H domain; ``--session FILE`` loads (and
-``demo --save FILE`` stores) a metadata-repository snapshot.
+All commands operate on the TPC-H domain; ``--store FILE`` loads (and
+``demo --save FILE`` stores) a metadata-repository snapshot, and
+``--session NAME`` selects which design session inside the store to
+operate on (stores can hold many).  For backward compatibility a
+``--session`` value naming an existing file is treated as
+``--store FILE``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import Quarry, RequirementBuilder
 from repro.sources import tpch
@@ -54,10 +60,31 @@ def _build_demo_requirements():
     return [revenue, netprofit]
 
 
-def _load_quarry(session: Optional[str]) -> Quarry:
-    if session is not None:
-        return Quarry.load_from(session, tpch.schema(), tpch.mappings())
-    quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+def _store_and_session(args) -> Tuple[Optional[str], str]:
+    """Resolve the (store file, session name) pair from the CLI flags.
+
+    ``--session FILE`` predates multi-session stores; a value naming an
+    existing file keeps its old meaning (the store file, default
+    session) so existing invocations are unaffected.
+    """
+    from repro.repository.metadata import DEFAULT_SESSION
+
+    store = getattr(args, "store", None)
+    session = getattr(args, "session", None)
+    if store is None and session is not None and os.path.exists(session):
+        return session, DEFAULT_SESSION
+    return store, session if session is not None else DEFAULT_SESSION
+
+
+def _load_quarry(args) -> Quarry:
+    store, session = _store_and_session(args)
+    if store is not None:
+        return Quarry.load_from(
+            store, tpch.schema(), tpch.mappings(), session=session
+        )
+    quarry = Quarry(
+        tpch.ontology(), tpch.schema(), tpch.mappings(), session=session
+    )
     for requirement in _build_demo_requirements():
         quarry.add_requirement(requirement)
     return quarry
@@ -66,8 +93,15 @@ def _load_quarry(session: Optional[str]) -> Quarry:
 def command_demo(args) -> int:
     from repro.engine import Database
 
+    from repro.repository.metadata import DEFAULT_SESSION
+
     print("== Scenario 1: DW design from requirements ==")
-    quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
+    quarry = Quarry(
+        tpch.ontology(),
+        tpch.schema(),
+        tpch.mappings(),
+        session=getattr(args, "session", None) or DEFAULT_SESSION,
+    )
     for requirement in _build_demo_requirements():
         report = quarry.add_requirement(requirement)
         consolidation = report.etl_consolidation
@@ -112,7 +146,7 @@ def command_suggest(args) -> int:
 
 
 def command_ddl(args) -> int:
-    quarry = _load_quarry(args.session)
+    quarry = _load_quarry(args)
     result = quarry.deploy(args.dialect)
     print(result.artifacts["ddl"], end="")
     return 0
@@ -122,14 +156,14 @@ def command_explain(args) -> int:
     from repro.etlmodel.cost import CostModel
     from repro.etlmodel.explain import explain
 
-    quarry = _load_quarry(args.session)
+    quarry = _load_quarry(args)
     __, etl = quarry.unified_design()
     print(explain(etl, cost_model=CostModel()), end="")
     return 0
 
 
 def command_status(args) -> int:
-    quarry = _load_quarry(args.session)
+    quarry = _load_quarry(args)
     status = quarry.status()
     print(f"requirements : {', '.join(status.requirements) or '(none)'}")
     print(f"facts        : {', '.join(status.facts) or '(none)'}")
@@ -142,10 +176,38 @@ def command_status(args) -> int:
     return 0
 
 
+def command_sessions(args) -> int:
+    """List the design sessions in a store, with bus-log artifact counts."""
+    from collections import Counter
+
+    from repro.repository.metadata import MetadataRepository
+
+    if args.store is not None:
+        repository = MetadataRepository.load_from(args.store)
+    else:
+        repository = _load_quarry(args).repository
+    names = repository.session_names()
+    if not names:
+        print("(no sessions registered)")
+        return 0
+    for name in names:
+        scoped = repository.for_session(name)
+        events = scoped.bus_events()
+        topics = Counter(event["topic"] for event in events)
+        detail = ", ".join(
+            f"{topic}={count}" for topic, count in sorted(topics.items())
+        )
+        print(
+            f"{name:<16} requirements={len(scoped.requirement_ids())} "
+            f"events={len(events)}" + (f" ({detail})" if detail else "")
+        )
+    return 0
+
+
 def command_tune(args) -> int:
     from repro.core.tuning import TuningAdvisor
 
-    quarry = _load_quarry(args.session)
+    quarry = _load_quarry(args)
     md, __ = quarry.unified_design()
     report = TuningAdvisor().advise(md, quarry.requirements())
     if not report.suggestions:
@@ -163,8 +225,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_store_args(subparser):
+        subparser.add_argument(
+            "--store",
+            help="load the metadata-repository snapshot from FILE",
+        )
+        subparser.add_argument(
+            "--session",
+            help="design session NAME inside the store (legacy: a value "
+            "naming an existing file is treated as --store FILE)",
+        )
+
     demo = subparsers.add_parser("demo", help="run the three demo scenarios")
     demo.add_argument("--save", help="save the session repository to FILE")
+    demo.add_argument(
+        "--session", help="design session NAME to run the demo in"
+    )
     demo.set_defaults(handler=command_demo)
 
     suggest = subparsers.add_parser(
@@ -177,23 +253,30 @@ def build_parser() -> argparse.ArgumentParser:
     ddl = subparsers.add_parser("ddl", help="print the star-schema DDL")
     ddl.add_argument("--dialect", choices=["postgres", "sqlite"],
                      default="postgres")
-    ddl.add_argument("--session", help="load session repository from FILE")
+    add_store_args(ddl)
     ddl.set_defaults(handler=command_ddl)
 
     explain = subparsers.add_parser(
         "explain", help="print the unified ETL operator tree"
     )
-    explain.add_argument("--session", help="load session repository from FILE")
+    add_store_args(explain)
     explain.set_defaults(handler=command_explain)
 
     status = subparsers.add_parser("status", help="summarise the design")
-    status.add_argument("--session", help="load session repository from FILE")
+    add_store_args(status)
     status.set_defaults(handler=command_status)
+
+    sessions = subparsers.add_parser(
+        "sessions",
+        help="list the store's design sessions and their bus-log artifacts",
+    )
+    add_store_args(sessions)
+    sessions.set_defaults(handler=command_sessions)
 
     tune = subparsers.add_parser(
         "tune", help="self-tuning advice for the current design"
     )
-    tune.add_argument("--session", help="load session repository from FILE")
+    add_store_args(tune)
     tune.add_argument("--limit", type=int, default=10)
     tune.set_defaults(handler=command_tune)
     return parser

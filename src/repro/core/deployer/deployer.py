@@ -23,6 +23,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.deployer import ddl, pdi, sqlscript
+from repro.core.deployer.registry import (
+    BackendRegistry,
+    builtin_platforms,
+    default_registry,
+)
 from repro.engine.database import Database, TableDef
 from repro.engine.executor import ExecutionStats, Executor
 from repro.errors import DeploymentError
@@ -31,7 +36,9 @@ from repro.mdmodel.model import MDSchema
 from repro.sources.schema import SourceSchema
 from repro.xformats.registry import FormatRegistry
 
-PLATFORMS = ("postgres", "sqlite", "pdi", "sql", "native")
+#: Kept for backward compatibility; the authoritative list is the
+#: backend registry (plus the facade-level ``native`` platform).
+PLATFORMS = builtin_platforms()
 
 
 @dataclass
@@ -52,17 +59,24 @@ class Deployer:
         self,
         source_schema: Optional[SourceSchema] = None,
         registry: Optional[FormatRegistry] = None,
+        backends: Optional[BackendRegistry] = None,
     ) -> None:
         self._source_schema = source_schema
         self._registry = registry if registry is not None else FormatRegistry()
+        self._backends = backends if backends is not None else default_registry()
         self._register_exporters()
 
     @property
     def registry(self) -> FormatRegistry:
         return self._registry
 
+    @property
+    def backends(self) -> BackendRegistry:
+        """The platform backend registry this deployer routes through."""
+        return self._backends
+
     def platforms(self) -> List[str]:
-        return list(PLATFORMS)
+        return self._backends.names() + ["native"]
 
     def deploy(
         self,
@@ -72,37 +86,24 @@ class Deployer:
         source_database: Optional[Database] = None,
     ) -> DeploymentResult:
         """Generate artefacts for (or natively execute on) a platform."""
-        if platform not in PLATFORMS:
+        if platform != "native" and not self._backends.has(platform):
+            supported = tuple(self._backends.names()) + ("native",)
             raise DeploymentError(
-                f"unknown platform {platform!r}; supported: {PLATFORMS}"
+                f"unknown platform {platform!r}; supported: {supported}"
             )
         # Deployment-time optimisation: narrow every branch to the
         # columns it uses (integration keeps flows wide for matching).
         from repro.etlmodel.equivalence import prune_columns
 
         etl_flow = prune_columns(etl_flow)
-        if platform in ("postgres", "sqlite"):
-            script = ddl.generate(
-                md_schema, dialect=platform, database_name="demo"
-            )
-            return DeploymentResult(
-                design=md_schema.name,
-                platform=platform,
-                artifacts={"ddl": script},
-            )
-        if platform == "pdi":
-            return DeploymentResult(
-                design=md_schema.name,
-                platform=platform,
-                artifacts={"ktr": pdi.generate(etl_flow)},
-            )
-        if platform == "sql":
-            return DeploymentResult(
-                design=md_schema.name,
-                platform=platform,
-                artifacts={"script": sqlscript.generate(etl_flow)},
-            )
-        return self._deploy_native(md_schema, etl_flow, source_database)
+        if platform == "native":
+            return self._deploy_native(md_schema, etl_flow, source_database)
+        backend = self._backends.lookup(platform)
+        return DeploymentResult(
+            design=md_schema.name,
+            platform=platform,
+            artifacts=backend.generate(md_schema, etl_flow),
+        )
 
     def _deploy_native(
         self,

@@ -1,0 +1,135 @@
+"""Backend registry for the Design Deployer.
+
+"Quarry is extensible in that it can link to a variety of execution
+platforms" (§2.4).  Instead of hard-wiring each platform into the
+deployer facade, every artefact generator registers here under its
+platform name; the facade routes ``deploy(platform)`` through the
+registry.  Plugging in a new platform is one ``register_backend`` call —
+no facade edit.
+
+A backend is a pure generator: ``(md_schema, etl_flow) -> artifacts``
+(a dict of artefact-name -> text).  The ``native`` platform — which
+executes the flow instead of generating text — stays a facade special
+case on purpose: it needs a live database and returns a queryable one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import DeploymentError
+from repro.etlmodel.flow import EtlFlow
+from repro.mdmodel.model import MDSchema
+
+GeneratorFn = Callable[[MDSchema, EtlFlow], Dict[str, str]]
+
+
+@dataclass(frozen=True)
+class DeployerBackend:
+    """One registered deployment platform."""
+
+    name: str
+    generate: GeneratorFn
+    description: str = ""
+
+
+class BackendRegistry:
+    """Named deployment backends, in registration order."""
+
+    def __init__(self) -> None:
+        self._backends: Dict[str, DeployerBackend] = {}
+
+    def register(
+        self,
+        name: str,
+        generate: GeneratorFn,
+        description: str = "",
+        replace: bool = False,
+    ) -> DeployerBackend:
+        if name in self._backends and not replace:
+            raise DeploymentError(
+                f"deployment backend {name!r} already registered; "
+                f"pass replace=True"
+            )
+        backend = DeployerBackend(name, generate, description)
+        self._backends[name] = backend
+        return backend
+
+    def lookup(self, name: str) -> DeployerBackend:
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise DeploymentError(
+                f"unknown platform {name!r}; supported: "
+                f"{tuple(self.names()) + ('native',)}"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        return name in self._backends
+
+    def names(self) -> List[str]:
+        return list(self._backends)
+
+    def backends(self) -> List[DeployerBackend]:
+        return list(self._backends.values())
+
+
+def _ddl_backend(dialect: str) -> GeneratorFn:
+    from repro.core.deployer import ddl
+
+    def generate(md_schema: MDSchema, etl_flow: EtlFlow) -> Dict[str, str]:
+        return {
+            "ddl": ddl.generate(
+                md_schema, dialect=dialect, database_name="demo"
+            )
+        }
+
+    return generate
+
+
+def _pdi_backend(md_schema: MDSchema, etl_flow: EtlFlow) -> Dict[str, str]:
+    from repro.core.deployer import pdi
+
+    return {"ktr": pdi.generate(etl_flow)}
+
+
+def _sql_backend(md_schema: MDSchema, etl_flow: EtlFlow) -> Dict[str, str]:
+    from repro.core.deployer import sqlscript
+
+    return {"script": sqlscript.generate(etl_flow)}
+
+
+def _pig_backend(md_schema: MDSchema, etl_flow: EtlFlow) -> Dict[str, str]:
+    from repro.core.deployer import pig
+
+    return {"pig": pig.generate(etl_flow)}
+
+
+def default_registry() -> BackendRegistry:
+    """A fresh registry with every built-in backend installed."""
+    registry = BackendRegistry()
+    for dialect in ("postgres", "sqlite"):
+        registry.register(
+            dialect,
+            _ddl_backend(dialect),
+            description=f"{dialect} CREATE TABLE script",
+        )
+    registry.register(
+        "pdi", _pdi_backend,
+        description="Pentaho PDI transformation (.ktr)",
+    )
+    registry.register(
+        "sql", _sql_backend,
+        description="SQL INSERT-SELECT script",
+    )
+    registry.register(
+        "pig", _pig_backend,
+        description="Apache Pig Latin script",
+    )
+    return registry
+
+
+def builtin_platforms() -> Tuple[str, ...]:
+    """Every deployable platform name, ``native`` included."""
+    return tuple(default_registry().names()) + ("native",)

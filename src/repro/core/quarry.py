@@ -1,6 +1,13 @@
 """The Quarry facade: the end-to-end DW design lifecycle (Figure 1).
 
-Wires the four components through the communication & metadata layer:
+Since the service decomposition, ``Quarry`` is a thin backward
+compatible shim over one :class:`~repro.core.services.DesignSession`:
+the four components — Requirements Elicitation, Requirements
+Interpretation, Design Integration, Design Deployment — are
+session-scoped services that communicate only through typed artifact
+envelopes (xRQ/xMD/xLM payloads) on a synchronous
+:class:`~repro.core.services.ArtifactBus`, with every envelope logged
+in the metadata repository:
 
 .. code-block:: text
 
@@ -19,96 +26,37 @@ Typical use::
 implement the demo's "accommodating a DW design to changes" scenario;
 after every step the unified design is validated for soundness (MD
 integrity constraints) and satisfiability of all requirements met so
-far.
+far.  Pass ``session="..."`` to run several isolated design sessions
+over one shared repository (see :class:`DesignSession` for the full
+service-level API).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.deployer import Deployer, DeploymentResult
-from repro.core.integrator import (
-    EtlConsolidation,
-    EtlIntegrator,
-    MDIntegration,
-    MDIntegrator,
-)
-from repro.core.interpreter import Interpreter, PartialDesign
+from repro.core.interpreter import PartialDesign
 from repro.core.requirements import Elicitor
 from repro.core.requirements.model import InformationRequirement
 from repro.core.requirements.vocabulary import Vocabulary
-from repro.errors import IntegrationError, LintError, QuarryError
+from repro.core.services.integration import (
+    retarget_loaders as _retarget_loaders,  # noqa: F401  back-compat alias
+)
+from repro.core.services.reports import ChangeReport, DesignStatus
+from repro.core.services.session import DesignSession
 from repro.engine.database import Database
+from repro.errors import QuarryError
 from repro.etlmodel.cost import CostModel
 from repro.etlmodel.flow import EtlFlow
-from repro.mdmodel.complexity import ComplexityWeights, DEFAULT_WEIGHTS, analyze
+from repro.mdmodel.complexity import ComplexityWeights, DEFAULT_WEIGHTS
 from repro.mdmodel.model import MDSchema
 from repro.ontology.model import Ontology
-from repro.repository.metadata import MetadataRepository
+from repro.repository.metadata import DEFAULT_SESSION, MetadataRepository
 from repro.sources.mappings import SourceMappings
 from repro.sources.schema import SourceSchema
 
-
-def _retarget_loaders(flow: EtlFlow, md_result: MDIntegration) -> EtlFlow:
-    """Follow the MD integrator's renames/merges on the ETL side.
-
-    When a partial fact merged into (or was renamed to) a differently
-    named unified fact, or a partial dimension merged into another, the
-    partial flow's loaders must target the *unified* table names before
-    consolidation.  Returns a rewritten copy (or the input flow when no
-    rename applies).
-    """
-    from repro.etlmodel.ops import Loader
-
-    renames = {}
-    for decision in md_result.decisions:
-        if decision.partial_element == decision.unified_element:
-            continue
-        if decision.kind == "fact":
-            renames[decision.partial_element] = decision.unified_element
-        else:
-            renames[f"dim_{decision.partial_element}"] = (
-                f"dim_{decision.unified_element}"
-            )
-    if not renames:
-        return flow
-    rewritten = flow.copy()
-    for name in rewritten.node_names():
-        operation = rewritten.node(name)
-        if isinstance(operation, Loader) and operation.table in renames:
-            rewritten.replace_node(
-                name,
-                Loader(
-                    name,
-                    table=renames[operation.table],
-                    mode=operation.mode,
-                ),
-            )
-    return rewritten
-
-
-@dataclass
-class ChangeReport:
-    """What one lifecycle change did."""
-
-    requirement_id: str
-    action: str  # added | changed | removed
-    partial: Optional[PartialDesign] = None
-    md_integration: Optional[MDIntegration] = None
-    etl_consolidation: Optional[EtlConsolidation] = None
-
-
-@dataclass
-class DesignStatus:
-    """Snapshot of the current unified design."""
-
-    requirements: List[str]
-    facts: List[str]
-    dimensions: List[str]
-    complexity: float
-    etl_operations: int
-    estimated_etl_cost: float
+__all__ = ["ChangeReport", "DesignStatus", "Quarry"]
 
 
 class Quarry:
@@ -125,75 +73,57 @@ class Quarry:
         align_etl: bool = True,
         complement: bool = True,
         row_counts: Optional[Dict[str, int]] = None,
+        session: str = DEFAULT_SESSION,
     ) -> None:
-        self._ontology = ontology
-        self._schema = schema
-        self._mappings = mappings
-        self._repository = (
-            repository if repository is not None else MetadataRepository()
+        self._session = DesignSession(
+            ontology,
+            schema,
+            mappings,
+            repository=repository,
+            session=session,
+            md_weights=md_weights,
+            cost_model=cost_model,
+            align_etl=align_etl,
+            complement=complement,
+            row_counts=row_counts,
         )
-        self._repository.save_ontology(ontology)
-        self._interpreter = Interpreter(
-            ontology, schema, mappings, complement=complement
-        )
-        self._md_weights = md_weights
-        self._md_integrator = MDIntegrator(weights=md_weights)
-        self._cost_model = cost_model if cost_model is not None else CostModel()
-        self._etl_integrator = EtlIntegrator(
-            cost_model=self._cost_model, align=align_etl
-        )
-        self._deployer = Deployer(source_schema=schema)
-        self._row_counts = row_counts
-        self._partials: Dict[str, PartialDesign] = {}
-        self._order: List[str] = []
-        self._unified_md = MDSchema(name="unified")
-        self._unified_etl = EtlFlow(name="unified")
-        # Unified design after each commit, aligned with self._order:
-        # _checkpoints[i] is the state after integrating _order[:i + 1].
-        # Stored by reference — integrate()/consolidate() copy their
-        # inputs, so a committed snapshot is never mutated afterwards.
-        self._checkpoints: List[Tuple[MDSchema, EtlFlow]] = []
-        #: How many MD / ETL integration calls this instance has made —
-        #: the observable that incremental changes stay sub-linear.
-        self.integration_counts: Dict[str, int] = {"md": 0, "etl": 0}
 
     # -- component access ---------------------------------------------------
 
     @property
+    def session(self) -> DesignSession:
+        """The design session this facade fronts."""
+        return self._session
+
+    @property
     def repository(self) -> MetadataRepository:
-        return self._repository
+        return self._session.repository
 
     @property
     def deployer(self) -> Deployer:
-        return self._deployer
+        return self._session.deployer
+
+    @property
+    def integration_counts(self) -> Dict[str, int]:
+        """How many MD / ETL integration calls this instance has made —
+        the observable that incremental changes stay sub-linear."""
+        return self._session.integration_counts
 
     def elicitor(self) -> Elicitor:
         """The Requirements Elicitor backend over this domain."""
-        return Elicitor(self._ontology)
+        return self._session.elicitor()
 
     def vocabulary(self) -> Vocabulary:
         """Business-vocabulary resolution over this domain."""
-        return Vocabulary(self._ontology)
+        return self._session.vocabulary()
 
     # -- lifecycle ------------------------------------------------------------
 
-    def add_requirement(self, requirement: InformationRequirement) -> ChangeReport:
+    def add_requirement(
+        self, requirement: InformationRequirement
+    ) -> ChangeReport:
         """Interpret, integrate and validate one new requirement."""
-        if requirement.id in self._partials:
-            raise QuarryError(
-                f"requirement {requirement.id!r} already exists; use "
-                f"change_requirement"
-            )
-        partial = self._interpreter.interpret(requirement)
-        md_result, etl_result = self._integrate_partial(partial)
-        self._commit(requirement, partial, md_result, etl_result)
-        return ChangeReport(
-            requirement_id=requirement.id,
-            action="added",
-            partial=partial,
-            md_integration=md_result,
-            etl_consolidation=etl_result,
-        )
+        return self._session.add_requirement(requirement)
 
     def add_requirement_xrq(self, xrq_text: str) -> ChangeReport:
         """Add a requirement delivered as an xRQ document.
@@ -201,9 +131,7 @@ class Quarry:
         This is the wire format the Requirements Elicitor posts to the
         Requirements Interpreter in the original service architecture.
         """
-        from repro.xformats import xrq
-
-        return self.add_requirement(xrq.loads(xrq_text))
+        return self._session.add_requirement_xrq(xrq_text)
 
     def add_partial_design(
         self,
@@ -216,67 +144,17 @@ class Quarry:
         "Quarry allows plugging in other external design tools, with the
         assumption that the provided partial designs are sound [...] and
         that they satisfy an end-user requirement" (§2.2) — assumptions
-        this method re-validates before integrating: the requirement
-        must be well-formed against the ontology, the MD schema must
-        meet the integrity constraints, the flow must validate, type
-        and claim the requirement, and the star must carry the
-        requirement's measures.
+        the interpretation service re-validates before integrating.
         """
-        from repro.etlmodel.propagation import propagate
-        from repro.mdmodel import constraints
-
-        if requirement.id in self._partials:
-            raise QuarryError(
-                f"requirement {requirement.id!r} already exists; use "
-                f"change_requirement"
-            )
-        requirement.check(self._ontology)
-        constraints.check(md_schema)
-        etl_flow.check()
-        propagate(etl_flow, self._schema)
-        if requirement.id not in etl_flow.requirements:
-            raise QuarryError(
-                f"external flow does not claim requirement {requirement.id!r}"
-            )
-        for measure in requirement.measures:
-            carried = any(
-                measure.name in fact.measures
-                for fact in md_schema.facts.values()
-            )
-            if not carried:
-                raise QuarryError(
-                    f"external MD schema has no measure {measure.name!r}; "
-                    f"it does not satisfy requirement {requirement.id!r}"
-                )
-        partial = PartialDesign(
-            requirement=requirement,
-            mapping=None,
-            md_schema=md_schema,
-            etl_flow=etl_flow,
-        )
-        md_result, etl_result = self._integrate_partial(partial)
-        self._commit(requirement, partial, md_result, etl_result)
-        return ChangeReport(
-            requirement_id=requirement.id,
-            action="added",
-            partial=partial,
-            md_integration=md_result,
-            etl_consolidation=etl_result,
+        return self._session.add_partial_design(
+            requirement, md_schema, etl_flow
         )
 
-    def change_requirement(self, requirement: InformationRequirement) -> ChangeReport:
+    def change_requirement(
+        self, requirement: InformationRequirement
+    ) -> ChangeReport:
         """Replace an existing requirement and rebuild the design."""
-        if requirement.id not in self._partials:
-            raise QuarryError(f"unknown requirement {requirement.id!r}")
-        self.remove_requirement(requirement.id)
-        report = self.add_requirement(requirement)
-        return ChangeReport(
-            requirement_id=requirement.id,
-            action="changed",
-            partial=report.partial,
-            md_integration=report.md_integration,
-            etl_consolidation=report.etl_consolidation,
-        )
+        return self._session.change_requirement(requirement)
 
     def remove_requirement(self, requirement_id: str) -> ChangeReport:
         """Drop a requirement and re-integrate the ones after it.
@@ -287,44 +165,7 @@ class Quarry:
         re-integrated.  Removing the most recent requirement therefore
         costs no integration calls at all.
         """
-        if requirement_id not in self._partials:
-            raise QuarryError(f"unknown requirement {requirement_id!r}")
-        index = self._order.index(requirement_id)
-        del self._partials[requirement_id]
-        self._order.pop(index)
-        self._repository.delete_requirement(requirement_id)
-        self._reintegrate_from(index)
-        return ChangeReport(requirement_id=requirement_id, action="removed")
-
-    def _integrate_partial(
-        self, partial: PartialDesign
-    ) -> Tuple[MDIntegration, EtlConsolidation]:
-        """Integrate one partial design into the current unified pair."""
-        md_result = self._md_integrator.integrate(
-            self._unified_md, partial.md_schema
-        )
-        self.integration_counts["md"] += 1
-        etl_flow = _retarget_loaders(partial.etl_flow, md_result)
-        etl_result = self._etl_integrator.consolidate(
-            self._unified_etl, etl_flow, row_counts=self._row_counts
-        )
-        self.integration_counts["etl"] += 1
-        return md_result, etl_result
-
-    def _commit(self, requirement, partial, md_result, etl_result) -> None:
-        self._unified_md = md_result.schema
-        self._unified_etl = etl_result.flow
-        self._partials[requirement.id] = partial
-        self._order.append(requirement.id)
-        self._checkpoints.append((self._unified_md, self._unified_etl))
-        self._verify_satisfiability()
-        self._repository.save_requirement(requirement)
-        self._repository.save_partial_design(
-            requirement.id, partial.md_schema, partial.etl_flow
-        )
-        self._repository.save_unified_design(
-            "current", self._unified_md, self._unified_etl, list(self._order)
-        )
+        return self._session.remove_requirement(requirement_id)
 
     def rebuild(self) -> None:
         """Re-integrate every partial design from scratch.
@@ -334,108 +175,29 @@ class Quarry:
         both produce the same deterministic fold over the requirement
         order, so their results are identical.
         """
-        self._reintegrate_from(0)
-
-    def _reintegrate_from(self, start: int) -> None:
-        """Restore the checkpoint before ``start`` and re-fold the rest."""
-        del self._checkpoints[start:]
-        if start == 0:
-            self._unified_md = MDSchema(name="unified")
-            self._unified_etl = EtlFlow(name="unified")
-        else:
-            self._unified_md, self._unified_etl = self._checkpoints[start - 1]
-        for requirement_id in self._order[start:]:
-            partial = self._partials[requirement_id]
-            md_result, etl_result = self._integrate_partial(partial)
-            self._unified_md = md_result.schema
-            self._unified_etl = etl_result.flow
-            self._checkpoints.append((self._unified_md, self._unified_etl))
-        self._verify_satisfiability()
-        self._repository.save_unified_design(
-            "current", self._unified_md, self._unified_etl, list(self._order)
-        )
+        self._session.rebuild()
 
     # -- validation ------------------------------------------------------------
 
-    def _verify_satisfiability(self) -> None:
-        """Every requirement processed so far must still be answerable."""
-        problems = self.satisfiability_problems()
-        if problems:
-            raise IntegrationError(
-                "unified design no longer satisfies all requirements: "
-                + "; ".join(problems)
-            )
-
     def satisfiability_problems(self) -> List[str]:
         """Structural satisfiability check of the unified design."""
-        problems: List[str] = []
-        level_properties = {
-            attribute.property
-            for __, level in self._unified_md.iter_levels()
-            for attribute in level.attributes
-            if attribute.property is not None
-        }
-        for requirement_id in self._order:
-            requirement = self._partials[requirement_id].requirement
-            fact = self._find_serving_fact(requirement)
-            if fact is None:
-                problems.append(
-                    f"{requirement_id}: no fact carries its measures"
-                )
-                continue
-            for dimension in requirement.dimensions:
-                if dimension.property not in level_properties:
-                    problems.append(
-                        f"{requirement_id}: dimension atom "
-                        f"{dimension.property!r} not in any level"
-                    )
-            if requirement_id not in self._unified_etl.requirements:
-                problems.append(
-                    f"{requirement_id}: unified ETL does not cover it"
-                )
-        return problems
-
-    def _find_serving_fact(self, requirement):
-        for fact in self._unified_md.facts.values():
-            if all(
-                measure.name in fact.measures
-                and fact.measures[measure.name].expression == measure.expression
-                for measure in requirement.measures
-            ):
-                return fact
-        return None
+        return self._session.satisfiability_problems()
 
     # -- views -------------------------------------------------------------------
 
     def unified_design(self) -> Tuple[MDSchema, EtlFlow]:
         """The current unified MD schema and ETL flow."""
-        return self._unified_md, self._unified_etl
+        return self._session.unified_design()
 
     def requirements(self) -> List[InformationRequirement]:
-        return [
-            self._partials[requirement_id].requirement
-            for requirement_id in self._order
-        ]
+        return self._session.requirements()
 
     def partial_design(self, requirement_id: str) -> PartialDesign:
-        try:
-            return self._partials[requirement_id]
-        except KeyError:
-            raise QuarryError(f"unknown requirement {requirement_id!r}") from None
+        return self._session.partial_design(requirement_id)
 
     def status(self) -> DesignStatus:
         """Summary metrics of the current unified design."""
-        report = analyze(self._unified_md, self._md_weights)
-        return DesignStatus(
-            requirements=list(self._order),
-            facts=list(self._unified_md.facts),
-            dimensions=list(self._unified_md.dimensions),
-            complexity=report.score,
-            etl_operations=len(self._unified_etl),
-            estimated_etl_cost=self._cost_model.total(
-                self._unified_etl, self._row_counts
-            ),
-        )
+        return self._session.status()
 
     # -- static analysis ---------------------------------------------------------------
 
@@ -446,21 +208,7 @@ class Quarry:
         is linted against the source schema (typed datastores) and the
         MD schema against the domain ontology (to-one reachability).
         """
-        from repro.analysis import lint as run_lint
-
-        flow_report = run_lint(
-            self._unified_etl,
-            source_schema=self._schema,
-            disable=disable,
-            only=only,
-        )
-        md_report = run_lint(
-            self._unified_md,
-            ontology=self._ontology,
-            disable=disable,
-            only=only,
-        )
-        return flow_report.merged_with(md_report)
+        return self._session.lint(disable=disable, only=only)
 
     # -- deployment ------------------------------------------------------------------
 
@@ -478,29 +226,21 @@ class Quarry:
         result (and the recorded deployment).  Pass ``lint_gate=False``
         to skip the gate.
         """
-        lint_report = None
-        if lint_gate:
-            lint_report = self.lint()
-            if not lint_report.ok:
-                raise LintError(lint_report.errors)
-        result = self._deployer.deploy(
-            self._unified_md,
-            self._unified_etl,
-            platform,
-            source_database=source_database,
+        return self._session.deploy(
+            platform, source_database=source_database, lint_gate=lint_gate
         )
-        if lint_report is not None:
-            result.artifacts["lint"] = lint_report.render()
-        self._repository.record_deployment(
-            "current", platform, dict(result.artifacts)
-        )
-        return result
 
     # -- persistence --------------------------------------------------------------------
 
     def save_to(self, path) -> None:
-        """Persist the metadata repository (requirements + designs)."""
-        self._repository.save_to(path)
+        """Persist the metadata repository (requirements + designs).
+
+        The whole underlying document store is saved — including the
+        fold checkpoints, the session state and the bus event log — so
+        ``load_from`` resumes the session *incrementally* instead of
+        re-interpreting every requirement.
+        """
+        self._session.repository.save_to(path)
 
     @classmethod
     def load_from(
@@ -508,24 +248,39 @@ class Quarry:
         path,
         schema: SourceSchema,
         mappings: SourceMappings,
+        session: str = DEFAULT_SESSION,
         **kwargs,
     ) -> "Quarry":
         """Resume a design session from a persisted repository.
 
-        The ontology is read back from the repository; requirements are
-        re-added in their stored order (re-running interpretation keeps
-        the code path single and the state consistent).
+        The ontology is read back from the repository.  Stores written
+        by this version carry the full fold state (partial designs,
+        checkpoints, insertion order), which is restored directly —
+        zero integration calls, so later changes stay incremental.
+        Legacy stores without session state fall back to re-adding the
+        requirements in their stored order.
         """
         repository = MetadataRepository.load_from(path)
-        ontology_names = repository.ontology_names()
+        scoped = repository.for_session(session)
+        ontology_names = scoped.ontology_names()
         if not ontology_names:
             raise QuarryError("repository holds no ontology")
-        ontology = repository.load_ontology(ontology_names[0])
-        quarry = cls(ontology, schema, mappings, **kwargs)
-        if "current" in repository.unified_design_names():
-            __, __, stored_order = repository.load_unified_design("current")
+        ontology = scoped.load_ontology(ontology_names[0])
+        quarry = cls(
+            ontology,
+            schema,
+            mappings,
+            repository=repository,
+            session=session,
+            **kwargs,
+        )
+        if quarry._session.restore():
+            return quarry
+        # Legacy store: re-run the pipeline over the stored order.
+        if "current" in scoped.unified_design_names():
+            __, __, stored_order = scoped.load_unified_design("current")
         else:
             stored_order = []
         for requirement_id in stored_order:
-            quarry.add_requirement(repository.load_requirement(requirement_id))
+            quarry.add_requirement(scoped.load_requirement(requirement_id))
         return quarry

@@ -1,0 +1,133 @@
+"""The synchronous artifact bus.
+
+The in-process stand-in for the paper's RESTful service fabric: services
+``subscribe`` to topics and ``publish`` envelopes; delivery is
+synchronous and in subscription order, so the design pipeline keeps its
+deterministic left-fold semantics (and exceptions propagate to the
+caller exactly as direct calls would).
+
+Every published envelope is appended to a per-session event log in the
+metadata repository *before* delivery, which makes the bus:
+
+* **observable** — ``events()`` exposes the full per-topic history,
+* **replayable** — ``replay(topic, handler)`` re-delivers the logged
+  envelopes in publication order (reconstructed from their payloads, so
+  a replay consumes exactly what was persisted),
+* **transactional at the session level** — ``marker()`` /
+  ``rollback(marker)`` let an orchestrator drop the events of a failed
+  lifecycle operation so the log only ever contains committed history.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.services.envelope import ArtifactEnvelope
+
+Handler = Callable[[ArtifactEnvelope], None]
+
+
+class ArtifactBus:
+    """Synchronous publish/subscribe over a persisted event log."""
+
+    def __init__(self, repository, session: str) -> None:
+        self._repository = repository  # session-scoped MetadataRepository
+        self._session = session
+        self._subscribers: Dict[str, List[Handler]] = {}
+        # Resume sequences from a persisted log (session reload).
+        self._sequences: Dict[str, int] = {}
+        self._next_position = 0
+        for event in self._repository.bus_events():
+            topic = event["topic"]
+            self._sequences[topic] = max(
+                self._sequences.get(topic, 0), event["sequence"]
+            )
+            self._next_position = max(
+                self._next_position, event["position"] + 1
+            )
+
+    @property
+    def session(self) -> str:
+        return self._session
+
+    # -- pub/sub -----------------------------------------------------------
+
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        """Deliver every future envelope on ``topic`` to ``handler``."""
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def publish(
+        self,
+        topic: str,
+        kind: str,
+        payload: dict,
+        producer: str,
+        attachment=None,
+    ) -> ArtifactEnvelope:
+        """Log an envelope, then deliver it synchronously.
+
+        The append-then-deliver order is what makes ``rollback`` sound:
+        if a subscriber raises, the orchestrator can still see (and
+        drop) everything the failed operation logged.
+        """
+        sequence = self._sequences.get(topic, 0) + 1
+        envelope = ArtifactEnvelope(
+            topic=topic,
+            kind=kind,
+            session=self._session,
+            sequence=sequence,
+            position=self._next_position,
+            producer=producer,
+            payload=payload,
+            attachment=attachment,
+        )
+        self._repository.append_bus_event(envelope.to_dict())
+        self._sequences[topic] = sequence
+        self._next_position += 1
+        for handler in self._subscribers.get(topic, []):
+            handler(envelope)
+        return envelope
+
+    # -- the event log -----------------------------------------------------
+
+    def events(self, topic: Optional[str] = None) -> List[ArtifactEnvelope]:
+        """Logged envelopes in publication order (optionally one topic)."""
+        return [
+            ArtifactEnvelope.from_dict(document)
+            for document in self._repository.bus_events(topic)
+        ]
+
+    def replay(self, topic: str, handler: Handler) -> int:
+        """Re-deliver the logged envelopes of a topic; returns the count.
+
+        Replayed envelopes carry no attachment — the handler consumes
+        the persisted payload, which is the point of a replay.
+        """
+        envelopes = self.events(topic)
+        for envelope in envelopes:
+            handler(envelope)
+        return len(envelopes)
+
+    # -- session-level transactions ---------------------------------------
+
+    def marker(self) -> dict:
+        """An opaque snapshot of the log's current extent."""
+        return {
+            "position": self._next_position - 1,
+            "sequences": dict(self._sequences),
+        }
+
+    def rollback(self, marker: dict) -> int:
+        """Drop every envelope logged after ``marker``; returns the count.
+
+        Subscribers are *not* notified: rollback compensates a failed
+        lifecycle operation whose in-memory effects the orchestrator
+        handles (or deliberately preserves, matching pre-service
+        behaviour); the log just must not advertise uncommitted events.
+        """
+        dropped = self._repository.delete_bus_events_after(
+            marker["position"]
+        )
+        self._sequences = dict(marker["sequences"])
+        self._next_position = marker["position"] + 1
+        return dropped

@@ -1,0 +1,86 @@
+"""Typed, versioned artifact envelopes.
+
+Services never call each other: everything that crosses a service
+boundary travels as an :class:`ArtifactEnvelope` — the xRQ/xMD/xLM
+payload of the paper's RESTful exchanges, wrapped with routing metadata
+(topic, kind, session) and a per-topic sequence number assigned by the
+bus.  Envelopes are JSON documents end to end: what the bus logs into
+the metadata repository is exactly ``to_dict()``, and a logged envelope
+replays byte-identically through ``from_dict()``.
+
+``attachment`` is the one deliberate exception: a transient in-process
+reference to the rich object the payload serialises (e.g. the
+:class:`~repro.core.interpreter.interpreter.PartialDesign` behind an
+xMD+xLM payload).  It is never persisted and never required — every
+consumer must be able to work from the payload alone (replay does) —
+it only spares the synchronous pipeline a decode of what it just
+encoded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Envelope schema version, bumped on incompatible payload changes.
+ENVELOPE_VERSION = 1
+
+
+@dataclass
+class ArtifactEnvelope:
+    """One artifact crossing a service boundary."""
+
+    topic: str
+    kind: str  # e.g. requirement.added, partial.created, design.committed
+    session: str
+    sequence: int  # per-topic, assigned by the bus
+    position: int  # bus-wide, assigned by the bus
+    producer: str  # service name
+    payload: Dict[str, Any] = field(default_factory=dict)
+    version: int = ENVELOPE_VERSION
+    attachment: Optional[Any] = None  # transient; never persisted
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON document the bus logs (attachment excluded)."""
+        return {
+            "topic": self.topic,
+            "event_kind": self.kind,
+            "session": self.session,
+            "sequence": self.sequence,
+            "position": self.position,
+            "producer": self.producer,
+            "payload": self.payload,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "ArtifactEnvelope":
+        return cls(
+            topic=document["topic"],
+            kind=document["event_kind"],
+            session=document["session"],
+            sequence=document["sequence"],
+            position=document["position"],
+            producer=document["producer"],
+            payload=document.get("payload", {}),
+            version=document.get("version", ENVELOPE_VERSION),
+        )
+
+    def __repr__(self) -> str:  # keep event logs readable in failures
+        return (
+            f"ArtifactEnvelope({self.topic}#{self.sequence} {self.kind} "
+            f"session={self.session!r} producer={self.producer!r})"
+        )
+
+
+def dumps(envelope: ArtifactEnvelope) -> str:
+    """The envelope as canonical JSON text — its wire/export notation."""
+    import json
+
+    return json.dumps(envelope.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def loads(text: str) -> ArtifactEnvelope:
+    import json
+
+    return ArtifactEnvelope.from_dict(json.loads(text))

@@ -1,0 +1,143 @@
+"""The Requirements Interpretation service.
+
+Consumes xRQ envelopes from the ``requirements`` topic and publishes
+one partial design (xMD + xLM) envelope per requirement on the
+``partials`` topic.  Two intake kinds:
+
+* ``requirement.added`` — run the interpreter (mapper -> MD generation
+  -> ETL generation, §2.2),
+* ``requirement.external`` — a design built by an external tool rides
+  along in the envelope; re-validate the §2.2 assumptions (sound MD
+  schema, valid typed flow that claims the requirement and carries its
+  measures) instead of generating.
+"""
+
+from __future__ import annotations
+
+from repro.core.interpreter import Interpreter, PartialDesign
+from repro.core.requirements.model import InformationRequirement
+from repro.core.services.bus import ArtifactBus
+from repro.core.services.envelope import ArtifactEnvelope
+from repro.errors import QuarryError
+from repro.ontology.model import Ontology
+from repro.sources.mappings import SourceMappings
+from repro.sources.schema import SourceSchema
+from repro.xformats import xlm, xmd, xrq
+from repro.xformats.xmljson import json_to_xml, xml_to_json
+
+from repro.core.services import elicitation as _elicitation
+
+TOPIC_PARTIALS = "partials"
+
+KIND_CREATED = "partial.created"
+#: Published by the integration service when a requirement is retired;
+#: defined here so the topic's vocabulary lives in one place.
+KIND_REMOVED = "partial.removed"
+
+
+class InterpretationService:
+    """Translates requirement envelopes into partial-design envelopes."""
+
+    name = "interpretation"
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        schema: SourceSchema,
+        mappings: SourceMappings,
+        bus: ArtifactBus,
+        complement: bool = True,
+    ) -> None:
+        self._ontology = ontology
+        self._schema = schema
+        self._interpreter = Interpreter(
+            ontology, schema, mappings, complement=complement
+        )
+        self._bus = bus
+        bus.subscribe(
+            _elicitation.TOPIC_REQUIREMENTS, self._on_requirement
+        )
+
+    @property
+    def interpreter(self) -> Interpreter:
+        return self._interpreter
+
+    # -- intake ------------------------------------------------------------
+
+    def _on_requirement(self, envelope: ArtifactEnvelope) -> None:
+        if envelope.kind == _elicitation.KIND_ADDED:
+            partial = self._interpret(envelope)
+        elif envelope.kind == _elicitation.KIND_EXTERNAL:
+            partial = self._validate_external(envelope)
+        else:  # unknown kinds are not for this service
+            return
+        self._bus.publish(
+            TOPIC_PARTIALS,
+            KIND_CREATED,
+            payload={
+                "requirement": partial.requirement.id,
+                "xrq": xml_to_json(xrq.dumps(partial.requirement)),
+                "xmd": xml_to_json(xmd.dumps(partial.md_schema)),
+                "xlm": xml_to_json(xlm.dumps(partial.etl_flow)),
+            },
+            producer=self.name,
+            attachment=partial,
+        )
+
+    def _requirement_of(
+        self, envelope: ArtifactEnvelope
+    ) -> InformationRequirement:
+        if envelope.attachment is not None:
+            attached = envelope.attachment
+            return attached[0] if isinstance(attached, tuple) else attached
+        return xrq.loads(json_to_xml(envelope.payload["xrq"]))
+
+    def _interpret(self, envelope: ArtifactEnvelope) -> PartialDesign:
+        return self._interpreter.interpret(self._requirement_of(envelope))
+
+    def _validate_external(self, envelope: ArtifactEnvelope) -> PartialDesign:
+        """Re-check the §2.2 soundness assumptions on an external design."""
+        from repro.etlmodel.propagation import propagate
+        from repro.mdmodel import constraints
+
+        if envelope.attachment is not None:
+            requirement, md_schema, etl_flow = envelope.attachment
+        else:
+            requirement = xrq.loads(json_to_xml(envelope.payload["xrq"]))
+            md_schema = xmd.loads(json_to_xml(envelope.payload["xmd"]))
+            etl_flow = xlm.loads(json_to_xml(envelope.payload["xlm"]))
+        requirement.check(self._ontology)
+        constraints.check(md_schema)
+        etl_flow.check()
+        propagate(etl_flow, self._schema)
+        if requirement.id not in etl_flow.requirements:
+            raise QuarryError(
+                f"external flow does not claim requirement {requirement.id!r}"
+            )
+        for measure in requirement.measures:
+            carried = any(
+                measure.name in fact.measures
+                for fact in md_schema.facts.values()
+            )
+            if not carried:
+                raise QuarryError(
+                    f"external MD schema has no measure {measure.name!r}; "
+                    f"it does not satisfy requirement {requirement.id!r}"
+                )
+        return PartialDesign(
+            requirement=requirement,
+            mapping=None,
+            md_schema=md_schema,
+            etl_flow=etl_flow,
+        )
+
+    # -- replay support ----------------------------------------------------
+
+    @staticmethod
+    def decode_partial(envelope: ArtifactEnvelope):
+        """(md_schema, etl_flow) rebuilt purely from a logged envelope."""
+        document = envelope.payload
+        return (
+            xmd.loads(json_to_xml(document["xmd"])),
+            xlm.loads(json_to_xml(document["xlm"])),
+        )

@@ -1,0 +1,118 @@
+"""Lifecycle reports: what one design change did, and design snapshots.
+
+Both report types are value objects: equality is structural (two
+reports describing the same change compare equal even when their nested
+design objects are distinct instances), ``repr`` is compact enough for
+assertion output, and ``to_dict()`` produces the JSON document the
+artifact bus logs for every applied lifecycle change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.integrator import EtlConsolidation, MDIntegration
+from repro.core.interpreter import PartialDesign
+
+
+@dataclass(eq=False)
+class ChangeReport:
+    """What one lifecycle change did."""
+
+    requirement_id: str
+    action: str  # added | changed | removed
+    partial: Optional[PartialDesign] = None
+    md_integration: Optional[MDIntegration] = None
+    etl_consolidation: Optional[EtlConsolidation] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable summary, logged by the bus event log."""
+        partial = None
+        if self.partial is not None:
+            partial = {
+                "facts": sorted(self.partial.md_schema.facts),
+                "dimensions": sorted(self.partial.md_schema.dimensions),
+                "etl_operations": len(self.partial.etl_flow),
+            }
+        md_integration = None
+        if self.md_integration is not None:
+            md_integration = {
+                "decisions": [
+                    {
+                        "kind": decision.kind,
+                        "partial_element": decision.partial_element,
+                        "action": decision.action,
+                        "unified_element": decision.unified_element,
+                        "detail": decision.detail,
+                    }
+                    for decision in self.md_integration.decisions
+                ],
+                "complexity_before": self.md_integration.complexity_before,
+                "complexity_after": self.md_integration.complexity_after,
+                "complexity_naive": self.md_integration.complexity_naive,
+            }
+        etl_consolidation = None
+        if self.etl_consolidation is not None:
+            etl_consolidation = {
+                "reused": list(self.etl_consolidation.reused),
+                "added": list(self.etl_consolidation.added),
+                "widened": list(self.etl_consolidation.widened),
+                "cost_unified": self.etl_consolidation.cost_unified,
+                "cost_separate": self.etl_consolidation.cost_separate,
+            }
+        return {
+            "requirement_id": self.requirement_id,
+            "action": self.action,
+            "partial": partial,
+            "md_integration": md_integration,
+            "etl_consolidation": etl_consolidation,
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ChangeReport):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"ChangeReport({self.action} {self.requirement_id!r}"
+            + (", partial" if self.partial is not None else "")
+            + ")"
+        )
+
+
+@dataclass(eq=False)
+class DesignStatus:
+    """Snapshot of the current unified design."""
+
+    requirements: List[str]
+    facts: List[str]
+    dimensions: List[str]
+    complexity: float
+    etl_operations: int
+    estimated_etl_cost: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requirements": list(self.requirements),
+            "facts": list(self.facts),
+            "dimensions": list(self.dimensions),
+            "complexity": self.complexity,
+            "etl_operations": self.etl_operations,
+            "estimated_etl_cost": self.estimated_etl_cost,
+        }
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DesignStatus):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"DesignStatus(requirements={self.requirements!r}, "
+            f"facts={self.facts!r}, dimensions={self.dimensions!r}, "
+            f"complexity={self.complexity:.2f}, "
+            f"etl_operations={self.etl_operations}, "
+            f"estimated_etl_cost={self.estimated_etl_cost:.2f})"
+        )

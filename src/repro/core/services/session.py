@@ -1,0 +1,338 @@
+"""Design sessions: one named, isolated design lifecycle per session.
+
+A :class:`DesignSession` wires the four services — elicitation,
+interpretation, integration, deployment — onto one synchronous
+:class:`~repro.core.services.bus.ArtifactBus` over a session-scoped
+view of a (possibly shared) metadata repository.  Many sessions can
+share one document store: each gets its own namespaced collections,
+its own bus event log and its own fold state, so concurrent sessions
+never observe each other's artefacts.
+
+The session is also the *transaction boundary* of the lifecycle: every
+mutating operation brackets the pipeline with a bus marker and rolls
+the event log back if any stage raises, so the persisted log only ever
+contains committed history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.deployer import BackendRegistry, Deployer, DeploymentResult
+from repro.core.integrator import EtlIntegrator, MDIntegrator
+from repro.core.interpreter import PartialDesign
+from repro.core.requirements import Elicitor
+from repro.core.requirements.model import InformationRequirement
+from repro.core.requirements.vocabulary import Vocabulary
+from repro.core.services import interpretation as _interpretation
+from repro.core.services.bus import ArtifactBus
+from repro.core.services.deployment import DeploymentService
+from repro.core.services.elicitation import ElicitationService
+from repro.core.services.integration import (
+    IntegrationService,
+    retarget_loaders,
+)
+from repro.core.services.interpretation import InterpretationService
+from repro.core.services.reports import ChangeReport, DesignStatus
+from repro.engine.database import Database
+from repro.errors import QuarryError
+from repro.etlmodel.cost import CostModel
+from repro.etlmodel.flow import EtlFlow
+from repro.mdmodel.complexity import ComplexityWeights, DEFAULT_WEIGHTS, analyze
+from repro.mdmodel.model import MDSchema
+from repro.ontology.model import Ontology
+from repro.repository.metadata import DEFAULT_SESSION, MetadataRepository
+from repro.sources.mappings import SourceMappings
+from repro.sources.schema import SourceSchema
+from repro.xformats import xrq
+
+
+class DesignSession:
+    """One named design lifecycle over a session-scoped repository."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        schema: SourceSchema,
+        mappings: SourceMappings,
+        repository: Optional[MetadataRepository] = None,
+        session: str = DEFAULT_SESSION,
+        md_weights: ComplexityWeights = DEFAULT_WEIGHTS,
+        cost_model: Optional[CostModel] = None,
+        align_etl: bool = True,
+        complement: bool = True,
+        row_counts: Optional[Dict[str, int]] = None,
+        backends: Optional[BackendRegistry] = None,
+    ) -> None:
+        base = repository if repository is not None else MetadataRepository()
+        self._session = session
+        self._repository = base.for_session(session)
+        base.register_session(session)
+        self._repository.save_ontology(ontology)
+        self._align_etl = align_etl
+        self._row_counts = row_counts
+        self._bus = ArtifactBus(self._repository, session)
+        self._elicitation = ElicitationService(ontology, self._bus)
+        self._interpretation = InterpretationService(
+            ontology, schema, mappings, self._bus, complement=complement
+        )
+        self._integration = IntegrationService(
+            self._repository,
+            self._bus,
+            md_weights=md_weights,
+            cost_model=cost_model,
+            align_etl=align_etl,
+            row_counts=row_counts,
+        )
+        self._deployment = DeploymentService(
+            ontology, schema, self._repository, self._bus, backends=backends
+        )
+
+    # -- component access --------------------------------------------------
+
+    @property
+    def session(self) -> str:
+        return self._session
+
+    @property
+    def repository(self) -> MetadataRepository:
+        """The session-scoped metadata repository view."""
+        return self._repository
+
+    @property
+    def bus(self) -> ArtifactBus:
+        return self._bus
+
+    @property
+    def elicitation(self) -> ElicitationService:
+        return self._elicitation
+
+    @property
+    def interpretation(self) -> InterpretationService:
+        return self._interpretation
+
+    @property
+    def integration(self) -> IntegrationService:
+        return self._integration
+
+    @property
+    def deployment(self) -> DeploymentService:
+        return self._deployment
+
+    @property
+    def deployer(self) -> Deployer:
+        return self._deployment.deployer
+
+    @property
+    def integration_counts(self) -> Dict[str, int]:
+        return self._integration.integration_counts
+
+    def elicitor(self) -> Elicitor:
+        """The Requirements Elicitor backend over this domain."""
+        return self._elicitation.elicitor()
+
+    def vocabulary(self) -> Vocabulary:
+        """Business-vocabulary resolution over this domain."""
+        return self._elicitation.vocabulary()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def add_requirement(
+        self, requirement: InformationRequirement
+    ) -> ChangeReport:
+        """Run one new requirement through the full service pipeline."""
+        if self._integration.has(requirement.id):
+            raise QuarryError(
+                f"requirement {requirement.id!r} already exists; use "
+                f"change_requirement"
+            )
+        return self._pipeline(
+            lambda: self._elicitation.submit(requirement), action="added"
+        )
+
+    def add_requirement_xrq(self, xrq_text: str) -> ChangeReport:
+        """Add a requirement delivered as an xRQ document."""
+        return self.add_requirement(xrq.loads(xrq_text))
+
+    def add_partial_design(
+        self,
+        requirement: InformationRequirement,
+        md_schema: MDSchema,
+        etl_flow: EtlFlow,
+    ) -> ChangeReport:
+        """Integrate a partial design produced by an *external* tool.
+
+        The interpretation service re-validates the §2.2 soundness
+        assumptions on the submitted design instead of generating one.
+        """
+        if self._integration.has(requirement.id):
+            raise QuarryError(
+                f"requirement {requirement.id!r} already exists; use "
+                f"change_requirement"
+            )
+        return self._pipeline(
+            lambda: self._elicitation.submit_external(
+                requirement, md_schema, etl_flow
+            ),
+            action="added",
+        )
+
+    def change_requirement(
+        self, requirement: InformationRequirement
+    ) -> ChangeReport:
+        """Replace an existing requirement and rebuild the design."""
+        if not self._integration.has(requirement.id):
+            raise QuarryError(f"unknown requirement {requirement.id!r}")
+        self.remove_requirement(requirement.id)
+        report = self.add_requirement(requirement)
+        return ChangeReport(
+            requirement_id=requirement.id,
+            action="changed",
+            partial=report.partial,
+            md_integration=report.md_integration,
+            etl_consolidation=report.etl_consolidation,
+        )
+
+    def remove_requirement(self, requirement_id: str) -> ChangeReport:
+        """Drop a requirement; only the fold suffix is re-integrated."""
+        marker = self._bus.marker()
+        try:
+            self._integration.remove(requirement_id)
+        except Exception:
+            self._bus.rollback(marker)
+            raise
+        self._integration.take_last_commit()
+        return ChangeReport(requirement_id=requirement_id, action="removed")
+
+    def rebuild(self) -> None:
+        """Re-integrate every partial design from scratch."""
+        self._integration.rebuild()
+        self._integration.take_last_commit()
+
+    def _pipeline(self, publish, action: str) -> ChangeReport:
+        """Run one elicitation through the bus; roll the log back on error.
+
+        Delivery is synchronous, so by the time ``publish`` returns the
+        interpretation and integration services have committed.  If any
+        stage raises, the events of the failed operation are dropped
+        from the log (in-memory fold state is the integration service's
+        concern and follows pre-service semantics).
+        """
+        marker = self._bus.marker()
+        try:
+            publish()
+        except Exception:
+            self._bus.rollback(marker)
+            raise
+        commit = self._integration.take_last_commit()
+        if commit is None:  # no subscriber committed — nothing to report
+            raise QuarryError("pipeline produced no committed design")
+        partial, md_result, etl_result = commit
+        return ChangeReport(
+            requirement_id=partial.requirement.id,
+            action=action,
+            partial=partial,
+            md_integration=md_result,
+            etl_consolidation=etl_result,
+        )
+
+    # -- views -------------------------------------------------------------
+
+    def unified_design(self) -> Tuple[MDSchema, EtlFlow]:
+        """The current unified MD schema and ETL flow."""
+        return self._integration.unified_design()
+
+    def requirements(self) -> List[InformationRequirement]:
+        return self._integration.requirements()
+
+    def partial_design(self, requirement_id: str) -> PartialDesign:
+        return self._integration.partial_design(requirement_id)
+
+    def satisfiability_problems(self) -> List[str]:
+        return self._integration.satisfiability_problems()
+
+    def status(self) -> DesignStatus:
+        """Summary metrics of the current unified design."""
+        unified_md, unified_etl = self._integration.unified_design()
+        report = analyze(unified_md, self._integration.md_weights)
+        return DesignStatus(
+            requirements=self._integration.order(),
+            facts=list(unified_md.facts),
+            dimensions=list(unified_md.dimensions),
+            complexity=report.score,
+            etl_operations=len(unified_etl),
+            estimated_etl_cost=self._integration.cost_model.total(
+                unified_etl, self._row_counts
+            ),
+        )
+
+    # -- static analysis ---------------------------------------------------
+
+    def lint(self, *, disable=(), only=None):
+        """Lint the unified design: ETL flow plus MD schema."""
+        unified_md, unified_etl = self._integration.unified_design()
+        return self._deployment.lint(
+            unified_md, unified_etl, disable=disable, only=only
+        )
+
+    # -- deployment --------------------------------------------------------
+
+    def deploy(
+        self,
+        platform: str,
+        source_database: Optional[Database] = None,
+        lint_gate: bool = True,
+    ) -> DeploymentResult:
+        """Deploy the unified design; records the artefacts in the repo."""
+        unified_md, unified_etl = self._integration.unified_design()
+        return self._deployment.deploy(
+            unified_md,
+            unified_etl,
+            platform,
+            source_database=source_database,
+            lint_gate=lint_gate,
+        )
+
+    # -- persistence and replay --------------------------------------------
+
+    def restore(self) -> bool:
+        """Resume the fold state a previous session persisted.
+
+        Returns ``False`` on stores that predate persisted session
+        state (the caller falls back to re-adding requirements).
+        """
+        return self._integration.restore_from_repository()
+
+    def replay_unified_design(self) -> Tuple[MDSchema, EtlFlow]:
+        """Re-derive the unified design purely from the bus event log.
+
+        Folds the logged ``partials``-topic envelopes (creations minus
+        removals, in publication order) through fresh integrators —
+        proof that the event log alone carries the whole design.
+        """
+        partials: Dict[str, Tuple[MDSchema, EtlFlow]] = {}
+        for envelope in self._bus.events(_interpretation.TOPIC_PARTIALS):
+            requirement_id = envelope.payload["requirement"]
+            if envelope.kind == _interpretation.KIND_CREATED:
+                partials.pop(requirement_id, None)
+                partials[requirement_id] = (
+                    InterpretationService.decode_partial(envelope)
+                )
+            elif envelope.kind == _interpretation.KIND_REMOVED:
+                partials.pop(requirement_id, None)
+        md_integrator = MDIntegrator(weights=self._integration.md_weights)
+        etl_integrator = EtlIntegrator(
+            cost_model=self._integration.cost_model, align=self._align_etl
+        )
+        unified_md = MDSchema(name="unified")
+        unified_etl = EtlFlow(name="unified")
+        for partial_md, partial_etl in partials.values():
+            md_result = md_integrator.integrate(unified_md, partial_md)
+            etl_result = etl_integrator.consolidate(
+                unified_etl,
+                retarget_loaders(partial_etl, md_result),
+                row_counts=self._row_counts,
+            )
+            unified_md = md_result.schema
+            unified_etl = etl_result.flow
+        return unified_md, unified_etl

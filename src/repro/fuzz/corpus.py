@@ -91,6 +91,11 @@ def query_entry(trial: QueryTrial, description: str = "") -> dict:
         "sort_key": trial.sort_key,
         "limit": trial.limit,
         "indexes": list(trial.indexes),
+        "session": trial.session,
+        "decoys": {
+            session: [encode_value(document) for document in documents]
+            for session, documents in trial.decoys.items()
+        },
     }
 
 
@@ -140,6 +145,11 @@ def decode_entry(entry: dict):
             sort_key=entry.get("sort_key"),
             limit=entry.get("limit"),
             indexes=list(entry.get("indexes", [])),
+            session=entry.get("session", ""),
+            decoys={
+                session: [decode_value(document) for document in documents]
+                for session, documents in entry.get("decoys", {}).items()
+            },
             seed=entry.get("seed"),
         )
     raise ValueError(f"unknown corpus entry kind {entry.get('kind')!r}")

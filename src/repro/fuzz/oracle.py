@@ -31,7 +31,6 @@ from repro.fuzz.querygen import (
     reference_count,
     reference_find,
 )
-from repro.repository import Collection
 from repro.xformats import xlm
 
 Outcome = Tuple[str, object]
@@ -133,8 +132,21 @@ def check_query_trial(trial: QueryTrial) -> Optional[str]:
     Index declarations are split around the writes: even positions are
     created up front (exercising incremental maintenance on every
     replace), odd positions after (exercising the backfill path).
+
+    The trial runs in its session's namespaced collection of a shared
+    :class:`~repro.repository.documents.DocumentStore`; decoy documents
+    are written into *other* sessions' collections first and checked
+    untouched afterwards — session isolation is part of the contract.
     """
-    collection = Collection("fuzz")
+    from repro.repository import DocumentStore
+    from repro.repository.metadata import namespaced
+
+    store = DocumentStore()
+    for session, documents in sorted(trial.decoys.items()):
+        decoy_collection = store.collection(namespaced("fuzz", session))
+        for document in documents:
+            decoy_collection.replace(document)
+    collection = store.collection(namespaced("fuzz", trial.session))
     for position, path in enumerate(trial.indexes):
         if position % 2 == 0:
             collection.create_index(path)
@@ -172,4 +184,20 @@ def check_query_trial(trial: QueryTrial) -> Optional[str]:
             f"query-divergence: count() -> {actual_count!r}, reference -> "
             f"{expected_count!r} (query={trial.query!r})"
         )
+
+    for session, documents in sorted(trial.decoys.items()):
+        observed = _query_outcome(
+            lambda s=session: _canonical_documents(
+                store.collection(namespaced("fuzz", s)).find()
+            )
+        )
+        untouched = _query_outcome(
+            lambda d=documents: _canonical_documents(reference_find(d))
+        )
+        if observed != untouched:
+            return (
+                f"session-leakage: session {session!r} collection -> "
+                f"{observed!r}, expected {untouched!r} "
+                f"(trial session {trial.session!r})"
+            )
     return None

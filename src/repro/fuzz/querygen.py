@@ -13,9 +13,13 @@ from __future__ import annotations
 import random
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 _FIELDS = ["a", "b", "c", "nest"]
+
+#: Session namespaces a trial may run in (``""`` is the default
+#: namespace, i.e. the plain collection name).
+_SESSIONS = ["", "alpha", "beta"]
 
 #: Field values skewed towards the treacherous: falsy values of every
 #: type, numerically-equal values of different types, strings that look
@@ -41,6 +45,14 @@ class QueryTrial:
     indexes on before the trial's documents are written.  The reference
     knows nothing about indexes, so any trial where index routing
     changes a result (or an error) diverges.
+
+    ``session`` is the namespace the trial's collection lives in (the
+    empty string is the default/unprefixed namespace) and ``decoys``
+    maps *other* session namespaces to documents written into their
+    collections of the same shared store before the trial runs.  The
+    reference knows nothing about the decoys either, so any cross-
+    namespace leakage — in the trial's answers or in the decoy
+    collections themselves — diverges.
     """
 
     documents: List[dict]
@@ -48,6 +60,8 @@ class QueryTrial:
     sort_key: Optional[str]
     limit: Optional[int]
     indexes: List[str] = field(default_factory=list)
+    session: str = ""
+    decoys: Dict[str, List[dict]] = field(default_factory=dict)
     seed: object = None
     notes: List[str] = field(default_factory=list)
 
@@ -150,6 +164,29 @@ def _random_indexes(rng: random.Random) -> List[str]:
     return pool[: rng.randint(1, 3)]
 
 
+def _random_sessions(rng: random.Random):
+    """The trial's session namespace plus decoy documents for others.
+
+    Half of the trials run in the default namespace with no neighbours
+    (the pre-session layout must stay correct); the rest pick a session
+    and populate one or two *other* sessions' collections with decoy
+    documents that must never influence — or be influenced by — the
+    trial.
+    """
+    if rng.random() < 0.5:
+        return "", {}
+    session = rng.choice(_SESSIONS)
+    decoys = {}
+    others = [name for name in _SESSIONS if name != session]
+    rng.shuffle(others)
+    for other in others[: rng.randint(1, 2)]:
+        decoys[other] = [
+            _random_document(rng, rng.choice([f"d{i}" for i in range(8)]))
+            for _ in range(rng.randint(1, 3))
+        ]
+    return session, decoys
+
+
 def build_query_trial(seed: int) -> QueryTrial:
     """The deterministic query trial for a seed."""
     rng = random.Random(f"query:{seed}")
@@ -160,12 +197,15 @@ def build_query_trial(seed: int) -> QueryTrial:
     )
     limit = rng.randint(0, 5) if rng.random() < 0.3 else None
     indexes = _random_indexes(rng)
+    session, decoys = _random_sessions(rng)
     return QueryTrial(
         documents=documents,
         query=query,
         sort_key=sort_key,
         limit=limit,
         indexes=indexes,
+        session=session,
+        decoys=decoys,
         seed=seed,
     )
 

@@ -226,6 +226,11 @@ def shrink_query_trial(
             "sort_key": trial.sort_key,
             "limit": trial.limit,
             "indexes": list(trial.indexes),
+            "session": trial.session,
+            "decoys": {
+                session: [dict(document) for document in documents]
+                for session, documents in trial.decoys.items()
+            },
             "seed": trial.seed,
             "notes": trial.notes,
         }
@@ -270,6 +275,23 @@ def shrink_query_trial(
                 improved = True
                 break
         if improved:
+            continue
+        for dropped in sorted(trial.decoys):
+            decoys = {
+                session: documents
+                for session, documents in trial.decoys.items()
+                if session != dropped
+            }
+            candidate = variant(decoys=decoys)
+            if still_fails(candidate):
+                trial = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        if trial.session and still_fails(variant(session="")):
+            trial = variant(session="")
+            improved = True
             continue
         for simpler in _query_candidates(trial.query):
             candidate = variant(query=simpler)

@@ -11,11 +11,17 @@ top-level equality and ``$in`` filters through an index and falls back
 to a full scan for everything else; candidates from any route are still
 verified against the full query, so an index can change only *how fast*
 a query answers, never *what* it answers.
+
+Collections are thread-safe: every public read and write holds the
+collection's reentrant lock, so concurrent design sessions can share one
+store.  The lock is per collection — sessions namespacing their state
+into distinct collections never contend with each other.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.errors import (
@@ -246,6 +252,9 @@ class Collection:
 
     def __init__(self, name: str) -> None:
         self.name = name
+        #: Reentrant so compound writes (``delete_many`` -> ``delete``)
+        #: and callers that already hold the lock both work.
+        self._lock = threading.RLock()
         self._documents: Dict[str, dict] = {}
         #: Monotonic insertion position per id, so the ``_id`` fast path
         #: can restore collection order without scanning (replacing an
@@ -272,16 +281,18 @@ class Collection:
         Existing documents are backfilled immediately; subsequent writes
         maintain the index incrementally.
         """
-        if path in self._indexes:
-            return
-        index = _FieldIndex(path)
-        for doc_id, document in self._documents.items():
-            index.add(doc_id, document)
-        self._indexes[path] = index
+        with self._lock:
+            if path in self._indexes:
+                return
+            index = _FieldIndex(path)
+            for doc_id, document in self._documents.items():
+                index.add(doc_id, document)
+            self._indexes[path] = index
 
     def indexes(self) -> List[str]:
         """Declared index paths, in declaration order."""
-        return list(self._indexes)
+        with self._lock:
+            return list(self._indexes)
 
     def _index_add(self, doc_id, document: dict) -> None:
         for index in self._indexes.values():
@@ -298,14 +309,15 @@ class Collection:
         if "_id" not in document:
             raise RepositoryError("document needs an '_id'")
         doc_id = document["_id"]
-        if doc_id in self._documents:
-            raise DuplicateDocumentError(
-                f"document {doc_id!r} already in collection {self.name!r}"
-            )
-        stored = dict(document)
-        self._documents[doc_id] = stored
-        self._track(doc_id)
-        self._index_add(doc_id, stored)
+        with self._lock:
+            if doc_id in self._documents:
+                raise DuplicateDocumentError(
+                    f"document {doc_id!r} already in collection {self.name!r}"
+                )
+            stored = dict(document)
+            self._documents[doc_id] = stored
+            self._track(doc_id)
+            self._index_add(doc_id, stored)
         return doc_id
 
     def replace(self, document: dict) -> str:
@@ -313,49 +325,55 @@ class Collection:
         if "_id" not in document:
             raise RepositoryError("document needs an '_id'")
         doc_id = document["_id"]
-        previous = self._documents.get(doc_id)
-        if previous is not None:
-            self._index_remove(doc_id, previous)
-        stored = dict(document)
-        self._documents[doc_id] = stored
-        self._track(doc_id)
-        self._index_add(doc_id, stored)
+        with self._lock:
+            previous = self._documents.get(doc_id)
+            if previous is not None:
+                self._index_remove(doc_id, previous)
+            stored = dict(document)
+            self._documents[doc_id] = stored
+            self._track(doc_id)
+            self._index_add(doc_id, stored)
         return doc_id
 
     def update(self, doc_id: str, changes: dict) -> dict:
         """Shallow-merge changes into an existing document."""
-        document = self.get(doc_id)
-        self._index_remove(doc_id, self._documents[doc_id])
-        document.update({k: v for k, v in changes.items() if k != "_id"})
-        self._documents[doc_id] = document
-        self._index_add(doc_id, document)
-        return dict(document)
+        with self._lock:
+            document = self.get(doc_id)
+            self._index_remove(doc_id, self._documents[doc_id])
+            document.update({k: v for k, v in changes.items() if k != "_id"})
+            self._documents[doc_id] = document
+            self._index_add(doc_id, document)
+            return dict(document)
 
     def delete(self, doc_id: str) -> None:
-        if doc_id not in self._documents:
-            raise DocumentNotFoundError(self.name, doc_id)
-        self._index_remove(doc_id, self._documents[doc_id])
-        del self._documents[doc_id]
-        del self._positions[doc_id]
+        with self._lock:
+            if doc_id not in self._documents:
+                raise DocumentNotFoundError(self.name, doc_id)
+            self._index_remove(doc_id, self._documents[doc_id])
+            del self._documents[doc_id]
+            del self._positions[doc_id]
 
     def delete_many(self, query: dict) -> int:
         # Materialise the ids first (the generator walks _documents),
         # then delete with full bookkeeping: positions and index entries
         # go too, exactly as in single-document delete.
-        doomed = [document["_id"] for document in self._matching(query)]
-        for doc_id in doomed:
-            self.delete(doc_id)
-        return len(doomed)
+        with self._lock:
+            doomed = [document["_id"] for document in self._matching(query)]
+            for doc_id in doomed:
+                self.delete(doc_id)
+            return len(doomed)
 
     # -- reads ---------------------------------------------------------------
 
     def get(self, doc_id: str) -> dict:
-        if doc_id not in self._documents:
-            raise DocumentNotFoundError(self.name, doc_id)
-        return dict(self._documents[doc_id])
+        with self._lock:
+            if doc_id not in self._documents:
+                raise DocumentNotFoundError(self.name, doc_id)
+            return dict(self._documents[doc_id])
 
     def has(self, doc_id: str) -> bool:
-        return doc_id in self._documents
+        with self._lock:
+            return doc_id in self._documents
 
     def _id_candidates(self, query: dict):
         """Documents narrowed by an ``_id`` condition, or None.
@@ -476,14 +494,15 @@ class Collection:
         limit: Optional[int] = None,
     ) -> List[dict]:
         """All documents matching the filter (copies)."""
-        candidates, may_skip = self._plan(query)
-        stop_early = may_skip and sort_key is None and limit is not None
-        results: List[dict] = []
-        for document in candidates:
-            if stop_early and len(results) >= limit:
-                break
-            if query is None or not query or matches(document, query):
-                results.append(dict(document))
+        with self._lock:
+            candidates, may_skip = self._plan(query)
+            stop_early = may_skip and sort_key is None and limit is not None
+            results: List[dict] = []
+            for document in candidates:
+                if stop_early and len(results) >= limit:
+                    break
+                if query is None or not query or matches(document, query):
+                    results.append(dict(document))
         if sort_key is not None:
             results.sort(key=lambda doc: _find_sort_key(doc, sort_key))
         if limit is not None:
@@ -496,15 +515,18 @@ class Collection:
 
     def count(self, query: Optional[dict] = None) -> int:
         """Matching-document count, without materialising result copies."""
-        if query is None:
-            return len(self._documents)
-        return sum(1 for __ in self._matching(query))
+        with self._lock:
+            if query is None:
+                return len(self._documents)
+            return sum(1 for __ in self._matching(query))
 
     def ids(self) -> List[str]:
-        return list(self._documents)
+        with self._lock:
+            return list(self._documents)
 
     def __len__(self) -> int:
-        return len(self._documents)
+        with self._lock:
+            return len(self._documents)
 
 
 class DocumentStore:
@@ -512,19 +534,24 @@ class DocumentStore:
 
     def __init__(self, name: str = "quarry") -> None:
         self.name = name
+        self._lock = threading.RLock()
         self._collections: Dict[str, Collection] = {}
 
     def collection(self, name: str) -> Collection:
         """Get (creating on first use) a collection."""
-        if name not in self._collections:
-            self._collections[name] = Collection(name)
-        return self._collections[name]
+        with self._lock:
+            if name not in self._collections:
+                self._collections[name] = Collection(name)
+            return self._collections[name]
 
     def collection_names(self) -> List[str]:
-        return list(self._collections)
+        with self._lock:
+            return list(self._collections)
 
     def drop_collection(self, name: str) -> None:
-        self._collections.pop(name, None)
+        with self._lock:
+            self._collections.pop(name, None)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._collections
+        with self._lock:
+            return name in self._collections

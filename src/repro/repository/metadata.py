@@ -8,18 +8,26 @@ unified designs, domain ontologies and source schema mappings.
 Artefacts cross the boundary in their XML formats (xRQ/xMD/xLM) and are
 stored as JSON documents via the generic converter — mirroring the
 MongoDB + XML-JSON-XML parser of §2.6.
+
+A repository is a *view* over a shared document store, scoped by a
+session **namespace**: the default namespace (``""``) uses the plain
+collection names, every other namespace prefixes them
+(``session::<ns>::<collection>``), so many design sessions coexist in
+one store without ever seeing each other's artefacts.  Catalog indexes
+are declared per namespace.  The global ``sessions`` collection (never
+namespaced) registers which sessions live in the store.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.requirements.model import InformationRequirement
 from repro.etlmodel.flow import EtlFlow
 from repro.mdmodel.model import MDSchema
 from repro.ontology import io as ontology_io
 from repro.ontology.model import Ontology
-from repro.repository.documents import DocumentStore
+from repro.repository.documents import Collection, DocumentStore
 from repro.repository import store as file_store
 from repro.xformats import xlm, xmd, xrq
 from repro.xformats.xmljson import json_to_xml, xml_to_json
@@ -29,34 +37,95 @@ PARTIAL_DESIGNS = "partial_designs"
 UNIFIED_DESIGNS = "unified_designs"
 ONTOLOGIES = "ontologies"
 DEPLOYMENTS = "deployments"
+BUS_EVENTS = "bus_events"
+CHECKPOINTS = "checkpoints"
+SESSION_STATE = "session_state"
+#: Global (never namespaced) registry of the sessions in a store.
+SESSIONS = "sessions"
+
+#: The session name that maps to the unprefixed namespace — what every
+#: pre-session store (and the `Quarry` facade) uses.
+DEFAULT_SESSION = "default"
+
+
+def namespaced(collection_name: str, namespace: str) -> str:
+    """The physical collection name for a logical one in a namespace."""
+    if not namespace:
+        return collection_name
+    return f"session::{namespace}::{collection_name}"
+
+
+def namespace_for_session(session: str) -> str:
+    """Map a session name to its store namespace (default -> ``""``)."""
+    return "" if session in ("", DEFAULT_SESSION) else session
 
 
 #: Secondary indexes the catalog declares on its collections.  The
 #: partial-design ``requirement`` index serves the hot lookup of the
 #: lifecycle (cascade-deleting the partial designs of a requirement);
 #: ``kind`` indexes serve catalog-wide audits; ``design`` serves the
-#: deployment history lookup.
+#: deployment history lookup; ``topic`` serves per-topic bus replay.
 CATALOG_INDEXES = {
     REQUIREMENTS: ("kind",),
     PARTIAL_DESIGNS: ("requirement", "kind"),
     UNIFIED_DESIGNS: ("kind",),
     DEPLOYMENTS: ("design", "platform"),
+    BUS_EVENTS: ("topic",),
+    CHECKPOINTS: ("kind",),
 }
 
 
 class MetadataRepository:
-    """Typed facade over the document store."""
+    """Typed facade over one session namespace of a document store."""
 
-    def __init__(self, store: Optional[DocumentStore] = None) -> None:
+    def __init__(
+        self,
+        store: Optional[DocumentStore] = None,
+        namespace: str = "",
+    ) -> None:
         self._store = store if store is not None else DocumentStore()
+        self._namespace = namespace
         for collection_name, paths in CATALOG_INDEXES.items():
-            collection = self._store.collection(collection_name)
+            collection = self._collection(collection_name)
             for path in paths:
                 collection.create_index(path)
 
     @property
     def store(self) -> DocumentStore:
         return self._store
+
+    @property
+    def namespace(self) -> str:
+        return self._namespace
+
+    def _collection(self, name: str) -> Collection:
+        return self._store.collection(namespaced(name, self._namespace))
+
+    # -- session views ----------------------------------------------------------
+
+    def for_session(self, session: str) -> "MetadataRepository":
+        """A repository view scoped to ``session``, over the same store.
+
+        The default session maps to the unprefixed namespace, so
+        ``for_session("default")`` on a default-namespace repository is
+        the repository itself — pre-session code keeps its exact
+        collection layout.
+        """
+        namespace = namespace_for_session(session)
+        if namespace == self._namespace:
+            return self
+        return MetadataRepository(store=self._store, namespace=namespace)
+
+    def register_session(self, session: str) -> str:
+        """Record a session in the store-global session registry."""
+        self._store.collection(SESSIONS).replace(
+            {"_id": session, "kind": "session"}
+        )
+        return session
+
+    def session_names(self) -> List[str]:
+        """Registered sessions, in registration order."""
+        return self._store.collection(SESSIONS).ids()
 
     # -- requirements -----------------------------------------------------------
 
@@ -68,21 +137,21 @@ class MetadataRepository:
             "description": requirement.description,
             "xrq": xml_to_json(xrq.dumps(requirement)),
         }
-        self._store.collection(REQUIREMENTS).replace(document)
+        self._collection(REQUIREMENTS).replace(document)
         return requirement.id
 
     def load_requirement(self, requirement_id: str) -> InformationRequirement:
-        document = self._store.collection(REQUIREMENTS).get(requirement_id)
+        document = self._collection(REQUIREMENTS).get(requirement_id)
         return xrq.loads(json_to_xml(document["xrq"]))
 
     def delete_requirement(self, requirement_id: str) -> None:
-        self._store.collection(REQUIREMENTS).delete(requirement_id)
-        self._store.collection(PARTIAL_DESIGNS).delete_many(
+        self._collection(REQUIREMENTS).delete(requirement_id)
+        self._collection(PARTIAL_DESIGNS).delete_many(
             {"requirement": requirement_id}
         )
 
     def requirement_ids(self) -> List[str]:
-        return self._store.collection(REQUIREMENTS).ids()
+        return self._collection(REQUIREMENTS).ids()
 
     # -- partial designs ---------------------------------------------------------
 
@@ -101,13 +170,13 @@ class MetadataRepository:
             "xmd": xml_to_json(xmd.dumps(md_schema)),
             "xlm": xml_to_json(xlm.dumps(etl_flow)),
         }
-        self._store.collection(PARTIAL_DESIGNS).replace(document)
+        self._collection(PARTIAL_DESIGNS).replace(document)
         return doc_id
 
     def load_partial_design(
         self, requirement_id: str
     ) -> Tuple[MDSchema, EtlFlow]:
-        document = self._store.collection(PARTIAL_DESIGNS).get(
+        document = self._collection(PARTIAL_DESIGNS).get(
             f"partial::{requirement_id}"
         )
         return (
@@ -118,7 +187,7 @@ class MetadataRepository:
     def partial_design_ids(self) -> List[str]:
         return [
             document["requirement"]
-            for document in self._store.collection(PARTIAL_DESIGNS).find()
+            for document in self._collection(PARTIAL_DESIGNS).find()
         ]
 
     # -- unified designs --------------------------------------------------------------
@@ -138,11 +207,11 @@ class MetadataRepository:
             "xmd": xml_to_json(xmd.dumps(md_schema)),
             "xlm": xml_to_json(xlm.dumps(etl_flow)),
         }
-        self._store.collection(UNIFIED_DESIGNS).replace(document)
+        self._collection(UNIFIED_DESIGNS).replace(document)
         return name
 
     def load_unified_design(self, name: str) -> Tuple[MDSchema, EtlFlow, List[str]]:
-        document = self._store.collection(UNIFIED_DESIGNS).get(name)
+        document = self._collection(UNIFIED_DESIGNS).get(name)
         return (
             xmd.loads(json_to_xml(document["xmd"])),
             xlm.loads(json_to_xml(document["xlm"])),
@@ -150,7 +219,61 @@ class MetadataRepository:
         )
 
     def unified_design_names(self) -> List[str]:
-        return self._store.collection(UNIFIED_DESIGNS).ids()
+        return self._collection(UNIFIED_DESIGNS).ids()
+
+    # -- integration checkpoints --------------------------------------------------------
+
+    def save_checkpoint(
+        self, position: int, md_schema: MDSchema, etl_flow: EtlFlow
+    ) -> str:
+        """Store the unified design checkpoint after fold position ``position``."""
+        doc_id = f"ckpt::{position:06d}"
+        self._collection(CHECKPOINTS).replace(
+            {
+                "_id": doc_id,
+                "kind": "checkpoint",
+                "position": position,
+                "xmd": xml_to_json(xmd.dumps(md_schema)),
+                "xlm": xml_to_json(xlm.dumps(etl_flow)),
+            }
+        )
+        return doc_id
+
+    def load_checkpoint(self, position: int) -> Tuple[MDSchema, EtlFlow]:
+        document = self._collection(CHECKPOINTS).get(f"ckpt::{position:06d}")
+        return (
+            xmd.loads(json_to_xml(document["xmd"])),
+            xlm.loads(json_to_xml(document["xlm"])),
+        )
+
+    def truncate_checkpoints(self, start: int) -> int:
+        """Drop every checkpoint at fold position >= ``start``."""
+        return self._collection(CHECKPOINTS).delete_many(
+            {"position": {"$gte": start}}
+        )
+
+    def checkpoint_count(self) -> int:
+        return len(self._collection(CHECKPOINTS))
+
+    # -- session state ------------------------------------------------------------------
+
+    def save_session_state(self, order: List[str]) -> None:
+        """Persist the session's requirement *insertion* order.
+
+        ``save_unified_design`` stores the satisfied requirements sorted
+        (a set, essentially); incremental integration is a fold over the
+        insertion order, so resuming a session needs the true order too.
+        """
+        self._collection(SESSION_STATE).replace(
+            {"_id": "state", "kind": "session_state", "order": list(order)}
+        )
+
+    def load_session_state(self) -> Optional[Dict]:
+        """The persisted session state, or ``None`` for legacy stores."""
+        collection = self._collection(SESSION_STATE)
+        if not collection.has("state"):
+            return None
+        return collection.get("state")
 
     # -- ontologies and mappings --------------------------------------------------------
 
@@ -160,15 +283,15 @@ class MetadataRepository:
             "kind": "ontology",
             "text": ontology_io.dumps(ontology),
         }
-        self._store.collection(ONTOLOGIES).replace(document)
+        self._collection(ONTOLOGIES).replace(document)
         return ontology.name
 
     def load_ontology(self, name: str) -> Ontology:
-        document = self._store.collection(ONTOLOGIES).get(name)
+        document = self._collection(ONTOLOGIES).get(name)
         return ontology_io.loads(document["text"])
 
     def ontology_names(self) -> List[str]:
-        return self._store.collection(ONTOLOGIES).ids()
+        return self._collection(ONTOLOGIES).ids()
 
     # -- deployment records -------------------------------------------------------------
 
@@ -177,7 +300,7 @@ class MetadataRepository:
     ) -> str:
         """Record what was generated/deployed for a design on a platform."""
         doc_id = f"{design_name}::{platform}"
-        self._store.collection(DEPLOYMENTS).replace(
+        self._collection(DEPLOYMENTS).replace(
             {
                 "_id": doc_id,
                 "kind": "deployment",
@@ -189,14 +312,43 @@ class MetadataRepository:
         return doc_id
 
     def deployments_of(self, design_name: str) -> List[dict]:
-        return self._store.collection(DEPLOYMENTS).find(
+        return self._collection(DEPLOYMENTS).find(
             {"design": design_name}
         )
+
+    # -- bus event log ------------------------------------------------------------------
+
+    def append_bus_event(self, event: dict) -> str:
+        """Append one artifact-bus event (already envelope-shaped)."""
+        document = dict(event)
+        document["_id"] = f"evt::{event['position']:08d}"
+        document["kind"] = "bus_event"
+        self._collection(BUS_EVENTS).insert(document)
+        return document["_id"]
+
+    def bus_events(self, topic: Optional[str] = None) -> List[dict]:
+        """Logged events (bus-wide order), optionally for one topic."""
+        collection = self._collection(BUS_EVENTS)
+        events = (
+            collection.find() if topic is None
+            else collection.find({"topic": topic})
+        )
+        events.sort(key=lambda event: event["position"])
+        return events
+
+    def delete_bus_events_after(self, position: int) -> int:
+        """Drop every event logged after bus position ``position``."""
+        return self._collection(BUS_EVENTS).delete_many(
+            {"position": {"$gt": position}}
+        )
+
+    def bus_event_count(self) -> int:
+        return len(self._collection(BUS_EVENTS))
 
     # -- persistence -------------------------------------------------------------------
 
     def save_to(self, path) -> None:
-        """Persist the whole repository to a JSON file."""
+        """Persist the whole underlying store (every session) to a file."""
         file_store.save(self._store, path)
 
     @classmethod

@@ -19,7 +19,7 @@ from typing import Callable, Dict, List, Tuple
 
 from repro.errors import FormatError
 
-ARTIFACTS = ("requirement", "md_schema", "etl_flow")
+ARTIFACTS = ("requirement", "md_schema", "etl_flow", "envelope")
 DIRECTIONS = ("export", "import")
 
 
@@ -123,4 +123,16 @@ class FormatRegistry:
         self.register(
             "etl_flow", "xlm", "import", xlm.loads,
             description="xLM XML [12]",
+        )
+        # The artifact-bus envelope: the JSON document every service
+        # exchange is logged as (and replayed from).
+        from repro.core.services import envelope as envelope_codec
+
+        self.register(
+            "envelope", "json", "export", envelope_codec.dumps,
+            description="artifact-bus envelope as canonical JSON",
+        )
+        self.register(
+            "envelope", "json", "import", envelope_codec.loads,
+            description="artifact-bus envelope as canonical JSON",
         )

@@ -21,7 +21,7 @@ class TestQuarrySurface:
     def test_deployer_platform_listing(self):
         quarry = Quarry(tpch.ontology(), tpch.schema(), tpch.mappings())
         assert set(quarry.deployer.platforms()) == {
-            "postgres", "sqlite", "pdi", "sql", "native",
+            "postgres", "sqlite", "pdi", "sql", "pig", "native",
         }
 
 

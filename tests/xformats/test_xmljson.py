@@ -66,6 +66,7 @@ class TestRegistry:
         assert registry.notations("requirement", "export") == ["xrq"]
         assert registry.notations("md_schema", "import") == ["xmd"]
         assert registry.notations("etl_flow", "export") == ["xlm"]
+        assert registry.notations("envelope", "export") == ["json"]
 
     def test_export_import_through_registry(self):
         from tests.core.conftest import build_revenue_requirement
@@ -117,4 +118,17 @@ class TestRegistry:
 
     def test_entries_enumeration(self):
         registry = FormatRegistry()
-        assert len(registry.entries()) == 6
+        # xRQ/xMD/xLM import+export, plus the bus envelope's JSON codec.
+        assert len(registry.entries()) == 8
+
+    def test_envelope_roundtrip_through_registry(self):
+        from repro.core.services import ArtifactEnvelope
+
+        registry = FormatRegistry()
+        envelope = ArtifactEnvelope(
+            topic="partials", kind="partial.created", session="default",
+            sequence=3, position=7, producer="interpretation",
+            payload={"requirement": "IR1"},
+        )
+        text = registry.export("envelope", "json", envelope)
+        assert registry.import_("envelope", "json", text) == envelope
