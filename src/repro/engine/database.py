@@ -72,6 +72,9 @@ class _Table:
         self._pk_index: set = set()
         #: Cached columnar view of the relation; dropped on any write.
         self._columnar: Optional[ColumnarRelation] = None
+        #: Bumped on every write; statistics caches key on it, so stale
+        #: table stats are detected without comparing contents.
+        self.generation: int = 0
 
     def primary_key_of(self, row: dict) -> Optional[tuple]:
         if not self.definition.primary_key:
@@ -155,6 +158,7 @@ class Database:
                 )
         table.relation.rows.append(row)
         table._columnar = None
+        table.generation += 1
         if key is not None:
             table._pk_index.add(key)
 
@@ -219,6 +223,7 @@ class Database:
         else:
             table.relation.rows.extend({} for _ in range(length))
         table._columnar = None
+        table.generation += 1
         return length
 
     def truncate(self, table_name: str) -> None:
@@ -226,6 +231,7 @@ class Database:
         table.relation.rows.clear()
         table._pk_index.clear()
         table._columnar = None
+        table.generation += 1
 
     # -- queries ------------------------------------------------------------------
 
@@ -248,6 +254,10 @@ class Database:
 
     def row_count(self, table_name: str) -> int:
         return len(self._lookup(table_name).relation)
+
+    def table_generation(self, table_name: str) -> int:
+        """The table's write generation (see :class:`_Table`)."""
+        return self._lookup(table_name).generation
 
     def row_counts(self) -> Dict[str, int]:
         return {name: len(table.relation) for name, table in self._tables.items()}

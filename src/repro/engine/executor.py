@@ -17,6 +17,11 @@ Two execution modes share one dispatch skeleton:
 * ``"legacy"`` — the original row-at-a-time interpreter over dict rows,
   kept as the semantic reference: ``benchmarks/run_engine`` gates the
   columnar path on bit-identical results against this mode.
+* ``"planned"`` — the columnar core behind the statistics-driven
+  cost-based rewrite pipeline of :mod:`repro.planner`: the flow is
+  rewritten (selection/projection pushdown, join reordering, build-side
+  choice) before execution and per-node cardinality estimates are
+  attached to the stats for q-error reporting.
 
 Structural bookkeeping is shared and cheap: the topological order is
 computed once per ``execute()`` and intermediate results are released by
@@ -69,6 +74,8 @@ class NodeStats:
     input_rows: int
     output_rows: int
     seconds: float
+    #: The planner's cardinality estimate (``planned`` mode only).
+    estimated_rows: Optional[float] = None
 
     @property
     def rows_per_second(self) -> float:
@@ -77,6 +84,17 @@ class NodeStats:
         if self.seconds <= 0.0:
             return 0.0
         return rows / self.seconds
+
+    @property
+    def q_error(self) -> Optional[float]:
+        """The q-error of the planner's estimate: ``max(est/act, act/est)``
+        with both sides floored at one row, so 1.0 is a perfect estimate.
+        ``None`` outside ``planned`` mode."""
+        if self.estimated_rows is None:
+            return None
+        estimated = max(self.estimated_rows, 1.0)
+        actual = max(float(self.output_rows), 1.0)
+        return max(estimated / actual, actual / estimated)
 
 
 @dataclass
@@ -139,23 +157,72 @@ _LEGACY_DISPATCH = {
 }
 
 
+def fusion_plan(
+    flow: EtlFlow,
+    order: List[str],
+    inputs_of: Dict[str, List[str]],
+) -> Tuple[Dict[str, List[str]], frozenset]:
+    """Find maximal fusable unary chains.
+
+    A chain is a run of Selection/Projection/Extraction/
+    DerivedAttribute/Rename nodes where each link is the sole
+    consumer of its predecessor.  Returns ``{head: [chain...]}``
+    plus the set of non-head members to skip in the main loop.
+
+    Module-level so the planner can anticipate which chains the engine
+    will fuse (its fusion veto keys on the chain heads found here).
+    """
+    chains: Dict[str, List[str]] = {}
+    absorbed: set = set()
+    for name in order:
+        if name in absorbed or name in chains:
+            continue
+        if flow.node(name).kind not in _FUSABLE_KINDS:
+            continue
+        chain = [name]
+        current = name
+        while True:
+            successors = flow.outputs(current)
+            if len(successors) != 1:
+                break
+            successor = successors[0]
+            if flow.node(successor).kind not in _FUSABLE_KINDS:
+                break
+            if inputs_of[successor] != [current]:
+                break
+            chain.append(successor)
+            current = successor
+        if len(chain) >= 2:
+            chains[name] = chain
+            absorbed.update(chain[1:])
+    return chains, frozenset(absorbed)
+
+
 class Executor:
     """Executes ETL flows against a database.
 
     ``mode`` selects the execution core: ``"columnar"`` (default, the
-    compiled-columnar engine) or ``"legacy"`` (the row-at-a-time
-    reference interpreter).  Both produce identical results.
+    compiled-columnar engine), ``"planned"`` (the columnar engine behind
+    the cost-based rewrite pipeline of :mod:`repro.planner`) or
+    ``"legacy"`` (the row-at-a-time reference interpreter).  All three
+    produce identical results.
     """
 
     def __init__(self, database: Database, mode: str = "columnar") -> None:
-        if mode not in ("columnar", "legacy"):
+        if mode not in ("columnar", "legacy", "planned"):
             raise ValueError(f"unknown executor mode {mode!r}")
         self._database = database
         self.mode = mode
-        table = _COLUMNAR_DISPATCH if mode == "columnar" else _LEGACY_DISPATCH
+        table = _LEGACY_DISPATCH if mode == "legacy" else _COLUMNAR_DISPATCH
         self._dispatch: Dict[str, Callable] = {
             kind: getattr(self, attr) for kind, attr in table.items()
         }
+        #: The last plan produced in ``planned`` mode (for explain/tests).
+        self.last_plan = None
+        #: Statistics catalog shared across executions: its generation
+        #: counters invalidate per-table, so repeated runs against the
+        #: same sources reuse their histograms instead of rescanning.
+        self._stats_catalog = None
 
     def execute(
         self, flow: EtlFlow, keep_intermediate: bool = False
@@ -166,6 +233,18 @@ class Executor:
         naming the failing node.
         """
         flow.check()
+        plan = None
+        if self.mode == "planned":
+            # Imported lazily: the planner imports this module for the
+            # fusion-chain shape, so a top-level import would cycle.
+            from repro.engine.stats import StatisticsCatalog
+            from repro.planner import plan_flow
+
+            if self._stats_catalog is None:
+                self._stats_catalog = StatisticsCatalog(self._database)
+            plan = plan_flow(flow, self._stats_catalog)
+            flow = plan.flow
+        self.last_plan = plan
         stats = ExecutionStats(flow=flow.name)
         relations: Dict[str, object] = {}
         order = flow.topological_order()
@@ -175,8 +254,19 @@ class Executor:
         consumers_left = {name: len(flow.outputs(name)) for name in order}
         chains: Dict[str, List[str]] = {}
         members: frozenset = frozenset()
-        if self.mode == "columnar" and not keep_intermediate:
-            chains, members = self._fusion_plan(flow, order, inputs_of)
+        if self.mode != "legacy" and not keep_intermediate:
+            chains, members = fusion_plan(flow, order, inputs_of)
+            if plan is not None and plan.no_fuse:
+                chains = {
+                    head: chain
+                    for head, chain in chains.items()
+                    if head not in plan.no_fuse
+                }
+                members = frozenset(
+                    member
+                    for chain in chains.values()
+                    for member in chain[1:]
+                )
         started = time.perf_counter()
         for name in order:
             if name in members:
@@ -218,6 +308,11 @@ class Executor:
                 if consumers_left.get(stored, 0) == 0:
                     relations.pop(stored, None)
         stats.seconds = time.perf_counter() - started
+        if plan is not None:
+            for node_stats in stats.nodes:
+                node_stats.estimated_rows = plan.estimates.get(
+                    node_stats.name
+                )
         if keep_intermediate:
             self.relations = relations
         return stats
@@ -240,37 +335,7 @@ class Executor:
         order: List[str],
         inputs_of: Dict[str, List[str]],
     ) -> Tuple[Dict[str, List[str]], frozenset]:
-        """Find maximal fusable unary chains.
-
-        A chain is a run of Selection/Projection/Extraction/
-        DerivedAttribute/Rename nodes where each link is the sole
-        consumer of its predecessor.  Returns ``{head: [chain...]}``
-        plus the set of non-head members to skip in the main loop.
-        """
-        chains: Dict[str, List[str]] = {}
-        absorbed: set = set()
-        for name in order:
-            if name in absorbed or name in chains:
-                continue
-            if flow.node(name).kind not in _FUSABLE_KINDS:
-                continue
-            chain = [name]
-            current = name
-            while True:
-                successors = flow.outputs(current)
-                if len(successors) != 1:
-                    break
-                successor = successors[0]
-                if flow.node(successor).kind not in _FUSABLE_KINDS:
-                    break
-                if inputs_of[successor] != [current]:
-                    break
-                chain.append(successor)
-                current = successor
-            if len(chain) >= 2:
-                chains[name] = chain
-                absorbed.update(chain[1:])
-        return chains, frozenset(absorbed)
+        return fusion_plan(flow, order, inputs_of)
 
     def _execute_chain(
         self,

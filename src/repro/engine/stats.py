@@ -1,0 +1,220 @@
+"""Table and column statistics for cost-based planning.
+
+Collects, per table, what a classical optimizer keeps in its catalog:
+row count, and per column the distinct count, null fraction, min/max
+and a small equi-width histogram (numeric and date columns — dates are
+bucketed via their ordinal).  The planner's cardinality estimator
+(:mod:`repro.planner.estimator`) turns these into selectivities.
+
+Collection is a single pass over the columnar view of each table and is
+cached per table, keyed on the database's write-generation counter
+(:meth:`repro.engine.database.Database.table_generation`) — the same
+invalidation pattern as the ontology view caches: a write bumps the
+counter, the next ``table_stats`` call recollects, unchanged tables pay
+nothing.  Databases without generation counters (the fuzzer's
+``LooseDatabase``) are still supported; their stats are simply
+recollected on every request.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.expressions.types import ScalarType
+
+#: Bucket count of the equi-width histograms; small on purpose — the
+#: estimator only needs coarse shape, and collection stays O(rows).
+HISTOGRAM_BUCKETS = 16
+
+#: Types whose values map onto a numeric line (histogram-able).
+_ORDERED_TYPES = (ScalarType.INTEGER, ScalarType.DECIMAL, ScalarType.DATE)
+
+
+def _to_number(value) -> Optional[float]:
+    """A value's position on the number line, or ``None``."""
+    if value is None or isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return None
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-width bucket counts over ``[low, high]`` (numeric line)."""
+
+    low: float
+    high: float
+    counts: Tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def fraction_below(self, value: float, inclusive: bool) -> float:
+        """Estimated fraction of values ``<`` (or ``<=``) ``value``.
+
+        Linear interpolation within the bucket the value falls into —
+        the standard equi-width estimate.
+        """
+        if self.total == 0:
+            return 0.0
+        if value < self.low:
+            return 0.0
+        if value > self.high:
+            return 1.0
+        if self.high == self.low:
+            return 1.0 if (inclusive and value >= self.low) else 0.0
+        width = (self.high - self.low) / len(self.counts)
+        position = (value - self.low) / width
+        bucket = min(int(position), len(self.counts) - 1)
+        within = position - bucket
+        covered = sum(self.counts[:bucket]) + self.counts[bucket] * within
+        return min(1.0, covered / self.total)
+
+    def fraction_between(self, low: float, high: float) -> float:
+        """Estimated fraction of values in ``[low, high]``."""
+        if high < low:
+            return 0.0
+        return max(
+            0.0,
+            self.fraction_below(high, inclusive=True)
+            - self.fraction_below(low, inclusive=False),
+        )
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics of one column."""
+
+    name: str
+    scalar_type: ScalarType
+    distinct: int
+    null_fraction: float
+    minimum: Optional[float] = None  # number-line position (see _to_number)
+    maximum: Optional[float] = None
+    histogram: Optional[Histogram] = None
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics of one table: row count plus per-column stats."""
+
+    table: str
+    rows: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+
+def collect_column_stats(
+    name: str,
+    scalar_type: ScalarType,
+    values: List[object],
+    buckets: int = HISTOGRAM_BUCKETS,
+) -> ColumnStats:
+    """One-pass statistics over a column array."""
+    total = len(values)
+    non_null = [value for value in values if value is not None]
+    try:
+        distinct = len(set(non_null))
+    except TypeError:  # unhashable adversarial values (fuzzing)
+        distinct = len(non_null)
+    null_fraction = 1.0 - len(non_null) / total if total else 0.0
+    minimum = maximum = None
+    histogram = None
+    if scalar_type in _ORDERED_TYPES and non_null:
+        numbers = [_to_number(value) for value in non_null]
+        numbers = [number for number in numbers if number is not None]
+        if numbers:
+            minimum, maximum = min(numbers), max(numbers)
+            counts = [0] * buckets
+            if maximum > minimum:
+                scale = buckets / (maximum - minimum)
+                for number in numbers:
+                    bucket = int((number - minimum) * scale)
+                    counts[min(bucket, buckets - 1)] += 1
+            else:
+                counts[0] = len(numbers)
+            histogram = Histogram(
+                low=minimum, high=maximum, counts=tuple(counts)
+            )
+    return ColumnStats(
+        name=name,
+        scalar_type=scalar_type,
+        distinct=distinct,
+        null_fraction=null_fraction,
+        minimum=minimum,
+        maximum=maximum,
+        histogram=histogram,
+    )
+
+
+def collect_table_stats(
+    table: str,
+    schema: Dict[str, ScalarType],
+    columns: Dict[str, list],
+    length: int,
+    buckets: int = HISTOGRAM_BUCKETS,
+) -> TableStats:
+    return TableStats(
+        table=table,
+        rows=length,
+        columns={
+            name: collect_column_stats(
+                name, scalar_type, columns.get(name, []), buckets
+            )
+            for name, scalar_type in schema.items()
+        },
+    )
+
+
+class StatisticsCatalog:
+    """Generation-cached per-table statistics over a database.
+
+    Works against :class:`repro.engine.database.Database` (cached via
+    the table generation counter) and any duck-typed stand-in offering
+    ``scan_columns`` (no counter — stats recollected per request).
+    """
+
+    def __init__(self, database, buckets: int = HISTOGRAM_BUCKETS) -> None:
+        self._database = database
+        self._buckets = buckets
+        self._cache: Dict[str, Tuple[int, TableStats]] = {}
+
+    def table_stats(self, table: str) -> TableStats:
+        """Statistics for a table; raises ``UnknownTableError`` like the
+        underlying database when the table does not exist."""
+        generation = self._generation(table)
+        if generation is not None:
+            cached = self._cache.get(table)
+            if cached is not None and cached[0] == generation:
+                return cached[1]
+        relation = self._database.scan_columns(table)
+        stats = collect_table_stats(
+            table,
+            dict(relation.schema),
+            relation.columns,
+            relation.length,
+            self._buckets,
+        )
+        if generation is not None:
+            self._cache[table] = (generation, stats)
+        return stats
+
+    def has_table(self, table: str) -> bool:
+        has = getattr(self._database, "has_table", None)
+        if has is None:
+            return True
+        return has(table)
+
+    def _generation(self, table: str) -> Optional[int]:
+        table_generation = getattr(self._database, "table_generation", None)
+        if table_generation is None:
+            return None
+        return table_generation(table)

@@ -4,12 +4,14 @@ Every shrunk failure the fuzzer finds can be serialised to a small JSON
 document and committed under ``tests/fuzz/corpus/``; the tier-1 smoke
 test replays every entry on each run, so a fixed bug stays fixed.
 
-Three entry kinds:
+Four entry kinds:
 
 * ``"flow"`` — source tables (schema + rows) and the flow as xLM text;
   replay runs the full differential flow check.
 * ``"lint"`` — same payload as ``"flow"``; replay runs the
   static/dynamic agreement check (linter versus engine) instead.
+* ``"planned"`` — same payload as ``"flow"``; replay runs the
+  planner-equivalence check (planned versus unplanned execution).
 * ``"query"`` — documents, query, sort key and limit; replay runs the
   document-store check against the naive reference.
 
@@ -29,6 +31,7 @@ from repro.fuzz.datagen import TableSpec
 from repro.fuzz.flowgen import FlowTrial
 from repro.fuzz.lintoracle import LintTrial, check_lint_trial
 from repro.fuzz.oracle import check_flow_trial, check_query_trial
+from repro.fuzz.planoracle import PlanTrial, check_plan_trial
 from repro.fuzz.querygen import QueryTrial
 from repro.xformats import xlm
 
@@ -105,9 +108,18 @@ def lint_entry(trial, description: str = "") -> dict:
     return entry
 
 
+def plan_entry(trial, description: str = "") -> dict:
+    entry = flow_entry(trial, description)
+    entry["kind"] = "planned"
+    return entry
+
+
 def encode_trial(trial, description: str = "") -> dict:
-    if isinstance(trial, LintTrial):  # before FlowTrial: it's a subclass
+    # Subclasses of FlowTrial must be tested before the base class.
+    if isinstance(trial, LintTrial):
         return lint_entry(trial, description)
+    if isinstance(trial, PlanTrial):
+        return plan_entry(trial, description)
     if isinstance(trial, FlowTrial):
         return flow_entry(trial, description)
     return query_entry(trial, description)
@@ -129,8 +141,10 @@ def _decode_tables(entry: dict) -> List[TableSpec]:
 
 def decode_entry(entry: dict):
     """An entry dict back into the trial object it froze."""
-    if entry["kind"] in ("flow", "lint"):
-        trial_class = LintTrial if entry["kind"] == "lint" else FlowTrial
+    if entry["kind"] in ("flow", "lint", "planned"):
+        trial_class = {"lint": LintTrial, "planned": PlanTrial}.get(
+            entry["kind"], FlowTrial
+        )
         return trial_class(
             tables=_decode_tables(entry),
             flow=xlm.loads(entry["xlm"]),
@@ -160,6 +174,8 @@ def replay(entry: dict) -> Optional[str]:
     trial = decode_entry(entry)
     if isinstance(trial, LintTrial):
         return check_lint_trial(trial)
+    if isinstance(trial, PlanTrial):
+        return check_plan_trial(trial)
     if isinstance(trial, FlowTrial):
         return check_flow_trial(trial)
     return check_query_trial(trial)

@@ -63,8 +63,18 @@ def _value(
     schema: Dict[str, ScalarType],
     scalar_type: ScalarType,
     depth: int,
+    allow_division: bool = True,
 ) -> str:
-    """A value expression of (roughly) the given type."""
+    """A value expression of (roughly) the given type.
+
+    ``allow_division=False`` restricts arithmetic to total operators
+    (no ``/`` or ``%``), for trial kinds whose oracle requires every
+    expression to be evaluation-safe regardless of the data it sees
+    (the planner moves expressions across the flow, so a data-dependent
+    ``ZeroDivisionError`` would fire at a different point).  The default
+    keeps the historical operator pool, so existing seeds reproduce
+    byte-identical trials.
+    """
     columns = _columns_of(schema, (scalar_type,))
     if scalar_type is ScalarType.DECIMAL:
         # Integers are acceptable decimals — widen the column pool.
@@ -80,9 +90,10 @@ def _value(
     if kind == "column":
         return rng.choice(columns)
     if kind == "arith":
-        operator = rng.choice(["+", "-", "*", "/", "%"])
-        left = _value(rng, schema, scalar_type, depth - 1)
-        right = _value(rng, schema, scalar_type, depth - 1)
+        operators = ["+", "-", "*", "/", "%"] if allow_division else ["+", "-", "*"]
+        operator = rng.choice(operators)
+        left = _value(rng, schema, scalar_type, depth - 1, allow_division)
+        right = _value(rng, schema, scalar_type, depth - 1, allow_division)
         return f"({left} {operator} {right})"
     if kind == "function":
         candidates = [
@@ -93,7 +104,7 @@ def _value(
         ]
         if candidates:
             name, argument_type = rng.choice(candidates)
-            argument = _value(rng, schema, argument_type, 0)
+            argument = _value(rng, schema, argument_type, 0, allow_division)
             return f"{name}({argument})"
     return _literal(rng, scalar_type)
 
@@ -106,12 +117,16 @@ def _result_of(function: str) -> ScalarType:
     return ScalarType.INTEGER
 
 
-def _comparison(rng: random.Random, schema: Dict[str, ScalarType]) -> str:
+def _comparison(
+    rng: random.Random,
+    schema: Dict[str, ScalarType],
+    allow_division: bool = True,
+) -> str:
     scalar_type = rng.choice(list(_LITERALS))
-    left = _value(rng, schema, scalar_type, 1)
+    left = _value(rng, schema, scalar_type, 1, allow_division)
     if rng.random() < 0.08:
         return f"{left} {rng.choice(['=', '!='])} null"
-    right = _value(rng, schema, scalar_type, 1)
+    right = _value(rng, schema, scalar_type, 1, allow_division)
     return f"{left} {rng.choice(_COMPARATORS)} {right}"
 
 
@@ -131,22 +146,25 @@ def _membership(rng: random.Random, schema: Dict[str, ScalarType]) -> str:
 
 
 def _boolean(
-    rng: random.Random, schema: Dict[str, ScalarType], depth: int
+    rng: random.Random,
+    schema: Dict[str, ScalarType],
+    depth: int,
+    allow_division: bool = True,
 ) -> str:
     roll = rng.random()
     if depth > 0 and roll < 0.25:
         connector = rng.choice(["and", "or"])
-        left = _boolean(rng, schema, depth - 1)
-        right = _boolean(rng, schema, depth - 1)
+        left = _boolean(rng, schema, depth - 1, allow_division)
+        right = _boolean(rng, schema, depth - 1, allow_division)
         return f"({left} {connector} {right})"
     if depth > 0 and roll < 0.32:
-        return f"not ({_boolean(rng, schema, depth - 1)})"
+        return f"not ({_boolean(rng, schema, depth - 1, allow_division)})"
     if roll < 0.45:
         return _membership(rng, schema)
     boolean_columns = _columns_of(schema, (ScalarType.BOOLEAN,))
     if boolean_columns and roll < 0.55:
         return rng.choice(boolean_columns)
-    return _comparison(rng, schema)
+    return _comparison(rng, schema, allow_division)
 
 
 def _validated(
@@ -159,10 +177,14 @@ def _validated(
         return None
 
 
-def random_predicate(rng: random.Random, schema: Dict[str, ScalarType]) -> str:
+def random_predicate(
+    rng: random.Random,
+    schema: Dict[str, ScalarType],
+    allow_division: bool = True,
+) -> str:
     """A boolean predicate that type-checks under ``schema``."""
     for _ in range(10):
-        candidate = _boolean(rng, schema, depth=2)
+        candidate = _boolean(rng, schema, depth=2, allow_division=allow_division)
         result = _validated(candidate, schema)
         if result is None or result is not ScalarType.BOOLEAN:
             continue
@@ -171,7 +193,9 @@ def random_predicate(rng: random.Random, schema: Dict[str, ScalarType]) -> str:
 
 
 def random_derivation(
-    rng: random.Random, schema: Dict[str, ScalarType]
+    rng: random.Random,
+    schema: Dict[str, ScalarType],
+    allow_division: bool = True,
 ) -> Tuple[str, ScalarType]:
     """An expression plus its inferred type (for a DerivedAttribute).
 
@@ -182,9 +206,9 @@ def random_derivation(
     for _ in range(10):
         scalar_type = rng.choice(list(_LITERALS))
         if rng.random() < 0.3:
-            candidate = _boolean(rng, schema, depth=1)
+            candidate = _boolean(rng, schema, depth=1, allow_division=allow_division)
         else:
-            candidate = _value(rng, schema, scalar_type, depth=2)
+            candidate = _value(rng, schema, scalar_type, 2, allow_division)
         result = _validated(candidate, schema)
         if result is not None:
             return candidate, result

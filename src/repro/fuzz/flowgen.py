@@ -67,9 +67,15 @@ Entry = Tuple[str, Dict[str, ScalarType]]
 
 
 class _Builder:
-    def __init__(self, rng: random.Random, flow: EtlFlow) -> None:
+    def __init__(
+        self,
+        rng: random.Random,
+        flow: EtlFlow,
+        allow_division: bool = True,
+    ) -> None:
         self.rng = rng
         self.flow = flow
+        self.allow_division = allow_division
         self._counter = 0
         self._column_counter = 0
 
@@ -87,7 +93,9 @@ class _Builder:
 def _selection(builder: _Builder, entry: Entry) -> Entry:
     name, schema = entry
     node = builder.fresh("sel")
-    predicate = exprgen.random_predicate(builder.rng, schema)
+    predicate = exprgen.random_predicate(
+        builder.rng, schema, allow_division=builder.allow_division
+    )
     builder.flow.add(Selection(node, predicate=predicate))
     builder.flow.connect(name, node)
     return node, dict(schema)
@@ -108,7 +116,9 @@ def _projection(builder: _Builder, entry: Entry) -> Entry:
 def _derive(builder: _Builder, entry: Entry) -> Entry:
     name, schema = entry
     node = builder.fresh("der")
-    expression, result_type = exprgen.random_derivation(builder.rng, schema)
+    expression, result_type = exprgen.random_derivation(
+        builder.rng, schema, allow_division=builder.allow_division
+    )
     if schema and builder.rng.random() < 0.15:
         output = builder.rng.choice(list(schema))  # overwrite in place
     else:
@@ -318,10 +328,19 @@ def _weighted_choice(rng: random.Random, weighted):
     return weighted[-1][0]
 
 
-def build_flow(rng: random.Random, tables: List[TableSpec]) -> EtlFlow:
-    """A random structurally-valid flow over the given source tables."""
+def build_flow(
+    rng: random.Random,
+    tables: List[TableSpec],
+    allow_division: bool = True,
+) -> EtlFlow:
+    """A random structurally-valid flow over the given source tables.
+
+    ``allow_division=False`` keeps every generated expression total (no
+    ``/`` or ``%``), for oracles that rewrite flows and therefore cannot
+    tolerate expressions whose errors depend on *where* they run.
+    """
     flow = EtlFlow("fuzz")
-    builder = _Builder(rng, flow)
+    builder = _Builder(rng, flow, allow_division=allow_division)
     sources = list(tables)
     if rng.random() < 0.3:
         sources.append(rng.choice(tables))  # scan one table twice

@@ -1,0 +1,137 @@
+"""The planner-equivalence oracle: planned versus unplanned execution.
+
+Every rewrite the cost-based planner performs (selection/projection
+pushdown, join reordering, build-side flips, fusion vetoes) must be
+invisible in the results.  For each seed a random flow runs in
+``columnar`` mode (unplanned) and in ``planned`` mode, and the two
+outcomes must agree:
+
+* **Row multisets per target.**  Reordering joins legitimately changes
+  row *order*, so unlike the mode-parity oracle this one compares
+  per-target multisets, not sequences.  Floats are quantised to nine
+  significant digits first: SUM/AVERAGE accumulate in a different
+  order after a reorder, and bit-identical float sums are not part of
+  the planner's contract — nine digits is far tighter than any real
+  divergence and far looser than accumulation-order noise.  The
+  quantised tag keeps ``int``/``float``/``bool`` distinguishable.
+* **Errors exactly.**  A failing flow must fail identically
+  (``TypeName: message``) in both modes — the planner bails to the
+  identity plan rather than rewrite a flow it cannot prove safe, so
+  deliberate error flows (join collisions, union incompatibilities)
+  still reproduce their exact error.
+
+Trials are generated *division-free* (``allow_division=False``) and
+without unhashable injection: those failures are data-position-
+dependent, which no value-preserving rewrite can promise to preserve —
+the planner refuses to move non-total expressions, so fuzzing them here
+would only test the bail-out path, which the plain flow kind already
+covers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Optional, Tuple
+
+from repro.engine.executor import Executor
+from repro.fuzz.datagen import LooseDatabase, make_tables
+from repro.fuzz.flowgen import FlowTrial, build_flow
+
+Outcome = Tuple[str, object]
+
+
+class PlanTrial(FlowTrial):
+    """A flow trial checked for planned/unplanned equivalence."""
+
+
+def _quantize(value):
+    """A comparison key that absorbs accumulation-order float noise.
+
+    Floats are tagged and rounded to nine significant digits; every
+    other type (including bool, which is not an int here) compares by
+    ``repr``, so type confusions stay visible.
+    """
+    if isinstance(value, float) and not isinstance(value, bool):
+        return ("float", format(value, ".9g"))
+    return (type(value).__name__, repr(value))
+
+
+def quantized_multiset(rows) -> Counter:
+    """An order-insensitive, float-tolerant fingerprint of a table."""
+    return Counter(
+        tuple(sorted((name, _quantize(value)) for name, value in row.items()))
+        for row in rows
+    )
+
+
+def execute_plan_trial(mode: str, trial: FlowTrial) -> Outcome:
+    """Run the trial on a fresh database; quantised-multiset outcome."""
+    database = LooseDatabase.from_specs(trial.tables)
+    executor = Executor(database, mode=mode)
+    try:
+        executor.execute(trial.flow)
+    except Exception as exc:  # error parity is part of the contract
+        return ("error", f"{type(exc).__name__}: {exc}")
+    targets = sorted(
+        {node.table for node in trial.flow.nodes() if node.kind == "Loader"}
+    )
+    return (
+        "ok",
+        {
+            target: quantized_multiset(database.scan(target).rows)
+            for target in targets
+        },
+    )
+
+
+def check_plan_trial(trial: FlowTrial) -> Optional[str]:
+    """``None`` when planned and unplanned agree, else a description.
+
+    The category (text before the first colon) is ``plan-divergence``
+    so the shrinker preserves the failure class while minimising.
+    """
+    unplanned = execute_plan_trial("columnar", trial)
+    planned = execute_plan_trial("planned", trial)
+    if unplanned == planned:
+        return None
+    unplanned_kind, unplanned_value = unplanned
+    planned_kind, planned_value = planned
+    if unplanned_kind != planned_kind or unplanned_kind == "error":
+        return (
+            f"plan-divergence: columnar -> {unplanned_kind} "
+            f"({unplanned_value!r}), planned -> {planned_kind} "
+            f"({planned_value!r})"
+        )
+    for target in sorted(unplanned_value):
+        before = unplanned_value[target]
+        after = planned_value.get(target, Counter())
+        if before != after:
+            missing = before - after
+            extra = after - before
+            return (
+                f"plan-divergence: table {target!r}: "
+                f"{sum(missing.values())} row(s) lost "
+                f"{list(missing)[:2]!r}, {sum(extra.values())} row(s) "
+                f"gained {list(extra)[:2]!r}"
+            )
+    return "plan-divergence: outcomes differ"
+
+
+def build_plan_trial(seed: int) -> PlanTrial:
+    """The deterministic planner trial for a seed.
+
+    Same recipe as :func:`repro.fuzz.flowgen.build_flow_trial` on an
+    independent RNG stream, but division-free and without unhashable
+    injection (see the module docstring for why).
+    """
+    rng = random.Random(f"plan:{seed}")
+    tables = make_tables(rng)
+    flow = build_flow(rng, tables, allow_division=False)
+    return PlanTrial(tables=tables, flow=flow, seed=seed, notes=[])
+
+
+def shrink_plan_trial(trial: FlowTrial, budget: int = 250) -> FlowTrial:
+    from repro.fuzz.shrink import shrink_flow_trial
+
+    return shrink_flow_trial(trial, check=check_plan_trial, budget=budget)

@@ -1,0 +1,22 @@
+"""Statistics-driven cost-based planning for the columnar engine.
+
+The package turns the catalog statistics of :mod:`repro.engine.stats`
+into execution decisions:
+
+* :mod:`repro.planner.estimator` — a per-node cardinality estimator
+  (histogram/distinct-count selectivities, containment join estimates),
+* :mod:`repro.planner.rewrite` — the rewrite pipeline producing the
+  annotated :class:`~repro.planner.rewrite.Plan` that
+  ``Executor(mode="planned")`` runs: selection/projection pushdown,
+  join-chain reordering, hash-join build-side choice and a fusion veto
+  for tiny inputs.
+
+Every rewrite is equivalence-gated by the ``planned`` fuzz trial kind
+(:mod:`repro.fuzz.planoracle`) and the planner benchmark scenario in
+``benchmarks/run_engine.py``.
+"""
+
+from repro.planner.estimator import NodeEstimate, estimate_flow
+from repro.planner.rewrite import Plan, plan_flow
+
+__all__ = ["NodeEstimate", "Plan", "estimate_flow", "plan_flow"]

@@ -1,0 +1,482 @@
+"""Cardinality estimation over ETL flows, from catalog statistics.
+
+A topological walk assigns every node an estimated output row count
+plus per-attribute column estimates (distinct count, null fraction,
+min/max, histogram where the source column had one).  The rules are the
+classical System-R family:
+
+* equality selectivity ``1/distinct`` (refined by the histogram: a
+  literal outside ``[min, max]`` matches nothing),
+* range selectivity by histogram interpolation,
+* join cardinality by containment:
+  ``|L JOIN R| = |L|·|R| / max(d(L.key), d(R.key))``,
+* aggregation/distinct output capped by the product of key distincts.
+
+Estimates are advisory: the rewrite pipeline uses them to order joins,
+pick build sides and veto fusion, and ``explain`` prints them next to
+the actual counts (q-error) after a planned run.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.engine.stats import ColumnStats, Histogram, StatisticsCatalog
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import (
+    Aggregation,
+    Datastore,
+    DerivedAttribute,
+    Join,
+    Rename,
+    Selection,
+    SurrogateKey,
+    UnionOp,
+)
+from repro.expressions import parse
+from repro.expressions.ast import (
+    Attribute,
+    BinaryOp,
+    Expression,
+    Literal,
+    UnaryOp,
+    ValueList,
+)
+
+#: Cardinality assumed for a datastore whose table the catalog cannot
+#: see (mirrors the abstract cost model's default).
+DEFAULT_TABLE_ROWS = 1000.0
+
+#: Fallback selectivities when no statistic decides (same spirit as
+#: :class:`repro.etlmodel.cost.CostParameters`).
+EQUALITY_FALLBACK = 0.1
+RANGE_FALLBACK = 1.0 / 3.0
+DEFAULT_FALLBACK = 0.5
+
+
+@dataclass(frozen=True)
+class ColumnEstimate:
+    """What the estimator knows about one attribute mid-flow."""
+
+    distinct: float
+    null_fraction: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    histogram: Optional[Histogram] = None
+
+    @classmethod
+    def from_stats(cls, stats: ColumnStats) -> "ColumnEstimate":
+        return cls(
+            distinct=float(max(stats.distinct, 1)),
+            null_fraction=stats.null_fraction,
+            minimum=stats.minimum,
+            maximum=stats.maximum,
+            histogram=stats.histogram,
+        )
+
+
+@dataclass(frozen=True)
+class NodeEstimate:
+    """Estimated output of one node: rows plus column knowledge."""
+
+    rows: float
+    columns: Dict[str, ColumnEstimate] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnEstimate]:
+        return self.columns.get(name)
+
+
+def _literal_number(node: Expression) -> Optional[float]:
+    if not isinstance(node, Literal):
+        return None
+    value = node.value
+    if value is None or isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, datetime.date):
+        return float(value.toordinal())
+    return None
+
+
+def _is_literal(node: Expression) -> bool:
+    return isinstance(node, Literal) or (
+        isinstance(node, UnaryOp)
+        and node.operator == "-"
+        and isinstance(node.operand, Literal)
+    )
+
+
+def _attribute_literal(node: BinaryOp):
+    """(attribute name, literal node, flipped?) of a simple comparison,
+    or ``None`` when either side is compound."""
+    if isinstance(node.left, Attribute) and _is_literal(node.right):
+        return node.left.name, node.right, False
+    if isinstance(node.right, Attribute) and _is_literal(node.left):
+        return node.right.name, node.left, True
+    return None
+
+
+def _equality_selectivity(
+    estimate: Optional[ColumnEstimate], literal: Expression
+) -> float:
+    if estimate is None:
+        return EQUALITY_FALLBACK
+    number = _literal_number(literal)
+    if isinstance(literal, Literal) and literal.value is None:
+        return 0.0  # nothing compares equal to NULL
+    if (
+        number is not None
+        and estimate.minimum is not None
+        and estimate.maximum is not None
+        and not (estimate.minimum <= number <= estimate.maximum)
+    ):
+        return 0.0  # literal outside the observed range
+    return (1.0 - estimate.null_fraction) / max(estimate.distinct, 1.0)
+
+
+def _range_selectivity(
+    estimate: Optional[ColumnEstimate],
+    operator: str,
+    literal: Expression,
+    flipped: bool,
+) -> float:
+    if estimate is None:
+        return RANGE_FALLBACK
+    number = _literal_number(literal)
+    if number is None:
+        return RANGE_FALLBACK
+    if flipped:  # literal OP attribute -> attribute OP' literal
+        operator = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[operator]
+    histogram = estimate.histogram
+    if histogram is not None and histogram.total > 0:
+        below = histogram.fraction_below(
+            number, inclusive=operator in ("<=",)
+        )
+        fraction = below if operator in ("<", "<=") else 1.0 - below
+        return max(0.0, min(1.0, fraction)) * (1.0 - estimate.null_fraction)
+    if estimate.minimum is not None and estimate.maximum is not None:
+        low, high = estimate.minimum, estimate.maximum
+        if high == low:
+            satisfied = (
+                (operator in ("<=", ">=") and number == low)
+                or (operator in ("<",) and number > low)
+                or (operator in (">",) and number < low)
+                or (operator == "<=" and number > low)
+                or (operator == ">=" and number < low)
+            )
+            return (1.0 - estimate.null_fraction) if satisfied else 0.0
+        fraction = (number - low) / (high - low)
+        fraction = max(0.0, min(1.0, fraction))
+        if operator in (">", ">="):
+            fraction = 1.0 - fraction
+        return fraction * (1.0 - estimate.null_fraction)
+    return RANGE_FALLBACK
+
+
+def selectivity(
+    node: Expression, columns: Dict[str, ColumnEstimate]
+) -> float:
+    """Estimated fraction of rows a predicate keeps."""
+    if isinstance(node, Literal):
+        if node.value is True:
+            return 1.0
+        if node.value is False or node.value is None:
+            return 0.0
+        return DEFAULT_FALLBACK
+    if isinstance(node, Attribute):  # bare boolean column
+        estimate = columns.get(node.name)
+        if estimate is not None and estimate.distinct <= 1:
+            return 1.0 - (estimate.null_fraction or 0.0)
+        return DEFAULT_FALLBACK
+    if isinstance(node, UnaryOp) and node.operator == "not":
+        return max(0.0, 1.0 - selectivity(node.operand, columns))
+    if isinstance(node, BinaryOp):
+        operator = node.operator
+        if operator == "and":
+            return selectivity(node.left, columns) * selectivity(
+                node.right, columns
+            )
+        if operator == "or":
+            left = selectivity(node.left, columns)
+            right = selectivity(node.right, columns)
+            return min(1.0, left + right - left * right)
+        if operator == "in" and isinstance(node.right, ValueList):
+            if isinstance(node.left, Attribute):
+                estimate = columns.get(node.left.name)
+                if estimate is not None:
+                    matches = sum(
+                        _equality_selectivity(estimate, item)
+                        for item in node.right.items
+                    )
+                    return min(1.0, matches)
+            return min(1.0, EQUALITY_FALLBACK * len(node.right.items))
+        simple = _attribute_literal(node)
+        if operator in ("=", "!=", "<>"):
+            if simple is not None:
+                name, literal, __ = simple
+                equal = _equality_selectivity(columns.get(name), literal)
+                return equal if operator == "=" else max(0.0, 1.0 - equal)
+            if isinstance(node.left, Attribute) and isinstance(
+                node.right, Attribute
+            ):
+                left = columns.get(node.left.name)
+                right = columns.get(node.right.name)
+                distinct = max(
+                    left.distinct if left else 1.0,
+                    right.distinct if right else 1.0,
+                    1.0,
+                )
+                equal = 1.0 / distinct
+                return equal if operator == "=" else max(0.0, 1.0 - equal)
+            equal = EQUALITY_FALLBACK
+            return equal if operator == "=" else 1.0 - equal
+        if operator in ("<", "<=", ">", ">="):
+            if simple is not None:
+                name, literal, flipped = simple
+                return _range_selectivity(
+                    columns.get(name), operator, literal, flipped
+                )
+            return RANGE_FALLBACK
+    return DEFAULT_FALLBACK
+
+
+def predicate_selectivity(
+    predicate: str, columns: Dict[str, ColumnEstimate]
+) -> float:
+    try:
+        tree = parse(predicate)
+    except Exception:
+        return DEFAULT_FALLBACK
+    return max(0.0, min(1.0, selectivity(tree, columns)))
+
+
+def _scaled_columns(
+    columns: Dict[str, ColumnEstimate], rows: float
+) -> Dict[str, ColumnEstimate]:
+    """Distinct counts can never exceed the (estimated) row count."""
+    bound = max(rows, 1.0)
+    return {
+        name: (
+            replace(estimate, distinct=min(estimate.distinct, bound))
+            if estimate.distinct > bound
+            else estimate
+        )
+        for name, estimate in columns.items()
+    }
+
+
+def _narrow_for_predicate(
+    tree: Expression, columns: Dict[str, ColumnEstimate]
+) -> Dict[str, ColumnEstimate]:
+    """Refine column knowledge on the true-branch of a predicate
+    (equality pins an attribute to a single value)."""
+    result = dict(columns)
+    if isinstance(tree, BinaryOp) and tree.operator == "and":
+        result = _narrow_for_predicate(tree.left, result)
+        return _narrow_for_predicate(tree.right, result)
+    if isinstance(tree, BinaryOp) and tree.operator == "=":
+        simple = _attribute_literal(tree)
+        if simple is not None:
+            name, literal, __ = simple
+            estimate = result.get(name)
+            if estimate is not None:
+                number = _literal_number(literal)
+                result[name] = replace(
+                    estimate,
+                    distinct=1.0,
+                    null_fraction=0.0,
+                    minimum=number if number is not None else estimate.minimum,
+                    maximum=number if number is not None else estimate.maximum,
+                )
+    return result
+
+
+def _key_distinct(
+    estimate: NodeEstimate, keys: List[str]
+) -> float:
+    """Distinct count of a (possibly composite) join key tuple."""
+    if not keys:
+        return 1.0
+    product = 1.0
+    known = False
+    for key in keys:
+        column = estimate.column(key)
+        if column is None:
+            continue
+        known = True
+        product *= max(column.distinct, 1.0)
+    if not known:
+        return max(estimate.rows, 1.0)  # no statistics: assume key-like
+    return min(product, max(estimate.rows, 1.0))
+
+
+def _non_null_fraction(estimate: NodeEstimate, keys: List[str]) -> float:
+    fraction = 1.0
+    for key in keys:
+        column = estimate.column(key)
+        if column is not None:
+            fraction *= 1.0 - column.null_fraction
+    return fraction
+
+
+def _estimate_join(operation: Join, left: NodeEstimate, right: NodeEstimate):
+    left_keys = list(operation.left_keys)
+    right_keys = list(operation.right_keys)
+    effective_left = left.rows * _non_null_fraction(left, left_keys)
+    effective_right = right.rows * _non_null_fraction(right, right_keys)
+    distinct = max(
+        _key_distinct(left, left_keys), _key_distinct(right, right_keys), 1.0
+    )
+    inner = (effective_left * effective_right) / distinct
+    if str(operation.join_type) == "left":
+        rows = max(inner, left.rows)
+    else:
+        rows = inner
+    joined_same = {
+        right_key
+        for left_key, right_key in zip(left_keys, right_keys)
+        if left_key == right_key
+    }
+    columns = dict(left.columns)
+    for name, estimate in right.columns.items():
+        if name in joined_same or name in columns:
+            continue
+        columns[name] = estimate
+    return NodeEstimate(rows=rows, columns=_scaled_columns(columns, rows))
+
+
+def _estimate_node(
+    operation,
+    inputs: List[NodeEstimate],
+    catalog: StatisticsCatalog,
+) -> NodeEstimate:
+    if isinstance(operation, Datastore):
+        try:
+            stats = catalog.table_stats(operation.table)
+        except Exception:
+            stats = None
+        if stats is None:
+            columns = {
+                name: ColumnEstimate(distinct=DEFAULT_TABLE_ROWS)
+                for name in (operation.columns or ())
+            }
+            return NodeEstimate(rows=DEFAULT_TABLE_ROWS, columns=columns)
+        wanted = list(operation.columns) if operation.columns else list(
+            stats.columns
+        )
+        columns = {
+            name: ColumnEstimate.from_stats(stats.columns[name])
+            for name in wanted
+            if name in stats.columns
+        }
+        return NodeEstimate(rows=float(stats.rows), columns=columns)
+    if not inputs:
+        return NodeEstimate(rows=0.0)
+    first = inputs[0]
+    if isinstance(operation, Selection):
+        try:
+            tree = parse(operation.predicate)
+        except Exception:
+            return first
+        fraction = max(0.0, min(1.0, selectivity(tree, first.columns)))
+        rows = first.rows * fraction
+        columns = _narrow_for_predicate(tree, first.columns)
+        return NodeEstimate(rows=rows, columns=_scaled_columns(columns, rows))
+    if operation.kind in ("Projection", "Extraction"):
+        columns = {
+            name: first.columns[name]
+            for name in operation.columns
+            if name in first.columns
+        }
+        return NodeEstimate(rows=first.rows, columns=columns)
+    if isinstance(operation, Join) and len(inputs) == 2:
+        return _estimate_join(operation, inputs[0], inputs[1])
+    if isinstance(operation, Aggregation):
+        if not operation.group_by:
+            rows = 1.0
+        else:
+            product = 1.0
+            for name in operation.group_by:
+                column = first.column(name)
+                product *= max(column.distinct, 1.0) if column else max(
+                    first.rows ** 0.5, 1.0
+                )
+                if product > first.rows:
+                    break
+            rows = min(product, max(first.rows, 1.0))
+            if first.rows == 0.0:
+                rows = 0.0
+        columns = {
+            name: first.columns[name]
+            for name in operation.group_by
+            if name in first.columns
+        }
+        for spec in operation.aggregates:
+            columns[spec.output] = ColumnEstimate(distinct=max(rows, 1.0))
+        return NodeEstimate(rows=rows, columns=_scaled_columns(columns, rows))
+    if operation.kind == "Distinct":
+        product = 1.0
+        for estimate in first.columns.values():
+            product *= max(estimate.distinct, 1.0)
+            if product > first.rows:
+                break
+        rows = min(product, max(first.rows, 1.0)) if first.columns else min(
+            1.0, first.rows
+        )
+        if first.rows == 0.0:
+            rows = 0.0
+        return NodeEstimate(
+            rows=rows, columns=_scaled_columns(dict(first.columns), rows)
+        )
+    if isinstance(operation, UnionOp) and len(inputs) == 2:
+        rows = inputs[0].rows + inputs[1].rows
+        columns: Dict[str, ColumnEstimate] = {}
+        for name, estimate in inputs[0].columns.items():
+            other = inputs[1].column(name)
+            merged = estimate if other is None else replace(
+                estimate,
+                distinct=estimate.distinct + other.distinct,
+                null_fraction=max(
+                    estimate.null_fraction, other.null_fraction
+                ),
+            )
+            columns[name] = merged
+        return NodeEstimate(rows=rows, columns=_scaled_columns(columns, rows))
+    if isinstance(operation, DerivedAttribute):
+        columns = dict(first.columns)
+        columns[operation.output] = ColumnEstimate(
+            distinct=max(first.rows, 1.0)
+        )
+        return NodeEstimate(rows=first.rows, columns=columns)
+    if isinstance(operation, SurrogateKey):
+        columns = {
+            operation.output: ColumnEstimate(
+                distinct=_key_distinct(first, list(operation.business_keys))
+            )
+        }
+        columns.update(first.columns)
+        return NodeEstimate(rows=first.rows, columns=columns)
+    if isinstance(operation, Rename):
+        mapping = operation.mapping()
+        columns = {
+            mapping.get(name, name): estimate
+            for name, estimate in first.columns.items()
+        }
+        return NodeEstimate(rows=first.rows, columns=columns)
+    # Sort, Loader and anything row-preserving.
+    return first
+
+
+def estimate_flow(
+    flow: EtlFlow, catalog: StatisticsCatalog
+) -> Dict[str, NodeEstimate]:
+    """Per-node output estimates for every node of the flow."""
+    estimates: Dict[str, NodeEstimate] = {}
+    for name in flow.topological_order():
+        operation = flow.node(name)
+        inputs = [estimates[source] for source in flow.inputs(name)]
+        estimates[name] = _estimate_node(operation, inputs, catalog)
+    return estimates

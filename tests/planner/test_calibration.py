@@ -1,0 +1,126 @@
+"""Tests of deriving CostParameters from measured executor timings."""
+
+import math
+
+from repro.engine import Database, Executor, TableDef
+from repro.engine.executor import NodeStats
+from repro.etlmodel import Datastore, EtlFlow, Loader, Selection
+from repro.etlmodel.cost import (
+    DEFAULT_PARAMETERS,
+    calibrated_parameters,
+)
+from repro.expressions import ScalarType
+
+
+class FakeRun:
+    def __init__(self, nodes):
+        self.nodes = nodes
+
+
+def node(kind, rows, seconds, name="n"):
+    return NodeStats(
+        name=name,
+        kind=kind,
+        input_rows=rows,
+        output_rows=rows,
+        seconds=seconds,
+    )
+
+
+def test_calibration_preserves_ratios_and_anchor():
+    """Join measured at twice the scan's per-row time must cost twice
+    the scan's unit cost, with Datastore anchored at its nominal 1.0."""
+    runs = [
+        FakeRun(
+            [
+                node("Datastore", rows=1000, seconds=0.001),
+                node("Join", rows=1000, seconds=0.002),
+            ]
+        )
+    ]
+    calibrated = calibrated_parameters(runs)
+    datastore_unit = DEFAULT_PARAMETERS.unit_costs["Datastore"]
+    assert calibrated.unit_costs["Datastore"] == datastore_unit
+    assert abs(calibrated.unit_costs["Join"] - 2.0 * datastore_unit) < 1e-9
+
+
+def test_calibration_takes_median_over_noisy_samples():
+    runs = [
+        FakeRun(
+            [
+                node("Datastore", rows=1000, seconds=0.001),
+                node("Selection", rows=1000, seconds=seconds),
+            ]
+        )
+        for seconds in (0.001, 0.003, 0.100)  # one outlier
+    ]
+    calibrated = calibrated_parameters(runs)
+    datastore_unit = DEFAULT_PARAMETERS.unit_costs["Datastore"]
+    assert (
+        abs(calibrated.unit_costs["Selection"] - 3.0 * datastore_unit) < 1e-9
+    )
+
+
+def test_calibration_normalizes_sort_by_log_factor():
+    rows = 4096
+    runs = [
+        FakeRun(
+            [
+                node("Datastore", rows=rows, seconds=0.001),
+                # Sort took log2(4096) = 12x the scan per row: after the
+                # model's superlinear charge is divided out, its unit
+                # cost equals the scan's.
+                node("Sort", rows=rows, seconds=0.001 * math.log2(rows)),
+            ]
+        )
+    ]
+    calibrated = calibrated_parameters(runs)
+    assert (
+        abs(
+            calibrated.unit_costs["Sort"]
+            - DEFAULT_PARAMETERS.unit_costs["Datastore"]
+        )
+        < 1e-9
+    )
+
+
+def test_calibration_keeps_unobserved_kinds_and_knobs():
+    runs = [FakeRun([node("Datastore", rows=100, seconds=0.001)])]
+    calibrated = calibrated_parameters(runs)
+    assert (
+        calibrated.unit_costs["Aggregation"]
+        == DEFAULT_PARAMETERS.unit_costs["Aggregation"]
+    )
+    assert (
+        calibrated.equality_selectivity
+        == DEFAULT_PARAMETERS.equality_selectivity
+    )
+
+
+def test_calibration_without_samples_returns_base():
+    assert calibrated_parameters([]) is DEFAULT_PARAMETERS
+    # Zero-row / zero-time nodes are not samples either.
+    runs = [FakeRun([node("Datastore", rows=0, seconds=0.0)])]
+    assert calibrated_parameters(runs) is DEFAULT_PARAMETERS
+
+
+def test_calibration_from_real_execution_stats():
+    """End to end: feed actual ExecutionStats into the calibrator."""
+    database = Database()
+    database.create_table(
+        TableDef("t", {"k": ScalarType.INTEGER, "v": ScalarType.DECIMAL})
+    )
+    database.insert_many(
+        "t", [{"k": index, "v": float(index)} for index in range(500)]
+    )
+    flow = EtlFlow("run")
+    flow.chain(
+        Datastore("src", table="t"),
+        Selection("sel", predicate="k >= 0"),
+        Loader("out", table="out_rows", mode="replace"),
+    )
+    executor = Executor(database, mode="columnar")
+    runs = [executor.execute(flow, keep_intermediate=True) for __ in range(3)]
+    calibrated = calibrated_parameters(runs)
+    for kind in ("Datastore", "Selection", "Loader"):
+        assert calibrated.unit_costs[kind] > 0.0

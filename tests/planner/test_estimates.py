@@ -1,0 +1,173 @@
+"""Accuracy tests of the cardinality estimator (q-error bounds).
+
+The estimator is advisory, so the tests pin *bounds*, not exact
+numbers: scans must be exact (the catalog has the true row counts),
+and filters/joins over the TPC-H generator's data must stay within a
+small constant q-error — enough to keep join ordering trustworthy.
+"""
+
+import pytest
+
+from repro.engine import Database, Executor, TableDef
+from repro.engine.stats import StatisticsCatalog
+from repro.etlmodel import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    EtlFlow,
+    Join,
+    Loader,
+    Selection,
+)
+from repro.expressions import ScalarType
+from repro.planner import estimate_flow
+from repro.sources import tpch
+
+INT = ScalarType.INTEGER
+DEC = ScalarType.DECIMAL
+
+
+def tpch_database(scale_factor=1.0):
+    database = Database()
+    database.load_source(tpch.schema(), tpch.generate(scale_factor, seed=7))
+    return database
+
+
+def q_error(estimated, actual):
+    estimated = max(float(estimated), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(estimated / actual, actual / estimated)
+
+
+def test_scan_estimates_are_exact():
+    database = tpch_database()
+    catalog = StatisticsCatalog(database)
+    flow = EtlFlow("scans")
+    flow.add(Datastore("src", table="lineitem"))
+    estimates = estimate_flow(flow, catalog)
+    assert estimates["src"].rows == len(database.scan("lineitem").rows)
+
+
+def test_equality_selectivity_uses_distinct_count():
+    database = Database()
+    database.create_table(TableDef("t", {"k": INT}))
+    database.insert_many("t", [{"k": index % 10} for index in range(100)])
+    flow = EtlFlow("eq")
+    flow.chain(
+        Datastore("src", table="t"),
+        Selection("pick", predicate="k = 3"),
+    )
+    estimates = estimate_flow(flow, StatisticsCatalog(database))
+    # 10 distinct values over 100 rows -> ~10 rows expected, 10 actual.
+    assert q_error(estimates["pick"].rows, 10) <= 1.5
+
+
+def test_range_selectivity_uses_histogram():
+    database = Database()
+    database.create_table(TableDef("t", {"k": INT}))
+    database.insert_many("t", [{"k": index} for index in range(100)])
+    flow = EtlFlow("range")
+    flow.chain(
+        Datastore("src", table="t"),
+        Selection("pick", predicate="k < 25"),
+    )
+    estimates = estimate_flow(flow, StatisticsCatalog(database))
+    assert q_error(estimates["pick"].rows, 25) <= 1.5
+
+
+def test_out_of_range_literal_estimates_zero():
+    database = Database()
+    database.create_table(TableDef("t", {"k": INT}))
+    database.insert_many("t", [{"k": index} for index in range(100)])
+    flow = EtlFlow("none")
+    flow.chain(
+        Datastore("src", table="t"),
+        Selection("pick", predicate="k = 1000"),
+    )
+    estimates = estimate_flow(flow, StatisticsCatalog(database))
+    assert estimates["pick"].rows == 0.0
+
+
+def _joined_flow():
+    """lineitem JOIN part JOIN supplier, filtered and aggregated."""
+    flow = EtlFlow("tpch_planned")
+    flow.add(Datastore("src_lineitem", table="lineitem"))
+    flow.add(Datastore("src_part", table="part"))
+    flow.add(Datastore("src_supplier", table="supplier"))
+    flow.add(
+        Join("j_part", left_keys=("l_partkey",), right_keys=("p_partkey",))
+    )
+    flow.add(
+        Join("j_supp", left_keys=("l_suppkey",), right_keys=("s_suppkey",))
+    )
+    flow.add(Selection("cheap", predicate="l_quantity <= 25"))
+    flow.add(
+        Aggregation(
+            "per_brand",
+            group_by=("p_brand",),
+            aggregates=(
+                AggregationSpec(
+                    output="qty", function="SUM", input="l_quantity"
+                ),
+            ),
+        )
+    )
+    flow.add(Loader("out", table="out_per_brand", mode="replace"))
+    flow.connect("src_lineitem", "j_part")
+    flow.connect("src_part", "j_part")
+    flow.connect("j_part", "j_supp")
+    flow.connect("src_supplier", "j_supp")
+    flow.connect("j_supp", "cheap")
+    flow.connect("cheap", "per_brand")
+    flow.connect("per_brand", "out")
+    return flow
+
+
+#: Per-kind q-error budgets on the TPC-H workload.  Foreign-key joins
+#: estimate tightly (containment holds); value filters and group-bys
+#: lean on histograms/distinct products, so they get more slack.
+Q_ERROR_BOUNDS = {
+    "Datastore": 1.0,
+    "Join": 2.0,
+    "Selection": 2.5,
+    "Aggregation": 3.0,
+}
+
+
+@pytest.mark.parametrize("scale_factor", [0.5, 1.0])
+def test_tpch_q_error_within_bounds(scale_factor):
+    database = tpch_database(scale_factor)
+    executor = Executor(database, mode="planned")
+    stats = executor.execute(_joined_flow())
+    checked = 0
+    for node in stats.nodes:
+        bound = Q_ERROR_BOUNDS.get(node.kind)
+        if bound is None or node.estimated_rows is None:
+            continue
+        checked += 1
+        assert node.q_error <= bound, (
+            f"{node.kind} {node.name}: estimated {node.estimated_rows:.0f}, "
+            f"actual {node.output_rows}, q-error {node.q_error:.2f} "
+            f"> bound {bound}"
+        )
+    assert checked >= 5  # scans, both joins, the filter, the aggregate
+
+
+def test_join_containment_estimate():
+    """|L JOIN R| = |L|*|R| / max(d(L.key), d(R.key)) on a known case."""
+    database = Database()
+    database.create_table(TableDef("fact", {"k": INT, "v": DEC}))
+    database.create_table(TableDef("dim", {"k": INT}))
+    database.insert_many(
+        "fact", [{"k": index % 20, "v": 1.0} for index in range(200)]
+    )
+    database.insert_many("dim", [{"k": index} for index in range(20)])
+    flow = EtlFlow("join")
+    flow.add(Datastore("src_fact", table="fact"))
+    flow.add(Datastore("src_dim", table="dim"))
+    flow.add(Join("j", left_keys=("k",), right_keys=("k",)))
+    flow.connect("src_fact", "j")
+    flow.connect("src_dim", "j")
+    estimates = estimate_flow(flow, StatisticsCatalog(database))
+    # 200 * 20 / max(20, 20) = 200 — and the true join is 200 rows.
+    assert q_error(estimates["j"].rows, 200) <= 1.1

@@ -1,0 +1,376 @@
+"""Unit tests of the planner's rewrite rules.
+
+Each rule is tested twice over: structurally (the decision fired, or
+was correctly refused) and semantically (planned execution loads the
+same quantised row multisets as unplanned columnar execution).
+"""
+
+import pytest
+
+from repro.engine import Database, Executor, TableDef
+from repro.engine.stats import StatisticsCatalog
+from repro.etlmodel import (
+    Aggregation,
+    AggregationSpec,
+    Datastore,
+    DerivedAttribute,
+    EtlFlow,
+    Join,
+    Loader,
+    Selection,
+    SurrogateKey,
+)
+from repro.etlmodel.ops import JoinType
+from repro.expressions import ScalarType
+from repro.fuzz.planoracle import quantized_multiset
+from repro.planner import plan_flow
+
+INT = ScalarType.INTEGER
+DEC = ScalarType.DECIMAL
+STR = ScalarType.STRING
+
+
+def run_both_modes(database_factory, flow):
+    """{mode: {table: quantised multiset}} over fresh databases."""
+    snapshots = {}
+    for mode in ("columnar", "planned"):
+        database = database_factory()
+        Executor(database, mode=mode).execute(flow)
+        targets = sorted(
+            {node.table for node in flow.nodes() if node.kind == "Loader"}
+        )
+        snapshots[mode] = {
+            target: quantized_multiset(database.scan(target).rows)
+            for target in targets
+        }
+    return snapshots
+
+
+def decision_kinds(plan):
+    return {decision.split(":")[0] for decision in plan.decisions}
+
+
+# -- selection pushdown -------------------------------------------------------
+
+
+def fact_dim_database():
+    database = Database()
+    database.create_table(TableDef("fact", {"k": INT, "v": DEC}))
+    database.create_table(TableDef("dim", {"k": INT, "tag": INT}))
+    database.insert_many(
+        "fact",
+        [{"k": index % 20, "v": float(index)} for index in range(100)],
+    )
+    database.insert_many(
+        "dim", [{"k": index, "tag": index % 5} for index in range(20)]
+    )
+    return database
+
+
+def join_then_filter_flow(join_type=JoinType.INNER):
+    flow = EtlFlow("pushdown")
+    flow.add(Datastore("src_fact", table="fact"))
+    flow.add(Datastore("src_dim", table="dim"))
+    flow.add(Join("j", left_keys=("k",), right_keys=("k",), join_type=join_type))
+    flow.add(Selection("sel", predicate="tag = 3"))
+    flow.add(Loader("out", table="out_rows", mode="replace"))
+    flow.connect("src_fact", "j")
+    flow.connect("src_dim", "j")
+    flow.connect("j", "sel")
+    flow.connect("sel", "out")
+    return flow
+
+
+def test_selection_pushed_below_inner_join():
+    flow = join_then_filter_flow(JoinType.INNER)
+    plan = plan_flow(flow, StatisticsCatalog(fact_dim_database()))
+    assert plan.fallback is None
+    assert "selection-pushdown" in decision_kinds(plan)
+    # The selection now sits on the dim branch, below the join.
+    assert "j" not in plan.flow.inputs("sel")
+    snapshots = run_both_modes(fact_dim_database, flow)
+    assert snapshots["columnar"] == snapshots["planned"]
+
+
+def test_selection_not_pushed_onto_left_join_right_side():
+    """Filtering the NULL-padding side of a LEFT join first would
+    manufacture padded rows the unplanned flow never produces."""
+    flow = join_then_filter_flow(JoinType.LEFT)
+    plan = plan_flow(flow, StatisticsCatalog(fact_dim_database()))
+    assert "selection-pushdown" not in decision_kinds(plan)
+    snapshots = run_both_modes(fact_dim_database, flow)
+    assert snapshots["columnar"] == snapshots["planned"]
+
+
+def empty_table_database():
+    database = Database()
+    database.create_table(TableDef("t", {"g": INT, "v": DEC}))
+    return database
+
+
+def test_selection_not_pushed_below_global_aggregation():
+    """A global (empty group-by) aggregate emits one row even on empty
+    input; filtering first would re-grow that row past the filter."""
+    flow = EtlFlow("global_agg")
+    flow.chain(
+        Datastore("src", table="t"),
+        Aggregation(
+            "agg",
+            group_by=(),
+            aggregates=(
+                AggregationSpec(output="total", function="SUM", input="v"),
+            ),
+        ),
+        Selection("sel", predicate="1 = 2"),
+        Loader("out", table="out_rows", mode="replace"),
+    )
+    plan = plan_flow(flow, StatisticsCatalog(empty_table_database()))
+    assert "selection-pushdown" not in decision_kinds(plan)
+    snapshots = run_both_modes(empty_table_database, flow)
+    assert snapshots["columnar"] == snapshots["planned"]
+    assert sum(snapshots["planned"]["out_rows"].values()) == 0
+
+
+def grouped_database():
+    database = Database()
+    database.create_table(TableDef("t", {"g": INT, "v": DEC}))
+    database.insert_many(
+        "t", [{"g": index % 4, "v": float(index)} for index in range(40)]
+    )
+    return database
+
+
+def test_selection_on_group_key_pushed_below_aggregation():
+    flow = EtlFlow("grouped_agg")
+    flow.chain(
+        Datastore("src", table="t"),
+        Aggregation(
+            "agg",
+            group_by=("g",),
+            aggregates=(
+                AggregationSpec(output="total", function="SUM", input="v"),
+            ),
+        ),
+        Selection("sel", predicate="g = 1"),
+        Loader("out", table="out_rows", mode="replace"),
+    )
+    plan = plan_flow(flow, StatisticsCatalog(grouped_database()))
+    assert "selection-pushdown" in decision_kinds(plan)
+    snapshots = run_both_modes(grouped_database, flow)
+    assert snapshots["columnar"] == snapshots["planned"]
+
+
+# -- build-side choice --------------------------------------------------------
+
+
+def skewed_join_database():
+    database = Database()
+    database.create_table(TableDef("dim", {"d_k": INT, "name": STR}))
+    database.create_table(TableDef("fact", {"f_k": INT, "v": DEC}))
+    database.insert_many(
+        "dim", [{"d_k": index, "name": f"d{index}"} for index in range(3)]
+    )
+    database.insert_many(
+        "fact",
+        [{"f_k": index % 3, "v": float(index)} for index in range(100)],
+    )
+    return database
+
+
+def skewed_join_flow(with_surrogate_key=False):
+    flow = EtlFlow("build_side")
+    flow.add(Datastore("src_dim", table="dim"))
+    flow.add(Datastore("src_fact", table="fact"))
+    flow.add(Join("j", left_keys=("d_k",), right_keys=("f_k",)))
+    flow.connect("src_dim", "j")
+    flow.connect("src_fact", "j")
+    tail = "j"
+    if with_surrogate_key:
+        flow.add(
+            SurrogateKey("sk", output="row_id", business_keys=("d_k",))
+        )
+        flow.connect("j", "sk")
+        tail = "sk"
+    flow.add(Loader("out", table="out_rows", mode="replace"))
+    flow.connect(tail, "out")
+    return flow
+
+
+def test_build_side_flipped_for_imbalanced_inner_join():
+    flow = skewed_join_flow()
+    plan = plan_flow(flow, StatisticsCatalog(skewed_join_database()))
+    assert "build-side" in decision_kinds(plan)
+    # The flip swaps input order AND the key tuples.
+    planned_join = plan.flow.node("j")
+    assert planned_join.left_keys == ("f_k",)
+    assert planned_join.right_keys == ("d_k",)
+    assert plan.flow.inputs("j") == ["src_fact", "src_dim"]
+    snapshots = run_both_modes(skewed_join_database, flow)
+    assert snapshots["columnar"] == snapshots["planned"]
+
+
+def test_build_side_not_flipped_below_surrogate_key():
+    """SurrogateKey assigns ids in row order, and flipping the build
+    side reorders the join's output rows."""
+    flow = skewed_join_flow(with_surrogate_key=True)
+    plan = plan_flow(flow, StatisticsCatalog(skewed_join_database()))
+    assert "build-side" not in decision_kinds(plan)
+
+
+def collapsed_key_database():
+    database = Database()
+    database.create_table(TableDef("small", {"k": INT}))
+    database.create_table(TableDef("big", {"k": INT, "v": DEC}))
+    database.insert_many("small", [{"k": index} for index in range(3)])
+    database.insert_many(
+        "big", [{"k": index % 3, "v": float(index)} for index in range(100)]
+    )
+    return database
+
+
+def test_build_side_not_flipped_on_collapsed_key():
+    """A same-named key pair collapses to the LEFT side's value copy;
+    Python's cross-type equality (True == 1) means swapping sides can
+    change the surviving value, so such joins are never flipped."""
+    flow = EtlFlow("collapsed")
+    flow.add(Datastore("src_small", table="small"))
+    flow.add(Datastore("src_big", table="big"))
+    flow.add(Join("j", left_keys=("k",), right_keys=("k",)))
+    flow.add(Loader("out", table="out_rows", mode="replace"))
+    flow.connect("src_small", "j")
+    flow.connect("src_big", "j")
+    flow.connect("j", "out")
+    plan = plan_flow(flow, StatisticsCatalog(collapsed_key_database()))
+    assert "build-side" not in decision_kinds(plan)
+
+
+# -- join-chain reordering ----------------------------------------------------
+
+
+def chain_database():
+    database = Database()
+    database.create_table(
+        TableDef("base", {"b_k1": INT, "b_k2": INT, "payload": DEC})
+    )
+    database.create_table(TableDef("wide", {"t1_k": INT, "w": DEC}))
+    database.create_table(TableDef("narrow", {"t2_k": INT, "n": DEC}))
+    database.insert_many(
+        "base",
+        [
+            {"b_k1": index, "b_k2": index % 10, "payload": 1.0}
+            for index in range(200)
+        ],
+    )
+    database.insert_many(
+        "wide", [{"t1_k": index, "w": 2.0} for index in range(200)]
+    )
+    database.insert_many(
+        "narrow", [{"t2_k": index, "n": 3.0} for index in range(2)]
+    )
+    return database
+
+
+def chain_flow():
+    """base JOIN wide (fanout 1) then JOIN narrow (highly reductive) —
+    written in the worse order."""
+    flow = EtlFlow("chain")
+    flow.add(Datastore("src_base", table="base"))
+    flow.add(Datastore("src_wide", table="wide"))
+    flow.add(Datastore("src_narrow", table="narrow"))
+    flow.add(Join("j1", left_keys=("b_k1",), right_keys=("t1_k",)))
+    flow.add(Join("j2", left_keys=("b_k2",), right_keys=("t2_k",)))
+    flow.add(Loader("out", table="out_rows", mode="replace"))
+    flow.connect("src_base", "j1")
+    flow.connect("src_wide", "j1")
+    flow.connect("j1", "j2")
+    flow.connect("src_narrow", "j2")
+    flow.connect("j2", "out")
+    return flow
+
+
+def test_join_chain_reordered_by_estimated_cardinality():
+    flow = chain_flow()
+    plan = plan_flow(flow, StatisticsCatalog(chain_database()))
+    reorders = [
+        decision
+        for decision in plan.decisions
+        if decision.startswith("join-reorder")
+    ]
+    assert reorders, plan.decisions
+    # The reductive narrow join must now run before the fanout-1 join.
+    assert "j2 -> j1" in reorders[0]
+    snapshots = run_both_modes(chain_database, flow)
+    assert snapshots["columnar"] == snapshots["planned"]
+
+
+# -- fail-safe and annotations ------------------------------------------------
+
+
+def collision_database():
+    database = Database()
+    database.create_table(TableDef("a", {"k": INT, "dup": INT}))
+    database.create_table(TableDef("b", {"k": INT, "dup": INT}))
+    database.insert_many("a", [{"k": 1, "dup": 1}])
+    database.insert_many("b", [{"k": 1, "dup": 2}])
+    return database
+
+
+def test_unplannable_flow_bails_to_identity_with_error_parity():
+    """A flow the schema propagator rejects (attribute collision) must
+    produce the identical error in planned and unplanned mode."""
+    flow = EtlFlow("collision")
+    flow.add(Datastore("src_a", table="a"))
+    flow.add(Datastore("src_b", table="b"))
+    flow.add(Join("j", left_keys=("k",), right_keys=("k",)))
+    flow.add(Loader("out", table="out_rows", mode="replace"))
+    flow.connect("src_a", "j")
+    flow.connect("src_b", "j")
+    flow.connect("j", "out")
+    plan = plan_flow(flow, StatisticsCatalog(collision_database()))
+    assert plan.fallback is not None
+    errors = {}
+    for mode in ("columnar", "planned"):
+        with pytest.raises(Exception) as caught:
+            Executor(collision_database(), mode=mode).execute(flow)
+        errors[mode] = f"{type(caught.value).__name__}: {caught.value}"
+    assert errors["columnar"] == errors["planned"]
+
+
+def test_planned_mode_annotates_estimates_and_q_error():
+    flow = join_then_filter_flow()
+    database = fact_dim_database()
+    executor = Executor(database, mode="planned")
+    stats = executor.execute(flow)
+    annotated = [
+        node for node in stats.nodes if node.estimated_rows is not None
+    ]
+    assert annotated, "planned mode must annotate estimated rows"
+    assert all(node.q_error >= 1.0 for node in annotated)
+    assert executor.last_plan is not None
+
+
+def test_columnar_mode_has_no_estimates():
+    flow = join_then_filter_flow()
+    stats = Executor(fact_dim_database(), mode="columnar").execute(flow)
+    assert all(node.estimated_rows is None for node in stats.nodes)
+    assert all(node.q_error is None for node in stats.nodes)
+
+
+def test_tiny_inputs_veto_fusion():
+    database = Database()
+    database.create_table(TableDef("t", {"k": INT, "v": DEC}))
+    database.insert_many(
+        "t", [{"k": index, "v": float(index)} for index in range(5)]
+    )
+    flow = EtlFlow("tiny")
+    flow.chain(
+        Datastore("src", table="t"),
+        Selection("sel", predicate="k >= 0"),
+        DerivedAttribute("twice", output="w", expression="v * 2"),
+        Loader("out", table="out_rows", mode="replace"),
+    )
+    plan = plan_flow(flow, StatisticsCatalog(database))
+    assert plan.no_fuse, plan.decisions
+    assert "no-fuse" in decision_kinds(plan)
+    # And the planned execution still works with fusion suppressed.
+    Executor(database, mode="planned").execute(flow)

@@ -1,0 +1,98 @@
+"""Tests of the statistics catalog backing the cost-based planner."""
+
+from repro.engine import Database, TableDef
+from repro.engine.stats import (
+    Histogram,
+    StatisticsCatalog,
+    collect_column_stats,
+)
+from repro.expressions import ScalarType
+
+INT = ScalarType.INTEGER
+STR = ScalarType.STRING
+DEC = ScalarType.DECIMAL
+
+
+def test_histogram_fraction_below_interpolates():
+    # 100 values uniform on [0, 100) in four buckets of 25.
+    histogram = Histogram(low=0.0, high=100.0, counts=(25, 25, 25, 25))
+    assert histogram.fraction_below(-1.0, inclusive=False) == 0.0
+    assert histogram.fraction_below(1000.0, inclusive=False) == 1.0
+    assert abs(histogram.fraction_below(50.0, inclusive=False) - 0.5) < 1e-9
+    # Interpolation inside a bucket: 12.5 is halfway through bucket 0.
+    assert abs(histogram.fraction_below(12.5, inclusive=False) - 0.125) < 1e-9
+
+
+def test_histogram_fraction_between():
+    histogram = Histogram(low=0.0, high=100.0, counts=(25, 25, 25, 25))
+    assert abs(histogram.fraction_between(25.0, 75.0) - 0.5) < 1e-9
+    assert histogram.fraction_between(75.0, 25.0) == 0.0
+    assert histogram.fraction_between(-10.0, 200.0) == 1.0
+
+
+def test_histogram_single_value_column():
+    histogram = Histogram(low=7.0, high=7.0, counts=(5,))
+    assert histogram.fraction_below(7.0, inclusive=True) == 1.0
+    assert histogram.fraction_below(7.0, inclusive=False) == 0.0
+    assert histogram.fraction_below(6.0, inclusive=True) == 0.0
+
+
+def test_collect_column_stats_numeric():
+    values = [1, 2, 2, 3, None, 4]
+    stats = collect_column_stats("k", INT, values, buckets=4)
+    assert stats.distinct == 4
+    assert abs(stats.null_fraction - 1 / 6) < 1e-9
+    assert stats.minimum == 1.0 and stats.maximum == 4.0
+    assert stats.histogram is not None
+    assert stats.histogram.total == 5  # nulls are not bucketed
+
+
+def test_collect_column_stats_strings_have_no_histogram():
+    stats = collect_column_stats("s", STR, ["a", "b", "a"])
+    assert stats.distinct == 2
+    assert stats.histogram is None
+    assert stats.minimum is None and stats.maximum is None
+
+
+def test_collect_column_stats_empty():
+    stats = collect_column_stats("k", INT, [])
+    assert stats.distinct == 0
+    assert stats.null_fraction == 0.0
+    assert stats.histogram is None
+
+
+def _database():
+    database = Database()
+    database.create_table(TableDef("t", {"k": INT, "v": DEC}))
+    database.insert_many(
+        "t", [{"k": index, "v": float(index)} for index in range(10)]
+    )
+    return database
+
+
+def test_catalog_caches_until_generation_bumps():
+    database = _database()
+    catalog = StatisticsCatalog(database)
+    first = catalog.table_stats("t")
+    assert first.rows == 10
+    # No writes: the cached object itself is returned.
+    assert catalog.table_stats("t") is first
+    database.insert_many("t", [{"k": 10, "v": 10.0}])
+    refreshed = catalog.table_stats("t")
+    assert refreshed is not first
+    assert refreshed.rows == 11
+
+
+def test_catalog_without_generation_counter_recollects():
+    """Duck-typed databases without ``table_generation`` (the fuzzer's
+    LooseDatabase) still work — stats are simply never cached."""
+    from repro.fuzz.datagen import LooseDatabase, TableSpec
+
+    database = LooseDatabase.from_specs(
+        [TableSpec(name="t", schema={"k": INT}, rows=[{"k": 1}, {"k": 2}])]
+    )
+    assert getattr(database, "table_generation", None) is None
+    catalog = StatisticsCatalog(database)
+    first = catalog.table_stats("t")
+    assert first.rows == 2
+    assert catalog.table_stats("t") is not first  # recollected, not cached
