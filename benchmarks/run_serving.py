@@ -1,0 +1,185 @@
+"""Serving-layer load benchmark: concurrent design sessions over HTTP.
+
+Boots the served front door in-process (threaded stdlib HTTP server
+over the TPC-H domain), then drives many concurrent design sessions
+through the full lifecycle — create, elicit an xRQ requirement,
+status, design, deploy to the ``sql`` platform — from a pool of driver
+threads.  All sessions share one metadata repository, so this is the
+workload that hammers the per-table engine caches, the artifact bus
+and the store snapshot from many handler threads at once.
+
+Writes ``BENCH_serving.json`` with sessions/sec plus p50/p99 latency
+per request type and per whole session.  Any non-2xx response or
+transport error fails the run (exit 1): a throughput number is only
+reported for a fully-correct run.
+
+Usage::
+
+    python -m benchmarks.run_serving [--sessions 120] [--drivers 16]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Tuple
+
+try:
+    import repro  # noqa: F401  (needs PYTHONPATH=src or an install)
+except ModuleNotFoundError:  # running from a source checkout
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"),
+    )
+
+from repro.serve.server import QuarryServer, tpch_manager
+from repro.serve.smoke import demo_xrq
+
+DEFAULT_SESSIONS = 120
+DEFAULT_DRIVERS = 16
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """The nearest-rank percentile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def timed_request(
+    base: str, method: str, path: str, body=None
+) -> Tuple[int, float]:
+    """One JSON request; returns ``(status, seconds)``."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    started = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            response.read()
+            status = response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        status = error.code
+    return status, time.perf_counter() - started
+
+
+def drive_session(base: str, index: int, latencies, errors) -> float:
+    """One full design-session lifecycle; returns its wall-clock time."""
+    name = f"load{index:04d}"
+    steps = [
+        ("create", "POST", "/sessions", {"name": name}, 201),
+        (
+            "elicit",
+            "POST",
+            f"/sessions/{name}/requirements",
+            {"xrq": demo_xrq("IR1" if index % 2 == 0 else "IR2")},
+            201,
+        ),
+        ("status", "GET", f"/sessions/{name}/status", None, 200),
+        ("design", "GET", f"/sessions/{name}/design", None, 200),
+        (
+            "deploy",
+            "POST",
+            f"/sessions/{name}/deploy",
+            {"platform": "sql"},
+            200,
+        ),
+    ]
+    started = time.perf_counter()
+    for label, method, path, body, expected in steps:
+        try:
+            status, seconds = timed_request(base, method, path, body)
+        except Exception as exc:  # transport-level failure
+            errors.append(f"{label} {path}: {type(exc).__name__}: {exc}")
+            return time.perf_counter() - started
+        latencies.setdefault(label, []).append(seconds)
+        if status != expected:
+            errors.append(
+                f"{label} {path}: expected {expected}, got {status}"
+            )
+    return time.perf_counter() - started
+
+
+def run_load(sessions: int, drivers: int) -> dict:
+    latencies: Dict[str, List[float]] = {}
+    errors: List[str] = []
+    with QuarryServer(tpch_manager()) as server:
+        started = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=drivers) as pool:
+            session_seconds = list(
+                pool.map(
+                    lambda index: drive_session(
+                        server.url, index, latencies, errors
+                    ),
+                    range(sessions),
+                )
+            )
+        elapsed = time.perf_counter() - started
+        live_sessions = server.manager.count()
+    report = {
+        "benchmark": "serving: concurrent design sessions over HTTP",
+        "sessions": sessions,
+        "drivers": drivers,
+        "live_sessions_at_end": live_sessions,
+        "elapsed_seconds": elapsed,
+        "sessions_per_second": sessions / elapsed if elapsed else 0.0,
+        "session_latency": {
+            "p50_seconds": percentile(session_seconds, 0.50),
+            "p99_seconds": percentile(session_seconds, 0.99),
+        },
+        "request_latency": {
+            label: {
+                "count": len(samples),
+                "p50_seconds": percentile(samples, 0.50),
+                "p99_seconds": percentile(samples, 0.99),
+            }
+            for label, samples in sorted(latencies.items())
+        },
+        "errors": errors,
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m benchmarks.run_serving")
+    parser.add_argument(
+        "--sessions", type=int, default=DEFAULT_SESSIONS
+    )
+    parser.add_argument("--drivers", type=int, default=DEFAULT_DRIVERS)
+    parser.add_argument("--output", default="BENCH_serving.json")
+    options = parser.parse_args(argv)
+
+    print(
+        f"serving benchmark: {options.sessions} sessions, "
+        f"{options.drivers} drivers"
+    )
+    report = run_load(options.sessions, options.drivers)
+    with open(options.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"{report['sessions_per_second']:.1f} sessions/sec, session p50 "
+        f"{report['session_latency']['p50_seconds'] * 1000:.0f} ms, p99 "
+        f"{report['session_latency']['p99_seconds'] * 1000:.0f} ms"
+    )
+    print(f"report written to {options.output}")
+    if report["errors"]:
+        for error in report["errors"][:10]:
+            print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ it, and the OLAP helper queries it.
 from __future__ import annotations
 
 import datetime
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -72,6 +73,10 @@ class _Table:
         self._pk_index: set = set()
         #: Cached columnar view of the relation; dropped on any write.
         self._columnar: Optional[ColumnarRelation] = None
+        #: Guards the lazy columnar pivot: two concurrent readers must
+        #: agree on one cached view instead of both pivoting (or one
+        #: observing the other's half-built pivot).
+        self._columnar_lock = threading.Lock()
         #: Bumped on every write; statistics caches key on it, so stale
         #: table stats are detected without comparing contents.
         self.generation: int = 0
@@ -246,11 +251,21 @@ class Database:
         :meth:`insert_columns`, :meth:`truncate`), so repeated flow
         executions over the same sources pay the row-to-column pivot
         once.
+
+        Thread-safe: the pivot runs under a per-table lock with a
+        double-check, so a pool of workers scanning the same table gets
+        one shared view and exactly one pivot (writers concurrent with
+        readers remain the caller's problem, as for :meth:`scan`).
         """
         table = self._lookup(table_name)
-        if table._columnar is None:
-            table._columnar = ColumnarRelation.from_relation(table.relation)
-        return table._columnar
+        columnar = table._columnar
+        if columnar is None:
+            with table._columnar_lock:
+                columnar = table._columnar
+                if columnar is None:
+                    columnar = ColumnarRelation.from_relation(table.relation)
+                    table._columnar = columnar
+        return columnar
 
     def row_count(self, table_name: str) -> int:
         return len(self._lookup(table_name).relation)

@@ -22,6 +22,13 @@ Two execution modes share one dispatch skeleton:
   rewritten (selection/projection pushdown, join reordering, build-side
   choice) before execution and per-node cardinality estimates are
   attached to the stats for q-error reporting.
+* ``"parallel"`` — the columnar core with partitioned execution:
+  relations are split into contiguous row chunks and the fused chains,
+  selections, derivations, join probes and grouping scans run across a
+  worker pool (:mod:`repro.engine.parallel`), with chunk results merged
+  in chunk order so results stay byte-identical to ``"columnar"``.
+  Small inputs (below ``parallel_row_threshold``) fall back to the
+  serial kernels.
 
 Structural bookkeeping is shared and cheap: the topological order is
 computed once per ``execute()`` and intermediate results are released by
@@ -31,6 +38,7 @@ a per-node consumer countdown (O(V+E) overall, not O(n²)).
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -42,6 +50,19 @@ from repro.engine.columnar import (
     hash_join,
     surrogate_keys,
     unhashable_key_error,
+)
+from repro.engine.parallel import (
+    DEFAULT_PARALLEL_ROW_THRESHOLD,
+    DEFAULT_WORKERS,
+    build_join_index,
+    chunk_ranges,
+    concat_parts,
+    derive_chunk,
+    filter_chunk,
+    group_chunk,
+    join_chunk,
+    merge_group_chunks,
+    run_chain_chunk,
 )
 from repro.engine.database import Database, TableDef
 from repro.engine.relation import Relation
@@ -140,6 +161,15 @@ _COLUMNAR_DISPATCH = {
     "Loader": "_load_columnar",
 }
 
+#: ``parallel`` mode: the columnar table with the partitionable
+#: operators swapped for their chunked kernels.
+_PARALLEL_OVERRIDES = {
+    "Selection": "_filter_parallel",
+    "DerivedAttribute": "_derive_parallel",
+    "Join": "_join_parallel",
+    "Aggregation": "_aggregate_parallel",
+}
+
 _LEGACY_DISPATCH = {
     "Datastore": "_scan_legacy",
     "Extraction": "_project_legacy",
@@ -203,26 +233,67 @@ class Executor:
 
     ``mode`` selects the execution core: ``"columnar"`` (default, the
     compiled-columnar engine), ``"planned"`` (the columnar engine behind
-    the cost-based rewrite pipeline of :mod:`repro.planner`) or
-    ``"legacy"`` (the row-at-a-time reference interpreter).  All three
-    produce identical results.
+    the cost-based rewrite pipeline of :mod:`repro.planner`),
+    ``"parallel"`` (the columnar engine with chunk-partitioned operators
+    over a ``workers``-wide pool) or ``"legacy"`` (the row-at-a-time
+    reference interpreter).  All four produce identical results.
+
+    A parallel executor owns a thread pool; it is reused across
+    ``execute()`` calls and released by :meth:`close` (the executor is
+    also a context manager).
     """
 
-    def __init__(self, database: Database, mode: str = "columnar") -> None:
-        if mode not in ("columnar", "legacy", "planned"):
+    def __init__(
+        self,
+        database: Database,
+        mode: str = "columnar",
+        workers: int = DEFAULT_WORKERS,
+        parallel_row_threshold: int = DEFAULT_PARALLEL_ROW_THRESHOLD,
+    ) -> None:
+        if mode not in ("columnar", "legacy", "planned", "parallel"):
             raise ValueError(f"unknown executor mode {mode!r}")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self._database = database
         self.mode = mode
+        self.workers = workers
+        self._parallel_threshold = parallel_row_threshold
+        self._pool_instance: Optional[ThreadPoolExecutor] = None
         table = _LEGACY_DISPATCH if mode == "legacy" else _COLUMNAR_DISPATCH
         self._dispatch: Dict[str, Callable] = {
             kind: getattr(self, attr) for kind, attr in table.items()
         }
+        if mode == "parallel":
+            for kind, attr in _PARALLEL_OVERRIDES.items():
+                self._dispatch[kind] = getattr(self, attr)
         #: The last plan produced in ``planned`` mode (for explain/tests).
         self.last_plan = None
         #: Statistics catalog shared across executions: its generation
         #: counters invalidate per-table, so repeated runs against the
         #: same sources reuse their histograms instead of rescanning.
         self._stats_catalog = None
+
+    # -- worker pool --------------------------------------------------------
+
+    @property
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._pool_instance is None:
+            self._pool_instance = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool_instance
+
+    def close(self) -> None:
+        """Release the worker pool (no-op for serial executors)."""
+        if self._pool_instance is not None:
+            self._pool_instance.shutdown(wait=True)
+            self._pool_instance = None
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def execute(
         self, flow: EtlFlow, keep_intermediate: bool = False
@@ -356,7 +427,9 @@ class Executor:
             program = None
         if program is not None:
             try:
-                result, filter_counts = program.run(input_relation)
+                result, filter_counts = self._run_chain_program(
+                    program, input_relation
+                )
             except Exception:
                 result = None
             if result is not None:
@@ -547,6 +620,188 @@ class Executor:
             stats.loaded.get(operation.table, 0) + loaded
         )
         return relation
+
+    # -- partitioned parallel operators -------------------------------------
+
+    def _parallel_ranges(self, length: int):
+        """Chunk ranges when partitioning pays, else ``None`` (serial)."""
+        if length < self._parallel_threshold:
+            return None
+        ranges = chunk_ranges(length, self.workers)
+        if len(ranges) <= 1:
+            return None
+        return ranges
+
+    def _chunk_results(self, futures) -> list:
+        """Collect chunk futures in chunk order.
+
+        The earliest chunk's exception wins — that chunk holds the
+        globally-first failing row, so the error surfaced matches the
+        serial engine's exactly.
+        """
+        results = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            if error is None:
+                try:
+                    results.append(future.result())
+                except BaseException as exc:
+                    error = exc
+            else:
+                future.cancel()
+        if error is not None:
+            raise error
+        return results
+
+    def _run_chain_program(self, program, relation: ColumnarRelation):
+        """Run a fused chain serially or chunk-partitioned.
+
+        Pure structural programs stay serial — they are zero-copy column
+        re-selections, and chunking would force a copy.
+        """
+        if (
+            self.mode != "parallel"
+            or not program.steps
+            or relation.length < self._parallel_threshold
+        ):
+            return program.run(relation)
+        ranges = chunk_ranges(relation.length, self.workers)
+        if len(ranges) <= 1:
+            return program.run(relation)
+        futures = [
+            self._pool.submit(run_chain_chunk, program, relation, start, stop)
+            for start, stop in ranges
+        ]
+        parts = self._chunk_results(futures)
+        result = concat_parts(
+            program.output_schema, [part for part, __ in parts]
+        )
+        filter_counts = [
+            sum(counts)
+            for counts in zip(*(counts for __, counts in parts))
+        ]
+        return result, filter_counts
+
+    def _filter_parallel(self, operation: Selection, inputs, stats):
+        relation: ColumnarRelation = inputs[0]
+        compiled = compile_expression(operation.predicate)
+        columns = _argument_columns(compiled, relation)
+        ranges = self._parallel_ranges(relation.length)
+        if columns is None or not compiled.attributes or ranges is None:
+            # Serial fallbacks (row-at-a-time evaluation, constant
+            # predicates, small inputs) — same results, same errors.
+            return self._filter_columnar(operation, inputs, stats)
+        function = compiled.column_fn
+        futures = [
+            self._pool.submit(filter_chunk, function, columns, start, stop)
+            for start, stop in ranges
+        ]
+        keep: List[int] = []
+        for chunk in self._chunk_results(futures):
+            keep.extend(chunk)
+        if len(keep) == relation.length:
+            return relation
+        return relation.take(keep)
+
+    def _derive_parallel(self, operation: DerivedAttribute, inputs, stats):
+        from repro.etlmodel.propagation import _derive_schema
+
+        relation: ColumnarRelation = inputs[0]
+        # Type-check (and fail) before evaluating, like the serial kernel.
+        schema = _derive_schema(operation, relation.schema)
+        compiled = compile_expression(operation.expression)
+        columns = _argument_columns(compiled, relation)
+        ranges = self._parallel_ranges(relation.length)
+        if columns is None or not compiled.attributes or ranges is None:
+            return self._derive_columnar(operation, inputs, stats)
+        function = compiled.column_fn
+        futures = [
+            self._pool.submit(derive_chunk, function, columns, start, stop)
+            for start, stop in ranges
+        ]
+        derived: list = []
+        for chunk in self._chunk_results(futures):
+            derived.extend(chunk)
+        new_columns = dict(relation.columns)
+        new_columns[operation.output] = derived
+        return ColumnarRelation(
+            schema=schema, columns=new_columns, length=relation.length
+        )
+
+    def _join_parallel(self, operation: Join, inputs, stats):
+        left, right = inputs
+        ranges = self._parallel_ranges(left.length)
+        if ranges is None:
+            return self._join_columnar(operation, inputs, stats)
+        schema, payload = _join_schema(operation, left.schema, right.schema)
+        left_keys = list(operation.left_keys)
+        right_keys = list(operation.right_keys)
+        left_outer = operation.join_type == JoinType.LEFT
+        try:
+            # The build side is serial (it is the smaller side of every
+            # FK join and inherently order-dependent); the probes fan
+            # out, each gathering its own slice of the output.
+            index = build_join_index(right, right_keys)
+            futures = [
+                self._pool.submit(
+                    join_chunk,
+                    index,
+                    left,
+                    right,
+                    left_keys,
+                    payload,
+                    schema,
+                    left_outer,
+                    start,
+                    stop,
+                )
+                for start, stop in ranges
+            ]
+            parts = self._chunk_results(futures)
+        except TypeError as exc:
+            named = [(key, left.columns[key]) for key in left_keys]
+            named += [(key, right.columns[key]) for key in right_keys]
+            raise unhashable_key_error("join", named, exc) from exc
+        return concat_parts(schema, parts)
+
+    def _aggregate_parallel(self, operation: Aggregation, inputs, stats):
+        from repro.etlmodel.propagation import _aggregation_schema
+
+        relation: ColumnarRelation = inputs[0]
+        ranges = self._parallel_ranges(relation.length)
+        if not operation.group_by or ranges is None:
+            # A global aggregate is one serial fold by definition.
+            return self._aggregate_columnar(operation, inputs, stats)
+        schema = _aggregation_schema(operation, relation.schema)
+        group_columns = [
+            relation.columns[name] for name in operation.group_by
+        ]
+        try:
+            futures = [
+                self._pool.submit(group_chunk, group_columns, start, stop)
+                for start, stop in ranges
+            ]
+            parts = self._chunk_results(futures)
+        except TypeError as exc:
+            raise unhashable_key_error(
+                "aggregate", zip(operation.group_by, group_columns), exc
+            ) from exc
+        keys_in_order, members = merge_group_chunks(parts)
+        columns: Dict[str, list] = {}
+        for key_position, name in enumerate(operation.group_by):
+            columns[name] = [key[key_position] for key in keys_in_order]
+        for spec in operation.aggregates:
+            source = relation.columns[spec.input]
+            columns[spec.output] = [
+                aggregate_values(
+                    spec.function,
+                    [source[i] for i in group if source[i] is not None],
+                )
+                for group in members
+            ]
+        return ColumnarRelation(
+            schema=schema, columns=columns, length=len(keys_in_order)
+        )
 
     # -- legacy row-at-a-time operators (the reference interpreter) ---------
 

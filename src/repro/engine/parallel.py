@@ -1,0 +1,301 @@
+"""Partitioned kernels for the parallel columnar engine.
+
+``Executor(mode="parallel")`` splits each relation into contiguous
+row-range chunks and drives the per-chunk kernels below across a worker
+pool.  The contract of every kernel is **byte-identical results** to
+the serial columnar engine:
+
+* Chunks are contiguous and processed results are merged *in chunk
+  order*, so row order — and with it NULL placement, sort stability
+  and ``distinct``/group first-occurrence order — is exactly the
+  serial order.
+* Join probes run against one serially-built right-side index; each
+  chunk emits global row positions, so the merged output is the serial
+  ``left order × right insertion order``.
+* Aggregation parallelises only the grouping scan.  Chunks return
+  *member position lists*, merged order-preservingly into the serial
+  group layout; the aggregate functions then fold the exact serial
+  value sequences, which keeps floating-point results bit-identical
+  (float addition is not associative — merging partial sums would
+  not be).
+* Errors keep parity: chunk results are collected in chunk order and
+  the earliest chunk's exception wins, which is the chunk holding the
+  globally-first failing row; unhashable-key reporting scans the full
+  key columns (:func:`repro.engine.columnar.unhashable_key_error`), so
+  messages are independent of which chunk tripped first.
+
+The kernels are pure functions over explicit arguments.  The executor
+runs them on a :class:`~concurrent.futures.ThreadPoolExecutor`: on
+CPython the chunks then share the column arrays zero-copy and the GIL
+bounds the speedup by the interpreter's ability to overlap work — the
+kernel shape is deliberately process-pool-ready (no shared mutable
+state) for runtimes and machines where that pays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.engine.columnar import ColumnarRelation
+
+#: Default worker-pool width of ``Executor(mode="parallel")``.
+DEFAULT_WORKERS = 4
+
+#: Relations smaller than this run on the serial columnar kernels —
+#: below it, chunk bookkeeping costs more than the scan itself.
+DEFAULT_PARALLEL_ROW_THRESHOLD = 4096
+
+
+def chunk_ranges(length: int, workers: int) -> List[Tuple[int, int]]:
+    """Split ``range(length)`` into ``workers`` contiguous ranges.
+
+    Sizes differ by at most one row; fewer ranges come back when there
+    are fewer rows than workers.  A single range signals the caller to
+    stay on the serial path.
+    """
+    if workers <= 1 or length <= 1:
+        return [(0, length)]
+    count = min(workers, length)
+    base, extra = divmod(length, count)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def slice_relation(
+    relation: ColumnarRelation, start: int, stop: int
+) -> ColumnarRelation:
+    """The rows ``[start, stop)`` as a relation (column-slice copies)."""
+    return ColumnarRelation(
+        schema=dict(relation.schema),
+        columns={
+            name: column[start:stop]
+            for name, column in relation.columns.items()
+        },
+        length=stop - start,
+    )
+
+
+def concat_parts(
+    schema: Dict[str, object], parts: List[ColumnarRelation]
+) -> ColumnarRelation:
+    """Merge chunk results in chunk order (one pass per column)."""
+    columns: Dict[str, list] = {name: [] for name in schema}
+    length = 0
+    for part in parts:
+        for name in schema:
+            columns[name].extend(part.columns[name])
+        length += part.length
+    return ColumnarRelation(
+        schema=dict(schema), columns=columns, length=length
+    )
+
+
+# -- selection / derivation ---------------------------------------------------
+
+
+def filter_chunk(
+    function, argument_columns: List[list], start: int, stop: int
+) -> List[int]:
+    """Global positions of the chunk's rows the predicate keeps."""
+    chunk = [column[start:stop] for column in argument_columns]
+    return [
+        start + offset
+        for offset, value in enumerate(map(function, *chunk))
+        if value is True
+    ]
+
+
+def derive_chunk(
+    function, argument_columns: List[list], start: int, stop: int
+) -> list:
+    """The derived values of the chunk's rows, in row order."""
+    chunk = [column[start:stop] for column in argument_columns]
+    return list(map(function, *chunk))
+
+
+# -- join ---------------------------------------------------------------------
+
+
+def build_join_index(right: ColumnarRelation, right_keys: List[str]):
+    """The serial right-side index the probe chunks share.
+
+    Single-column keys keep the unique/duplicates split of the serial
+    kernel (so the no-duplicate fast path survives partitioning); tuple
+    keys build the position-list index.  ``TypeError`` on unhashable
+    keys propagates for the caller to wrap.
+    """
+    if len(right_keys) == 1:
+        unique: Dict[object, int] = {}
+        duplicates: Dict[object, List[int]] = {}
+        for position, key in enumerate(right.columns[right_keys[0]]):
+            if key is None:
+                continue
+            if key in unique:
+                duplicates.setdefault(key, [unique[key]]).append(position)
+            else:
+                unique[key] = position
+        return ("single", unique, duplicates)
+    index: Dict[tuple, List[int]] = {}
+    key_columns = [right.columns[key] for key in right_keys]
+    for position, key in enumerate(zip(*key_columns)):
+        if any(part is None for part in key):
+            continue
+        index.setdefault(key, []).append(position)
+    return ("multi", index)
+
+
+def _probe_chunk(
+    index,
+    left: ColumnarRelation,
+    left_keys: List[str],
+    left_outer: bool,
+    start: int,
+    stop: int,
+) -> Tuple[List[int], List[int]]:
+    """Matched (left, right) global position pairs for one left chunk."""
+    left_take: List[int] = []
+    right_take: List[int] = []  # -1 marks an outer-join NULL slot
+    if index[0] == "single":
+        __, unique, duplicates = index
+        key_column = left.columns[left_keys[0]]
+        if not duplicates and not left_outer:
+            get = unique.get
+            for position in range(start, stop):
+                key = key_column[position]
+                if key is None:
+                    continue
+                match = get(key)
+                if match is not None:
+                    left_take.append(position)
+                    right_take.append(match)
+            return left_take, right_take
+        for position in range(start, stop):
+            key = key_column[position]
+            matches = None
+            if key is not None:
+                matches = duplicates.get(key)
+                if matches is None and key in unique:
+                    left_take.append(position)
+                    right_take.append(unique[key])
+                    continue
+            if matches:
+                for match in matches:
+                    left_take.append(position)
+                    right_take.append(match)
+            elif left_outer:
+                left_take.append(position)
+                right_take.append(-1)
+        return left_take, right_take
+    __, mapping = index
+    key_columns = [left.columns[key][start:stop] for key in left_keys]
+    for offset, key in enumerate(zip(*key_columns)):
+        position = start + offset
+        matches = (
+            mapping.get(key)
+            if not any(part is None for part in key)
+            else None
+        )
+        if matches:
+            for match in matches:
+                left_take.append(position)
+                right_take.append(match)
+        elif left_outer:
+            left_take.append(position)
+            right_take.append(-1)
+    return left_take, right_take
+
+
+def join_chunk(
+    index,
+    left: ColumnarRelation,
+    right: ColumnarRelation,
+    left_keys: List[str],
+    payload: List[str],
+    schema: Dict[str, object],
+    left_outer: bool,
+    start: int,
+    stop: int,
+) -> ColumnarRelation:
+    """Probe one left chunk and gather its slice of the join output."""
+    left_take, right_take = _probe_chunk(
+        index, left, left_keys, left_outer, start, stop
+    )
+    columns: Dict[str, list] = {
+        name: [column[i] for i in left_take]
+        for name, column in left.columns.items()
+    }
+    has_outer_slots = left_outer and -1 in right_take
+    for name in payload:
+        column = right.columns[name]
+        if has_outer_slots:
+            columns[name] = [
+                column[j] if j >= 0 else None for j in right_take
+            ]
+        else:
+            columns[name] = [column[j] for j in right_take]
+    return ColumnarRelation(
+        schema=dict(schema), columns=columns, length=len(left_take)
+    )
+
+
+# -- aggregation --------------------------------------------------------------
+
+
+def group_chunk(
+    group_columns: List[list], start: int, stop: int
+) -> Tuple[List[tuple], List[List[int]]]:
+    """Group one chunk: local first-seen key order, global positions.
+
+    ``TypeError`` on unhashable group keys propagates for the caller to
+    wrap.
+    """
+    chunk_columns = [column[start:stop] for column in group_columns]
+    group_of: Dict[tuple, int] = {}
+    keys_in_order: List[tuple] = []
+    members: List[List[int]] = []
+    for offset, key in enumerate(zip(*chunk_columns)):
+        slot = group_of.get(key)
+        if slot is None:
+            group_of[key] = slot = len(members)
+            keys_in_order.append(key)
+            members.append([])
+        members[slot].append(start + offset)
+    return keys_in_order, members
+
+
+def merge_group_chunks(
+    parts: List[Tuple[List[tuple], List[List[int]]]],
+) -> Tuple[List[tuple], List[List[int]]]:
+    """Fold chunk groupings into the serial group layout.
+
+    Chunk-order iteration over chunk-local first-seen key orders yields
+    the global first-seen order; extending member lists in the same
+    sweep keeps every group's positions in ascending row order — the
+    aggregate fold then consumes exactly the serial value sequences.
+    """
+    group_of: Dict[tuple, int] = {}
+    keys_in_order: List[tuple] = []
+    members: List[List[int]] = []
+    for chunk_keys, chunk_members in parts:
+        for key, positions in zip(chunk_keys, chunk_members):
+            slot = group_of.get(key)
+            if slot is None:
+                group_of[key] = len(members)
+                keys_in_order.append(key)
+                members.append(positions)
+            else:
+                members[slot].extend(positions)
+    return keys_in_order, members
+
+
+# -- fused chains -------------------------------------------------------------
+
+
+def run_chain_chunk(program, relation: ColumnarRelation, start: int, stop: int):
+    """Run a fused chain program over one chunk of its input."""
+    return program.run(slice_relation(relation, start, stop))

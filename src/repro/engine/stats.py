@@ -19,6 +19,7 @@ recollected on every request.
 from __future__ import annotations
 
 import datetime
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -186,26 +187,42 @@ class StatisticsCatalog:
         self._database = database
         self._buckets = buckets
         self._cache: Dict[str, Tuple[int, TableStats]] = {}
+        #: Guards cache fills: concurrent workers asking for the same
+        #: table's stats must collect them once, not race check-then-set.
+        self._lock = threading.Lock()
 
     def table_stats(self, table: str) -> TableStats:
         """Statistics for a table; raises ``UnknownTableError`` like the
-        underlying database when the table does not exist."""
+        underlying database when the table does not exist.
+
+        Thread-safe: the collection pass runs under the catalog lock
+        with a double-check, so a worker pool sharing one catalog never
+        observes a half-filled entry and never collects twice for the
+        same generation.
+        """
         generation = self._generation(table)
-        if generation is not None:
+        if generation is None:
+            return self._collect(table)
+        cached = self._cache.get(table)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        with self._lock:
             cached = self._cache.get(table)
             if cached is not None and cached[0] == generation:
                 return cached[1]
+            stats = self._collect(table)
+            self._cache[table] = (generation, stats)
+        return stats
+
+    def _collect(self, table: str) -> TableStats:
         relation = self._database.scan_columns(table)
-        stats = collect_table_stats(
+        return collect_table_stats(
             table,
             dict(relation.schema),
             relation.columns,
             relation.length,
             self._buckets,
         )
-        if generation is not None:
-            self._cache[table] = (generation, stats)
-        return stats
 
     def has_table(self, table: str) -> bool:
         has = getattr(self._database, "has_table", None)

@@ -4,7 +4,7 @@ Every shrunk failure the fuzzer finds can be serialised to a small JSON
 document and committed under ``tests/fuzz/corpus/``; the tier-1 smoke
 test replays every entry on each run, so a fixed bug stays fixed.
 
-Four entry kinds:
+Five entry kinds:
 
 * ``"flow"`` — source tables (schema + rows) and the flow as xLM text;
   replay runs the full differential flow check.
@@ -12,6 +12,8 @@ Four entry kinds:
   static/dynamic agreement check (linter versus engine) instead.
 * ``"planned"`` — same payload as ``"flow"``; replay runs the
   planner-equivalence check (planned versus unplanned execution).
+* ``"parallel"`` — same payload as ``"flow"``; replay runs the
+  parallel-equivalence check (chunked versus serial, byte-identical).
 * ``"query"`` — documents, query, sort key and limit; replay runs the
   document-store check against the naive reference.
 
@@ -31,6 +33,7 @@ from repro.fuzz.datagen import TableSpec
 from repro.fuzz.flowgen import FlowTrial
 from repro.fuzz.lintoracle import LintTrial, check_lint_trial
 from repro.fuzz.oracle import check_flow_trial, check_query_trial
+from repro.fuzz.paralleloracle import ParallelTrial, check_parallel_trial
 from repro.fuzz.planoracle import PlanTrial, check_plan_trial
 from repro.fuzz.querygen import QueryTrial
 from repro.xformats import xlm
@@ -114,12 +117,20 @@ def plan_entry(trial, description: str = "") -> dict:
     return entry
 
 
+def parallel_entry(trial, description: str = "") -> dict:
+    entry = flow_entry(trial, description)
+    entry["kind"] = "parallel"
+    return entry
+
+
 def encode_trial(trial, description: str = "") -> dict:
     # Subclasses of FlowTrial must be tested before the base class.
     if isinstance(trial, LintTrial):
         return lint_entry(trial, description)
     if isinstance(trial, PlanTrial):
         return plan_entry(trial, description)
+    if isinstance(trial, ParallelTrial):
+        return parallel_entry(trial, description)
     if isinstance(trial, FlowTrial):
         return flow_entry(trial, description)
     return query_entry(trial, description)
@@ -141,10 +152,12 @@ def _decode_tables(entry: dict) -> List[TableSpec]:
 
 def decode_entry(entry: dict):
     """An entry dict back into the trial object it froze."""
-    if entry["kind"] in ("flow", "lint", "planned"):
-        trial_class = {"lint": LintTrial, "planned": PlanTrial}.get(
-            entry["kind"], FlowTrial
-        )
+    if entry["kind"] in ("flow", "lint", "planned", "parallel"):
+        trial_class = {
+            "lint": LintTrial,
+            "planned": PlanTrial,
+            "parallel": ParallelTrial,
+        }.get(entry["kind"], FlowTrial)
         return trial_class(
             tables=_decode_tables(entry),
             flow=xlm.loads(entry["xlm"]),
@@ -176,6 +189,8 @@ def replay(entry: dict) -> Optional[str]:
         return check_lint_trial(trial)
     if isinstance(trial, PlanTrial):
         return check_plan_trial(trial)
+    if isinstance(trial, ParallelTrial):
+        return check_parallel_trial(trial)
     if isinstance(trial, FlowTrial):
         return check_flow_trial(trial)
     return check_query_trial(trial)

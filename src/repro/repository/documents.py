@@ -335,6 +335,19 @@ class Collection:
             self._index_add(doc_id, stored)
         return doc_id
 
+    def bulk_load(self, documents: Iterable[dict]) -> int:
+        """Insert many documents under one lock hold; returns the count.
+
+        The persistence layer uses this to repopulate a collection
+        atomically — readers never observe a half-loaded collection.
+        """
+        with self._lock:
+            count = 0
+            for document in documents:
+                self.insert(document)
+                count += 1
+            return count
+
     def update(self, doc_id: str, changes: dict) -> dict:
         """Shallow-merge changes into an existing document."""
         with self._lock:
@@ -551,6 +564,43 @@ class DocumentStore:
     def drop_collection(self, name: str) -> None:
         with self._lock:
             self._collections.pop(name, None)
+
+    def snapshot(self) -> Dict[str, Dict[str, list]]:
+        """A point-in-time view of every collection, taken atomically.
+
+        Acquires the store lock plus every per-collection lock in a
+        stable (name-sorted) order before reading anything, so a
+        snapshot concurrent with writing sessions can never persist a
+        torn view — e.g. a bus event without the artefact it announces.
+        The store lock is held throughout, so collections created
+        mid-snapshot wait rather than appear half-included.  Writers
+        only ever take a single collection lock, so the ordered
+        acquisition cannot deadlock against them.
+        """
+        with self._lock:
+            collections = [
+                self._collections[name]
+                for name in sorted(self._collections)
+            ]
+            acquired: List[Collection] = []
+            try:
+                for collection in collections:
+                    collection._lock.acquire()
+                    acquired.append(collection)
+                return {
+                    "collections": {
+                        collection.name: collection.find()
+                        for collection in collections
+                    },
+                    "indexes": {
+                        collection.name: collection.indexes()
+                        for collection in collections
+                        if collection.indexes()
+                    },
+                }
+            finally:
+                for collection in reversed(acquired):
+                    collection._lock.release()
 
     def __contains__(self, name: str) -> bool:
         with self._lock:

@@ -19,18 +19,18 @@ from repro.repository.documents import DocumentStore
 
 
 def save(store: DocumentStore, path) -> None:
-    """Write the store atomically (write-then-rename)."""
+    """Write the store atomically (write-then-rename).
+
+    The in-memory view is captured via :meth:`DocumentStore.snapshot`,
+    which holds every per-collection lock (in stable order) for the
+    duration of the read — a save concurrent with writing sessions
+    persists a consistent point in time, never a torn one.
+    """
+    snapshot = store.snapshot()
     payload = {
         "name": store.name,
-        "collections": {
-            name: store.collection(name).find()
-            for name in store.collection_names()
-        },
-        "indexes": {
-            name: store.collection(name).indexes()
-            for name in store.collection_names()
-            if store.collection(name).indexes()
-        },
+        "collections": snapshot["collections"],
+        "indexes": snapshot["indexes"],
     }
     directory = os.path.dirname(os.path.abspath(path)) or "."
     handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -59,6 +59,7 @@ def load(path) -> DocumentStore:
         collection = store.collection(collection_name)
         for index_path in indexes.get(collection_name, []):
             collection.create_index(index_path)
-        for document in documents:
-            collection.insert(document)
+        # One lock hold per collection: a reader that grabs the store
+        # mid-load sees each collection either empty or complete.
+        collection.bulk_load(documents)
     return store

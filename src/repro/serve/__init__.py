@@ -1,0 +1,20 @@
+"""The served front door: Quarry's design lifecycle over HTTP.
+
+The paper frames Quarry as a set of RESTful services; this package is
+the thin network skin over the in-process service fabric of
+:mod:`repro.core.services`.  A :class:`SessionManager` multiplexes many
+named :class:`~repro.core.services.session.DesignSession` lifecycles —
+elicit, interpret, integrate, deploy — over one shared metadata
+repository, and :class:`QuarryServer` exposes them as JSON endpoints on
+a threaded stdlib HTTP server.
+
+.. code-block:: console
+
+    $ python -m repro.serve --port 8747      # serve the TPC-H domain
+    $ python -m repro.serve.smoke            # boot + two-session round trip
+    $ python -m benchmarks.run_serving       # concurrent-session load bench
+"""
+
+from repro.serve.server import QuarryServer, SessionManager, tpch_manager
+
+__all__ = ["QuarryServer", "SessionManager", "tpch_manager"]

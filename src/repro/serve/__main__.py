@@ -1,0 +1,30 @@
+"""``python -m repro.serve`` — serve the TPC-H demo domain over HTTP."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.serve.server import QuarryServer, tpch_manager
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve Quarry design sessions over HTTP (TPC-H domain).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8747, help="0 picks a free port"
+    )
+    args = parser.parse_args(argv)
+    server = QuarryServer(tpch_manager(), host=args.host, port=args.port)
+    print(f"serving Quarry on {server.url} (Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

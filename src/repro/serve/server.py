@@ -1,0 +1,343 @@
+"""HTTP front end over the design-session services.
+
+Routes (all request/response bodies are JSON):
+
+========  =====================================  ==============================
+GET       /healthz                               liveness + session count
+GET       /sessions                              session names
+POST      /sessions                              ``{"name": ...}`` -> create
+GET       /sessions/<name>/status                DesignStatus
+GET       /sessions/<name>/design                unified design summary
+GET       /sessions/<name>/requirements          elicited requirement ids
+POST      /sessions/<name>/requirements          ``{"xrq": "<xml>"}`` -> add
+DELETE    /sessions/<name>/requirements/<id>     remove one requirement
+POST      /sessions/<name>/deploy                ``{"platform": ...}``
+========  =====================================  ==============================
+
+Errors come back as ``{"error": message}`` with 400 (bad input), 404
+(unknown session/requirement), 409 (conflict) or 500.
+
+Concurrency model: the HTTP server is threaded (one handler thread per
+connection); the :class:`SessionManager` serialises all work *within* a
+session behind a per-session reentrant lock while different sessions
+proceed in parallel — exactly the isolation the session-scoped
+repository namespaces promise.  This front end is what exposed the
+check-then-set races fixed in the engine caches, the store snapshot and
+the artifact bus: hundreds of handler threads hammer those paths at
+once (see ``benchmarks/run_serving.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from contextlib import contextmanager
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.services.session import DesignSession
+from repro.errors import QuarryError, RepositoryError
+from repro.repository.metadata import MetadataRepository
+
+#: Session names are path segments and repository namespace parts.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+
+class ServeError(Exception):
+    """An error with an HTTP status attached."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class SessionManager:
+    """Named design sessions over one shared metadata repository.
+
+    ``create``/``get`` are guarded by the manager lock; every operation
+    *on* a session must run inside ``with manager.locked(name):`` so a
+    session's fold state only ever sees one mutator at a time.
+    """
+
+    def __init__(
+        self,
+        ontology,
+        schema,
+        mappings,
+        repository: Optional[MetadataRepository] = None,
+        source_database=None,
+    ) -> None:
+        self._ontology = ontology
+        self._schema = schema
+        self._mappings = mappings
+        self._repository = (
+            repository if repository is not None else MetadataRepository()
+        )
+        #: Optional database handed to ``deploy`` for platforms that
+        #: extract (``native``); ``None`` serves design-only platforms.
+        self.source_database = source_database
+        self._sessions: Dict[str, DesignSession] = {}
+        self._locks: Dict[str, threading.RLock] = {}
+        self._lock = threading.Lock()
+
+    def create(self, name: str) -> DesignSession:
+        if not _NAME_PATTERN.match(name or ""):
+            raise ServeError(
+                400,
+                "session name must be 1-64 characters of "
+                "[A-Za-z0-9_.-]",
+            )
+        with self._lock:
+            if name in self._sessions:
+                raise ServeError(409, f"session {name!r} already exists")
+            session = DesignSession(
+                self._ontology,
+                self._schema,
+                self._mappings,
+                repository=self._repository,
+                session=name,
+            )
+            self._sessions[name] = session
+            self._locks[name] = threading.RLock()
+            return session
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    @contextmanager
+    def locked(self, name: str):
+        """The named session, held under its per-session lock."""
+        with self._lock:
+            session = self._sessions.get(name)
+            lock = self._locks.get(name)
+        if session is None or lock is None:
+            raise ServeError(404, f"unknown session {name!r}")
+        with lock:
+            yield session
+
+
+def tpch_manager(**kwargs) -> SessionManager:
+    """A manager over the TPC-H demo domain (the CLI's domain)."""
+    from repro.sources import tpch
+
+    return SessionManager(
+        tpch.ontology(), tpch.schema(), tpch.mappings(), **kwargs
+    )
+
+
+# -- request handling ---------------------------------------------------------
+
+
+def _design_summary(session: DesignSession) -> dict:
+    unified_md, unified_etl = session.unified_design()
+    return {
+        "facts": sorted(unified_md.facts),
+        "dimensions": sorted(unified_md.dimensions),
+        "etl_operations": len(unified_etl),
+        "operators": [
+            {"name": node.name, "kind": node.kind}
+            for node in unified_etl.nodes()
+        ],
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the session manager (set by the server)."""
+
+    manager: SessionManager  # injected by QuarryServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the load generator's job, not ours
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(400, f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ServeError(400, "request body must be a JSON object")
+        return payload
+
+    def _route(self, method: str) -> Tuple[int, dict]:
+        parts = [part for part in self.path.split("?")[0].split("/") if part]
+        if method == "GET" and parts == ["healthz"]:
+            return 200, {
+                "status": "ok",
+                "sessions": self.manager.count(),
+            }
+        if parts and parts[0] == "sessions":
+            return self._route_sessions(method, parts[1:])
+        raise ServeError(404, f"no such route: {method} {self.path}")
+
+    def _route_sessions(
+        self, method: str, parts: List[str]
+    ) -> Tuple[int, dict]:
+        manager = self.manager
+        if not parts:
+            if method == "GET":
+                return 200, {"sessions": manager.names()}
+            if method == "POST":
+                name = self._body().get("name")
+                if not isinstance(name, str):
+                    raise ServeError(400, "body needs a 'name' string")
+                manager.create(name)
+                return 201, {"session": name}
+            raise ServeError(404, f"no such route: {method} /sessions")
+        name, rest = parts[0], parts[1:]
+        if method == "GET" and rest == ["status"]:
+            with manager.locked(name) as session:
+                return 200, session.status().to_dict()
+        if method == "GET" and rest == ["design"]:
+            with manager.locked(name) as session:
+                return 200, _design_summary(session)
+        if method == "GET" and rest == ["requirements"]:
+            with manager.locked(name) as session:
+                return 200, {
+                    "requirements": [
+                        requirement.id
+                        for requirement in session.requirements()
+                    ]
+                }
+        if method == "POST" and rest == ["requirements"]:
+            xrq_text = self._body().get("xrq")
+            if not isinstance(xrq_text, str):
+                raise ServeError(400, "body needs an 'xrq' string")
+            with manager.locked(name) as session:
+                report = session.add_requirement_xrq(xrq_text)
+                return 201, report.to_dict()
+        if (
+            method == "DELETE"
+            and len(rest) == 2
+            and rest[0] == "requirements"
+        ):
+            with manager.locked(name) as session:
+                report = session.remove_requirement(rest[1])
+                return 200, report.to_dict()
+        if method == "POST" and rest == ["deploy"]:
+            body = self._body()
+            platform = body.get("platform")
+            if not isinstance(platform, str):
+                raise ServeError(400, "body needs a 'platform' string")
+            with manager.locked(name) as session:
+                result = session.deploy(
+                    platform,
+                    source_database=manager.source_database,
+                    lint_gate=bool(body.get("lint_gate", True)),
+                )
+                return 200, {
+                    "design": result.design,
+                    "platform": result.platform,
+                    "artifacts": dict(result.artifacts),
+                    "loaded": (
+                        dict(result.stats.loaded) if result.stats else None
+                    ),
+                }
+        raise ServeError(
+            404, f"no such route: {method} /sessions/{name}/{'/'.join(rest)}"
+        )
+
+    def _handle(self, method: str) -> None:
+        try:
+            status, payload = self._route(method)
+        except ServeError as exc:
+            self._reply(exc.status, {"error": str(exc)})
+        except KeyError as exc:
+            self._reply(404, {"error": f"not found: {exc}"})
+        except (QuarryError, RepositoryError) as exc:
+            message = str(exc)
+            status = 409 if "already exists" in message else 400
+            self._reply(status, {"error": message})
+        except Exception as exc:  # the server must survive any request
+            self._reply(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        else:
+            self._reply(status, payload)
+
+    def do_GET(self) -> None:
+        self._handle("GET")
+
+    def do_POST(self) -> None:
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE")
+
+
+class QuarryServer:
+    """A threaded HTTP server bound to one session manager.
+
+    ``port=0`` picks a free port (``server.port`` reports it).  Use as
+    a context manager, or call :meth:`start`/:meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        manager: SessionManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        handler = type("BoundHandler", (_Handler,), {"manager": manager})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self.manager = manager
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "QuarryServer":
+        """Serve on a background thread; returns once the socket listens."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "QuarryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

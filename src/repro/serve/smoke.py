@@ -1,0 +1,183 @@
+"""``python -m repro.serve.smoke`` — end-to-end round trip over HTTP.
+
+Boots the served front door (or targets ``--url``), then drives two
+isolated sessions through the full lifecycle — create, elicit via xRQ,
+inspect status and design, deploy, remove — asserting status codes and
+cross-session isolation at every step.  Exit code 0 only if every check
+passes; CI runs this as the serving gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+
+from repro import RequirementBuilder
+from repro.xformats import xrq
+
+
+def demo_xrq(requirement_id: str) -> str:
+    """One of the demo requirements as an xRQ document."""
+    if requirement_id == "IR1":
+        requirement = (
+            RequirementBuilder(
+                "IR1",
+                "Average revenue per part and supplier name, "
+                "orders from Spain",
+            )
+            .measure(
+                "revenue",
+                "Lineitem_l_extendedprice * (1 - Lineitem_l_discount)",
+                "AVERAGE",
+            )
+            .per("Part_p_name", "Supplier_s_name")
+            .where("Nation_n_name = 'SPAIN'")
+            .build()
+        )
+    else:
+        requirement = (
+            RequirementBuilder(requirement_id, "Total net profit per brand")
+            .measure(
+                "netprofit",
+                "Lineitem_l_extendedprice * (1 - Lineitem_l_discount) "
+                "- Partsupp_ps_supplycost * Lineitem_l_quantity",
+                "SUM",
+            )
+            .per("Part_p_brand")
+            .build()
+        )
+    return xrq.dumps(requirement)
+
+
+def request(base: str, method: str, path: str, body=None):
+    """One JSON request; returns ``(status, payload)``."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read() or b"{}")
+
+
+class SmokeFailure(AssertionError):
+    pass
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise SmokeFailure(message)
+    print(f"  ok: {message}")
+
+
+def run_round_trip(base: str) -> None:
+    status, payload = request(base, "GET", "/healthz")
+    check(status == 200 and payload["status"] == "ok", "healthz answers")
+
+    for name in ("smoke-alpha", "smoke-beta"):
+        status, __ = request(base, "POST", "/sessions", {"name": name})
+        check(status == 201, f"session {name} created")
+    status, __ = request(
+        base, "POST", "/sessions", {"name": "smoke-alpha"}
+    )
+    check(status == 409, "duplicate session rejected with 409")
+    status, __ = request(base, "GET", "/sessions/ghost/status")
+    check(status == 404, "unknown session is 404")
+
+    status, report = request(
+        base,
+        "POST",
+        "/sessions/smoke-alpha/requirements",
+        {"xrq": demo_xrq("IR1")},
+    )
+    check(
+        status == 201 and report["requirement_id"] == "IR1",
+        "IR1 elicited into smoke-alpha",
+    )
+    status, report = request(
+        base,
+        "POST",
+        "/sessions/smoke-beta/requirements",
+        {"xrq": demo_xrq("IR2")},
+    )
+    check(
+        status == 201 and report["requirement_id"] == "IR2",
+        "IR2 elicited into smoke-beta",
+    )
+
+    __, alpha = request(base, "GET", "/sessions/smoke-alpha/status")
+    __, beta = request(base, "GET", "/sessions/smoke-beta/status")
+    check(
+        alpha["requirements"] == ["IR1"]
+        and beta["requirements"] == ["IR2"],
+        "sessions are isolated",
+    )
+    __, design = request(base, "GET", "/sessions/smoke-alpha/design")
+    check(
+        design["facts"] and design["etl_operations"] > 0,
+        "unified design materialised",
+    )
+
+    for name in ("smoke-alpha", "smoke-beta"):
+        status, deployed = request(
+            base,
+            "POST",
+            f"/sessions/{name}/deploy",
+            {"platform": "sql"},
+        )
+        check(
+            status == 200 and deployed["artifacts"],
+            f"{name} deployed to sql "
+            f"({len(deployed.get('artifacts', {}))} artifacts)",
+        )
+
+    status, __ = request(
+        base, "DELETE", "/sessions/smoke-alpha/requirements/IR1"
+    )
+    check(status == 200, "IR1 removed from smoke-alpha")
+    __, listed = request(
+        base, "GET", "/sessions/smoke-alpha/requirements"
+    )
+    check(listed["requirements"] == [], "smoke-alpha is empty again")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.serve.smoke")
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="target an already-running server instead of booting one",
+    )
+    args = parser.parse_args(argv)
+    if args.url is not None:
+        try:
+            run_round_trip(args.url.rstrip("/"))
+        except SmokeFailure as failure:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("serving smoke: PASS")
+        return 0
+
+    from repro.serve.server import QuarryServer, tpch_manager
+
+    with QuarryServer(tpch_manager()) as server:
+        print(f"booted {server.url}")
+        try:
+            run_round_trip(server.url)
+        except SmokeFailure as failure:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+    print("serving smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

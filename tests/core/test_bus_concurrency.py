@@ -1,0 +1,133 @@
+"""Regression: the artifact bus under concurrent publishers.
+
+Before the bus lock, ``publish`` read a topic sequence, appended the
+event, then wrote the sequence back — two handler threads publishing on
+one session's bus could draw the same sequence and collide on the
+persisted position id.  ``marker`` read position and sequences in two
+steps, so a concurrent publish produced a marker describing a log state
+that never existed.  These tests hammer one bus from a pool and check
+the invariants the fix guarantees; the foreign-marker test pins the new
+rollback rejection.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.services.bus import ArtifactBus
+from repro.errors import QuarryError
+from repro.repository.metadata import MetadataRepository
+
+THREADS = 8
+PER_THREAD = 25
+
+
+def test_concurrent_publishes_never_collide():
+    bus = ArtifactBus(MetadataRepository(), "default")
+    barrier = threading.Barrier(THREADS)
+
+    def publisher(worker: int):
+        barrier.wait(timeout=10)
+        return [
+            bus.publish("topic", "k", {"worker": worker}, producer="t")
+            for _ in range(PER_THREAD)
+        ]
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        batches = list(pool.map(publisher, range(THREADS)))
+
+    envelopes = [envelope for batch in batches for envelope in batch]
+    total = THREADS * PER_THREAD
+    # Unique, gapless sequences and positions: no publish was lost, no
+    # two publishes drew the same slot.
+    assert sorted(e.sequence for e in envelopes) == list(
+        range(1, total + 1)
+    )
+    assert sorted(e.position for e in envelopes) == list(range(total))
+    logged = bus.events("topic")
+    assert len(logged) == total
+    assert [e.position for e in logged] == list(range(total))
+
+
+def test_marker_is_atomic_under_concurrent_publishing():
+    bus = ArtifactBus(MetadataRepository(), "default")
+    stop = threading.Event()
+    errors = []
+
+    def publisher(worker: int):
+        topic = f"topic{worker % 3}"
+        while not stop.is_set():
+            bus.publish(topic, "k", {}, producer="t")
+
+    def observer():
+        # Invariant of every log state that actually existed: the next
+        # free position equals the number of events logged so far, i.e.
+        # the sum of all per-topic sequences.  A marker captured
+        # non-atomically (position, then sequences) breaks it as soon
+        # as a publish lands in between.
+        for _ in range(200):
+            marker = bus.marker()
+            if marker["position"] + 1 != sum(marker["sequences"].values()):
+                errors.append(marker)
+
+    publishers = [
+        threading.Thread(target=publisher, args=(n,), daemon=True)
+        for n in range(3)
+    ]
+    for thread in publishers:
+        thread.start()
+    try:
+        observer()
+    finally:
+        stop.set()
+        for thread in publishers:
+            thread.join(timeout=10)
+    assert not errors, f"inconsistent markers: {errors[:3]}"
+
+
+def test_rollback_of_marker_under_load_keeps_log_consistent():
+    bus = ArtifactBus(MetadataRepository(), "default")
+    for n in range(5):
+        bus.publish("kept", "k", {"n": n}, producer="t")
+    marker = bus.marker()
+
+    barrier = threading.Barrier(4)
+
+    def publisher():
+        barrier.wait(timeout=10)
+        for _ in range(PER_THREAD):
+            bus.publish("doomed", "k", {}, producer="t")
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        for _ in range(4):
+            pool.submit(publisher)
+
+    dropped = bus.rollback(marker)
+    assert dropped == 4 * PER_THREAD
+    assert [e.payload["n"] for e in bus.events("kept")] == list(range(5))
+    assert bus.events("doomed") == []
+    # Sequences resumed from the marker, not from the dropped events.
+    assert bus.publish("kept", "k", {"n": 5}, producer="t").sequence == 6
+
+
+def test_rollback_rejects_marker_from_another_bus():
+    repository = MetadataRepository()
+    bus = ArtifactBus(repository, "default")
+    other = ArtifactBus(MetadataRepository(), "default")
+    bus.publish("topic", "k", {}, producer="t")
+    foreign = other.marker()
+    with pytest.raises(QuarryError, match="marker from bus"):
+        bus.rollback(foreign)
+    # The log is untouched by the rejected rollback.
+    assert len(bus.events("topic")) == 1
+
+
+def test_rollback_rejects_marker_from_reloaded_bus():
+    repository = MetadataRepository()
+    first = ArtifactBus(repository, "default")
+    first.publish("topic", "k", {}, producer="t")
+    stale = first.marker()
+    reloaded = ArtifactBus(repository, "default")
+    with pytest.raises(QuarryError, match="marker from bus"):
+        reloaded.rollback(stale)

@@ -1,0 +1,197 @@
+"""The HTTP front door: routing, lifecycle, isolation, concurrency."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.server import QuarryServer, tpch_manager
+from repro.serve.smoke import demo_xrq
+
+
+@pytest.fixture(scope="module")
+def server():
+    with QuarryServer(tpch_manager()) as running:
+        yield running
+
+
+def call(server, method, path, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        server.url + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read() or b"{}")
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read() or b"{}")
+
+
+class TestRouting:
+    def test_healthz(self, server):
+        status, payload = call(server, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_unknown_route_is_404(self, server):
+        status, payload = call(server, "GET", "/nope")
+        assert status == 404
+        assert "error" in payload
+
+    def test_unknown_session_is_404(self, server):
+        status, __ = call(server, "GET", "/sessions/ghost/status")
+        assert status == 404
+
+    def test_invalid_session_name_is_400(self, server):
+        status, payload = call(
+            server, "POST", "/sessions", {"name": "no/slashes"}
+        )
+        assert status == 400
+        assert "session name" in payload["error"]
+
+    def test_malformed_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/sessions",
+            data=b"not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=60)
+        assert excinfo.value.code == 400
+
+
+class TestLifecycle:
+    def test_full_design_round_trip(self, server):
+        status, __ = call(server, "POST", "/sessions", {"name": "life"})
+        assert status == 201
+        status, __ = call(server, "POST", "/sessions", {"name": "life"})
+        assert status == 409
+
+        status, report = call(
+            server,
+            "POST",
+            "/sessions/life/requirements",
+            {"xrq": demo_xrq("IR1")},
+        )
+        assert status == 201
+        assert report["requirement_id"] == "IR1"
+        assert report["action"] == "added"
+
+        status, listed = call(
+            server, "GET", "/sessions/life/requirements"
+        )
+        assert (status, listed) == (200, {"requirements": ["IR1"]})
+
+        status, summary = call(server, "GET", "/sessions/life/status")
+        assert status == 200
+        assert summary["requirements"] == ["IR1"]
+        assert summary["facts"] and summary["dimensions"]
+
+        status, design = call(server, "GET", "/sessions/life/design")
+        assert status == 200
+        assert design["etl_operations"] == len(design["operators"])
+
+        status, deployed = call(
+            server, "POST", "/sessions/life/deploy", {"platform": "sql"}
+        )
+        assert status == 200
+        assert deployed["platform"] == "sql"
+        assert deployed["artifacts"]
+
+        status, removal = call(
+            server, "DELETE", "/sessions/life/requirements/IR1"
+        )
+        assert status == 200
+        assert removal["action"] == "removed"
+        __, listed = call(server, "GET", "/sessions/life/requirements")
+        assert listed["requirements"] == []
+
+    def test_duplicate_requirement_is_409(self, server):
+        call(server, "POST", "/sessions", {"name": "dup"})
+        call(
+            server,
+            "POST",
+            "/sessions/dup/requirements",
+            {"xrq": demo_xrq("IR2")},
+        )
+        status, payload = call(
+            server,
+            "POST",
+            "/sessions/dup/requirements",
+            {"xrq": demo_xrq("IR2")},
+        )
+        assert status == 409
+        assert "already exists" in payload["error"]
+
+    def test_unknown_platform_is_400(self, server):
+        call(server, "POST", "/sessions", {"name": "plat"})
+        call(
+            server,
+            "POST",
+            "/sessions/plat/requirements",
+            {"xrq": demo_xrq("IR2")},
+        )
+        status, payload = call(
+            server, "POST", "/sessions/plat/deploy", {"platform": "warp"}
+        )
+        assert status == 400
+        assert "unknown platform" in payload["error"]
+
+
+class TestConcurrency:
+    def test_concurrent_sessions_stay_isolated(self, server):
+        names = [f"conc{index}" for index in range(8)]
+        barrier = threading.Barrier(len(names))
+
+        def lifecycle(name):
+            barrier.wait(timeout=30)
+            status, __ = call(
+                server, "POST", "/sessions", {"name": name}
+            )
+            assert status == 201
+            status, report = call(
+                server,
+                "POST",
+                f"/sessions/{name}/requirements",
+                {"xrq": demo_xrq("IR1")},
+            )
+            assert status == 201, report
+            status, summary = call(
+                server, "GET", f"/sessions/{name}/status"
+            )
+            assert status == 200
+            return summary["requirements"]
+
+        with ThreadPoolExecutor(max_workers=len(names)) as pool:
+            results = list(pool.map(lifecycle, names))
+        assert results == [["IR1"]] * len(names)
+
+    def test_concurrent_writes_to_one_session_serialise(self, server):
+        call(server, "POST", "/sessions", {"name": "hammer"})
+        barrier = threading.Barrier(6)
+
+        def add(index):
+            barrier.wait(timeout=30)
+            return call(
+                server,
+                "POST",
+                "/sessions/hammer/requirements",
+                {"xrq": demo_xrq(f"IR{index + 10}")},
+            )[0]
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            statuses = list(pool.map(add, range(6)))
+        assert statuses == [201] * 6
+        __, listed = call(
+            server, "GET", "/sessions/hammer/requirements"
+        )
+        assert sorted(listed["requirements"]) == [
+            f"IR{index + 10}" for index in range(6)
+        ]
