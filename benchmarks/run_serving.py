@@ -8,10 +8,16 @@ threads.  All sessions share one metadata repository, so this is the
 workload that hammers the per-table engine caches, the artifact bus
 and the store snapshot from many handler threads at once.
 
+A second phase re-deploys a slice of those sessions **in the
+background** (``{"background": true}`` → 202 + job id, polled to
+completion) to measure what the async job runner buys: the 202
+acceptance latency against the synchronous deploy's p50.
+
 Writes ``BENCH_serving.json`` with sessions/sec plus p50/p99 latency
-per request type and per whole session.  Any non-2xx response or
-transport error fails the run (exit 1): a throughput number is only
-reported for a fully-correct run.
+per request type and per whole session, and a ``background_deploy``
+section.  Any non-2xx response, transport error or failed job fails
+the run (exit 1): a throughput number is only reported for a
+fully-correct run.
 
 Usage::
 
@@ -44,6 +50,9 @@ from repro.serve.smoke import demo_xrq
 DEFAULT_SESSIONS = 120
 DEFAULT_DRIVERS = 16
 
+#: How many of the load sessions phase two re-deploys in the background.
+BACKGROUND_JOBS = 32
+
 
 def percentile(samples: List[float], fraction: float) -> float:
     """The nearest-rank percentile of a non-empty sample list."""
@@ -72,6 +81,72 @@ def timed_request(
         error.read()
         status = error.code
     return status, time.perf_counter() - started
+
+
+def json_request(
+    base: str, method: str, path: str, body=None
+) -> Tuple[int, dict, float]:
+    """One JSON request; returns ``(status, payload, seconds)``."""
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base + path,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    started = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            payload = json.loads(response.read() or b"{}")
+            status = response.status
+    except urllib.error.HTTPError as error:
+        payload = json.loads(error.read() or b"{}")
+        status = error.code
+    return status, payload, time.perf_counter() - started
+
+
+def drive_background_deploy(base: str, name: str, errors) -> Tuple[float, float]:
+    """Submit one background re-deploy; poll its job to completion.
+
+    Returns ``(accept_seconds, completion_seconds)`` — the 202 round
+    trip, and submit-to-done wall clock.
+    """
+    submitted = time.perf_counter()
+    try:
+        status, accepted, accept_seconds = json_request(
+            base,
+            "POST",
+            f"/sessions/{name}/deploy",
+            {"platform": "sql", "background": True},
+        )
+    except Exception as exc:  # transport-level failure
+        errors.append(
+            f"background deploy {name}: {type(exc).__name__}: {exc}"
+        )
+        return 0.0, 0.0
+    if status != 202:
+        errors.append(f"background deploy {name}: expected 202, got {status}")
+        return accept_seconds, 0.0
+    job_url = accepted["status_url"]
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        try:
+            status, job, __ = json_request(base, "GET", job_url)
+        except Exception:  # transient reset under load: poll again
+            time.sleep(0.05)
+            continue
+        if status != 200:
+            errors.append(f"job poll {job_url}: got {status}")
+            break
+        if job["state"] == "done":
+            return accept_seconds, time.perf_counter() - submitted
+        if job["state"] == "error":
+            errors.append(f"background deploy {name}: {job.get('error')}")
+            break
+        time.sleep(0.05)
+    else:
+        errors.append(f"background deploy {name}: job never finished")
+    return accept_seconds, time.perf_counter() - submitted
 
 
 def drive_session(base: str, index: int, latencies, errors) -> float:
@@ -127,6 +202,40 @@ def run_load(sessions: int, drivers: int) -> dict:
             )
         elapsed = time.perf_counter() - started
         live_sessions = server.manager.count()
+
+        # Phase two: background re-deploys on a slice of the sessions.
+        job_names = [
+            f"load{index:04d}" for index in range(min(sessions, BACKGROUND_JOBS))
+        ]
+        with ThreadPoolExecutor(max_workers=drivers) as pool:
+            job_samples = list(
+                pool.map(
+                    lambda name: drive_background_deploy(
+                        server.url, name, errors
+                    ),
+                    job_names,
+                )
+            )
+    accept_seconds = [sample[0] for sample in job_samples if sample[0] > 0]
+    completion_seconds = [
+        sample[1] for sample in job_samples if sample[1] > 0
+    ]
+    sync_deploy_p50 = percentile(latencies.get("deploy", [0.0]), 0.50)
+    accept_p50 = percentile(accept_seconds, 0.50) if accept_seconds else 0.0
+    background = {
+        "jobs": len(job_names),
+        "accept_p50_seconds": accept_p50,
+        "accept_p99_seconds": (
+            percentile(accept_seconds, 0.99) if accept_seconds else 0.0
+        ),
+        "completion_p50_seconds": (
+            percentile(completion_seconds, 0.50)
+            if completion_seconds
+            else 0.0
+        ),
+        "sync_deploy_p50_seconds": sync_deploy_p50,
+        "accept_below_sync_p50": accept_p50 < sync_deploy_p50,
+    }
     report = {
         "benchmark": "serving: concurrent design sessions over HTTP",
         "sessions": sessions,
@@ -146,6 +255,7 @@ def run_load(sessions: int, drivers: int) -> dict:
             }
             for label, samples in sorted(latencies.items())
         },
+        "background_deploy": background,
         "errors": errors,
     }
     return report
@@ -172,6 +282,13 @@ def main(argv=None) -> int:
         f"{report['sessions_per_second']:.1f} sessions/sec, session p50 "
         f"{report['session_latency']['p50_seconds'] * 1000:.0f} ms, p99 "
         f"{report['session_latency']['p99_seconds'] * 1000:.0f} ms"
+    )
+    background = report["background_deploy"]
+    print(
+        f"background deploy: {background['jobs']} jobs, accept p50 "
+        f"{background['accept_p50_seconds'] * 1000:.1f} ms vs sync "
+        f"deploy p50 {background['sync_deploy_p50_seconds'] * 1000:.1f} ms"
+        f" ({'faster' if background['accept_below_sync_p50'] else 'NOT faster'})"
     )
     print(f"report written to {options.output}")
     if report["errors"]:

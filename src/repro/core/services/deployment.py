@@ -80,7 +80,7 @@ class DeploymentService:
 
     # -- deployment --------------------------------------------------------
 
-    def deploy(
+    def build(
         self,
         md_schema: MDSchema,
         etl_flow: EtlFlow,
@@ -88,13 +88,15 @@ class DeploymentService:
         source_database: Optional[Database] = None,
         lint_gate: bool = True,
     ) -> DeploymentResult:
-        """Deploy a unified design; records the artefacts in the repo.
+        """The slow, pure-compute phase of a deploy.
 
-        Deployment is gated on the linter: ERROR-severity findings raise
-        :class:`repro.errors.LintError` before anything is deployed,
-        while warnings are reported through the ``lint`` artifact of the
-        result (and the recorded deployment).  Pass ``lint_gate=False``
-        to skip the gate.
+        Lints (ERROR-severity findings raise
+        :class:`repro.errors.LintError` before anything is deployed;
+        warnings ride along in the ``lint`` artifact) and runs the
+        platform backend.  Touches **neither the repository nor the
+        bus** — it is safe to call against a design snapshot *outside*
+        the session lock, which is how the HTTP front door keeps
+        ``status``/``design`` reads responsive during a long deploy.
         """
         lint_report = None
         if lint_gate:
@@ -109,6 +111,20 @@ class DeploymentService:
         )
         if lint_report is not None:
             result.artifacts["lint"] = lint_report.render()
+        return result
+
+    def record(
+        self,
+        result: DeploymentResult,
+        platform: str,
+        lint_gate: bool = True,
+    ) -> None:
+        """The bookkeeping phase of a deploy: repository + bus announce.
+
+        Fast, but it **must run under the session lock** — bus
+        publishes race with the elicitation pipeline's marker/rollback
+        machinery, which truncates the log on failed folds.
+        """
         self._repository.record_deployment(
             "current", platform, dict(result.artifacts)
         )
@@ -124,4 +140,26 @@ class DeploymentService:
             producer=self.name,
             attachment=result,
         )
+
+    def deploy(
+        self,
+        md_schema: MDSchema,
+        etl_flow: EtlFlow,
+        platform: str,
+        source_database: Optional[Database] = None,
+        lint_gate: bool = True,
+    ) -> DeploymentResult:
+        """Deploy a unified design; records the artefacts in the repo.
+
+        ``build`` + ``record`` in one call — the shape every embedded
+        (non-HTTP) caller wants.
+        """
+        result = self.build(
+            md_schema,
+            etl_flow,
+            platform,
+            source_database=source_database,
+            lint_gate=lint_gate,
+        )
+        self.record(result, platform, lint_gate=lint_gate)
         return result

@@ -27,8 +27,13 @@ Two execution modes share one dispatch skeleton:
   selections, derivations, join probes and grouping scans run across a
   worker pool (:mod:`repro.engine.parallel`), with chunk results merged
   in chunk order so results stay byte-identical to ``"columnar"``.
-  Small inputs (below ``parallel_row_threshold``) fall back to the
-  serial kernels.
+  ``pool="thread"`` (default) shares columns zero-copy across a
+  ``ThreadPoolExecutor``; ``pool="process"`` ships chunks to a
+  ``ProcessPoolExecutor`` through the shared-memory column transport
+  of :mod:`repro.engine.shm` and recompiles expressions worker-side.
+  Small inputs (below ``parallel_row_threshold``; the default is
+  pool-aware, since process dispatch costs far more per chunk than
+  thread dispatch) fall back to the serial kernels.
 
 Structural bookkeeping is shared and cheap: the topological order is
 computed once per ``execute()`` and intermediate results are released by
@@ -38,7 +43,8 @@ a per-node consumer countdown (O(V+E) overall, not O(n²)).
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -52,18 +58,27 @@ from repro.engine.columnar import (
     unhashable_key_error,
 )
 from repro.engine.parallel import (
-    DEFAULT_PARALLEL_ROW_THRESHOLD,
     DEFAULT_WORKERS,
+    ChainSpec,
     build_join_index,
     chunk_ranges,
+    compile_chain_spec,
     concat_parts,
+    default_row_threshold,
     derive_chunk,
     filter_chunk,
+    gather_join,
     group_chunk,
     join_chunk,
     merge_group_chunks,
+    process_chain_chunk,
+    process_derive_chunk,
+    process_filter_chunk,
+    process_group_chunk,
+    process_probe_chunk,
     run_chain_chunk,
 )
+from repro.engine.shm import ColumnTransport, SharedObject, process_context
 from repro.engine.database import Database, TableDef
 from repro.engine.relation import Relation
 from repro.etlmodel.flow import EtlFlow
@@ -238,9 +253,17 @@ class Executor:
     over a ``workers``-wide pool) or ``"legacy"`` (the row-at-a-time
     reference interpreter).  All four produce identical results.
 
-    A parallel executor owns a thread pool; it is reused across
-    ``execute()`` calls and released by :meth:`close` (the executor is
-    also a context manager).
+    ``pool`` selects the parallel worker pool: ``"thread"`` (default —
+    zero-copy column sharing, GIL-bounded speedup) or ``"process"``
+    (true multi-core, columns shipped through shared memory and
+    expressions recompiled worker-side).  ``parallel_row_threshold``
+    defaults per pool (:func:`repro.engine.parallel.default_row_threshold`):
+    process dispatch pays transport and pickling per chunk, so its
+    serial-fallback cutoff sits an order of magnitude higher.
+
+    A parallel executor owns its pool; it is spawned lazily, reused
+    across ``execute()`` calls and released by :meth:`close` (the
+    executor is also a context manager).
     """
 
     def __init__(
@@ -248,17 +271,25 @@ class Executor:
         database: Database,
         mode: str = "columnar",
         workers: int = DEFAULT_WORKERS,
-        parallel_row_threshold: int = DEFAULT_PARALLEL_ROW_THRESHOLD,
+        parallel_row_threshold: Optional[int] = None,
+        pool: str = "thread",
     ) -> None:
         if mode not in ("columnar", "legacy", "planned", "parallel"):
             raise ValueError(f"unknown executor mode {mode!r}")
+        if pool not in ("thread", "process"):
+            raise ValueError(f"unknown worker pool {pool!r}")
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self._database = database
         self.mode = mode
         self.workers = workers
-        self._parallel_threshold = parallel_row_threshold
-        self._pool_instance: Optional[ThreadPoolExecutor] = None
+        self.pool = pool
+        self._parallel_threshold = (
+            parallel_row_threshold
+            if parallel_row_threshold is not None
+            else default_row_threshold(pool)
+        )
+        self._pool_instance = None
         table = _LEGACY_DISPATCH if mode == "legacy" else _COLUMNAR_DISPATCH
         self._dispatch: Dict[str, Callable] = {
             kind: getattr(self, attr) for kind, attr in table.items()
@@ -276,17 +307,30 @@ class Executor:
     # -- worker pool --------------------------------------------------------
 
     @property
-    def _pool(self) -> ThreadPoolExecutor:
+    def _pool(self):
         if self._pool_instance is None:
-            self._pool_instance = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="repro-exec"
-            )
+            if self.pool == "process":
+                self._pool_instance = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=process_context(),
+                )
+            else:
+                self._pool_instance = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-exec",
+                )
         return self._pool_instance
 
     def close(self) -> None:
         """Release the worker pool (no-op for serial executors)."""
         if self._pool_instance is not None:
             self._pool_instance.shutdown(wait=True)
+            self._pool_instance = None
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool; the next use lazily spawns a fresh one."""
+        if self._pool_instance is not None:
+            self._pool_instance.shutdown(wait=False)
             self._pool_instance = None
 
     def __enter__(self) -> "Executor":
@@ -422,7 +466,9 @@ class Executor:
         node_started = time.perf_counter()
         program = None
         try:
-            program = _build_chain_program(flow, chain, input_relation)
+            spec = _build_chain_spec(flow, chain, input_relation)
+            if spec is not None:
+                program = compile_chain_spec(spec)
         except Exception:
             program = None
         if program is not None:
@@ -638,6 +684,12 @@ class Executor:
         The earliest chunk's exception wins — that chunk holds the
         globally-first failing row, so the error surfaced matches the
         serial engine's exactly.
+
+        A dead worker (as opposed to a task that raised) breaks the
+        whole process pool: that surfaces as an honest
+        :class:`ExecutionError`, the broken pool is discarded, and the
+        executor stays usable — the next parallel node spawns a fresh
+        pool.
         """
         results = []
         error: Optional[BaseException] = None
@@ -649,6 +701,12 @@ class Executor:
                     error = exc
             else:
                 future.cancel()
+        if isinstance(error, BrokenProcessPool):
+            self._discard_pool()
+            raise ExecutionError(
+                "parallel worker process died mid-task; the pool was "
+                "restarted — re-run the flow"
+            ) from error
         if error is not None:
             raise error
         return results
@@ -668,11 +726,36 @@ class Executor:
         ranges = chunk_ranges(relation.length, self.workers)
         if len(ranges) <= 1:
             return program.run(relation)
-        futures = [
-            self._pool.submit(run_chain_chunk, program, relation, start, stop)
-            for start, stop in ranges
-        ]
-        parts = self._chunk_results(futures)
+        if self.pool == "process":
+            # Ship only the chain's read-set; workers recompile the
+            # spec behind their own per-process cache.
+            with ColumnTransport(
+                {
+                    name: relation.columns[name]
+                    for name in program.input_names
+                },
+                relation.length,
+            ) as transport:
+                futures = [
+                    self._pool.submit(
+                        process_chain_chunk,
+                        program.spec,
+                        transport.chunk_payload(
+                            program.input_names, start, stop
+                        ),
+                        stop - start,
+                    )
+                    for start, stop in ranges
+                ]
+                parts = self._chunk_results(futures)
+        else:
+            futures = [
+                self._pool.submit(
+                    run_chain_chunk, program, relation, start, stop
+                )
+                for start, stop in ranges
+            ]
+            parts = self._chunk_results(futures)
         result = concat_parts(
             program.output_schema, [part for part, __ in parts]
         )
@@ -681,6 +764,26 @@ class Executor:
             for counts in zip(*(counts for __, counts in parts))
         ]
         return result, filter_counts
+
+    def _process_map_chunks(self, task, compiled, columns, ranges):
+        """Run a per-chunk expression kernel in the process pool.
+
+        Transports only the expression's argument columns; each chunk
+        task carries the source text plus its payload and global start.
+        """
+        names = list(compiled.attributes)
+        length = ranges[-1][1]
+        with ColumnTransport(dict(zip(names, columns)), length) as transport:
+            futures = [
+                self._pool.submit(
+                    task,
+                    compiled.text,
+                    transport.chunk_payload(names, start, stop),
+                    start,
+                )
+                for start, stop in ranges
+            ]
+            return self._chunk_results(futures)
 
     def _filter_parallel(self, operation: Selection, inputs, stats):
         relation: ColumnarRelation = inputs[0]
@@ -691,13 +794,22 @@ class Executor:
             # Serial fallbacks (row-at-a-time evaluation, constant
             # predicates, small inputs) — same results, same errors.
             return self._filter_columnar(operation, inputs, stats)
-        function = compiled.column_fn
-        futures = [
-            self._pool.submit(filter_chunk, function, columns, start, stop)
-            for start, stop in ranges
-        ]
+        if self.pool == "process":
+            chunks = self._process_map_chunks(
+                process_filter_chunk, compiled, columns, ranges
+            )
+        else:
+            function = compiled.column_fn
+            chunks = self._chunk_results(
+                [
+                    self._pool.submit(
+                        filter_chunk, function, columns, start, stop
+                    )
+                    for start, stop in ranges
+                ]
+            )
         keep: List[int] = []
-        for chunk in self._chunk_results(futures):
+        for chunk in chunks:
             keep.extend(chunk)
         if len(keep) == relation.length:
             return relation
@@ -714,13 +826,22 @@ class Executor:
         ranges = self._parallel_ranges(relation.length)
         if columns is None or not compiled.attributes or ranges is None:
             return self._derive_columnar(operation, inputs, stats)
-        function = compiled.column_fn
-        futures = [
-            self._pool.submit(derive_chunk, function, columns, start, stop)
-            for start, stop in ranges
-        ]
+        if self.pool == "process":
+            chunks = self._process_map_chunks(
+                process_derive_chunk, compiled, columns, ranges
+            )
+        else:
+            function = compiled.column_fn
+            chunks = self._chunk_results(
+                [
+                    self._pool.submit(
+                        derive_chunk, function, columns, start, stop
+                    )
+                    for start, stop in ranges
+                ]
+            )
         derived: list = []
-        for chunk in self._chunk_results(futures):
+        for chunk in chunks:
             derived.extend(chunk)
         new_columns = dict(relation.columns)
         new_columns[operation.output] = derived
@@ -740,8 +861,13 @@ class Executor:
         try:
             # The build side is serial (it is the smaller side of every
             # FK join and inherently order-dependent); the probes fan
-            # out, each gathering its own slice of the output.
+            # out, each producing its slice of the matched positions.
             index = build_join_index(right, right_keys)
+            if self.pool == "process":
+                return self._probe_gather_process(
+                    index, left, right, left_keys, payload, schema,
+                    left_outer, ranges,
+                )
             futures = [
                 self._pool.submit(
                     join_chunk,
@@ -758,11 +884,49 @@ class Executor:
                 for start, stop in ranges
             ]
             parts = self._chunk_results(futures)
+        except ExecutionError:
+            raise
         except TypeError as exc:
             named = [(key, left.columns[key]) for key in left_keys]
             named += [(key, right.columns[key]) for key in right_keys]
             raise unhashable_key_error("join", named, exc) from exc
         return concat_parts(schema, parts)
+
+    def _probe_gather_process(
+        self, index, left, right, left_keys, payload, schema,
+        left_outer, ranges,
+    ):
+        """Probe chunks in the process pool, gather once in the parent.
+
+        The serially-built index travels as one shared pickled blob;
+        each chunk transports only its slice of the left key columns
+        and returns matched positions.  The single parent-side gather
+        is exactly the serial ``hash_join`` gather, so output bytes
+        match however many chunks probed.
+        """
+        with SharedObject(index) as shared_index, ColumnTransport(
+            {key: left.columns[key] for key in left_keys}, left.length
+        ) as transport:
+            handle = shared_index.handle()
+            futures = [
+                self._pool.submit(
+                    process_probe_chunk,
+                    handle,
+                    transport.chunk_payload(left_keys, start, stop),
+                    left_outer,
+                    start,
+                )
+                for start, stop in ranges
+            ]
+            parts = self._chunk_results(futures)
+        left_take: List[int] = []
+        right_take: List[int] = []
+        for chunk_left, chunk_right in parts:
+            left_take.extend(chunk_left)
+            right_take.extend(chunk_right)
+        return gather_join(
+            left, right, payload, schema, left_outer, left_take, right_take
+        )
 
     def _aggregate_parallel(self, operation: Aggregation, inputs, stats):
         from repro.etlmodel.propagation import _aggregation_schema
@@ -777,11 +941,32 @@ class Executor:
             relation.columns[name] for name in operation.group_by
         ]
         try:
-            futures = [
-                self._pool.submit(group_chunk, group_columns, start, stop)
-                for start, stop in ranges
-            ]
-            parts = self._chunk_results(futures)
+            if self.pool == "process":
+                with ColumnTransport(
+                    dict(zip(operation.group_by, group_columns)),
+                    relation.length,
+                ) as transport:
+                    futures = [
+                        self._pool.submit(
+                            process_group_chunk,
+                            transport.chunk_payload(
+                                operation.group_by, start, stop
+                            ),
+                            start,
+                        )
+                        for start, stop in ranges
+                    ]
+                    parts = self._chunk_results(futures)
+            else:
+                futures = [
+                    self._pool.submit(
+                        group_chunk, group_columns, start, stop
+                    )
+                    for start, stop in ranges
+                ]
+                parts = self._chunk_results(futures)
+        except ExecutionError:
+            raise
         except TypeError as exc:
             raise unhashable_key_error(
                 "aggregate", zip(operation.group_by, group_columns), exc
@@ -1028,92 +1213,25 @@ def _argument_columns(
     return arguments
 
 
-# -- fused chain programs ---------------------------------------------------
+# -- fused chain specs -------------------------------------------------------
 
 
-class _ChainProgram:
-    """A fused single-pass program over an input relation.
-
-    ``steps`` interleave filters and derivations in chain order; pure
-    structural stages (projection, extraction, rename) were resolved at
-    build time into the slot mapping, so they cost nothing at runtime.
-    """
-
-    def __init__(
-        self,
-        input_names: List[str],
-        steps: List[tuple],
-        output_schema: Dict[str, ScalarType],
-        output_positions: List[int],
-        filter_count: int,
-    ) -> None:
-        self.input_names = input_names
-        self.steps = steps
-        self.output_schema = output_schema
-        self.output_positions = output_positions
-        self.filter_count = filter_count
-
-    def run(self, relation: ColumnarRelation):
-        filter_counts = [0] * self.filter_count
-        if not self.steps:
-            # Pure structural chain: zero-copy column re-selection.
-            source = [relation.columns[name] for name in self.input_names]
-            columns = {
-                name: source[position]
-                for name, position in zip(
-                    self.output_schema, self.output_positions
-                )
-            }
-            result = ColumnarRelation(
-                schema=dict(self.output_schema),
-                columns=columns,
-                length=relation.length,
-            )
-            return result, filter_counts
-        source = [relation.columns[name] for name in self.input_names]
-        if source:
-            row_iter = zip(*source)
-        else:
-            row_iter = (() for _ in range(relation.length))
-        kept: List[tuple] = []
-        steps = self.steps
-        for values in row_iter:
-            survived = True
-            for step in steps:
-                if step[0] == "filter":
-                    __, function, positions, counter = step
-                    if function(*[values[p] for p in positions]) is not True:
-                        survived = False
-                        break
-                    filter_counts[counter] += 1
-                else:
-                    __, function, positions, __slot = step
-                    values = (*values, function(*[values[p] for p in positions]))
-            if survived:
-                kept.append(values)
-        columns = {
-            name: [values[position] for values in kept]
-            for name, position in zip(
-                self.output_schema, self.output_positions
-            )
-        }
-        result = ColumnarRelation(
-            schema=dict(self.output_schema),
-            columns=columns,
-            length=len(kept),
-        )
-        return result, filter_counts
-
-
-def _build_chain_program(
+def _build_chain_spec(
     flow: EtlFlow, chain: List[str], input_relation: ColumnarRelation
-) -> Optional[_ChainProgram]:
-    """Compile a fused chain against the input schema.
+) -> Optional[ChainSpec]:
+    """Describe a fused chain against the input schema as a
+    :class:`repro.engine.parallel.ChainSpec`.
 
     Returns ``None`` when the chain cannot be fused faithfully (missing
     attributes, schema errors, parse errors …) — the caller then runs
     the chain stage by stage, which reproduces the engine's exact error
-    behaviour."""
+    behaviour.
+
+    The spec's ``input_names`` are compacted to the chain's *read-set*:
+    input columns no step reads and the output does not keep are
+    dropped from the slot space entirely, so chunk slicing (and the
+    process pool's column transport) never touches them.
+    """
     from repro.etlmodel.propagation import _derive_schema
 
     input_names = list(input_relation.schema)
@@ -1134,7 +1252,7 @@ def _build_chain_program(
                 positions[a] for a in compiled.attributes
             )
             steps.append(
-                ("filter", compiled.column_fn, argument_positions, filter_count)
+                ("filter", compiled.text, argument_positions, filter_count)
             )
             filter_count += 1
         elif isinstance(operation, (Projection, Extraction)):
@@ -1152,7 +1270,7 @@ def _build_chain_program(
                 positions[a] for a in compiled.attributes
             )
             steps.append(
-                ("derive", compiled.column_fn, argument_positions, next_slot)
+                ("derive", compiled.text, argument_positions, next_slot)
             )
             positions = dict(positions)
             positions[operation.output] = next_slot
@@ -1169,11 +1287,48 @@ def _build_chain_program(
         else:
             return None
     output_positions = [positions[name] for name in schema]
-    return _ChainProgram(
-        input_names=input_names,
-        steps=steps,
-        output_schema=schema,
-        output_positions=output_positions,
+    # Read-set compaction: keep only input slots some step argument or
+    # output column actually references, then renumber — input slots to
+    # their compacted index, derived slots shifted down by the dropped
+    # input count (the runtime appends derived values right after the
+    # inputs, wherever the input list ends).
+    total_inputs = len(input_names)
+    used = sorted(
+        {
+            position
+            for __, __, argument_positions, __s in steps
+            for position in argument_positions
+            if position < total_inputs
+        }
+        | {
+            position
+            for position in output_positions
+            if position < total_inputs
+        }
+    )
+    new_index = {old: new for new, old in enumerate(used)}
+    kept_inputs = len(used)
+
+    def remap(position: int) -> int:
+        if position < total_inputs:
+            return new_index[position]
+        return position - total_inputs + kept_inputs
+
+    return ChainSpec(
+        input_names=tuple(input_names[position] for position in used),
+        steps=tuple(
+            (
+                kind,
+                text,
+                tuple(remap(p) for p in argument_positions),
+                counter if kind == "filter" else remap(counter),
+            )
+            for kind, text, argument_positions, counter in steps
+        ),
+        output_schema=tuple(schema.items()),
+        output_positions=tuple(
+            remap(position) for position in output_positions
+        ),
         filter_count=filter_count,
     )
 

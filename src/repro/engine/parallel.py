@@ -24,19 +24,40 @@ the serial columnar engine:
   key columns (:func:`repro.engine.columnar.unhashable_key_error`), so
   messages are independent of which chunk tripped first.
 
-The kernels are pure functions over explicit arguments.  The executor
-runs them on a :class:`~concurrent.futures.ThreadPoolExecutor`: on
-CPython the chunks then share the column arrays zero-copy and the GIL
-bounds the speedup by the interpreter's ability to overlap work — the
-kernel shape is deliberately process-pool-ready (no shared mutable
-state) for runtimes and machines where that pays.
+The kernels are pure functions over explicit arguments and come in two
+transport shapes:
+
+* **Thread kernels** (:func:`filter_chunk`, :func:`derive_chunk`,
+  :func:`join_chunk`, :func:`group_chunk`, :func:`run_chain_chunk`)
+  share column lists zero-copy across a ``ThreadPoolExecutor``; on
+  CPython the GIL bounds their speedup.
+* **Process kernels** (the ``process_*_chunk`` functions) run on a
+  ``ProcessPoolExecutor``.  Their arguments must pickle, so they take
+  *expression source text* instead of compiled closures — workers
+  recompile behind :func:`repro.expressions.compiler.compile_expression`'s
+  per-process LRU — and column data arrives through the shared-memory
+  transport of :mod:`repro.engine.shm` (only the read-set of each
+  kernel is shipped; fixed-width columns ride shared memory, object
+  columns pickle per chunk).  Workers return plain positions/values;
+  output gathering stays in the parent, so floats and row order never
+  pass through a lossy representation.
+
+Fused chains compile from a :class:`ChainSpec` — a frozen, picklable,
+hashable description (expression *texts* plus resolved slot indices) —
+via :func:`compile_chain_spec`, memoised per process, so the same chain
+compiles once in the parent and once in each worker that executes it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.columnar import ColumnarRelation
+from repro.engine.shm import SharedObjectHandle, hydrate_chunk
+from repro.expressions.compiler import compile_expression
+from repro.expressions.types import ScalarType
 
 #: Default worker-pool width of ``Executor(mode="parallel")``.
 DEFAULT_WORKERS = 4
@@ -44,6 +65,19 @@ DEFAULT_WORKERS = 4
 #: Relations smaller than this run on the serial columnar kernels —
 #: below it, chunk bookkeeping costs more than the scan itself.
 DEFAULT_PARALLEL_ROW_THRESHOLD = 4096
+
+#: The process pool's serial-fallback threshold is higher: a process
+#: dispatch pays pickling, shared-memory packing and result transport
+#: on top of the chunk bookkeeping, so the break-even row count is
+#: roughly an order of magnitude above the thread pool's.
+DEFAULT_PROCESS_ROW_THRESHOLD = 32768
+
+
+def default_row_threshold(pool: str) -> int:
+    """The serial-fallback row threshold for a pool kind."""
+    if pool == "process":
+        return DEFAULT_PROCESS_ROW_THRESHOLD
+    return DEFAULT_PARALLEL_ROW_THRESHOLD
 
 
 def chunk_ranges(length: int, workers: int) -> List[Tuple[int, int]]:
@@ -67,14 +101,22 @@ def chunk_ranges(length: int, workers: int) -> List[Tuple[int, int]]:
 
 
 def slice_relation(
-    relation: ColumnarRelation, start: int, stop: int
+    relation: ColumnarRelation,
+    start: int,
+    stop: int,
+    names: Optional[Sequence[str]] = None,
 ) -> ColumnarRelation:
-    """The rows ``[start, stop)`` as a relation (column-slice copies)."""
+    """The rows ``[start, stop)`` as a relation (column-slice copies).
+
+    ``names`` restricts the slice to a read-set: only those columns are
+    copied (and appear in the result's schema) — chunk tasks that only
+    read a few columns must not pay for the rest.
+    """
+    selected = relation.schema if names is None else names
     return ColumnarRelation(
-        schema=dict(relation.schema),
+        schema={name: relation.schema[name] for name in selected},
         columns={
-            name: column[start:stop]
-            for name, column in relation.columns.items()
+            name: relation.columns[name][start:stop] for name in selected
         },
         length=stop - start,
     )
@@ -118,6 +160,32 @@ def derive_chunk(
     return list(map(function, *chunk))
 
 
+def process_filter_chunk(expression: str, payload, start: int) -> List[int]:
+    """Process-pool filter kernel: recompile, evaluate, global positions.
+
+    ``payload`` transports the predicate's argument columns (rows
+    ``[start, start + n)``) in ``compiled.attributes`` order.
+    """
+    function = compile_expression(expression).column_fn
+    chunk = hydrate_chunk(payload)
+    return [
+        start + offset
+        for offset, value in enumerate(map(function, *chunk))
+        if value is True
+    ]
+
+
+def process_derive_chunk(expression: str, payload, start: int = 0) -> list:
+    """Process-pool derive kernel: recompile and map over the chunk.
+
+    ``start`` is unused — kept for the uniform expression-kernel
+    signature ``(text, payload, start)`` the dispatcher relies on.
+    """
+    function = compile_expression(expression).column_fn
+    chunk = hydrate_chunk(payload)
+    return list(map(function, *chunk))
+
+
 # -- join ---------------------------------------------------------------------
 
 
@@ -149,52 +217,51 @@ def build_join_index(right: ColumnarRelation, right_keys: List[str]):
     return ("multi", index)
 
 
-def _probe_chunk(
+def probe_positions(
     index,
-    left: ColumnarRelation,
-    left_keys: List[str],
+    key_columns: List[list],
     left_outer: bool,
-    start: int,
-    stop: int,
+    base: int,
 ) -> Tuple[List[int], List[int]]:
-    """Matched (left, right) global position pairs for one left chunk."""
+    """Matched (left, right) position pairs for one chunk's key slices.
+
+    ``key_columns`` hold only the chunk's rows; emitted left positions
+    are global (``base`` + local offset), exactly as the serial probe
+    would visit them.
+    """
     left_take: List[int] = []
     right_take: List[int] = []  # -1 marks an outer-join NULL slot
     if index[0] == "single":
         __, unique, duplicates = index
-        key_column = left.columns[left_keys[0]]
+        key_column = key_columns[0]
         if not duplicates and not left_outer:
             get = unique.get
-            for position in range(start, stop):
-                key = key_column[position]
+            for offset, key in enumerate(key_column):
                 if key is None:
                     continue
                 match = get(key)
                 if match is not None:
-                    left_take.append(position)
+                    left_take.append(base + offset)
                     right_take.append(match)
             return left_take, right_take
-        for position in range(start, stop):
-            key = key_column[position]
+        for offset, key in enumerate(key_column):
             matches = None
             if key is not None:
                 matches = duplicates.get(key)
                 if matches is None and key in unique:
-                    left_take.append(position)
+                    left_take.append(base + offset)
                     right_take.append(unique[key])
                     continue
             if matches:
                 for match in matches:
-                    left_take.append(position)
+                    left_take.append(base + offset)
                     right_take.append(match)
             elif left_outer:
-                left_take.append(position)
+                left_take.append(base + offset)
                 right_take.append(-1)
         return left_take, right_take
     __, mapping = index
-    key_columns = [left.columns[key][start:stop] for key in left_keys]
     for offset, key in enumerate(zip(*key_columns)):
-        position = start + offset
         matches = (
             mapping.get(key)
             if not any(part is None for part in key)
@@ -202,29 +269,28 @@ def _probe_chunk(
         )
         if matches:
             for match in matches:
-                left_take.append(position)
+                left_take.append(base + offset)
                 right_take.append(match)
         elif left_outer:
-            left_take.append(position)
+            left_take.append(base + offset)
             right_take.append(-1)
     return left_take, right_take
 
 
-def join_chunk(
-    index,
+def gather_join(
     left: ColumnarRelation,
     right: ColumnarRelation,
-    left_keys: List[str],
     payload: List[str],
     schema: Dict[str, object],
     left_outer: bool,
-    start: int,
-    stop: int,
+    left_take: List[int],
+    right_take: List[int],
 ) -> ColumnarRelation:
-    """Probe one left chunk and gather its slice of the join output."""
-    left_take, right_take = _probe_chunk(
-        index, left, left_keys, left_outer, start, stop
-    )
+    """Materialise join output rows from matched position pairs.
+
+    Identical to the serial ``hash_join`` gather, so chunked joins are
+    byte-identical however the positions were produced.
+    """
     columns: Dict[str, list] = {
         name: [column[i] for i in left_take]
         for name, column in left.columns.items()
@@ -243,6 +309,43 @@ def join_chunk(
     )
 
 
+def join_chunk(
+    index,
+    left: ColumnarRelation,
+    right: ColumnarRelation,
+    left_keys: List[str],
+    payload: List[str],
+    schema: Dict[str, object],
+    left_outer: bool,
+    start: int,
+    stop: int,
+) -> ColumnarRelation:
+    """Probe one left chunk and gather its slice of the join output."""
+    key_columns = [left.columns[key][start:stop] for key in left_keys]
+    left_take, right_take = probe_positions(
+        index, key_columns, left_outer, start
+    )
+    return gather_join(
+        left, right, payload, schema, left_outer, left_take, right_take
+    )
+
+
+def process_probe_chunk(
+    index_handle: SharedObjectHandle,
+    key_payload,
+    left_outer: bool,
+    start: int,
+) -> Tuple[List[int], List[int]]:
+    """Process-pool probe kernel: positions only, gather stays parent-side.
+
+    The serially-built index arrives as one shared pickled blob (not a
+    per-task copy); the chunk transports only the left key columns.
+    """
+    index = index_handle.load()
+    key_columns = hydrate_chunk(key_payload)
+    return probe_positions(index, key_columns, left_outer, start)
+
+
 # -- aggregation --------------------------------------------------------------
 
 
@@ -255,6 +358,12 @@ def group_chunk(
     wrap.
     """
     chunk_columns = [column[start:stop] for column in group_columns]
+    return _group_local(chunk_columns, start)
+
+
+def _group_local(
+    chunk_columns: List[list], base: int
+) -> Tuple[List[tuple], List[List[int]]]:
     group_of: Dict[tuple, int] = {}
     keys_in_order: List[tuple] = []
     members: List[List[int]] = []
@@ -264,8 +373,15 @@ def group_chunk(
             group_of[key] = slot = len(members)
             keys_in_order.append(key)
             members.append([])
-        members[slot].append(start + offset)
+        members[slot].append(base + offset)
     return keys_in_order, members
+
+
+def process_group_chunk(
+    key_payload, start: int
+) -> Tuple[List[tuple], List[List[int]]]:
+    """Process-pool grouping kernel over transported key columns."""
+    return _group_local(hydrate_chunk(key_payload), start)
 
 
 def merge_group_chunks(
@@ -296,6 +412,136 @@ def merge_group_chunks(
 # -- fused chains -------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class ChainSpec:
+    """A picklable, hashable description of one fused unary chain.
+
+    ``steps`` hold expression *source text* plus resolved slot indices
+    — never compiled closures — so a spec crosses process boundaries
+    and keys the per-process compile cache.  ``input_names`` is the
+    chain's **read-set**: the input columns the steps and the output
+    actually touch, not the whole input schema (chunk tasks slice and
+    transport only these).
+    """
+
+    input_names: Tuple[str, ...]
+    #: ("filter", text, argument_positions, counter) or
+    #: ("derive", text, argument_positions, output_slot)
+    steps: Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+    output_schema: Tuple[Tuple[str, ScalarType], ...]
+    output_positions: Tuple[int, ...]
+    filter_count: int
+
+
+class ChainProgram:
+    """A fused single-pass program over an input relation.
+
+    ``steps`` interleave compiled filters and derivations in chain
+    order; pure structural stages (projection, extraction, rename) were
+    resolved at build time into the slot mapping, so they cost nothing
+    at runtime.
+    """
+
+    def __init__(self, spec: ChainSpec) -> None:
+        self.spec = spec
+        self.input_names = list(spec.input_names)
+        self.steps = [
+            (kind, compile_expression(text).column_fn, positions, slot)
+            for kind, text, positions, slot in spec.steps
+        ]
+        self.output_schema: Dict[str, ScalarType] = dict(spec.output_schema)
+        self.output_positions = list(spec.output_positions)
+        self.filter_count = spec.filter_count
+
+    def run(self, relation: ColumnarRelation):
+        filter_counts = [0] * self.filter_count
+        if not self.steps:
+            # Pure structural chain: zero-copy column re-selection.
+            source = [relation.columns[name] for name in self.input_names]
+            columns = {
+                name: source[position]
+                for name, position in zip(
+                    self.output_schema, self.output_positions
+                )
+            }
+            result = ColumnarRelation(
+                schema=dict(self.output_schema),
+                columns=columns,
+                length=relation.length,
+            )
+            return result, filter_counts
+        source = [relation.columns[name] for name in self.input_names]
+        if source:
+            row_iter = zip(*source)
+        else:
+            row_iter = (() for _ in range(relation.length))
+        kept: List[tuple] = []
+        steps = self.steps
+        for values in row_iter:
+            survived = True
+            for step in steps:
+                if step[0] == "filter":
+                    __, function, positions, counter = step
+                    if function(*[values[p] for p in positions]) is not True:
+                        survived = False
+                        break
+                    filter_counts[counter] += 1
+                else:
+                    __, function, positions, __slot = step
+                    values = (*values, function(*[values[p] for p in positions]))
+            if survived:
+                kept.append(values)
+        columns = {
+            name: [values[position] for values in kept]
+            for name, position in zip(
+                self.output_schema, self.output_positions
+            )
+        }
+        result = ColumnarRelation(
+            schema=dict(self.output_schema),
+            columns=columns,
+            length=len(kept),
+        )
+        return result, filter_counts
+
+
+@lru_cache(maxsize=512)
+def compile_chain_spec(spec: ChainSpec) -> ChainProgram:
+    """Compile a chain spec, memoised per process.
+
+    In the parent this deduplicates repeated chains across ``execute()``
+    calls; in a pool worker it is the per-process cache the recompile
+    story relies on — each worker compiles a given chain exactly once.
+    """
+    return ChainProgram(spec)
+
+
 def run_chain_chunk(program, relation: ColumnarRelation, start: int, stop: int):
-    """Run a fused chain program over one chunk of its input."""
-    return program.run(slice_relation(relation, start, stop))
+    """Run a fused chain program over one chunk of its input.
+
+    Slices only the program's read-set — columns the chain neither
+    reads nor outputs are not copied.
+    """
+    return program.run(
+        slice_relation(relation, start, stop, names=program.input_names)
+    )
+
+
+def process_chain_chunk(spec: ChainSpec, payload, length: int):
+    """Process-pool chain kernel: rebuild the program, run the chunk.
+
+    ``payload`` transports ``spec.input_names`` (in order) for the
+    chunk's rows; the compiled program comes from the worker's own
+    :func:`compile_chain_spec` cache.
+    """
+    program = compile_chain_spec(spec)
+    columns = hydrate_chunk(payload)
+    relation = ColumnarRelation(
+        schema={
+            name: program.output_schema.get(name)
+            for name in program.input_names
+        },
+        columns=dict(zip(program.input_names, columns)),
+        length=length,
+    )
+    return program.run(relation)

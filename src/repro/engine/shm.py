@@ -1,0 +1,328 @@
+"""Shared-memory column transport for the process-pool executor.
+
+``Executor(mode="parallel", pool="process")`` must move column data to
+worker processes.  Pickling whole Python lists through the task pipe is
+the straightforward way — and exactly what makes naive multiprocess ETL
+lose to a single core.  This module moves **homogeneous fixed-width
+columns through ``multiprocessing.shared_memory``** instead: the parent
+packs each eligible column once into a named segment (a flat value
+array plus a one-byte-per-row NULL mask), and every chunk task carries
+only the segment name and its ``[start, stop)`` row range.  Workers map
+the segment, copy out just their slice, and hand the executor plain
+Python lists again — transport is invisible above this module.
+
+Eligibility is deliberately strict, because the executor's contract is
+*byte-identical* results:
+
+* ``int`` columns ride as 64-bit signed values — but only when every
+  value is exactly ``int`` (``bool`` is a subclass and would rehydrate
+  as ``int``, changing ``repr``) and fits the range;
+* ``float`` columns ride as IEEE doubles, which round-trip bit-exactly
+  (``struct``/``array`` never normalise, so NaN payloads and signed
+  zeros survive);
+* ``None`` is carried in the mask, any other value type makes the
+  column fall back to pickling its per-chunk slice.
+
+The pickle fallback is also the safety net: if the platform has no
+usable ``/dev/shm`` the transport degrades to pure pickling rather
+than failing.
+
+:class:`SharedObject` is the second transport shape: one
+pickled-once blob in shared memory (used for the serially-built join
+index, which every probe chunk reads) so the pool's task pipe does not
+carry ``workers`` copies of it.
+
+Lifecycle: the parent owns every segment and must call ``close()``
+(``ColumnTransport`` and ``SharedObject`` are context managers) after
+the chunk futures resolve.  Workers attach read-only and close
+immediately after copying; on Pythons whose ``SharedMemory`` registers
+*attaches* with the resource tracker (3.8–3.12) they also unregister,
+so the tracker does not complain about segments the parent already
+unlinked.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from array import array
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - the stdlib always has it on supported platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+#: 64-bit signed bounds: ints outside ride the pickle fallback.
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+#: typecode -> bytes per value of the packed array layouts.
+_ITEM_SIZES = {"q": 8, "d": 8}
+
+
+def process_context():
+    """The multiprocessing context for executor process pools.
+
+    ``fork`` on platforms that support it safely (Linux): workers
+    inherit warm compile caches and imported modules for free.  macOS
+    ``fork`` is unsafe with threads (the system frameworks abort), and
+    Windows never had it, so both select ``spawn``.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if sys.platform not in ("darwin", "win32") and "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _attach(name: str):
+    """Attach to a named segment.
+
+    On 3.8–3.12 attaching re-registers the name with the resource
+    tracker.  Pool workers — forked *and* spawned — inherit the
+    parent's tracker process (spawn passes the tracker fd in its
+    preparation data), so that registration is a set no-op in the one
+    shared tracker and the parent's single ``unlink`` retires it
+    cleanly.  Unregistering here (the folk remedy for tracker "leak"
+    warnings) would be actively wrong: it strips the creator's own
+    registration out of the shared cache.
+    """
+    return _shared_memory.SharedMemory(name=name)
+
+
+def _classify(values: Sequence[object]) -> Optional[str]:
+    """The packed typecode for a column, or ``None`` for object columns.
+
+    Strict on types: ``type(v) is int`` / ``type(v) is float`` only —
+    a ``bool`` or int-valued ``float`` must come back exactly as it
+    went in, so subclasses and mixtures disqualify the column.
+    """
+    saw_int = saw_float = False
+    for value in values:
+        if value is None:
+            continue
+        kind = type(value)
+        if kind is int:
+            if not (_INT64_MIN <= value <= _INT64_MAX):
+                return None
+            saw_int = True
+        elif kind is float:
+            saw_float = True
+        else:
+            return None
+        if saw_int and saw_float:
+            return None
+    if saw_float:
+        return "d"
+    if saw_int:
+        return "q"
+    # All-NULL columns pack as (empty) integers: only the mask matters.
+    return "q"
+
+
+@dataclass(frozen=True)
+class ShmSlice:
+    """A picklable reference to rows ``[start, stop)`` of a packed column.
+
+    Layout of the segment: ``count`` values of ``typecode`` followed by
+    ``count`` mask bytes (1 = NULL).
+    """
+
+    segment: str
+    typecode: str
+    count: int
+    start: int
+    stop: int
+
+    def values(self) -> list:
+        """Copy this slice out of shared memory as a plain list."""
+        handle = _attach(self.segment)
+        try:
+            item_size = _ITEM_SIZES[self.typecode]
+            packed = array(self.typecode)
+            packed.frombytes(
+                handle.buf[self.start * item_size : self.stop * item_size]
+            )
+            values = packed.tolist()
+            mask_base = self.count * item_size
+            mask = bytes(
+                handle.buf[mask_base + self.start : mask_base + self.stop]
+            )
+        finally:
+            handle.close()
+        if 1 in mask:
+            for position, flag in enumerate(mask):
+                if flag:
+                    values[position] = None
+        return values
+
+
+@dataclass(frozen=True)
+class RawSlice:
+    """The pickle fallback: the slice's values travel with the task."""
+
+    data: tuple
+
+    def values(self) -> list:
+        return list(self.data)
+
+
+class ColumnTransport:
+    """Parent-side packer for the columns one parallel node ships.
+
+    Packs each eligible column into one shared-memory segment up front;
+    :meth:`chunk_payload` then yields per-chunk handles — tiny for
+    packed columns, sliced lists for fallback columns — and
+    :func:`hydrate_chunk` turns a payload back into column lists
+    worker-side.
+    """
+
+    def __init__(self, columns: Dict[str, list], length: int) -> None:
+        self.length = length
+        self._segments: List[object] = []
+        self._packed: Dict[str, Tuple[str, str]] = {}
+        self._fallback: Dict[str, list] = {}
+        for name, values in columns.items():
+            typecode = (
+                _classify(values) if _shared_memory is not None else None
+            )
+            segment = (
+                self._pack(values, typecode, length)
+                if typecode is not None and length > 0
+                else None
+            )
+            if segment is None:
+                self._fallback[name] = values
+            else:
+                self._segments.append(segment)
+                self._packed[name] = (segment.name, typecode)
+
+    def _pack(self, values: list, typecode: str, length: int):
+        item_size = _ITEM_SIZES[typecode]
+        try:
+            segment = _shared_memory.SharedMemory(
+                create=True, size=length * (item_size + 1)
+            )
+        except Exception:  # no usable /dev/shm: degrade to pickling
+            return None
+        packed = array(
+            typecode,
+            (value if value is not None else 0 for value in values),
+        )
+        mask = bytes(1 if value is None else 0 for value in values)
+        # Explicit end offsets: some platforms round segments up to page
+        # granularity, so ``buf`` may be longer than requested.
+        segment.buf[: length * item_size] = packed.tobytes()
+        segment.buf[length * item_size : length * (item_size + 1)] = mask
+        return segment
+
+    @property
+    def shared_columns(self) -> List[str]:
+        """Names that ride shared memory (the rest pickle per chunk)."""
+        return sorted(self._packed)
+
+    def chunk_payload(self, names: Sequence[str], start: int, stop: int):
+        """The picklable transport of columns ``names`` rows [start, stop)."""
+        payload = []
+        for name in names:
+            packed = self._packed.get(name)
+            if packed is not None:
+                segment, typecode = packed
+                payload.append(
+                    ShmSlice(segment, typecode, self.length, start, stop)
+                )
+            else:
+                payload.append(
+                    RawSlice(tuple(self._fallback[name][start:stop]))
+                )
+        return tuple(payload)
+
+    def close(self) -> None:
+        """Release every segment (parent-side close + unlink)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+        self._segments = []
+        self._packed = {}
+
+    def __enter__(self) -> "ColumnTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def hydrate_chunk(payload) -> List[list]:
+    """Worker-side: a chunk payload back into plain column lists."""
+    return [entry.values() for entry in payload]
+
+
+class SharedObject:
+    """One pickled object in shared memory, read by every chunk task.
+
+    The parent pickles once into a segment; the picklable handle is a
+    few bytes, so submitting it with ``workers`` tasks does not copy
+    the object ``workers`` times through the task pipe.  Falls back to
+    carrying the pickle bytes inline when shared memory is unavailable.
+    """
+
+    def __init__(self, obj: object) -> None:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._segment = None
+        self._inline: Optional[bytes] = None
+        self.size = len(data)
+        if _shared_memory is not None and self.size > 0:
+            try:
+                self._segment = _shared_memory.SharedMemory(
+                    create=True, size=self.size
+                )
+            except Exception:
+                self._segment = None
+        if self._segment is not None:
+            self._segment.buf[: self.size] = data
+            self.name: Optional[str] = self._segment.name
+        else:
+            self.name = None
+            self._inline = data
+
+    def handle(self) -> "SharedObjectHandle":
+        return SharedObjectHandle(self.name, self.size, self._inline)
+
+    def close(self) -> None:
+        if self._segment is not None:
+            try:
+                self._segment.close()
+                self._segment.unlink()
+            except Exception:
+                pass
+            self._segment = None
+
+    def __enter__(self) -> "SharedObject":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class SharedObjectHandle:
+    """The picklable reference chunk tasks carry to a :class:`SharedObject`."""
+
+    name: Optional[str]
+    size: int
+    inline: Optional[bytes] = None
+
+    def load(self) -> object:
+        if self.name is None:
+            return pickle.loads(self.inline or b"")
+        segment = _attach(self.name)
+        try:
+            return pickle.loads(bytes(segment.buf[: self.size]))
+        finally:
+            segment.close()

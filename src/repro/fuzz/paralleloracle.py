@@ -17,7 +17,10 @@ in full: division *and* unhashable injection stay enabled.
 
 The executor runs with ``workers=3`` and ``parallel_row_threshold=2``
 so even the fuzzer's tiny tables actually chunk — the default
-threshold would silently test the serial path.
+threshold would silently test the serial path.  Every trial sweeps
+**both worker pools**: the thread pool and the process pool, whose
+shared-memory transport, recompile-in-worker caches and parent-side
+gathers are each a fresh way to lose byte-identity.
 """
 
 from __future__ import annotations
@@ -36,12 +39,17 @@ Outcome = Tuple[str, object]
 PARALLEL_WORKERS = 3
 PARALLEL_ROW_THRESHOLD = 2
 
+#: Every trial checks serial against each of these worker pools.
+POOLS = ("thread", "process")
+
 
 class ParallelTrial(FlowTrial):
     """A flow trial checked for parallel/serial byte-identity."""
 
 
-def execute_parallel_trial(mode: str, trial: FlowTrial) -> Outcome:
+def execute_parallel_trial(
+    mode: str, trial: FlowTrial, pool: str = "thread"
+) -> Outcome:
     """Run the trial on a fresh database; ordered canonical outcome."""
     database = LooseDatabase.from_specs(trial.tables)
     executor = Executor(
@@ -49,6 +57,7 @@ def execute_parallel_trial(mode: str, trial: FlowTrial) -> Outcome:
         mode=mode,
         workers=PARALLEL_WORKERS,
         parallel_row_threshold=PARALLEL_ROW_THRESHOLD,
+        pool=pool,
     )
     try:
         with executor:
@@ -68,14 +77,24 @@ def execute_parallel_trial(mode: str, trial: FlowTrial) -> Outcome:
 
 
 def check_parallel_trial(trial: FlowTrial) -> Optional[str]:
-    """``None`` when serial and parallel agree byte-for-byte.
+    """``None`` when serial and every parallel pool agree byte-for-byte.
 
     The category (text before the first colon) is
     ``parallel-divergence`` so the shrinker preserves the failure class
     while minimising.
     """
     serial = execute_parallel_trial("columnar", trial)
-    parallel = execute_parallel_trial("parallel", trial)
+    for pool in POOLS:
+        parallel = execute_parallel_trial("parallel", trial, pool=pool)
+        report = _compare_outcomes(serial, parallel, pool)
+        if report is not None:
+            return report
+    return None
+
+
+def _compare_outcomes(
+    serial: Outcome, parallel: Outcome, pool: str
+) -> Optional[str]:
     if serial == parallel:
         return None
     serial_kind, serial_value = serial
@@ -83,7 +102,7 @@ def check_parallel_trial(trial: FlowTrial) -> Optional[str]:
     if serial_kind != parallel_kind or serial_kind == "error":
         return (
             f"parallel-divergence: columnar -> {serial_kind} "
-            f"({serial_value!r}), parallel -> {parallel_kind} "
+            f"({serial_value!r}), parallel[{pool}] -> {parallel_kind} "
             f"({parallel_value!r})"
         )
     for target in sorted(serial_value):
@@ -100,8 +119,8 @@ def check_parallel_trial(trial: FlowTrial) -> Optional[str]:
             )
             return (
                 f"parallel-divergence: table {target!r}: columnar "
-                f"{len(before)} row(s) vs parallel {len(after)}, first "
-                f"difference at row {divergence}: "
+                f"{len(before)} row(s) vs parallel[{pool}] "
+                f"{len(after)}, first difference at row {divergence}: "
                 f"{before[divergence:divergence + 1]!r} vs "
                 f"{after[divergence:divergence + 1]!r}"
             )

@@ -11,7 +11,11 @@ GET       /sessions/<name>/design                unified design summary
 GET       /sessions/<name>/requirements          elicited requirement ids
 POST      /sessions/<name>/requirements          ``{"xrq": "<xml>"}`` -> add
 DELETE    /sessions/<name>/requirements/<id>     remove one requirement
-POST      /sessions/<name>/deploy                ``{"platform": ...}``
+POST      /sessions/<name>/deploy                ``{"platform": ...}``;
+                                                 add ``"background": true``
+                                                 -> ``202`` + job id
+GET       /sessions/<name>/jobs                  background job summaries
+GET       /sessions/<name>/jobs/<id>             job status/result/error
 ========  =====================================  ==============================
 
 Errors come back as ``{"error": message}`` with 400 (bad input), 404
@@ -25,16 +29,29 @@ repository namespaces promise.  This front end is what exposed the
 check-then-set races fixed in the engine caches, the store snapshot and
 the artifact bus: hundreds of handler threads hammer those paths at
 once (see ``benchmarks/run_serving.py``).
+
+Deploys are two-phase so the session lock never covers the slow part:
+the design is snapshotted *under* the lock (cheap — integration
+replaces its unified objects, it never mutates them), the platform
+backend builds *outside* it, and only the repository/bus bookkeeping
+re-acquires it.  ``{"background": true}`` additionally moves the whole
+deploy onto the session's FIFO job runner — one daemon worker thread
+per session, jobs answered ``202`` immediately and polled via the
+``jobs`` routes — so the front door overlaps slow deploys with
+elicitation traffic.
 """
 
 from __future__ import annotations
 
 import json
+import queue
 import re
 import threading
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
+
+from repro.core.deployer import DeploymentResult
 
 from repro.core.services.session import DesignSession
 from repro.errors import QuarryError, RepositoryError
@@ -52,12 +69,107 @@ class ServeError(Exception):
         self.status = status
 
 
+class _DeployJob:
+    """One background deploy: submitted state, then result or error."""
+
+    __slots__ = ("id", "platform", "lint_gate", "state", "result", "error")
+
+    def __init__(self, job_id: str, platform: str, lint_gate: bool) -> None:
+        self.id = job_id
+        self.platform = platform
+        self.lint_gate = lint_gate
+        self.state = "queued"  # queued -> running -> done | error
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "job": self.id,
+            "platform": self.platform,
+            "state": self.state,
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class _JobRunner:
+    """A per-session FIFO of background deploys.
+
+    One lazily-started daemon worker thread drains the queue, so jobs
+    of one session run strictly in submission order (deploy N+1 sees
+    the repository/bus state deploy N recorded) while the submitting
+    handler thread answers ``202`` immediately.
+    """
+
+    def __init__(self, run, name: str) -> None:
+        self._run = run  # callable(_DeployJob) -> result payload dict
+        self._name = name
+        self._queue: "queue.Queue[_DeployJob]" = queue.Queue()
+        self._jobs: Dict[str, _DeployJob] = {}
+        self._order: List[str] = []
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._thread: Optional[threading.Thread] = None
+
+    def submit(self, platform: str, lint_gate: bool) -> str:
+        with self._lock:
+            self._counter += 1
+            job = _DeployJob(f"job-{self._counter}", platform, lint_gate)
+            self._jobs[job.id] = job
+            self._order.append(job.id)
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._drain,
+                    name=f"repro-deploy-{self._name}",
+                    daemon=True,
+                )
+                self._thread.start()
+        self._queue.put(job)
+        return job.id
+
+    def get(self, job_id: str) -> Optional[_DeployJob]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def summaries(self) -> List[dict]:
+        with self._lock:
+            return [
+                {
+                    "job": job_id,
+                    "state": self._jobs[job_id].state,
+                    "platform": self._jobs[job_id].platform,
+                }
+                for job_id in self._order
+            ]
+
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            job.state = "running"
+            try:
+                job.result = self._run(job)
+            except (QuarryError, RepositoryError) as exc:
+                job.error = str(exc)
+                job.state = "error"
+            except Exception as exc:  # the runner thread must survive
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = "error"
+            else:
+                job.state = "done"
+
+
 class SessionManager:
     """Named design sessions over one shared metadata repository.
 
     ``create``/``get`` are guarded by the manager lock; every operation
     *on* a session must run inside ``with manager.locked(name):`` so a
-    session's fold state only ever sees one mutator at a time.
+    session's fold state only ever sees one mutator at a time.  Deploys
+    go through :meth:`deploy` (two-phase: snapshot under the lock,
+    build outside it, record under it) or :meth:`submit_deploy` (same
+    phases on the session's background job runner).
     """
 
     def __init__(
@@ -79,6 +191,7 @@ class SessionManager:
         self.source_database = source_database
         self._sessions: Dict[str, DesignSession] = {}
         self._locks: Dict[str, threading.RLock] = {}
+        self._jobs: Dict[str, _JobRunner] = {}
         self._lock = threading.Lock()
 
     def create(self, name: str) -> DesignSession:
@@ -100,6 +213,14 @@ class SessionManager:
             )
             self._sessions[name] = session
             self._locks[name] = threading.RLock()
+            self._jobs[name] = _JobRunner(
+                lambda job, session_name=name: _deploy_payload(
+                    self.deploy(
+                        session_name, job.platform, lint_gate=job.lint_gate
+                    )
+                ),
+                name,
+            )
             return session
 
     def names(self) -> List[str]:
@@ -121,6 +242,64 @@ class SessionManager:
         with lock:
             yield session
 
+    # -- deploys ------------------------------------------------------------
+
+    def deploy(
+        self, name: str, platform: str, lint_gate: bool = True
+    ) -> DeploymentResult:
+        """Two-phase deploy of one session's design.
+
+        Snapshot under the session lock, build outside it, record
+        under it again.  The snapshot is consistent without copying:
+        the integration service *replaces* its unified MD/ETL objects
+        on every fold, so the references taken here are immutable from
+        the session's point of view and a concurrent elicitation can
+        proceed — ``status``/``design`` reads no longer queue behind a
+        slow platform backend.
+        """
+        with self.locked(name) as session:
+            unified_md, unified_etl = session.unified_design()
+            deployment = session.deployment
+        result = deployment.build(
+            unified_md,
+            unified_etl,
+            platform,
+            source_database=self.source_database,
+            lint_gate=lint_gate,
+        )
+        with self.locked(name):
+            deployment.record(result, platform, lint_gate=lint_gate)
+        return result
+
+    def submit_deploy(
+        self, name: str, platform: str, lint_gate: bool = True
+    ) -> str:
+        """Enqueue a background deploy; returns its job id."""
+        with self._lock:
+            runner = self._jobs.get(name)
+        if runner is None:
+            raise ServeError(404, f"unknown session {name!r}")
+        return runner.submit(platform, lint_gate)
+
+    def job(self, name: str, job_id: str) -> dict:
+        with self._lock:
+            runner = self._jobs.get(name)
+        if runner is None:
+            raise ServeError(404, f"unknown session {name!r}")
+        job = runner.get(job_id)
+        if job is None:
+            raise ServeError(
+                404, f"unknown job {job_id!r} in session {name!r}"
+            )
+        return job.to_dict()
+
+    def jobs(self, name: str) -> List[dict]:
+        with self._lock:
+            runner = self._jobs.get(name)
+        if runner is None:
+            raise ServeError(404, f"unknown session {name!r}")
+        return runner.summaries()
+
 
 def tpch_manager(**kwargs) -> SessionManager:
     """A manager over the TPC-H demo domain (the CLI's domain)."""
@@ -132,6 +311,15 @@ def tpch_manager(**kwargs) -> SessionManager:
 
 
 # -- request handling ---------------------------------------------------------
+
+
+def _deploy_payload(result: DeploymentResult) -> dict:
+    return {
+        "design": result.design,
+        "platform": result.platform,
+        "artifacts": dict(result.artifacts),
+        "loaded": dict(result.stats.loaded) if result.stats else None,
+    }
 
 
 def _design_summary(session: DesignSession) -> dict:
@@ -239,20 +427,22 @@ class _Handler(BaseHTTPRequestHandler):
             platform = body.get("platform")
             if not isinstance(platform, str):
                 raise ServeError(400, "body needs a 'platform' string")
-            with manager.locked(name) as session:
-                result = session.deploy(
-                    platform,
-                    source_database=manager.source_database,
-                    lint_gate=bool(body.get("lint_gate", True)),
+            lint_gate = bool(body.get("lint_gate", True))
+            if body.get("background"):
+                job_id = manager.submit_deploy(
+                    name, platform, lint_gate=lint_gate
                 )
-                return 200, {
-                    "design": result.design,
-                    "platform": result.platform,
-                    "artifacts": dict(result.artifacts),
-                    "loaded": (
-                        dict(result.stats.loaded) if result.stats else None
-                    ),
+                return 202, {
+                    "job": job_id,
+                    "state": "queued",
+                    "status_url": f"/sessions/{name}/jobs/{job_id}",
                 }
+            result = manager.deploy(name, platform, lint_gate=lint_gate)
+            return 200, _deploy_payload(result)
+        if method == "GET" and rest == ["jobs"]:
+            return 200, {"jobs": manager.jobs(name)}
+        if method == "GET" and len(rest) == 2 and rest[0] == "jobs":
+            return 200, manager.job(name, rest[1])
         raise ServeError(
             404, f"no such route: {method} /sessions/{name}/{'/'.join(rest)}"
         )

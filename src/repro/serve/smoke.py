@@ -2,7 +2,8 @@
 
 Boots the served front door (or targets ``--url``), then drives two
 isolated sessions through the full lifecycle — create, elicit via xRQ,
-inspect status and design, deploy, remove — asserting status codes and
+inspect status and design, deploy (foreground *and* background job,
+polled to completion), remove — asserting status codes and
 cross-session isolation at every step.  Exit code 0 only if every check
 passes; CI runs this as the serving gate.
 """
@@ -12,6 +13,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 import urllib.error
 import urllib.request
 
@@ -138,6 +140,31 @@ def run_round_trip(base: str) -> None:
             f"{name} deployed to sql "
             f"({len(deployed.get('artifacts', {}))} artifacts)",
         )
+
+    status, accepted = request(
+        base,
+        "POST",
+        "/sessions/smoke-beta/deploy",
+        {"platform": "sql", "background": True},
+    )
+    check(
+        status == 202 and accepted["state"] == "queued",
+        "background deploy accepted with 202",
+    )
+    job_url = accepted["status_url"]
+    deadline = time.monotonic() + 60
+    while True:
+        status, job = request(base, "GET", job_url)
+        check(status == 200, f"job status readable at {job_url}")
+        if job["state"] not in ("queued", "running"):
+            break
+        check(time.monotonic() < deadline, "background deploy finished")
+        time.sleep(0.05)
+    check(
+        job["state"] == "done" and job["result"]["artifacts"],
+        f"background deploy completed "
+        f"({len(job.get('result', {}).get('artifacts', {}))} artifacts)",
+    )
 
     status, __ = request(
         base, "DELETE", "/sessions/smoke-alpha/requirements/IR1"

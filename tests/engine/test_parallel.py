@@ -3,15 +3,25 @@
 Every test forces chunking (``parallel_row_threshold`` far below the
 data size) and compares ``mode="parallel"`` against ``mode="columnar"``
 — the contract is byte-identical results: row order, NULL placement,
-group order, float bits and error messages all included.
+group order, float bits and error messages all included.  The
+equivalence and error-parity suites sweep **both worker pools**
+(``thread`` and ``process``): the shared-memory transport and
+recompile-in-worker path must not change a single byte.
 """
 
+import os
 import random
+import sys
 
 import pytest
 
 from repro.engine import Database, Executor, TableDef
-from repro.engine.parallel import chunk_ranges
+from repro.engine.parallel import (
+    DEFAULT_PARALLEL_ROW_THRESHOLD,
+    DEFAULT_PROCESS_ROW_THRESHOLD,
+    chunk_ranges,
+    slice_relation,
+)
 from repro.errors import ExecutionError
 from repro.etlmodel import (
     Aggregation,
@@ -36,6 +46,8 @@ STR = ScalarType.STRING
 DEC = ScalarType.DECIMAL
 
 ROWS = 503  # odd on purpose: chunks must handle uneven splits
+
+POOLS = ("thread", "process")
 
 
 def make_database(rows: int = ROWS) -> Database:
@@ -70,13 +82,17 @@ def make_database(rows: int = ROWS) -> Database:
     return database
 
 
-def run_modes(build_flow, make_db=make_database, workers=3):
+def run_modes(build_flow, make_db=make_database, workers=3, pool="thread"):
     """Execute a flow in both modes on fresh twin databases."""
     outcomes = []
     for mode in ("columnar", "parallel"):
         database = make_db()
         executor = Executor(
-            database, mode=mode, workers=workers, parallel_row_threshold=2
+            database,
+            mode=mode,
+            workers=workers,
+            parallel_row_threshold=2,
+            pool=pool,
         )
         try:
             with executor:
@@ -95,8 +111,8 @@ def run_modes(build_flow, make_db=make_database, workers=3):
     return outcomes
 
 
-def assert_identical(build_flow, make_db=make_database, workers=3):
-    columnar, parallel = run_modes(build_flow, make_db, workers)
+def assert_identical(build_flow, make_db=make_database, workers=3, pool="thread"):
+    columnar, parallel = run_modes(build_flow, make_db, workers, pool)
     assert parallel == columnar
 
 
@@ -115,8 +131,9 @@ class TestChunkRanges:
         assert ranges == [(0, 1), (1, 2), (2, 3)]
 
 
+@pytest.mark.parametrize("pool", POOLS)
 class TestOperatorEquivalence:
-    def test_filter_chain_derive_projection(self):
+    def test_filter_chain_derive_projection(self, pool):
         def build():
             flow = EtlFlow("t")
             flow.chain(
@@ -130,9 +147,9 @@ class TestOperatorEquivalence:
             )
             return flow
 
-        assert_identical(build)
+        assert_identical(build, pool=pool)
 
-    def test_join_with_duplicates_and_null_keys(self):
+    def test_join_with_duplicates_and_null_keys(self, pool):
         def build():
             flow = EtlFlow("t")
             flow.add(Datastore("facts", table="facts"))
@@ -148,9 +165,9 @@ class TestOperatorEquivalence:
             flow.connect("join", "load")
             return flow
 
-        assert_identical(build)
+        assert_identical(build, pool=pool)
 
-    def test_left_outer_join_null_placement(self):
+    def test_left_outer_join_null_placement(self, pool):
         def build():
             flow = EtlFlow("t")
             flow.add(Datastore("facts", table="facts"))
@@ -169,9 +186,9 @@ class TestOperatorEquivalence:
             flow.connect("join", "load")
             return flow
 
-        assert_identical(build)
+        assert_identical(build, pool=pool)
 
-    def test_multi_key_join(self):
+    def test_multi_key_join(self, pool):
         def build():
             flow = EtlFlow("t")
             flow.add(Datastore("left", table="facts"))
@@ -197,9 +214,9 @@ class TestOperatorEquivalence:
             flow.connect("join", "load")
             return flow
 
-        assert_identical(build)
+        assert_identical(build, pool=pool)
 
-    def test_aggregation_group_order_and_float_bits(self):
+    def test_aggregation_group_order_and_float_bits(self, pool):
         def build():
             flow = EtlFlow("t")
             flow.chain(
@@ -220,9 +237,9 @@ class TestOperatorEquivalence:
 
         # Exact equality on unrounded float sums/means: the merge must
         # fold the serial value sequences, not partial per-chunk sums.
-        assert_identical(build)
+        assert_identical(build, pool=pool)
 
-    def test_global_aggregate_single_row(self):
+    def test_global_aggregate_single_row(self, pool):
         def build():
             flow = EtlFlow("t")
             flow.chain(
@@ -238,9 +255,9 @@ class TestOperatorEquivalence:
             )
             return flow
 
-        assert_identical(build)
+        assert_identical(build, pool=pool)
 
-    def test_sort_stability_and_distinct(self):
+    def test_sort_stability_and_distinct(self, pool):
         def build():
             flow = EtlFlow("t")
             flow.chain(
@@ -252,9 +269,9 @@ class TestOperatorEquivalence:
             )
             return flow
 
-        assert_identical(build)
+        assert_identical(build, pool=pool)
 
-    def test_revenue_flow_end_to_end(self):
+    def test_revenue_flow_end_to_end(self, pool):
         from repro.sources import tpch
 
         def run(mode):
@@ -263,7 +280,11 @@ class TestOperatorEquivalence:
                 tpch.schema(), tpch.generate(scale_factor=0.3, seed=77)
             )
             executor = Executor(
-                database, mode=mode, workers=4, parallel_row_threshold=64
+                database,
+                mode=mode,
+                workers=4,
+                parallel_row_threshold=64,
+                pool=pool,
             )
             with executor:
                 executor.execute(build_revenue_flow())
@@ -274,7 +295,8 @@ class TestOperatorEquivalence:
 
 
 class TestErrorParity:
-    def test_chain_error_matches_serial(self):
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_chain_error_matches_serial(self, pool):
         # amount is NULL in some rows; "amount + 'x'" fails identically
         # row-for-row in both modes (parallel falls back to the serial
         # per-node path to reproduce the exact failure).
@@ -290,7 +312,50 @@ class TestErrorParity:
             )
             return flow
 
-        columnar, parallel = run_modes(build)
+        columnar, parallel = run_modes(build, pool=pool)
+        assert parallel == columnar
+
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_unhashable_join_key_message_matches_serial(self, pool):
+        # list-valued keys are unhashable: the error message must be
+        # the serial engine's full-column scan message, whatever chunk
+        # tripped first and whichever pool probed.  The strict database
+        # rejects lists on insert, so the fuzzer's loose duck-type
+        # carries them to the operators.
+        from repro.fuzz.datagen import LooseDatabase, TableSpec
+
+        def make_db():
+            return LooseDatabase.from_specs(
+                [
+                    TableSpec(
+                        "facts",
+                        {"k": INT, "fk": INT},
+                        [
+                            {"k": i, "fk": [i] if i == 37 else i}
+                            for i in range(60)
+                        ],
+                    ),
+                    TableSpec(
+                        "dims",
+                        {"dk": INT, "v": INT},
+                        [{"dk": i, "v": i * 10} for i in range(40)],
+                    ),
+                ]
+            )
+
+        def build():
+            flow = EtlFlow("t")
+            flow.add(Datastore("facts", table="facts"))
+            flow.add(Datastore("dims", table="dims"))
+            flow.add(Join("join", left_keys=("fk",), right_keys=("dk",)))
+            flow.connect("facts", "join")
+            flow.connect("dims", "join")
+            flow.add(Loader("load", table="out"))
+            flow.connect("join", "load")
+            return flow
+
+        columnar, parallel = run_modes(build, make_db=make_db, pool=pool)
+        assert columnar[0] == "error"
         assert parallel == columnar
 
     def test_mode_validation(self):
@@ -298,6 +363,8 @@ class TestErrorParity:
             Executor(Database(), mode="threads")
         with pytest.raises(ValueError, match="workers"):
             Executor(Database(), mode="parallel", workers=0)
+        with pytest.raises(ValueError, match="unknown worker pool"):
+            Executor(Database(), mode="parallel", pool="fibers")
 
 
 class TestSerialFallback:
@@ -349,11 +416,172 @@ class TestSerialFallback:
         assert executor._pool_instance is None
 
 
+def _simple_flow(predicate="k >= 0", out="out"):
+    flow = EtlFlow("t")
+    flow.chain(
+        Datastore("src", table="facts"),
+        Selection("sel", predicate=predicate),
+        Loader("load", table=out),
+    )
+    return flow
+
+
+class TestProcessPoolLifecycle:
+    def test_worker_death_is_honest_and_pool_replaced(self):
+        database = make_database(rows=60)
+        executor = Executor(
+            database,
+            mode="parallel",
+            workers=2,
+            parallel_row_threshold=2,
+            pool="process",
+        )
+        with executor:
+            executor.execute(_simple_flow())
+            broken = executor._pool_instance
+            assert broken is not None
+            # Kill a worker mid-"task": the pool breaks, which must
+            # surface as an honest ExecutionError — not a hang, not a
+            # half-merged result — and the broken pool is discarded.
+            future = broken.submit(os._exit, 13)
+            with pytest.raises(ExecutionError, match="worker process died"):
+                executor._chunk_results([future])
+            assert executor._pool_instance is None
+            # The executor stays usable: the next parallel node spawns
+            # a fresh pool.
+            executor.execute(_simple_flow("k < 10", out="out2"))
+            assert executor._pool_instance is not None
+            assert executor._pool_instance is not broken
+            assert len(database.scan("out2")) == 10
+        assert executor._pool_instance is None  # context exit shut it down
+
+    def test_task_exception_does_not_break_pool(self):
+        # An exception *raised by the task* (here: a division by zero
+        # hit after recompiling in the worker) is a normal error path —
+        # the pool survives and is reused.
+        database = make_database(rows=60)
+        executor = Executor(
+            database,
+            mode="parallel",
+            workers=2,
+            parallel_row_threshold=2,
+            pool="process",
+        )
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="facts"),
+            DerivedAttribute(
+                "der", output="bad", expression="amount / (k - 10)"
+            ),
+            Loader("load", table="out"),
+        )
+        with executor:
+            with pytest.raises(ExecutionError):
+                executor.execute(flow)
+            pool = executor._pool_instance
+            assert pool is not None
+            executor.execute(_simple_flow(out="out2"))
+            assert executor._pool_instance is pool
+
+    def test_start_method_selection(self, monkeypatch):
+        import multiprocessing
+
+        from repro.engine import shm
+
+        if sys.platform not in ("darwin", "win32") and (
+            "fork" in multiprocessing.get_all_start_methods()
+        ):
+            assert shm.process_context().get_start_method() == "fork"
+        # macOS (and Windows) must select spawn: fork is unsafe there.
+        monkeypatch.setattr(shm.sys, "platform", "darwin")
+        assert shm.process_context().get_start_method() == "spawn"
+
+
+class TestPoolAwareThreshold:
+    def test_defaults_resolve_per_pool(self):
+        thread = Executor(Database(), mode="parallel")
+        process = Executor(Database(), mode="parallel", pool="process")
+        assert thread._parallel_threshold == DEFAULT_PARALLEL_ROW_THRESHOLD
+        assert process._parallel_threshold == DEFAULT_PROCESS_ROW_THRESHOLD
+        assert (
+            DEFAULT_PROCESS_ROW_THRESHOLD > DEFAULT_PARALLEL_ROW_THRESHOLD
+        )
+
+    def test_explicit_threshold_wins(self):
+        executor = Executor(
+            Database(),
+            mode="parallel",
+            pool="process",
+            parallel_row_threshold=7,
+        )
+        assert executor._parallel_threshold == 7
+
+    def test_small_inputs_never_spawn_process_pool(self):
+        database = make_database(rows=10)
+        executor = Executor(database, mode="parallel", pool="process")
+        with executor:
+            executor.execute(_simple_flow())
+        assert executor._pool_instance is None  # never spun up
+
+
+class TestReadSetShipping:
+    def test_chain_spec_is_compacted_to_read_set(self):
+        from repro.engine.executor import _build_chain_spec
+
+        database = make_database(rows=20)
+        relation = database.scan_columns("facts")  # k, fk, cat, amount
+        flow = EtlFlow("t")
+        flow.chain(
+            Datastore("src", table="facts"),
+            Selection("sel", predicate="amount > 0"),
+            Projection("proj", columns=("k", "amount")),
+            Loader("load", table="out"),
+        )
+        spec = _build_chain_spec(flow, ["sel", "proj"], relation)
+        # fk and cat are neither read by the filter nor kept by the
+        # projection: they must not be sliced or transported at all.
+        assert spec.input_names == ("k", "amount")
+        assert dict(spec.output_schema).keys() == {"k", "amount"}
+        ((kind, text, positions, counter),) = spec.steps
+        assert kind == "filter"
+        assert positions == (1,)  # amount, renumbered into the read-set
+        assert spec.output_positions == (0, 1)
+
+    def test_compacted_chain_results_match_serial(self):
+        # The chain above, end to end, in both pools.
+        def build():
+            flow = EtlFlow("t")
+            flow.chain(
+                Datastore("src", table="facts"),
+                Selection("sel", predicate="amount > 0"),
+                Projection("proj", columns=("k", "amount")),
+                Loader("load", table="out"),
+            )
+            return flow
+
+        for pool in POOLS:
+            assert_identical(build, pool=pool)
+
+    def test_slice_relation_names_subset(self):
+        database = make_database(rows=20)
+        relation = database.scan_columns("facts")
+        part = slice_relation(relation, 5, 10, names=["k", "amount"])
+        assert list(part.schema) == ["k", "amount"]
+        assert part.length == 5
+        assert part.columns["k"] == relation.columns["k"][5:10]
+        assert part.columns["amount"] == relation.columns["amount"][5:10]
+
+
 class TestStatsParity:
-    def test_filter_counts_survive_chunk_merge(self):
+    @pytest.mark.parametrize("pool", POOLS)
+    def test_filter_counts_survive_chunk_merge(self, pool):
         database = make_database()
         executor = Executor(
-            database, mode="parallel", workers=3, parallel_row_threshold=2
+            database,
+            mode="parallel",
+            workers=3,
+            parallel_row_threshold=2,
+            pool=pool,
         )
         flow = EtlFlow("t")
         flow.chain(

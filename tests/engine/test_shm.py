@@ -1,0 +1,181 @@
+"""The shared-memory column transport under the process-pool executor.
+
+Round-trip fidelity is the whole point: every value that rides shared
+memory must come back bit-identical (NaN payloads, signed zeros, bool
+vs int), and everything else must fall back to pickling rather than
+silently coercing.
+"""
+
+import math
+import struct
+
+import pytest
+
+from repro.engine.shm import (
+    ColumnTransport,
+    RawSlice,
+    SharedObject,
+    ShmSlice,
+    _classify,
+    hydrate_chunk,
+    process_context,
+)
+
+
+def roundtrip(values, start=0, stop=None):
+    stop = len(values) if stop is None else stop
+    with ColumnTransport({"c": values}, len(values)) as transport:
+        payload = transport.chunk_payload(["c"], start, stop)
+        # Hydrate while the parent still owns the segments, exactly as
+        # a worker would (futures resolve before transport.close()).
+        return hydrate_chunk(payload)[0], transport.shared_columns
+
+
+class TestClassify:
+    def test_int_and_float_columns_pack(self):
+        assert _classify([1, 2, None, -5]) == "q"
+        assert _classify([1.5, None, -0.0]) == "d"
+
+    def test_mixed_bool_big_and_object_fall_back(self):
+        assert _classify([1, 2.5]) is None  # mixed int/float
+        assert _classify([True, False]) is None  # bool is not int
+        assert _classify([1, True]) is None
+        assert _classify([2**63]) is None  # beyond int64
+        assert _classify([-(2**63) - 1]) is None
+        assert _classify(["a", "b"]) is None
+        assert _classify([1, "a"]) is None
+
+    def test_all_null_packs_as_mask_only(self):
+        assert _classify([None, None]) == "q"
+
+
+class TestRoundTrip:
+    def test_ints_with_nulls(self):
+        values = [5, None, -3, 0, 2**62, None]
+        out, shared = roundtrip(values)
+        assert out == values
+        assert all(type(v) is int for v in out if v is not None)
+        assert shared == ["c"]
+
+    def test_float_bits_survive(self):
+        tricky = [
+            0.1 + 0.2,
+            -0.0,
+            float("inf"),
+            float("-inf"),
+            struct.unpack("<d", struct.pack("<Q", 0x7FF8000000000123))[0],
+            None,
+            1e-323,  # subnormal
+        ]
+        out, shared = roundtrip(tricky)
+        assert shared == ["c"]
+        for expected, got in zip(tricky, out):
+            if expected is None:
+                assert got is None
+            elif math.isnan(expected):
+                # bit-exact, NaN payload included
+                assert struct.pack("<d", got) == struct.pack("<d", expected)
+            else:
+                assert struct.pack("<d", got) == struct.pack("<d", expected)
+
+    def test_object_columns_ride_pickle_fallback(self):
+        values = ["a", None, "b", True, [1, 2]]
+        out, shared = roundtrip(values)
+        assert out == values
+        assert out[3] is True  # not coerced to 1
+        assert shared == []
+
+    def test_slicing_is_exact(self):
+        values = list(range(100))
+        out, __ = roundtrip(values, start=33, stop=67)
+        assert out == values[33:67]
+
+    def test_multi_column_payload_order(self):
+        columns = {"a": [1, 2, 3], "b": ["x", "y", "z"], "c": [1.0, None, 3.0]}
+        with ColumnTransport(columns, 3) as transport:
+            payload = transport.chunk_payload(["c", "a"], 1, 3)
+            hydrated = hydrate_chunk(payload)
+        assert hydrated == [[None, 3.0], [2, 3]]
+
+    def test_empty_relation(self):
+        out, shared = roundtrip([])
+        assert out == []
+        # Zero-length columns skip shared memory entirely.
+        assert shared == []
+
+    def test_payload_entries_are_small_for_packed_columns(self):
+        values = list(range(10_000))
+        with ColumnTransport({"c": values}, len(values)) as transport:
+            entry = transport.chunk_payload(["c"], 0, 5000)[0]
+            assert isinstance(entry, ShmSlice)
+            raw = transport.chunk_payload(["c"], 0, 5000)
+            assert isinstance(raw[0], ShmSlice)
+
+    def test_close_is_idempotent(self):
+        transport = ColumnTransport({"c": [1, 2, 3]}, 3)
+        transport.close()
+        transport.close()
+        assert transport.shared_columns == []
+
+
+class TestRawSlice:
+    def test_values_copy(self):
+        entry = RawSlice(data=(1, "a", None))
+        assert entry.values() == [1, "a", None]
+
+
+class TestSharedObject:
+    def test_round_trip_through_handle(self):
+        payload = {"keys": [1, 2, 3], "nested": ("a", None)}
+        with SharedObject(payload) as shared:
+            handle = shared.handle()
+            assert handle.load() == payload
+        # After close the segment is gone; the handle must not be used.
+
+    def test_close_is_idempotent(self):
+        shared = SharedObject([1, 2, 3])
+        shared.close()
+        shared.close()
+
+
+class TestProcessContext:
+    def test_returns_a_usable_context(self):
+        context = process_context()
+        assert context.get_start_method() in ("fork", "spawn")
+
+
+class TestWorkerSideHydration:
+    def test_hydrate_in_real_worker(self):
+        # End to end through an actual child process: the payload
+        # pickles, the worker attaches, and values come back exact.
+        from concurrent.futures import ProcessPoolExecutor
+
+        values = [1.5, None, -0.0, 3.25] * 50
+        with ColumnTransport({"c": values}, len(values)) as transport:
+            payload = transport.chunk_payload(["c"], 10, 60)
+            with ProcessPoolExecutor(
+                max_workers=1, mp_context=process_context()
+            ) as pool:
+                result = pool.submit(hydrate_chunk, payload).result()
+        assert result == [values[10:60]]
+
+
+def test_classify_rejects_int_subclasses():
+    class MyInt(int):
+        pass
+
+    assert _classify([MyInt(3)]) is None
+
+
+def test_unhashable_values_fall_back_and_survive():
+    values = [[1], [2, 3], None]
+    out, shared = roundtrip(values)
+    assert out == values
+    assert shared == []
+
+
+@pytest.mark.parametrize("count", [1, 7, 4096])
+def test_various_lengths(count):
+    values = [float(i) if i % 3 else None for i in range(count)]
+    out, __ = roundtrip(values)
+    assert out == values

@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -195,3 +196,172 @@ class TestConcurrency:
         assert sorted(listed["requirements"]) == [
             f"IR{index + 10}" for index in range(6)
         ]
+
+
+def poll_job(server, name, job_id, timeout=30.0):
+    """Poll a background job until it leaves queued/running."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = call(
+            server, "GET", f"/sessions/{name}/jobs/{job_id}"
+        )
+        assert status == 200
+        if payload["state"] not in ("queued", "running"):
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} still {payload['state']}")
+
+
+class TestBackgroundDeploy:
+    def test_background_deploy_round_trip(self, server):
+        call(server, "POST", "/sessions", {"name": "bg"})
+        call(
+            server,
+            "POST",
+            "/sessions/bg/requirements",
+            {"xrq": demo_xrq("IR1")},
+        )
+        status, accepted = call(
+            server,
+            "POST",
+            "/sessions/bg/deploy",
+            {"platform": "sql", "background": True},
+        )
+        assert status == 202
+        assert accepted["state"] == "queued"
+        job_id = accepted["job"]
+        assert accepted["status_url"] == f"/sessions/bg/jobs/{job_id}"
+
+        finished = poll_job(server, "bg", job_id)
+        assert finished["state"] == "done"
+        # The job result is the same payload a synchronous deploy
+        # returns.
+        assert finished["result"]["platform"] == "sql"
+        assert finished["result"]["artifacts"]
+
+        status, listed = call(server, "GET", "/sessions/bg/jobs")
+        assert status == 200
+        assert {"job": job_id, "state": "done", "platform": "sql"} in (
+            listed["jobs"]
+        )
+
+    def test_background_deploys_run_in_submission_order(self, server):
+        call(server, "POST", "/sessions", {"name": "bgorder"})
+        call(
+            server,
+            "POST",
+            "/sessions/bgorder/requirements",
+            {"xrq": demo_xrq("IR1")},
+        )
+        ids = []
+        for __ in range(3):
+            status, accepted = call(
+                server,
+                "POST",
+                "/sessions/bgorder/deploy",
+                {"platform": "sql", "background": True},
+            )
+            assert status == 202
+            ids.append(accepted["job"])
+        for job_id in ids:
+            assert poll_job(server, "bgorder", job_id)["state"] == "done"
+        __, listed = call(server, "GET", "/sessions/bgorder/jobs")
+        assert [job["job"] for job in listed["jobs"]] == ids
+
+    def test_failed_background_deploy_reports_error(self, server):
+        call(server, "POST", "/sessions", {"name": "bgfail"})
+        status, accepted = call(
+            server,
+            "POST",
+            "/sessions/bgfail/deploy",
+            {"platform": "warp", "background": True},
+        )
+        assert status == 202  # accepted; the failure surfaces on the job
+        finished = poll_job(server, "bgfail", accepted["job"])
+        assert finished["state"] == "error"
+        assert "unknown platform" in finished["error"]
+        assert "result" not in finished
+
+    def test_unknown_job_is_404(self, server):
+        call(server, "POST", "/sessions", {"name": "bg404"})
+        status, payload = call(
+            server, "GET", "/sessions/bg404/jobs/job-99"
+        )
+        assert status == 404
+        assert "unknown job" in payload["error"]
+
+    def test_jobs_of_unknown_session_are_404(self, server):
+        status, __ = call(server, "GET", "/sessions/ghost/jobs")
+        assert status == 404
+        status, __ = call(server, "GET", "/sessions/ghost/jobs/job-1")
+        assert status == 404
+
+
+class TestDeployLockRelease:
+    def test_foreground_deploy_does_not_block_reads(self):
+        # A deploy that stalls in the (slow) build phase must not hold
+        # the session lock: status reads land while it is in flight.
+        manager = tpch_manager()
+        manager.create("slow")
+        with manager.locked("slow") as session:
+            session.add_requirement_xrq(demo_xrq("IR1"))
+            deployment = session.deployment
+        build_started = threading.Event()
+        release_build = threading.Event()
+        original_build = deployment.build
+
+        def stalled_build(*args, **kwargs):
+            build_started.set()
+            assert release_build.wait(timeout=30)
+            return original_build(*args, **kwargs)
+
+        deployment.build = stalled_build
+        try:
+            outcome = {}
+
+            def run_deploy():
+                outcome["result"] = manager.deploy("slow", "sql")
+
+            deployer = threading.Thread(target=run_deploy)
+            deployer.start()
+            assert build_started.wait(timeout=30)
+            # Deploy is mid-build.  A status read must not queue
+            # behind it.
+            read_done = threading.Event()
+
+            def read_status():
+                with manager.locked("slow") as session:
+                    session.status()
+                read_done.set()
+
+            reader = threading.Thread(target=read_status)
+            reader.start()
+            assert read_done.wait(timeout=5), (
+                "status read blocked behind a running deploy"
+            )
+            release_build.set()
+            deployer.join(timeout=30)
+            reader.join(timeout=5)
+            assert outcome["result"].artifacts
+        finally:
+            release_build.set()
+            deployment.build = original_build
+
+    def test_deploy_still_records_and_announces(self):
+        # The two-phase split must not lose the bookkeeping phase.
+        from repro.core.services.deployment import (
+            KIND_DEPLOYED,
+            TOPIC_DEPLOYMENTS,
+        )
+
+        manager = tpch_manager()
+        manager.create("book")
+        with manager.locked("book") as session:
+            session.add_requirement_xrq(demo_xrq("IR1"))
+        result = manager.deploy("book", "sql")
+        assert result.artifacts
+        with manager.locked("book") as session:
+            envelopes = session.bus.events(TOPIC_DEPLOYMENTS)
+            assert any(
+                envelope.kind == KIND_DEPLOYED for envelope in envelopes
+            )
