@@ -1,5 +1,13 @@
-"""Static analysis over ETL flows and MD schemas (the Quarry linter)."""
+"""Static analysis over ETL flows, MD schemas and the code itself.
 
+Importing this package registers every rule family — the design-linter
+rules (``QRY0xx``–``QRY4xx``) and the concurrency rules (``QRY9xx``,
+:mod:`repro.analysis.concurrency`) — in the one shared registry, so
+``repro.lint --list-rules`` and ``repro.codelint --list-rules`` print
+the same catalog.
+"""
+
+import repro.analysis.concurrency.rules  # noqa: F401  (registers QRY9xx)
 from repro.analysis.diagnostics import (
     Diagnostic,
     LintReport,

@@ -1,0 +1,284 @@
+"""The runtime lock sanitizer: the dynamic half of the discipline.
+
+With ``REPRO_LOCKSAN=1``, every lock built through :mod:`repro.locks`
+is a :class:`SanitizedLock` reporting to the process-global
+:class:`LockMonitor`, which
+
+* keeps each thread's acquisition stack,
+* maintains the **observed** lock-order graph (edges between lock
+  *names*, recorded the first time one class of lock is acquired while
+  another is held),
+* raises :class:`LockOrderViolation` *before* a blocking acquire that
+  would close a cycle in the observed graph — turning a once-in-a-blue-
+  moon deadlock into a deterministic test failure,
+* raises on a non-reentrant lock re-acquired by its holding thread,
+* detects same-name cross-instance inversions (two threads acquiring
+  two instances of the same lock class in opposite orders — exactly
+  what ``DocumentStore.snapshot``'s sorted-order discipline exists to
+  prevent),
+* flags ``os.fork`` while the forking thread holds a sanitized lock
+  (the child would inherit a lock nobody will ever release).
+
+``verify_against_static`` closes the loop: every edge the monitor
+observed must appear in the static may-acquire-under graph.  An
+observed edge the analyzer missed means the model is wrong (a lock
+acquired through a path resolution couldn't see); raising there keeps
+the two sides honest in both directions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class LockOrderViolation(RuntimeError):
+    """A lock acquisition that would complete an ordering cycle."""
+
+
+class LockSanitizerError(RuntimeError):
+    """Misuse caught by the sanitizer (self-deadlock, fork-while-held)."""
+
+
+class _ThreadState(threading.local):
+    def __init__(self) -> None:
+        self.stack: List["SanitizedLock"] = []
+
+
+class LockMonitor:
+    """Process-global observed-order bookkeeping for sanitized locks."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()  # lock-internal
+        self._state = _ThreadState()
+        #: observed name-level edges: held name -> acquired names
+        self._edges: Dict[str, Set[str]] = {}
+        #: first-witness stacks, for error messages: (a, b) -> text
+        self._witness: Dict[Tuple[str, str], str] = {}
+        #: same-name instance pairs: name -> {(id(first), id(second))}
+        self._instance_pairs: Dict[str, Set[Tuple[int, int]]] = {}
+        #: non-raising findings (fork observed while other threads held)
+        self.findings: List[str] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def before_acquire(self, lock: "SanitizedLock") -> None:
+        stack = self._state.stack
+        for held in stack:
+            if held is lock:
+                if not lock.reentrant:
+                    raise LockSanitizerError(
+                        f"self-deadlock: non-reentrant lock "
+                        f"{lock.name!r} re-acquired by its holder"
+                    )
+                return  # reentrant re-acquire adds no ordering edge
+        held_names = [held.name for held in stack]
+        with self._mu:
+            for name in held_names:
+                if name == lock.name:
+                    continue
+                if self._would_cycle(lock.name, name):
+                    cycle = self._cycle_text(lock.name, name)
+                    raise LockOrderViolation(
+                        f"acquiring {lock.name!r} while holding "
+                        f"{name!r} closes an ordering cycle: {cycle} "
+                        f"(first witness: "
+                        f"{self._witness.get((lock.name, name), '?')})"
+                    )
+            for name in held_names:
+                if name == lock.name:
+                    continue
+                edges = self._edges.setdefault(name, set())
+                if lock.name not in edges:
+                    edges.add(lock.name)
+                    self._witness[(name, lock.name)] = (
+                        f"{threading.current_thread().name} held "
+                        f"{held_names} then took {lock.name!r}"
+                    )
+            # Same-name cross-instance ordering (snapshot discipline).
+            for held in stack:
+                if held.name == lock.name and held is not lock:
+                    pairs = self._instance_pairs.setdefault(
+                        lock.name, set()
+                    )
+                    pair = (id(held), id(lock))
+                    inverse = (id(lock), id(held))
+                    if inverse in pairs:
+                        raise LockOrderViolation(
+                            f"two instances of {lock.name!r} acquired "
+                            f"in opposite orders by different paths; "
+                            f"same-name locks need a global order "
+                            f"(e.g. sorted keys)"
+                        )
+                    pairs.add(pair)
+
+    def after_acquire(self, lock: "SanitizedLock") -> None:
+        self._state.stack.append(lock)
+
+    def after_release(self, lock: "SanitizedLock") -> None:
+        stack = self._state.stack
+        for position in range(len(stack) - 1, -1, -1):
+            if stack[position] is lock:
+                del stack[position]
+                return
+
+    def on_fork(self) -> None:
+        if self._state.stack:
+            names = [lock.name for lock in self._state.stack]
+            raise LockSanitizerError(
+                f"fork while the forking thread holds {names}; the "
+                f"child inherits locks nobody will release"
+            )
+        with self._mu:
+            if any(self._edges):
+                # Other threads may hold locks; fork is only safe when
+                # the child execs or the pools predate lock traffic.
+                self.findings.append(
+                    "fork observed after sanitized lock traffic; "
+                    "verify worker pools are spawned before lock use"
+                )
+
+    # -- graph --------------------------------------------------------------
+
+    def _cycle_text(self, source: str, target: str) -> str:
+        """The cycle that adding edge target->source would close, as
+        ``target -> source -> ... -> target``."""
+        parents: Dict[str, str] = {}
+        frontier = [source]
+        seen = {source}
+        while frontier:
+            node = frontier.pop(0)
+            if node == target:
+                break
+            for successor in self._edges.get(node, ()):
+                if successor not in seen:
+                    seen.add(successor)
+                    parents[successor] = node
+                    frontier.append(successor)
+        path = [target]
+        while path[-1] != source:
+            path.append(parents.get(path[-1], source))
+        path.reverse()
+        return " -> ".join([target] + path)
+
+    def _would_cycle(self, source: str, target: str) -> bool:
+        """True if an edge target->source already reaches... i.e. adding
+        source-held -> acquiring target would close a cycle: test
+        whether source is reachable from... (see call site: acquiring
+        ``lock`` while holding ``name`` adds edge name->lock; a cycle
+        exists if lock already reaches name)."""
+        frontier = [source]
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._edges.get(node, ()))
+        return False
+
+    def edges(self) -> Set[Tuple[str, str]]:
+        with self._mu:
+            return {
+                (a, b) for a, targets in self._edges.items() for b in targets
+            }
+
+    def held_names(self) -> List[str]:
+        """The current thread's held lock names, outermost first."""
+        return [lock.name for lock in self._state.stack]
+
+    def reset(self) -> None:
+        with self._mu:
+            self._edges.clear()
+            self._witness.clear()
+            self._instance_pairs.clear()
+            del self.findings[:]
+
+    def verify_against_static(
+        self, static_edges: Optional[Set[Tuple[str, str]]] = None
+    ) -> List[str]:
+        """Observed edges missing from the static graph (both-ways check).
+
+        Returns human-readable divergences instead of raising, so test
+        fixtures can assert on them; an empty list means the runtime
+        behaved within the statically predicted envelope.
+        """
+        if static_edges is None:
+            from repro.analysis.concurrency.driver import static_lock_graph
+
+            graph = static_lock_graph()
+            static_edges = {(a, b) for a, b in graph["edges"]}
+        divergences = []
+        for a, b in sorted(self.edges()):
+            if (a, b) not in static_edges:
+                divergences.append(
+                    f"observed edge {a} -> {b} missing from the static "
+                    f"may-acquire-under graph (first witness: "
+                    f"{self._witness.get((a, b), '?')})"
+                )
+        return divergences
+
+
+#: The process-global monitor all sanitized locks report to.
+monitor = LockMonitor()
+
+os.register_at_fork(before=monitor.on_fork)
+
+
+class SanitizedLock:
+    """A named lock wrapper that reports to the global monitor.
+
+    Supports the full context-manager and ``acquire``/``release``
+    protocol of ``threading.Lock``/``RLock``, so it drops into any
+    code built on :mod:`repro.locks`.
+    """
+
+    __slots__ = ("name", "reentrant", "_inner", "_monitor")
+
+    def __init__(
+        self,
+        name: str,
+        reentrant: bool,
+        monitor: Optional[LockMonitor] = None,
+    ) -> None:
+        self.name = name
+        self.reentrant = reentrant
+        self._inner = threading.RLock() if reentrant else threading.Lock()
+        # Tests pass their own monitor so synthetic lock traffic never
+        # contaminates the process-global observed graph.
+        self._monitor = monitor if monitor is not None else globals()["monitor"]
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            self._monitor.before_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._monitor.after_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.after_release(self)
+
+    def locked(self) -> bool:
+        checker = getattr(self._inner, "locked", None)
+        if checker is not None:
+            return checker()
+        # RLock grew .locked() late; probe without touching the monitor.
+        if self._inner.acquire(blocking=False):
+            self._inner.release()
+            return False
+        return True
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"SanitizedLock({self.name!r}, reentrant={self.reentrant})"

@@ -1,0 +1,84 @@
+"""The committed waiver file for intentional concurrency findings.
+
+Findings the analyzer raises but the code *means* (e.g. the artifact
+bus delivering to subscribers under its own lock — synchronous
+delivery is the bus contract) are recorded in ``codelint-waivers.json``
+at the repo root, one entry per finding fingerprint with a mandatory
+human justification:
+
+.. code-block:: json
+
+    {
+      "waivers": [
+        {
+          "fingerprint": "QRY903:ArtifactBus.publish:bus publish",
+          "reason": "subscribers run under the bus lock by design; ..."
+        }
+      ]
+    }
+
+Fingerprints are line-number-free (rule + qualname + finding-specific
+key), so waivers survive unrelated edits.  Stale waivers — entries
+whose fingerprint no longer matches any finding — are reported by the
+CLI so the file cannot quietly rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.errors import QuarryError
+
+
+@dataclass(frozen=True)
+class Waiver:
+    fingerprint: str
+    reason: str
+
+
+def load_waivers(path: Optional[Path]) -> Dict[str, Waiver]:
+    """Load a waiver file; missing path -> no waivers."""
+    if path is None:
+        return {}
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise QuarryError(f"{path}: invalid waiver file: {exc}") from exc
+    entries = payload.get("waivers") if isinstance(payload, dict) else None
+    if not isinstance(entries, list):
+        raise QuarryError(f"{path}: waiver file needs a 'waivers' list")
+    waivers: Dict[str, Waiver] = {}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise QuarryError(f"{path}: waiver entries must be objects")
+        fingerprint = entry.get("fingerprint")
+        reason = entry.get("reason", "").strip()
+        if not fingerprint:
+            raise QuarryError(f"{path}: waiver entry missing 'fingerprint'")
+        if not reason:
+            raise QuarryError(
+                f"{path}: waiver {fingerprint!r} has no justification; "
+                f"every waiver needs a 'reason'"
+            )
+        if fingerprint in waivers:
+            raise QuarryError(f"{path}: duplicate waiver {fingerprint!r}")
+        waivers[fingerprint] = Waiver(fingerprint=fingerprint, reason=reason)
+    return waivers
+
+
+def default_waiver_path() -> Optional[Path]:
+    """``codelint-waivers.json`` next to the repo's pyproject, if any."""
+    here = Path(__file__).resolve()
+    for ancestor in here.parents:
+        candidate = ancestor / "codelint-waivers.json"
+        if candidate.exists():
+            return candidate
+        if (ancestor / "pyproject.toml").exists():
+            return candidate  # canonical location even when absent
+    return None

@@ -47,6 +47,8 @@ class Diagnostic:
     node: Optional[str] = None
     attribute: Optional[str] = None
     hint: Optional[str] = None
+    #: Stable, line-number-free identity for waiver matching (code rules).
+    fingerprint: Optional[str] = None
 
     def location(self) -> str:
         if self.node is not None and self.attribute is not None:
@@ -67,7 +69,7 @@ class Diagnostic:
         return text
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "code": self.code,
             "severity": self.severity.value,
             "message": self.message,
@@ -75,6 +77,9 @@ class Diagnostic:
             "attribute": self.attribute,
             "hint": self.hint,
         }
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint
+        return payload
 
 
 @dataclass(frozen=True)
@@ -90,7 +95,7 @@ class Rule:
 
     code: str
     title: str
-    target: str  # "flow" | "md"
+    target: str  # "flow" | "md" | "code"
     severity: Severity
     run: Callable[[object], Iterable[Diagnostic]]
 
@@ -139,6 +144,7 @@ def diag(
     attribute: Optional[str] = None,
     hint: Optional[str] = None,
     severity: Optional[Severity] = None,
+    fingerprint: Optional[str] = None,
 ) -> Diagnostic:
     """Build a diagnostic, defaulting severity from the rule registry."""
     effective = severity if severity is not None else rule_by_code(code).severity
@@ -149,6 +155,7 @@ def diag(
         node=node,
         attribute=attribute,
         hint=hint,
+        fingerprint=fingerprint,
     )
 
 

@@ -1,0 +1,168 @@
+"""Concurrency lint front door: ``python -m repro.codelint``.
+
+Runs the QRY9xx concurrency analyzer over the ``repro`` package itself
+(or explicit paths) and exits non-zero on unwaived ERROR findings:
+
+.. code-block:: console
+
+    $ python -m repro.codelint                    # the whole package
+    $ python -m repro.codelint src/repro/serve    # a subtree
+    $ python -m repro.codelint --json             # machine-readable
+    $ python -m repro.codelint --graph            # may-acquire-under graph
+    $ python -m repro.codelint --list-rules       # shared rule catalog
+
+Waivers live in ``codelint-waivers.json`` at the repo root (see
+:mod:`repro.analysis.concurrency.waivers`); ``--waivers`` overrides
+the location, ``--no-waivers`` ignores the file entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import repro.analysis.concurrency.rules  # noqa: F401  (registers QRY9xx)
+from repro.analysis.concurrency.driver import (
+    analyze_paths,
+    code_lint,
+    repro_package_root,
+)
+from repro.analysis.concurrency.waivers import default_waiver_path, load_waivers
+from repro.analysis.diagnostics import all_rules, rule_by_code
+from repro.errors import QuarryError
+
+
+def _collect(paths: List[str]) -> List[Path]:
+    collected: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            collected.extend(sorted(path.rglob("*.py")))
+        else:
+            collected.append(path)
+    return collected
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(
+            f"{rule.code}  {rule.severity.value:<7}  {rule.target:<4}  "
+            f"{rule.title}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.codelint",
+        description="Concurrency-discipline static analysis (QRY9xx).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="Python files or directories (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit one JSON object instead of text",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="print the static may-acquire-under graph and exit",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="CODE",
+        help="disable a rule by code (repeatable)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="run only the given rule codes (repeatable)",
+    )
+    parser.add_argument(
+        "--waivers",
+        metavar="FILE",
+        default=None,
+        help="waiver file (default: codelint-waivers.json at repo root)",
+    )
+    parser.add_argument(
+        "--no-waivers",
+        action="store_true",
+        help="ignore the waiver file",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the shared rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        return _list_rules()
+    for code in list(args.disable) + list(args.only or []):
+        try:
+            rule_by_code(code)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.paths:
+        paths = _collect(args.paths)
+        root = None
+    else:
+        root = repro_package_root()
+        paths = sorted(root.rglob("*.py"))
+    try:
+        context = analyze_paths(paths, root=root)
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.graph:
+        print(json.dumps(context.static_graph(), indent=2))
+        return 0
+    if args.no_waivers:
+        waivers = {}
+    else:
+        waiver_path = (
+            Path(args.waivers) if args.waivers else default_waiver_path()
+        )
+        try:
+            waivers = load_waivers(waiver_path)
+        except QuarryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    report, waived, unused = code_lint(
+        context,
+        disable=args.disable,
+        only=args.only,
+        waivers=waivers,
+    )
+    if args.as_json:
+        payload = report.to_json()
+        payload["waived"] = [d.to_json() for d in waived]
+        payload["unused_waivers"] = unused
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+        if waived:
+            print(f"  ({len(waived)} finding(s) waived)")
+        for fingerprint in unused:
+            print(f"  stale waiver (matches nothing): {fingerprint}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

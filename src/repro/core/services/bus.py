@@ -21,11 +21,11 @@ metadata repository *before* delivery, which makes the bus:
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import Callable, Dict, List, Optional
 
 from repro.core.services.envelope import ArtifactEnvelope
 from repro.errors import QuarryError
+from repro.locks import new_rlock
 
 Handler = Callable[[ArtifactEnvelope], None]
 
@@ -44,11 +44,11 @@ class ArtifactBus:
         #: Guards sequences, positions and marker capture.  Reentrant
         #: because a subscriber delivered under the lock may itself
         #: publish (service pipelines chain topic to topic).
-        self._lock = threading.RLock()
+        self._lock = new_rlock("ArtifactBus._lock")
         self._id = next(_BUS_IDS)
         # Resume sequences from a persisted log (session reload).
-        self._sequences: Dict[str, int] = {}
-        self._next_position = 0
+        self._sequences: Dict[str, int] = {}  # guarded-by: ArtifactBus._lock
+        self._next_position = 0  # guarded-by: ArtifactBus._lock
         for event in self._repository.bus_events():
             topic = event["topic"]
             self._sequences[topic] = max(

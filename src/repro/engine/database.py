@@ -9,13 +9,13 @@ it, and the OLAP helper queries it.
 from __future__ import annotations
 
 import datetime
-import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import EngineError, IntegrityError, UnknownTableError
 from repro.engine.columnar import ColumnarRelation
 from repro.engine.relation import Relation
+from repro.locks import new_lock
 from repro.expressions.types import ScalarType, type_of_value
 
 #: Exact Python types that satisfy each scalar type without further
@@ -72,11 +72,14 @@ class _Table:
         self.relation = Relation(schema=dict(definition.columns))
         self._pk_index: set = set()
         #: Cached columnar view of the relation; dropped on any write.
-        self._columnar: Optional[ColumnarRelation] = None
+        #: Writers invalidate without the lock (the write paths are
+        #: caller-serialised, as for ``scan``), hence ``[writes]`` only
+        #: covers the pivot's publication, not the invalidation.
+        self._columnar: Optional[ColumnarRelation] = None  # guarded-by: _Table._columnar_lock [writes]
         #: Guards the lazy columnar pivot: two concurrent readers must
         #: agree on one cached view instead of both pivoting (or one
         #: observing the other's half-built pivot).
-        self._columnar_lock = threading.Lock()
+        self._columnar_lock = new_lock("_Table._columnar_lock")
         #: Bumped on every write; statistics caches key on it, so stale
         #: table stats are detected without comparing contents.
         self.generation: int = 0

@@ -19,11 +19,11 @@ recollected on every request.
 from __future__ import annotations
 
 import datetime
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.expressions.types import ScalarType
+from repro.locks import new_lock
 
 #: Bucket count of the equi-width histograms; small on purpose — the
 #: estimator only needs coarse shape, and collection stays O(rows).
@@ -186,36 +186,49 @@ class StatisticsCatalog:
     def __init__(self, database, buckets: int = HISTOGRAM_BUCKETS) -> None:
         self._database = database
         self._buckets = buckets
-        self._cache: Dict[str, Tuple[int, TableStats]] = {}
-        #: Guards cache fills: concurrent workers asking for the same
-        #: table's stats must collect them once, not race check-then-set.
-        self._lock = threading.Lock()
+        self._cache: Dict[str, Tuple[int, TableStats]] = {}  # guarded-by: StatisticsCatalog._lock
+        #: Guards the cache and fill-lock maps only — never held while
+        #: collecting.  Collection runs under a per-table fill lock, so
+        #: workers asking for the same table collect once while
+        #: different tables collect in parallel; the old single-lock
+        #: scheme serialised every table's collection behind whichever
+        #: ran first *and* nested the catalog lock over the engine's
+        #: per-table columnar locks.
+        self._lock = new_lock("StatisticsCatalog._lock")
+        self._fill_locks: Dict[str, object] = {}  # guarded-by: StatisticsCatalog._lock
 
     def table_stats(self, table: str) -> TableStats:
         """Statistics for a table; raises ``UnknownTableError`` like the
         underlying database when the table does not exist.
 
-        Thread-safe: the collection pass runs under the catalog lock
-        with a double-check, so a worker pool sharing one catalog never
-        observes a half-filled entry and never collects twice for the
-        same generation.
+        Thread-safe: the collection pass runs under a per-table fill
+        lock with a double-check, so a worker pool sharing one catalog
+        never observes a half-filled entry and never collects twice for
+        the same generation — and a slow collection of one table never
+        blocks lookups or collections of any other.
         """
         generation = self._generation(table)
         if generation is None:
             return self._collect(table)
-        cached = self._cache.get(table)
-        if cached is not None and cached[0] == generation:
-            return cached[1]
         with self._lock:
             cached = self._cache.get(table)
             if cached is not None and cached[0] == generation:
                 return cached[1]
+            if table not in self._fill_locks:
+                self._fill_locks[table] = new_lock("StatisticsCatalog.fill")
+            fill = self._fill_locks[table]
+        with fill:
+            with self._lock:
+                cached = self._cache.get(table)
+                if cached is not None and cached[0] == generation:
+                    return cached[1]
             stats = self._collect(table)
-            self._cache[table] = (generation, stats)
+            with self._lock:
+                self._cache[table] = (generation, stats)
         return stats
 
     def _collect(self, table: str) -> TableStats:
-        relation = self._database.scan_columns(table)
+        relation = self._database.scan_columns(table)  # calls: Database.scan_columns
         return collect_table_stats(
             table,
             dict(relation.schema),

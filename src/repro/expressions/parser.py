@@ -154,7 +154,7 @@ class _Parser:
             try:
                 value = datetime.date.fromisoformat(value_token.text)
             except ValueError as exc:
-                raise self._error(f"invalid date literal: {exc}", value_token)
+                raise self._error(f"invalid date literal: {exc}", value_token) from exc
             return ast.Literal(value)
         raise self._error(f"unexpected keyword {token.text!r}", token)
 

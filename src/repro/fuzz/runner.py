@@ -189,7 +189,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{report['trials']} trials over {report['seeds']} seeds in "
         f"{report['elapsed']:.1f}s: {len(report['failures'])} failure(s)"
     )
-    return 1 if report["failures"] else 0
+    divergences = _locksan_divergences(say)
+    return 1 if report["failures"] or divergences else 0
+
+
+def _locksan_divergences(say) -> int:
+    """Cross-check observed lock edges against the static graph.
+
+    Only active under ``REPRO_LOCKSAN=1``: every lock-order edge the
+    sanitizer observed during the fuzz run must appear in the static
+    may-acquire-under graph — an edge the analyzer missed means its
+    call resolution has a hole worth a ``# calls:`` annotation.
+    """
+    from repro.locks import sanitizing
+
+    if not sanitizing():
+        return 0
+    from repro.analysis.concurrency.sanitizer import monitor
+
+    divergences = monitor.verify_against_static()
+    for divergence in divergences:
+        say(f"LOCKSAN: {divergence}")
+    for finding in monitor.findings:
+        say(f"LOCKSAN: {finding}")
+    if divergences:
+        print(
+            f"lock sanitizer: {len(divergences)} observed edge(s) "
+            f"outside the static graph"
+        )
+    return len(divergences)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,46 @@
+"""Named lock construction for the concurrency-disciplined modules.
+
+Every lock in the lock-bearing modules (document store, engine caches,
+artifact bus, serving layer) is created through :func:`new_lock` /
+:func:`new_rlock` with a stable ``Class.attribute`` name.  The name is
+the unit of the concurrency discipline:
+
+* the static analyzer (:mod:`repro.analysis.concurrency`) reads the
+  name literal at the construction site, so every acquisition maps to
+  a stable lock class without type inference;
+* the runtime sanitizer (enabled with ``REPRO_LOCKSAN=1``) wraps the
+  lock and records per-thread acquisition stacks and the observed
+  lock-order graph under the same names, so runtime observations and
+  static verdicts are directly comparable.
+
+Without ``REPRO_LOCKSAN`` these factories return plain ``threading``
+primitives — zero overhead on the production path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+
+def sanitizing() -> bool:
+    """Whether the runtime lock sanitizer is enabled for new locks."""
+    return os.environ.get("REPRO_LOCKSAN", "") not in ("", "0")
+
+
+def new_lock(name: str):
+    """A non-reentrant mutex named for the attribute that will hold it."""
+    if sanitizing():
+        from repro.analysis.concurrency.sanitizer import SanitizedLock
+
+        return SanitizedLock(name, reentrant=False)
+    return threading.Lock()
+
+
+def new_rlock(name: str):
+    """A reentrant mutex named for the attribute that will hold it."""
+    if sanitizing():
+        from repro.analysis.concurrency.sanitizer import SanitizedLock
+
+        return SanitizedLock(name, reentrant=True)
+    return threading.RLock()

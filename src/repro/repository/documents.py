@@ -21,8 +21,9 @@ into distinct collections never contend with each other.
 from __future__ import annotations
 
 import re
-import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.locks import new_rlock
 
 from repro.errors import (
     DocumentNotFoundError,
@@ -254,17 +255,18 @@ class Collection:
         self.name = name
         #: Reentrant so compound writes (``delete_many`` -> ``delete``)
         #: and callers that already hold the lock both work.
-        self._lock = threading.RLock()
-        self._documents: Dict[str, dict] = {}
+        self._lock = new_rlock("Collection._lock")
+        self._documents: Dict[str, dict] = {}  # guarded-by: Collection._lock
         #: Monotonic insertion position per id, so the ``_id`` fast path
         #: can restore collection order without scanning (replacing an
         #: existing document keeps its position, like dict assignment).
-        self._positions: Dict[str, int] = {}
-        self._next_position = 0
-        self._indexes: Dict[str, _FieldIndex] = {}
+        self._positions: Dict[str, int] = {}  # guarded-by: Collection._lock
+        self._next_position = 0  # guarded-by: Collection._lock
+        self._indexes: Dict[str, _FieldIndex] = {}  # guarded-by: Collection._lock
         #: Which route answered each read — tests and benchmarks assert
-        #: the planner took the cheap path.
-        self.stats: Dict[str, int] = {
+        #: the planner took the cheap path (they read without the lock,
+        #: after the writers have quiesced).
+        self.stats: Dict[str, int] = {  # guarded-by: Collection._lock [writes]
             "scans": 0, "index_lookups": 0, "id_lookups": 0,
         }
 
@@ -547,8 +549,8 @@ class DocumentStore:
 
     def __init__(self, name: str = "quarry") -> None:
         self.name = name
-        self._lock = threading.RLock()
-        self._collections: Dict[str, Collection] = {}
+        self._lock = new_rlock("DocumentStore._lock")
+        self._collections: Dict[str, Collection] = {}  # guarded-by: DocumentStore._lock
 
     def collection(self, name: str) -> Collection:
         """Get (creating on first use) a collection."""
@@ -585,11 +587,11 @@ class DocumentStore:
             acquired: List[Collection] = []
             try:
                 for collection in collections:
-                    collection._lock.acquire()
+                    collection._lock.acquire()  # lock: Collection._lock
                     acquired.append(collection)
                 return {
                     "collections": {
-                        collection.name: collection.find()
+                        collection.name: collection.find()  # calls: Collection.find
                         for collection in collections
                     },
                     "indexes": {
@@ -600,7 +602,7 @@ class DocumentStore:
                 }
             finally:
                 for collection in reversed(acquired):
-                    collection._lock.release()
+                    collection._lock.release()  # lock: Collection._lock
 
     def __contains__(self, name: str) -> bool:
         with self._lock:

@@ -55,6 +55,7 @@ from repro.core.deployer import DeploymentResult
 
 from repro.core.services.session import DesignSession
 from repro.errors import QuarryError, RepositoryError
+from repro.locks import new_lock, new_rlock
 from repro.repository.metadata import MetadataRepository
 
 #: Session names are path segments and repository namespace parts.
@@ -108,11 +109,11 @@ class _JobRunner:
         self._run = run  # callable(_DeployJob) -> result payload dict
         self._name = name
         self._queue: "queue.Queue[_DeployJob]" = queue.Queue()
-        self._jobs: Dict[str, _DeployJob] = {}
-        self._order: List[str] = []
-        self._lock = threading.Lock()
-        self._counter = 0
-        self._thread: Optional[threading.Thread] = None
+        self._jobs: Dict[str, _DeployJob] = {}  # guarded-by: _JobRunner._lock
+        self._order: List[str] = []  # guarded-by: _JobRunner._lock
+        self._lock = new_lock("_JobRunner._lock")
+        self._counter = 0  # guarded-by: _JobRunner._lock
+        self._thread: Optional[threading.Thread] = None  # guarded-by: _JobRunner._lock
 
     def submit(self, platform: str, lint_gate: bool) -> str:
         with self._lock:
@@ -127,7 +128,10 @@ class _JobRunner:
                     daemon=True,
                 )
                 self._thread.start()
-        self._queue.put(job)
+            # The enqueue must stay under the lock: two concurrent
+            # submitters otherwise race between id allocation and the
+            # put, and the worker drains jobs out of submission order.
+            self._queue.put(job)
         return job.id
 
     def get(self, job_id: str) -> Optional[_DeployJob]:
@@ -189,10 +193,10 @@ class SessionManager:
         #: Optional database handed to ``deploy`` for platforms that
         #: extract (``native``); ``None`` serves design-only platforms.
         self.source_database = source_database
-        self._sessions: Dict[str, DesignSession] = {}
-        self._locks: Dict[str, threading.RLock] = {}
-        self._jobs: Dict[str, _JobRunner] = {}
-        self._lock = threading.Lock()
+        self._sessions: Dict[str, DesignSession] = {}  # guarded-by: SessionManager._lock
+        self._locks: Dict[str, threading.RLock] = {}  # guarded-by: SessionManager._lock
+        self._jobs: Dict[str, _JobRunner] = {}  # guarded-by: SessionManager._lock
+        self._lock = new_lock("SessionManager._lock")
 
     def create(self, name: str) -> DesignSession:
         if not _NAME_PATTERN.match(name or ""):
@@ -212,7 +216,7 @@ class SessionManager:
                 session=name,
             )
             self._sessions[name] = session
-            self._locks[name] = threading.RLock()
+            self._locks[name] = new_rlock("SessionManager.session")
             self._jobs[name] = _JobRunner(
                 lambda job, session_name=name: _deploy_payload(
                     self.deploy(
@@ -362,7 +366,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ServeError(400, f"request body is not JSON: {exc}")
+            raise ServeError(400, f"request body is not JSON: {exc}") from exc
         if not isinstance(payload, dict):
             raise ServeError(400, "request body must be a JSON object")
         return payload
@@ -381,7 +385,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_sessions(
         self, method: str, parts: List[str]
     ) -> Tuple[int, dict]:
-        manager = self.manager
+        manager: SessionManager = self.manager
         if not parts:
             if method == "GET":
                 return 200, {"sessions": manager.names()}

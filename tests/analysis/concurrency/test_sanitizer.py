@@ -1,0 +1,176 @@
+"""Runtime lock-sanitizer tests: inversions, self-deadlock, fork.
+
+Every test builds its own :class:`LockMonitor`, so synthetic lock
+traffic never contaminates the process-global observed graph that the
+session-wide cross-check (``tests/conftest.py``) verifies.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency.sanitizer import (
+    LockMonitor,
+    LockOrderViolation,
+    LockSanitizerError,
+    SanitizedLock,
+)
+
+
+def _locks(monitor, *names, reentrant=False):
+    return [
+        SanitizedLock(name, reentrant=reentrant, monitor=monitor)
+        for name in names
+    ]
+
+
+class TestOrderInversion:
+    def test_ab_ba_across_two_threads_raises(self):
+        monitor = LockMonitor()
+        a, b = _locks(monitor, "A", "B")
+        ready = threading.Event()
+        release = threading.Event()
+
+        def thread_one():
+            with a:
+                with b:  # records A -> B
+                    ready.set()
+                    release.wait(5)
+
+        worker = threading.Thread(target=thread_one)
+        worker.start()
+        assert ready.wait(5)
+        failure = {}
+        try:
+            with b:
+                with pytest.raises(LockOrderViolation) as caught:
+                    a.acquire()  # would record B -> A: cycle
+                failure["message"] = str(caught.value)
+        finally:
+            release.set()
+            worker.join(5)
+        assert "closes an ordering cycle" in failure["message"]
+        assert "'A'" in failure["message"] and "'B'" in failure["message"]
+
+    def test_consistent_order_stays_quiet(self):
+        monitor = LockMonitor()
+        a, b = _locks(monitor, "A", "B")
+        for __ in range(3):
+            with a:
+                with b:
+                    pass
+        assert monitor.edges() == {("A", "B")}
+
+    def test_same_name_cross_instance_inversion(self):
+        monitor = LockMonitor()
+        first, second = _locks(monitor, "Collection._lock", "Collection._lock")
+        # Sorted-order discipline: always first-then-second is fine.
+        with first:
+            with second:
+                pass
+        # The opposite interleaving is the snapshot deadlock.
+        with second:
+            with pytest.raises(LockOrderViolation, match="opposite orders"):
+                first.acquire()
+
+
+class TestSelfDeadlock:
+    def test_nonreentrant_reacquire_raises(self):
+        monitor = LockMonitor()
+        (lock,) = _locks(monitor, "L")
+        with lock:
+            with pytest.raises(LockSanitizerError, match="self-deadlock"):
+                lock.acquire()
+
+    def test_reentrant_reacquire_is_fine(self):
+        monitor = LockMonitor()
+        (lock,) = _locks(monitor, "L", reentrant=True)
+        with lock:
+            with lock:
+                # Each acquire pushes, so release counting balances.
+                assert monitor.held_names() == ["L", "L"]
+        assert monitor.held_names() == []
+        assert monitor.edges() == set()  # reentrancy adds no edge
+
+
+class TestFork:
+    def test_fork_while_holding_raises(self):
+        monitor = LockMonitor()
+        (lock,) = _locks(monitor, "L")
+        with lock:
+            with pytest.raises(LockSanitizerError, match="fork"):
+                monitor.on_fork()
+
+    def test_fork_with_no_holds_records_finding_after_traffic(self):
+        monitor = LockMonitor()
+        a, b = _locks(monitor, "A", "B")
+        with a:
+            with b:
+                pass
+        monitor.on_fork()  # must not raise: forking thread holds nothing
+        assert monitor.findings
+        assert "fork" in monitor.findings[0]
+
+
+class TestCrossCheck:
+    def test_observed_subset_of_static_passes(self):
+        monitor = LockMonitor()
+        a, b = _locks(monitor, "A", "B")
+        with a:
+            with b:
+                pass
+        assert monitor.verify_against_static({("A", "B")}) == []
+
+    def test_unpredicted_edge_is_a_divergence(self):
+        monitor = LockMonitor()
+        a, b = _locks(monitor, "A", "B")
+        with b:
+            with a:
+                pass
+        divergences = monitor.verify_against_static({("A", "B")})
+        assert len(divergences) == 1
+        assert "B -> A" in divergences[0]
+
+    def test_reset_clears_the_graph(self):
+        monitor = LockMonitor()
+        a, b = _locks(monitor, "A", "B")
+        with a:
+            with b:
+                pass
+        monitor.reset()
+        assert monitor.edges() == set()
+        assert monitor.verify_against_static(set()) == []
+
+
+class TestFactoryWiring:
+    def test_env_flag_switches_factories(self, monkeypatch):
+        from repro import locks
+
+        monkeypatch.setenv("REPRO_LOCKSAN", "1")
+        sanitized = locks.new_lock("tests.factory")
+        assert isinstance(sanitized, SanitizedLock)
+        assert not sanitized.reentrant
+        assert isinstance(locks.new_rlock("tests.factory"), SanitizedLock)
+        monkeypatch.setenv("REPRO_LOCKSAN", "0")
+        assert not isinstance(locks.new_lock("tests.plain"), SanitizedLock)
+
+    def test_package_traffic_matches_static_graph(self, monkeypatch):
+        """Real store traffic under sanitized locks stays inside the
+        static may-acquire-under graph (the PR's central invariant)."""
+        monkeypatch.setenv("REPRO_LOCKSAN", "1")
+        from repro.analysis.concurrency import static_lock_graph
+        from repro.analysis.concurrency.sanitizer import monitor
+        from repro.repository.documents import DocumentStore
+
+        store = DocumentStore()
+        store.collection("alpha").insert({"_id": "1"})
+        store.collection("beta").insert({"_id": "2"})
+        store.snapshot()
+        observed = monitor.edges()
+        # snapshot really nests store -> collection...
+        assert ("DocumentStore._lock", "Collection._lock") in observed
+        # ...and everything the whole process observed so far (this
+        # test plus any earlier package traffic reporting to the
+        # global monitor) stays inside the static envelope.
+        static = {(a, b) for a, b in static_lock_graph()["edges"]}
+        assert observed <= static

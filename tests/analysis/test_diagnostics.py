@@ -26,16 +26,20 @@ class TestRegistry:
             | {f"QRY20{i}" for i in range(1, 5)}
             | {f"QRY30{i}" for i in range(1, 4)}
             | {f"QRY4{i:02d}" for i in range(1, 14)}
+            | {f"QRY90{i}" for i in range(1, 8)}
         )
         assert codes == expected
 
     def test_targets_partition_the_catalog(self):
         flow = {rule.code for rule in rules_for("flow")}
         md = {rule.code for rule in rules_for("md")}
+        code = {rule.code for rule in rules_for("code")}
         assert not flow & md
-        assert flow | md == {rule.code for rule in all_rules()}
-        assert all(code < "QRY400" for code in flow)
-        assert all(code >= "QRY400" for code in md)
+        assert not (flow | md) & code
+        assert flow | md | code == {rule.code for rule in all_rules()}
+        assert all(c < "QRY400" for c in flow)
+        assert all("QRY400" <= c < "QRY900" for c in md)
+        assert all(c >= "QRY900" for c in code)
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ValueError, match="duplicate rule code"):

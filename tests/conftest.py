@@ -1,0 +1,28 @@
+"""Suite-wide fixtures: the lock-sanitizer cross-check.
+
+When the suite runs under ``REPRO_LOCKSAN=1`` (CI does this for the
+concurrency stress tests), every lock-order edge the runtime sanitizer
+observed across the whole session is checked against the static
+may-acquire-under graph at exit.  An observed edge the analyzer missed
+fails the run: either the code grew a lock nesting the model cannot
+see (add a ``# calls:``/``# lock:`` annotation) or the analyzer
+regressed.
+"""
+
+import pytest
+
+from repro.locks import sanitizing
+
+
+@pytest.fixture(scope="session", autouse=True)
+def locksan_cross_check():
+    yield
+    if not sanitizing():
+        return
+    from repro.analysis.concurrency.sanitizer import monitor
+
+    divergences = monitor.verify_against_static()
+    assert not divergences, (
+        "lock sanitizer observed edges outside the static "
+        "may-acquire-under graph:\n" + "\n".join(divergences)
+    )

@@ -197,7 +197,7 @@ class TestDesignSession:
             .per("Ghost_property")
             .build()
         )
-        with pytest.raises(Exception):
+        with pytest.raises(QuarryError):
             session.add_requirement(bogus)
         assert session.repository.bus_event_count() == logged
         assert [r.id for r in session.requirements()] == ["IR1"]

@@ -1,0 +1,116 @@
+"""Regression: statistics collection must not run under the catalog lock.
+
+The seed ``StatisticsCatalog.table_stats`` held the single catalog
+lock across the whole collection pass, which (a) serialised every
+table's collection behind whichever ran first and (b) nested the
+catalog lock over the engine's per-table columnar locks.  The fix
+collects under a per-table fill lock with a double-check; the catalog
+lock only guards the maps.
+
+Both properties are pinned here with a stub database whose scan of one
+table parks on an event: another table's stats must still come back
+while the slow scan is in flight, and two racers for the *same* table
+must collect exactly once.
+"""
+
+import threading
+
+from repro.engine.stats import StatisticsCatalog, TableStats
+from repro.expressions.types import ScalarType
+
+
+class _Relation:
+    def __init__(self):
+        self.schema = {"x": ScalarType.INTEGER}
+        self.columns = {"x": [1, 2, 3]}
+        self.length = 3
+
+
+class _BlockingDatabase:
+    """``scan_columns("slow")`` parks until ``gate`` is set."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.scan_started = threading.Event()
+        self.scans = []  # drained single-threaded in assertions only
+        self._mu = threading.Lock()
+
+    def table_generation(self, table):
+        return 1
+
+    def scan_columns(self, table):
+        with self._mu:
+            self.scans.append(table)
+        if table == "slow":
+            self.scan_started.set()
+            assert self.gate.wait(5)
+        return _Relation()
+
+
+def test_slow_collection_does_not_block_other_tables():
+    database = _BlockingDatabase()
+    catalog = StatisticsCatalog(database)
+
+    slow = threading.Thread(target=catalog.table_stats, args=("slow",))
+    slow.start()
+    try:
+        assert database.scan_started.wait(5)
+        # Seed code: this parked on the catalog lock until the slow
+        # scan finished; now it must return while "slow" is in flight.
+        fast = threading.Thread(target=catalog.table_stats, args=("fast",))
+        fast.start()
+        fast.join(2)
+        assert not fast.is_alive(), (
+            "table_stats('fast') blocked behind the in-flight "
+            "collection of 'slow'"
+        )
+    finally:
+        database.gate.set()
+        slow.join(5)
+    assert not slow.is_alive()
+
+
+def test_same_table_racers_collect_once():
+    database = _BlockingDatabase()
+    catalog = StatisticsCatalog(database)
+    results = []
+    mu = threading.Lock()
+
+    def fetch():
+        stats = catalog.table_stats("slow")
+        with mu:
+            results.append(stats)
+
+    racers = [threading.Thread(target=fetch) for __ in range(4)]
+    for racer in racers:
+        racer.start()
+    assert database.scan_started.wait(5)
+    database.gate.set()
+    for racer in racers:
+        racer.join(5)
+
+    assert len(results) == 4
+    assert all(isinstance(stats, TableStats) for stats in results)
+    assert database.scans.count("slow") == 1  # single-flight per generation
+    first = results[0]
+    assert all(stats is first for stats in results)  # one shared object
+
+
+def test_generation_bump_recollects():
+    class _Bumpable(_BlockingDatabase):
+        def __init__(self):
+            super().__init__()
+            self.generation = 1
+            self.gate.set()  # never park
+
+        def table_generation(self, table):
+            return self.generation
+
+    database = _Bumpable()
+    catalog = StatisticsCatalog(database)
+    catalog.table_stats("t")
+    catalog.table_stats("t")
+    assert database.scans.count("t") == 1  # cached within a generation
+    database.generation = 2
+    catalog.table_stats("t")
+    assert database.scans.count("t") == 2  # bump invalidates

@@ -40,7 +40,7 @@ def test_inner_context_is_not_overwritten():
             # mimics infer_type's wrapper: pre-located errors pass through
             if exc.node is not None:
                 raise
-            raise AssertionError("should have re-raised")
+            raise AssertionError("should have re-raised") from None
     except TypeCheckError as caught:
         assert caught is inner
 

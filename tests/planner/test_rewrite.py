@@ -8,6 +8,7 @@ same quantised row multisets as unplanned columnar execution).
 import pytest
 
 from repro.engine import Database, Executor, TableDef
+from repro.errors import QuarryError
 from repro.engine.stats import StatisticsCatalog
 from repro.etlmodel import (
     Aggregation,
@@ -330,7 +331,7 @@ def test_unplannable_flow_bails_to_identity_with_error_parity():
     assert plan.fallback is not None
     errors = {}
     for mode in ("columnar", "planned"):
-        with pytest.raises(Exception) as caught:
+        with pytest.raises(QuarryError) as caught:
             Executor(collision_database(), mode=mode).execute(flow)
         errors[mode] = f"{type(caught.value).__name__}: {caught.value}"
     assert errors["columnar"] == errors["planned"]

@@ -1,0 +1,75 @@
+"""Regression: ``_JobRunner.submit`` must enqueue under its lock.
+
+The seed code allocated the job id and appended to ``_order`` under
+the lock but called ``self._queue.put(job)`` *after* releasing it.  Two
+concurrent submitters could then race between id allocation and the
+put: submitter A allocates ``job-1``, is descheduled, submitter B
+allocates ``job-2`` and puts it first — the worker drains ``job-2``
+before ``job-1``, breaking the runner's strict-FIFO contract (deploy
+N+1 must see the repository state deploy N recorded).
+
+The test forces that interleaving deterministically by stalling the
+first ``put``.  With the fix the second submitter parks on the lock
+and order is preserved; with the seed code it drained inverted.
+"""
+
+import queue
+import threading
+
+from repro.serve.server import _JobRunner
+
+
+class _StallFirstPut:
+    """A queue whose first ``put`` parks until released."""
+
+    def __init__(self):
+        self._inner = queue.Queue()
+        self._first = True
+        self.blocked = threading.Event()
+        self.release = threading.Event()
+
+    def put(self, item):
+        if self._first:
+            self._first = False
+            self.blocked.set()
+            assert self.release.wait(5)
+        self._inner.put(item)
+
+    def get(self):
+        return self._inner.get()
+
+
+def test_concurrent_submits_drain_in_submission_order():
+    processed = []
+    both_done = threading.Event()
+
+    def run(job):
+        processed.append(job.id)
+        if len(processed) == 2:
+            both_done.set()
+        return {"job": job.id}
+
+    runner = _JobRunner(run, "fifo-test")
+    stalled = _StallFirstPut()
+    runner._queue = stalled
+
+    first = threading.Thread(target=runner.submit, args=("sql", False))
+    second = threading.Thread(target=runner.submit, args=("sql", False))
+    first.start()
+    assert stalled.blocked.wait(5)  # submitter A is mid-put
+    second.start()
+    second.join(0.3)
+    # The fix: B must still be parked on the lock, not finished with
+    # job-2 already enqueued ahead of job-1.
+    assert second.is_alive()
+    stalled.release.set()
+    first.join(5)
+    second.join(5)
+    assert both_done.wait(5)
+
+    assert processed == ["job-1", "job-2"]
+    assert [entry["job"] for entry in runner.summaries()] == [
+        "job-1",
+        "job-2",
+    ]
+    assert all(entry["state"] == "done" for entry in runner.summaries())
