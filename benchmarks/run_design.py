@@ -1,11 +1,15 @@
 """Design-pipeline benchmark runner: incremental vs from-scratch.
 
-Measures the three layers the sub-linear design pipeline rests on and
+Measures the four layers the sub-linear design pipeline rests on and
 writes ``BENCH_design.json``:
 
 * **integrator** — at several design sizes N, the cost of accommodating
   a change (add / change / remove of the most recent requirement)
   against a full ``rebuild()`` over all N partial designs,
+* **evolution** — ``evolve@N``: one design-evolution operator (a
+  concept rename) applied incrementally (re-interpret affected
+  requirements, re-fold from the earliest affected checkpoint) against
+  rebuilding the whole session over the evolved domain,
 * **ontology** — cached to-one closures on a warm
   :class:`~repro.ontology.graph.OntologyGraph` against uncached
   recomputation,
@@ -153,6 +157,110 @@ def run_integrator_workloads(sizes, rounds, mismatches):
     return results
 
 
+# -- evolution layer ----------------------------------------------------------
+
+#: The concept the ``evolve@N`` scenario renames.  Requirements that
+#: analyse it are moved to the end of the corpus order: design
+#: evolution typically touches the concepts under *active* analysis,
+#: and those are the recently added requirements — the regime the
+#: checkpointed re-fold is built for.
+EVOLVED_CONCEPT = "Customer"
+
+
+def evolve_corpus(count: int):
+    """The benchmark corpus, evolution-affected requirements last."""
+    corpus = requirement_corpus(count)
+    prefix = f"{EVOLVED_CONCEPT}_"
+    untouched = [
+        requirement
+        for requirement in corpus
+        if not any(
+            name.startswith(prefix)
+            for name in requirement.referenced_properties()
+        )
+    ]
+    touched = [r for r in corpus if r not in untouched]
+    return untouched + touched
+
+
+def evolved_domain():
+    """(ontology, mappings) with the rename already applied."""
+    ontology = tpch.ontology()
+    ontology.rename_concept(EVOLVED_CONCEPT, "Client")
+    mappings = tpch.mappings()
+    mappings.rename_concept(EVOLVED_CONCEPT, "Client")
+    return ontology, mappings
+
+
+def run_evolution_workloads(sizes, rounds, mismatches):
+    """``evolve@N``: one rename, incremental versus from-scratch.
+
+    The incremental path re-interprets only the affected requirements
+    and re-folds from the earliest affected checkpoint; the baseline is
+    what a system without evolution operators must do — rebuild the
+    whole session over the evolved domain (interpret and integrate all
+    N requirements).  The gate compares both unified designs byte for
+    byte (same xMD/xLM text), so the speedup is only reported for
+    results that are known identical.
+    """
+    results = {}
+    for count in sizes:
+        corpus = evolve_corpus(count)
+        quarry = fresh_quarry()
+        for requirement in corpus:
+            quarry.add_requirement(requirement)
+
+        evolve_seconds = float("inf")
+        affected = refolded_from = None
+        for __ in range(rounds):
+            started = time.perf_counter()
+            report = quarry.rename_concept(EVOLVED_CONCEPT, "Client")
+            evolve_seconds = min(
+                evolve_seconds, time.perf_counter() - started
+            )
+            affected = len(report.affected)
+            refolded_from = report.refolded_from
+            quarry.rename_concept("Client", EVOLVED_CONCEPT)  # untimed undo
+
+        def build_evolved():
+            ontology, mappings = evolved_domain()
+            evolved = Quarry(
+                ontology, tpch.schema(), mappings, row_counts=ROW_COUNTS
+            )
+            for requirement in evolve_corpus(count):
+                evolved.add_requirement(requirement)
+            return evolved
+
+        scratch_seconds = best_of(rounds, build_evolved)
+
+        quarry.rename_concept(EVOLVED_CONCEPT, "Client")
+        if design_fingerprint(quarry) != design_fingerprint(build_evolved()):
+            mismatches.append(
+                f"evolve@{count}: incremental evolution differs from "
+                f"from-scratch rebuild of the evolved domain"
+            )
+        speedup = scratch_seconds / evolve_seconds
+        results[str(count)] = {
+            "operator": f"rename_concept({EVOLVED_CONCEPT!r}, 'Client')",
+            "affected_requirements": affected,
+            "refolded_from_index": refolded_from,
+            "incremental_evolve_seconds": evolve_seconds,
+            "from_scratch_seconds": scratch_seconds,
+            "evolve_speedup_vs_rebuild": speedup,
+            "results_identical": not any(
+                mismatch.startswith(f"evolve@{count}:")
+                for mismatch in mismatches
+            ),
+        }
+        print(
+            f"  evolve@{count:<4} scratch {scratch_seconds * 1000:8.1f}ms  "
+            f"incremental {evolve_seconds * 1000:6.1f}ms  "
+            f"({affected} affected, refold from {refolded_from})  "
+            f"speedup {speedup:.1f}x"
+        )
+    return results
+
+
 # -- ontology layer -----------------------------------------------------------
 
 
@@ -267,6 +375,7 @@ def run_suite(sizes=SIZES, rounds=ROUNDS, headline_size=HEADLINE_SIZE):
     mismatches: list = []
     print("design-pipeline benchmark: incremental vs from-scratch")
     integrator = run_integrator_workloads(sizes, rounds, mismatches)
+    evolution = run_evolution_workloads(sizes, rounds, mismatches)
     ontology = run_ontology_workload(rounds, mismatches)
     repository = run_repository_workload(rounds, mismatches)
 
@@ -276,19 +385,29 @@ def run_suite(sizes=SIZES, rounds=ROUNDS, headline_size=HEADLINE_SIZE):
         if headline in integrator
         else None
     )
+    evolve_speedup = (
+        evolution[headline]["evolve_speedup_vs_rebuild"]
+        if headline in evolution
+        else None
+    )
     report = {
         "benchmark": "design pipeline: incremental updates vs from-scratch",
         "rounds": rounds,
         "timing": "best of rounds",
         "design_sizes": integrator,
+        "evolution": evolution,
         "ontology": ontology,
         "repository": repository,
         "headline": {
             "design_size": headline_size,
             "incremental_change_speedup": change_speedup,
+            "incremental_evolve_speedup": evolve_speedup,
             "indexed_lookup_speedup": repository["speedup"],
             "gate_incremental_change_5x": (
                 change_speedup is not None and change_speedup >= 5.0
+            ),
+            "gate_incremental_evolve_3x": (
+                evolve_speedup is not None and evolve_speedup >= 3.0
             ),
             "gate_indexed_lookup_3x": repository["speedup"] >= 3.0,
         },

@@ -12,7 +12,8 @@ Code ranges:
 * ``QRY1xx`` — lineage: dead columns, unreachable subgraphs,
 * ``QRY2xx`` — types and hashability,
 * ``QRY3xx`` — predicate satisfiability,
-* ``QRY4xx`` — MD conformance.
+* ``QRY4xx`` — MD conformance,
+* ``QRY5xx`` — time and evolution (SCD policies, evolution operators).
 """
 
 from __future__ import annotations

@@ -1,0 +1,227 @@
+"""Lint rules for time and design evolution (``QRY5xx``).
+
+Slowly-changing-dimension policies and the design-evolution operators
+(:mod:`repro.core.services.evolution`) can each leave a unified design
+subtly broken without violating the structural MD rules: ``retype``
+can turn a summed measure non-numeric, ``merge`` can pull a property
+whose column name shadows an SCD2 validity-window column, and policy
+conformance can attach versioning to a level that has nothing to
+version.  These rules catch those states through the shared registry,
+so they gate :meth:`Quarry.deploy` like every other ERROR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.analysis.diagnostics import Diagnostic, Severity, diag, rule
+from repro.mdmodel.model import (
+    SCD2_COLUMNS,
+    AggregationFunction,
+    SCDPolicy,
+)
+
+#: Aggregations that do arithmetic on the measure value and therefore
+#: require a numeric measure type.
+_ARITHMETIC = {AggregationFunction.SUM, AggregationFunction.AVG}
+
+
+@rule("QRY501", "aggregated measure is not numeric", "md", Severity.ERROR)
+def _non_numeric_measure(context) -> Iterable[Diagnostic]:
+    """A SUM/AVG measure whose stored type is non-numeric.
+
+    The interpreter never generates this on its own — it appears when
+    ``retype_property`` changes a measure's source property to a
+    non-numeric range after the fact, breaking additivity.
+    """
+    out: List[Diagnostic] = []
+    for fact in context.schema.facts.values():
+        for measure in fact.measures.values():
+            if measure.aggregation not in _ARITHMETIC:
+                continue
+            if measure.type.is_numeric:
+                continue
+            out.append(
+                diag(
+                    "QRY501",
+                    f"measure {measure.name!r} of fact {fact.name!r} is "
+                    f"aggregated with {measure.aggregation.value} but has "
+                    f"non-numeric type {measure.type.value}; a property "
+                    f"retype likely broke additivity",
+                    node=fact.name,
+                    attribute=measure.name,
+                    hint="retype the source property back to a numeric "
+                    "range, or switch the aggregation to MIN/MAX/COUNT",
+                )
+            )
+    return out
+
+
+@rule("QRY502", "SCD level cannot identify entities", "md", Severity.ERROR)
+def _scd_without_key(context) -> Iterable[Diagnostic]:
+    """An SCD1/SCD2 level without the key the merge needs.
+
+    Versioning matches incoming rows to stored entities by the level's
+    key attribute; without one the SCD merge has no business key, and a
+    TYPE2 level whose *only* attribute is the key has no descriptor
+    that could ever change.
+    """
+    out: List[Diagnostic] = []
+    for dimension in context.schema.dimensions.values():
+        for level in dimension.levels.values():
+            if level.scd_policy is SCDPolicy.TYPE0:
+                continue
+            if level.key is None:
+                out.append(
+                    diag(
+                        "QRY502",
+                        f"level {level.name!r} of dimension "
+                        f"{dimension.name!r} declares SCD policy "
+                        f"{level.scd_policy.value} but has no key "
+                        f"attribute to identify entities across changes",
+                        node=dimension.name,
+                        attribute=level.name,
+                        hint="declare a key attribute (the business key "
+                        "the SCD merge matches versions on)",
+                    )
+                )
+            elif (
+                level.scd_policy is SCDPolicy.TYPE2
+                and len(level.attributes) < 2
+            ):
+                out.append(
+                    diag(
+                        "QRY502",
+                        f"level {level.name!r} of dimension "
+                        f"{dimension.name!r} is SCD2 but carries only its "
+                        f"key attribute; no descriptor can ever change",
+                        node=dimension.name,
+                        attribute=level.name,
+                        severity=Severity.WARNING,
+                        hint="add descriptor attributes or drop the "
+                        "TYPE2 policy",
+                    )
+                )
+    return out
+
+
+@rule(
+    "QRY503",
+    "attribute shadows SCD2 validity-window column",
+    "md",
+    Severity.ERROR,
+)
+def _window_column_collision(context) -> Iterable[Diagnostic]:
+    """A versioned level with an attribute named like a window column.
+
+    The deployer appends ``scd_version``/``scd_valid_from``/… to the
+    dimension table of every TYPE2 level; an attribute with one of
+    those names — typically pulled in by ``merge_concepts`` from a
+    concept whose properties were named after them — would collide in
+    the generated DDL.
+    """
+    out: List[Diagnostic] = []
+    for dimension in context.schema.dimensions.values():
+        versioned = any(
+            level.scd_policy is SCDPolicy.TYPE2
+            for level in dimension.levels.values()
+        )
+        if not versioned:
+            continue
+        for level in dimension.levels.values():
+            for name in level.attribute_names():
+                if name not in SCD2_COLUMNS:
+                    continue
+                out.append(
+                    diag(
+                        "QRY503",
+                        f"attribute {name!r} of level {level.name!r} "
+                        f"collides with an SCD2 validity-window column "
+                        f"of versioned dimension {dimension.name!r}",
+                        node=dimension.name,
+                        attribute=name,
+                        hint="rename the attribute (or the merged "
+                        "property that introduced it); the window "
+                        "column names are reserved",
+                    )
+                )
+    return out
+
+
+@rule("QRY504", "SCD policy at non-base level", "md", Severity.WARNING)
+def _scd_non_base(context) -> Iterable[Diagnostic]:
+    """A versioned level the generated ETL will never actually version.
+
+    Only hierarchy base levels are loaded row-by-row from the sources,
+    so an SCD policy above the base is silently inert.  ``split_concept``
+    can produce this: the carved-out concept becomes a coarser level of
+    the original dimension while inheriting its policy.
+    """
+    out: List[Diagnostic] = []
+    for dimension in context.schema.dimensions.values():
+        if not dimension.hierarchies:
+            continue
+        bases = set(dimension.base_levels())
+        for level in dimension.levels.values():
+            if level.scd_policy is SCDPolicy.TYPE0 or level.name in bases:
+                continue
+            out.append(
+                diag(
+                    "QRY504",
+                    f"level {level.name!r} of dimension "
+                    f"{dimension.name!r} declares SCD policy "
+                    f"{level.scd_policy.value} at a non-base level; "
+                    f"generated ETL only versions hierarchy base levels",
+                    node=dimension.name,
+                    attribute=level.name,
+                    hint="move the policy to the hierarchy's base level",
+                )
+            )
+    return out
+
+
+@rule(
+    "QRY505",
+    "duplicate attribute within a versioned dimension",
+    "md",
+    Severity.ERROR,
+)
+def _versioned_duplicate(context) -> Iterable[Diagnostic]:
+    """Colliding attribute names in a dimension that keeps history.
+
+    QRY406 already warns on duplicates in general; in a *versioned*
+    dimension they are promoted to errors, because the SCD merge
+    compares stored and incoming rows column-by-column and two
+    attributes with one name make the change detection ambiguous —
+    the classic outcome of ``merge_concepts`` folding two concepts
+    that both carry, say, a ``name`` property.
+    """
+    out: List[Diagnostic] = []
+    for dimension in context.schema.dimensions.values():
+        versioned = any(
+            level.scd_policy is not SCDPolicy.TYPE0
+            for level in dimension.levels.values()
+        )
+        if not versioned:
+            continue
+        owners: Dict[str, str] = {}
+        for level in dimension.levels.values():
+            for name in level.attribute_names():
+                owner = owners.get(name)
+                if owner is not None and owner != level.name:
+                    out.append(
+                        diag(
+                            "QRY505",
+                            f"attribute {name!r} appears in levels "
+                            f"{owner!r} and {level.name!r} of versioned "
+                            f"dimension {dimension.name!r}; SCD change "
+                            f"detection cannot tell them apart",
+                            node=dimension.name,
+                            attribute=name,
+                            hint="rename one of the colliding "
+                            "attributes before deploying",
+                        )
+                    )
+                else:
+                    owners.setdefault(name, level.name)
+    return out

@@ -15,7 +15,11 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.analysis import flow_rules, md_rules  # noqa: F401  (register rules)
+from repro.analysis import (  # noqa: F401  (register rules)
+    evolution_rules,
+    flow_rules,
+    md_rules,
+)
 from repro.analysis.diagnostics import (
     Diagnostic,
     LintReport,

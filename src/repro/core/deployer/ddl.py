@@ -13,20 +13,45 @@ from typing import Dict, List, Optional
 from repro.engine.sqlgen import check_dialect, sql_identifier, sql_type
 from repro.errors import DeploymentError
 from repro.expressions.types import ScalarType
-from repro.mdmodel.model import Dimension, Fact, MDSchema
+from repro.mdmodel.model import (
+    SCD2_IS_CURRENT,
+    SCD2_VALID_FROM,
+    SCD2_VALID_TO,
+    Dimension,
+    Fact,
+    MDSchema,
+    SCDPolicy,
+)
 
 
 def dimension_table_name(dimension: Dimension) -> str:
     return f"dim_{dimension.name}"
 
 
+def dimension_is_versioned(dimension: Dimension) -> bool:
+    """Whether any level keeps SCD2 history (window columns present)."""
+    return any(
+        level.scd_policy is SCDPolicy.TYPE2
+        for level in dimension.levels.values()
+    )
+
+
 def dimension_columns(dimension: Dimension) -> Dict[str, ScalarType]:
-    """All level attributes of a dimension, base level first."""
+    """All level attributes of a dimension, base level first.
+
+    A dimension with an SCD2 level additionally carries the validity-
+    window columns (version surrogate, window bounds, current flag)
+    after the declared attributes.
+    """
     columns: Dict[str, ScalarType] = {}
     for level in dimension.levels.values():
         for attribute in level.attributes:
             if attribute.name not in columns:
                 columns[attribute.name] = attribute.type
+    for level in dimension.levels.values():
+        for name, scalar_type in level.window_columns().items():
+            if name not in columns:
+                columns[name] = scalar_type
     return columns
 
 
@@ -77,6 +102,70 @@ def create_table_statement(
     return "\n".join(lines)
 
 
+def current_view_statement(dimension: Dimension, dialect: str = "postgres") -> str:
+    """``CREATE VIEW dim_<name>_current`` over the open rows only.
+
+    The view re-exposes the declared attributes (window columns hidden)
+    so type-0 consumers can point at a versioned dimension unchanged.
+    """
+    check_dialect(dialect)
+    table = dimension_table_name(dimension)
+    declared: List[str] = []
+    for level in dimension.levels.values():
+        for attribute in level.attributes:
+            if attribute.name not in declared:
+                declared.append(attribute.name)
+    columns = ", ".join(sql_identifier(name) for name in declared)
+    return (
+        f"CREATE VIEW {sql_identifier(table + '_current')} AS\n"
+        f"SELECT {columns} FROM {sql_identifier(table)}\n"
+        f"WHERE {sql_identifier(SCD2_IS_CURRENT)} = TRUE;"
+    )
+
+
+def point_in_time_join_statement(
+    schema: MDSchema, fact: Fact, dimension: Dimension, dialect: str = "postgres"
+) -> Optional[str]:
+    """A point-in-time join view for a fact over a versioned dimension.
+
+    ``CREATE VIEW <fact>_x_<dim>_pit`` joins the fact to every version
+    of its dimension members and exposes the validity window; an
+    as-of-date query filters ``scd_valid_from <= :as_of AND
+    (scd_valid_to IS NULL OR scd_valid_to > :as_of)``.  ``None`` when
+    the fact's grain does not carry the dimension's key (no join path).
+    """
+    check_dialect(dialect)
+    link = fact.link_for(dimension.name)
+    if link is None or not dimension.has_level(link.level):
+        return None
+    key = dimension.level(link.level).key
+    if key is None or key not in fact.grain:
+        return None
+    table = dimension_table_name(dimension)
+    fact_name = sql_identifier(fact.name)
+    dim_name = sql_identifier(table)
+    view = sql_identifier(f"{fact.name}_x_{table}_pit")
+    measure_columns = ", ".join(
+        f"f.{sql_identifier(name)}" for name in fact.measures
+    )
+    attribute_columns = ", ".join(
+        f"d.{sql_identifier(name)}"
+        for name in dimension_columns(dimension)
+        if name != key
+    )
+    return (
+        f"CREATE VIEW {view} AS\n"
+        f"SELECT f.{sql_identifier(key)}, {measure_columns}, "
+        f"{attribute_columns}\n"
+        f"FROM {fact_name} f\n"
+        f"JOIN {dim_name} d ON f.{sql_identifier(key)} = "
+        f"d.{sql_identifier(key)};\n"
+        f"-- as-of query: ... WHERE {sql_identifier(SCD2_VALID_FROM)} <= "
+        f":as_of AND ({sql_identifier(SCD2_VALID_TO)} IS NULL OR "
+        f"{sql_identifier(SCD2_VALID_TO)} > :as_of)"
+    )
+
+
 def generate(
     schema: MDSchema,
     dialect: str = "postgres",
@@ -95,6 +184,8 @@ def generate(
                 dialect=dialect,
             )
         )
+        if dimension_is_versioned(dimension):
+            statements.append(current_view_statement(dimension, dialect))
     for fact in schema.facts.values():
         statements.append(
             create_table_statement(
@@ -104,4 +195,15 @@ def generate(
                 dialect=dialect,
             )
         )
+        for link in fact.links:
+            if not schema.has_dimension(link.dimension):
+                continue
+            dimension = schema.dimension(link.dimension)
+            if not dimension_is_versioned(dimension):
+                continue
+            statement = point_in_time_join_statement(
+                schema, fact, dimension, dialect
+            )
+            if statement is not None:
+                statements.append(statement)
     return "\n\n".join(statements) + "\n"

@@ -132,15 +132,26 @@ class Deployer:
         The ETL's loaders would auto-create untyped tables; creating
         them from the MD schema first enforces the declared types and
         the fact's primary key during loading.
+
+        A *versioned* dimension (any SCD2 level) keeps its stored rows
+        across deployments: its SCD merge folds the history forward, so
+        truncating here would erase exactly what the policy preserves.
+        The table is only rebuilt when its shape no longer matches the
+        schema (design evolution changed the columns — fresh history).
         """
         for dimension in md_schema.dimensions.values():
             table = ddl.dimension_table_name(dimension)
-            if not database.has_table(table):
-                database.create_table(
-                    TableDef(name=table, columns=ddl.dimension_columns(dimension))
-                )
-            else:
-                database.truncate(table)
+            columns = ddl.dimension_columns(dimension)
+            if database.has_table(table):
+                if ddl.dimension_is_versioned(dimension):
+                    stored = database.table_def(table)
+                    if set(stored.columns) == set(columns):
+                        continue  # keep history for the SCD merge
+                    database.drop_table(table)
+                else:
+                    database.truncate(table)
+                    continue
+            database.create_table(TableDef(name=table, columns=columns))
         for fact in md_schema.facts.values():
             if not database.has_table(fact.name):
                 database.create_table(

@@ -338,6 +338,7 @@ def _copy_dimension(dimension: Dimension, name: str) -> Dimension:
                 attributes=list(level.attributes),
                 key=level.key,
                 concept=level.concept,
+                scd_policy=level.scd_policy,
             )
         )
     for hierarchy in dimension.hierarchies:

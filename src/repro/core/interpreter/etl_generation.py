@@ -33,11 +33,13 @@ from repro.etlmodel.ops import (
     Join,
     Loader,
     Projection,
+    SCDType,
+    SCDUpdate,
     Selection,
 )
 from repro.expressions import parse
 from repro.expressions.ast import substitute
-from repro.mdmodel.model import MDSchema
+from repro.mdmodel.model import Dimension, MDSchema, SCDPolicy
 from repro.ontology.graph import OntologyGraph, PathStep
 from repro.ontology.model import Ontology
 from repro.sources.mappings import SourceMappings
@@ -52,11 +54,18 @@ class EtlGenerator:
         ontology: Ontology,
         schema: SourceSchema,
         mappings: SourceMappings,
+        scd_effective_date: str = "1970-01-01",
     ) -> None:
         self._ontology = ontology
         self._graph = OntologyGraph(ontology)
         self._schema = schema
         self._mappings = mappings
+        self._scd_effective_date = scd_effective_date
+
+    @property
+    def scd_effective_date(self) -> str:
+        """The deterministic effective date stamped on SCD merges."""
+        return self._scd_effective_date
 
     def generate(self, mapping: RequirementMapping, md_schema: MDSchema) -> EtlFlow:
         """Build the partial flow for one requirement + its partial star."""
@@ -249,6 +258,8 @@ class _FlowBuilder:
         tree_node = f"EXTRACTION_{start_table}"
         for step in steps:
             left_table, pairs, right_table = self._gen.join_columns(step)
+            if left_table == right_table:
+                continue  # split concepts share a table: nothing to join
             join_name = self._fresh_join_name(prefix, right_table)
             self._flow.add(
                 Join(
@@ -350,9 +361,37 @@ class _FlowBuilder:
         distinct = Distinct(f"DISTINCT_{table}")
         self._flow.add(distinct)
         self._flow.connect(projection.name, distinct.name)
+        tail = self._append_scd_update(dimension, table, distinct.name)
         loader = Loader(f"LOAD_{table}", table=table, mode="replace")
         self._flow.add(loader)
-        self._flow.connect(distinct.name, loader.name)
+        self._flow.connect(tail, loader.name)
+
+    def _append_scd_update(
+        self, dimension: Dimension, table: str, tail: str
+    ) -> str:
+        """Insert an SCD merge before the loader of a tracked dimension.
+
+        Returns the name of the loader's new upstream node (unchanged
+        for type-0 dimensions, which simply replace their contents).
+        """
+        base = dimension.level(dimension.base_levels()[0])
+        if base.scd_policy is SCDPolicy.TYPE0 or base.key is None:
+            return tail
+        policy = (
+            SCDType.TYPE2
+            if base.scd_policy is SCDPolicy.TYPE2
+            else SCDType.TYPE1
+        )
+        scd = SCDUpdate(
+            f"SCD_{table}",
+            table=table,
+            policy=policy,
+            business_keys=(base.key,),
+            effective_date=self._gen.scd_effective_date,
+        )
+        self._flow.add(scd)
+        self._flow.connect(tail, scd.name)
+        return scd.name
 
     def _build_time_dimension_branch(self, dimension_name: str) -> None:
         """date column -> derived month/quarter/year keys -> dim table."""

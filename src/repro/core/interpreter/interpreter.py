@@ -9,6 +9,7 @@ and its translation into MD schema and ETL process designs", §1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.core.interpreter.etl_generation import EtlGenerator
 from repro.core.interpreter.mapper import RequirementMapper
@@ -50,6 +51,8 @@ class Interpreter:
         schema: SourceSchema,
         mappings: SourceMappings,
         complement: bool = True,
+        scd_policies: Optional[Dict[str, object]] = None,
+        scd_effective_date: str = "1970-01-01",
     ) -> None:
         problems = mappings.validate(ontology, schema)
         if problems:
@@ -60,8 +63,20 @@ class Interpreter:
         self._schema = schema
         self._mappings = mappings
         self._mapper = RequirementMapper(ontology)
-        self._md_generator = MDGenerator(ontology, mappings, complement=complement)
-        self._etl_generator = EtlGenerator(ontology, schema, mappings)
+        self._md_generator = MDGenerator(
+            ontology,
+            mappings,
+            complement=complement,
+            scd_policies=scd_policies,
+        )
+        self._etl_generator = EtlGenerator(
+            ontology, schema, mappings, scd_effective_date=scd_effective_date
+        )
+
+    @property
+    def scd_policies(self):
+        """The MD generator's concept -> SCD policy map (mutable)."""
+        return self._md_generator.scd_policies
 
     def interpret(self, requirement: InformationRequirement) -> PartialDesign:
         """Produce validated partial MD + ETL designs for a requirement.

@@ -12,7 +12,7 @@ One fact (named after the measures, Figure 3/4 style:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional
 
 from repro.core.interpreter.mapper import RequirementMapping
 from repro.core.requirements.model import InformationRequirement
@@ -28,6 +28,7 @@ from repro.mdmodel.model import (
     LevelAttribute,
     MDSchema,
     Measure,
+    SCDPolicy,
 )
 from repro.ontology.graph import OntologyGraph
 from repro.ontology.model import Ontology
@@ -43,12 +44,27 @@ class MDGenerator:
         mappings: SourceMappings,
         complement: bool = True,
         max_complement_depth: int = 3,
+        scd_policies: Optional[Dict[str, object]] = None,
     ) -> None:
         self._ontology = ontology
         self._graph = OntologyGraph(ontology)
         self._mappings = mappings
         self._complement = complement
         self._max_depth = max_complement_depth
+        #: ontology concept id -> change-tracking policy of its dimension
+        self._scd_policies: Dict[str, SCDPolicy] = {
+            concept: (
+                policy
+                if isinstance(policy, SCDPolicy)
+                else SCDPolicy.parse(str(policy))
+            )
+            for concept, policy in (scd_policies or {}).items()
+        }
+
+    @property
+    def scd_policies(self) -> Dict[str, SCDPolicy]:
+        """Mutable policy map; evolution operators re-key it on renames."""
+        return self._scd_policies
 
     def generate(self, mapping: RequirementMapping) -> MDSchema:
         """Build the partial star for one mapped requirement."""
@@ -200,7 +216,9 @@ class MDGenerator:
     ) -> Dimension:
         requirement = mapping.requirement
         dimension = Dimension(name=concept, requirements={requirement.id})
-        dimension.add_level(self._level_for(concept, mapping))
+        base = self._level_for(concept, mapping)
+        base.scd_policy = self._scd_policies.get(concept, SCDPolicy.TYPE0)
+        dimension.add_level(base)
         chains = (
             self._complement_chains(concept) if self._complement else [[concept]]
         )

@@ -74,6 +74,8 @@ class Quarry:
         complement: bool = True,
         row_counts: Optional[Dict[str, int]] = None,
         session: str = DEFAULT_SESSION,
+        scd_policies: Optional[Dict[str, object]] = None,
+        scd_effective_date: str = "1970-01-01",
     ) -> None:
         self._session = DesignSession(
             ontology,
@@ -86,6 +88,8 @@ class Quarry:
             align_etl=align_etl,
             complement=complement,
             row_counts=row_counts,
+            scd_policies=scd_policies,
+            scd_effective_date=scd_effective_date,
         )
 
     # -- component access ---------------------------------------------------
@@ -176,6 +180,33 @@ class Quarry:
         order, so their results are identical.
         """
         self._session.rebuild()
+
+    # -- design evolution -------------------------------------------------------
+
+    def rename_concept(self, old_id: str, new_id: str):
+        """Rename an ontology concept; affected designs follow.
+
+        Re-interprets only the requirements whose partial designs touch
+        the concept and re-folds the unified design from the earliest
+        affected checkpoint — never from scratch.
+        """
+        return self._session.rename_concept(old_id, new_id)
+
+    def split_concept(
+        self, concept: str, new_concept: str, properties, relationship=None
+    ):
+        """Carve a new concept (same source table) out of an existing one."""
+        return self._session.split_concept(
+            concept, new_concept, properties, relationship=relationship
+        )
+
+    def merge_concepts(self, source: str, target: str):
+        """Fold one concept into another (same source table)."""
+        return self._session.merge_concepts(source, target)
+
+    def retype_property(self, property_id: str, new_type):
+        """Change a datatype property's range type."""
+        return self._session.retype_property(property_id, new_type)
 
     # -- validation ------------------------------------------------------------
 

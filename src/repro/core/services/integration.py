@@ -241,6 +241,26 @@ class IntegrationService:
         )
         self.reintegrate_from(index)
 
+    def replace_partial(
+        self, requirement_id: str, partial: PartialDesign
+    ) -> int:
+        """Swap one requirement's partial design *in place*.
+
+        The fold position is kept — evolution operators swap every
+        affected partial first, then re-fold once from the minimum
+        affected position via :meth:`reintegrate_from`; nothing before
+        that checkpoint is recomputed.  Returns the fold position.
+        """
+        if requirement_id not in self._partials:
+            raise QuarryError(f"unknown requirement {requirement_id!r}")
+        index = self._order.index(requirement_id)
+        self._partials[requirement_id] = partial
+        self._repository.save_requirement(partial.requirement)
+        self._repository.save_partial_design(
+            requirement_id, partial.md_schema, partial.etl_flow
+        )
+        return index
+
     def rebuild(self) -> None:
         """Re-integrate every partial design from scratch.
 

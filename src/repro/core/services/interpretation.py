@@ -33,6 +33,10 @@ KIND_CREATED = "partial.created"
 #: Published by the integration service when a requirement is retired;
 #: defined here so the topic's vocabulary lives in one place.
 KIND_REMOVED = "partial.removed"
+#: Published by the evolution service when a design-evolution operator
+#: re-interprets a requirement: the partial is swapped *in place* (the
+#: fold position is kept), unlike created, which appends to the fold.
+KIND_REPLACED = "partial.replaced"
 
 
 class InterpretationService:
@@ -47,11 +51,18 @@ class InterpretationService:
         mappings: SourceMappings,
         bus: ArtifactBus,
         complement: bool = True,
+        scd_policies=None,
+        scd_effective_date: str = "1970-01-01",
     ) -> None:
         self._ontology = ontology
         self._schema = schema
         self._interpreter = Interpreter(
-            ontology, schema, mappings, complement=complement
+            ontology,
+            schema,
+            mappings,
+            complement=complement,
+            scd_policies=scd_policies,
+            scd_effective_date=scd_effective_date,
         )
         self._bus = bus
         bus.subscribe(
@@ -129,6 +140,27 @@ class InterpretationService:
             mapping=None,
             md_schema=md_schema,
             etl_flow=etl_flow,
+        )
+
+    # -- evolution support -------------------------------------------------
+
+    def reinterpret(self, requirement: InformationRequirement) -> PartialDesign:
+        """Interpret a requirement against the *current* (evolved) domain."""
+        return self._interpreter.interpret(requirement)
+
+    def publish_replacement(self, partial: PartialDesign) -> None:
+        """Announce an in-place partial swap (design evolution) on the bus."""
+        self._bus.publish(
+            TOPIC_PARTIALS,
+            KIND_REPLACED,
+            payload={
+                "requirement": partial.requirement.id,
+                "xrq": xml_to_json(xrq.dumps(partial.requirement)),
+                "xmd": xml_to_json(xmd.dumps(partial.md_schema)),
+                "xlm": xml_to_json(xlm.dumps(partial.etl_flow)),
+            },
+            producer=self.name,
+            attachment=partial,
         )
 
     # -- replay support ----------------------------------------------------

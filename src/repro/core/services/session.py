@@ -28,6 +28,7 @@ from repro.core.services import interpretation as _interpretation
 from repro.core.services.bus import ArtifactBus
 from repro.core.services.deployment import DeploymentService
 from repro.core.services.elicitation import ElicitationService
+from repro.core.services.evolution import EvolutionReport, EvolutionService
 from repro.core.services.integration import (
     IntegrationService,
     retarget_loaders,
@@ -63,6 +64,8 @@ class DesignSession:
         complement: bool = True,
         row_counts: Optional[Dict[str, int]] = None,
         backends: Optional[BackendRegistry] = None,
+        scd_policies: Optional[Dict[str, object]] = None,
+        scd_effective_date: str = "1970-01-01",
     ) -> None:
         base = repository if repository is not None else MetadataRepository()
         self._session = session
@@ -70,11 +73,23 @@ class DesignSession:
         base.register_session(session)
         self._repository.save_ontology(ontology)
         self._align_etl = align_etl
+        self._complement = complement
         self._row_counts = row_counts
+        self._scd_policies = dict(scd_policies or {})
+        self._scd_effective_date = scd_effective_date
+        self._ontology = ontology
+        self._schema = schema
+        self._mappings = mappings
         self._bus = ArtifactBus(self._repository, session)
         self._elicitation = ElicitationService(ontology, self._bus)
         self._interpretation = InterpretationService(
-            ontology, schema, mappings, self._bus, complement=complement
+            ontology,
+            schema,
+            mappings,
+            self._bus,
+            complement=complement,
+            scd_policies=scd_policies,
+            scd_effective_date=scd_effective_date,
         )
         self._integration = IntegrationService(
             self._repository,
@@ -86,6 +101,14 @@ class DesignSession:
         )
         self._deployment = DeploymentService(
             ontology, schema, self._repository, self._bus, backends=backends
+        )
+        self._evolution = EvolutionService(
+            ontology,
+            schema,
+            mappings,
+            self._interpretation,
+            self._integration,
+            self._bus,
         )
 
     # -- component access --------------------------------------------------
@@ -209,6 +232,36 @@ class DesignSession:
         self._integration.rebuild()
         self._integration.take_last_commit()
 
+    # -- design evolution --------------------------------------------------
+
+    @property
+    def evolution(self) -> EvolutionService:
+        return self._evolution
+
+    def rename_concept(self, old_id: str, new_id: str) -> EvolutionReport:
+        """Rename an ontology concept; affected designs follow."""
+        return self._evolution.rename_concept(old_id, new_id)
+
+    def split_concept(
+        self,
+        concept: str,
+        new_concept: str,
+        properties,
+        relationship: Optional[str] = None,
+    ) -> EvolutionReport:
+        """Carve a new concept (same source table) out of an existing one."""
+        return self._evolution.split_concept(
+            concept, new_concept, properties, relationship=relationship
+        )
+
+    def merge_concepts(self, source: str, target: str) -> EvolutionReport:
+        """Fold one concept into another (same source table)."""
+        return self._evolution.merge_concepts(source, target)
+
+    def retype_property(self, property_id: str, new_type) -> EvolutionReport:
+        """Change a datatype property's range type."""
+        return self._evolution.retype_property(property_id, new_type)
+
     def _pipeline(self, publish, action: str) -> ChangeReport:
         """Run one elicitation through the bus; roll the log back on error.
 
@@ -315,6 +368,13 @@ class DesignSession:
             requirement_id = envelope.payload["requirement"]
             if envelope.kind == _interpretation.KIND_CREATED:
                 partials.pop(requirement_id, None)
+                partials[requirement_id] = (
+                    InterpretationService.decode_partial(envelope)
+                )
+            elif envelope.kind == _interpretation.KIND_REPLACED:
+                # Evolution swaps a partial *in place*: overwrite without
+                # disturbing the fold position (dict order is kept when
+                # assigning to an existing key).
                 partials[requirement_id] = (
                     InterpretationService.decode_partial(envelope)
                 )

@@ -82,6 +82,7 @@ from repro.engine.shm import ColumnTransport, SharedObject, process_context
 from repro.engine.database import Database, TableDef
 from repro.engine.relation import Relation
 from repro.etlmodel.flow import EtlFlow
+from repro.engine.scd import scd_merge
 from repro.etlmodel.ops import (
     Aggregation,
     Datastore,
@@ -92,6 +93,7 @@ from repro.etlmodel.ops import (
     Loader,
     Projection,
     Rename,
+    SCDUpdate,
     Selection,
     Sort,
     SurrogateKey,
@@ -173,6 +175,7 @@ _COLUMNAR_DISPATCH = {
     "SurrogateKey": "_surrogate_columnar",
     "Sort": "_sort_columnar",
     "Distinct": "_distinct_columnar",
+    "SCDUpdate": "_scd_columnar",
     "Loader": "_load_columnar",
 }
 
@@ -198,6 +201,7 @@ _LEGACY_DISPATCH = {
     "SurrogateKey": "_surrogate_legacy",
     "Sort": "_sort_legacy",
     "Distinct": "_distinct_legacy",
+    "SCDUpdate": "_scd_legacy",
     "Loader": "_load_legacy",
 }
 
@@ -655,6 +659,11 @@ class Executor:
 
     def _distinct_columnar(self, operation, inputs, stats):
         return inputs[0].distinct()
+
+    def _scd_columnar(self, operation: SCDUpdate, inputs, stats):
+        relation: ColumnarRelation = inputs[0]
+        schema, rows = self._scd_rows(operation, relation.schema, relation.rows)
+        return ColumnarRelation.from_rows(schema, rows)
 
     def _load_columnar(self, operation: Loader, inputs, stats):
         relation: ColumnarRelation = inputs[0]
@@ -1145,6 +1154,11 @@ class Executor:
     def _distinct_legacy(self, operation, inputs, stats):
         return inputs[0].distinct()
 
+    def _scd_legacy(self, operation: SCDUpdate, inputs, stats):
+        relation: Relation = inputs[0]
+        schema, rows = self._scd_rows(operation, relation.schema, relation.rows)
+        return Relation(schema=schema, rows=rows)
+
     def _load_legacy(self, operation: Loader, inputs, stats):
         relation: Relation = inputs[0]
         self._prepare_target(operation, relation.schema)
@@ -1155,6 +1169,27 @@ class Executor:
         return relation
 
     # -- shared loader plumbing --------------------------------------------
+
+    def _scd_rows(self, operation: SCDUpdate, input_schema, incoming_rows):
+        """Output schema + merged rows for an SCD update, any mode.
+
+        The stored dimension's rows seed the merge when the table exists
+        with exactly the output columns; a missing or differently-shaped
+        table (first load, or a policy change) starts fresh history —
+        the downstream replace-mode loader rebuilds the table anyway.
+        The row-level merge itself is the pure, mode-independent
+        :func:`repro.engine.scd.scd_merge`, keeping all four engine
+        modes byte-identical.
+        """
+        from repro.etlmodel.propagation import _scd_schema
+
+        schema = _scd_schema(operation, input_schema)
+        existing_rows = []
+        if self._database.has_table(operation.table):
+            stored = self._database.table_def(operation.table)
+            if set(stored.columns) == set(schema):
+                existing_rows = self._database.scan(operation.table).rows
+        return schema, scd_merge(operation, schema, existing_rows, incoming_rows)
 
     def _prepare_target(self, operation: Loader, schema) -> None:
         if not self._database.has_table(operation.table):

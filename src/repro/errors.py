@@ -264,6 +264,10 @@ class DeploymentError(QuarryError):
     """Raised when a unified design cannot be deployed to a platform."""
 
 
+class EvolutionError(QuarryError):
+    """Raised when a design-evolution operator cannot be applied."""
+
+
 class LintError(QuarryError):
     """Raised when the static linter blocks an action on ERROR diagnostics.
 

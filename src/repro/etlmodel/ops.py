@@ -266,6 +266,59 @@ class Sort(Operation):
         return ("sort", self.keys, self.descending)
 
 
+class SCDType:
+    """SCD policy constants for :class:`SCDUpdate` (plain strings keep
+    xLM serialisation simple, mirroring :class:`JoinType`)."""
+
+    TYPE1 = "type1"
+    TYPE2 = "type2"
+
+
+@dataclass(frozen=True)
+class SCDUpdate(Operation):
+    """Merge incoming dimension members against the stored dimension
+    (PDI ``Dimension lookup/update``, pygrametl
+    ``SlowlyChangingDimension``).
+
+    ``table`` names the target dimension table whose current contents
+    seed the merge; ``business_keys`` identify a member across loads.
+    Under ``type1`` a changed descriptor overwrites the stored row in
+    place; under ``type2`` the change closes the stored row's validity
+    window and appends a new row with a bumped version surrogate.  The
+    operator emits the **full post-merge table contents** so a
+    downstream replace-mode :class:`Loader` stays the flow's sink.
+
+    ``effective_date`` is the ISO date stamped on windows opened or
+    closed by this run.  It is an explicit flow property — never wall
+    clock — so executions are deterministic and byte-identical across
+    engine modes.
+    """
+
+    table: str = ""
+    policy: str = SCDType.TYPE2
+    business_keys: Tuple[str, ...] = ()
+    effective_date: str = "1970-01-01"
+
+    kind = "SCDUpdate"
+    optype = "DimensionLookup"
+    arity = 1
+
+    def __post_init__(self) -> None:
+        if self.policy not in (SCDType.TYPE1, SCDType.TYPE2):
+            raise EtlError(
+                f"scd update {self.name!r}: unknown policy {self.policy!r}"
+            )
+
+    def signature(self) -> Tuple:
+        return (
+            "scd",
+            self.table,
+            self.policy,
+            tuple(sorted(self.business_keys)),
+            self.effective_date,
+        )
+
+
 @dataclass(frozen=True)
 class Loader(Operation):
     """Load rows into a target table (xLM ``Loader``, PDI ``TableOutput``)."""
@@ -296,6 +349,7 @@ OPERATION_KINDS = {
         UnionOp,
         Distinct,
         SurrogateKey,
+        SCDUpdate,
         Sort,
         Loader,
     )

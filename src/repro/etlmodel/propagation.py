@@ -24,11 +24,14 @@ from repro.etlmodel.ops import (
     Operation,
     Projection,
     Rename,
+    SCDType,
+    SCDUpdate,
     Selection,
     Sort,
     SurrogateKey,
     UnionOp,
 )
+from repro.mdmodel.model import SCD2_COLUMNS
 from repro.expressions import infer_type, parse
 from repro.expressions.types import ScalarType
 from repro.sources.schema import SourceSchema
@@ -95,6 +98,10 @@ def _names_of(operation: Operation, inputs: list) -> Optional[set]:
         return inputs[0] | {operation.output}
     if isinstance(operation, SurrogateKey):
         return inputs[0] | {operation.output}
+    if isinstance(operation, SCDUpdate):
+        if operation.policy == SCDType.TYPE2:
+            return inputs[0] | set(SCD2_COLUMNS)
+        return set(inputs[0])
     if isinstance(operation, Rename):
         mapping = operation.mapping()
         return {mapping.get(name, name) for name in inputs[0]}
@@ -130,6 +137,8 @@ def _output_schema(
         return _union_schema(operation, inputs[0], inputs[1])
     if isinstance(operation, SurrogateKey):
         return _surrogate_schema(operation, inputs[0])
+    if isinstance(operation, SCDUpdate):
+        return _scd_schema(operation, inputs[0])
     if isinstance(operation, (Sort, Loader, Distinct)):
         return _passthrough_schema(operation, inputs[0])
     raise _fail(operation, f"unknown operation kind {operation.kind!r}")
@@ -275,6 +284,26 @@ def _surrogate_schema(operation: SurrogateKey, input_schema: Schema) -> Schema:
         raise _fail(operation, f"output {operation.output!r} already exists")
     result = {operation.output: ScalarType.INTEGER}
     result.update(input_schema)
+    return result
+
+
+def _scd_schema(operation: SCDUpdate, input_schema: Schema) -> Schema:
+    for key in operation.business_keys:
+        if key not in input_schema:
+            raise _fail(operation, f"business key {key!r} missing")
+    if not operation.business_keys:
+        raise _fail(operation, "no business keys")
+    if operation.policy != SCDType.TYPE2:
+        return dict(input_schema)
+    collisions = [name for name in SCD2_COLUMNS if name in input_schema]
+    if collisions:
+        raise _fail(
+            operation,
+            f"input attributes {collisions} collide with SCD2 "
+            f"validity-window columns",
+        )
+    result = dict(input_schema)
+    result.update(SCD2_COLUMNS)
     return result
 
 

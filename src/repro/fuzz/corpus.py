@@ -4,7 +4,7 @@ Every shrunk failure the fuzzer finds can be serialised to a small JSON
 document and committed under ``tests/fuzz/corpus/``; the tier-1 smoke
 test replays every entry on each run, so a fixed bug stays fixed.
 
-Five entry kinds:
+Six entry kinds:
 
 * ``"flow"`` — source tables (schema + rows) and the flow as xLM text;
   replay runs the full differential flow check.
@@ -16,6 +16,10 @@ Five entry kinds:
   parallel-equivalence check (chunked versus serial, byte-identical).
 * ``"query"`` — documents, query, sort key and limit; replay runs the
   document-store check against the naive reference.
+* ``"evolve"`` — SCD policy assignment plus a design script (adds,
+  removals and evolution operators) over the TPC-H domain; replay
+  checks incremental evolution against replay, rebuild and the four
+  engine modes.
 
 Dates are tagged ``{"$date": "YYYY-MM-DD"}`` since JSON has no date
 type; everything else the generators produce is JSON-native.
@@ -30,6 +34,7 @@ from typing import List, Optional, Tuple
 
 from repro.expressions.types import ScalarType
 from repro.fuzz.datagen import TableSpec
+from repro.fuzz.evolveoracle import EvolveTrial, check_evolve_trial
 from repro.fuzz.flowgen import FlowTrial
 from repro.fuzz.lintoracle import LintTrial, check_lint_trial
 from repro.fuzz.oracle import check_flow_trial, check_query_trial
@@ -123,6 +128,16 @@ def parallel_entry(trial, description: str = "") -> dict:
     return entry
 
 
+def evolve_entry(trial: EvolveTrial, description: str = "") -> dict:
+    return {
+        "kind": "evolve",
+        "description": description,
+        "seed": trial.seed,
+        "policies": dict(trial.policies),
+        "script": [dict(op) for op in trial.script],
+    }
+
+
 def encode_trial(trial, description: str = "") -> dict:
     # Subclasses of FlowTrial must be tested before the base class.
     if isinstance(trial, LintTrial):
@@ -133,6 +148,8 @@ def encode_trial(trial, description: str = "") -> dict:
         return parallel_entry(trial, description)
     if isinstance(trial, FlowTrial):
         return flow_entry(trial, description)
+    if isinstance(trial, EvolveTrial):
+        return evolve_entry(trial, description)
     return query_entry(trial, description)
 
 
@@ -161,6 +178,12 @@ def decode_entry(entry: dict):
         return trial_class(
             tables=_decode_tables(entry),
             flow=xlm.loads(entry["xlm"]),
+            seed=entry.get("seed"),
+        )
+    if entry["kind"] == "evolve":
+        return EvolveTrial(
+            policies=dict(entry.get("policies", {})),
+            script=[dict(op) for op in entry["script"]],
             seed=entry.get("seed"),
         )
     if entry["kind"] == "query":
@@ -193,6 +216,8 @@ def replay(entry: dict) -> Optional[str]:
         return check_parallel_trial(trial)
     if isinstance(trial, FlowTrial):
         return check_flow_trial(trial)
+    if isinstance(trial, EvolveTrial):
+        return check_evolve_trial(trial)
     return check_query_trial(trial)
 
 

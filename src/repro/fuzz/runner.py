@@ -2,8 +2,9 @@
 
 Each integer seed yields one flow trial, one query trial, one lint
 trial (static/dynamic agreement), one planner trial (planned versus
-unplanned execution) and one parallel trial (chunked versus serial
-execution, byte-identical), all fully determined by the seed
+unplanned execution), one parallel trial (chunked versus serial
+execution, byte-identical) and one evolve trial (incremental design
+evolution versus full rebuild), all fully determined by the seed
 (string-seeded RNG, stable across platforms and ``PYTHONHASHSEED``).  Failures are shrunk and written as corpus-format
 JSON into ``--failures-dir``; promote a file into
 ``tests/fuzz/corpus/`` to pin the regression forever.
@@ -26,6 +27,11 @@ from pathlib import Path
 from typing import Callable, List, Optional
 
 from repro.fuzz import corpus
+from repro.fuzz.evolveoracle import (
+    build_evolve_trial,
+    check_evolve_trial,
+    shrink_evolve_trial,
+)
 from repro.fuzz.flowgen import build_flow_trial
 from repro.fuzz.lintoracle import (
     build_lint_trial,
@@ -57,6 +63,7 @@ _KINDS = (
         check_parallel_trial,
         shrink_parallel_trial,
     ),
+    ("evolve", build_evolve_trial, check_evolve_trial, shrink_evolve_trial),
 )
 
 

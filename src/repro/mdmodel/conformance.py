@@ -18,7 +18,18 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.errors import MDError
-from repro.mdmodel.model import Dimension, Hierarchy, Level
+from repro.mdmodel.model import Dimension, Hierarchy, Level, SCDPolicy
+
+#: Change-tracking strength: a merge keeps the stronger policy, so a
+#: level that keeps history for one requirement keeps it for all.
+_SCD_STRENGTH = {SCDPolicy.TYPE0: 0, SCDPolicy.TYPE1: 1, SCDPolicy.TYPE2: 2}
+
+
+def strongest_policy(first: SCDPolicy, second: SCDPolicy) -> SCDPolicy:
+    """The stronger of two change-tracking policies (history wins)."""
+    if _SCD_STRENGTH[second] > _SCD_STRENGTH[first]:
+        return second
+    return first
 
 
 def levels_match(first: Level, second: Level) -> bool:
@@ -110,6 +121,7 @@ def merge_levels(target: Level, incoming: Level) -> Level:
         attributes=list(target.attributes),
         key=target.key,
         concept=target.concept if target.concept is not None else incoming.concept,
+        scd_policy=strongest_policy(target.scd_policy, incoming.scd_policy),
     )
     existing = set(merged.attribute_names())
     for attribute in incoming.attributes:
@@ -144,6 +156,7 @@ def merge_dimensions(target: Dimension, incoming: Dimension) -> Dimension:
                 attributes=list(level.attributes),
                 key=level.key,
                 concept=level.concept,
+                scd_policy=level.scd_policy,
             )
         )
     for level in incoming.levels.values():
@@ -161,6 +174,7 @@ def merge_dimensions(target: Dimension, incoming: Dimension) -> Dimension:
                     attributes=list(level.attributes),
                     key=level.key,
                     concept=level.concept,
+                    scd_policy=level.scd_policy,
                 )
             )
     for hierarchy in target.hierarchies:

@@ -28,9 +28,11 @@ from typing import List
 
 from repro.errors import MDConstraintViolation
 from repro.mdmodel.model import (
+    SCD2_COLUMNS,
     Additivity,
     AggregationFunction,
     MDSchema,
+    SCDPolicy,
 )
 
 
@@ -126,6 +128,62 @@ def _validate_dimensions(schema: MDSchema) -> List[Violation]:
                         f"level {level.name!r} has no attributes",
                     )
                 )
+            violations.extend(_validate_scd(dimension, level, element))
+    return violations
+
+
+def _validate_scd(dimension, level, element: str) -> List[Violation]:
+    """Validity-window constraints for SCD-typed levels.
+
+    A TYPE2 level grows validity-window columns in its dimension table;
+    those names must not collide with declared attributes, the level
+    needs a key to identify the business entity across versions, and an
+    SCD level other than a hierarchy base cannot be honoured by the ETL
+    (only base levels are loaded row-by-row from the sources).
+    """
+    violations: List[Violation] = []
+    if level.scd_policy is SCDPolicy.TYPE0:
+        return violations
+    if level.key is None:
+        violations.append(
+            Violation(
+                Severity.ERROR,
+                element,
+                f"level {level.name!r} declares SCD policy "
+                f"{level.scd_policy.value} but has no key attribute to "
+                f"identify entities across changes",
+            )
+        )
+    if level.scd_policy is SCDPolicy.TYPE2:
+        collisions = sorted(set(level.attribute_names()) & set(SCD2_COLUMNS))
+        for name in collisions:
+            violations.append(
+                Violation(
+                    Severity.ERROR,
+                    element,
+                    f"level {level.name!r} attribute {name!r} collides "
+                    f"with an SCD2 validity-window column",
+                )
+            )
+        if len(level.attributes) < 2:
+            violations.append(
+                Violation(
+                    Severity.WARNING,
+                    element,
+                    f"level {level.name!r} is SCD2 but has only its key "
+                    f"attribute; no descriptor can ever change",
+                )
+            )
+    if dimension.hierarchies and level.name not in dimension.base_levels():
+        violations.append(
+            Violation(
+                Severity.WARNING,
+                element,
+                f"level {level.name!r} declares SCD policy "
+                f"{level.scd_policy.value} at a non-base level; generated "
+                f"ETL only versions hierarchy base levels",
+            )
+        )
     return violations
 
 

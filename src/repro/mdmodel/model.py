@@ -51,6 +51,59 @@ class Additivity(enum.Enum):
     NON_ADDITIVE = "non-additive"
 
 
+class SCDPolicy(enum.Enum):
+    """How a dimension level reacts to source changes over time.
+
+    Kimball's slowly-changing-dimension taxonomy, restricted to the
+    three types the generated ETL can honour (pygrametl's
+    ``SlowlyChangingDimension`` is the exemplar):
+
+    * ``TYPE0`` — the level is immutable; reloads replace it wholesale.
+      This is the historical behaviour and the default everywhere.
+    * ``TYPE1`` — update in place: a changed descriptor overwrites the
+      stored value, no history kept.
+    * ``TYPE2`` — versioned rows: a change closes the current row
+      (``valid_to``/``is_current``) and opens a new one with a bumped
+      version surrogate, preserving full history for point-in-time
+      joins.
+    """
+
+    TYPE0 = "type0"
+    TYPE1 = "type1"
+    TYPE2 = "type2"
+
+    @classmethod
+    def parse(cls, text: str) -> "SCDPolicy":
+        """Parse lenient spellings (``2``, ``type2``, ``TYPE2``, ``scd2``)."""
+        token = text.strip().lower()
+        if token.startswith("scd"):
+            token = token[3:]
+        if token in ("0", "1", "2"):
+            token = f"type{token}"
+        for policy in cls:
+            if policy.value == token:
+                return policy
+        raise MDError(f"unknown SCD policy {text!r}")
+
+
+#: Validity-window column names a TYPE2 level adds to its dimension
+#: table, in table-column order.  ``version`` is the monotonically
+#: increasing per-business-key surrogate; ``valid_from``/``valid_to``
+#: bound the row's validity window (``valid_to`` is NULL on the open
+#: row) and ``is_current`` flags the open row for current-row views.
+SCD2_VERSION = "scd_version"
+SCD2_VALID_FROM = "scd_valid_from"
+SCD2_VALID_TO = "scd_valid_to"
+SCD2_IS_CURRENT = "scd_is_current"
+
+SCD2_COLUMNS: Dict[str, ScalarType] = {
+    SCD2_VERSION: ScalarType.INTEGER,
+    SCD2_VALID_FROM: ScalarType.DATE,
+    SCD2_VALID_TO: ScalarType.DATE,
+    SCD2_IS_CURRENT: ScalarType.BOOLEAN,
+}
+
+
 @dataclass(frozen=True)
 class LevelAttribute:
     """A descriptor attribute of a level (e.g. ``p_name`` of Part)."""
@@ -68,6 +121,7 @@ class Level:
     attributes: List[LevelAttribute] = field(default_factory=list)
     key: Optional[str] = None  # identifying attribute; defaults to first
     concept: Optional[str] = None  # ontology concept provenance
+    scd_policy: SCDPolicy = SCDPolicy.TYPE0
 
     def __post_init__(self) -> None:
         names = [attribute.name for attribute in self.attributes]
@@ -91,6 +145,12 @@ class Level:
 
     def attribute_names(self) -> List[str]:
         return [attribute.name for attribute in self.attributes]
+
+    def window_columns(self) -> Dict[str, ScalarType]:
+        """SCD2 validity-window columns this level adds (empty unless TYPE2)."""
+        if self.scd_policy is SCDPolicy.TYPE2:
+            return dict(SCD2_COLUMNS)
+        return {}
 
 
 @dataclass
@@ -335,6 +395,7 @@ class MDSchema:
                         attributes=list(level.attributes),
                         key=level.key,
                         concept=level.concept,
+                        scd_policy=level.scd_policy,
                     )
                     for name, level in dimension.levels.items()
                 },

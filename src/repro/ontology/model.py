@@ -175,6 +175,139 @@ class Ontology:
         self._generation += 1
         return prop
 
+    def replace_datatype_property(self, prop: DatatypeProperty) -> DatatypeProperty:
+        """Overwrite an existing datatype property (e.g. to retype it)."""
+        if prop.id not in self._datatype_properties:
+            raise UnknownPropertyError(prop.id)
+        if prop.concept not in self._concepts:
+            raise UnknownConceptError(prop.concept)
+        self._datatype_properties[prop.id] = prop
+        self._generation += 1
+        return prop
+
+    def rename_concept(self, old_id: str, new_id: str) -> Concept:
+        """Rename a concept, re-pointing every reference to it.
+
+        Datatype properties owned by it, object properties touching it
+        and child concepts parented on it all follow the rename; the
+        concept keeps its label, parent and description.
+        """
+        if old_id not in self._concepts:
+            raise UnknownConceptError(old_id)
+        if new_id != old_id:
+            self._check_fresh_id(new_id)
+        old = self._concepts.pop(old_id)
+        renamed = Concept(
+            id=new_id,
+            label=old.label,
+            parent=old.parent,
+            description=old.description,
+        )
+        self._concepts[new_id] = renamed
+        for concept in list(self._concepts.values()):
+            if concept.parent == old_id:
+                self._concepts[concept.id] = Concept(
+                    id=concept.id,
+                    label=concept.label,
+                    parent=new_id,
+                    description=concept.description,
+                )
+        for prop in list(self._datatype_properties.values()):
+            if prop.concept == old_id:
+                self._datatype_properties[prop.id] = DatatypeProperty(
+                    id=prop.id,
+                    concept=new_id,
+                    range=prop.range,
+                    label=prop.label,
+                    description=prop.description,
+                )
+        for prop in list(self._object_properties.values()):
+            if prop.domain == old_id or prop.range == old_id:
+                self._object_properties[prop.id] = ObjectProperty(
+                    id=prop.id,
+                    domain=new_id if prop.domain == old_id else prop.domain,
+                    range=new_id if prop.range == old_id else prop.range,
+                    multiplicity=prop.multiplicity,
+                    label=prop.label,
+                    description=prop.description,
+                )
+        self._generation += 1
+        return renamed
+
+    def move_datatype_property(
+        self, property_id: str, new_concept: str
+    ) -> DatatypeProperty:
+        """Re-home a datatype property onto another concept."""
+        if property_id not in self._datatype_properties:
+            raise UnknownPropertyError(property_id)
+        if new_concept not in self._concepts:
+            raise UnknownConceptError(new_concept)
+        prop = self._datatype_properties[property_id]
+        moved = DatatypeProperty(
+            id=prop.id,
+            concept=new_concept,
+            range=prop.range,
+            label=prop.label,
+            description=prop.description,
+        )
+        self._datatype_properties[property_id] = moved
+        self._generation += 1
+        return moved
+
+    def remove_concept(self, concept_id: str) -> None:
+        """Remove a concept; it must no longer be referenced by anything."""
+        if concept_id not in self._concepts:
+            raise UnknownConceptError(concept_id)
+        referents = [
+            prop.id
+            for prop in self._datatype_properties.values()
+            if prop.concept == concept_id
+        ]
+        referents += [
+            prop.id
+            for prop in self._object_properties.values()
+            if prop.domain == concept_id or prop.range == concept_id
+        ]
+        referents += [
+            concept.id
+            for concept in self._concepts.values()
+            if concept.parent == concept_id
+        ]
+        if referents:
+            raise DuplicateDefinitionError(
+                f"concept {concept_id!r} is still referenced by: "
+                + ", ".join(sorted(referents))
+            )
+        del self._concepts[concept_id]
+        self._generation += 1
+
+    def remove_object_property(self, property_id: str) -> None:
+        """Remove an object property."""
+        if property_id not in self._object_properties:
+            raise UnknownPropertyError(property_id)
+        del self._object_properties[property_id]
+        self._generation += 1
+
+    # -- transactional evolution -------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A restorable copy of the element tables (elements are frozen)."""
+        return {
+            "concepts": dict(self._concepts),
+            "datatype_properties": dict(self._datatype_properties),
+            "object_properties": dict(self._object_properties),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Roll the ontology back to a :meth:`snapshot` (in place).
+
+        The generation still advances so derived caches rebuild.
+        """
+        self._concepts = dict(snapshot["concepts"])
+        self._datatype_properties = dict(snapshot["datatype_properties"])
+        self._object_properties = dict(snapshot["object_properties"])
+        self._generation += 1
+
     def _check_fresh_id(self, element_id: str) -> None:
         if (
             element_id in self._concepts

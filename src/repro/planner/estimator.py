@@ -31,9 +31,17 @@ from repro.etlmodel.ops import (
     DerivedAttribute,
     Join,
     Rename,
+    SCDType,
+    SCDUpdate,
     Selection,
     SurrogateKey,
     UnionOp,
+)
+from repro.mdmodel.model import (
+    SCD2_IS_CURRENT,
+    SCD2_VALID_FROM,
+    SCD2_VALID_TO,
+    SCD2_VERSION,
 )
 from repro.expressions import parse
 from repro.expressions.ast import (
@@ -466,8 +474,58 @@ def _estimate_node(
             for name, estimate in first.columns.items()
         }
         return NodeEstimate(rows=first.rows, columns=columns)
+    if isinstance(operation, SCDUpdate):
+        return _estimate_scd(operation, first, catalog)
     # Sort, Loader and anything row-preserving.
     return first
+
+
+def _estimate_scd(
+    operation: SCDUpdate,
+    first: NodeEstimate,
+    catalog: StatisticsCatalog,
+) -> NodeEstimate:
+    """Estimate an SCD merge's output: stored history plus new members.
+
+    The output carries the stored dimension (history rows included)
+    with roughly one fresh version per incoming member, so rows are the
+    stored table's count plus the incoming estimate.  The key product:
+    an ``scd_is_current = true`` equality downstream should select the
+    *current fraction* — encoded by giving ``scd_is_current`` a
+    distinct count of ``total / current`` so the System-R ``1/distinct``
+    rule lands exactly on that fraction.
+    """
+    stored_rows = 0.0
+    try:
+        stats = catalog.table_stats(operation.table)
+    except Exception:
+        stats = None
+    if stats is not None:
+        stored_rows = float(stats.rows)
+    if operation.policy != SCDType.TYPE2:
+        rows = max(stored_rows, first.rows)
+        return NodeEstimate(
+            rows=rows, columns=_scaled_columns(dict(first.columns), rows)
+        )
+    rows = max(stored_rows + first.rows, first.rows, 1.0)
+    # Current rows: one per distinct business key (at most the incoming
+    # member count when the table has never been loaded).
+    current = max(
+        min(_key_distinct(first, list(operation.business_keys)), rows), 1.0
+    )
+    columns = _scaled_columns(dict(first.columns), rows)
+    columns[SCD2_VERSION] = ColumnEstimate(
+        distinct=max(rows / current, 1.0)
+    )
+    columns[SCD2_VALID_FROM] = ColumnEstimate(
+        distinct=max(rows / current, 1.0)
+    )
+    columns[SCD2_VALID_TO] = ColumnEstimate(
+        distinct=max(rows / current, 1.0),
+        null_fraction=current / rows,
+    )
+    columns[SCD2_IS_CURRENT] = ColumnEstimate(distinct=rows / current)
+    return NodeEstimate(rows=rows, columns=columns)
 
 
 def estimate_flow(

@@ -73,6 +73,39 @@ class SourceMappings:
         )
         return self
 
+    # -- evolution ----------------------------------------------------------
+
+    def rename_concept(self, old_id: str, new_id: str) -> "SourceMappings":
+        """Follow an ontology concept rename (same table binding)."""
+        if old_id not in self._concepts:
+            raise MappingError(f"concept {old_id!r} has no source mapping")
+        if new_id != old_id and new_id in self._concepts:
+            raise MappingError(f"concept {new_id!r} is already mapped")
+        mapping = self._concepts.pop(old_id)
+        self._concepts[new_id] = ConceptMapping(
+            new_id, mapping.table, mapping.key_columns
+        )
+        return self
+
+    def unmap_concept(self, concept: str) -> "SourceMappings":
+        """Drop a concept's table binding (after a concept merge)."""
+        if concept not in self._concepts:
+            raise MappingError(f"concept {concept!r} has no source mapping")
+        del self._concepts[concept]
+        return self
+
+    def snapshot(self) -> dict:
+        """A restorable copy of the mapping tables (entries are frozen)."""
+        return {
+            "concepts": dict(self._concepts),
+            "properties": dict(self._properties),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Roll the mappings back to a :meth:`snapshot` (in place)."""
+        self._concepts = dict(snapshot["concepts"])
+        self._properties = dict(snapshot["properties"])
+
     # -- lookup ---------------------------------------------------------------
 
     def concept_mapping(self, concept: str) -> ConceptMapping:
@@ -123,6 +156,12 @@ class SourceMappings:
         range_map = self.concept_mapping(prop.range)
         domain_table = schema.table(domain_map.table)
         range_table = schema.table(range_map.table)
+
+        if domain_table.name == range_table.name:
+            # Both concepts realised by one table (a design-level split):
+            # the "join" is the identity on the shared key columns.
+            pairs = [(column, column) for column in domain_map.key_columns]
+            return domain_table.name, pairs, range_table.name
 
         fk = domain_table.foreign_key_to(range_table.name)
         if fk is not None:

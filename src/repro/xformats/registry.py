@@ -22,6 +22,33 @@ from repro.errors import FormatError
 ARTIFACTS = ("requirement", "md_schema", "etl_flow", "envelope")
 DIRECTIONS = ("export", "import")
 
+#: Schema versions each versioned notation can import.  ``"1.0"`` is
+#: the legacy shape (documents without a ``version`` attribute); xMD
+#: and xLM ``"1.1"`` added the SCD policy/validity-window vocabulary.
+#: Writers stamp the newest version only onto documents that actually
+#: use the new vocabulary, so legacy designs round-trip byte-identically.
+SUPPORTED_VERSIONS: Dict[str, Tuple[str, ...]] = {
+    "xmd": ("1.0", "1.1"),
+    "xlm": ("1.0", "1.1"),
+}
+
+
+def check_schema_version(notation: str, found: str, error=FormatError) -> str:
+    """Reject a document whose declared schema version we cannot parse.
+
+    Historically unknown versions were silently accepted and the parser
+    would either mis-read or half-read the document; now the mismatch is
+    reported up front, naming what was found versus what is supported.
+    Returns ``found`` so callers can thread it through.
+    """
+    supported = SUPPORTED_VERSIONS.get(notation, ())
+    if found not in supported:
+        raise error(
+            f"unsupported {notation} schema version {found!r}; this "
+            f"build supports: {', '.join(supported)}"
+        )
+    return found
+
 
 @dataclass(frozen=True)
 class ParserEntry:

@@ -26,19 +26,27 @@ from repro.etlmodel.ops import (
     Operation,
     Projection,
     Rename,
+    SCDUpdate,
     Selection,
     Sort,
     SurrogateKey,
     UnionOp,
 )
 from repro.xformats import xmlutil
+from repro.xformats.registry import check_schema_version
 
 _LIST_SEPARATOR = ","
+
+#: The newest xLM schema version this build writes.  Version 1.1 added
+#: the ``SCDUpdate`` node type; flows without one keep the legacy shape
+#: (no ``version`` attribute == version 1.0) so they stay byte-stable.
+XLM_VERSION = "1.1"
 
 
 def dumps(flow: EtlFlow) -> str:
     """Serialise an ETL flow to xLM."""
-    root = ET.Element("design")
+    uses_scd = any(node.kind == "SCDUpdate" for node in flow.nodes())
+    root = ET.Element("design", {"version": XLM_VERSION} if uses_scd else {})
     metadata = xmlutil.sub(root, "metadata")
     xmlutil.sub(metadata, "name", flow.name)
     if flow.requirements:
@@ -105,6 +113,13 @@ def _operation_properties(operation: Operation) -> Dict[str, str]:
         if operation.descending:
             properties["descending"] = "true"
         return properties
+    if isinstance(operation, SCDUpdate):
+        return {
+            "table": operation.table,
+            "policy": operation.policy,
+            "businessKeys": _LIST_SEPARATOR.join(operation.business_keys),
+            "effectiveDate": operation.effective_date,
+        }
     if isinstance(operation, Loader):
         return {"table": operation.table, "mode": operation.mode}
     if isinstance(operation, (UnionOp, Distinct)):
@@ -115,6 +130,7 @@ def _operation_properties(operation: Operation) -> Dict[str, str]:
 def loads(text: str) -> EtlFlow:
     """Parse an xLM document back into an ETL flow."""
     root = xmlutil.parse_document(text, "design", XlmFormatError)
+    check_schema_version("xlm", root.get("version", "1.0"), XlmFormatError)
     metadata = xmlutil.child(root, "metadata", XlmFormatError)
     flow = EtlFlow(name=xmlutil.child_text(metadata, "name", XlmFormatError))
     requirements = metadata.find("requirements")
@@ -204,6 +220,14 @@ def _build_operation(name: str, kind: str, properties: Dict[str, str]) -> Operat
             name,
             keys=_split(properties.get("keys", "")),
             descending=properties.get("descending", "false") == "true",
+        )
+    if kind == "SCDUpdate":
+        return SCDUpdate(
+            name,
+            table=properties.get("table", ""),
+            policy=properties.get("policy", "type2"),
+            business_keys=_split(properties.get("businessKeys", "")),
+            effective_date=properties.get("effectiveDate", "1970-01-01"),
         )
     if kind == "Loader":
         return Loader(

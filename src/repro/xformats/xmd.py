@@ -23,13 +23,28 @@ from repro.mdmodel.model import (
     LevelAttribute,
     MDSchema,
     Measure,
+    SCDPolicy,
 )
 from repro.xformats import xmlutil
+from repro.xformats.registry import check_schema_version
+
+#: The newest xMD schema version this build writes.  Version 1.1 added
+#: the per-level ``<scd>`` policy element; documents without SCD levels
+#: are still written in the legacy shape (no ``version`` attribute ==
+#: version 1.0) so existing designs round-trip byte-identically.
+XMD_VERSION = "1.1"
 
 
 def dumps(schema: MDSchema) -> str:
     """Serialise an MD schema to xMD."""
-    root = ET.Element("MDschema", {"name": schema.name})
+    uses_scd = any(
+        level.scd_policy is not SCDPolicy.TYPE0
+        for _, level in schema.iter_levels()
+    )
+    attributes = {"name": schema.name}
+    if uses_scd:
+        attributes["version"] = XMD_VERSION
+    root = ET.Element("MDschema", attributes)
     facts = xmlutil.sub(root, "facts")
     for fact in schema.facts.values():
         facts.append(_write_fact(fact))
@@ -90,6 +105,8 @@ def _write_dimension(dimension: Dimension) -> ET.Element:
             xmlutil.sub(level_element, "concept", level.concept)
         if level.key is not None:
             xmlutil.sub(level_element, "key", level.key)
+        if level.scd_policy is not SCDPolicy.TYPE0:
+            xmlutil.sub(level_element, "scd", level.scd_policy.value)
         attributes = xmlutil.sub(level_element, "attributes")
         for attribute in level.attributes:
             attribute_element = xmlutil.sub(attributes, "attribute")
@@ -110,6 +127,7 @@ def _write_dimension(dimension: Dimension) -> ET.Element:
 def loads(text: str) -> MDSchema:
     """Parse an xMD document back into an MD schema."""
     root = xmlutil.parse_document(text, "MDschema", XmdFormatError)
+    check_schema_version("xmd", root.get("version", "1.0"), XmdFormatError)
     schema = MDSchema(name=xmlutil.attribute(root, "name", XmdFormatError))
     dimensions = root.find("dimensions")
     if dimensions is not None:
@@ -221,12 +239,22 @@ def _read_dimension(element: ET.Element) -> Dimension:
                             ),
                         )
                     )
+            scd_text = xmlutil.optional_text(level_element, "scd")
+            try:
+                scd_policy = (
+                    SCDPolicy.parse(scd_text)
+                    if scd_text is not None
+                    else SCDPolicy.TYPE0
+                )
+            except Exception as exc:
+                raise XmdFormatError(str(exc)) from exc
             dimension.add_level(
                 Level(
                     name=xmlutil.child_text(level_element, "name", XmdFormatError),
                     attributes=attributes,
                     key=xmlutil.optional_text(level_element, "key"),
                     concept=xmlutil.optional_text(level_element, "concept"),
+                    scd_policy=scd_policy,
                 )
             )
     hierarchies = element.find("hierarchies")

@@ -26,6 +26,7 @@ class TestRegistry:
             | {f"QRY20{i}" for i in range(1, 5)}
             | {f"QRY30{i}" for i in range(1, 4)}
             | {f"QRY4{i:02d}" for i in range(1, 14)}
+            | {f"QRY50{i}" for i in range(1, 6)}
             | {f"QRY90{i}" for i in range(1, 8)}
         )
         assert codes == expected

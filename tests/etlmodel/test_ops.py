@@ -39,7 +39,7 @@ class TestMetadata:
         assert set(OPERATION_KINDS) == {
             "Datastore", "Extraction", "Selection", "Projection", "Join",
             "Aggregation", "DerivedAttribute", "Rename", "Union",
-            "Distinct", "SurrogateKey", "Sort", "Loader",
+            "Distinct", "SurrogateKey", "SCDUpdate", "Sort", "Loader",
         }
 
     def test_rename_produces_copy_with_new_name(self):

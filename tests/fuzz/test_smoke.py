@@ -10,6 +10,7 @@ seed — reproduce it interactively with
 from pathlib import Path
 
 from repro.fuzz import corpus
+from repro.fuzz.evolveoracle import build_evolve_trial
 from repro.fuzz.flowgen import build_flow_trial
 from repro.fuzz.querygen import build_query_trial
 from repro.fuzz.runner import run
@@ -29,7 +30,7 @@ def test_fixed_seed_budget_finds_no_divergence():
         for failure in report["failures"]
     ]
     assert not details, "\n".join(details)
-    assert report["trials"] == 5 * SMOKE_SEEDS
+    assert report["trials"] == 6 * SMOKE_SEEDS
 
 
 def test_trials_are_deterministic():
@@ -45,6 +46,9 @@ def test_trials_are_deterministic():
     assert query_first.query == query_second.query
     assert query_first.sort_key == query_second.sort_key
     assert query_first.limit == query_second.limit
+    evolve_first, evolve_second = build_evolve_trial(7), build_evolve_trial(7)
+    assert evolve_first.policies == evolve_second.policies
+    assert evolve_first.script == evolve_second.script
 
 
 def test_corpus_replays_clean():

@@ -1,0 +1,166 @@
+"""xMD/xLM schema versioning: SCD vocabulary, legacy back-compat.
+
+Version 1.1 of both notations added the time vocabulary (per-level
+``<scd>`` policy elements in xMD, ``SCDUpdate`` nodes in xLM).  Three
+contracts pin it down:
+
+* designs that *use* the vocabulary round-trip losslessly and carry
+  the ``version="1.1"`` stamp,
+* designs that don't keep the legacy shape byte for byte — the
+  committed fixture files under ``fixtures/`` are real 1.0 documents
+  and must stay loadable forever,
+* a document declaring a version this build does not know is rejected
+  up front (historically it was silently accepted and half-parsed).
+"""
+
+import pytest
+
+from repro.errors import XlmFormatError, XmdFormatError
+from repro.etlmodel.flow import EtlFlow
+from repro.etlmodel.ops import Datastore, Loader, SCDUpdate
+from repro.mdmodel import MDSchema
+from repro.mdmodel.model import (
+    Dimension,
+    Hierarchy,
+    Level,
+    LevelAttribute,
+    SCDPolicy,
+)
+from repro.expressions.types import ScalarType
+from repro.xformats import xlm, xmd
+
+from tests.xformats.test_xmd import revenue_star
+
+from pathlib import Path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def versioned_star() -> MDSchema:
+    schema = MDSchema(name="timed")
+    dimension = Dimension("Supplier")
+    dimension.add_level(
+        Level(
+            "Supplier",
+            [
+                LevelAttribute("s_name", ScalarType.STRING),
+                LevelAttribute("s_acctbal", ScalarType.DECIMAL),
+            ],
+            scd_policy=SCDPolicy.TYPE2,
+        )
+    )
+    dimension.add_hierarchy(Hierarchy("h_supplier", ["Supplier"]))
+    schema.add_dimension(dimension)
+    return schema
+
+
+def scd_flow() -> EtlFlow:
+    flow = EtlFlow(name="scd")
+    flow.add(Datastore("DATASTORE_supplier", table="supplier"))
+    flow.add(
+        SCDUpdate(
+            "SCD_dim_Supplier",
+            table="dim_Supplier",
+            policy="type2",
+            business_keys=("s_name",),
+            effective_date="2024-06-01",
+        )
+    )
+    flow.add(Loader("LOAD_dim_Supplier", table="dim_Supplier", mode="replace"))
+    flow.connect("DATASTORE_supplier", "SCD_dim_Supplier")
+    flow.connect("SCD_dim_Supplier", "LOAD_dim_Supplier")
+    return flow
+
+
+class TestScdRoundTrip:
+    def test_xmd_scd_policy_roundtrips(self):
+        schema = versioned_star()
+        parsed = xmd.loads(xmd.dumps(schema))
+        level = parsed.dimension("Supplier").level("Supplier")
+        assert level.scd_policy is SCDPolicy.TYPE2
+
+    def test_xmd_roundtrip_is_stable(self):
+        text = xmd.dumps(versioned_star())
+        assert xmd.dumps(xmd.loads(text)) == text
+
+    def test_xmd_versioned_document_is_stamped(self):
+        text = xmd.dumps(versioned_star())
+        assert 'version="1.1"' in text
+        assert "<scd>type2</scd>" in text
+
+    def test_xlm_scd_update_roundtrips(self):
+        flow = scd_flow()
+        parsed = xlm.loads(xlm.dumps(flow))
+        node = parsed.node("SCD_dim_Supplier")
+        assert node.kind == "SCDUpdate"
+        assert node.table == "dim_Supplier"
+        assert node.policy == "type2"
+        assert node.business_keys == ("s_name",)
+        assert node.effective_date == "2024-06-01"
+
+    def test_xlm_roundtrip_is_stable(self):
+        text = xlm.dumps(scd_flow())
+        assert xlm.dumps(xlm.loads(text)) == text
+
+    def test_xlm_versioned_document_is_stamped(self):
+        assert 'version="1.1"' in xlm.dumps(scd_flow())
+
+    def test_bad_scd_policy_rejected(self):
+        text = xmd.dumps(versioned_star()).replace(
+            "<scd>type2</scd>", "<scd>type9</scd>"
+        )
+        with pytest.raises(XmdFormatError):
+            xmd.loads(text)
+
+
+class TestLegacyShape:
+    """Designs without time vocabulary keep the 1.0 wire shape."""
+
+    def test_xmd_plain_design_is_not_stamped(self):
+        text = xmd.dumps(revenue_star())
+        assert "version=" not in text
+        assert "<scd>" not in text
+
+    def test_xlm_plain_flow_is_not_stamped(self):
+        from tests.etlmodel.conftest import build_revenue_flow
+
+        assert "version=" not in xlm.dumps(build_revenue_flow())
+
+    def test_legacy_xmd_fixture_loads(self):
+        """A committed 1.0 document must stay loadable forever."""
+        text = (FIXTURES / "legacy_design.xmd").read_text()
+        assert "version=" not in text  # it really is a legacy document
+        schema = xmd.loads(text)
+        assert "fact_table_revenue" in schema.facts
+        for __, level in schema.iter_levels():
+            assert level.scd_policy is SCDPolicy.TYPE0
+        assert xmd.dumps(schema) == text  # and re-saves byte-identically
+
+    def test_legacy_xlm_fixture_loads(self):
+        text = (FIXTURES / "legacy_design.xlm").read_text()
+        assert "version=" not in text
+        flow = xlm.loads(text)
+        assert any(node.kind == "Loader" for node in flow.nodes())
+        assert xlm.dumps(flow) == text
+
+
+class TestVersionRejection:
+    """The registry must reject versions it cannot parse, by name."""
+
+    def test_xmd_unknown_version_rejected(self):
+        text = xmd.dumps(versioned_star()).replace(
+            'version="1.1"', 'version="9.7"'
+        )
+        with pytest.raises(XmdFormatError, match=r"9\.7.*1\.0, 1\.1"):
+            xmd.loads(text)
+
+    def test_xlm_unknown_version_rejected(self):
+        text = xlm.dumps(scd_flow()).replace('version="1.1"', 'version="2.0"')
+        with pytest.raises(XlmFormatError, match=r"2\.0"):
+            xlm.loads(text)
+
+    def test_supported_versions_accepted(self):
+        from repro.xformats.registry import check_schema_version
+
+        assert check_schema_version("xmd", "1.0") == "1.0"
+        assert check_schema_version("xlm", "1.1") == "1.1"
